@@ -1,0 +1,129 @@
+//! Analytic model of Asymmetric Minwise Hashing recall (paper appendix,
+//! Figure 10).
+//!
+//! For a fully contained domain (`t = 1`), the padded Jaccard similarity is
+//! `q / M` (Eq. 31 at `t = 1`), so the probability of being selected by a
+//! `(b, r)` LSH is
+//!
+//! ```text
+//! P(t = 1 | M, q, b, r) = 1 − (1 − (q/M)^r)^b            (Eq. 32)
+//! ```
+//!
+//! which collapses toward zero as the corpus maximum `M` grows — the
+//! skew-driven recall failure the evaluation section demonstrates
+//! empirically.
+
+/// Probability that a *perfectly contained* domain (`t(Q,X) = 1`) survives a
+/// `(b, r)` banded LSH after padding to maximum size `max_size` (Eq. 32).
+///
+/// # Panics
+/// Panics if `query_size == 0`, `max_size < query_size`, or `b`/`r` is zero.
+#[must_use]
+pub fn selection_probability_full_containment(
+    max_size: u64,
+    query_size: u64,
+    b: u32,
+    r: u32,
+) -> f64 {
+    assert!(query_size > 0, "query size must be positive");
+    assert!(
+        max_size >= query_size,
+        "max size must be at least the query size"
+    );
+    assert!(b > 0 && r > 0, "banding parameters must be positive");
+    let s = query_size as f64 / max_size as f64;
+    1.0 - (1.0 - s.powi(r as i32)).powi(b as i32)
+}
+
+/// Minimum number of hash functions `m*` needed to keep
+/// `P(t = 1 | M, q, b = m, r = 1) ≥ p_target` (the right panel of
+/// Figure 10).
+///
+/// With `r = 1` and `b = m` (the most recall-friendly configuration),
+/// `P = 1 − (1 − q/M)^m ≥ p ⟺ m ≥ ln(1 − p) / ln(1 − q/M)`.
+///
+/// # Panics
+/// Panics if `p_target` is outside `(0, 1)`, or on invalid sizes.
+#[must_use]
+pub fn min_hash_functions_for_recall(max_size: u64, query_size: u64, p_target: f64) -> u64 {
+    assert!(
+        p_target > 0.0 && p_target < 1.0,
+        "target probability must be in (0, 1)"
+    );
+    assert!(query_size > 0, "query size must be positive");
+    assert!(
+        max_size >= query_size,
+        "max size must be at least the query size"
+    );
+    if max_size == query_size {
+        return 1; // q/M = 1: a single hash function always collides.
+    }
+    let s = query_size as f64 / max_size as f64;
+    ((1.0 - p_target).ln() / (1.0 - s).ln()).ceil() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selection_probability_decreases_with_max_size() {
+        let mut prev = 1.1;
+        for m in [10u64, 100, 1_000, 10_000, 100_000] {
+            let p = selection_probability_full_containment(m, 1, 256, 1);
+            assert!(p < prev, "M={m}: p={p} did not decrease");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn selection_probability_near_one_when_no_skew() {
+        // M == q: padded similarity is 1, always selected.
+        let p = selection_probability_full_containment(100, 100, 8, 4);
+        assert!((p - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn selection_probability_collapses_at_high_skew() {
+        // The appendix's point: at M = 8000, q = 1, even (b=256, r=1) keeps
+        // only a small chance of selecting a perfectly contained domain.
+        let p = selection_probability_full_containment(8_000, 1, 256, 1);
+        assert!(p < 0.05, "p = {p}");
+    }
+
+    #[test]
+    fn min_hash_functions_grows_linearly_in_max_size() {
+        // Figure 10 (right): m* is ~linear in M. Check ratio stability.
+        let m1 = min_hash_functions_for_recall(1_000, 1, 0.5);
+        let m2 = min_hash_functions_for_recall(2_000, 1, 0.5);
+        let m4 = min_hash_functions_for_recall(4_000, 1, 0.5);
+        let r21 = m2 as f64 / m1 as f64;
+        let r42 = m4 as f64 / m2 as f64;
+        assert!((r21 - 2.0).abs() < 0.05, "ratio {r21}");
+        assert!((r42 - 2.0).abs() < 0.05, "ratio {r42}");
+    }
+
+    #[test]
+    fn min_hash_functions_satisfies_target() {
+        for &(max, q, p) in &[(5_000u64, 1u64, 0.5f64), (1_000, 10, 0.9), (300, 7, 0.75)] {
+            let m = min_hash_functions_for_recall(max, q, p);
+            let achieved = selection_probability_full_containment(max, q, m as u32, 1);
+            assert!(achieved >= p, "m={m} achieves {achieved} < {p}");
+            if m > 1 {
+                let under = selection_probability_full_containment(max, q, m as u32 - 1, 1);
+                assert!(under < p, "m−1 already achieves {under} ≥ {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_equal_sizes() {
+        assert_eq!(min_hash_functions_for_recall(50, 50, 0.99), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "target probability")]
+    fn bad_target_rejected() {
+        let _ = min_hash_functions_for_recall(100, 1, 1.0);
+    }
+}

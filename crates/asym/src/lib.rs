@@ -1,0 +1,31 @@
+//! # lshe-asym
+//!
+//! Asymmetric Minwise Hashing (Shrivastava & Li, WWW 2015) — the
+//! state-of-the-art containment-search baseline the paper compares against
+//! (§4, §6.1, and the appendix).
+//!
+//! The asymmetric transformation pads every indexed domain with fresh,
+//! never-colliding values until all domains reach the corpus maximum size
+//! `M`. Containment is unchanged by padding, while the Jaccard similarity of
+//! an (unpadded) query against a padded domain becomes
+//! `ŝ_M,q(t) = t / (M/q + 1 − t)` (Eq. 31) — *monotone in t* — so a plain
+//! Jaccard index over padded signatures answers containment queries.
+//!
+//! Following the paper's footnote 1, padding is applied to the MinHash
+//! *signatures*, not the raw domains. This crate goes one step further and
+//! samples the padding minima **analytically** (see [`padding`]): the
+//! minimum of `k` i.i.d. uniform draws is simulated by inverse transform in
+//! O(1) per slot instead of O(k) work, with exactly the same distribution.
+//! This matters because power-law corpora force `k = M − x` into the
+//! millions for almost every domain — the very regime where the paper shows
+//! Asymmetric Minwise Hashing's recall collapses.
+//!
+//! [`analysis`] reproduces the appendix formulas behind Figure 10.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod analysis;
+pub mod padding;
+
+pub use padding::{pad_signature, PaddingSampler};

@@ -1,0 +1,34 @@
+//! Microbench: exact (inverted-index) containment search versus the LSH
+//! Ensemble at the same corpus — quantifying what the sketch buys once
+//! corpora outgrow exact indexing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lshe_bench::workload;
+use lshe_core::PartitionStrategy;
+use lshe_corpus::ExactIndex;
+use lshe_datagen::{generate_catalog, CorpusConfig};
+use lshe_minhash::MinHasher;
+
+fn exact_vs_sketch(c: &mut Criterion) {
+    let catalog = generate_catalog(&CorpusConfig::tiny(10_000, 5));
+    let hasher = MinHasher::new(256);
+    let signatures = workload::compute_signatures(&catalog, &hasher);
+    let exact = ExactIndex::build(&catalog);
+    let ens = workload::build_ensemble(
+        &catalog,
+        &signatures,
+        PartitionStrategy::EquiDepth { n: 16 },
+    );
+    let q: u32 = 4_321;
+    let query = catalog.domain(q);
+    let q_size = query.len() as u64;
+
+    c.bench_function("exact_search_10k", |b| b.iter(|| exact.search(query, 0.5)));
+    c.bench_function("ensemble_query_10k", |b| {
+        b.iter(|| ens.query_with_size(&signatures[q as usize], q_size, 0.5))
+    });
+    c.bench_function("exact_scores_10k", |b| b.iter(|| exact.scores(query)));
+}
+
+criterion_group!(benches, exact_vs_sketch);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Microbench: LSH Forest insert, commit, and query at several index sizes
+//! and query-time `(b, r)` settings.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use lshe_lsh::LshForest;
+use lshe_minhash::{MinHasher, Signature};
+
+fn signatures(n: usize) -> Vec<Signature> {
+    let hasher = MinHasher::new(256);
+    (0..n)
+        .map(|i| hasher.signature(MinHasher::synthetic_values(i as u64, 64)))
+        .collect()
+}
+
+fn built_forest(sigs: &[Signature]) -> LshForest {
+    let mut f = LshForest::new(32, 8);
+    for (i, s) in sigs.iter().enumerate() {
+        f.insert(i as u32, s);
+    }
+    f.commit();
+    f
+}
+
+fn forest_insert(c: &mut Criterion) {
+    let sigs = signatures(1_000);
+    c.bench_function("forest_insert_1k", |b| {
+        b.iter_batched(
+            || LshForest::new(32, 8),
+            |mut f| {
+                for (i, s) in sigs.iter().enumerate() {
+                    f.insert(i as u32, s);
+                }
+                f
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn forest_commit(c: &mut Criterion) {
+    let sigs = signatures(10_000);
+    c.bench_function("forest_commit_10k", |b| {
+        b.iter_batched(
+            || {
+                let mut f = LshForest::new(32, 8);
+                for (i, s) in sigs.iter().enumerate() {
+                    f.insert(i as u32, s);
+                }
+                f
+            },
+            |mut f| {
+                f.commit();
+                f
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn forest_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forest_query");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let sigs = signatures(n);
+        let forest = built_forest(&sigs);
+        let query = &sigs[n / 2];
+        for &(b, r) in &[(32usize, 8usize), (32, 4), (8, 8)] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("b{b}_r{r}"), n),
+                &forest,
+                |bench, forest| bench.iter(|| forest.query(query, b, r)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, forest_insert, forest_commit, forest_query);
+criterion_main!(benches);

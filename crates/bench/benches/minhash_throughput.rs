@@ -1,0 +1,56 @@
+//! Microbench: MinHash signature generation throughput across domain sizes
+//! and signature widths — the dominant cost of index construction
+//! (Table 4's "Indexing" column is ~all sketching).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lshe_minhash::{MinHasher, OnePermHasher};
+
+fn signature_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("signature_generation");
+    for &size in &[100usize, 1_000, 10_000] {
+        let values = MinHasher::synthetic_values(42, size);
+        for &m in &[128usize, 256] {
+            let hasher = MinHasher::new(m);
+            group.throughput(Throughput::Elements(size as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("classic_m{m}"), size),
+                &values,
+                |b, values| b.iter(|| hasher.signature(values.iter().copied())),
+            );
+            // One-Permutation Hashing: the O(n + m) fast path — expect a
+            // speedup approaching m× at large n.
+            let oph = OnePermHasher::new(m);
+            group.bench_with_input(
+                BenchmarkId::new(format!("oneperm_m{m}"), size),
+                &values,
+                |b, values| b.iter(|| oph.signature(values.iter().copied())),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn jaccard_estimation(c: &mut Criterion) {
+    let hasher = MinHasher::new(256);
+    let a = hasher.signature(MinHasher::synthetic_values(1, 1_000));
+    let b = hasher.signature(MinHasher::synthetic_values(2, 1_000));
+    c.bench_function("jaccard_estimate_m256", |bench| {
+        bench.iter(|| a.jaccard(&b))
+    });
+}
+
+fn cardinality_estimation(c: &mut Criterion) {
+    let hasher = MinHasher::new(256);
+    let sig = hasher.signature(MinHasher::synthetic_values(3, 10_000));
+    c.bench_function("cardinality_estimate_m256", |bench| {
+        bench.iter(|| sig.cardinality())
+    });
+}
+
+criterion_group!(
+    benches,
+    signature_generation,
+    jaccard_estimation,
+    cardinality_estimation
+);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Microbench: cost of the per-query `(b, r)` optimisation — cold
+//! (full grid integration) versus warm (memo-table hit). The paper
+//! precomputes this table offline; the memoised path is what every query
+//! actually pays.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lshe_core::Tuner;
+
+fn tuning(c: &mut Criterion) {
+    c.bench_function("tuner_cold_full_grid_32x8", |b| {
+        let tuner = Tuner::new(32, 8);
+        let mut ratio = 1.0f64;
+        b.iter(|| {
+            // Vary the ratio so every iteration misses any internal reuse.
+            ratio = if ratio > 1e6 { 1.0 } else { ratio * 1.001 };
+            tuner.optimize_uncached(ratio, 0.5)
+        })
+    });
+
+    c.bench_function("tuner_warm_cache_hit", |b| {
+        let tuner = Tuner::new(32, 8);
+        let _ = tuner.optimize(1_000, 50, 0.5); // prime
+        b.iter(|| tuner.optimize(1_000, 50, 0.5))
+    });
+
+    c.bench_function("fp_fn_integration_single_pair", |b| {
+        b.iter(|| {
+            lshe_core::tuning::false_positive_area(3.7, 0.5, 16, 4)
+                + lshe_core::tuning::false_negative_area(3.7, 0.5, 16, 4)
+        })
+    });
+}
+
+criterion_group!(benches, tuning);
+criterion_main!(benches);

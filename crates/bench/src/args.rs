@@ -1,0 +1,138 @@
+//! A minimal `--key value` argument parser for the experiment binaries.
+//!
+//! Kept dependency-free on purpose: harness binaries take a handful of
+//! numeric knobs (`--domains`, `--queries`, `--seed`, ...) and nothing else.
+
+use std::collections::BTreeMap;
+
+/// Parsed `--key value` pairs.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parses the process arguments (skipping `argv[0]`).
+    ///
+    /// # Panics
+    /// Panics with a usage hint on malformed input (a `--key` without a
+    /// value, or a stray positional argument).
+    #[must_use]
+    pub fn from_env() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (testable entry point).
+    ///
+    /// # Panics
+    /// As [`from_env`](Self::from_env).
+    pub fn parse_from<I: IntoIterator<Item = String>>(iter: I) -> Self {
+        let mut values = BTreeMap::new();
+        let mut iter = iter.into_iter();
+        while let Some(key) = iter.next() {
+            let stripped = key
+                .strip_prefix("--")
+                .unwrap_or_else(|| panic!("unexpected positional argument: {key}"));
+            let value = iter
+                .next()
+                .unwrap_or_else(|| panic!("--{stripped} requires a value"));
+            values.insert(stripped.to_owned(), value);
+        }
+        Self { values }
+    }
+
+    /// Integer flag with default.
+    ///
+    /// # Panics
+    /// Panics if the value does not parse.
+    #[must_use]
+    pub fn get_usize(&self, key: &str, default: usize) -> usize {
+        self.values
+            .get(key)
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} expects an integer, got {v}"))
+            })
+            .unwrap_or(default)
+    }
+
+    /// `u64` flag with default.
+    ///
+    /// # Panics
+    /// Panics if the value does not parse.
+    #[must_use]
+    pub fn get_u64(&self, key: &str, default: u64) -> u64 {
+        self.values
+            .get(key)
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} expects an integer, got {v}"))
+            })
+            .unwrap_or(default)
+    }
+
+    /// Float flag with default.
+    ///
+    /// # Panics
+    /// Panics if the value does not parse.
+    #[must_use]
+    pub fn get_f64(&self, key: &str, default: f64) -> f64 {
+        self.values
+            .get(key)
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} expects a number, got {v}"))
+            })
+            .unwrap_or(default)
+    }
+
+    /// Raw string flag.
+    #[must_use]
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Args {
+        Args::parse_from(s.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn parses_pairs() {
+        let a = args(&["--domains", "1000", "--alpha", "2.5", "--name", "x"]);
+        assert_eq!(a.get_usize("domains", 1), 1000);
+        assert!((a.get_f64("alpha", 0.0) - 2.5).abs() < 1e-12);
+        assert_eq!(a.get_str("name"), Some("x"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = args(&[]);
+        assert_eq!(a.get_usize("queries", 500), 500);
+        assert_eq!(a.get_u64("seed", 42), 42);
+        assert!(a.get_str("missing").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a value")]
+    fn dangling_key_panics() {
+        let _ = args(&["--domains"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unexpected positional")]
+    fn positional_rejected() {
+        let _ = args(&["oops"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects an integer")]
+    fn bad_integer_panics() {
+        let a = args(&["--domains", "many"]);
+        let _ = a.get_usize("domains", 1);
+    }
+}

@@ -1,0 +1,75 @@
+//! Ablation (§6.1 closing remark): Asymmetric Minwise Hashing *inside each
+//! partition* versus plain Asym and the LSH Ensemble.
+//!
+//! The paper: "While there is a slight improvement in precision, we failed
+//! to observe any significant improvements in recall" — because power-law
+//! partitions still contain large size spreads, so padding stays heavy.
+//! Expect: Asym+partitioning recall between Asym's and the ensemble's, far
+//! below the ensemble at high thresholds.
+
+use lshe_bench::{report, workload, Args};
+use lshe_core::{ContainmentSearch, PartitionStrategy};
+use lshe_datagen::{sample_queries, SizeBand};
+
+fn main() {
+    let args = Args::from_env();
+    let num_domains = args.get_usize("domains", 65_533);
+    let num_queries = args.get_usize("queries", 300);
+    let partitions = args.get_usize("partitions", 32);
+    let seed = args.get_u64("seed", 42);
+
+    report::banner(
+        "ablation_asym_partitioned",
+        "Asym vs Asym-in-partitions vs LSH Ensemble",
+        &[
+            ("domains", num_domains.to_string()),
+            ("queries", num_queries.to_string()),
+            ("partitions", partitions.to_string()),
+            ("seed", seed.to_string()),
+        ],
+    );
+
+    let world = workload::build_accuracy_world(num_domains, seed);
+    let queries = sample_queries(&world.catalog, num_queries, SizeBand::All, seed);
+    let thresholds = workload::paper_threshold_grid();
+
+    let asym = workload::build_asym(&world.catalog, &world.signatures);
+    let asym_part = workload::build_asym_partitioned(&world.catalog, &world.signatures, partitions);
+    let ensemble = workload::build_ensemble(
+        &world.catalog,
+        &world.signatures,
+        PartitionStrategy::EquiDepth { n: partitions },
+    );
+    let indexes: Vec<&dyn ContainmentSearch> = vec![&asym, &asym_part, &ensemble];
+
+    report::header(&[
+        "index",
+        "threshold",
+        "precision",
+        "recall",
+        "f1",
+        "f05",
+        "empty_answers",
+    ]);
+    for index in indexes {
+        let acc = workload::accuracy_sweep(
+            index,
+            &world.exact,
+            &world.catalog,
+            &world.signatures,
+            &queries,
+            &thresholds,
+        );
+        for (t, a) in thresholds.iter().zip(&acc) {
+            report::row(&[
+                index.label(),
+                report::f4(*t),
+                report::f4(a.precision),
+                report::f4(a.recall),
+                report::f4(a.f1),
+                report::f4(a.f05),
+                a.empty_answers.to_string(),
+            ]);
+        }
+    }
+}

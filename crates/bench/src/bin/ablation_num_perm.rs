@@ -1,0 +1,100 @@
+//! Ablation (ours, backing Table 3's `m = 256` choice): accuracy as a
+//! function of the number of minwise hash functions.
+//!
+//! Fewer hash functions shrink signatures and speed up sketching, but both
+//! the Jaccard estimator's variance (σ ≈ √(s(1−s)/m)) and the reachable
+//! `(b, r)` grid degrade. The appendix's Figure 10 analysis also ties `m`
+//! directly to Asym-style recall. Expect: precision and recall both
+//! improve with m, with diminishing returns beyond ~256 — the paper's
+//! default.
+
+use lshe_bench::{report, workload, Args};
+use lshe_core::{ContainmentSearch, EnsembleConfig, LshEnsemble, PartitionStrategy};
+use lshe_datagen::{sample_queries, SizeBand};
+use lshe_minhash::{MinHasher, Signature};
+
+fn main() {
+    let args = Args::from_env();
+    let num_domains = args.get_usize("domains", 20_000);
+    let num_queries = args.get_usize("queries", 300);
+    let partitions = args.get_usize("partitions", 16);
+    let t_star = args.get_f64("t-star", 0.5);
+    let seed = args.get_u64("seed", 42);
+
+    report::banner(
+        "ablation_num_perm",
+        "accuracy vs number of minwise hash functions (m)",
+        &[
+            ("domains", num_domains.to_string()),
+            ("queries", num_queries.to_string()),
+            ("partitions", partitions.to_string()),
+            ("t_star", report::f4(t_star)),
+            ("seed", seed.to_string()),
+        ],
+    );
+
+    let world = workload::build_accuracy_world(num_domains, seed);
+    let queries = sample_queries(&world.catalog, num_queries, SizeBand::All, seed);
+
+    report::header(&[
+        "m",
+        "b_max",
+        "r_max",
+        "sketch_seconds",
+        "precision",
+        "recall",
+        "f1",
+        "f05",
+    ]);
+    // (m, b_max, r_max) with b_max·r_max = m, keeping r_max = 8 where
+    // possible so the selectivity ceiling is comparable.
+    for &(m, b_max, r_max) in &[
+        (32usize, 8usize, 4usize),
+        (64, 8, 8),
+        (128, 16, 8),
+        (256, 32, 8),
+        (512, 64, 8),
+    ] {
+        let hasher = MinHasher::new(m);
+        let (signatures, sketch_secs) = workload::timed(|| {
+            let sigs: Vec<Signature> = world
+                .catalog
+                .iter()
+                .map(|(_, d)| d.signature(&hasher))
+                .collect();
+            sigs
+        });
+        let ids: Vec<u32> = world.catalog.iter().map(|(id, _)| id).collect();
+        let sizes: Vec<u64> = world.catalog.iter().map(|(_, d)| d.len() as u64).collect();
+        let refs: Vec<&Signature> = signatures.iter().collect();
+        let index = LshEnsemble::build_from_parts(
+            EnsembleConfig {
+                num_perm: m,
+                b_max,
+                r_max,
+                strategy: PartitionStrategy::EquiDepth { n: partitions },
+            },
+            &ids,
+            &sizes,
+            &refs,
+        );
+        let acc = workload::accuracy_sweep(
+            &index as &dyn ContainmentSearch,
+            &world.exact,
+            &world.catalog,
+            &signatures,
+            &queries,
+            &[t_star],
+        );
+        report::row(&[
+            m.to_string(),
+            b_max.to_string(),
+            r_max.to_string(),
+            report::secs(sketch_secs),
+            report::f4(acc[0].precision),
+            report::f4(acc[0].recall),
+            report::f4(acc[0].f1),
+            report::f4(acc[0].f05),
+        ]);
+    }
+}

@@ -1,0 +1,75 @@
+//! Ablation (ours, backed by §5.4's theory): equi-depth versus the
+//! cost-model-optimal equi-FP partitioner versus equi-width, at the same
+//! partition count.
+//!
+//! Theorem 2 says equi-depth ≈ equi-FP on power-law corpora; this harness
+//! checks that claim empirically (accuracy and the Eq. 16 max-M cost should
+//! nearly coincide) and shows equi-width as the degenerate extreme.
+
+use lshe_bench::{report, workload, Args};
+use lshe_core::{ContainmentSearch, PartitionStrategy, Partitioning};
+use lshe_datagen::{sample_queries, SizeBand};
+
+fn main() {
+    let args = Args::from_env();
+    let num_domains = args.get_usize("domains", 65_533);
+    let num_queries = args.get_usize("queries", 300);
+    let partitions = args.get_usize("partitions", 32);
+    let t_star = args.get_f64("t-star", 0.5);
+    let seed = args.get_u64("seed", 42);
+
+    report::banner(
+        "ablation_partitioners",
+        "equi-depth vs equi-FP (cost model) vs equi-width",
+        &[
+            ("domains", num_domains.to_string()),
+            ("queries", num_queries.to_string()),
+            ("partitions", partitions.to_string()),
+            ("t_star", report::f4(t_star)),
+            ("seed", seed.to_string()),
+        ],
+    );
+
+    let world = workload::build_accuracy_world(num_domains, seed);
+    let queries = sample_queries(&world.catalog, num_queries, SizeBand::All, seed);
+    let sizes: Vec<u64> = world.catalog.sizes().iter().map(|&s| s as u64).collect();
+
+    let strategies = [
+        PartitionStrategy::EquiDepth { n: partitions },
+        PartitionStrategy::EquiFp { n: partitions },
+        PartitionStrategy::EquiWidth { n: partitions },
+    ];
+
+    report::header(&[
+        "strategy",
+        "partitions_built",
+        "max_fp_bound",
+        "size_std_dev",
+        "precision",
+        "recall",
+        "f1",
+        "f05",
+    ]);
+    for strategy in strategies {
+        let partitioning: Partitioning = strategy.partition(&sizes);
+        let ens = workload::build_ensemble(&world.catalog, &world.signatures, strategy);
+        let acc = workload::accuracy_sweep(
+            &ens,
+            &world.exact,
+            &world.catalog,
+            &world.signatures,
+            &queries,
+            &[t_star],
+        );
+        report::row(&[
+            ens.label(),
+            partitioning.len().to_string(),
+            report::f2(partitioning.max_fp_bound()),
+            report::f2(partitioning.member_count_std_dev()),
+            report::f4(acc[0].precision),
+            report::f4(acc[0].recall),
+            report::f4(acc[0].f1),
+            report::f4(acc[0].f05),
+        ]);
+    }
+}

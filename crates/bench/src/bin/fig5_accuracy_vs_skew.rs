@@ -1,0 +1,96 @@
+//! Figure 5: accuracy versus domain-size skewness.
+//!
+//! The paper builds 20 nested subsets of the corpus — starting from a
+//! narrow size interval and widening it — so skewness (Eq. 29) grows along
+//! the ladder, then measures each index on each subset. Shape to reproduce:
+//! precision falls with skew for every index (slowest for the ensembles,
+//! fastest for the baseline); recall stays high except Asym's, which
+//! collapses as padding explodes.
+
+use lshe_bench::{report, workload, Args};
+use lshe_core::{ContainmentSearch, PartitionStrategy};
+use lshe_datagen::{nested_size_subsets, sample_queries, skewness, SizeBand};
+
+fn main() {
+    let args = Args::from_env();
+    let num_domains = args.get_usize("domains", 65_533);
+    let num_queries = args.get_usize("queries", 300);
+    let steps = args.get_usize("steps", 20);
+    let t_star = args.get_f64("t-star", 0.5);
+    let seed = args.get_u64("seed", 42);
+
+    report::banner(
+        "fig5",
+        "accuracy vs size skewness over nested subsets",
+        &[
+            ("domains", num_domains.to_string()),
+            ("queries_per_subset", num_queries.to_string()),
+            ("subset_steps", steps.to_string()),
+            ("t_star", report::f4(t_star)),
+            ("seed", seed.to_string()),
+        ],
+    );
+
+    let world = workload::build_accuracy_world(num_domains, seed);
+    let sizes = world.catalog.sizes();
+    let subsets = nested_size_subsets(&sizes, steps);
+
+    report::header(&[
+        "subset",
+        "subset_domains",
+        "skewness",
+        "index",
+        "precision",
+        "recall",
+        "f1",
+        "f05",
+    ]);
+    for (step, ids) in subsets.iter().enumerate() {
+        if ids.len() < 50 {
+            continue; // too small to measure meaningfully
+        }
+        let sub = workload::subset_world(&world, ids);
+        let sub_sizes = sub.catalog.sizes();
+        let skew = skewness(&sub_sizes);
+        let queries = sample_queries(&sub.catalog, num_queries, SizeBand::All, seed + step as u64);
+
+        let baseline =
+            workload::build_ensemble(&sub.catalog, &sub.signatures, PartitionStrategy::Single);
+        let asym = workload::build_asym(&sub.catalog, &sub.signatures);
+        let ensembles: Vec<_> = [8usize, 16, 32]
+            .iter()
+            .map(|&n| {
+                workload::build_ensemble(
+                    &sub.catalog,
+                    &sub.signatures,
+                    PartitionStrategy::EquiDepth { n },
+                )
+            })
+            .collect();
+        let mut indexes: Vec<&dyn ContainmentSearch> = vec![&baseline, &asym];
+        for e in &ensembles {
+            indexes.push(e);
+        }
+
+        for index in indexes {
+            let acc = workload::accuracy_sweep(
+                index,
+                &sub.exact,
+                &sub.catalog,
+                &sub.signatures,
+                &queries,
+                &[t_star],
+            );
+            report::row(&[
+                step.to_string(),
+                ids.len().to_string(),
+                report::f2(skew),
+                index.label(),
+                report::f4(acc[0].precision),
+                report::f4(acc[0].recall),
+                report::f4(acc[0].f1),
+                report::f4(acc[0].f05),
+            ]);
+        }
+    }
+}

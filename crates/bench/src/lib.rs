@@ -1,0 +1,25 @@
+//! # lshe-bench
+//!
+//! Experiment harness for the LSH Ensemble reproduction. Each binary in
+//! `src/bin/` regenerates one table or figure of the paper's evaluation
+//! section (see DESIGN.md §5 for the full index); this library holds the
+//! shared machinery so every experiment uses identical corpus handling,
+//! threading, and metric conventions.
+//!
+//! Run any experiment with:
+//!
+//! ```text
+//! cargo run --release -p lshe-bench --bin fig4_accuracy_vs_threshold -- \
+//!     --domains 65533 --queries 3000
+//! ```
+//!
+//! Criterion microbenches live in `benches/`.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod args;
+pub mod report;
+pub mod workload;
+
+pub use args::Args;

@@ -1,0 +1,427 @@
+//! Shared experiment machinery: signature pipelines, index construction,
+//! ground truth, and accuracy sweeps.
+//!
+//! Every experiment binary is a thin `main` over these helpers, so the
+//! corpus handling, threading, and metric conventions are identical across
+//! figures.
+
+use lshe_core::{ContainmentSearch, EnsembleConfig, LshEnsemble, PartitionStrategy};
+use lshe_corpus::{Catalog, DomainId, ExactIndex};
+use lshe_datagen::{aggregate, query_accuracy, WorkloadAccuracy};
+use lshe_minhash::{MinHasher, Signature};
+use std::time::Instant;
+
+/// Number of worker threads for signature generation and query sweeps.
+#[must_use]
+pub fn worker_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+}
+
+/// Computes MinHash signatures for every domain of the catalog in parallel.
+#[must_use]
+pub fn compute_signatures(catalog: &Catalog, hasher: &MinHasher) -> Vec<Signature> {
+    let n = catalog.len();
+    let threads = worker_threads().min(n.max(1));
+    let mut out: Vec<Option<Signature>> = vec![None; n];
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (t, slice) in out.chunks_mut(chunk).enumerate() {
+            scope.spawn(move || {
+                for (i, slot) in slice.iter_mut().enumerate() {
+                    let id = (t * chunk + i) as DomainId;
+                    *slot = Some(catalog.domain(id).signature(hasher));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|s| s.expect("signature computed"))
+        .collect()
+}
+
+/// Builds an [`LshEnsemble`] over the whole catalog with the given strategy
+/// (zero-copy: signatures are borrowed, not cloned).
+#[must_use]
+pub fn build_ensemble(
+    catalog: &Catalog,
+    signatures: &[Signature],
+    strategy: PartitionStrategy,
+) -> LshEnsemble {
+    let ids: Vec<DomainId> = catalog.iter().map(|(id, _)| id).collect();
+    let sizes: Vec<u64> = catalog.iter().map(|(_, d)| d.len() as u64).collect();
+    let sig_refs: Vec<&Signature> = signatures.iter().collect();
+    LshEnsemble::build_from_parts(
+        EnsembleConfig {
+            strategy,
+            ..EnsembleConfig::default()
+        },
+        &ids,
+        &sizes,
+        &sig_refs,
+    )
+}
+
+/// Ground truth for one query across a set of thresholds: `truth[k]` is the
+/// sorted answer set at `thresholds[k]` (Eq. 2).
+#[must_use]
+pub fn ground_truth_sets(
+    exact: &ExactIndex,
+    catalog: &Catalog,
+    query: DomainId,
+    thresholds: &[f64],
+) -> Vec<Vec<DomainId>> {
+    let scores = exact.scores(catalog.domain(query));
+    thresholds
+        .iter()
+        .map(|&t| {
+            let mut ids: Vec<DomainId> = scores
+                .iter()
+                .take_while(|&&(_, s)| s >= t)
+                .map(|&(id, _)| id)
+                .collect();
+            ids.sort_unstable();
+            ids
+        })
+        .collect()
+}
+
+/// Accuracy of one index over a query workload at several thresholds.
+///
+/// Returns one [`WorkloadAccuracy`] per threshold. Queries run in parallel
+/// across worker threads; ground truth is computed once per query and
+/// reused across thresholds.
+#[must_use]
+pub fn accuracy_sweep(
+    index: &dyn ContainmentSearch,
+    exact: &ExactIndex,
+    catalog: &Catalog,
+    signatures: &[Signature],
+    queries: &[DomainId],
+    thresholds: &[f64],
+) -> Vec<WorkloadAccuracy> {
+    let threads = worker_threads().min(queries.len().max(1));
+    let chunk = queries.len().div_ceil(threads);
+    // per_thread[t][k] = accuracies of thread t's queries at threshold k.
+    let per_thread: Vec<Vec<Vec<lshe_datagen::QueryAccuracy>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = queries
+            .chunks(chunk)
+            .map(|qs| {
+                scope.spawn(move || {
+                    let mut acc: Vec<Vec<lshe_datagen::QueryAccuracy>> =
+                        vec![Vec::with_capacity(qs.len()); thresholds.len()];
+                    for &q in qs {
+                        let truth = ground_truth_sets(exact, catalog, q, thresholds);
+                        let q_size = catalog.domain(q).len() as u64;
+                        for (k, &t) in thresholds.iter().enumerate() {
+                            let answer = index.search(&signatures[q as usize], q_size, t);
+                            acc[k].push(query_accuracy(&answer, &truth[k]));
+                        }
+                    }
+                    acc
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("accuracy worker panicked"))
+            .collect()
+    });
+    (0..thresholds.len())
+        .map(|k| {
+            let all: Vec<lshe_datagen::QueryAccuracy> = per_thread
+                .iter()
+                .flat_map(|t| t[k].iter().copied())
+                .collect();
+            aggregate(&all)
+        })
+        .collect()
+}
+
+/// Wall-clock mean query latency of an index over a workload, in seconds.
+/// Queries run sequentially so the number reflects a single client
+/// (Table 4's "Mean Query" column).
+#[must_use]
+pub fn mean_query_seconds(
+    index: &dyn ContainmentSearch,
+    catalog: &Catalog,
+    signatures: &[Signature],
+    queries: &[DomainId],
+    t_star: f64,
+) -> f64 {
+    let started = Instant::now();
+    let mut sink = 0usize;
+    for &q in queries {
+        let q_size = catalog.domain(q).len() as u64;
+        sink += index.search(&signatures[q as usize], q_size, t_star).len();
+    }
+    std::hint::black_box(sink);
+    started.elapsed().as_secs_f64() / queries.len().max(1) as f64
+}
+
+/// The paper's default threshold grid: 0.05 to 1.0 in steps of 0.05 (§6.1).
+#[must_use]
+pub fn paper_threshold_grid() -> Vec<f64> {
+    (1..=20).map(|i| f64::from(i) * 0.05).collect()
+}
+
+/// Everything the accuracy experiments share: the corpus, its signatures,
+/// and the exact ground-truth engine.
+pub struct AccuracyWorld {
+    /// The synthetic Canadian-Open-Data-like corpus.
+    pub catalog: Catalog,
+    /// MinHash signatures aligned with catalog ids.
+    pub signatures: Vec<Signature>,
+    /// Exact containment engine (ground truth).
+    pub exact: ExactIndex,
+    /// The hasher the signatures were built with.
+    pub hasher: MinHasher,
+}
+
+/// Builds the §6.1 accuracy world: a Canadian-Open-Data-like corpus of
+/// `num_domains` domains (≥ 10 values each, power-law sizes), signatures,
+/// and ground truth.
+#[must_use]
+pub fn build_accuracy_world(num_domains: usize, seed: u64) -> AccuracyWorld {
+    let mut config = lshe_datagen::CorpusConfig::canadian_open_data_like();
+    config.num_domains = num_domains;
+    config.seed = seed;
+    let catalog = lshe_datagen::generate_catalog(&config);
+    let hasher = MinHasher::new(256);
+    let signatures = compute_signatures(&catalog, &hasher);
+    let exact = ExactIndex::build(&catalog);
+    AccuracyWorld {
+        catalog,
+        signatures,
+        exact,
+        hasher,
+    }
+}
+
+/// Builds the Asymmetric Minwise Hashing baseline over the whole catalog.
+#[must_use]
+pub fn build_asym(catalog: &Catalog, signatures: &[Signature]) -> lshe_core::AsymIndex {
+    let mut builder = lshe_core::AsymIndex::builder();
+    for (id, domain) in catalog.iter() {
+        builder.add(id, domain.len() as u64, signatures[id as usize].clone());
+    }
+    builder.build()
+}
+
+/// Builds the Asym-inside-each-partition ablation (§6.1 remark).
+#[must_use]
+pub fn build_asym_partitioned(
+    catalog: &Catalog,
+    signatures: &[Signature],
+    n: usize,
+) -> lshe_core::AsymPartitionedIndex {
+    let entries: Vec<(DomainId, u64, Signature)> = catalog
+        .iter()
+        .map(|(id, d)| (id, d.len() as u64, signatures[id as usize].clone()))
+        .collect();
+    lshe_core::AsymPartitionedIndex::build(&EnsembleConfig::default(), n, &entries)
+}
+
+/// A corpus reduced to what the performance experiments need: sizes and
+/// signatures (domain values are generated, sketched, and discarded on the
+/// fly — at WDC scale the raw sets would dominate memory for no benefit,
+/// since Figure 9 / Table 4 measure cost, not accuracy).
+pub struct PerfCorpus {
+    /// Domain sizes by id.
+    pub sizes: Vec<u64>,
+    /// Signatures by id.
+    pub signatures: Vec<Signature>,
+}
+
+/// Builds a WDC-Web-Tables-like performance corpus of `num_domains` domains
+/// (power-law sizes in `[1, 2^14]`, α = 2) by streaming values through the
+/// hasher in parallel.
+///
+/// Two overlap mechanisms mirror real web-table data:
+///
+/// * domains within a cluster of 24 draw contiguous runs from a shared
+///   virtual pool (recurring columns across related tables), and
+/// * ~30% of every domain comes from a small global pool sampled with a
+///   Zipf-like skew — the "USA" / "yes" / "1" effect, where a handful of
+///   ubiquitous values appear in a large fraction of all web-table columns.
+///   This is what floods an unpartitioned index with low-containment
+///   candidates (Table 4's slow baseline) while the partitioned ensemble
+///   stays selective.
+#[must_use]
+pub fn build_perf_corpus(num_domains: usize, seed: u64, hasher: &MinHasher) -> PerfCorpus {
+    use lshe_minhash::hash::splitmix64;
+    const CLUSTER: u64 = 24;
+    const MAX_SIZE: u64 = 1 << 14;
+    const POOL_SIZE: u64 = (MAX_SIZE as f64 * 1.6) as u64;
+    const COMMON_POOL: u64 = 2_000;
+    const COMMON_FRACTION: f64 = 0.3;
+    let dist = lshe_datagen::PowerLawSizes::new(1, MAX_SIZE, 2.0);
+    let threads = worker_threads().min(num_domains.max(1));
+    let chunk = num_domains.div_ceil(threads);
+    let mut sizes: Vec<u64> = vec![0; num_domains];
+    let mut signatures: Vec<Option<Signature>> = vec![None; num_domains];
+    std::thread::scope(|scope| {
+        for (t, (size_slice, sig_slice)) in sizes
+            .chunks_mut(chunk)
+            .zip(signatures.chunks_mut(chunk))
+            .enumerate()
+        {
+            scope.spawn(move || {
+                use rand::rngs::StdRng;
+                use rand::{Rng, SeedableRng};
+                let mut rng = StdRng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0x9E37));
+                for (i, (size_slot, sig_slot)) in
+                    size_slice.iter_mut().zip(sig_slice.iter_mut()).enumerate()
+                {
+                    let id = (t * chunk + i) as u64;
+                    let cluster = id / CLUSTER;
+                    let size = dist.sample(&mut rng);
+                    let common = ((size as f64) * COMMON_FRACTION).round() as u64;
+                    let pooled = size - common;
+                    let offset = rng.gen_range(0..=POOL_SIZE - pooled.min(POOL_SIZE));
+                    let cluster_values = (0..pooled).map(|j| {
+                        // Virtual pool value: position `offset + j` of this
+                        // cluster's pool (same construction as datagen).
+                        splitmix64(
+                            splitmix64(seed ^ 0x9E3779B97F4A7C15)
+                                ^ splitmix64(cluster).rotate_left(17)
+                                ^ (offset + j),
+                        )
+                    });
+                    // Zipf-ish skew: u² concentrates picks on low positions,
+                    // so position 0's value appears in a large share of all
+                    // domains. Duplicate picks collapse under min-hashing,
+                    // so sizes shrink by at most the duplicate count.
+                    let common_values: Vec<u64> = (0..common)
+                        .map(|_| {
+                            let u: f64 = rng.gen();
+                            let pos = ((u * u) * COMMON_POOL as f64) as u64;
+                            splitmix64(splitmix64(seed ^ 0xC0330) ^ pos)
+                        })
+                        .collect();
+                    *size_slot = size;
+                    *sig_slot = Some(hasher.signature(cluster_values.chain(common_values)));
+                }
+            });
+        }
+    });
+    PerfCorpus {
+        sizes,
+        signatures: signatures
+            .into_iter()
+            .map(|s| s.expect("signature computed"))
+            .collect(),
+    }
+}
+
+/// Restricts a world to a subset of domain ids, rebuilding the catalog with
+/// dense ids, signatures, and ground truth (Figure 5's nested subsets).
+#[must_use]
+pub fn subset_world(world: &AccuracyWorld, ids: &[DomainId]) -> AccuracyWorld {
+    let mut catalog = Catalog::new();
+    let mut signatures = Vec::with_capacity(ids.len());
+    for &id in ids {
+        catalog.push(
+            world.catalog.domain(id).clone(),
+            world.catalog.meta(id).clone(),
+        );
+        signatures.push(world.signatures[id as usize].clone());
+    }
+    let exact = ExactIndex::build(&catalog);
+    AccuracyWorld {
+        catalog,
+        signatures,
+        exact,
+        hasher: world.hasher.clone(),
+    }
+}
+
+/// Times a closure, returning (result, seconds).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let started = Instant::now();
+    let out = f();
+    (out, started.elapsed().as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lshe_datagen::{generate_catalog, sample_queries, CorpusConfig, SizeBand};
+
+    fn small_world() -> (Catalog, Vec<Signature>, ExactIndex) {
+        let catalog = generate_catalog(&CorpusConfig::tiny(300, 11));
+        let hasher = MinHasher::new(256);
+        let sigs = compute_signatures(&catalog, &hasher);
+        let exact = ExactIndex::build(&catalog);
+        (catalog, sigs, exact)
+    }
+
+    #[test]
+    fn signatures_match_sequential() {
+        let (catalog, sigs, _) = small_world();
+        let hasher = MinHasher::new(256);
+        for (id, domain) in catalog.iter().take(20) {
+            assert_eq!(sigs[id as usize], domain.signature(&hasher));
+        }
+        assert_eq!(sigs.len(), catalog.len());
+    }
+
+    #[test]
+    fn ground_truth_sets_are_nested_in_threshold() {
+        let (catalog, _, exact) = small_world();
+        let thresholds = [0.2, 0.5, 0.8];
+        let truth = ground_truth_sets(&exact, &catalog, 0, &thresholds);
+        assert!(truth[0].len() >= truth[1].len());
+        assert!(truth[1].len() >= truth[2].len());
+        // Self-containment: the query matches itself at every threshold.
+        for t in &truth {
+            assert!(t.contains(&0));
+        }
+    }
+
+    #[test]
+    fn accuracy_sweep_shapes() {
+        let (catalog, sigs, exact) = small_world();
+        let ens = build_ensemble(&catalog, &sigs, PartitionStrategy::EquiDepth { n: 4 });
+        let queries = sample_queries(&catalog, 25, SizeBand::All, 3);
+        let thresholds = [0.3, 0.6, 0.9];
+        let acc = accuracy_sweep(&ens, &exact, &catalog, &sigs, &queries, &thresholds);
+        assert_eq!(acc.len(), 3);
+        for a in &acc {
+            assert_eq!(a.queries, 25);
+            assert!((0.0..=1.0).contains(&a.precision));
+            assert!((0.0..=1.0).contains(&a.recall));
+        }
+    }
+
+    #[test]
+    fn accuracy_parallel_matches_single_thread_aggregate() {
+        // The sweep must be a pure function of (index, workload): re-running
+        // yields identical numbers (thread scheduling must not leak in).
+        let (catalog, sigs, exact) = small_world();
+        let ens = build_ensemble(&catalog, &sigs, PartitionStrategy::EquiDepth { n: 4 });
+        let queries = sample_queries(&catalog, 30, SizeBand::All, 5);
+        let a = accuracy_sweep(&ens, &exact, &catalog, &sigs, &queries, &[0.5]);
+        let b = accuracy_sweep(&ens, &exact, &catalog, &sigs, &queries, &[0.5]);
+        assert_eq!(a[0].precision.to_bits(), b[0].precision.to_bits());
+        assert_eq!(a[0].recall.to_bits(), b[0].recall.to_bits());
+    }
+
+    #[test]
+    fn mean_query_seconds_positive() {
+        let (catalog, sigs, _) = small_world();
+        let ens = build_ensemble(&catalog, &sigs, PartitionStrategy::EquiDepth { n: 4 });
+        let queries = sample_queries(&catalog, 10, SizeBand::All, 7);
+        let t = mean_query_seconds(&ens, &catalog, &sigs, &queries, 0.5);
+        assert!(t > 0.0);
+    }
+
+    #[test]
+    fn paper_grid_is_twenty_points() {
+        let g = paper_threshold_grid();
+        assert_eq!(g.len(), 20);
+        assert!((g[0] - 0.05).abs() < 1e-12);
+        assert!((g[19] - 1.0).abs() < 1e-12);
+    }
+}

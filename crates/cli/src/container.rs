@@ -1,0 +1,344 @@
+//! The `.lshe` index-file container: ensemble + provenance + optional
+//! ranked sketches, in one self-describing file.
+//!
+//! ```text
+//! "LSHX" version:u8
+//! flags:u8                      (bit 0: ranked sketches present)
+//! num_perm:u32
+//! meta_count:u64
+//! per domain: id:u32 size:u64 table:str column:str
+//! ensemble: u64 length + LshEnsemble bytes
+//! if ranked: per domain (same order): signature slots u64 array
+//! ```
+
+use lshe_core::{EnsembleConfig, LshEnsemble, PartitionStrategy, RankedHit, RankedIndex};
+use lshe_corpus::Catalog;
+use lshe_minhash::codec::{CodecError, Decoder, Encoder};
+use lshe_minhash::{MinHasher, Signature};
+use std::fmt::Write as _;
+
+/// Envelope tag for `.lshe` files.
+pub const MAGIC: [u8; 4] = *b"LSHX";
+/// Current container version.
+pub const VERSION: u8 = 1;
+
+/// Provenance of one indexed domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomainRecord {
+    /// Dense id (matches the ensemble's ids).
+    pub id: u32,
+    /// Distinct-value count.
+    pub size: u64,
+    /// Source table (CSV file stem).
+    pub table: String,
+    /// Source column.
+    pub column: String,
+}
+
+/// A loaded (or freshly built) index file.
+#[derive(Debug)]
+pub struct IndexContainer {
+    records: Vec<DomainRecord>,
+    ensemble: LshEnsemble,
+    /// Present when the container was built with ranked sketches.
+    ranked: Option<RankedIndex>,
+    num_perm: usize,
+}
+
+impl IndexContainer {
+    /// Builds a container from a catalog: sketches every domain, builds the
+    /// ensemble (and the ranked index when `ranked`), and records
+    /// provenance.
+    ///
+    /// # Panics
+    /// Panics if the catalog is empty or `partitions == 0`.
+    #[must_use]
+    pub fn build(catalog: &Catalog, partitions: usize, ranked: bool) -> Self {
+        assert!(!catalog.is_empty(), "catalog must not be empty");
+        assert!(partitions > 0, "partitions must be positive");
+        let hasher = MinHasher::new(lshe_minhash::DEFAULT_NUM_PERM);
+        let config = EnsembleConfig {
+            strategy: PartitionStrategy::EquiDepth { n: partitions },
+            ..EnsembleConfig::default()
+        };
+        let mut records = Vec::with_capacity(catalog.len());
+        let mut builder = LshEnsemble::builder_with(config);
+        let mut ranked_builder = ranked.then(|| RankedIndex::builder_with(config));
+        for (id, domain) in catalog.iter() {
+            let meta = catalog.meta(id);
+            let sig = domain.signature(&hasher);
+            records.push(DomainRecord {
+                id,
+                size: domain.len() as u64,
+                table: meta.table.clone(),
+                column: meta.column.clone(),
+            });
+            if let Some(rb) = ranked_builder.as_mut() {
+                rb.add(id, domain.len() as u64, sig.clone());
+            }
+            builder.add(id, domain.len() as u64, sig);
+        }
+        Self {
+            records,
+            ensemble: builder.build(),
+            ranked: ranked_builder.map(lshe_core::RankedIndexBuilder::build),
+            num_perm: hasher.num_perm(),
+        }
+    }
+
+    /// Signature width the index was built with (clients must sketch
+    /// queries at this width).
+    #[must_use]
+    pub fn num_perm(&self) -> usize {
+        self.num_perm
+    }
+
+    /// Number of indexed domains.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if the container holds no domains (cannot occur via `build`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Provenance lookup: (table, column, size).
+    ///
+    /// # Panics
+    /// Panics if `id` was never indexed.
+    #[must_use]
+    pub fn provenance(&self, id: u32) -> (&str, &str, u64) {
+        let rec = self
+            .records
+            .iter()
+            .find(|r| r.id == id)
+            .expect("id was indexed");
+        (&rec.table, &rec.column, rec.size)
+    }
+
+    /// Threshold search; estimates are attached when sketches are stored.
+    #[must_use]
+    pub fn search(&self, sig: &Signature, q: u64, t_star: f64) -> Vec<(u32, Option<f64>)> {
+        match &self.ranked {
+            Some(r) => r
+                .query_ranked(sig, q, t_star, 0.1)
+                .into_iter()
+                .map(|h| (h.id, Some(h.estimated_containment)))
+                .collect(),
+            None => self
+                .ensemble
+                .query_with_size(sig, q, t_star)
+                .into_iter()
+                .map(|id| (id, None))
+                .collect(),
+        }
+    }
+
+    /// Top-k search (requires ranked sketches).
+    ///
+    /// # Errors
+    /// Returns a message when the container was built without `--ranked`.
+    pub fn top_k(
+        &self,
+        sig: &Signature,
+        q: u64,
+        k: usize,
+    ) -> Result<Vec<(u32, Option<f64>)>, String> {
+        let ranked = self.ranked.as_ref().ok_or_else(|| {
+            "this index was built without ranked sketches; re-index with --ranked true".to_owned()
+        })?;
+        Ok(ranked
+            .query_top_k(sig, q, k)
+            .into_iter()
+            .map(|h: RankedHit| (h.id, Some(h.estimated_containment)))
+            .collect())
+    }
+
+    /// Human-readable description (the `stats` subcommand).
+    #[must_use]
+    pub fn describe(&self) -> String {
+        let mut out = String::new();
+        let config = self.ensemble.config();
+        let _ = writeln!(out, "domains: {}", self.len());
+        let _ = writeln!(out, "num_perm: {}", config.num_perm);
+        let _ = writeln!(
+            out,
+            "forest: {} trees × depth {}",
+            config.b_max, config.r_max
+        );
+        let _ = writeln!(
+            out,
+            "ranked sketches: {}",
+            if self.ranked.is_some() { "yes" } else { "no" }
+        );
+        let stats = self.ensemble.partition_stats();
+        let _ = writeln!(out, "partitions: {}", stats.len());
+        let _ = writeln!(out, "  #\tsize_range\tdomains");
+        for (i, p) in stats.iter().enumerate() {
+            let _ = writeln!(out, "  {i}\t[{}, {}]\t{}", p.lower, p.upper, p.count);
+        }
+        out
+    }
+
+    /// Serialises the container.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut enc = Encoder::with_capacity(64 + self.records.len() * 48);
+        enc.envelope(MAGIC, VERSION);
+        enc.put_u8(u8::from(self.ranked.is_some()));
+        enc.put_u32(self.num_perm as u32);
+        enc.put_u64(self.records.len() as u64);
+        for rec in &self.records {
+            enc.put_u32(rec.id);
+            enc.put_u64(rec.size);
+            enc.put_str(&rec.table);
+            enc.put_str(&rec.column);
+        }
+        let eb = self.ensemble.to_bytes_committed();
+        enc.put_u64(eb.len() as u64);
+        for b in eb {
+            enc.put_u8(b);
+        }
+        if let Some(ranked) = &self.ranked {
+            for rec in &self.records {
+                let (_, sig) = ranked
+                    .sketch(rec.id)
+                    .expect("ranked index holds every record");
+                enc.put_u64_slice(sig.slots());
+            }
+        }
+        enc.finish()
+    }
+
+    /// Deserialises a container.
+    ///
+    /// # Errors
+    /// [`CodecError`] on truncation, tag/version mismatch, or structural
+    /// inconsistencies.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut dec = Decoder::new(bytes);
+        let version = dec.envelope(MAGIC)?;
+        if version > VERSION {
+            return Err(CodecError::UnsupportedVersion {
+                found: version,
+                supported: VERSION,
+            });
+        }
+        let has_ranked = dec.get_u8("flags")? != 0;
+        let num_perm = dec.get_u32("num_perm")? as usize;
+        let count = dec.get_u64("meta count")? as usize;
+        let mut records = Vec::with_capacity(count.min(1 << 20));
+        for _ in 0..count {
+            records.push(DomainRecord {
+                id: dec.get_u32("record id")?,
+                size: dec.get_u64("record size")?,
+                table: dec.get_str("record table")?,
+                column: dec.get_str("record column")?,
+            });
+        }
+        let eb_len = dec.get_u64("ensemble length")? as usize;
+        if eb_len > dec.remaining() {
+            return Err(CodecError::Corrupt("ensemble payload exceeds input"));
+        }
+        let mut eb = Vec::with_capacity(eb_len);
+        for _ in 0..eb_len {
+            eb.push(dec.get_u8("ensemble bytes")?);
+        }
+        let ensemble = LshEnsemble::from_bytes(&eb)?;
+        if ensemble.len() != records.len() {
+            return Err(CodecError::Corrupt("record count disagrees with ensemble"));
+        }
+        let ranked = if has_ranked {
+            let mut rb = RankedIndex::builder_with(*ensemble.config());
+            for rec in &records {
+                let slots = dec.get_u64_vec("sketch slots")?;
+                if slots.len() != num_perm {
+                    return Err(CodecError::Corrupt("sketch width disagrees with config"));
+                }
+                rb.add(rec.id, rec.size, Signature::from_slots(slots));
+            }
+            Some(rb.build())
+        } else {
+            None
+        };
+        if !dec.is_exhausted() {
+            return Err(CodecError::Corrupt("trailing bytes after container"));
+        }
+        Ok(Self {
+            records,
+            ensemble,
+            ranked,
+            num_perm,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lshe_corpus::{Domain, DomainMeta};
+
+    fn catalog(n: usize) -> Catalog {
+        let mut c = Catalog::new();
+        let pool: Vec<u64> = (0..20 * n as u64).collect();
+        for k in 0..n {
+            c.push(
+                Domain::from_hashes(pool[..20 * (k + 1)].to_vec()),
+                DomainMeta::new(format!("t{k}"), "col"),
+            );
+        }
+        c
+    }
+
+    #[test]
+    fn container_roundtrip_plain() {
+        let cat = catalog(10);
+        let built = IndexContainer::build(&cat, 2, false);
+        let bytes = built.to_bytes();
+        let restored = IndexContainer::from_bytes(&bytes).expect("decode");
+        assert_eq!(restored.len(), 10);
+        assert_eq!(restored.num_perm(), 256);
+        assert_eq!(restored.provenance(3), ("t3", "col", 80));
+        // Query equivalence.
+        let hasher = MinHasher::new(256);
+        let q = cat.domain(2).signature(&hasher);
+        let a = built.search(&q, 60, 0.8);
+        let b = restored.search(&q, 60, 0.8);
+        assert_eq!(a, b);
+        assert!(a.iter().any(|&(id, _)| id == 2));
+    }
+
+    #[test]
+    fn container_roundtrip_ranked() {
+        let cat = catalog(8);
+        let built = IndexContainer::build(&cat, 2, true);
+        let bytes = built.to_bytes();
+        let restored = IndexContainer::from_bytes(&bytes).expect("decode");
+        let hasher = MinHasher::new(256);
+        let q = cat.domain(1).signature(&hasher);
+        let top = restored.top_k(&q, 40, 3).expect("ranked");
+        assert_eq!(top.len(), 3);
+        assert!(top[0].1.expect("estimate") > 0.9);
+    }
+
+    #[test]
+    fn plain_container_rejects_top_k() {
+        let cat = catalog(5);
+        let built = IndexContainer::build(&cat, 2, false);
+        let hasher = MinHasher::new(256);
+        let q = cat.domain(0).signature(&hasher);
+        assert!(built.top_k(&q, 20, 2).is_err());
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let cat = catalog(5);
+        let bytes = IndexContainer::build(&cat, 2, true).to_bytes();
+        for cut in [0usize, 4, 9, bytes.len() / 3, bytes.len() - 1] {
+            assert!(IndexContainer::from_bytes(&bytes[..cut]).is_err());
+        }
+    }
+}

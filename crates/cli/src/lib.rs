@@ -1,0 +1,512 @@
+//! # lshe-cli
+//!
+//! The `lshe` command-line tool: build a persistent LSH Ensemble index over
+//! a directory of CSV files, then run containment / top-k searches against
+//! it — the end-user workflow the paper motivates (find joinable open-data
+//! tables for a given attribute).
+//!
+//! ```text
+//! lshe index --dir ./opendata --out tables.lshe [--partitions 32]
+//!            [--min-size 10] [--ranked true]
+//! lshe query --index tables.lshe --csv mine.csv --column Partner
+//!            [--threshold 0.7] [--top-k 10]
+//! lshe stats --index tables.lshe
+//! ```
+//!
+//! All logic lives in this library so it is unit-testable; `main.rs` is a
+//! thin wrapper.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod container;
+
+use bytes::Bytes;
+use container::IndexContainer;
+use lshe_corpus::{Catalog, CsvDocument, Domain};
+use lshe_minhash::MinHasher;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// CLI failures, printable to stderr.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line.
+    Usage(String),
+    /// Filesystem problem.
+    Io(std::io::Error),
+    /// Corrupt or mismatched index file.
+    Index(String),
+    /// Bad query input (missing column, empty domain, malformed CSV).
+    Query(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Usage(msg) => write!(f, "usage error: {msg}\n\n{USAGE}"),
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+            Self::Index(msg) => write!(f, "index error: {msg}"),
+            Self::Query(msg) => write!(f, "query error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+lshe — domain search over CSV files (LSH Ensemble, VLDB 2016)
+
+COMMANDS
+  lshe index --dir DIR --out FILE [--partitions N] [--min-size M] [--ranked BOOL]
+      Ingest every *.csv and *.jsonl under DIR (one domain per column/field
+      with ≥ M distinct values, default 10), build an N-way equi-depth LSH
+      Ensemble (default 32), and write it to FILE. --ranked true
+      additionally stores domain sketches so `query --top-k` works (costs
+      ~2 KB per domain).
+
+  lshe query --index FILE --csv FILE --column NAME [--threshold T] [--top-k K]
+      Search the index with the named column of the given CSV as the query
+      domain. Default: threshold search at T = 0.7. With --top-k, return
+      the K best domains by estimated containment (requires a ranked index).
+
+  lshe stats --index FILE
+      Print configuration and per-partition statistics.";
+
+/// Simple `--key value` parser for one subcommand.
+struct Flags {
+    pairs: Vec<(String, String)>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Self, CliError> {
+        let mut pairs = Vec::new();
+        let mut it = args.iter();
+        while let Some(k) = it.next() {
+            let key = k
+                .strip_prefix("--")
+                .ok_or_else(|| CliError::Usage(format!("unexpected argument {k:?}")))?;
+            let value = it
+                .next()
+                .ok_or_else(|| CliError::Usage(format!("--{key} requires a value")))?;
+            pairs.push((key.to_owned(), value.clone()));
+        }
+        Ok(Self { pairs })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn require(&self, key: &str) -> Result<&str, CliError> {
+        self.get(key)
+            .ok_or_else(|| CliError::Usage(format!("--{key} is required")))
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--{key}: cannot parse {v:?}"))),
+        }
+    }
+}
+
+/// Entry point: dispatches a full argument vector (without `argv[0]`) and
+/// returns the text to print on success.
+///
+/// # Errors
+/// [`CliError`] on any failure; the caller prints it and exits non-zero.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    match args.first().map(String::as_str) {
+        Some("index") => cmd_index(&Flags::parse(&args[1..])?),
+        Some("query") => cmd_query(&Flags::parse(&args[1..])?),
+        Some("stats") => cmd_stats(&Flags::parse(&args[1..])?),
+        Some("help") | None => Ok(USAGE.to_owned()),
+        Some(other) => Err(CliError::Usage(format!("unknown command {other:?}"))),
+    }
+}
+
+fn cmd_index(flags: &Flags) -> Result<String, CliError> {
+    let dir = flags.require("dir")?.to_owned();
+    let out = flags.require("out")?.to_owned();
+    let partitions: usize = flags.get_parsed("partitions", 32)?;
+    let min_size: usize = flags.get_parsed("min-size", 10)?;
+    let ranked: bool = flags.get_parsed("ranked", false)?;
+    if partitions == 0 {
+        return Err(CliError::Usage("--partitions must be positive".into()));
+    }
+
+    let catalog = ingest_dir(Path::new(&dir), min_size)?;
+    if catalog.is_empty() {
+        return Err(CliError::Query(format!(
+            "no domains with ≥ {min_size} distinct values found under {dir}"
+        )));
+    }
+    let container = IndexContainer::build(&catalog, partitions, ranked);
+    std::fs::write(&out, container.to_bytes())?;
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "indexed {} domains from {} into {out}",
+        catalog.len(),
+        dir
+    );
+    let _ = writeln!(
+        report,
+        "partitions: {partitions}, ranked sketches: {}",
+        if ranked { "yes" } else { "no" }
+    );
+    Ok(report)
+}
+
+fn cmd_query(flags: &Flags) -> Result<String, CliError> {
+    let index_path = flags.require("index")?.to_owned();
+    let csv_path = flags.require("csv")?.to_owned();
+    let column = flags.require("column")?.to_owned();
+    let threshold: f64 = flags.get_parsed("threshold", 0.7)?;
+    let top_k: usize = flags.get_parsed("top-k", 0)?;
+    if !(0.0..=1.0).contains(&threshold) {
+        return Err(CliError::Usage("--threshold must be in [0, 1]".into()));
+    }
+
+    let bytes = std::fs::read(&index_path)?;
+    let container = IndexContainer::from_bytes(&bytes)
+        .map_err(|e| CliError::Index(format!("{index_path}: {e}")))?;
+
+    // Load the query domain from the CSV column.
+    let data = std::fs::read(&csv_path)?;
+    let doc = CsvDocument::parse(Bytes::from(data))
+        .map_err(|e| CliError::Query(format!("{csv_path}: {e}")))?;
+    let col_idx = doc
+        .header()
+        .iter()
+        .position(|c| c == &column)
+        .ok_or_else(|| {
+            CliError::Query(format!(
+                "column {column:?} not in {csv_path} (header: {:?})",
+                doc.header()
+            ))
+        })?;
+    let query = Domain::from_bytes_values(doc.column_values(col_idx).iter().map(Bytes::as_ref));
+    if query.is_empty() {
+        return Err(CliError::Query(format!("column {column:?} has no values")));
+    }
+
+    let hasher = MinHasher::new(container.num_perm());
+    let sig = query.signature(&hasher);
+    let hits = if top_k > 0 {
+        container
+            .top_k(&sig, query.len() as u64, top_k)
+            .map_err(CliError::Index)?
+    } else {
+        container.search(&sig, query.len() as u64, threshold)
+    };
+
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "query {column:?} ({} distinct values) → {} hit(s)",
+        query.len(),
+        hits.len()
+    );
+    for (id, est) in hits {
+        let (table, col, size) = container.provenance(id);
+        match est {
+            Some(e) => {
+                let _ = writeln!(report, "  t̂ = {e:.2}  {table}.{col} ({size} values)");
+            }
+            None => {
+                let _ = writeln!(report, "  {table}.{col} ({size} values)");
+            }
+        }
+    }
+    Ok(report)
+}
+
+fn cmd_stats(flags: &Flags) -> Result<String, CliError> {
+    let index_path = flags.require("index")?.to_owned();
+    let bytes = std::fs::read(&index_path)?;
+    let container = IndexContainer::from_bytes(&bytes)
+        .map_err(|e| CliError::Index(format!("{index_path}: {e}")))?;
+    Ok(container.describe())
+}
+
+/// Ingests every `*.csv` and `*.jsonl` under `dir` (sorted for
+/// determinism). CSV and JSON values share one hash universe, so
+/// cross-format joins are found like any other.
+fn ingest_dir(dir: &Path, min_size: usize) -> Result<Catalog, CliError> {
+    let mut catalog = Catalog::new();
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "csv" || e == "jsonl"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let table = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let data = std::fs::read(&path)?;
+        if path.extension().is_some_and(|e| e == "jsonl") {
+            let (_, _skipped) = catalog.ingest_jsonl(&table, &data, min_size);
+        } else {
+            catalog
+                .ingest_csv_bytes(&table, Bytes::from(data), min_size)
+                .map_err(|e| CliError::Query(format!("{}: {e}", path.display())))?;
+        }
+    }
+    Ok(catalog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("lshe_cli_{name}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    fn write_corpus(dir: &Path) {
+        std::fs::write(
+            dir.join("registry.csv"),
+            "company,sector\nacme,mfg\nborealis,ai\ncanaduck,aero\ndelta,energy\nevergreen,bio\nfalcon,mining\nglacier,sw\nharbour,log\nivory,sw\njuniper,agri\n",
+        )
+        .expect("write");
+        std::fs::write(
+            dir.join("grants.csv"),
+            "partner,year\nacme,2011\nborealis,2011\ncanaduck,2011\ndelta,2011\nevergreen,2011\nfalcon,2012\nglacier,2012\nharbour,2012\n",
+        )
+        .expect("write");
+    }
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| (*x).to_owned()).collect()
+    }
+
+    #[test]
+    fn help_and_unknown_commands() {
+        assert!(run(&[]).expect("help").contains("COMMANDS"));
+        assert!(run(&s(&["help"])).expect("help").contains("lshe index"));
+        assert!(matches!(
+            run(&s(&["frobnicate"])).unwrap_err(),
+            CliError::Usage(_)
+        ));
+    }
+
+    #[test]
+    fn missing_flags_are_usage_errors() {
+        assert!(matches!(
+            run(&s(&["index", "--dir", "/nowhere"])).unwrap_err(),
+            CliError::Usage(_)
+        ));
+        assert!(matches!(
+            run(&s(&["query", "--index", "x"])).unwrap_err(),
+            CliError::Usage(_)
+        ));
+    }
+
+    #[test]
+    fn index_query_stats_end_to_end() {
+        let dir = tmp_dir("e2e");
+        write_corpus(&dir);
+        let idx = dir.join("t.lshe");
+        let out = run(&s(&[
+            "index",
+            "--dir",
+            dir.to_str().expect("utf8"),
+            "--out",
+            idx.to_str().expect("utf8"),
+            "--partitions",
+            "4",
+            "--min-size",
+            "5",
+        ]))
+        .expect("index");
+        assert!(out.contains("indexed"));
+
+        // grants.partner (8 values) ⊆ registry.company (10 values).
+        let hits = run(&s(&[
+            "query",
+            "--index",
+            idx.to_str().expect("utf8"),
+            "--csv",
+            dir.join("grants.csv").to_str().expect("utf8"),
+            "--column",
+            "partner",
+            "--threshold",
+            "0.9",
+        ]))
+        .expect("query");
+        assert!(
+            hits.contains("registry.company"),
+            "expected registry.company in:\n{hits}"
+        );
+
+        let stats = run(&s(&["stats", "--index", idx.to_str().expect("utf8")])).expect("stats");
+        assert!(stats.contains("partitions"), "{stats}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn top_k_requires_ranked_index() {
+        let dir = tmp_dir("topk");
+        write_corpus(&dir);
+        let plain = dir.join("plain.lshe");
+        run(&s(&[
+            "index",
+            "--dir",
+            dir.to_str().expect("utf8"),
+            "--out",
+            plain.to_str().expect("utf8"),
+            "--min-size",
+            "5",
+        ]))
+        .expect("index");
+        let err = run(&s(&[
+            "query",
+            "--index",
+            plain.to_str().expect("utf8"),
+            "--csv",
+            dir.join("grants.csv").to_str().expect("utf8"),
+            "--column",
+            "partner",
+            "--top-k",
+            "3",
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Index(_)), "{err}");
+
+        let ranked = dir.join("ranked.lshe");
+        run(&s(&[
+            "index",
+            "--dir",
+            dir.to_str().expect("utf8"),
+            "--out",
+            ranked.to_str().expect("utf8"),
+            "--min-size",
+            "5",
+            "--ranked",
+            "true",
+        ]))
+        .expect("index ranked");
+        let hits = run(&s(&[
+            "query",
+            "--index",
+            ranked.to_str().expect("utf8"),
+            "--csv",
+            dir.join("grants.csv").to_str().expect("utf8"),
+            "--column",
+            "partner",
+            "--top-k",
+            "3",
+        ]))
+        .expect("topk query");
+        assert!(hits.contains("t̂ ="), "{hits}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn jsonl_files_are_ingested() {
+        let dir = tmp_dir("jsonl");
+        write_corpus(&dir);
+        std::fs::write(
+            dir.join("registry_export.jsonl"),
+            "{\"name\": \"acme\"}\n{\"name\": \"borealis\"}\n{\"name\": \"canaduck\"}\n{\"name\": \"delta\"}\n{\"name\": \"evergreen\"}\n{\"name\": \"falcon\"}\n{\"name\": \"glacier\"}\n{\"name\": \"harbour\"}\n",
+        )
+        .expect("write");
+        let idx = dir.join("t.lshe");
+        run(&s(&[
+            "index",
+            "--dir",
+            dir.to_str().expect("utf8"),
+            "--out",
+            idx.to_str().expect("utf8"),
+            "--min-size",
+            "5",
+        ]))
+        .expect("index");
+        // The JSONL `name` field holds the same companies as grants.partner:
+        // a cross-format join must surface.
+        let hits = run(&s(&[
+            "query",
+            "--index",
+            idx.to_str().expect("utf8"),
+            "--csv",
+            dir.join("grants.csv").to_str().expect("utf8"),
+            "--column",
+            "partner",
+            "--threshold",
+            "0.9",
+        ]))
+        .expect("query");
+        assert!(
+            hits.contains("registry_export.name"),
+            "cross-format join missing:\n{hits}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_index_reported() {
+        let dir = tmp_dir("corrupt");
+        let idx = dir.join("bad.lshe");
+        std::fs::write(&idx, b"garbage").expect("write");
+        std::fs::write(dir.join("q.csv"), "a\n1\n").expect("write");
+        let err = run(&s(&[
+            "query",
+            "--index",
+            idx.to_str().expect("utf8"),
+            "--csv",
+            dir.join("q.csv").to_str().expect("utf8"),
+            "--column",
+            "a",
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Index(_)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_column_reported() {
+        let dir = tmp_dir("missing_col");
+        write_corpus(&dir);
+        let idx = dir.join("t.lshe");
+        run(&s(&[
+            "index",
+            "--dir",
+            dir.to_str().expect("utf8"),
+            "--out",
+            idx.to_str().expect("utf8"),
+            "--min-size",
+            "5",
+        ]))
+        .expect("index");
+        let err = run(&s(&[
+            "query",
+            "--index",
+            idx.to_str().expect("utf8"),
+            "--csv",
+            dir.join("grants.csv").to_str().expect("utf8"),
+            "--column",
+            "nope",
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Query(_)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

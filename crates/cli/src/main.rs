@@ -1,0 +1,12 @@
+//! Thin binary wrapper over the `lshe-cli` library.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match lshe_cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

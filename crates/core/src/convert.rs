@@ -1,0 +1,128 @@
+//! Containment ↔ Jaccard threshold conversion (§5.1 of the paper).
+//!
+//! LSH indexes filter by Jaccard similarity, but domain search specifies a
+//! containment threshold `t*`. For a partition whose domain sizes are
+//! bounded above by `u`, the conservative conversion
+//!
+//! ```text
+//! s* = ŝ_{u,q}(t*) = t* / (u/q + 1 − t*)        (Eq. 7)
+//! ```
+//!
+//! uses the upper bound `u ≥ x`, and because `ŝ_{x,q}(t)` decreases in `x`,
+//! `s* ≤ ŝ_{x,q}(t*)` — filtering at `s*` never introduces a false negative
+//! beyond those of the underlying LSH (the paper's "no new false negatives"
+//! guarantee).
+
+pub use lshe_minhash::{containment_from_jaccard, jaccard_from_containment};
+
+/// The conservative per-partition Jaccard threshold `s* = ŝ_{u,q}(t*)`
+/// (Eq. 7), where `u` is the partition's domain-size upper bound and `q`
+/// the query size.
+///
+/// # Panics
+/// Panics if `q == 0`, `u == 0`, or `t_star` outside `[0, 1]`.
+#[must_use]
+pub fn jaccard_threshold(t_star: f64, u: u64, q: u64) -> f64 {
+    assert!(u > 0, "partition upper bound must be positive");
+    assert!(q > 0, "query size must be positive");
+    assert!(
+        (0.0..=1.0).contains(&t_star),
+        "containment threshold must be in [0, 1]"
+    );
+    jaccard_from_containment(t_star, u as f64, q as f64)
+}
+
+/// The *effective* containment threshold applied to a domain of size `x`
+/// when the partition filters at `s* = ŝ_{u,q}(t*)` (Proposition 1):
+///
+/// ```text
+/// t_x = (x + q)·t* / (u + q)
+/// ```
+///
+/// Domains whose true containment lies in `[t_x, t*)` pass the Jaccard
+/// filter yet fail the containment threshold — the false positives the cost
+/// model of §5.3 counts.
+///
+/// # Panics
+/// Panics on zero sizes or `t_star` outside `[0, 1]`.
+#[must_use]
+pub fn effective_threshold(t_star: f64, x: u64, u: u64, q: u64) -> f64 {
+    assert!(x > 0 && u > 0 && q > 0, "sizes must be positive");
+    assert!(
+        (0.0..=1.0).contains(&t_star),
+        "containment threshold must be in [0, 1]"
+    );
+    (x + q) as f64 * t_star / (u + q) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_eq7_closed_form() {
+        // s* = t* / (u/q + 1 − t*)
+        let s = jaccard_threshold(0.5, 30, 10);
+        assert!((s - 0.5 / (3.0 + 1.0 - 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conservative_never_above_exact() {
+        // s* computed with u must be ≤ ŝ_{x,q}(t*) for every x ≤ u.
+        let (q, u, t) = (10u64, 100u64, 0.7);
+        let s_star = jaccard_threshold(t, u, q);
+        for x in 1..=u {
+            let exact = jaccard_from_containment(t, x as f64, q as f64);
+            assert!(
+                s_star <= exact + 1e-12,
+                "x={x}: s*={s_star} > exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn effective_threshold_matches_prop1() {
+        // t_x = (x+q)t*/(u+q); at x = u it equals t*.
+        let t = effective_threshold(0.5, 100, 100, 10);
+        assert!((t - 0.5).abs() < 1e-12);
+        let t = effective_threshold(0.5, 50, 100, 10);
+        assert!((t - 60.0 * 0.5 / 110.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn effective_threshold_round_trips_through_conversion() {
+        // t_x is defined as t̂_{x,q}(s*) — check the two derivations agree.
+        let (t_star, x, u, q) = (0.6, 40u64, 120u64, 15u64);
+        let s_star = jaccard_threshold(t_star, u, q);
+        let via_conversion = containment_from_jaccard(s_star, x as f64, q as f64);
+        let via_prop1 = effective_threshold(t_star, x, u, q);
+        assert!(
+            (via_conversion - via_prop1).abs() < 1e-12,
+            "{via_conversion} vs {via_prop1}"
+        );
+    }
+
+    #[test]
+    fn effective_threshold_monotone_in_x() {
+        let mut prev = 0.0;
+        for x in [10u64, 20, 40, 80, 100] {
+            let t = effective_threshold(0.8, x, 100, 10);
+            assert!(t >= prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn tighter_upper_bound_raises_jaccard_threshold() {
+        // Partitioning's whole point: smaller u ⇒ larger (sharper) s*.
+        let loose = jaccard_threshold(0.5, 10_000, 10);
+        let tight = jaccard_threshold(0.5, 100, 10);
+        assert!(tight > loose * 10.0, "tight {tight} vs loose {loose}");
+    }
+
+    #[test]
+    #[should_panic(expected = "query size")]
+    fn zero_query_rejected() {
+        let _ = jaccard_threshold(0.5, 10, 0);
+    }
+}

@@ -1,0 +1,147 @@
+//! The false-positive cost model of §5.3 (Propositions 1–2).
+//!
+//! Filtering a partition `[l, u]` at the conservative Jaccard threshold
+//! `s* = ŝ_{u,q}(t*)` admits domains whose containment lies in `[t_x, t*)`.
+//! Assuming containment uniform on `[0, 1]` and sizes uniform within the
+//! partition, the expected number of such false positives is bounded by
+//!
+//! ```text
+//! N^FP_{l,u} ≤ N_{l,u} · (u − l + 1) / (2u)          (Eq. 13 / Eq. 16)
+//! ```
+//!
+//! This bound is what the optimal partitioner equalises across partitions
+//! (Theorem 1) and what Theorem 2 shows is equalised by equi-depth
+//! partitioning under a power law.
+
+use crate::convert::effective_threshold;
+
+/// Probability that a domain of size `x` in partition `[l, u]` is a false
+/// positive under query size `q` and threshold `t_star` (Eq. 11 extended to
+/// the five cases of the Proposition 2 proof).
+///
+/// The containment of `X` is assumed uniform on `[0, min(1, x/q)]`; the
+/// domain is a false positive when its containment falls in
+/// `[t_x, min(t*, x/q))`.
+///
+/// # Panics
+/// Panics on zero sizes, `x > u`, or out-of-range threshold.
+#[must_use]
+pub fn fp_probability(t_star: f64, x: u64, u: u64, q: u64) -> f64 {
+    assert!(x > 0 && u > 0 && q > 0, "sizes must be positive");
+    assert!(x <= u, "domain size must not exceed the partition bound");
+    assert!((0.0..=1.0).contains(&t_star), "threshold must be in [0, 1]");
+    if t_star == 0.0 {
+        return 0.0; // every candidate is a true positive at t* = 0
+    }
+    let tx = effective_threshold(t_star, x, u, q);
+    let max_t = (x as f64 / q as f64).min(1.0); // containment cannot exceed x/q
+                                                // The FP window is [t_x, t*) clipped to the reachable containment range.
+    let window = (t_star.min(max_t) - tx).max(0.0);
+    // Containment uniform on [0, max_t] ⇒ probability = window / max_t,
+    // which at max_t = 1 reduces to the paper's (t* − t_x)/t*·t*  = t*−t_x …
+    // the paper normalises by t* (uniform over [0,1] conditioned on being
+    // below t*); we keep the unconditional form and normalise by max_t.
+    if max_t <= 0.0 {
+        0.0
+    } else {
+        (window / max_t).clamp(0.0, 1.0)
+    }
+}
+
+/// Upper bound on the expected number of false positives in a partition of
+/// `n` domains with size bounds `[l, u]` (Eq. 16):
+/// `M = n · (u − l + 1) / (2u)`.
+///
+/// # Panics
+/// Panics if `l == 0` or `l > u`.
+#[must_use]
+pub fn fp_upper_bound(n: usize, l: u64, u: u64) -> f64 {
+    assert!(l > 0, "lower bound must be positive");
+    assert!(l <= u, "partition range must be non-empty");
+    n as f64 * ((u - l + 1) as f64) / (2.0 * u as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fp_probability_zero_at_partition_top() {
+        // x = u ⇒ t_x = t* ⇒ the FP window vanishes.
+        assert!(fp_probability(0.5, 100, 100, 10) < 1e-12);
+    }
+
+    #[test]
+    fn fp_probability_grows_as_x_shrinks_below_u() {
+        let mut prev = 0.0;
+        for x in [100u64, 80, 60, 40, 20] {
+            let p = fp_probability(0.5, x, 100, 10);
+            assert!(p >= prev, "x={x}: {p} < {prev}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn fp_probability_zero_threshold() {
+        assert_eq!(fp_probability(0.0, 50, 100, 10), 0.0);
+    }
+
+    #[test]
+    fn fp_probability_in_unit_interval() {
+        for t in [0.1, 0.5, 0.9, 1.0] {
+            for &(x, u, q) in &[
+                (1u64, 1000u64, 1u64),
+                (10, 20, 100),
+                (5, 5, 5),
+                (3, 900, 30),
+            ] {
+                let p = fp_probability(t, x, u, q);
+                assert!((0.0..=1.0).contains(&p), "t={t} x={x} u={u} q={q}: {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn fp_probability_case_small_domain_below_effective_threshold() {
+        // Case 3/5 of the proof: when x/q < t_x the window clips to zero.
+        // x = 1, q = 100, u = 1000, t* = 0.9: max_t = 0.01,
+        // t_x = 101·0.9/1100 ≈ 0.083 > max_t ⇒ probability 0.
+        assert_eq!(fp_probability(0.9, 1, 1000, 100), 0.0);
+    }
+
+    #[test]
+    fn eq16_bound_dominates_expected_fp_under_uniform_sizes() {
+        // Monte-Carlo check of Proposition 2: average fp_probability over
+        // sizes uniform in [l, u] must stay below the closed-form bound
+        // when u ≫ q (the tight case the paper analyses).
+        let (l, u, q, t) = (200u64, 1000u64, 5u64, 0.5);
+        let n = 2000usize;
+        let mean: f64 = (0..n)
+            .map(|i| {
+                let x = l + (u - l) * i as u64 / (n as u64 - 1);
+                fp_probability(t, x, u, q)
+            })
+            .sum::<f64>()
+            / n as f64;
+        let bound = fp_upper_bound(n, l, u) / n as f64;
+        assert!(
+            mean <= bound + 1e-9,
+            "mean fp {mean} exceeds per-domain bound {bound}"
+        );
+    }
+
+    #[test]
+    fn fp_upper_bound_shrinks_with_narrower_partitions() {
+        // Eq. 16 at full width [1, u] ≈ n/2; a thin top slice is far less.
+        let wide = fp_upper_bound(1000, 1, 1000);
+        let thin = fp_upper_bound(1000, 900, 1000);
+        assert!(wide > 490.0 && wide < 510.0);
+        assert!(thin < 60.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed")]
+    fn oversized_x_rejected() {
+        let _ = fp_probability(0.5, 101, 100, 10);
+    }
+}

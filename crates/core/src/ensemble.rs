@@ -1,0 +1,651 @@
+//! The LSH Ensemble index (§5): size-partitioned, per-query-tuned dynamic
+//! MinHash LSH for Jaccard-containment search.
+//!
+//! Construction is two-stage, exactly as the paper describes: domains are
+//! partitioned by cardinality (§5.4), then each partition gets its own
+//! dynamic LSH (LSH Forest, §5.5). A query is answered by every partition in
+//! parallel with its own `(b, r)` configuration — chosen by minimising the
+//! FP+FN mass for the partition's upper bound — and the per-partition
+//! candidate sets are unioned (`Partitioned-Containment-Search`, §5.1).
+
+use crate::partition::PartitionStrategy;
+use crate::tuning::Tuner;
+use lshe_lsh::{DomainId, LshForest};
+use lshe_minhash::hash::FastHashSet;
+use lshe_minhash::{MinHasher, Signature};
+
+/// Configuration of an [`LshEnsemble`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnsembleConfig {
+    /// Signature width `m` (Table 3 default: 256).
+    pub num_perm: usize,
+    /// Prefix trees per partition forest (`b_max`). Default 32.
+    pub b_max: usize,
+    /// Prefix depth per tree (`r_max`). Default 8. `b_max · r_max` must not
+    /// exceed `num_perm`.
+    pub r_max: usize,
+    /// Partitioning strategy. Default: 32-way equi-depth (Theorem 2).
+    pub strategy: PartitionStrategy,
+}
+
+impl Default for EnsembleConfig {
+    fn default() -> Self {
+        Self {
+            num_perm: 256,
+            b_max: 32,
+            r_max: 8,
+            strategy: PartitionStrategy::EquiDepth { n: 32 },
+        }
+    }
+}
+
+impl EnsembleConfig {
+    fn validate(&self) {
+        assert!(self.num_perm > 0, "need at least one hash function");
+        assert!(
+            self.b_max > 0 && self.r_max > 0,
+            "forest dims must be positive"
+        );
+        assert!(
+            self.b_max * self.r_max <= self.num_perm,
+            "b_max·r_max = {} exceeds num_perm = {}",
+            self.b_max * self.r_max,
+            self.num_perm
+        );
+    }
+}
+
+/// Staged input for ensemble construction.
+#[derive(Debug, Clone)]
+pub struct LshEnsembleBuilder {
+    config: EnsembleConfig,
+    ids: Vec<DomainId>,
+    sizes: Vec<u64>,
+    signatures: Vec<Signature>,
+}
+
+impl LshEnsembleBuilder {
+    /// Creates a builder with the given configuration.
+    ///
+    /// # Panics
+    /// Panics on inconsistent configuration (zero dims, `b_max·r_max >
+    /// num_perm`).
+    #[must_use]
+    pub fn new(config: EnsembleConfig) -> Self {
+        config.validate();
+        Self {
+            config,
+            ids: Vec::new(),
+            sizes: Vec::new(),
+            signatures: Vec::new(),
+        }
+    }
+
+    /// Stages one domain: its id, exact cardinality, and MinHash signature.
+    ///
+    /// # Panics
+    /// Panics if `size == 0` or the signature width differs from
+    /// `num_perm`.
+    pub fn add(&mut self, id: DomainId, size: u64, signature: Signature) {
+        assert!(size > 0, "domain size must be positive");
+        assert_eq!(
+            signature.len(),
+            self.config.num_perm,
+            "signature width mismatch"
+        );
+        self.ids.push(id);
+        self.sizes.push(size);
+        self.signatures.push(signature);
+    }
+
+    /// Number of staged domains.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True if nothing is staged.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Partitions the staged domains and builds one committed LSH Forest per
+    /// partition, in parallel (one thread per partition).
+    ///
+    /// # Panics
+    /// Panics if the builder is empty.
+    #[must_use]
+    pub fn build(self) -> LshEnsemble {
+        let sig_refs: Vec<&Signature> = self.signatures.iter().collect();
+        LshEnsemble::build_from_parts(self.config, &self.ids, &self.sizes, &sig_refs)
+    }
+}
+
+/// One size class and its dynamic LSH.
+#[derive(Debug)]
+struct EnsemblePartition {
+    lower: u64,
+    upper: u64,
+    forest: LshForest,
+}
+
+/// Summary of one partition, for diagnostics and the experiment harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionStats {
+    /// Smallest member size.
+    pub lower: u64,
+    /// Largest member size (conversion upper bound `u`).
+    pub upper: u64,
+    /// Number of indexed domains.
+    pub count: usize,
+}
+
+/// The LSH Ensemble index.
+#[derive(Debug)]
+pub struct LshEnsemble {
+    config: EnsembleConfig,
+    partitions: Vec<EnsemblePartition>,
+    tuner: Tuner,
+    len: usize,
+}
+
+impl LshEnsemble {
+    /// A builder with the default configuration (m = 256, 32 × 8 forest,
+    /// 32-way equi-depth).
+    #[must_use]
+    pub fn builder() -> LshEnsembleBuilder {
+        LshEnsembleBuilder::new(EnsembleConfig::default())
+    }
+
+    /// A builder with an explicit configuration.
+    #[must_use]
+    pub fn builder_with(config: EnsembleConfig) -> LshEnsembleBuilder {
+        LshEnsembleBuilder::new(config)
+    }
+
+    /// Zero-copy construction from parallel arrays of ids, sizes, and
+    /// *borrowed* signatures. This is the bulk-load path the experiment
+    /// harness uses at corpus scale — signatures stay owned by the caller
+    /// (typically one shared `Vec<Signature>`) and are never cloned.
+    ///
+    /// # Panics
+    /// Panics if the arrays are empty or their lengths differ, on invalid
+    /// configuration, or on zero sizes / width mismatches.
+    #[must_use]
+    pub fn build_from_parts(
+        config: EnsembleConfig,
+        ids: &[DomainId],
+        sizes: &[u64],
+        signatures: &[&Signature],
+    ) -> Self {
+        config.validate();
+        assert!(!ids.is_empty(), "cannot build an empty ensemble");
+        assert!(
+            ids.len() == sizes.len() && ids.len() == signatures.len(),
+            "parallel arrays must have equal lengths"
+        );
+        for (size, sig) in sizes.iter().zip(signatures) {
+            assert!(*size > 0, "domain size must be positive");
+            assert_eq!(sig.len(), config.num_perm, "signature width mismatch");
+        }
+        let partitioning = config.strategy.partition(sizes);
+        let (b_max, r_max) = (config.b_max, config.r_max);
+        let mut shells: Vec<EnsemblePartition> = partitioning
+            .parts()
+            .iter()
+            .map(|p| EnsemblePartition {
+                lower: p.lower,
+                upper: p.upper,
+                forest: LshForest::new(b_max, r_max),
+            })
+            .collect();
+        std::thread::scope(|scope| {
+            for (shell, part) in shells.iter_mut().zip(partitioning.parts()) {
+                scope.spawn(move || {
+                    for &idx in &part.members {
+                        shell
+                            .forest
+                            .insert(ids[idx as usize], signatures[idx as usize]);
+                    }
+                    shell.forest.commit();
+                });
+            }
+        });
+        Self {
+            tuner: Tuner::new(config.b_max as u32, config.r_max as u32),
+            config,
+            partitions: shells,
+            len: ids.len(),
+        }
+    }
+
+    /// Convenience: the matching [`MinHasher`] for this ensemble's
+    /// signature width, using the workspace default seed.
+    #[must_use]
+    pub fn default_hasher(&self) -> MinHasher {
+        MinHasher::new(self.config.num_perm)
+    }
+
+    /// The configuration the ensemble was built with.
+    #[must_use]
+    pub fn config(&self) -> &EnsembleConfig {
+        &self.config
+    }
+
+    /// Number of indexed domains.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the ensemble indexes nothing (cannot occur via `build`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of partitions.
+    #[must_use]
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Per-partition summaries.
+    #[must_use]
+    pub fn partition_stats(&self) -> Vec<PartitionStats> {
+        self.partitions
+            .iter()
+            .map(|p| PartitionStats {
+                lower: p.lower,
+                upper: p.upper,
+                count: p.forest.len(),
+            })
+            .collect()
+    }
+
+    /// Approximate heap memory of all forests, in bytes.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        self.partitions
+            .iter()
+            .map(|p| p.forest.memory_bytes())
+            .sum()
+    }
+
+    /// Containment search (Algorithm 1 + `Partitioned-Containment-Search`):
+    /// returns ids of candidate domains `X` with `t(Q, X) ⪆ t_star`, the
+    /// query size being estimated from the signature (`approx(|Q|)`, §5.1).
+    #[must_use]
+    pub fn query(&self, signature: &Signature, t_star: f64) -> Vec<DomainId> {
+        let q = signature.cardinality().round().max(1.0) as u64;
+        self.query_with_size(signature, q, t_star)
+    }
+
+    /// Containment search with a caller-supplied exact query size.
+    ///
+    /// Partitions are consulted sequentially; see
+    /// [`query_parallel`](Self::query_parallel) for the threaded variant the
+    /// paper's deployment uses.
+    ///
+    /// # Panics
+    /// Panics if `query_size == 0`, the threshold is out of range, or the
+    /// signature width differs from the configuration.
+    #[must_use]
+    pub fn query_with_size(
+        &self,
+        signature: &Signature,
+        query_size: u64,
+        t_star: f64,
+    ) -> Vec<DomainId> {
+        self.check_query(signature, query_size, t_star);
+        let mut out = FastHashSet::default();
+        let mut buf = Vec::new();
+        for p in &self.partitions {
+            self.query_partition(p, signature, query_size, t_star, &mut buf);
+        }
+        out.extend(buf.iter().copied());
+        let mut v: Vec<DomainId> = out.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Containment search with one thread per partition; results are
+    /// unioned. Semantically identical to
+    /// [`query_with_size`](Self::query_with_size).
+    ///
+    /// # Panics
+    /// As [`query_with_size`](Self::query_with_size).
+    #[must_use]
+    pub fn query_parallel(
+        &self,
+        signature: &Signature,
+        query_size: u64,
+        t_star: f64,
+    ) -> Vec<DomainId> {
+        self.check_query(signature, query_size, t_star);
+        let buffers: Vec<Vec<DomainId>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .partitions
+                .iter()
+                .map(|p| {
+                    scope.spawn(move || {
+                        let mut buf = Vec::new();
+                        self.query_partition(p, signature, query_size, t_star, &mut buf);
+                        buf
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("partition query panicked"))
+                .collect()
+        });
+        let mut out = FastHashSet::default();
+        for b in buffers {
+            out.extend(b);
+        }
+        let mut v: Vec<DomainId> = out.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn check_query(&self, signature: &Signature, query_size: u64, t_star: f64) {
+        assert!(query_size > 0, "query size must be positive");
+        assert!(
+            (0.0..=1.0).contains(&t_star),
+            "containment threshold must be in [0, 1]"
+        );
+        assert_eq!(
+            signature.len(),
+            self.config.num_perm,
+            "signature width mismatch"
+        );
+    }
+
+    fn query_partition(
+        &self,
+        p: &EnsemblePartition,
+        signature: &Signature,
+        query_size: u64,
+        t_star: f64,
+        out: &mut Vec<DomainId>,
+    ) {
+        // A domain's containment cannot exceed x/q ≤ upper/q: partitions
+        // that cannot reach the threshold are skipped outright.
+        if (p.upper as f64) < t_star * query_size as f64 {
+            return;
+        }
+        let params = self.tuner.optimize(p.upper, query_size, t_star);
+        p.forest
+            .query_into(signature, params.b as usize, params.r as usize, out);
+    }
+
+    /// Inserts a new domain after construction (§6.2 dynamic data): the
+    /// domain is routed to the partition covering its size — growing the
+    /// boundary partitions when the size falls outside every range, which
+    /// keeps threshold conversion conservative (`u` only ever grows).
+    ///
+    /// The insert is immediately queryable; call [`commit`](Self::commit)
+    /// periodically to fold staged inserts into the sorted runs.
+    ///
+    /// # Panics
+    /// Panics if `size == 0` or the signature width differs from the
+    /// configuration.
+    pub fn insert(&mut self, id: DomainId, size: u64, signature: &Signature) {
+        assert!(size > 0, "domain size must be positive");
+        assert_eq!(
+            signature.len(),
+            self.config.num_perm,
+            "signature width mismatch"
+        );
+        let idx = self
+            .partitions
+            .iter()
+            .position(|p| size <= p.upper)
+            .unwrap_or(self.partitions.len() - 1);
+        let p = &mut self.partitions[idx];
+        p.upper = p.upper.max(size);
+        p.lower = p.lower.min(size);
+        p.forest.insert(id, signature);
+        self.len += 1;
+    }
+
+    /// Folds staged inserts into the sorted runs of every partition.
+    pub fn commit(&mut self) {
+        for p in &mut self.partitions {
+            p.forest.commit();
+        }
+    }
+
+    /// Partition internals for persistence: (lower, upper, forest).
+    pub(crate) fn raw_partitions(&self) -> Vec<(u64, u64, &LshForest)> {
+        self.partitions
+            .iter()
+            .map(|p| (p.lower, p.upper, &p.forest))
+            .collect()
+    }
+
+    /// Rebuilds an ensemble from persisted partitions. The decoder is
+    /// responsible for structural validation.
+    pub(crate) fn from_raw_partitions(
+        config: EnsembleConfig,
+        partitions: Vec<(u64, u64, LshForest)>,
+        len: usize,
+    ) -> Self {
+        Self {
+            tuner: Tuner::new(config.b_max as u32, config.r_max as u32),
+            config,
+            partitions: partitions
+                .into_iter()
+                .map(|(lower, upper, forest)| EnsemblePartition {
+                    lower,
+                    upper,
+                    forest,
+                })
+                .collect(),
+            len,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lshe_minhash::MinHasher;
+
+    /// Builds a small corpus of nested domains: domain k holds the first
+    /// 10·(k+1) values of a shared pool, so containment relations are known
+    /// exactly.
+    #[allow(clippy::type_complexity)]
+    fn nested_corpus(m: usize, n: usize) -> (MinHasher, Vec<(DomainId, u64, Signature, Vec<u64>)>) {
+        let h = MinHasher::new(m);
+        let pool = MinHasher::synthetic_values(42, 10 * n);
+        let mut out = Vec::new();
+        for k in 0..n {
+            let vals: Vec<u64> = pool[..10 * (k + 1)].to_vec();
+            let sig = h.signature(vals.iter().copied());
+            out.push((k as DomainId, vals.len() as u64, sig, vals));
+        }
+        (h, out)
+    }
+
+    fn build_default(
+        entries: &[(DomainId, u64, Signature, Vec<u64>)],
+        n_parts: usize,
+    ) -> LshEnsemble {
+        let mut b = LshEnsemble::builder_with(EnsembleConfig {
+            strategy: PartitionStrategy::EquiDepth { n: n_parts },
+            ..EnsembleConfig::default()
+        });
+        for (id, size, sig, _) in entries {
+            b.add(*id, *size, sig.clone());
+        }
+        b.build()
+    }
+
+    #[test]
+    fn finds_perfect_containers() {
+        let (h, entries) = nested_corpus(256, 30);
+        let ens = build_default(&entries, 8);
+        // Query = domain 4 (50 values); every domain k ≥ 4 contains it
+        // fully. LSH recall is probabilistic and — as the paper's own
+        // small-query experiment (Figure 7) shows — degrades for domains
+        // far larger than the query, where the reachable Jaccard range
+        // compresses toward zero. Require the self-match plus a majority of
+        // the size-comparable containers (x/q ≤ 3).
+        let (_, size, sig, _) = &entries[4];
+        let got = ens.query_with_size(sig, *size, 0.5);
+        assert!(got.contains(&4), "exact self-match must always be found");
+        let comparable: Vec<u32> = (4..15u32).collect(); // sizes 50..150
+        let found = comparable.iter().filter(|k| got.contains(k)).count();
+        assert!(
+            found * 10 >= comparable.len() * 6,
+            "only {found}/{} comparable containers found: {got:?}",
+            comparable.len()
+        );
+        let _ = h;
+    }
+
+    #[test]
+    fn respects_threshold_lower_bound() {
+        let (_, entries) = nested_corpus(256, 30);
+        let ens = build_default(&entries, 8);
+        // Query = domain 19 (200 values). Domain 4 (50 values) has
+        // containment 50/200 = 0.25 < 0.9 — mostly filtered out; and at
+        // t* = 0.2 it must be found.
+        let (_, size, sig, _) = &entries[19];
+        let low = ens.query_with_size(sig, *size, 0.2);
+        assert!(low.contains(&4), "t(Q, X4) = 0.25 ≥ 0.2 should match");
+        let high = ens.query_with_size(sig, *size, 0.9);
+        // High threshold keeps the perfect containers.
+        for k in 19..30u32 {
+            assert!(high.contains(&k));
+        }
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let (_, entries) = nested_corpus(256, 40);
+        let ens = build_default(&entries, 8);
+        for k in [0usize, 7, 20, 39] {
+            let (_, size, sig, _) = &entries[k];
+            for t in [0.1, 0.5, 0.9] {
+                assert_eq!(
+                    ens.query_with_size(sig, *size, t),
+                    ens.query_parallel(sig, *size, t),
+                    "k={k} t={t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn estimated_query_size_close_to_exact() {
+        let (_, entries) = nested_corpus(256, 30);
+        let ens = build_default(&entries, 8);
+        let (_, size, sig, _) = &entries[10];
+        let est = ens.query(sig, 0.8);
+        let exact = ens.query_with_size(sig, *size, 0.8);
+        // The cardinality estimate is within a few % of the truth; the
+        // candidate sets should agree on the vast majority of ids.
+        let inter = est.iter().filter(|id| exact.contains(id)).count();
+        assert!(
+            inter * 10 >= exact.len() * 8,
+            "est {est:?} vs exact {exact:?}"
+        );
+    }
+
+    #[test]
+    fn partition_skipping_drops_unreachable_partitions() {
+        let (_, entries) = nested_corpus(256, 30);
+        let ens = build_default(&entries, 8);
+        // A query larger than every indexed domain at t* = 1.0 can have no
+        // answers (x/q < 1 everywhere).
+        let h = MinHasher::new(256);
+        let big: Vec<u64> = MinHasher::synthetic_values(7, 1000);
+        let sig = h.signature(big.iter().copied());
+        let got = ens.query_with_size(&sig, 1000, 1.0);
+        assert!(got.is_empty(), "got {got:?}");
+    }
+
+    #[test]
+    fn insert_after_build_is_found() {
+        let (h, entries) = nested_corpus(256, 20);
+        let mut ens = build_default(&entries, 4);
+        let vals = MinHasher::synthetic_values(99, 64);
+        let sig = h.signature(vals.iter().copied());
+        ens.insert(1000, 64, &sig);
+        assert_eq!(ens.len(), 21);
+        let got = ens.query_with_size(&sig, 64, 0.9);
+        assert!(got.contains(&1000));
+        ens.commit();
+        let got = ens.query_with_size(&sig, 64, 0.9);
+        assert!(got.contains(&1000));
+    }
+
+    #[test]
+    fn insert_oversized_grows_last_partition() {
+        let (h, entries) = nested_corpus(256, 20);
+        let mut ens = build_default(&entries, 4);
+        let old_max = ens.partition_stats().last().expect("parts").upper;
+        let vals = MinHasher::synthetic_values(5, 4000);
+        let sig = h.signature(vals.iter().copied());
+        ens.insert(2000, 4000, &sig);
+        let new_max = ens.partition_stats().last().expect("parts").upper;
+        assert!(new_max > old_max);
+        assert_eq!(new_max, 4000);
+        assert!(ens.query_with_size(&sig, 4000, 0.9).contains(&2000));
+    }
+
+    #[test]
+    fn partition_stats_cover_corpus() {
+        let (_, entries) = nested_corpus(256, 32);
+        let ens = build_default(&entries, 8);
+        let stats = ens.partition_stats();
+        assert_eq!(stats.len(), 8);
+        let total: usize = stats.iter().map(|s| s.count).sum();
+        assert_eq!(total, 32);
+        for w in stats.windows(2) {
+            assert!(w[0].upper <= w[1].lower);
+        }
+    }
+
+    #[test]
+    fn more_partitions_no_worse_recall_on_perfect_matches() {
+        let (_, entries) = nested_corpus(256, 64);
+        let e8 = build_default(&entries, 8);
+        let e32 = build_default(&entries, 32);
+        let (_, size, sig, _) = &entries[10];
+        let r8 = e8.query_with_size(sig, *size, 1.0);
+        let r32 = e32.query_with_size(sig, *size, 1.0);
+        // Both must find the query's own id.
+        assert!(r8.contains(&10));
+        assert!(r32.contains(&10));
+    }
+
+    #[test]
+    #[should_panic(expected = "b_max·r_max")]
+    fn invalid_config_rejected() {
+        let _ = LshEnsemble::builder_with(EnsembleConfig {
+            num_perm: 16,
+            b_max: 8,
+            r_max: 8,
+            strategy: PartitionStrategy::Single,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot build an empty ensemble")]
+    fn empty_build_rejected() {
+        let _ = LshEnsemble::builder().build();
+    }
+
+    #[test]
+    #[should_panic(expected = "signature width mismatch")]
+    fn wrong_width_rejected() {
+        let h = MinHasher::new(64);
+        let mut b = LshEnsemble::builder();
+        b.add(1, 10, h.signature([1u64, 2]));
+    }
+}

@@ -1,0 +1,82 @@
+//! # lshe-core — LSH Ensemble
+//!
+//! A from-scratch Rust implementation of **LSH Ensemble** (Zhu, Nargesian,
+//! Pu & Miller, *LSH Ensemble: Internet-Scale Domain Search*, VLDB 2016):
+//! an index for *domain search* — given a query set `Q` and a containment
+//! threshold `t*`, find all indexed sets `X` with
+//! `t(Q, X) = |Q ∩ X| / |Q| ≥ t*`.
+//!
+//! ## How it works (paper §5)
+//!
+//! 1. **Partition by cardinality** ([`partition`]): domains are grouped into
+//!    size classes; equi-depth partitioning approximates the optimal
+//!    (equal-false-positive) partitioning under the power-law size
+//!    distributions real web corpora exhibit (Theorems 1–2).
+//! 2. **Convert the threshold** ([`convert`]): each partition turns `t*`
+//!    into a conservative Jaccard threshold through its size upper bound
+//!    `u` — `s* = t*/(u/q + 1 − t*)` — which never introduces new false
+//!    negatives (Eq. 7).
+//! 3. **Tune and query a dynamic LSH** ([`tuning`], [`ensemble`]): each
+//!    partition holds an LSH Forest queried at per-query parameters
+//!    `(b, r)` minimising the false-positive + false-negative probability
+//!    mass (Eq. 22–26). Results from all partitions are unioned.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use lshe_core::{LshEnsemble, EnsembleConfig, PartitionStrategy};
+//! use lshe_minhash::MinHasher;
+//!
+//! let hasher = MinHasher::new(256);
+//! let mut builder = LshEnsemble::builder_with(EnsembleConfig {
+//!     strategy: PartitionStrategy::EquiDepth { n: 4 },
+//!     ..EnsembleConfig::default()
+//! });
+//!
+//! // Index three domains (id, exact size, MinHash signature).
+//! let pool = MinHasher::synthetic_values(1, 300);
+//! for (id, n) in [(0u32, 100usize), (1, 200), (2, 300)] {
+//!     let sig = hasher.signature(pool[..n].iter().copied());
+//!     builder.add(id, n as u64, sig);
+//! }
+//! let index = builder.build();
+//!
+//! // Search: which domains contain ≥ 50% of the first 100 pool values?
+//! // All three contain the query fully; LSH recall is probabilistic, but
+//! // the exact self-match is always found.
+//! let query = hasher.signature(pool[..100].iter().copied());
+//! let hits = index.query_with_size(&query, 100, 0.5);
+//! assert!(hits.contains(&0));
+//! ```
+//!
+//! ## Baselines and deployment
+//!
+//! * [`baselines`] — the paper's comparison points under identical rules:
+//!   single-partition MinHash LSH and Asymmetric Minwise Hashing (global
+//!   and per-partition padding).
+//! * [`sharded`] — the in-process equivalent of the paper's 5-node cluster:
+//!   independent ensembles queried in parallel, answers unioned.
+//! * [`cost`] — the false-positive cost model (Propositions 1–2) that backs
+//!   the optimal partitioner.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod baselines;
+pub mod convert;
+pub mod cost;
+pub mod ensemble;
+pub mod partition;
+pub mod persist;
+pub mod ranked;
+pub mod sharded;
+pub mod tuning;
+
+pub use baselines::{
+    baseline_minhash_lsh, AsymIndex, AsymIndexBuilder, AsymPartitionedIndex, ContainmentSearch,
+};
+pub use ensemble::{EnsembleConfig, LshEnsemble, LshEnsembleBuilder, PartitionStats};
+pub use partition::{Partition, PartitionStrategy, Partitioning};
+pub use ranked::{RankedHit, RankedIndex, RankedIndexBuilder};
+pub use sharded::{ShardedEnsemble, ShardedEnsembleBuilder};
+pub use tuning::{TunedParams, Tuner};

@@ -1,0 +1,316 @@
+//! Binary persistence for the [`LshEnsemble`]: build once, serve from disk.
+//!
+//! Format (little-endian, primitives from `lshe_minhash::codec`):
+//!
+//! ```text
+//! "LSHE" version:u8
+//! num_perm:u32 b_max:u32 r_max:u32 strategy_tag:u8 strategy_args…
+//! len:u64 partition_count:u64
+//! per partition: lower:u64 upper:u64 forest_len:u64 forest_bytes
+//! ```
+//!
+//! The tuner's memo table is deliberately *not* persisted — it is a cache,
+//! rebuilt lazily, and excluding it keeps the byte form canonical.
+
+use crate::ensemble::{EnsembleConfig, LshEnsemble};
+use crate::partition::PartitionStrategy;
+use lshe_lsh::LshForest;
+use lshe_minhash::codec::{CodecError, Decoder, Encoder};
+
+/// Envelope tag for ensemble payloads.
+pub const MAGIC: [u8; 4] = *b"LSHE";
+/// Current format version.
+pub const VERSION: u8 = 1;
+
+fn encode_strategy(enc: &mut Encoder, strategy: PartitionStrategy) {
+    match strategy {
+        PartitionStrategy::Single => enc.put_u8(0),
+        PartitionStrategy::EquiDepth { n } => {
+            enc.put_u8(1);
+            enc.put_u64(n as u64);
+        }
+        PartitionStrategy::EquiWidth { n } => {
+            enc.put_u8(2);
+            enc.put_u64(n as u64);
+        }
+        PartitionStrategy::Morph { n, lambda } => {
+            enc.put_u8(3);
+            enc.put_u64(n as u64);
+            enc.put_f64(lambda);
+        }
+        PartitionStrategy::EquiFp { n } => {
+            enc.put_u8(4);
+            enc.put_u64(n as u64);
+        }
+    }
+}
+
+fn decode_strategy(dec: &mut Decoder<'_>) -> Result<PartitionStrategy, CodecError> {
+    let tag = dec.get_u8("strategy tag")?;
+    Ok(match tag {
+        0 => PartitionStrategy::Single,
+        1 => PartitionStrategy::EquiDepth {
+            n: dec.get_u64("strategy n")? as usize,
+        },
+        2 => PartitionStrategy::EquiWidth {
+            n: dec.get_u64("strategy n")? as usize,
+        },
+        3 => PartitionStrategy::Morph {
+            n: dec.get_u64("strategy n")? as usize,
+            lambda: dec.get_f64("strategy lambda")?,
+        },
+        4 => PartitionStrategy::EquiFp {
+            n: dec.get_u64("strategy n")? as usize,
+        },
+        _ => return Err(CodecError::Corrupt("unknown strategy tag")),
+    })
+}
+
+impl LshEnsemble {
+    /// Serialises the ensemble. Staged inserts are committed first (the
+    /// byte form is always the canonical committed state).
+    #[must_use]
+    pub fn to_bytes(&mut self) -> Vec<u8> {
+        self.commit();
+        self.to_bytes_committed()
+    }
+
+    /// Serialises a *committed* ensemble from a shared reference.
+    ///
+    /// # Panics
+    /// Panics (via the forest serialiser) if staged inserts exist — call
+    /// [`commit`](Self::commit) or use [`to_bytes`](Self::to_bytes).
+    #[must_use]
+    pub fn to_bytes_committed(&self) -> Vec<u8> {
+        let config = *self.config();
+        let mut enc = Encoder::with_capacity(64 + self.memory_bytes());
+        enc.envelope(MAGIC, VERSION);
+        enc.put_u32(config.num_perm as u32);
+        enc.put_u32(config.b_max as u32);
+        enc.put_u32(config.r_max as u32);
+        encode_strategy(&mut enc, config.strategy);
+        enc.put_u64(self.len() as u64);
+        let parts = self.raw_partitions();
+        enc.put_u64(parts.len() as u64);
+        for (lower, upper, forest) in parts {
+            enc.put_u64(lower);
+            enc.put_u64(upper);
+            let fb = forest.to_bytes();
+            enc.put_u64(fb.len() as u64);
+            // Raw append: the forest bytes are themselves an envelope.
+            for b in fb {
+                enc.put_u8(b);
+            }
+        }
+        enc.finish()
+    }
+
+    /// Deserialises an ensemble.
+    ///
+    /// # Errors
+    /// [`CodecError`] on truncation, tag/version mismatch, or structural
+    /// inconsistencies.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut dec = Decoder::new(bytes);
+        let version = dec.envelope(MAGIC)?;
+        if version > VERSION {
+            return Err(CodecError::UnsupportedVersion {
+                found: version,
+                supported: VERSION,
+            });
+        }
+        let num_perm = dec.get_u32("num_perm")? as usize;
+        let b_max = dec.get_u32("b_max")? as usize;
+        let r_max = dec.get_u32("r_max")? as usize;
+        let strategy = decode_strategy(&mut dec)?;
+        let len = dec.get_u64("len")? as usize;
+        let part_count = dec.get_u64("partition count")? as usize;
+        if num_perm == 0 || b_max == 0 || r_max == 0 || b_max * r_max > num_perm {
+            return Err(CodecError::Corrupt("inconsistent configuration"));
+        }
+        let mut partitions = Vec::with_capacity(part_count);
+        let mut total = 0usize;
+        for _ in 0..part_count {
+            let lower = dec.get_u64("partition lower")?;
+            let upper = dec.get_u64("partition upper")?;
+            if lower > upper {
+                return Err(CodecError::Corrupt("inverted partition bounds"));
+            }
+            let fb_len = dec.get_u64("forest byte length")? as usize;
+            if fb_len > dec.remaining() {
+                return Err(CodecError::Corrupt("forest payload exceeds input"));
+            }
+            let mut fb = Vec::with_capacity(fb_len);
+            for _ in 0..fb_len {
+                fb.push(dec.get_u8("forest bytes")?);
+            }
+            let forest = LshForest::from_bytes(&fb)?;
+            if forest.b_max() != b_max || forest.r_max() != r_max {
+                return Err(CodecError::Corrupt("forest dims disagree with config"));
+            }
+            total += forest.len();
+            partitions.push((lower, upper, forest));
+        }
+        if total != len {
+            return Err(CodecError::Corrupt("partition sizes do not sum to len"));
+        }
+        if !dec.is_exhausted() {
+            return Err(CodecError::Corrupt("trailing bytes after ensemble"));
+        }
+        Ok(Self::from_raw_partitions(
+            EnsembleConfig {
+                num_perm,
+                b_max,
+                r_max,
+                strategy,
+            },
+            partitions,
+            len,
+        ))
+    }
+
+    /// Writes the serialised ensemble to a file.
+    ///
+    /// # Errors
+    /// Propagates I/O errors.
+    pub fn save_to(&mut self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_bytes())
+    }
+
+    /// Reads an ensemble from a file written by [`save_to`](Self::save_to).
+    ///
+    /// # Errors
+    /// I/O errors, or [`CodecError`] (wrapped as `InvalidData`) on corrupt
+    /// content.
+    pub fn load_from(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let bytes = std::fs::read(path)?;
+        Self::from_bytes(&bytes)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lshe_minhash::{MinHasher, Signature};
+
+    fn sample_ensemble(n: usize) -> (MinHasher, LshEnsemble, Vec<(u32, u64, Signature)>) {
+        let h = MinHasher::new(256);
+        let pool = MinHasher::synthetic_values(77, 20 * n);
+        let mut builder = LshEnsemble::builder_with(EnsembleConfig {
+            strategy: PartitionStrategy::EquiDepth { n: 4 },
+            ..EnsembleConfig::default()
+        });
+        let mut entries = Vec::new();
+        for k in 0..n {
+            let vals: Vec<u64> = pool[..20 * (k + 1)].to_vec();
+            let sig = h.signature(vals.iter().copied());
+            builder.add(k as u32, vals.len() as u64, sig.clone());
+            entries.push((k as u32, vals.len() as u64, sig));
+        }
+        (h, builder.build(), entries)
+    }
+
+    #[test]
+    fn roundtrip_preserves_queries() {
+        let (_, mut ens, entries) = sample_ensemble(40);
+        let bytes = ens.to_bytes();
+        let restored = LshEnsemble::from_bytes(&bytes).expect("decode");
+        assert_eq!(restored.len(), ens.len());
+        assert_eq!(restored.num_partitions(), ens.num_partitions());
+        assert_eq!(restored.config(), ens.config());
+        for (_, size, sig) in entries.iter().step_by(7) {
+            for t in [0.2, 0.6, 1.0] {
+                assert_eq!(
+                    ens.query_with_size(sig, *size, t),
+                    restored.query_with_size(sig, *size, t),
+                    "t = {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_byte_identical() {
+        let (_, mut ens, _) = sample_ensemble(20);
+        let bytes = ens.to_bytes();
+        let mut restored = LshEnsemble::from_bytes(&bytes).expect("decode");
+        assert_eq!(restored.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn to_bytes_commits_staged_inserts() {
+        let (h, mut ens, _) = sample_ensemble(20);
+        let vals = MinHasher::synthetic_values(5_000, 64);
+        let sig = h.signature(vals.iter().copied());
+        ens.insert(9_999, 64, &sig);
+        let bytes = ens.to_bytes(); // must not panic; commits internally
+        let restored = LshEnsemble::from_bytes(&bytes).expect("decode");
+        assert!(restored.query_with_size(&sig, 64, 0.9).contains(&9_999));
+    }
+
+    #[test]
+    fn save_load_file_roundtrip() {
+        let (_, mut ens, entries) = sample_ensemble(15);
+        let path = std::env::temp_dir().join("lshe_persist_test.idx");
+        ens.save_to(&path).expect("write");
+        let restored = LshEnsemble::load_from(&path).expect("read");
+        let (_, size, sig) = &entries[3];
+        assert_eq!(
+            ens.query_with_size(sig, *size, 0.5),
+            restored.query_with_size(sig, *size, 0.5)
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_file_is_invalid_data() {
+        let path = std::env::temp_dir().join("lshe_persist_corrupt.idx");
+        std::fs::write(&path, b"not an index").expect("write");
+        let err = LshEnsemble::load_from(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let (_, mut ens, _) = sample_ensemble(10);
+        let bytes = ens.to_bytes();
+        for cut in [0usize, 4, 10, 30, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                LshEnsemble::from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn strategy_roundtrips_all_variants() {
+        for strategy in [
+            PartitionStrategy::Single,
+            PartitionStrategy::EquiDepth { n: 9 },
+            PartitionStrategy::EquiWidth { n: 3 },
+            PartitionStrategy::Morph { n: 5, lambda: 0.37 },
+            PartitionStrategy::EquiFp { n: 7 },
+        ] {
+            let mut enc = Encoder::default();
+            encode_strategy(&mut enc, strategy);
+            let bytes = enc.finish();
+            let mut dec = Decoder::new(&bytes);
+            assert_eq!(decode_strategy(&mut dec).expect("decode"), strategy);
+        }
+    }
+
+    #[test]
+    fn len_mismatch_rejected() {
+        let (_, mut ens, _) = sample_ensemble(10);
+        let mut bytes = ens.to_bytes();
+        // len sits after the envelope (5) + three u32 (12) + strategy
+        // (tag 1 + u64 8) = offset 26; bump it.
+        bytes[26] ^= 1;
+        assert!(matches!(
+            LshEnsemble::from_bytes(&bytes).unwrap_err(),
+            CodecError::Corrupt(_)
+        ));
+    }
+}

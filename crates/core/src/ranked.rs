@@ -1,0 +1,353 @@
+//! Ranked and top-k containment search.
+//!
+//! §2 of the paper notes that the threshold and top-k formulations of
+//! domain search are "closely related and complementary": thresholds suit
+//! join discovery, but exploratory users often want *the k best domains*
+//! regardless of score. [`RankedIndex`] layers both over the ensemble by
+//! retaining each domain's signature and cardinality, which lets it
+//!
+//! * rank candidates by their **estimated containment**
+//!   (`t̂ = (x/q + 1)·ŝ/(1 + ŝ)`, Eq. 6) instead of returning an unordered
+//!   candidate set, and
+//! * answer top-k queries by descending through thresholds until enough
+//!   candidates accumulate — reusing the tuned threshold machinery instead
+//!   of scanning the corpus.
+//!
+//! The cost is one retained signature per domain (`8·m` bytes); use the
+//! plain [`LshEnsemble`] when memory is tighter than ranking is valuable.
+
+use crate::ensemble::{EnsembleConfig, LshEnsemble, LshEnsembleBuilder};
+use lshe_lsh::DomainId;
+use lshe_minhash::hash::FastHashMap;
+use lshe_minhash::{containment_from_jaccard, Signature};
+
+/// A containment-search index that can rank its answers.
+#[derive(Debug)]
+pub struct RankedIndex {
+    ensemble: LshEnsemble,
+    /// id → (cardinality, signature); retained for estimation.
+    sketches: FastHashMap<DomainId, (u64, Signature)>,
+}
+
+/// Builder for [`RankedIndex`].
+#[derive(Debug)]
+pub struct RankedIndexBuilder {
+    inner: LshEnsembleBuilder,
+    sketches: FastHashMap<DomainId, (u64, Signature)>,
+}
+
+impl RankedIndexBuilder {
+    /// Creates a builder with the given ensemble configuration.
+    #[must_use]
+    pub fn new(config: EnsembleConfig) -> Self {
+        Self {
+            inner: LshEnsembleBuilder::new(config),
+            sketches: FastHashMap::default(),
+        }
+    }
+
+    /// Stages a domain.
+    ///
+    /// # Panics
+    /// Panics on zero size, width mismatch, or a duplicate id (ranking
+    /// requires ids to be unique).
+    pub fn add(&mut self, id: DomainId, size: u64, signature: Signature) {
+        let prev = self.sketches.insert(id, (size, signature.clone()));
+        assert!(prev.is_none(), "duplicate domain id {id}");
+        self.inner.add(id, size, signature);
+    }
+
+    /// Number of staged domains.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sketches.len()
+    }
+
+    /// True if nothing is staged.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sketches.is_empty()
+    }
+
+    /// Builds the index.
+    ///
+    /// # Panics
+    /// Panics if the builder is empty.
+    #[must_use]
+    pub fn build(self) -> RankedIndex {
+        RankedIndex {
+            ensemble: self.inner.build(),
+            sketches: self.sketches,
+        }
+    }
+}
+
+/// One ranked answer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankedHit {
+    /// The candidate domain.
+    pub id: DomainId,
+    /// Estimated containment `t̂(Q, X)` from the retained sketches.
+    pub estimated_containment: f64,
+}
+
+impl RankedIndex {
+    /// A builder with the default configuration.
+    #[must_use]
+    pub fn builder() -> RankedIndexBuilder {
+        RankedIndexBuilder::new(EnsembleConfig::default())
+    }
+
+    /// A builder with an explicit configuration.
+    #[must_use]
+    pub fn builder_with(config: EnsembleConfig) -> RankedIndexBuilder {
+        RankedIndexBuilder::new(config)
+    }
+
+    /// Number of indexed domains.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sketches.len()
+    }
+
+    /// True if nothing is indexed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sketches.is_empty()
+    }
+
+    /// The underlying ensemble (for stats and unranked queries).
+    #[must_use]
+    pub fn ensemble(&self) -> &LshEnsemble {
+        &self.ensemble
+    }
+
+    /// The retained (cardinality, signature) sketch of a domain, if indexed.
+    #[must_use]
+    pub fn sketch(&self, id: DomainId) -> Option<(u64, &Signature)> {
+        self.sketches.get(&id).map(|(size, sig)| (*size, sig))
+    }
+
+    fn rank(&self, candidates: Vec<DomainId>, signature: &Signature, q: u64) -> Vec<RankedHit> {
+        let mut hits: Vec<RankedHit> = candidates
+            .into_iter()
+            .map(|id| {
+                let (x, sig) = &self.sketches[&id];
+                let s = signature.jaccard(sig);
+                RankedHit {
+                    id,
+                    estimated_containment: containment_from_jaccard(s, *x as f64, q as f64),
+                }
+            })
+            .collect();
+        hits.sort_by(|a, b| {
+            b.estimated_containment
+                .partial_cmp(&a.estimated_containment)
+                .expect("no NaN")
+                .then(a.id.cmp(&b.id))
+        });
+        hits
+    }
+
+    /// Threshold search with ranked output: candidates at `t_star`, sorted
+    /// by estimated containment (descending), with candidates whose
+    /// *estimate* falls below `t_star − slack` pruned. A small slack keeps
+    /// borderline true positives (estimates are noisy at ±1/√m).
+    ///
+    /// # Panics
+    /// As [`LshEnsemble::query_with_size`].
+    #[must_use]
+    pub fn query_ranked(
+        &self,
+        signature: &Signature,
+        query_size: u64,
+        t_star: f64,
+        slack: f64,
+    ) -> Vec<RankedHit> {
+        let raw = self.ensemble.query_with_size(signature, query_size, t_star);
+        let mut hits = self.rank(raw, signature, query_size);
+        hits.retain(|h| h.estimated_containment >= t_star - slack);
+        hits
+    }
+
+    /// Top-k search: descends through containment thresholds
+    /// (1.0, 0.9, …, 0.1, 0.0) until at least `k` distinct candidates have
+    /// been collected, then returns the best `k` by estimated containment.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`, plus the usual query validation.
+    #[must_use]
+    pub fn query_top_k(&self, signature: &Signature, query_size: u64, k: usize) -> Vec<RankedHit> {
+        assert!(k > 0, "k must be positive");
+        let mut seen: Vec<DomainId> = Vec::new();
+        for step in (0..=10).rev() {
+            let t = f64::from(step) / 10.0;
+            let cands = self.ensemble.query_with_size(signature, query_size, t);
+            // query results are sorted; merge-dedup against `seen`.
+            seen = merge_unique(&seen, &cands);
+            if seen.len() >= k && step > 0 {
+                break;
+            }
+            if step == 0 {
+                break;
+            }
+        }
+        let mut hits = self.rank(seen, signature, query_size);
+        hits.truncate(k);
+        hits
+    }
+}
+
+/// Merges two sorted unique id lists into one sorted unique list.
+fn merge_unique(a: &[DomainId], b: &[DomainId]) -> Vec<DomainId> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::PartitionStrategy;
+    use lshe_minhash::MinHasher;
+
+    /// Nested pool corpus: domain k holds the first 30·(k+1) pool values.
+    fn index(n: usize) -> (MinHasher, RankedIndex, Vec<Vec<u64>>) {
+        let h = MinHasher::new(256);
+        let pool = MinHasher::synthetic_values(3, 30 * n);
+        let mut b = RankedIndex::builder_with(EnsembleConfig {
+            strategy: PartitionStrategy::EquiDepth { n: 4 },
+            ..EnsembleConfig::default()
+        });
+        let mut values = Vec::new();
+        for k in 0..n {
+            let vals: Vec<u64> = pool[..30 * (k + 1)].to_vec();
+            b.add(
+                k as u32,
+                vals.len() as u64,
+                h.signature(vals.iter().copied()),
+            );
+            values.push(vals);
+        }
+        (h, b.build(), values)
+    }
+
+    #[test]
+    fn ranked_output_is_descending() {
+        let (h, idx, values) = index(20);
+        let q = h.signature(values[2].iter().copied());
+        let hits = idx.query_ranked(&q, values[2].len() as u64, 0.3, 0.1);
+        assert!(!hits.is_empty());
+        for w in hits.windows(2) {
+            assert!(w[0].estimated_containment >= w[1].estimated_containment);
+        }
+    }
+
+    #[test]
+    fn self_match_ranks_first_with_estimate_one() {
+        let (h, idx, values) = index(20);
+        let q = h.signature(values[5].iter().copied());
+        let hits = idx.query_ranked(&q, values[5].len() as u64, 0.5, 0.1);
+        // Domain 5 and every superset have true containment 1.0; the self
+        // match has Jaccard exactly 1 so its estimate is exactly 1.
+        let self_hit = hits.iter().find(|hh| hh.id == 5).expect("self found");
+        assert!((self_hit.estimated_containment - 1.0).abs() < 1e-9);
+        assert!(hits[0].estimated_containment >= self_hit.estimated_containment);
+    }
+
+    #[test]
+    fn top_k_returns_k_best() {
+        let (h, idx, values) = index(25);
+        let q = h.signature(values[3].iter().copied());
+        let hits = idx.query_top_k(&q, values[3].len() as u64, 5);
+        assert_eq!(hits.len(), 5);
+        // All returned should be supersets (containment ≈ 1) of domain 3.
+        for hh in &hits {
+            assert!(hh.estimated_containment > 0.8, "weak hit in top-5: {hh:?}");
+        }
+        for w in hits.windows(2) {
+            assert!(w[0].estimated_containment >= w[1].estimated_containment);
+        }
+    }
+
+    #[test]
+    fn top_k_larger_than_matches_returns_what_exists() {
+        let (h, idx, values) = index(5);
+        let q = h.signature(values[0].iter().copied());
+        let hits = idx.query_top_k(&q, values[0].len() as u64, 100);
+        assert!(hits.len() <= 5);
+        assert!(!hits.is_empty());
+    }
+
+    #[test]
+    fn estimates_track_exact_containment() {
+        let (h, idx, values) = index(20);
+        let q_vals = &values[4];
+        let q = h.signature(q_vals.iter().copied());
+        let hits = idx.query_ranked(&q, q_vals.len() as u64, 0.2, 0.15);
+        for hh in hits {
+            let x_vals = &values[hh.id as usize];
+            let inter = q_vals.iter().filter(|v| x_vals.contains(v)).count();
+            let exact = inter as f64 / q_vals.len() as f64;
+            assert!(
+                (hh.estimated_containment - exact).abs() < 0.2,
+                "id {}: est {} vs exact {exact}",
+                hh.id,
+                hh.estimated_containment
+            );
+        }
+    }
+
+    #[test]
+    fn slack_zero_prunes_harder_than_slack_wide() {
+        let (h, idx, values) = index(20);
+        let q = h.signature(values[2].iter().copied());
+        let strict = idx.query_ranked(&q, values[2].len() as u64, 0.6, 0.0);
+        let loose = idx.query_ranked(&q, values[2].len() as u64, 0.6, 0.3);
+        assert!(strict.len() <= loose.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate domain id")]
+    fn duplicate_id_rejected() {
+        let h = MinHasher::new(256);
+        let mut b = RankedIndex::builder();
+        let sig = h.signature(MinHasher::synthetic_values(1, 10));
+        b.add(1, 10, sig.clone());
+        b.add(1, 10, sig);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_rejected() {
+        let (h, idx, values) = index(5);
+        let q = h.signature(values[0].iter().copied());
+        let _ = idx.query_top_k(&q, values[0].len() as u64, 0);
+    }
+
+    #[test]
+    fn merge_unique_works() {
+        assert_eq!(merge_unique(&[1, 3, 5], &[2, 3, 6]), vec![1, 2, 3, 5, 6]);
+        assert_eq!(merge_unique(&[], &[1]), vec![1]);
+        assert_eq!(merge_unique(&[1], &[]), vec![1]);
+    }
+}

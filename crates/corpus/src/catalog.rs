@@ -1,0 +1,212 @@
+//! The [`Catalog`]: the collection of domains under search, with provenance
+//! metadata mapping each domain back to its table and attribute.
+//!
+//! The paper characterises a dataset by its domains (`dom(R)`, §2); the
+//! catalog is the flat view of all domains across all ingested datasets,
+//! addressed by a dense [`DomainId`]. Search indexes and the exact
+//! ground-truth engine are both built over a catalog.
+
+use crate::csv::{CsvDocument, CsvError};
+use crate::domain::Domain;
+use bytes::Bytes;
+
+/// Dense identifier of a domain inside a [`Catalog`].
+///
+/// Kept in sync with `lshe-lsh`'s `DomainId` (both `u32`) so ids flow
+/// between the catalog and the indexes without conversion.
+pub type DomainId = u32;
+
+/// Provenance of a domain: which table and attribute it came from.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DomainMeta {
+    /// Source table (dataset) name; empty for synthetic domains.
+    pub table: String,
+    /// Attribute (column) name; empty for synthetic domains.
+    pub column: String,
+}
+
+impl DomainMeta {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(table: impl Into<String>, column: impl Into<String>) -> Self {
+        Self {
+            table: table.into(),
+            column: column.into(),
+        }
+    }
+}
+
+/// A collection of domains with provenance, addressed by dense ids.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    domains: Vec<Domain>,
+    meta: Vec<DomainMeta>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a domain, returning its id.
+    ///
+    /// # Panics
+    /// Panics if the catalog already holds `u32::MAX` domains.
+    pub fn push(&mut self, domain: Domain, meta: DomainMeta) -> DomainId {
+        let id = DomainId::try_from(self.domains.len()).expect("catalog full");
+        self.domains.push(domain);
+        self.meta.push(meta);
+        id
+    }
+
+    /// Ingests every column of a parsed CSV document as a domain, using the
+    /// header row for column names. Columns whose distinct-value count is
+    /// below `min_size` are skipped (the paper discards domains with fewer
+    /// than ten values, §6.1).
+    ///
+    /// Returns the ids of the ingested domains.
+    pub fn ingest_csv(
+        &mut self,
+        table_name: &str,
+        doc: &CsvDocument,
+        min_size: usize,
+    ) -> Vec<DomainId> {
+        let header = doc.header();
+        let mut ids = Vec::new();
+        for (col, name) in header.iter().enumerate() {
+            let values = doc.column_values(col);
+            let domain = Domain::from_bytes_values(values.iter().map(Bytes::as_ref));
+            if domain.len() >= min_size {
+                ids.push(self.push(domain, DomainMeta::new(table_name, name.clone())));
+            }
+        }
+        ids
+    }
+
+    /// Parses and ingests a CSV buffer in one step.
+    ///
+    /// # Errors
+    /// Returns [`CsvError`] on malformed input.
+    pub fn ingest_csv_bytes(
+        &mut self,
+        table_name: &str,
+        data: Bytes,
+        min_size: usize,
+    ) -> Result<Vec<DomainId>, CsvError> {
+        let doc = CsvDocument::parse(data)?;
+        Ok(self.ingest_csv(table_name, &doc, min_size))
+    }
+
+    /// Number of domains.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// True if the catalog has no domains.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.domains.is_empty()
+    }
+
+    /// The domain with id `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn domain(&self, id: DomainId) -> &Domain {
+        &self.domains[id as usize]
+    }
+
+    /// The provenance of domain `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn meta(&self, id: DomainId) -> &DomainMeta {
+        &self.meta[id as usize]
+    }
+
+    /// Iterates `(id, domain)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (DomainId, &Domain)> {
+        self.domains
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (i as DomainId, d))
+    }
+
+    /// Domain sizes indexed by id — the input to partitioning.
+    #[must_use]
+    pub fn sizes(&self) -> Vec<usize> {
+        self.domains.iter().map(Domain::len).collect()
+    }
+
+    /// Total number of values across all domains (diagnostics).
+    #[must_use]
+    pub fn total_values(&self) -> usize {
+        self.domains.iter().map(Domain::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_lookup() {
+        let mut c = Catalog::new();
+        let id = c.push(Domain::from_strs(["a", "b"]), DomainMeta::new("t", "col"));
+        assert_eq!(id, 0);
+        assert_eq!(c.domain(id).len(), 2);
+        assert_eq!(c.meta(id).table, "t");
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn ingest_csv_respects_min_size() {
+        let csv = "\
+province,city,code
+Ontario,Toronto,1
+Ontario,Ottawa,2
+Quebec,Montreal,3
+";
+        let mut c = Catalog::new();
+        let ids = c
+            .ingest_csv_bytes("grants", Bytes::from_static(csv.as_bytes()), 3)
+            .expect("parse");
+        // province has 2 distinct values (dropped); city and code have 3.
+        assert_eq!(ids.len(), 2);
+        assert_eq!(c.meta(ids[0]).column, "city");
+        assert_eq!(c.meta(ids[1]).column, "code");
+        assert_eq!(c.domain(ids[0]).len(), 3);
+    }
+
+    #[test]
+    fn ingest_empty_csv_is_noop() {
+        let mut c = Catalog::new();
+        let ids = c.ingest_csv_bytes("empty", Bytes::new(), 1).expect("parse");
+        assert!(ids.is_empty());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn sizes_and_totals() {
+        let mut c = Catalog::new();
+        c.push(Domain::from_hashes(vec![1, 2, 3]), DomainMeta::default());
+        c.push(Domain::from_hashes(vec![4]), DomainMeta::default());
+        assert_eq!(c.sizes(), vec![3, 1]);
+        assert_eq!(c.total_values(), 4);
+    }
+
+    #[test]
+    fn iter_yields_dense_ids() {
+        let mut c = Catalog::new();
+        for i in 0..5u64 {
+            c.push(Domain::from_hashes(vec![i]), DomainMeta::default());
+        }
+        let ids: Vec<DomainId> = c.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,330 @@
+//! A minimal, dependency-free RFC-4180 CSV reader.
+//!
+//! The paper's accuracy corpus is "the CSV files from the Canadian Open Data
+//! repository"; this module provides the ingestion path for real CSV data.
+//! It handles quoted fields, escaped quotes (`""`), embedded separators and
+//! newlines inside quotes, and both `\n` and `\r\n` row endings. It is a
+//! deliberately small reader, not a general CSV toolkit: one pass, borrowed
+//! slices, no type inference.
+
+use bytes::Bytes;
+
+/// A parsed CSV document: zero-copy field slices over one shared buffer.
+#[derive(Debug, Clone)]
+pub struct CsvDocument {
+    /// Rows of fields; each field is a slice of the backing buffer (or an
+    /// owned unescaped copy when the field contained `""` escapes).
+    rows: Vec<Vec<Bytes>>,
+}
+
+/// Errors from CSV parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// A quoted field was still open at end of input.
+    UnterminatedQuote {
+        /// Byte offset where the quoted field started.
+        start: usize,
+    },
+    /// A closing quote was followed by a character other than a separator,
+    /// newline, or end of input.
+    InvalidQuoteEscape {
+        /// Byte offset of the offending character.
+        at: usize,
+    },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnterminatedQuote { start } => {
+                write!(f, "unterminated quoted field starting at byte {start}")
+            }
+            Self::InvalidQuoteEscape { at } => {
+                write!(f, "invalid character after closing quote at byte {at}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl CsvDocument {
+    /// Parses a CSV buffer with `,` as separator.
+    ///
+    /// # Errors
+    /// Returns [`CsvError`] on malformed quoting.
+    pub fn parse(data: Bytes) -> Result<Self, CsvError> {
+        Self::parse_with_separator(data, b',')
+    }
+
+    /// Parses with an explicit single-byte separator (`,`, `;`, `\t`, ...).
+    ///
+    /// # Errors
+    /// Returns [`CsvError`] on malformed quoting.
+    pub fn parse_with_separator(data: Bytes, sep: u8) -> Result<Self, CsvError> {
+        let mut rows = Vec::new();
+        let mut row: Vec<Bytes> = Vec::new();
+        let bytes = &data[..];
+        let n = bytes.len();
+        let mut i = 0usize;
+        // Tracks whether we are mid-row (so a trailing newline doesn't emit
+        // an empty final row, but `a,b\nc` still emits the `c` row).
+        let mut at_row_start = true;
+        while i < n {
+            if bytes[i] == b'"' {
+                // Quoted field.
+                let start = i;
+                i += 1;
+                let field_start = i;
+                let mut owned: Option<Vec<u8>> = None;
+                let mut seg_start = i;
+                loop {
+                    if i >= n {
+                        return Err(CsvError::UnterminatedQuote { start });
+                    }
+                    if bytes[i] == b'"' {
+                        if i + 1 < n && bytes[i + 1] == b'"' {
+                            // Escaped quote: flush segment + one quote.
+                            let owned = owned.get_or_insert_with(Vec::new);
+                            owned.extend_from_slice(&bytes[seg_start..i]);
+                            owned.push(b'"');
+                            i += 2;
+                            seg_start = i;
+                        } else {
+                            break; // closing quote
+                        }
+                    } else {
+                        i += 1;
+                    }
+                }
+                let field = match owned {
+                    Some(mut o) => {
+                        o.extend_from_slice(&bytes[seg_start..i]);
+                        Bytes::from(o)
+                    }
+                    None => data.slice(field_start..i),
+                };
+                i += 1; // past closing quote
+                row.push(field);
+                at_row_start = false;
+                // After a quoted field: separator, newline, or EOF.
+                if i < n {
+                    match bytes[i] {
+                        b if b == sep => {
+                            i += 1;
+                            if i == n {
+                                row.push(Bytes::new()); // trailing empty field
+                            }
+                        }
+                        b'\n' => {
+                            i += 1;
+                            rows.push(std::mem::take(&mut row));
+                            at_row_start = true;
+                        }
+                        b'\r' if i + 1 < n && bytes[i + 1] == b'\n' => {
+                            i += 2;
+                            rows.push(std::mem::take(&mut row));
+                            at_row_start = true;
+                        }
+                        _ => return Err(CsvError::InvalidQuoteEscape { at: i }),
+                    }
+                }
+            } else {
+                // Unquoted field: scan to separator or newline.
+                let start = i;
+                while i < n && bytes[i] != sep && bytes[i] != b'\n' && bytes[i] != b'\r' {
+                    i += 1;
+                }
+                row.push(data.slice(start..i));
+                at_row_start = false;
+                if i < n {
+                    match bytes[i] {
+                        b if b == sep => {
+                            i += 1;
+                            if i == n {
+                                row.push(Bytes::new()); // trailing empty field
+                            }
+                        }
+                        b'\n' => {
+                            i += 1;
+                            rows.push(std::mem::take(&mut row));
+                            at_row_start = true;
+                        }
+                        b'\r' => {
+                            i += if i + 1 < n && bytes[i + 1] == b'\n' {
+                                2
+                            } else {
+                                1
+                            };
+                            rows.push(std::mem::take(&mut row));
+                            at_row_start = true;
+                        }
+                        _ => unreachable!("scan stopped on unknown byte"),
+                    }
+                }
+            }
+        }
+        if !at_row_start || !row.is_empty() {
+            rows.push(row);
+        }
+        Ok(Self { rows })
+    }
+
+    /// All rows, including the header if present.
+    #[must_use]
+    pub fn rows(&self) -> &[Vec<Bytes>] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the document has no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Interprets the first row as a header and returns the column names
+    /// (lossily UTF-8 decoded).
+    #[must_use]
+    pub fn header(&self) -> Vec<String> {
+        self.rows
+            .first()
+            .map(|r| {
+                r.iter()
+                    .map(|f| String::from_utf8_lossy(f).into_owned())
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Extracts the distinct non-empty values of column `col` from the data
+    /// rows (all rows after the header), as raw byte fields.
+    #[must_use]
+    pub fn column_values(&self, col: usize) -> Vec<Bytes> {
+        self.rows
+            .iter()
+            .skip(1)
+            .filter_map(|r| r.get(col))
+            .filter(|f| !f.is_empty())
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(s: &str) -> CsvDocument {
+        CsvDocument::parse(Bytes::copy_from_slice(s.as_bytes())).expect("parse")
+    }
+
+    fn field(d: &CsvDocument, r: usize, c: usize) -> String {
+        String::from_utf8_lossy(&d.rows()[r][c]).into_owned()
+    }
+
+    #[test]
+    fn simple_rows() {
+        let d = doc("a,b,c\n1,2,3\n");
+        assert_eq!(d.len(), 2);
+        assert_eq!(field(&d, 0, 0), "a");
+        assert_eq!(field(&d, 1, 2), "3");
+    }
+
+    #[test]
+    fn no_trailing_newline() {
+        let d = doc("a,b\n1,2");
+        assert_eq!(d.len(), 2);
+        assert_eq!(field(&d, 1, 1), "2");
+    }
+
+    #[test]
+    fn crlf_rows() {
+        let d = doc("a,b\r\n1,2\r\n");
+        assert_eq!(d.len(), 2);
+        assert_eq!(field(&d, 0, 1), "b");
+        assert_eq!(field(&d, 1, 0), "1");
+    }
+
+    #[test]
+    fn quoted_fields_with_separator_and_newline() {
+        let d = doc("name,notes\n\"Smith, John\",\"line1\nline2\"\n");
+        assert_eq!(d.len(), 2);
+        assert_eq!(field(&d, 1, 0), "Smith, John");
+        assert_eq!(field(&d, 1, 1), "line1\nline2");
+    }
+
+    #[test]
+    fn escaped_quotes() {
+        let d = doc("q\n\"say \"\"hi\"\"\"\n");
+        assert_eq!(field(&d, 1, 0), "say \"hi\"");
+    }
+
+    #[test]
+    fn empty_fields_preserved() {
+        let d = doc("a,,c\n,,\n");
+        assert_eq!(d.rows()[0].len(), 3);
+        assert_eq!(field(&d, 0, 1), "");
+        assert_eq!(d.rows()[1].len(), 3);
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        let err = CsvDocument::parse(Bytes::from_static(b"a\n\"oops")).unwrap_err();
+        assert!(matches!(err, CsvError::UnterminatedQuote { .. }));
+        assert!(err.to_string().contains("unterminated"));
+    }
+
+    #[test]
+    fn junk_after_quote_is_error() {
+        let err = CsvDocument::parse(Bytes::from_static(b"\"a\"x,b\n")).unwrap_err();
+        assert!(matches!(err, CsvError::InvalidQuoteEscape { .. }));
+    }
+
+    #[test]
+    fn header_and_column_extraction() {
+        let d = doc("city,province\nToronto,Ontario\nHalifax,Nova Scotia\n,Ontario\n");
+        assert_eq!(d.header(), vec!["city", "province"]);
+        let cities = d.column_values(0);
+        // Empty field skipped.
+        assert_eq!(cities.len(), 2);
+        let provinces = d.column_values(1);
+        assert_eq!(provinces.len(), 3); // duplicates kept; Domain dedups
+    }
+
+    #[test]
+    fn alternative_separator() {
+        let d = CsvDocument::parse_with_separator(Bytes::from_static(b"a;b\n1;2\n"), b';')
+            .expect("parse");
+        assert_eq!(String::from_utf8_lossy(&d.rows()[1][1]), "2");
+    }
+
+    #[test]
+    fn empty_input_is_empty_document() {
+        let d = doc("");
+        assert!(d.is_empty());
+        assert!(d.header().is_empty());
+    }
+
+    #[test]
+    fn trailing_separator_yields_empty_field() {
+        let d = doc("a,b,");
+        assert_eq!(d.rows()[0].len(), 3);
+        assert_eq!(field(&d, 0, 2), "");
+        let d = doc(",");
+        assert_eq!(d.rows()[0].len(), 2);
+    }
+
+    #[test]
+    fn lone_cr_ends_row() {
+        let d = doc("a\rb");
+        assert_eq!(d.len(), 2);
+        assert_eq!(field(&d, 0, 0), "a");
+        assert_eq!(field(&d, 1, 0), "b");
+    }
+}

@@ -1,0 +1,358 @@
+//! Synthetic corpus generation with controlled overlap structure.
+//!
+//! This replaces the paper's two proprietary corpora (Canadian Open Data,
+//! WDC Web Tables — see the substitution table in DESIGN.md). The generator
+//! controls the two properties the paper's experiments actually exercise:
+//!
+//! 1. **Domain-size distribution** — truncated power law (Figure 1),
+//!    via [`crate::powerlaw::PowerLawSizes`].
+//! 2. **Containment structure** — domains are grouped into topic clusters
+//!    that share a value pool, so domains within a cluster overlap across
+//!    the whole containment spectrum (the way open-data columns like
+//!    `province` or `partner` recur across tables), while domains in
+//!    different clusters are (nearly) disjoint. A configurable noise
+//!    fraction of per-domain fresh values keeps containments off the
+//!    degenerate 0/1 extremes.
+//!
+//! Pool values are *virtual*: position `p` of cluster `c` materialises as
+//! `hash(seed, c, p)`, so pools cost no memory and two corpora with the
+//! same seed are identical.
+
+use crate::powerlaw::PowerLawSizes;
+use lshe_corpus::{Catalog, Domain, DomainMeta};
+use lshe_minhash::hash::splitmix64;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`generate_catalog`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusConfig {
+    /// Number of domains to generate.
+    pub num_domains: usize,
+    /// Smallest domain size (the paper floors its accuracy corpus at 10).
+    pub min_size: u64,
+    /// Largest domain size.
+    pub max_size: u64,
+    /// Power-law exponent α (> 1).
+    pub alpha: f64,
+    /// Domains per topic cluster (overlap group).
+    pub cluster_size: usize,
+    /// Ratio of a cluster's value-pool size to its largest member domain
+    /// (≥ 1). Larger pools thin out pairwise overlaps.
+    pub pool_factor: f64,
+    /// Fraction of each domain drawn as globally fresh noise values
+    /// (`0.0 ..= 1.0`).
+    pub noise_fraction: f64,
+    /// Probability that a domain is generated as a *subset* of its cluster
+    /// predecessor instead of a fresh pool draw (`0.0 ..= 1.0`). Real
+    /// open-data corpora contain many repeated/projected columns across
+    /// tables; this knob reproduces the resulting high-containment pairs,
+    /// without which ground truth at thresholds near 1.0 degenerates to
+    /// self-matches only.
+    pub subset_fraction: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl CorpusConfig {
+    /// A corpus shaped like the paper's Canadian Open Data accuracy corpus:
+    /// 65,533 domains of at least 10 values with a power-law size
+    /// distribution (§6.1, Figure 1 left). `max_size` is kept at 2^17 so
+    /// the exact ground-truth engine stays laptop-sized; the distribution
+    /// shape — which drives every accuracy result — is preserved.
+    #[must_use]
+    pub fn canadian_open_data_like() -> Self {
+        Self {
+            num_domains: 65_533,
+            min_size: 10,
+            max_size: 1 << 17,
+            alpha: 2.0,
+            cluster_size: 24,
+            pool_factor: 1.6,
+            noise_fraction: 0.15,
+            subset_fraction: 0.2,
+            seed: 0xCA_0D,
+        }
+    }
+
+    /// A corpus shaped like the WDC Web Table corpus used for the
+    /// performance experiments (§6.3, Figure 1 right): many domains, sizes
+    /// from 1 to ~2^14. `num_domains` defaults to 1 million and is meant to
+    /// be scaled by the caller (`--domains` in the harness binaries).
+    #[must_use]
+    pub fn wdc_web_tables_like(num_domains: usize) -> Self {
+        Self {
+            num_domains,
+            min_size: 1,
+            max_size: 1 << 14,
+            alpha: 2.0,
+            cluster_size: 24,
+            pool_factor: 1.6,
+            noise_fraction: 0.15,
+            subset_fraction: 0.2,
+            seed: 0x3DC,
+        }
+    }
+
+    /// A small smoke-test corpus for unit/integration tests.
+    #[must_use]
+    pub fn tiny(num_domains: usize, seed: u64) -> Self {
+        Self {
+            num_domains,
+            min_size: 10,
+            max_size: 1 << 10,
+            alpha: 2.0,
+            cluster_size: 10,
+            pool_factor: 1.5,
+            noise_fraction: 0.1,
+            subset_fraction: 0.2,
+            seed,
+        }
+    }
+}
+
+/// Virtual pool value: position `p` of cluster `c` under `seed`.
+#[inline]
+fn pool_value(seed: u64, cluster: u64, position: u64) -> u64 {
+    // Three rounds of mixing decorrelate the coordinates; the result is a
+    // point of the value universe. Distinct (cluster, position) pairs give
+    // distinct values with probability 1 − 2⁻⁶⁴ per pair.
+    splitmix64(
+        splitmix64(seed ^ 0x9E3779B97F4A7C15) ^ splitmix64(cluster).rotate_left(17) ^ position,
+    )
+}
+
+/// Globally fresh noise value `j` of domain `d`.
+#[inline]
+fn noise_value(seed: u64, domain: u64, j: u64) -> u64 {
+    splitmix64(splitmix64(seed ^ 0x6E015E) ^ splitmix64(domain).rotate_left(31) ^ j)
+}
+
+/// Generates a catalog according to `config`.
+///
+/// Deterministic: equal configs yield equal catalogs. Domains are labelled
+/// `synthetic/cluster<k>` / `col<i>` so provenance-driven code paths have
+/// something to show.
+///
+/// # Panics
+/// Panics on nonsensical configuration (zero domains, empty clusters,
+/// `pool_factor < 1`, noise outside `[0, 1]`).
+#[must_use]
+pub fn generate_catalog(config: &CorpusConfig) -> Catalog {
+    assert!(config.num_domains > 0, "need at least one domain");
+    assert!(config.cluster_size > 0, "clusters must be non-empty");
+    assert!(config.pool_factor >= 1.0, "pool must cover largest member");
+    assert!(
+        (0.0..=1.0).contains(&config.noise_fraction),
+        "noise fraction must be in [0, 1]"
+    );
+    assert!(
+        (0.0..=1.0).contains(&config.subset_fraction),
+        "subset fraction must be in [0, 1]"
+    );
+    let sizes_dist = PowerLawSizes::new(config.min_size, config.max_size, config.alpha);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut catalog = Catalog::new();
+    let num_clusters = config.num_domains.div_ceil(config.cluster_size);
+    let mut domain_id: u64 = 0;
+    for cluster in 0..num_clusters as u64 {
+        let members = config
+            .cluster_size
+            .min(config.num_domains - cluster as usize * config.cluster_size);
+        let sizes = sizes_dist.sample_many(&mut rng, members);
+        let max_member = sizes.iter().copied().max().unwrap_or(config.min_size);
+        // Pool large enough that the biggest member fits its pooled share.
+        let pool_size =
+            ((max_member as f64 * config.pool_factor).ceil() as u64).max(max_member.max(1));
+        let mut prev_in_cluster: Option<u32> = None;
+        for (k, &size) in sizes.iter().enumerate() {
+            // With probability subset_fraction, project the previous
+            // cluster member instead of drawing from the pool — mirrors
+            // columns republished or projected across open-data tables and
+            // produces exact-containment-1.0 pairs for the ground truth.
+            let as_subset = k > 0 && rng.gen_bool(config.subset_fraction);
+            let domain = if as_subset {
+                let prev = catalog.domain(prev_in_cluster.expect("k > 0"));
+                let take = (size as usize).min(prev.len());
+                // Deterministic stride sampling over the parent's hashes:
+                // spreads the subset across the parent without a shuffle.
+                let stride = (prev.len() / take.max(1)).max(1);
+                let hashes: Vec<u64> = prev
+                    .hashes()
+                    .iter()
+                    .step_by(stride)
+                    .take(take)
+                    .copied()
+                    .collect();
+                Domain::from_hashes(hashes)
+            } else {
+                let noise = ((size as f64) * config.noise_fraction).round() as u64;
+                let pooled = size - noise;
+                let mut hashes = Vec::with_capacity(size as usize);
+                // Sample `pooled` distinct positions from [0, pool_size).
+                // Floyd's algorithm avoids building the full position range.
+                let mut chosen = lshe_minhash::hash::FastHashSet::default();
+                chosen.reserve(pooled as usize);
+                for j in (pool_size - pooled)..pool_size {
+                    let t = rng.gen_range(0..=j);
+                    let pick = if chosen.insert(t) { t } else { j };
+                    if pick != t {
+                        chosen.insert(pick);
+                    }
+                    hashes.push(pool_value(config.seed, cluster, pick));
+                }
+                for j in 0..noise {
+                    hashes.push(noise_value(config.seed, domain_id, j));
+                }
+                Domain::from_hashes(hashes)
+            };
+            let id = catalog.push(
+                domain,
+                DomainMeta::new(
+                    format!("synthetic/cluster{cluster}"),
+                    format!("col{domain_id}"),
+                ),
+            );
+            prev_in_cluster = Some(id);
+            domain_id += 1;
+        }
+    }
+    catalog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = CorpusConfig::tiny(200, 7);
+        let a = generate_catalog(&cfg);
+        let b = generate_catalog(&cfg);
+        assert_eq!(a.len(), b.len());
+        for (id, d) in a.iter() {
+            assert_eq!(d, b.domain(id));
+        }
+    }
+
+    #[test]
+    fn respects_domain_count_and_size_bounds() {
+        let cfg = CorpusConfig::tiny(333, 1);
+        let c = generate_catalog(&cfg);
+        assert_eq!(c.len(), 333);
+        for (_, d) in c.iter() {
+            // Noise rounding and pooled dedup can shave a value or two off
+            // the target; sizes must stay in the configured ballpark.
+            assert!(d.len() as u64 >= cfg.min_size - 1, "size {}", d.len());
+            assert!(d.len() as u64 <= cfg.max_size);
+        }
+    }
+
+    #[test]
+    fn clusters_overlap_internally() {
+        let cfg = CorpusConfig::tiny(40, 3); // 4 clusters of 10
+        let c = generate_catalog(&cfg);
+        // Two members of cluster 0 share pool values with decent odds;
+        // check at least one intra-cluster pair overlaps.
+        let mut found = false;
+        for i in 0..10u32 {
+            for j in (i + 1)..10 {
+                if c.domain(i).intersection_size(c.domain(j)) > 0 {
+                    found = true;
+                }
+            }
+        }
+        assert!(found, "intra-cluster overlap expected");
+    }
+
+    #[test]
+    fn clusters_nearly_disjoint_externally() {
+        let cfg = CorpusConfig::tiny(40, 4);
+        let c = generate_catalog(&cfg);
+        // Cross-cluster pairs share only astronomically unlikely hash
+        // collisions.
+        for i in 0..10u32 {
+            for j in 10..20u32 {
+                assert_eq!(
+                    c.domain(i).intersection_size(c.domain(j)),
+                    0,
+                    "domains {i} and {j} should be disjoint"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sizes_follow_power_law_shape() {
+        let mut cfg = CorpusConfig::tiny(20_000, 5);
+        cfg.min_size = 1;
+        cfg.max_size = 1 << 12;
+        let c = generate_catalog(&cfg);
+        let sizes: Vec<u64> = c.sizes().iter().map(|&s| s as u64).collect();
+        let small = sizes.iter().filter(|&&s| s <= 4).count();
+        let large = sizes.iter().filter(|&&s| s > 256).count();
+        assert!(small > large * 10, "small {small} vs large {large}");
+    }
+
+    #[test]
+    fn noise_fraction_zero_gives_pool_only_domains() {
+        let mut cfg = CorpusConfig::tiny(20, 6);
+        cfg.noise_fraction = 0.0;
+        let c = generate_catalog(&cfg);
+        assert_eq!(c.len(), 20);
+        // With no noise, every value of every domain in cluster 0 comes
+        // from the shared pool; union of two domains can't exceed pool.
+        // Smoke: overlap still occurs.
+        let mut any = 0usize;
+        for i in 0..10u32 {
+            for j in (i + 1)..10 {
+                any += c.domain(i).intersection_size(c.domain(j));
+            }
+        }
+        assert!(any > 0);
+    }
+
+    #[test]
+    fn provenance_is_recorded() {
+        let cfg = CorpusConfig::tiny(12, 8);
+        let c = generate_catalog(&cfg);
+        assert!(c.meta(0).table.starts_with("synthetic/cluster"));
+        assert_eq!(c.meta(3).column, "col3");
+    }
+
+    #[test]
+    fn subset_domains_create_perfect_containments() {
+        let mut cfg = CorpusConfig::tiny(500, 21);
+        cfg.subset_fraction = 0.5;
+        let c = generate_catalog(&cfg);
+        // Count pairs with exact containment 1.0 among cluster neighbours.
+        let mut perfect = 0usize;
+        for id in 1..c.len() as u32 {
+            if c.meta(id).table == c.meta(id - 1).table
+                && c.domain(id).containment_in(c.domain(id - 1)) >= 1.0 - 1e-12
+            {
+                perfect += 1;
+            }
+        }
+        assert!(
+            perfect >= 100,
+            "expected many subset pairs at fraction 0.5, got {perfect}"
+        );
+    }
+
+    #[test]
+    fn zero_subset_fraction_has_no_forced_duplicates() {
+        let mut cfg = CorpusConfig::tiny(100, 22);
+        cfg.subset_fraction = 0.0;
+        let c = generate_catalog(&cfg);
+        assert_eq!(c.len(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one domain")]
+    fn zero_domains_rejected() {
+        let mut cfg = CorpusConfig::tiny(1, 0);
+        cfg.num_domains = 0;
+        let _ = generate_catalog(&cfg);
+    }
+}

@@ -1,0 +1,26 @@
+//! # lshe-datagen
+//!
+//! Synthetic workloads for the LSH Ensemble reproduction: power-law corpora
+//! calibrated to the paper's Figure 1, query sampling (§6.1), accuracy
+//! metrics (Eq. 27–28), and the skewness machinery behind Figure 5.
+//!
+//! This crate replaces the paper's proprietary corpora — Canadian Open Data
+//! and the WDC Web Table Corpus 2015 — with generators that control exactly
+//! the two properties the experiments exercise: the domain-size distribution
+//! and the containment structure between domains. See DESIGN.md for the
+//! substitution rationale.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod corpus_gen;
+pub mod metrics;
+pub mod powerlaw;
+pub mod queries;
+pub mod skew;
+
+pub use corpus_gen::{generate_catalog, CorpusConfig};
+pub use metrics::{aggregate, query_accuracy, QueryAccuracy, WorkloadAccuracy};
+pub use powerlaw::{log2_histogram, PowerLawSizes};
+pub use queries::{sample_queries, SizeBand};
+pub use skew::{nested_size_subsets, skewness, std_dev};

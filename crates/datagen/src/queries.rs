@@ -1,0 +1,134 @@
+//! Query workload construction.
+//!
+//! The paper's evaluation samples 3,000 domains from the corpus and uses
+//! them as queries (§6.1, §6.3), with two side experiments restricting the
+//! workload to the smallest and largest 10% of query sizes (Figures 6–7).
+
+use lshe_corpus::{Catalog, DomainId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Which slice of the query-size distribution to draw from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SizeBand {
+    /// Any size (the default workload).
+    All,
+    /// Only the smallest `percent`% of domains by size (Figure 7 uses 10).
+    SmallestPercent(u8),
+    /// Only the largest `percent`% of domains by size (Figure 6 uses 10).
+    LargestPercent(u8),
+}
+
+/// Samples `n` query domain ids from the catalog without replacement
+/// (or all matching ids if fewer than `n` qualify), restricted to `band`.
+///
+/// Deterministic under `seed`. Returned ids are in sampling order.
+///
+/// # Panics
+/// Panics if the catalog is empty, `n == 0`, or a percent band is 0 or
+/// above 100.
+#[must_use]
+pub fn sample_queries(catalog: &Catalog, n: usize, band: SizeBand, seed: u64) -> Vec<DomainId> {
+    assert!(!catalog.is_empty(), "cannot sample from an empty catalog");
+    assert!(n > 0, "query count must be positive");
+    let mut ids: Vec<DomainId> = match band {
+        SizeBand::All => catalog.iter().map(|(id, _)| id).collect(),
+        SizeBand::SmallestPercent(p) | SizeBand::LargestPercent(p) => {
+            assert!(p > 0 && p < 100, "percent band must be in (0, 100)");
+            let mut by_size: Vec<(usize, DomainId)> =
+                catalog.iter().map(|(id, d)| (d.len(), id)).collect();
+            by_size.sort_unstable();
+            let k = (by_size.len() * usize::from(p) / 100).max(1);
+            let slice: Vec<DomainId> = match band {
+                SizeBand::SmallestPercent(_) => by_size[..k].iter().map(|&(_, id)| id).collect(),
+                _ => by_size[by_size.len() - k..]
+                    .iter()
+                    .map(|&(_, id)| id)
+                    .collect(),
+            };
+            slice
+        }
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    ids.shuffle(&mut rng);
+    ids.truncate(n);
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus_gen::{generate_catalog, CorpusConfig};
+
+    fn catalog() -> Catalog {
+        generate_catalog(&CorpusConfig::tiny(500, 42))
+    }
+
+    #[test]
+    fn samples_requested_count_without_duplicates() {
+        let c = catalog();
+        let q = sample_queries(&c, 100, SizeBand::All, 1);
+        assert_eq!(q.len(), 100);
+        let set: std::collections::HashSet<_> = q.iter().collect();
+        assert_eq!(set.len(), 100);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let c = catalog();
+        assert_eq!(
+            sample_queries(&c, 50, SizeBand::All, 9),
+            sample_queries(&c, 50, SizeBand::All, 9)
+        );
+        assert_ne!(
+            sample_queries(&c, 50, SizeBand::All, 9),
+            sample_queries(&c, 50, SizeBand::All, 10)
+        );
+    }
+
+    #[test]
+    fn smallest_band_yields_small_domains() {
+        let c = catalog();
+        let small = sample_queries(&c, 30, SizeBand::SmallestPercent(10), 2);
+        let all_sizes: Vec<usize> = c.sizes();
+        let mut sorted = all_sizes.clone();
+        sorted.sort_unstable();
+        let decile_cap = sorted[sorted.len() / 10];
+        for id in small {
+            assert!(
+                c.domain(id).len() <= decile_cap,
+                "domain {id} too large for bottom decile"
+            );
+        }
+    }
+
+    #[test]
+    fn largest_band_yields_large_domains() {
+        let c = catalog();
+        let large = sample_queries(&c, 30, SizeBand::LargestPercent(10), 3);
+        let mut sorted = c.sizes();
+        sorted.sort_unstable();
+        let decile_floor = sorted[sorted.len() - sorted.len() / 10];
+        for id in large {
+            assert!(
+                c.domain(id).len() >= decile_floor,
+                "domain {id} too small for top decile"
+            );
+        }
+    }
+
+    #[test]
+    fn oversampling_returns_all() {
+        let c = generate_catalog(&CorpusConfig::tiny(20, 5));
+        let q = sample_queries(&c, 1000, SizeBand::All, 4);
+        assert_eq!(q.len(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "percent band")]
+    fn zero_percent_rejected() {
+        let c = catalog();
+        let _ = sample_queries(&c, 5, SizeBand::SmallestPercent(0), 1);
+    }
+}

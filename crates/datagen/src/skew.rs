@@ -1,0 +1,180 @@
+//! Skewness of the domain-size distribution and the nested-subset
+//! construction behind Figure 5.
+//!
+//! The paper measures skew with the standardized third moment
+//! `skewness = m₃ / m₂^{3/2}` (Eq. 29, CRC formula) and studies accuracy on
+//! "20 subsets of the Canadian Open Data: the first contained a small
+//! (contiguous) interval of domain sizes, then expanded repeatedly" (§6.1).
+
+/// Standardized-moment skewness `m₃ / m₂^{3/2}` (Eq. 29).
+///
+/// Returns 0 for samples with fewer than two points or zero variance.
+#[must_use]
+pub fn skewness(sizes: &[usize]) -> f64 {
+    if sizes.len() < 2 {
+        return 0.0;
+    }
+    let n = sizes.len() as f64;
+    let mean = sizes.iter().map(|&s| s as f64).sum::<f64>() / n;
+    let (mut m2, mut m3) = (0.0f64, 0.0f64);
+    for &s in sizes {
+        let d = s as f64 - mean;
+        m2 += d * d;
+        m3 += d * d * d;
+    }
+    m2 /= n;
+    m3 /= n;
+    if m2 <= 0.0 {
+        0.0
+    } else {
+        m3 / m2.powf(1.5)
+    }
+}
+
+/// Population standard deviation.
+#[must_use]
+pub fn std_dev(values: &[usize]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().map(|&v| v as f64).sum::<f64>() / n;
+    let var = values
+        .iter()
+        .map(|&v| {
+            let d = v as f64 - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / n;
+    var.sqrt()
+}
+
+/// Builds the Figure 5 subset ladder: `steps` nested families of domain ids,
+/// where family `k` contains the domains whose sizes fall in a contiguous
+/// interval that starts near the bottom of the size range and expands with
+/// `k` until the final family covers every domain.
+///
+/// Returns for each step the ids (indices into `sizes`) included. Because
+/// sizes follow a power law, later (wider) families have strictly larger
+/// skewness — the x-axis of Figure 5.
+///
+/// # Panics
+/// Panics if `steps == 0` or `sizes` is empty.
+#[must_use]
+pub fn nested_size_subsets(sizes: &[usize], steps: usize) -> Vec<Vec<u32>> {
+    assert!(steps > 0, "need at least one step");
+    assert!(!sizes.is_empty(), "sizes must not be empty");
+    let min = *sizes.iter().min().expect("non-empty");
+    let max = *sizes.iter().max().expect("non-empty");
+    // Interval upper bounds grow geometrically from ~2·min to max so the
+    // first subset is nearly flat and the last covers the power-law tail.
+    let lo = (min.max(1) * 2) as f64;
+    let hi = max as f64;
+    let mut out = Vec::with_capacity(steps);
+    for k in 0..steps {
+        let frac = (k + 1) as f64 / steps as f64;
+        let cap = if steps == 1 {
+            hi
+        } else {
+            lo * (hi / lo).powf(frac)
+        };
+        let ids: Vec<u32> = sizes
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| (s as f64) <= cap)
+            .map(|(i, _)| i as u32)
+            .collect();
+        out.push(ids);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_sample_has_zero_skew() {
+        let s = skewness(&[1, 2, 3, 4, 5]);
+        assert!(s.abs() < 1e-12, "skew {s}");
+    }
+
+    #[test]
+    fn right_tail_gives_positive_skew() {
+        let s = skewness(&[1, 1, 1, 1, 1, 1, 1, 100]);
+        assert!(s > 1.0, "skew {s}");
+    }
+
+    #[test]
+    fn left_tail_gives_negative_skew() {
+        let s = skewness(&[100, 100, 100, 100, 100, 1]);
+        assert!(s < -1.0, "skew {s}");
+    }
+
+    #[test]
+    fn degenerate_samples_are_zero() {
+        assert_eq!(skewness(&[]), 0.0);
+        assert_eq!(skewness(&[5]), 0.0);
+        assert_eq!(skewness(&[5, 5, 5]), 0.0);
+    }
+
+    #[test]
+    fn std_dev_known_value() {
+        // Population std-dev of {2, 4, 4, 4, 5, 5, 7, 9} is 2.
+        let sd = std_dev(&[2, 4, 4, 4, 5, 5, 7, 9]);
+        assert!((sd - 2.0).abs() < 1e-12);
+        assert_eq!(std_dev(&[]), 0.0);
+    }
+
+    #[test]
+    fn nested_subsets_are_nested_and_complete() {
+        let sizes: Vec<usize> = (0..1000).map(|i| 10 + (i % 500) * 4).collect();
+        let fams = nested_size_subsets(&sizes, 10);
+        assert_eq!(fams.len(), 10);
+        for w in fams.windows(2) {
+            let prev: std::collections::HashSet<_> = w[0].iter().collect();
+            assert!(w[0].len() <= w[1].len());
+            for id in &w[0] {
+                assert!(prev.contains(id));
+            }
+            let next: std::collections::HashSet<_> = w[1].iter().collect();
+            for id in &w[0] {
+                assert!(next.contains(id), "nesting violated");
+            }
+        }
+        assert_eq!(fams.last().expect("steps > 0").len(), sizes.len());
+    }
+
+    #[test]
+    fn nested_subsets_skew_increases_on_power_law() {
+        use crate::powerlaw::PowerLawSizes;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let d = PowerLawSizes::new(10, 1 << 14, 2.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let sizes: Vec<usize> = d
+            .sample_many(&mut rng, 30_000)
+            .into_iter()
+            .map(|s| s as usize)
+            .collect();
+        let fams = nested_size_subsets(&sizes, 8);
+        let skews: Vec<f64> = fams
+            .iter()
+            .map(|ids| {
+                let sub: Vec<usize> = ids.iter().map(|&i| sizes[i as usize]).collect();
+                skewness(&sub)
+            })
+            .collect();
+        assert!(
+            skews.last().expect("non-empty") > skews.first().expect("non-empty"),
+            "skew must grow along the ladder: {skews:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn zero_steps_rejected() {
+        let _ = nested_size_subsets(&[1, 2], 0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Binary persistence for [`LshForest`].
+//!
+//! The forest is the bulk of an LSH Ensemble's state; serialising it lets a
+//! server build an index once and serve it from disk thereafter. Format
+//! (little-endian, see `lshe_minhash::codec` for primitives):
+//!
+//! ```text
+//! "LSHF" version:u8
+//! b_max:u32 r_max:u32 len:u64
+//! per tree (b_max times):
+//!     keys:  u64 count, count × u32
+//!     ids:   u64 count, count × u32
+//! ```
+//!
+//! Only *committed* state is stored: [`LshForest::to_bytes`] requires the
+//! staged tail to be empty (call [`LshForest::commit`] first), which keeps
+//! the format canonical — two forests with the same contents serialise to
+//! identical bytes.
+
+use crate::forest::LshForest;
+use crate::DomainId;
+use lshe_minhash::codec::{CodecError, Decoder, Encoder};
+
+/// Envelope tag for forest payloads.
+pub const MAGIC: [u8; 4] = *b"LSHF";
+/// Current format version.
+pub const VERSION: u8 = 1;
+
+impl LshForest {
+    /// Serialises the committed forest.
+    ///
+    /// # Panics
+    /// Panics if staged inserts exist — commit first so the byte form is
+    /// canonical.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        assert_eq!(self.staged_len(), 0, "commit the forest before serialising");
+        let mut enc = Encoder::with_capacity(32 + self.memory_bytes());
+        enc.envelope(MAGIC, VERSION);
+        enc.put_u32(self.b_max() as u32);
+        enc.put_u32(self.r_max() as u32);
+        enc.put_u64(self.len() as u64);
+        for tree in self.raw_trees() {
+            enc.put_u32_slice(tree.0);
+            enc.put_u32_slice(tree.1);
+        }
+        enc.finish()
+    }
+
+    /// Deserialises a forest.
+    ///
+    /// # Errors
+    /// [`CodecError`] on truncation, tag/version mismatch, or structural
+    /// inconsistencies (key/id count mismatch, wrong tree count).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut dec = Decoder::new(bytes);
+        let version = dec.envelope(MAGIC)?;
+        if version > VERSION {
+            return Err(CodecError::UnsupportedVersion {
+                found: version,
+                supported: VERSION,
+            });
+        }
+        let b_max = dec.get_u32("b_max")? as usize;
+        let r_max = dec.get_u32("r_max")? as usize;
+        let len = dec.get_u64("len")? as usize;
+        if b_max == 0 || r_max == 0 {
+            return Err(CodecError::Corrupt("zero forest dimensions"));
+        }
+        let mut trees = Vec::with_capacity(b_max);
+        for _ in 0..b_max {
+            let keys = dec.get_u32_vec("tree keys")?;
+            let ids: Vec<DomainId> = dec.get_u32_vec("tree ids")?;
+            if keys.len() != ids.len() * r_max {
+                return Err(CodecError::Corrupt("key rows do not match id count"));
+            }
+            if ids.len() != len {
+                return Err(CodecError::Corrupt("tree size does not match forest len"));
+            }
+            trees.push((keys, ids));
+        }
+        if !dec.is_exhausted() {
+            return Err(CodecError::Corrupt("trailing bytes after forest"));
+        }
+        Ok(Self::from_raw_trees(b_max, r_max, len, trees))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lshe_minhash::MinHasher;
+
+    fn sample_forest(n: usize) -> (MinHasher, LshForest, Vec<Vec<u64>>) {
+        let h = MinHasher::new(256);
+        let mut f = LshForest::new(32, 8);
+        let mut values = Vec::new();
+        for i in 0..n {
+            let vals = MinHasher::synthetic_values(i as u64, 60);
+            f.insert(i as u32, &h.signature(vals.iter().copied()));
+            values.push(vals);
+        }
+        f.commit();
+        (h, f, values)
+    }
+
+    #[test]
+    fn roundtrip_preserves_queries() {
+        let (h, forest, values) = sample_forest(200);
+        let bytes = forest.to_bytes();
+        let restored = LshForest::from_bytes(&bytes).expect("decode");
+        assert_eq!(restored.len(), forest.len());
+        for vals in values.iter().take(20) {
+            let sig = h.signature(vals.iter().copied());
+            for &(b, r) in &[(32usize, 8usize), (8, 4), (1, 1)] {
+                assert_eq!(forest.query(&sig, b, r), restored.query(&sig, b, r));
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_byte_identical() {
+        let (_, forest, _) = sample_forest(50);
+        let bytes = forest.to_bytes();
+        let restored = LshForest::from_bytes(&bytes).expect("decode");
+        assert_eq!(restored.to_bytes(), bytes, "canonical form must be stable");
+    }
+
+    #[test]
+    fn restored_forest_accepts_new_inserts() {
+        let (h, forest, _) = sample_forest(30);
+        let mut restored = LshForest::from_bytes(&forest.to_bytes()).expect("decode");
+        let vals = MinHasher::synthetic_values(999, 40);
+        let sig = h.signature(vals.iter().copied());
+        restored.insert(777, &sig);
+        assert!(restored.query(&sig, 32, 8).contains(&777));
+        restored.commit();
+        assert!(restored.query(&sig, 32, 8).contains(&777));
+    }
+
+    #[test]
+    #[should_panic(expected = "commit the forest")]
+    fn staged_forest_refuses_serialisation() {
+        let h = MinHasher::new(256);
+        let mut f = LshForest::new(32, 8);
+        f.insert(1, &h.signature(MinHasher::synthetic_values(1, 10)));
+        let _ = f.to_bytes();
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let (_, forest, _) = sample_forest(10);
+        let bytes = forest.to_bytes();
+        for cut in [0usize, 4, 5, 12, 20, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                LshForest::from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let (_, forest, _) = sample_forest(5);
+        let mut bytes = forest.to_bytes();
+        bytes.push(0);
+        assert_eq!(
+            LshForest::from_bytes(&bytes).unwrap_err(),
+            CodecError::Corrupt("trailing bytes after forest")
+        );
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let (_, forest, _) = sample_forest(5);
+        let mut bytes = forest.to_bytes();
+        bytes[0] = b'X';
+        assert!(matches!(
+            LshForest::from_bytes(&bytes).unwrap_err(),
+            CodecError::BadMagic { .. }
+        ));
+    }
+
+    #[test]
+    fn inconsistent_tree_size_rejected() {
+        // Hand-craft a payload whose second tree has the wrong id count.
+        let mut enc = Encoder::default();
+        enc.envelope(MAGIC, VERSION);
+        enc.put_u32(2); // b_max
+        enc.put_u32(1); // r_max
+        enc.put_u64(1); // len
+        enc.put_u32_slice(&[5]); // tree 0 keys (1 row × r_max 1)
+        enc.put_u32_slice(&[9]); // tree 0 ids
+        enc.put_u32_slice(&[5, 6]); // tree 1 keys: 2 rows — wrong
+        enc.put_u32_slice(&[9, 10]);
+        let err = LshForest::from_bytes(&enc.finish()).unwrap_err();
+        assert!(matches!(err, CodecError::Corrupt(_)));
+    }
+}

@@ -1,0 +1,417 @@
+//! Minimal self-describing binary codec used for sketch and index
+//! persistence across the workspace.
+//!
+//! The paper's deployment exchanges MinHash sketches between clients and
+//! servers ("small memory footprint as it needs to be exchanged over the
+//! Web", §1.1); this module defines that wire format. It is deliberately
+//! simple — fixed-width little-endian integers, length-prefixed arrays, a
+//! magic tag and a version byte per envelope — so it can be re-implemented
+//! in any language in an afternoon and carries no dependency.
+
+/// Errors from decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended before the announced structure was complete.
+    UnexpectedEof {
+        /// What the decoder was reading when the input ran out.
+        reading: &'static str,
+    },
+    /// The magic tag did not match the expected envelope.
+    BadMagic {
+        /// The tag the envelope should have carried.
+        expected: [u8; 4],
+        /// The tag actually found.
+        found: [u8; 4],
+    },
+    /// The envelope version is not supported by this build.
+    UnsupportedVersion {
+        /// The version actually found.
+        found: u8,
+        /// The newest version this build understands.
+        supported: u8,
+    },
+    /// A structural invariant failed (impossible lengths, inconsistent
+    /// counts) — the bytes are corrupt or not what they claim to be.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnexpectedEof { reading } => {
+                write!(f, "unexpected end of input while reading {reading}")
+            }
+            Self::BadMagic { expected, found } => write!(
+                f,
+                "bad magic: expected {:?}, found {:?}",
+                String::from_utf8_lossy(expected),
+                String::from_utf8_lossy(found)
+            ),
+            Self::UnsupportedVersion { found, supported } => {
+                write!(f, "unsupported version {found} (supported ≤ {supported})")
+            }
+            Self::Corrupt(what) => write!(f, "corrupt payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Append-only encoder over a byte vector.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Creates an encoder, optionally pre-sized.
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Writes the 4-byte magic tag and a version byte.
+    pub fn envelope(&mut self, magic: [u8; 4], version: u8) {
+        self.buf.extend_from_slice(&magic);
+        self.buf.push(version);
+    }
+
+    /// Writes a `u8`.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an `f64` by bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Writes a length-prefixed `u32` slice.
+    pub fn put_u32_slice(&mut self, vs: &[u32]) {
+        self.put_u64(vs.len() as u64);
+        for &v in vs {
+            self.put_u32(v);
+        }
+    }
+
+    /// Writes a length-prefixed `u64` slice.
+    pub fn put_u64_slice(&mut self, vs: &[u64]) {
+        self.put_u64(vs.len() as u64);
+        for &v in vs {
+            self.put_u64(v);
+        }
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u64(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Finishes encoding.
+    #[must_use]
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Cursor-based decoder over a byte slice.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Creates a decoder at offset 0.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, reading: &'static str) -> Result<&'a [u8], CodecError> {
+        if self.pos + n > self.buf.len() {
+            return Err(CodecError::UnexpectedEof { reading });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Checks the magic tag and returns the version byte.
+    ///
+    /// # Errors
+    /// [`CodecError::BadMagic`] / [`CodecError::UnexpectedEof`].
+    pub fn envelope(&mut self, magic: [u8; 4]) -> Result<u8, CodecError> {
+        let found = self.take(4, "magic")?;
+        if found != magic {
+            return Err(CodecError::BadMagic {
+                expected: magic,
+                found: found.try_into().expect("4 bytes"),
+            });
+        }
+        Ok(self.take(1, "version")?[0])
+    }
+
+    /// Reads a `u8`.
+    ///
+    /// # Errors
+    /// [`CodecError::UnexpectedEof`].
+    pub fn get_u8(&mut self, reading: &'static str) -> Result<u8, CodecError> {
+        Ok(self.take(1, reading)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    /// [`CodecError::UnexpectedEof`].
+    pub fn get_u32(&mut self, reading: &'static str) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, reading)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    /// [`CodecError::UnexpectedEof`].
+    pub fn get_u64(&mut self, reading: &'static str) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, reading)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads an `f64` by bit pattern.
+    ///
+    /// # Errors
+    /// [`CodecError::UnexpectedEof`].
+    pub fn get_f64(&mut self, reading: &'static str) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.get_u64(reading)?))
+    }
+
+    /// Reads a length-prefixed `u32` vector, guarding the announced length
+    /// against the remaining input so corrupt lengths fail fast instead of
+    /// allocating gigabytes.
+    ///
+    /// # Errors
+    /// [`CodecError`] variants on truncation or corruption.
+    pub fn get_u32_vec(&mut self, reading: &'static str) -> Result<Vec<u32>, CodecError> {
+        let n = self.get_u64(reading)? as usize;
+        if n.checked_mul(4)
+            .map_or(true, |bytes| self.pos + bytes > self.buf.len())
+        {
+            return Err(CodecError::Corrupt("announced u32 array exceeds input"));
+        }
+        (0..n).map(|_| self.get_u32(reading)).collect()
+    }
+
+    /// Reads a length-prefixed `u64` vector with the same length guard.
+    ///
+    /// # Errors
+    /// [`CodecError`] variants on truncation or corruption.
+    pub fn get_u64_vec(&mut self, reading: &'static str) -> Result<Vec<u64>, CodecError> {
+        let n = self.get_u64(reading)? as usize;
+        if n.checked_mul(8)
+            .map_or(true, |bytes| self.pos + bytes > self.buf.len())
+        {
+            return Err(CodecError::Corrupt("announced u64 array exceeds input"));
+        }
+        (0..n).map(|_| self.get_u64(reading)).collect()
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    /// [`CodecError`] variants on truncation or invalid UTF-8.
+    pub fn get_str(&mut self, reading: &'static str) -> Result<String, CodecError> {
+        let n = self.get_u64(reading)? as usize;
+        if self.pos + n > self.buf.len() {
+            return Err(CodecError::Corrupt("announced string exceeds input"));
+        }
+        let bytes = self.take(n, reading)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::Corrupt("invalid UTF-8"))
+    }
+
+    /// True if every input byte has been consumed.
+    #[must_use]
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Remaining unread bytes.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+/// Wire format of a [`crate::Signature`]: the query sketch a client ships
+/// to a search server.
+pub mod signature_wire {
+    use super::{CodecError, Decoder, Encoder};
+    use crate::Signature;
+
+    /// Envelope tag.
+    pub const MAGIC: [u8; 4] = *b"LSIG";
+    /// Current version.
+    pub const VERSION: u8 = 1;
+
+    /// Encodes a signature (5-byte envelope + 8 bytes per slot + length).
+    #[must_use]
+    pub fn encode(sig: &Signature) -> Vec<u8> {
+        let mut enc = Encoder::with_capacity(13 + 8 * sig.len());
+        enc.envelope(MAGIC, VERSION);
+        enc.put_u64_slice(sig.slots());
+        enc.finish()
+    }
+
+    /// Decodes a signature.
+    ///
+    /// # Errors
+    /// [`CodecError`] on truncation, tag/version mismatch, or an empty
+    /// slot array.
+    pub fn decode(bytes: &[u8]) -> Result<Signature, CodecError> {
+        let mut dec = Decoder::new(bytes);
+        let version = dec.envelope(MAGIC)?;
+        if version > VERSION {
+            return Err(CodecError::UnsupportedVersion {
+                found: version,
+                supported: VERSION,
+            });
+        }
+        let slots = dec.get_u64_vec("signature slots")?;
+        if slots.is_empty() {
+            return Err(CodecError::Corrupt("signature must have slots"));
+        }
+        Ok(Signature::from_slots(slots))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MinHasher;
+
+    #[test]
+    fn primitive_roundtrip() {
+        let mut enc = Encoder::default();
+        enc.envelope(*b"TEST", 3);
+        enc.put_u8(7);
+        enc.put_u32(0xDEAD_BEEF);
+        enc.put_u64(u64::MAX);
+        enc.put_f64(0.25);
+        enc.put_u32_slice(&[1, 2, 3]);
+        enc.put_u64_slice(&[]);
+        enc.put_str("héllo");
+        let bytes = enc.finish();
+
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(dec.envelope(*b"TEST").expect("envelope"), 3);
+        assert_eq!(dec.get_u8("a").expect("u8"), 7);
+        assert_eq!(dec.get_u32("b").expect("u32"), 0xDEAD_BEEF);
+        assert_eq!(dec.get_u64("c").expect("u64"), u64::MAX);
+        assert_eq!(dec.get_f64("d").expect("f64"), 0.25);
+        assert_eq!(dec.get_u32_vec("e").expect("vec"), vec![1, 2, 3]);
+        assert_eq!(dec.get_u64_vec("f").expect("vec"), Vec::<u64>::new());
+        assert_eq!(dec.get_str("g").expect("str"), "héllo");
+        assert!(dec.is_exhausted());
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let mut enc = Encoder::default();
+        enc.envelope(*b"AAAA", 1);
+        let bytes = enc.finish();
+        let err = Decoder::new(&bytes).envelope(*b"BBBB").unwrap_err();
+        assert!(matches!(err, CodecError::BadMagic { .. }));
+        assert!(err.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn eof_detected() {
+        let mut dec = Decoder::new(&[1, 2]);
+        let err = dec.get_u32("field").unwrap_err();
+        assert_eq!(err, CodecError::UnexpectedEof { reading: "field" });
+    }
+
+    #[test]
+    fn oversized_length_rejected_without_allocation() {
+        // A corrupt length prefix claiming 2^60 elements must error, not OOM.
+        let mut enc = Encoder::default();
+        enc.put_u64(1 << 60);
+        enc.put_u32(1);
+        let bytes = enc.finish();
+        let err = Decoder::new(&bytes).get_u32_vec("field").unwrap_err();
+        assert!(matches!(err, CodecError::Corrupt(_)));
+    }
+
+    #[test]
+    fn signature_wire_roundtrip() {
+        let h = MinHasher::new(256);
+        let sig = h.signature(MinHasher::synthetic_values(5, 500));
+        let bytes = signature_wire::encode(&sig);
+        // Envelope (5) + length (8) + 256 slots × 8.
+        assert_eq!(bytes.len(), 5 + 8 + 256 * 8);
+        let back = signature_wire::decode(&bytes).expect("decode");
+        assert_eq!(back, sig);
+    }
+
+    #[test]
+    fn signature_wire_rejects_future_version() {
+        let h = MinHasher::new(16);
+        let mut bytes = signature_wire::encode(&h.signature([1u64]));
+        bytes[4] = 99; // version byte
+        let err = signature_wire::decode(&bytes).unwrap_err();
+        assert!(matches!(
+            err,
+            CodecError::UnsupportedVersion { found: 99, .. }
+        ));
+    }
+
+    #[test]
+    fn signature_wire_rejects_truncation() {
+        let h = MinHasher::new(64);
+        let bytes = signature_wire::encode(&h.signature([1u64, 2]));
+        for cut in [0usize, 3, 5, 12, bytes.len() - 1] {
+            assert!(
+                signature_wire::decode(&bytes[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn signature_wire_rejects_empty() {
+        let mut enc = Encoder::default();
+        enc.envelope(signature_wire::MAGIC, signature_wire::VERSION);
+        enc.put_u64_slice(&[]);
+        assert_eq!(
+            signature_wire::decode(&enc.finish()).unwrap_err(),
+            CodecError::Corrupt("signature must have slots")
+        );
+    }
+}

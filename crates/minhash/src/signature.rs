@@ -1,0 +1,436 @@
+//! MinHash signatures and the [`MinHasher`] that produces them.
+//!
+//! A signature is the vector of per-permutation minima of a domain's hashed
+//! values (§3.1 of the paper). Signatures support:
+//!
+//! * unbiased Jaccard estimation by slot collision counting (Eq. 4),
+//! * slot-wise `min` merging, which computes the signature of a set union
+//!   exactly (used for streaming ingestion),
+//! * cardinality estimation (the `approx(|Q|)` primitive of §5.1), and
+//! * containment estimation via the inclusion–exclusion conversion (Eq. 6).
+
+use crate::hash::SeedStream;
+use crate::perm::{PermutationFamily, EMPTY_SLOT, MERSENNE_PRIME};
+
+/// Default number of minwise hash functions, matching Table 3 of the paper.
+pub const DEFAULT_NUM_PERM: usize = 256;
+
+/// A MinHash signature: one minimum per permutation slot.
+///
+/// Slots hold values in `[0, p)` (`p = 2^61 − 1`) for non-empty domains, or
+/// [`EMPTY_SLOT`] for the signature of the empty set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Signature {
+    slots: Box<[u64]>,
+}
+
+impl Signature {
+    /// The signature of the empty domain at width `m` (all sentinel slots).
+    #[must_use]
+    pub fn empty(m: usize) -> Self {
+        Self {
+            slots: vec![EMPTY_SLOT; m].into_boxed_slice(),
+        }
+    }
+
+    /// Wraps raw slot values. Intended for deserialisation and tests.
+    ///
+    /// # Panics
+    /// Panics if `slots` is empty.
+    #[must_use]
+    pub fn from_slots(slots: Vec<u64>) -> Self {
+        assert!(!slots.is_empty(), "signature must have at least one slot");
+        Self {
+            slots: slots.into_boxed_slice(),
+        }
+    }
+
+    /// Signature width `m`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if the width is zero (cannot occur via public constructors).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// True if this is the signature of an empty domain.
+    #[must_use]
+    pub fn is_empty_domain(&self) -> bool {
+        self.slots.first() == Some(&EMPTY_SLOT)
+    }
+
+    /// Raw slot access.
+    #[must_use]
+    pub fn slots(&self) -> &[u64] {
+        &self.slots
+    }
+
+    /// Estimates Jaccard similarity as the fraction of colliding slots
+    /// (Eq. 4). Two empty-domain signatures estimate 1.0 (both sets equal).
+    ///
+    /// # Panics
+    /// Panics if the signatures have different widths.
+    #[must_use]
+    pub fn jaccard(&self, other: &Self) -> f64 {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "signatures must share a permutation family"
+        );
+        let hits = self
+            .slots
+            .iter()
+            .zip(other.slots.iter())
+            .filter(|(a, b)| a == b)
+            .count();
+        hits as f64 / self.len() as f64
+    }
+
+    /// Merges `other` into `self` by slot-wise minimum.
+    ///
+    /// Because `min` distributes over set union, the result is exactly the
+    /// signature of the union of the two underlying domains.
+    ///
+    /// # Panics
+    /// Panics if the signatures have different widths.
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(self.len(), other.len(), "signature width mismatch");
+        for (a, b) in self.slots.iter_mut().zip(other.slots.iter()) {
+            if *b < *a {
+                *a = *b;
+            }
+        }
+    }
+
+    /// Returns the union signature without mutating the inputs.
+    #[must_use]
+    pub fn union(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        out.merge(other);
+        out
+    }
+
+    /// Estimates the cardinality of the underlying domain (§5.1's
+    /// `approx(|Q|)`).
+    ///
+    /// Each slot is the minimum of `n` i.i.d. uniform draws on `[0, p)`;
+    /// the normalised minimum has expectation `1/(n+1)`, so
+    /// `n̂ = m / Σ vᵢ − 1` with `vᵢ = slotᵢ / p`. The estimate is clamped
+    /// below at 0 and rounds to the nearest integer for `estimate ≥ 1`.
+    #[must_use]
+    pub fn cardinality(&self) -> f64 {
+        if self.is_empty_domain() {
+            return 0.0;
+        }
+        let m = self.len() as f64;
+        let sum: f64 = self
+            .slots
+            .iter()
+            .map(|&s| s as f64 / MERSENNE_PRIME as f64)
+            .sum();
+        if sum <= 0.0 {
+            // All minima collapsed to 0 — astronomically unlikely unless the
+            // domain is enormous; report the largest finite guess instead of
+            // dividing by zero.
+            return f64::MAX;
+        }
+        (m / sum - 1.0).max(0.0)
+    }
+
+    /// Estimates the containment `t(Q, X) = |Q ∩ X| / |Q|` of `self` (the
+    /// query `Q`) in `other` (`X`), given the true or estimated cardinalities
+    /// `q` and `x`, via Eq. 6: `t̂(s) = (x/q + 1)·s / (1 + s)`.
+    ///
+    /// Returns a value clamped to `[0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if `q` is not strictly positive.
+    #[must_use]
+    pub fn containment_in(&self, other: &Self, q: f64, x: f64) -> f64 {
+        assert!(q > 0.0, "query cardinality must be positive");
+        let s = self.jaccard(other);
+        crate::containment_from_jaccard(s, x, q)
+    }
+}
+
+/// Deterministic MinHash signature generator over a [`PermutationFamily`].
+///
+/// The hasher owns the family; all signatures it creates are mutually
+/// comparable, and two hashers with the same `(seed, m)` produce identical
+/// signatures for identical input sets.
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MinHasher {
+    family: PermutationFamily,
+}
+
+impl MinHasher {
+    /// Default family seed shared across the workspace.
+    pub const DEFAULT_SEED: u64 = 0x5EED_CAFE_F00D_D00D;
+
+    /// Creates a hasher with `m` permutations from an explicit seed.
+    #[must_use]
+    pub fn with_seed(seed: u64, m: usize) -> Self {
+        Self {
+            family: PermutationFamily::new(seed, m),
+        }
+    }
+
+    /// Creates a hasher with the workspace default seed.
+    #[must_use]
+    pub fn new(m: usize) -> Self {
+        Self::with_seed(Self::DEFAULT_SEED, m)
+    }
+
+    /// Signature width `m`.
+    #[must_use]
+    pub fn num_perm(&self) -> usize {
+        self.family.len()
+    }
+
+    /// The underlying permutation family.
+    #[must_use]
+    pub fn family(&self) -> &PermutationFamily {
+        &self.family
+    }
+
+    /// True if signatures from `other` are comparable with ours.
+    #[must_use]
+    pub fn compatible_with(&self, other: &Self) -> bool {
+        self.family.compatible_with(&other.family)
+    }
+
+    /// Computes the signature of a set of pre-hashed 64-bit values.
+    ///
+    /// Duplicates in the input do not affect the result (minimum is
+    /// idempotent), so callers may stream multisets. An empty iterator
+    /// yields [`Signature::empty`].
+    #[must_use]
+    pub fn signature<I>(&self, values: I) -> Signature
+    where
+        I: IntoIterator<Item = u64>,
+    {
+        let m = self.family.len();
+        let mut slots = vec![EMPTY_SLOT; m];
+        let perms = self.family.permutations();
+        for v in values {
+            for (slot, perm) in slots.iter_mut().zip(perms.iter()) {
+                let h = perm.apply(v);
+                if h < *slot {
+                    *slot = h;
+                }
+            }
+        }
+        Signature {
+            slots: slots.into_boxed_slice(),
+        }
+    }
+
+    /// Convenience: hash raw string values into the universe, then sign.
+    #[must_use]
+    pub fn signature_of_strs<'a, I>(&self, values: I) -> Signature
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        self.signature(values.into_iter().map(crate::hash::hash_str))
+    }
+
+    /// Folds one more value into an existing signature (streaming update).
+    ///
+    /// # Panics
+    /// Panics if the signature width differs from the hasher's `m`.
+    pub fn update(&self, sig: &mut Signature, value: u64) {
+        assert_eq!(sig.len(), self.family.len(), "signature width mismatch");
+        for (slot, perm) in sig.slots.iter_mut().zip(self.family.permutations()) {
+            let h = perm.apply(value);
+            if h < *slot {
+                *slot = h;
+            }
+        }
+    }
+
+    /// Generates a set of `n` distinct synthetic universe values, useful in
+    /// tests and benchmarks. Values are drawn deterministically from `seed`.
+    #[must_use]
+    pub fn synthetic_values(seed: u64, n: usize) -> Vec<u64> {
+        let mut stream = SeedStream::new(seed);
+        let mut out = crate::hash::FastHashSet::default();
+        out.reserve(n);
+        while out.len() < n {
+            out.insert(stream.next_u64());
+        }
+        out.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(vals: &[u64]) -> Vec<u64> {
+        vals.to_vec()
+    }
+
+    #[test]
+    fn identical_sets_have_identical_signatures() {
+        let h = MinHasher::new(128);
+        let a = h.signature(set(&[1, 2, 3, 4, 5]));
+        let b = h.signature(set(&[5, 4, 3, 2, 1]));
+        assert_eq!(a, b, "order must not matter");
+        assert!((a.jaccard(&b) - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn duplicates_ignored() {
+        let h = MinHasher::new(64);
+        let a = h.signature(set(&[1, 1, 2, 2, 3]));
+        let b = h.signature(set(&[1, 2, 3]));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_signature_flags() {
+        let h = MinHasher::new(16);
+        let e = h.signature(std::iter::empty());
+        assert!(e.is_empty_domain());
+        assert_eq!(e, Signature::empty(16));
+        assert_eq!(e.cardinality(), 0.0);
+    }
+
+    #[test]
+    fn disjoint_sets_estimate_near_zero() {
+        let h = MinHasher::new(256);
+        let a = h.signature(MinHasher::synthetic_values(1, 500));
+        let b = h.signature(MinHasher::synthetic_values(2, 500));
+        assert!(a.jaccard(&b) < 0.05, "jaccard = {}", a.jaccard(&b));
+    }
+
+    #[test]
+    fn jaccard_estimate_concentrates() {
+        // |A| = |B| = 1000, |A ∩ B| = 500 → J = 500 / 1500 = 1/3.
+        let h = MinHasher::new(256);
+        let shared = MinHasher::synthetic_values(10, 500);
+        let only_a = MinHasher::synthetic_values(11, 500);
+        let only_b = MinHasher::synthetic_values(12, 500);
+        let a: Vec<u64> = shared.iter().chain(only_a.iter()).copied().collect();
+        let b: Vec<u64> = shared.iter().chain(only_b.iter()).copied().collect();
+        let est = h.signature(a).jaccard(&h.signature(b));
+        let truth = 1.0 / 3.0;
+        // Std-dev ≈ sqrt(J(1−J)/m) ≈ 0.029; allow 4 sigma.
+        assert!((est - truth).abs() < 0.12, "estimate {est} vs {truth}");
+    }
+
+    #[test]
+    fn merge_computes_union_signature() {
+        let h = MinHasher::new(128);
+        let xs = MinHasher::synthetic_values(20, 300);
+        let ys = MinHasher::synthetic_values(21, 300);
+        let mut merged = h.signature(xs.iter().copied());
+        merged.merge(&h.signature(ys.iter().copied()));
+        let direct = h.signature(xs.into_iter().chain(ys));
+        assert_eq!(merged, direct);
+    }
+
+    #[test]
+    fn union_is_commutative() {
+        let h = MinHasher::new(64);
+        let a = h.signature(MinHasher::synthetic_values(30, 100));
+        let b = h.signature(MinHasher::synthetic_values(31, 100));
+        assert_eq!(a.union(&b), b.union(&a));
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let h = MinHasher::new(64);
+        let a = h.signature(MinHasher::synthetic_values(40, 50));
+        let mut merged = a.clone();
+        merged.merge(&Signature::empty(64));
+        assert_eq!(merged, a);
+    }
+
+    #[test]
+    fn streaming_update_matches_batch() {
+        let h = MinHasher::new(64);
+        let vals = MinHasher::synthetic_values(50, 200);
+        let mut streamed = Signature::empty(64);
+        for &v in &vals {
+            h.update(&mut streamed, v);
+        }
+        assert_eq!(streamed, h.signature(vals));
+    }
+
+    #[test]
+    fn cardinality_estimate_relative_error() {
+        let h = MinHasher::new(256);
+        for &n in &[100usize, 1_000, 10_000] {
+            let sig = h.signature(MinHasher::synthetic_values(n as u64, n));
+            let est = sig.cardinality();
+            let rel = (est - n as f64).abs() / n as f64;
+            // Relative std-dev of the estimator is ~1/sqrt(m) ≈ 6.25%;
+            // allow 4 sigma.
+            assert!(rel < 0.25, "n = {n}, estimate = {est}, rel err = {rel}");
+        }
+    }
+
+    #[test]
+    fn cardinality_of_singleton() {
+        let h = MinHasher::new(256);
+        let sig = h.signature([42u64]);
+        let est = sig.cardinality();
+        assert!(est < 5.0, "singleton estimated as {est}");
+    }
+
+    #[test]
+    fn containment_estimate_tracks_truth() {
+        // Q ⊂ X with |Q| = 200, |X| = 1000, t(Q,X) = 1.0.
+        let h = MinHasher::new(256);
+        let x_vals = MinHasher::synthetic_values(60, 1000);
+        let q_vals: Vec<u64> = x_vals[..200].to_vec();
+        let q = h.signature(q_vals);
+        let x = h.signature(x_vals);
+        let t = q.containment_in(&x, 200.0, 1000.0);
+        assert!(t > 0.8, "containment estimate {t} too low for t = 1.0");
+    }
+
+    #[test]
+    fn signature_of_strs_uses_value_hash() {
+        let h = MinHasher::new(32);
+        let a = h.signature_of_strs(["ontario", "toronto"]);
+        let b = h.signature([
+            crate::hash::hash_str("toronto"),
+            crate::hash::hash_str("ontario"),
+        ]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_give_incomparable_hashers() {
+        let h1 = MinHasher::with_seed(1, 32);
+        let h2 = MinHasher::with_seed(2, 32);
+        assert!(!h1.compatible_with(&h2));
+        assert!(h1.compatible_with(&h1.clone()));
+    }
+
+    #[test]
+    #[should_panic(expected = "share a permutation family")]
+    fn jaccard_width_mismatch_panics() {
+        let a = Signature::empty(8);
+        let b = Signature::empty(16);
+        let _ = a.jaccard(&b);
+    }
+
+    #[test]
+    fn synthetic_values_distinct_and_deterministic() {
+        let a = MinHasher::synthetic_values(7, 1000);
+        let b = MinHasher::synthetic_values(7, 1000);
+        let sa: std::collections::HashSet<u64> = a.iter().copied().collect();
+        assert_eq!(sa.len(), 1000);
+        let sb: std::collections::HashSet<u64> = b.iter().copied().collect();
+        assert_eq!(sa, sb);
+    }
+}

@@ -1,0 +1,91 @@
+//! Internet-scale deployment in miniature: a WDC-Web-Tables-like corpus of
+//! 100,000 synthetic domains, sharded across 5 in-process "nodes" exactly
+//! like the paper's cluster (§6.3), with timed containment queries.
+//!
+//! Run with:
+//! `cargo run --release -p lshe-core --example web_tables_at_scale -- [domains]`
+
+use lshe_core::{EnsembleConfig, PartitionStrategy, ShardedEnsemble};
+use lshe_datagen::{generate_catalog, sample_queries, CorpusConfig, SizeBand};
+use lshe_minhash::MinHasher;
+use std::time::Instant;
+
+fn main() {
+    let num_domains: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("domain count"))
+        .unwrap_or(100_000);
+
+    // 1. Generate the corpus (power-law sizes 1..2^14, clustered overlap).
+    let started = Instant::now();
+    let catalog = generate_catalog(&CorpusConfig::wdc_web_tables_like(num_domains));
+    println!(
+        "generated {} domains ({} values) in {:.1}s",
+        catalog.len(),
+        catalog.total_values(),
+        started.elapsed().as_secs_f64()
+    );
+
+    // 2. Sketch everything (m = 256) and bulk-load 5 shards × 32 partitions.
+    let hasher = MinHasher::new(256);
+    let started = Instant::now();
+    let signatures: Vec<_> = catalog.iter().map(|(_, d)| d.signature(&hasher)).collect();
+    println!("sketched in {:.1}s", started.elapsed().as_secs_f64());
+
+    let ids: Vec<u32> = catalog.iter().map(|(id, _)| id).collect();
+    let sizes: Vec<u64> = catalog.iter().map(|(_, d)| d.len() as u64).collect();
+    let sig_refs: Vec<&lshe_minhash::Signature> = signatures.iter().collect();
+    let started = Instant::now();
+    let index = ShardedEnsemble::build_from_parts(
+        5,
+        EnsembleConfig {
+            strategy: PartitionStrategy::EquiDepth { n: 32 },
+            ..EnsembleConfig::default()
+        },
+        &ids,
+        &sizes,
+        &sig_refs,
+    );
+    println!(
+        "indexed across {} shards in {:.1}s",
+        index.num_shards(),
+        started.elapsed().as_secs_f64()
+    );
+
+    // 3. Run a query workload at t* = 0.5 and report latency.
+    let queries = sample_queries(&catalog, 200, SizeBand::All, 7);
+    let started = Instant::now();
+    let mut total_candidates = 0usize;
+    for &q in &queries {
+        let hits =
+            index.query_with_size(&signatures[q as usize], catalog.domain(q).len() as u64, 0.5);
+        total_candidates += hits.len();
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    println!(
+        "\n{} queries at t* = 0.5: mean latency {:.2} ms, mean candidates {:.1}",
+        queries.len(),
+        1000.0 * elapsed / queries.len() as f64,
+        total_candidates as f64 / queries.len() as f64
+    );
+
+    // 4. Every query must at least find itself (exact duplicate).
+    let self_found = queries
+        .iter()
+        .filter(|&&q| {
+            index
+                .query_with_size(&signatures[q as usize], catalog.domain(q).len() as u64, 0.9)
+                .contains(&q)
+        })
+        .count();
+    println!(
+        "self-match check at t* = 0.9: {}/{} queries found themselves",
+        self_found,
+        queries.len()
+    );
+    assert_eq!(
+        self_found,
+        queries.len(),
+        "exact matches must never be lost"
+    );
+}

@@ -1,0 +1,147 @@
+//! End-to-end accuracy: generated corpus → signatures → ensemble → search,
+//! measured against exact ground truth. Asserts the paper's qualitative
+//! claims at test scale: partitioning buys precision, recall stays high,
+//! and the effect strengthens with the partition count.
+
+use lshe_core::{ContainmentSearch, EnsembleConfig, LshEnsemble, PartitionStrategy};
+use lshe_corpus::{Catalog, ExactIndex};
+use lshe_datagen::{
+    aggregate, generate_catalog, query_accuracy, sample_queries, CorpusConfig, QueryAccuracy,
+    SizeBand,
+};
+use lshe_minhash::{MinHasher, Signature};
+
+struct World {
+    catalog: Catalog,
+    signatures: Vec<Signature>,
+    exact: ExactIndex,
+    queries: Vec<u32>,
+}
+
+fn world() -> World {
+    let catalog = generate_catalog(&CorpusConfig::tiny(3_000, 77));
+    let hasher = MinHasher::new(256);
+    let signatures: Vec<Signature> = catalog.iter().map(|(_, d)| d.signature(&hasher)).collect();
+    let exact = ExactIndex::build(&catalog);
+    let queries = sample_queries(&catalog, 120, SizeBand::All, 5);
+    World {
+        catalog,
+        signatures,
+        exact,
+        queries,
+    }
+}
+
+fn build(world: &World, strategy: PartitionStrategy) -> LshEnsemble {
+    let ids: Vec<u32> = world.catalog.iter().map(|(id, _)| id).collect();
+    let sizes: Vec<u64> = world.catalog.iter().map(|(_, d)| d.len() as u64).collect();
+    let refs: Vec<&Signature> = world.signatures.iter().collect();
+    LshEnsemble::build_from_parts(
+        EnsembleConfig {
+            strategy,
+            ..EnsembleConfig::default()
+        },
+        &ids,
+        &sizes,
+        &refs,
+    )
+}
+
+fn measure(world: &World, index: &dyn ContainmentSearch, t_star: f64) -> (f64, f64) {
+    let per_query: Vec<QueryAccuracy> = world
+        .queries
+        .iter()
+        .map(|&q| {
+            let truth = world.exact.search(world.catalog.domain(q), t_star);
+            let answer = index.search(
+                &world.signatures[q as usize],
+                world.catalog.domain(q).len() as u64,
+                t_star,
+            );
+            query_accuracy(&answer, &truth)
+        })
+        .collect();
+    let agg = aggregate(&per_query);
+    (agg.precision, agg.recall)
+}
+
+#[test]
+fn partitioning_improves_precision_keeps_recall() {
+    let w = world();
+    let baseline = build(&w, PartitionStrategy::Single);
+    let ens8 = build(&w, PartitionStrategy::EquiDepth { n: 8 });
+    let ens32 = build(&w, PartitionStrategy::EquiDepth { n: 32 });
+
+    let (p1, r1) = measure(&w, &baseline, 0.5);
+    let (p8, r8) = measure(&w, &ens8, 0.5);
+    let (p32, r32) = measure(&w, &ens32, 0.5);
+
+    // Figure 4's ordering at t* = 0.5.
+    assert!(
+        p8 > p1,
+        "8 partitions must beat baseline precision: {p8} vs {p1}"
+    );
+    assert!(
+        p32 >= p8 - 0.02,
+        "32 partitions must not lose precision: {p32} vs {p8}"
+    );
+    for (label, r) in [("baseline", r1), ("ens8", r8), ("ens32", r32)] {
+        assert!(r > 0.8, "{label} recall too low: {r}");
+    }
+    // Recall may dip slightly with partitioning but must stay close.
+    assert!(
+        r1 - r32 < 0.1,
+        "partitioning cost too much recall: {r1} vs {r32}"
+    );
+}
+
+#[test]
+fn high_threshold_keeps_perfect_matches() {
+    let w = world();
+    let ens = build(&w, PartitionStrategy::EquiDepth { n: 16 });
+    // Every query must find itself at t* = 1.0 (identical signature).
+    for &q in &w.queries {
+        let hits = ens.search(
+            &w.signatures[q as usize],
+            w.catalog.domain(q).len() as u64,
+            1.0,
+        );
+        assert!(hits.contains(&q), "query {q} lost its own exact match");
+    }
+}
+
+#[test]
+fn precision_ordering_holds_across_thresholds() {
+    let w = world();
+    let baseline = build(&w, PartitionStrategy::Single);
+    let ens32 = build(&w, PartitionStrategy::EquiDepth { n: 32 });
+    let mut wins = 0usize;
+    let thresholds = [0.3, 0.5, 0.7];
+    for &t in &thresholds {
+        let (pb, _) = measure(&w, &baseline, t);
+        let (pe, _) = measure(&w, &ens32, t);
+        if pe >= pb {
+            wins += 1;
+        }
+    }
+    assert!(
+        wins >= 2,
+        "ensemble precision should dominate the baseline on most thresholds ({wins}/3)"
+    );
+}
+
+#[test]
+fn answers_are_sorted_and_unique() {
+    let w = world();
+    let ens = build(&w, PartitionStrategy::EquiDepth { n: 8 });
+    for &q in w.queries.iter().take(20) {
+        let hits = ens.search(
+            &w.signatures[q as usize],
+            w.catalog.domain(q).len() as u64,
+            0.4,
+        );
+        for pair in hits.windows(2) {
+            assert!(pair[0] < pair[1], "ids must be sorted unique: {hits:?}");
+        }
+    }
+}

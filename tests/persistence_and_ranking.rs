@@ -1,0 +1,162 @@
+//! Cross-crate integration: persistence round-trips a generated-corpus
+//! index without changing any answer, and ranked / top-k search agrees
+//! with exact ground truth.
+
+use lshe_core::{EnsembleConfig, LshEnsemble, PartitionStrategy, RankedIndex};
+use lshe_corpus::ExactIndex;
+use lshe_datagen::{generate_catalog, sample_queries, CorpusConfig, SizeBand};
+use lshe_minhash::{codec::signature_wire, MinHasher, OnePermHasher, Signature};
+
+fn world(n: usize, seed: u64) -> (lshe_corpus::Catalog, Vec<Signature>, ExactIndex, Vec<u32>) {
+    let catalog = generate_catalog(&CorpusConfig::tiny(n, seed));
+    let hasher = MinHasher::new(256);
+    let signatures: Vec<Signature> = catalog.iter().map(|(_, d)| d.signature(&hasher)).collect();
+    let exact = ExactIndex::build(&catalog);
+    let queries = sample_queries(&catalog, 40, SizeBand::All, seed + 1);
+    (catalog, signatures, exact, queries)
+}
+
+#[test]
+fn persisted_index_answers_identically_on_generated_corpus() {
+    let (catalog, signatures, _, queries) = world(800, 101);
+    let ids: Vec<u32> = catalog.iter().map(|(id, _)| id).collect();
+    let sizes: Vec<u64> = catalog.iter().map(|(_, d)| d.len() as u64).collect();
+    let refs: Vec<&Signature> = signatures.iter().collect();
+    let mut original = LshEnsemble::build_from_parts(
+        EnsembleConfig {
+            strategy: PartitionStrategy::EquiDepth { n: 8 },
+            ..EnsembleConfig::default()
+        },
+        &ids,
+        &sizes,
+        &refs,
+    );
+    let restored = LshEnsemble::from_bytes(&original.to_bytes()).expect("roundtrip");
+    for &q in &queries {
+        for t in [0.2, 0.5, 0.8, 1.0] {
+            assert_eq!(
+                original.query_with_size(&signatures[q as usize], sizes[q as usize], t),
+                restored.query_with_size(&signatures[q as usize], sizes[q as usize], t),
+                "query {q} diverged at t = {t} after persistence"
+            );
+        }
+    }
+}
+
+#[test]
+fn signature_wire_format_survives_client_server_exchange() {
+    // Simulates the paper's deployment: the client sketches a query
+    // locally, ships the wire bytes, and the server must get identical
+    // search results from the decoded signature.
+    let (catalog, signatures, _, queries) = world(400, 102);
+    let ids: Vec<u32> = catalog.iter().map(|(id, _)| id).collect();
+    let sizes: Vec<u64> = catalog.iter().map(|(_, d)| d.len() as u64).collect();
+    let refs: Vec<&Signature> = signatures.iter().collect();
+    let index = LshEnsemble::build_from_parts(
+        EnsembleConfig {
+            strategy: PartitionStrategy::EquiDepth { n: 4 },
+            ..EnsembleConfig::default()
+        },
+        &ids,
+        &sizes,
+        &refs,
+    );
+    for &q in queries.iter().take(10) {
+        let wire = signature_wire::encode(&signatures[q as usize]);
+        let received = signature_wire::decode(&wire).expect("decode");
+        assert_eq!(
+            index.query_with_size(&signatures[q as usize], sizes[q as usize], 0.6),
+            index.query_with_size(&received, sizes[q as usize], 0.6),
+        );
+    }
+}
+
+#[test]
+fn top_k_hits_are_the_exact_top_k_within_estimation_noise() {
+    let (catalog, signatures, exact, queries) = world(600, 103);
+    let mut builder = RankedIndex::builder_with(EnsembleConfig {
+        strategy: PartitionStrategy::EquiDepth { n: 8 },
+        ..EnsembleConfig::default()
+    });
+    for (id, d) in catalog.iter() {
+        builder.add(id, d.len() as u64, signatures[id as usize].clone());
+    }
+    let ranked = builder.build();
+
+    for &q in queries.iter().take(15) {
+        let query = catalog.domain(q);
+        let hits = ranked.query_top_k(&signatures[q as usize], query.len() as u64, 5);
+        assert!(!hits.is_empty());
+        // The self-match (exact containment 1.0) must appear.
+        assert!(
+            hits.iter().any(|h| h.id == q),
+            "query {q}: self missing from top-5 {hits:?}"
+        );
+        // Every reported hit must have substantial true containment —
+        // estimates are noisy (±0.1 typical) but the top-5 of a corpus
+        // with a guaranteed exact match should not contain near-zero
+        // true scores.
+        let scores = exact.scores(query);
+        for h in &hits {
+            let truth = scores
+                .iter()
+                .find(|&&(id, _)| id == h.id)
+                .map_or(0.0, |&(_, s)| s);
+            assert!(
+                truth > 0.05 || h.estimated_containment < 0.3,
+                "query {q}: hit {} has true containment {truth} but estimate {}",
+                h.id,
+                h.estimated_containment
+            );
+        }
+    }
+}
+
+#[test]
+fn ranked_estimates_close_to_exact_scores() {
+    let (catalog, signatures, exact, queries) = world(500, 104);
+    let mut builder = RankedIndex::builder();
+    for (id, d) in catalog.iter() {
+        builder.add(id, d.len() as u64, signatures[id as usize].clone());
+    }
+    let ranked = builder.build();
+    let mut worst: f64 = 0.0;
+    for &q in queries.iter().take(15) {
+        let query = catalog.domain(q);
+        let scores = exact.scores(query);
+        for h in ranked.query_ranked(&signatures[q as usize], query.len() as u64, 0.4, 0.2) {
+            let truth = scores
+                .iter()
+                .find(|&&(id, _)| id == h.id)
+                .map_or(0.0, |&(_, s)| s);
+            worst = worst.max((truth - h.estimated_containment).abs());
+        }
+    }
+    assert!(worst < 0.35, "worst estimate error {worst}");
+}
+
+#[test]
+fn oneperm_signatures_drive_the_same_index_machinery() {
+    // OPH sketches slot into the ensemble unchanged: exact duplicates are
+    // always found, and high-overlap domains are found with high
+    // probability.
+    let oph = OnePermHasher::new(256);
+    let pool = MinHasher::synthetic_values(7, 4000);
+    let mut builder = LshEnsemble::builder_with(EnsembleConfig {
+        strategy: PartitionStrategy::EquiDepth { n: 4 },
+        ..EnsembleConfig::default()
+    });
+    let mut sigs = Vec::new();
+    for k in 0..40usize {
+        let vals: Vec<u64> = pool[..100 * (k + 1)].to_vec();
+        let sig = oph.signature(vals.iter().copied());
+        builder.add(k as u32, vals.len() as u64, sig.clone());
+        sigs.push((vals.len() as u64, sig));
+    }
+    let index = builder.build();
+    for k in [0usize, 10, 39] {
+        let (size, sig) = &sigs[k];
+        let hits = index.query_with_size(sig, *size, 1.0);
+        assert!(hits.contains(&(k as u32)), "OPH self-match lost for {k}");
+    }
+}
