@@ -1,0 +1,52 @@
+//! # lshe — LSH Ensemble, Internet-Scale Domain Search
+//!
+//! Facade crate for the workspace reproducing **LSH Ensemble** (Zhu,
+//! Nargesian, Pu & Miller, *LSH Ensemble: Internet-Scale Domain Search*,
+//! VLDB 2016). It re-exports every layer under one roof so downstream
+//! users can depend on a single crate:
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`minhash`] | `lshe-minhash` | hashing, permutations, MinHash/OPH signatures |
+//! | [`lsh`] | `lshe-lsh` | static banded LSH and dynamic LSH Forest |
+//! | [`asym`] | `lshe-asym` | asymmetric minwise-hashing baseline (§6.1) |
+//! | [`core`] | `lshe-core` | the ensemble: partitioning, tuning, querying |
+//! | [`corpus`] | `lshe-corpus` | CSV/JSONL ingestion, catalogs, exact baselines |
+//! | [`datagen`] | `lshe-datagen` | synthetic power-law corpora and queries |
+//!
+//! The most common entry points are re-exported at the top level.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use lshe::{LshEnsemble, MinHasher};
+//!
+//! let hasher = MinHasher::new(256);
+//! let mut builder = LshEnsemble::builder();
+//! let pool = MinHasher::synthetic_values(1, 300);
+//! for (id, n) in [(0u32, 100usize), (1, 200), (2, 300)] {
+//!     builder.add(id, n as u64, hasher.signature(pool[..n].iter().copied()));
+//! }
+//! let ensemble = builder.build();
+//!
+//! // Query with the first 100 values at containment threshold 0.5: domain 0
+//! // (identical to the query) must be among the candidates.
+//! let q = hasher.signature(pool[..100].iter().copied());
+//! let hits = ensemble.query_with_size(&q, 100, 0.5);
+//! assert!(hits.contains(&0));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub use lshe_asym as asym;
+pub use lshe_core as core;
+pub use lshe_corpus as corpus;
+pub use lshe_datagen as datagen;
+pub use lshe_lsh as lsh;
+pub use lshe_minhash as minhash;
+
+pub use lshe_core::{EnsembleConfig, LshEnsemble, PartitionStrategy};
+pub use lshe_corpus::{Catalog, Domain};
+pub use lshe_lsh::{DomainId, LshForest};
+pub use lshe_minhash::{MinHasher, OnePermHasher, Signature};

@@ -222,7 +222,7 @@ impl<'a> Decoder<'a> {
     pub fn get_u32_vec(&mut self, reading: &'static str) -> Result<Vec<u32>, CodecError> {
         let n = self.get_u64(reading)? as usize;
         if n.checked_mul(4)
-            .map_or(true, |bytes| self.pos + bytes > self.buf.len())
+            .is_none_or(|bytes| self.pos + bytes > self.buf.len())
         {
             return Err(CodecError::Corrupt("announced u32 array exceeds input"));
         }
@@ -236,7 +236,7 @@ impl<'a> Decoder<'a> {
     pub fn get_u64_vec(&mut self, reading: &'static str) -> Result<Vec<u64>, CodecError> {
         let n = self.get_u64(reading)? as usize;
         if n.checked_mul(8)
-            .map_or(true, |bytes| self.pos + bytes > self.buf.len())
+            .is_none_or(|bytes| self.pos + bytes > self.buf.len())
         {
             return Err(CodecError::Corrupt("announced u64 array exceeds input"));
         }

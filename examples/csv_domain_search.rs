@@ -8,7 +8,7 @@
 //!
 //! Usage:
 //! ```text
-//! cargo run --release -p lshe-core --example csv_domain_search -- \
+//! cargo run --release -p lshe --example csv_domain_search -- \
 //!     [dir] [table.column] [t_star]
 //! ```
 //! With no arguments, the example writes a small demo directory under the

@@ -8,7 +8,7 @@
 //! against exact containment.
 //!
 //! Run with:
-//! `cargo run --release -p lshe-core --example open_data_join_discovery`
+//! `cargo run --release -p lshe --example open_data_join_discovery`
 
 use bytes::Bytes;
 use lshe_core::{EnsembleConfig, LshEnsemble, PartitionStrategy};

@@ -5,7 +5,7 @@
 //! set containment, not Jaccard similarity, is the right relevance measure
 //! for domain search, and how the LSH Ensemble answers it.
 //!
-//! Run with: `cargo run --release -p lshe-core --example quickstart`
+//! Run with: `cargo run --release -p lshe --example quickstart`
 
 use lshe_core::{EnsembleConfig, LshEnsemble, PartitionStrategy};
 use lshe_corpus::{Catalog, Domain, DomainMeta};

@@ -3,7 +3,7 @@
 //! like the paper's cluster (§6.3), with timed containment queries.
 //!
 //! Run with:
-//! `cargo run --release -p lshe-core --example web_tables_at_scale -- [domains]`
+//! `cargo run --release -p lshe --example web_tables_at_scale -- [domains]`
 
 use lshe_core::{EnsembleConfig, PartitionStrategy, ShardedEnsemble};
 use lshe_datagen::{generate_catalog, sample_queries, CorpusConfig, SizeBand};

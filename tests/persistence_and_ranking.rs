@@ -115,6 +115,7 @@ fn top_k_hits_are_the_exact_top_k_within_estimation_noise() {
 #[test]
 fn ranked_estimates_close_to_exact_scores() {
     let (catalog, signatures, exact, queries) = world(500, 104);
+    let m = signatures[0].len() as f64; // actual signature width
     let mut builder = RankedIndex::builder();
     for (id, d) in catalog.iter() {
         builder.add(id, d.len() as u64, signatures[id as usize].clone());
@@ -129,10 +130,34 @@ fn ranked_estimates_close_to_exact_scores() {
                 .iter()
                 .find(|&&(id, _)| id == h.id)
                 .map_or(0.0, |&(_, s)| s);
-            worst = worst.max((truth - h.estimated_containment).abs());
+            // The estimate converts a Jaccard estimate ŝ (binomial noise
+            // σ_s = √(s(1−s)/m)) through t = (x/q+1)·s/(1+s), so by the
+            // delta method its own σ is amplified by the conversion's
+            // slope (x/q+1)/(1+s)². Check the error in σ units rather
+            // than absolutely: small queries against large domains are
+            // legitimately noisy (x/q ≈ 25 occurs in this corpus).
+            let (x, _) = ranked.sketch(h.id).expect("hit is indexed");
+            let s_true =
+                lshe_minhash::jaccard_from_containment(truth, x as f64, query.len() as f64);
+            let sigma_s = (s_true.max(1.0 / m) * (1.0 - s_true) / m).sqrt();
+            let slope = (x as f64 / query.len() as f64 + 1.0) / (1.0 + s_true).powi(2);
+            let sigma_t = slope * sigma_s;
+            let err = (truth - h.estimated_containment).abs();
+            let envelope = 6.0 * sigma_t + 0.02;
+            assert!(
+                err <= envelope,
+                "query {q}, hit {}: est {} vs truth {truth} (err {err}, σ_t {sigma_t})",
+                h.id,
+                h.estimated_containment
+            );
+            worst = worst.max(err / envelope);
         }
     }
-    assert!(worst < 0.35, "worst estimate error {worst}");
+    // Across all (query, hit) pairs the worst envelope-relative error must
+    // stay inside the joint bound — a systematic estimator bug (for
+    // example a wrong conversion constant) would blow through this
+    // immediately.
+    assert!(worst <= 1.0, "worst envelope-relative error {worst}");
 }
 
 #[test]
