@@ -1,0 +1,116 @@
+//! Microbench: `lshe-serve` request throughput over loopback HTTP —
+//! engine-direct baseline, cache-hit and cache-miss single queries, and a
+//! batched request — quantifying what the serving layer costs on top of
+//! the raw ensemble query path.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lshe_corpus::{Catalog, Domain, DomainMeta};
+use lshe_serve::client::HttpClient;
+use lshe_serve::engine::Engine;
+use lshe_serve::server::{start, ServerConfig};
+use lshe_serve::IndexContainer;
+use std::sync::Arc;
+
+const DOMAINS: usize = 2_000;
+const QUERY_VALUES: usize = 64;
+const BATCH: usize = 16;
+
+/// Overlapping-window catalog: domain `k` holds the values
+/// `v{7k} … v{7k + 20 + (k mod 64)}` — varied sizes for the partitioner,
+/// neighbourly overlap so a query matches a handful of domains, not all.
+fn build_catalog() -> Catalog {
+    let mut catalog = Catalog::new();
+    for k in 0..DOMAINS {
+        let lo = 7 * k;
+        let values: Vec<String> = (lo..lo + 20 + (k % 64)).map(|i| format!("v{i}")).collect();
+        catalog.push(
+            Domain::from_strs(values.iter().map(String::as_str)),
+            DomainMeta::new(format!("t{k}"), "col"),
+        );
+    }
+    catalog
+}
+
+fn query_body(threshold: f64) -> String {
+    let quoted: Vec<String> = (0..QUERY_VALUES).map(|i| format!("\"v{i}\"")).collect();
+    format!(
+        "{{\"values\": [{}], \"threshold\": {threshold}}}",
+        quoted.join(",")
+    )
+}
+
+/// One keep-alive POST; panics on any non-200 so a broken server cannot
+/// masquerade as a fast one.
+fn post_ok(client: &mut HttpClient, path: &str, body: &str) -> usize {
+    let (status, response) = client.request("POST", path, Some(body));
+    assert_eq!(status, 200, "bad response: {response}");
+    response.len()
+}
+
+fn server_throughput(c: &mut Criterion) {
+    let container = IndexContainer::build(&build_catalog(), 8, true);
+    let engine = Arc::new(Engine::from_container(container, 1).expect("engine"));
+    let snapshot = engine.snapshot();
+    let server = start(
+        Arc::clone(&engine),
+        &ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            threads: 4,
+            cache_capacity: 4_096,
+        },
+    )
+    .expect("bind");
+    let addr = server.addr();
+
+    let mut group = c.benchmark_group("server_throughput");
+    group.throughput(Throughput::Elements(1));
+
+    // Baseline: the same query straight through the engine, no HTTP.
+    let values: Vec<String> = (0..QUERY_VALUES).map(|i| format!("v{i}")).collect();
+    let domain = Domain::from_strs(values.iter().map(String::as_str));
+    let sig = domain.signature(snapshot.hasher());
+    let qsize = domain.len() as u64;
+    group.bench_function("engine_direct", |b| {
+        b.iter(|| snapshot.search(&sig, qsize, 0.5))
+    });
+
+    // Cache hit: identical request every iteration.
+    let hit_body = query_body(0.5);
+    let mut client = HttpClient::connect(addr);
+    group.bench_function("http_query_cache_hit", |b| {
+        b.iter(|| post_ok(&mut client, "/query", &hit_body))
+    });
+
+    // Cache miss: a unique threshold per iteration defeats the cache while
+    // keeping the query work identical.
+    let mut counter = 0u64;
+    group.bench_function("http_query_cache_miss", |b| {
+        b.iter(|| {
+            counter += 1;
+            let body = query_body(0.5 + counter as f64 * 1e-9);
+            post_ok(&mut client, "/query", &body)
+        })
+    });
+
+    // Batched: BATCH queries per request, fanned out server-side (unique
+    // thresholds keep it uncached).
+    group.throughput(Throughput::Elements(BATCH as u64));
+    group.bench_function("http_batch16_uncached", |b| {
+        b.iter(|| {
+            let queries: Vec<String> = (0..BATCH)
+                .map(|j| {
+                    counter += 1;
+                    query_body(0.5 + (counter * BATCH as u64 + j as u64) as f64 * 1e-9)
+                })
+                .collect();
+            let body = format!("{{\"queries\": [{}]}}", queries.join(","));
+            post_ok(&mut client, "/batch", &body)
+        })
+    });
+    group.finish();
+
+    server.shutdown();
+}
+
+criterion_group!(benches, server_throughput);
+criterion_main!(benches);

@@ -11,22 +11,28 @@
 //! lshe query --index tables.lshe --csv mine.csv --column Partner
 //!            [--threshold 0.7] [--top-k 10]
 //! lshe stats --index tables.lshe
+//! lshe serve --index tables.lshe [--addr 127.0.0.1:7878] [--threads N]
+//!            [--cache 1024] [--shards 1]
 //! ```
 //!
 //! All logic lives in this library so it is unit-testable; `main.rs` is a
-//! thin wrapper.
+//! thin wrapper. The `.lshe` container format lives in `lshe-serve` (the
+//! serving layer shares it) and is re-exported here unchanged.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
-pub mod container;
+pub use lshe_serve::container;
 
 use bytes::Bytes;
 use container::IndexContainer;
 use lshe_corpus::{Catalog, CsvDocument, Domain};
 use lshe_minhash::MinHasher;
+use lshe_serve::engine::{Engine, EngineError};
+use lshe_serve::server::{start, ServerConfig};
 use std::fmt::Write as _;
 use std::path::Path;
+use std::sync::Arc;
 
 /// CLI failures, printable to stderr.
 #[derive(Debug)]
@@ -65,12 +71,12 @@ pub const USAGE: &str = "\
 lshe — domain search over CSV files (LSH Ensemble, VLDB 2016)
 
 COMMANDS
-  lshe index --dir DIR --out FILE [--partitions N] [--min-size M] [--ranked BOOL]
+  lshe index --dir DIR --out FILE [--partitions N] [--min-size M] [--ranked]
       Ingest every *.csv and *.jsonl under DIR (one domain per column/field
       with ≥ M distinct values, default 10), build an N-way equi-depth LSH
-      Ensemble (default 32), and write it to FILE. --ranked true
-      additionally stores domain sketches so `query --top-k` works (costs
-      ~2 KB per domain).
+      Ensemble (default 32), and write it to FILE. --ranked additionally
+      stores domain sketches so `query --top-k`, containment estimates,
+      and sharded serving work (costs ~2 KB per domain).
 
   lshe query --index FILE --csv FILE --column NAME [--threshold T] [--top-k K]
       Search the index with the named column of the given CSV as the query
@@ -78,47 +84,81 @@ COMMANDS
       the K best domains by estimated containment (requires a ranked index).
 
   lshe stats --index FILE
-      Print configuration and per-partition statistics.";
+      Print configuration and per-partition statistics.
 
-/// Simple `--key value` parser for one subcommand.
+  lshe serve --index FILE [--addr HOST:PORT] [--threads N] [--cache C] [--shards S]
+      Serve the index over HTTP (default 127.0.0.1:7878) until /shutdown
+      or SIGKILL. N worker threads (default: available parallelism), an
+      LRU query cache of C entries (default 1024, 0 disables), and S
+      query shards fanned out per request (default 1; S > 1 needs a
+      ranked index). Endpoints: GET /health /stats, POST /query /topk
+      /batch /reload /shutdown — see docs/API.md.";
+
+/// Simple `--key [value]` parser for one subcommand.
+///
+/// A flag immediately followed by another `--flag` (or by the end of the
+/// argument list) is a *bare* boolean flag: `--ranked` and
+/// `--ranked true` are equivalent. Repeating a flag is an error.
+#[derive(Debug)]
 struct Flags {
-    pairs: Vec<(String, String)>,
+    pairs: Vec<(String, Option<String>)>,
 }
 
 impl Flags {
     fn parse(args: &[String]) -> Result<Self, CliError> {
-        let mut pairs = Vec::new();
-        let mut it = args.iter();
+        let mut pairs: Vec<(String, Option<String>)> = Vec::new();
+        let mut it = args.iter().peekable();
         while let Some(k) = it.next() {
             let key = k
                 .strip_prefix("--")
+                .filter(|k| !k.is_empty())
                 .ok_or_else(|| CliError::Usage(format!("unexpected argument {k:?}")))?;
-            let value = it
-                .next()
-                .ok_or_else(|| CliError::Usage(format!("--{key} requires a value")))?;
-            pairs.push((key.to_owned(), value.clone()));
+            if pairs.iter().any(|(existing, _)| existing == key) {
+                return Err(CliError::Usage(format!(
+                    "duplicate flag --{key}: each flag may be given once"
+                )));
+            }
+            let value = match it.peek() {
+                Some(v) if !v.starts_with("--") => Some(it.next().expect("peeked").clone()),
+                _ => None,
+            };
+            pairs.push((key.to_owned(), value));
         }
         Ok(Self { pairs })
     }
 
-    fn get(&self, key: &str) -> Option<&str> {
-        self.pairs
-            .iter()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| v.as_str())
+    /// The flag's value: `Ok(None)` when absent, an error when the flag
+    /// was given bare but the caller needs a value.
+    fn get(&self, key: &str) -> Result<Option<&str>, CliError> {
+        match self.pairs.iter().find(|(k, _)| k == key) {
+            None => Ok(None),
+            Some((_, Some(v))) => Ok(Some(v.as_str())),
+            Some((_, None)) => Err(CliError::Usage(format!("--{key} requires a value"))),
+        }
     }
 
     fn require(&self, key: &str) -> Result<&str, CliError> {
-        self.get(key)
+        self.get(key)?
             .ok_or_else(|| CliError::Usage(format!("--{key} is required")))
     }
 
     fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
-        match self.get(key) {
+        match self.get(key)? {
             None => Ok(default),
             Some(v) => v
                 .parse()
                 .map_err(|_| CliError::Usage(format!("--{key}: cannot parse {v:?}"))),
+        }
+    }
+
+    /// Boolean flag: absent → `false`, bare → `true`, valued → parsed.
+    fn get_bool(&self, key: &str) -> Result<bool, CliError> {
+        match self.pairs.iter().find(|(k, _)| k == key) {
+            None => Ok(false),
+            Some((_, None)) => Ok(true),
+            Some((_, Some(v))) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--{key}: cannot parse {v:?} as bool"))),
         }
     }
 }
@@ -133,6 +173,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         Some("index") => cmd_index(&Flags::parse(&args[1..])?),
         Some("query") => cmd_query(&Flags::parse(&args[1..])?),
         Some("stats") => cmd_stats(&Flags::parse(&args[1..])?),
+        Some("serve") => cmd_serve(&Flags::parse(&args[1..])?),
         Some("help") | None => Ok(USAGE.to_owned()),
         Some(other) => Err(CliError::Usage(format!("unknown command {other:?}"))),
     }
@@ -143,7 +184,7 @@ fn cmd_index(flags: &Flags) -> Result<String, CliError> {
     let out = flags.require("out")?.to_owned();
     let partitions: usize = flags.get_parsed("partitions", 32)?;
     let min_size: usize = flags.get_parsed("min-size", 10)?;
-    let ranked: bool = flags.get_parsed("ranked", false)?;
+    let ranked: bool = flags.get_bool("ranked")?;
     if partitions == 0 {
         return Err(CliError::Usage("--partitions must be positive".into()));
     }
@@ -243,6 +284,50 @@ fn cmd_stats(flags: &Flags) -> Result<String, CliError> {
     Ok(container.describe())
 }
 
+/// Boots the domain-search server over a persisted index and blocks until
+/// it stops (`POST /shutdown`, or the process is killed). The listening
+/// line is printed *before* blocking so callers (and CI probes) know the
+/// bound address.
+fn cmd_serve(flags: &Flags) -> Result<String, CliError> {
+    let index_path = flags.require("index")?.to_owned();
+    let addr = flags.get("addr")?.unwrap_or("127.0.0.1:7878").to_owned();
+    let threads: usize = flags.get_parsed("threads", 0)?;
+    let cache_capacity: usize = flags.get_parsed("cache", 1024)?;
+    let shards: usize = flags.get_parsed("shards", 1)?;
+    if shards == 0 {
+        return Err(CliError::Usage("--shards must be positive".into()));
+    }
+
+    let engine = Engine::load(Path::new(&index_path), shards).map_err(|e| match e {
+        EngineError::Io(e) => CliError::Io(e),
+        EngineError::Index(msg) => CliError::Index(msg),
+        EngineError::Config(msg) => CliError::Usage(msg),
+    })?;
+    // Copy out the banner datum rather than holding the snapshot Arc across
+    // join(): a retained generation-1 snapshot would keep the whole initial
+    // index resident even after hot reloads replace it.
+    let domains = engine.snapshot().container().len();
+    let config = ServerConfig {
+        addr,
+        threads,
+        cache_capacity,
+    };
+    let handle = start(Arc::new(engine), &config)?;
+    println!(
+        "lshe-serve listening on http://{} ({} domains, {} shard(s), cache {})",
+        handle.addr(),
+        domains,
+        shards,
+        if cache_capacity == 0 {
+            "disabled".to_owned()
+        } else {
+            format!("{cache_capacity} entries")
+        }
+    );
+    handle.join();
+    Ok("server stopped\n".to_owned())
+}
+
 /// Ingests every `*.csv` and `*.jsonl` under `dir` (sorted for
 /// determinism). CSV and JSON values share one hash universe, so
 /// cross-format joins are found like any other.
@@ -317,6 +402,84 @@ mod tests {
         assert!(matches!(
             run(&s(&["query", "--index", "x"])).unwrap_err(),
             CliError::Usage(_)
+        ));
+    }
+
+    #[test]
+    fn bare_boolean_flags_accepted() {
+        // `--ranked` with no value, mid-list and at the end.
+        let flags = Flags::parse(&s(&["--ranked", "--out", "x"])).expect("parse");
+        assert!(flags.get_bool("ranked").expect("bool"));
+        assert_eq!(flags.get("out").expect("ok"), Some("x"));
+        let flags = Flags::parse(&s(&["--out", "x", "--ranked"])).expect("parse");
+        assert!(flags.get_bool("ranked").expect("bool"));
+        // Explicit values still work, including `false`.
+        let flags = Flags::parse(&s(&["--ranked", "true"])).expect("parse");
+        assert!(flags.get_bool("ranked").expect("bool"));
+        let flags = Flags::parse(&s(&["--ranked", "false"])).expect("parse");
+        assert!(!flags.get_bool("ranked").expect("bool"));
+        // Absent → false; junk value → usage error.
+        let flags = Flags::parse(&[]).expect("parse");
+        assert!(!flags.get_bool("ranked").expect("bool"));
+        let flags = Flags::parse(&s(&["--ranked", "maybe"])).expect("parse");
+        assert!(matches!(flags.get_bool("ranked"), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn bare_flag_where_value_needed_is_usage_error() {
+        // `--dir` swallowed no value because `--out` follows.
+        let flags = Flags::parse(&s(&["--dir", "--out", "x"])).expect("parse");
+        let err = flags.require("dir").unwrap_err();
+        assert!(
+            matches!(&err, CliError::Usage(msg) if msg.contains("requires a value")),
+            "{err}"
+        );
+        // Same through get_parsed.
+        let flags = Flags::parse(&s(&["--partitions"])).expect("parse");
+        assert!(matches!(
+            flags.get_parsed::<usize>("partitions", 32),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_flags_rejected() {
+        let err = Flags::parse(&s(&["--dir", "a", "--dir", "b"])).unwrap_err();
+        assert!(
+            matches!(&err, CliError::Usage(msg) if msg.contains("duplicate flag --dir")),
+            "{err}"
+        );
+        // Bare + valued duplicates are rejected too.
+        assert!(Flags::parse(&s(&["--ranked", "--ranked", "true"])).is_err());
+        // Through the public entry point.
+        assert!(matches!(
+            run(&s(&["stats", "--index", "a", "--index", "b"])).unwrap_err(),
+            CliError::Usage(_)
+        ));
+    }
+
+    #[test]
+    fn empty_and_non_flag_arguments_rejected() {
+        assert!(Flags::parse(&s(&["--"])).is_err());
+        assert!(Flags::parse(&s(&["positional"])).is_err());
+    }
+
+    #[test]
+    fn serve_flag_validation() {
+        // Missing --index.
+        assert!(matches!(
+            run(&s(&["serve"])).unwrap_err(),
+            CliError::Usage(_)
+        ));
+        // Zero shards.
+        assert!(matches!(
+            run(&s(&["serve", "--index", "x.lshe", "--shards", "0"])).unwrap_err(),
+            CliError::Usage(_)
+        ));
+        // Nonexistent index fails fast with an I/O error (no server boot).
+        assert!(matches!(
+            run(&s(&["serve", "--index", "/nowhere/missing.lshe"])).unwrap_err(),
+            CliError::Io(_)
         ));
     }
 

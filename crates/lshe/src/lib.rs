@@ -13,6 +13,7 @@
 //! | [`core`] | `lshe-core` | the ensemble: partitioning, tuning, querying |
 //! | [`corpus`] | `lshe-corpus` | CSV/JSONL ingestion, catalogs, exact baselines |
 //! | [`datagen`] | `lshe-datagen` | synthetic power-law corpora and queries |
+//! | [`serve`] | `lshe-serve` | the HTTP query server: snapshot engine, LRU cache, batching |
 //!
 //! The most common entry points are re-exported at the top level.
 //!
@@ -45,8 +46,10 @@ pub use lshe_corpus as corpus;
 pub use lshe_datagen as datagen;
 pub use lshe_lsh as lsh;
 pub use lshe_minhash as minhash;
+pub use lshe_serve as serve;
 
 pub use lshe_core::{EnsembleConfig, LshEnsemble, PartitionStrategy};
 pub use lshe_corpus::{Catalog, Domain};
 pub use lshe_lsh::{DomainId, LshForest};
 pub use lshe_minhash::{MinHasher, OnePermHasher, Signature};
+pub use lshe_serve::{IndexContainer, ServerConfig};

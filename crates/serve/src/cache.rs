@@ -1,0 +1,344 @@
+//! A thread-safe LRU cache for query results.
+//!
+//! Repeated domain-search queries are common in practice (dashboards,
+//! retried crawls, popular tables), and an LSH Ensemble query is pure: the
+//! same (signature, query size, threshold, k) against the same index
+//! snapshot always yields the same hits. The server therefore memoises
+//! results keyed on a digest of the query, with hit/miss counters exposed
+//! on `/stats`.
+//!
+//! The implementation is a classic `HashMap` + intrusive doubly-linked
+//! list over a slab of nodes, giving O(1) lookup, insert, touch, and
+//! eviction — hand-rolled because the image has no crates.io access.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Cache key for one containment query. `generation` ties entries to an
+/// index snapshot so a hot reload can never serve stale results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QueryKey {
+    /// FNV-1a digest of the query signature's slots.
+    pub digest: u64,
+    /// Query-domain cardinality.
+    pub query_size: u64,
+    /// Threshold bits (`f64::to_bits`; NaN never reaches the cache).
+    pub threshold_bits: u64,
+    /// Top-k parameter (0 for threshold search).
+    pub k: u32,
+    /// Engine snapshot generation the result was computed against.
+    pub generation: u64,
+}
+
+/// FNV-1a over the little-endian bytes of the signature slots.
+#[must_use]
+pub fn signature_digest(slots: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &slot in slots {
+        for b in slot.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Monotonically-true counters snapshot for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to be computed.
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Configured capacity (0 = caching disabled).
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// `hits / (hits + misses)`, or 0 when nothing was looked up yet.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Node<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+#[derive(Debug)]
+struct Inner<K, V> {
+    map: HashMap<K, usize>,
+    nodes: Vec<Node<K, V>>,
+    /// Most-recently-used node index, or [`NIL`].
+    head: usize,
+    /// Least-recently-used node index, or [`NIL`].
+    tail: usize,
+    /// Recycled slab slots.
+    free: Vec<usize>,
+}
+
+impl<K: Eq + Hash + Clone, V> Inner<K, V> {
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.nodes[idx].prev, self.nodes[idx].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.nodes[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.nodes[next].prev = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}
+
+/// A mutex-guarded LRU map with atomic hit/miss counters.
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    inner: Mutex<Inner<K, V>>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries. Capacity 0
+    /// disables storage entirely (lookups still count as misses, so the
+    /// hit-rate metric stays meaningful).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                map: HashMap::with_capacity(capacity.min(4096)),
+                nodes: Vec::with_capacity(capacity.min(4096)),
+                head: NIL,
+                tail: NIL,
+                free: Vec::new(),
+            }),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks up `key`, marking it most-recently-used on a hit and counting
+    /// hit/miss either way.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        if let Some(&idx) = inner.map.get(key) {
+            inner.unlink(idx);
+            inner.push_front(idx);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            Some(inner.nodes[idx].value.clone())
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the least-recently-used
+    /// entry when at capacity.
+    pub fn insert(&self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        if let Some(&idx) = inner.map.get(&key) {
+            inner.nodes[idx].value = value;
+            inner.unlink(idx);
+            inner.push_front(idx);
+            return;
+        }
+        if inner.map.len() >= self.capacity {
+            let lru = inner.tail;
+            inner.unlink(lru);
+            let old_key = inner.nodes[lru].key.clone();
+            inner.map.remove(&old_key);
+            inner.free.push(lru);
+        }
+        let idx = match inner.free.pop() {
+            Some(slot) => {
+                inner.nodes[slot].key = key.clone();
+                inner.nodes[slot].value = value;
+                slot
+            }
+            None => {
+                inner.nodes.push(Node {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                });
+                inner.nodes.len() - 1
+            }
+        };
+        inner.map.insert(key, idx);
+        inner.push_front(idx);
+    }
+
+    /// Drops every entry (hit/miss counters are preserved — they describe
+    /// traffic, not contents). Called on index reload.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        inner.map.clear();
+        inner.nodes.clear();
+        inner.free.clear();
+        inner.head = NIL;
+        inner.tail = NIL;
+    }
+
+    /// Counters + occupancy snapshot.
+    pub fn stats(&self) -> CacheStats {
+        let entries = self.inner.lock().expect("cache poisoned").map.len();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries,
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_accounting() {
+        let cache: LruCache<u32, String> = LruCache::new(4);
+        assert_eq!(cache.get(&1), None);
+        cache.insert(1, "one".into());
+        assert_eq!(cache.get(&1).as_deref(), Some("one"));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let cache: LruCache<u32, u32> = LruCache::new(3);
+        for i in 0..3 {
+            cache.insert(i, i * 10);
+        }
+        // Touch 0 so it becomes MRU; inserting 3 must evict 1 (the LRU).
+        assert!(cache.get(&0).is_some());
+        cache.insert(3, 30);
+        assert_eq!(cache.get(&1), None, "LRU entry should be evicted");
+        assert_eq!(cache.get(&0), Some(0));
+        assert_eq!(cache.get(&2), Some(20));
+        assert_eq!(cache.get(&3), Some(30));
+        assert_eq!(cache.stats().entries, 3);
+    }
+
+    #[test]
+    fn reinsert_refreshes_value_and_recency() {
+        let cache: LruCache<u32, u32> = LruCache::new(2);
+        cache.insert(1, 10);
+        cache.insert(2, 20);
+        cache.insert(1, 11); // refresh → 2 is now LRU
+        cache.insert(3, 30);
+        assert_eq!(cache.get(&2), None);
+        assert_eq!(cache.get(&1), Some(11));
+        assert_eq!(cache.get(&3), Some(30));
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage() {
+        let cache: LruCache<u32, u32> = LruCache::new(0);
+        cache.insert(1, 10);
+        assert_eq!(cache.get(&1), None);
+        let stats = cache.stats();
+        assert_eq!((stats.entries, stats.misses), (0, 1));
+    }
+
+    #[test]
+    fn clear_keeps_counters() {
+        let cache: LruCache<u32, u32> = LruCache::new(2);
+        cache.insert(1, 10);
+        let _ = cache.get(&1);
+        cache.clear();
+        assert_eq!(cache.get(&1), None);
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn slab_slots_recycle() {
+        let cache: LruCache<u32, u32> = LruCache::new(2);
+        for i in 0..100 {
+            cache.insert(i, i);
+        }
+        let inner = cache.inner.lock().expect("lock");
+        assert!(inner.nodes.len() <= 3, "slab grew: {}", inner.nodes.len());
+    }
+
+    #[test]
+    fn digest_is_order_sensitive_and_stable() {
+        let a = signature_digest(&[1, 2, 3]);
+        let b = signature_digest(&[3, 2, 1]);
+        assert_ne!(a, b);
+        assert_eq!(a, signature_digest(&[1, 2, 3]));
+        assert_ne!(signature_digest(&[]), signature_digest(&[0]));
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let cache: std::sync::Arc<LruCache<u64, u64>> = std::sync::Arc::new(LruCache::new(64));
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let c = std::sync::Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        let k = (t * 37 + i) % 96;
+                        if let Some(v) = c.get(&k) {
+                            assert_eq!(v, k * 2);
+                        } else {
+                            c.insert(k, k * 2);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("no panics");
+        }
+        assert!(cache.stats().entries <= 64);
+    }
+}

@@ -1,0 +1,103 @@
+//! A minimal blocking HTTP/1.1 keep-alive client for driving an
+//! `lshe-serve` instance over loopback.
+//!
+//! This is deliberately a *driver*, not a general-purpose client: the
+//! integration tests, benches, examples, and CI smoke probes all need to
+//! speak to the server over real TCP, and response framing should be
+//! parsed in exactly one place. Methods panic on transport or framing
+//! failures — in a load test or bench, a broken exchange must fail loudly
+//! rather than masquerade as a fast one.
+
+use crate::json::Json;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Read timeout for responses: generous enough for debug-mode servers
+/// under load, finite so a hung server fails the caller.
+const RESPONSE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// One keep-alive connection to an `lshe-serve` instance.
+pub struct HttpClient {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl HttpClient {
+    /// Connects with `TCP_NODELAY` and a 30 s read timeout.
+    ///
+    /// # Panics
+    /// Panics if the connection cannot be established or configured.
+    #[must_use]
+    pub fn connect(addr: SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).expect("connect to lshe-serve");
+        stream.set_nodelay(true).expect("set TCP_NODELAY");
+        stream
+            .set_read_timeout(Some(RESPONSE_TIMEOUT))
+            .expect("set read timeout");
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        Self { stream, reader }
+    }
+
+    /// Sends one request and reads one response; the connection stays
+    /// open. Returns `(status, body)`.
+    ///
+    /// # Panics
+    /// Panics on transport failure or unparseable response framing.
+    pub fn request(&mut self, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
+        let mut raw = format!("{method} {path} HTTP/1.1\r\nhost: lshe\r\n");
+        if let Some(body) = body {
+            raw.push_str(&format!("content-length: {}\r\n", body.len()));
+        }
+        raw.push_str("\r\n");
+        if let Some(body) = body {
+            raw.push_str(body);
+        }
+        self.stream.write_all(raw.as_bytes()).expect("send request");
+
+        let mut status_line = String::new();
+        self.reader
+            .read_line(&mut status_line)
+            .expect("read status line");
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("bad status line: {status_line:?}"));
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            self.reader.read_line(&mut line).expect("read header");
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+                content_length = v.trim().parse().expect("content-length value");
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body).expect("read body");
+        (status, String::from_utf8(body).expect("utf8 body"))
+    }
+
+    /// `GET path`, response body parsed as JSON.
+    ///
+    /// # Panics
+    /// As [`Self::request`], plus on a non-JSON body.
+    pub fn get(&mut self, path: &str) -> (u16, Json) {
+        let (status, body) = self.request("GET", path, None);
+        let json = Json::parse(&body).unwrap_or_else(|e| panic!("bad JSON ({e}): {body}"));
+        (status, json)
+    }
+
+    /// `POST path` with a body, response body parsed as JSON.
+    ///
+    /// # Panics
+    /// As [`Self::request`], plus on a non-JSON body.
+    pub fn post(&mut self, path: &str, body: &str) -> (u16, Json) {
+        let (status, body) = self.request("POST", path, Some(body));
+        let json = Json::parse(&body).unwrap_or_else(|e| panic!("bad JSON ({e}): {body}"));
+        (status, json)
+    }
+}

@@ -105,17 +105,51 @@ impl IndexContainer {
         self.records.is_empty()
     }
 
+    /// Number of size partitions in the ensemble.
+    #[must_use]
+    pub fn partition_count(&self) -> usize {
+        self.ensemble.partition_stats().len()
+    }
+
+    /// Provenance records for every indexed domain, in build order.
+    #[must_use]
+    pub fn records(&self) -> &[DomainRecord] {
+        &self.records
+    }
+
+    /// Looks up one provenance record by domain id. Records are stored in
+    /// ascending-id build order, so this is a binary search with a linear
+    /// fallback for containers whose ids arrived unsorted.
+    #[must_use]
+    pub fn record(&self, id: u32) -> Option<&DomainRecord> {
+        match self.records.binary_search_by_key(&id, |r| r.id) {
+            Ok(i) => Some(&self.records[i]),
+            Err(_) => self.records.iter().find(|r| r.id == id),
+        }
+    }
+
+    /// True when the container stores per-domain ranked sketches (built
+    /// with `--ranked`), enabling [`Self::top_k`], containment estimates,
+    /// and sharded serving.
+    #[must_use]
+    pub fn has_ranked(&self) -> bool {
+        self.ranked.is_some()
+    }
+
+    /// The stored (size, sketch) for a domain, when ranked sketches are
+    /// present.
+    #[must_use]
+    pub fn sketch(&self, id: u32) -> Option<(u64, &Signature)> {
+        self.ranked.as_ref().and_then(|r| r.sketch(id))
+    }
+
     /// Provenance lookup: (table, column, size).
     ///
     /// # Panics
     /// Panics if `id` was never indexed.
     #[must_use]
     pub fn provenance(&self, id: u32) -> (&str, &str, u64) {
-        let rec = self
-            .records
-            .iter()
-            .find(|r| r.id == id)
-            .expect("id was indexed");
+        let rec = self.record(id).expect("id was indexed");
         (&rec.table, &rec.column, rec.size)
     }
 

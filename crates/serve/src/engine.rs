@@ -1,0 +1,379 @@
+//! The engine layer: lock-free snapshot reads over a hot-reloadable index.
+//!
+//! A loaded [`IndexContainer`] is wrapped in an immutable [`Snapshot`]
+//! behind an `Arc`. Readers clone the `Arc` (one brief `RwLock` read to
+//! copy a pointer — never held across a query), so a `/reload` swaps in a
+//! fresh snapshot without blocking or invalidating in-flight queries:
+//! they finish against the snapshot they started with, exactly the
+//! semantics a serving system wants.
+//!
+//! With `shards > 1` the snapshot additionally builds a
+//! [`ShardedEnsemble`] over the container's stored sketches, reproducing
+//! the paper's §6.3 cluster topology (split the corpus, fan the query out,
+//! union the answers) inside one process.
+
+use crate::container::IndexContainer;
+use lshe_core::{EnsembleConfig, PartitionStrategy, ShardedEnsemble};
+use lshe_minhash::{MinHasher, Signature};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Estimate slack mirrored from `RankedIndex::query_ranked` usage in the
+/// CLI: candidates whose estimated containment falls below `t − SLACK`
+/// are pruned (estimates are noisy at ±1/√m).
+const ESTIMATE_SLACK: f64 = 0.1;
+
+/// One hit: domain id plus estimated containment when sketches are stored.
+pub type Hit = (u32, Option<f64>);
+
+/// Engine failures.
+#[derive(Debug)]
+pub enum EngineError {
+    /// Filesystem problem while (re)loading.
+    Io(std::io::Error),
+    /// Corrupt or incompatible index file.
+    Index(String),
+    /// Invalid engine configuration (e.g. sharding an unranked index).
+    Config(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+            Self::Index(msg) => write!(f, "index error: {msg}"),
+            Self::Config(msg) => write!(f, "config error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<std::io::Error> for EngineError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// An immutable view of one loaded index generation.
+#[derive(Debug)]
+pub struct Snapshot {
+    container: IndexContainer,
+    sharded: Option<ShardedEnsemble>,
+    hasher: MinHasher,
+    generation: u64,
+}
+
+impl Snapshot {
+    fn new(container: IndexContainer, shards: usize, generation: u64) -> Result<Self, EngineError> {
+        let sharded = if shards > 1 {
+            if !container.has_ranked() {
+                return Err(EngineError::Config(
+                    "--shards needs per-domain sketches; rebuild the index with --ranked".into(),
+                ));
+            }
+            if container.len() < shards {
+                return Err(EngineError::Config(format!(
+                    "cannot split {} domains across {shards} shards",
+                    container.len()
+                )));
+            }
+            // Rebuild the fan-out topology from the stored sketches,
+            // zero-copy: each shard indexes a round-robin slice.
+            let records = container.records();
+            let ids: Vec<u32> = records.iter().map(|r| r.id).collect();
+            let sizes: Vec<u64> = records.iter().map(|r| r.size).collect();
+            let sigs: Vec<&Signature> = records
+                .iter()
+                .map(|r| container.sketch(r.id).expect("ranked container").1)
+                .collect();
+            let config = EnsembleConfig {
+                strategy: PartitionStrategy::EquiDepth {
+                    n: container.partition_count().div_ceil(shards).max(1),
+                },
+                ..EnsembleConfig::default()
+            };
+            Some(ShardedEnsemble::build_from_parts(
+                shards, config, &ids, &sizes, &sigs,
+            ))
+        } else {
+            None
+        };
+        let hasher = MinHasher::new(container.num_perm());
+        Ok(Self {
+            container,
+            sharded,
+            hasher,
+            generation,
+        })
+    }
+
+    /// The underlying container.
+    #[must_use]
+    pub fn container(&self) -> &IndexContainer {
+        &self.container
+    }
+
+    /// The hasher queries must be sketched with (same permutation family
+    /// and width as the index).
+    #[must_use]
+    pub fn hasher(&self) -> &MinHasher {
+        &self.hasher
+    }
+
+    /// Snapshot generation (starts at 1, bumps on every reload).
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Shard count (1 = unsharded single ensemble).
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.sharded.as_ref().map_or(1, ShardedEnsemble::num_shards)
+    }
+
+    /// Threshold search. Unsharded: delegates to the container (identical
+    /// results to the CLI's one-shot path). Sharded: fans out across every
+    /// shard in parallel, unions, then attaches containment estimates from
+    /// the stored sketches.
+    #[must_use]
+    pub fn search(&self, sig: &Signature, query_size: u64, threshold: f64) -> Vec<Hit> {
+        match &self.sharded {
+            None => self.container.search(sig, query_size, threshold),
+            Some(sharded) => {
+                let ids = sharded.query_with_size(sig, query_size, threshold);
+                let mut hits: Vec<(u32, f64)> = ids
+                    .into_iter()
+                    .map(|id| {
+                        let (size, sketch) = self.container.sketch(id).expect("ranked container");
+                        let est = sig.containment_in(sketch, query_size as f64, size as f64);
+                        (id, est)
+                    })
+                    .filter(|&(_, est)| est >= threshold - ESTIMATE_SLACK)
+                    .collect();
+                hits.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+                hits.into_iter().map(|(id, est)| (id, Some(est))).collect()
+            }
+        }
+    }
+
+    /// Top-k search (requires a ranked container).
+    ///
+    /// # Errors
+    /// A message when the index stores no sketches.
+    pub fn top_k(&self, sig: &Signature, query_size: u64, k: usize) -> Result<Vec<Hit>, String> {
+        self.container.top_k(sig, query_size, k)
+    }
+}
+
+/// The hot-reloadable engine: an atomic pointer to the current snapshot.
+#[derive(Debug)]
+pub struct Engine {
+    current: RwLock<Arc<Snapshot>>,
+    path: RwLock<Option<PathBuf>>,
+    /// Serialises whole reloads (read → build → swap); without it two
+    /// concurrent reloads could commit out of generation order and leave
+    /// the older snapshot live.
+    reload_lock: std::sync::Mutex<()>,
+    shards: usize,
+    generation: AtomicU64,
+}
+
+impl Engine {
+    /// Loads an index file and builds generation 1.
+    ///
+    /// # Errors
+    /// [`EngineError`] on I/O failure, a corrupt file, or an invalid
+    /// shard configuration.
+    pub fn load(path: &Path, shards: usize) -> Result<Self, EngineError> {
+        let bytes = std::fs::read(path)?;
+        let container = IndexContainer::from_bytes(&bytes)
+            .map_err(|e| EngineError::Index(format!("{}: {e}", path.display())))?;
+        let snapshot = Snapshot::new(container, shards, 1)?;
+        Ok(Self {
+            current: RwLock::new(Arc::new(snapshot)),
+            path: RwLock::new(Some(path.to_owned())),
+            reload_lock: std::sync::Mutex::new(()),
+            shards,
+            generation: AtomicU64::new(1),
+        })
+    }
+
+    /// Wraps an in-memory container (tests, examples, benches). `/reload`
+    /// then requires an explicit path.
+    ///
+    /// # Errors
+    /// [`EngineError::Config`] on an invalid shard configuration.
+    pub fn from_container(container: IndexContainer, shards: usize) -> Result<Self, EngineError> {
+        let snapshot = Snapshot::new(container, shards, 1)?;
+        Ok(Self {
+            current: RwLock::new(Arc::new(snapshot)),
+            path: RwLock::new(None),
+            reload_lock: std::sync::Mutex::new(()),
+            shards,
+            generation: AtomicU64::new(1),
+        })
+    }
+
+    /// The current snapshot. Cheap (one `Arc` clone under a read lock);
+    /// hold it for the duration of one query so a concurrent reload cannot
+    /// pull the index out from under you.
+    #[must_use]
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.current.read().expect("engine lock poisoned"))
+    }
+
+    /// Configured shard count.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Reloads the index from `path` (or the path of the previous load)
+    /// and atomically swaps it in as a new generation. In-flight queries
+    /// keep their old snapshot; new queries see the new one.
+    ///
+    /// # Errors
+    /// [`EngineError`] on I/O failure, a corrupt file, a missing path, or
+    /// an invalid shard configuration — the old snapshot stays live in
+    /// every error case.
+    pub fn reload(&self, path: Option<&Path>) -> Result<Arc<Snapshot>, EngineError> {
+        // One reload at a time: generation allocation, the path update, and
+        // the snapshot swap must commit as a unit.
+        let _guard = self.reload_lock.lock().expect("reload lock poisoned");
+        let target = match path {
+            Some(p) => p.to_owned(),
+            None => self
+                .path
+                .read()
+                .expect("engine lock poisoned")
+                .clone()
+                .ok_or_else(|| {
+                    EngineError::Config(
+                        "no index path on record; pass {\"path\": …} to /reload".into(),
+                    )
+                })?,
+        };
+        let bytes = std::fs::read(&target)?;
+        let container = IndexContainer::from_bytes(&bytes)
+            .map_err(|e| EngineError::Index(format!("{}: {e}", target.display())))?;
+        let generation = self.generation.fetch_add(1, Ordering::SeqCst) + 1;
+        let snapshot = Arc::new(Snapshot::new(container, self.shards, generation)?);
+        *self.path.write().expect("engine lock poisoned") = Some(target);
+        *self.current.write().expect("engine lock poisoned") = Arc::clone(&snapshot);
+        Ok(snapshot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lshe_corpus::{Catalog, Domain, DomainMeta};
+
+    fn catalog(n: usize) -> Catalog {
+        let mut c = Catalog::new();
+        let pool = MinHasher::synthetic_values(11, 20 * n);
+        for k in 0..n {
+            c.push(
+                Domain::from_hashes(pool[..20 * (k + 1)].to_vec()),
+                DomainMeta::new(format!("t{k}"), "col"),
+            );
+        }
+        c
+    }
+
+    fn sig_for(cat: &Catalog, id: u32, num_perm: usize) -> (Signature, u64) {
+        let hasher = MinHasher::new(num_perm);
+        let d = cat.domain(id);
+        (d.signature(&hasher), d.len() as u64)
+    }
+
+    #[test]
+    fn unsharded_matches_container() {
+        let cat = catalog(12);
+        let container = IndexContainer::build(&cat, 4, true);
+        let reference = IndexContainer::build(&cat, 4, true);
+        let engine = Engine::from_container(container, 1).expect("engine");
+        let snap = engine.snapshot();
+        let (sig, q) = sig_for(&cat, 5, snap.container().num_perm());
+        assert_eq!(snap.search(&sig, q, 0.7), reference.search(&sig, q, 0.7));
+        assert_eq!(snap.num_shards(), 1);
+    }
+
+    #[test]
+    fn sharded_finds_self_and_estimates() {
+        let cat = catalog(24);
+        let container = IndexContainer::build(&cat, 4, true);
+        let engine = Engine::from_container(container, 3).expect("engine");
+        let snap = engine.snapshot();
+        assert_eq!(snap.num_shards(), 3);
+        let (sig, q) = sig_for(&cat, 7, snap.container().num_perm());
+        let hits = snap.search(&sig, q, 0.8);
+        assert!(hits.iter().any(|&(id, _)| id == 7), "self hit missing");
+        for (_, est) in &hits {
+            let e = est.expect("sharded search attaches estimates");
+            assert!((0.0..=1.0).contains(&e));
+        }
+        // Sorted by estimate, descending.
+        for w in hits.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn sharding_requires_ranked_container() {
+        let cat = catalog(10);
+        let container = IndexContainer::build(&cat, 4, false);
+        let err = Engine::from_container(container, 2).unwrap_err();
+        assert!(matches!(err, EngineError::Config(_)), "{err}");
+    }
+
+    #[test]
+    fn sharding_requires_enough_domains() {
+        let cat = catalog(3);
+        let container = IndexContainer::build(&cat, 2, true);
+        let err = Engine::from_container(container, 8).unwrap_err();
+        assert!(matches!(err, EngineError::Config(_)), "{err}");
+    }
+
+    #[test]
+    fn reload_swaps_generation_and_preserves_old_snapshot() {
+        let dir = std::env::temp_dir().join(format!("lshe_engine_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("idx.lshe");
+
+        let small = IndexContainer::build(&catalog(6), 2, true);
+        std::fs::write(&path, small.to_bytes()).expect("write");
+        let engine = Engine::load(&path, 1).expect("load");
+        let old = engine.snapshot();
+        assert_eq!(old.generation(), 1);
+        assert_eq!(old.container().len(), 6);
+
+        let big = IndexContainer::build(&catalog(9), 2, true);
+        std::fs::write(&path, big.to_bytes()).expect("write");
+        let new = engine.reload(None).expect("reload");
+        assert_eq!(new.generation(), 2);
+        assert_eq!(new.container().len(), 9);
+        // The old snapshot is still fully usable (in-flight queries).
+        assert_eq!(old.container().len(), 6);
+        assert_eq!(engine.snapshot().generation(), 2);
+
+        // A failed reload leaves the current snapshot untouched.
+        std::fs::write(&path, b"garbage").expect("write");
+        assert!(engine.reload(None).is_err());
+        assert_eq!(engine.snapshot().generation(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reload_without_path_on_memory_engine_errors() {
+        let engine =
+            Engine::from_container(IndexContainer::build(&catalog(5), 2, false), 1).expect("ok");
+        assert!(matches!(
+            engine.reload(None).unwrap_err(),
+            EngineError::Config(_)
+        ));
+    }
+}

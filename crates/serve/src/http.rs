@@ -1,0 +1,504 @@
+//! A deliberately small HTTP/1.1 server-side codec over `std::io`.
+//!
+//! No crates.io access, so — like the rest of the workspace — the wire
+//! protocol is implemented by hand. Supported: request line + headers +
+//! `Content-Length` bodies, keep-alive (HTTP/1.1 default, `Connection:
+//! close` honoured), and hard limits on line length, header count, and
+//! body size so a misbehaving client cannot exhaust the server.
+
+use std::io::{self, BufRead, Write};
+
+/// Maximum accepted request-line or header-line length (bytes).
+pub const MAX_LINE: usize = 8 * 1024;
+/// Maximum accepted header count.
+pub const MAX_HEADERS: usize = 100;
+/// Maximum accepted request-body size (bytes).
+pub const MAX_BODY: usize = 8 * 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, upper-case as sent (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target (path plus optional query string), e.g. `/query`.
+    pub target: String,
+    /// True for `HTTP/1.0` requests (close-by-default connection
+    /// semantics).
+    pub http10: bool,
+    /// Header name/value pairs in arrival order (names lower-cased).
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup (names are stored lower-case).
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let lower = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == lower)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The path component of the target (query string stripped).
+    #[must_use]
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or(&self.target)
+    }
+
+    /// True when the connection should close after this exchange:
+    /// an explicit `Connection: close`, or an HTTP/1.0 request without an
+    /// explicit `Connection: keep-alive` (1.0 closes by default — legacy
+    /// clients delimit the response body by EOF).
+    #[must_use]
+    pub fn wants_close(&self) -> bool {
+        match self.header("connection") {
+            Some(v) => v.eq_ignore_ascii_case("close"),
+            None => self.http10,
+        }
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Transport failure mid-request.
+    Io(io::Error),
+    /// Syntactically invalid request; the message is safe to echo to the
+    /// client in a 400 response.
+    Malformed(&'static str),
+    /// Request exceeded a protocol limit ([`MAX_LINE`], [`MAX_HEADERS`],
+    /// [`MAX_BODY`]).
+    TooLarge(&'static str),
+    /// Valid HTTP that this server does not implement (e.g. chunked
+    /// transfer encoding).
+    Unsupported(&'static str),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+            Self::Malformed(m) => write!(f, "malformed request: {m}"),
+            Self::TooLarge(m) => write!(f, "request too large: {m}"),
+            Self::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Maps a read error: timeout-ish kinds retry until `deadline` (callers
+/// pair a short socket read timeout with a hard whole-request deadline, so
+/// a client dripping one byte per read cannot pin a reader forever).
+fn check_deadline(e: &io::Error, deadline: Option<std::time::Instant>) -> Result<(), HttpError> {
+    match e.kind() {
+        io::ErrorKind::Interrupted => Ok(()),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => {
+            if deadline.is_some_and(|d| std::time::Instant::now() < d) {
+                Ok(())
+            } else {
+                Err(HttpError::Malformed("request read timed out"))
+            }
+        }
+        _ => Err(HttpError::Io(io::Error::new(e.kind(), e.to_string()))),
+    }
+}
+
+/// Reads one CRLF- (or bare-LF-) terminated line, capped at [`MAX_LINE`]
+/// bytes. Returns `None` on clean EOF before any byte.
+fn read_line<R: BufRead>(
+    reader: &mut R,
+    deadline: Option<std::time::Instant>,
+) -> Result<Option<String>, HttpError> {
+    let mut buf = Vec::with_capacity(128);
+    loop {
+        if deadline.is_some_and(|d| std::time::Instant::now() >= d) && !buf.is_empty() {
+            return Err(HttpError::Malformed("request read timed out"));
+        }
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if buf.is_empty() {
+                    return Ok(None);
+                }
+                return Err(HttpError::Malformed("unexpected EOF mid-line"));
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if buf.last() == Some(&b'\r') {
+                        buf.pop();
+                    }
+                    let line = String::from_utf8(buf)
+                        .map_err(|_| HttpError::Malformed("non-UTF-8 header data"))?;
+                    return Ok(Some(line));
+                }
+                if buf.len() >= MAX_LINE {
+                    return Err(HttpError::TooLarge("line exceeds MAX_LINE"));
+                }
+                buf.push(byte[0]);
+            }
+            Err(e) => check_deadline(&e, deadline)?,
+        }
+    }
+}
+
+/// Reads exactly `buf.len()` body bytes, honouring the request deadline.
+fn read_body<R: BufRead>(
+    reader: &mut R,
+    buf: &mut [u8],
+    deadline: Option<std::time::Instant>,
+) -> Result<(), HttpError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        // Checked on the success path too: a client dripping bytes just
+        // under the socket timeout must still hit the whole-request bound.
+        if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+            return Err(HttpError::Malformed("request read timed out"));
+        }
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => return Err(HttpError::Malformed("body shorter than content-length")),
+            Ok(n) => filled += n,
+            Err(e) => check_deadline(&e, deadline)?,
+        }
+    }
+    Ok(())
+}
+
+/// Reads one request off the stream. `Ok(None)` means the peer closed the
+/// connection cleanly between requests (normal keep-alive teardown).
+///
+/// `deadline`, when given, bounds the *whole* request read: reads that
+/// time out at the socket level are retried until the deadline passes,
+/// then rejected — pair it with a short socket read timeout.
+///
+/// # Errors
+/// [`HttpError`] on transport failure, malformed syntax, exceeded
+/// protocol limits, or a blown deadline.
+pub fn read_request<R: BufRead>(
+    reader: &mut R,
+    deadline: Option<std::time::Instant>,
+) -> Result<Option<Request>, HttpError> {
+    let Some(request_line) = read_line(reader, deadline)? else {
+        return Ok(None);
+    };
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty() && m.bytes().all(|b| b.is_ascii_uppercase()))
+        .ok_or(HttpError::Malformed("bad method"))?
+        .to_owned();
+    let target = parts
+        .next()
+        .filter(|t| t.starts_with('/'))
+        .ok_or(HttpError::Malformed("bad request target"))?
+        .to_owned();
+    let version = parts
+        .next()
+        .ok_or(HttpError::Malformed("missing version"))?;
+    if parts.next().is_some() {
+        return Err(HttpError::Malformed("extra request-line fields"));
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::Unsupported("only HTTP/1.0 and HTTP/1.1"));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader, deadline)?.ok_or(HttpError::Malformed("EOF in headers"))?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::TooLarge("too many headers"));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(HttpError::Malformed("header without ':'"))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::Malformed("bad header name"));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let mut request = Request {
+        method,
+        target,
+        http10: version == "HTTP/1.0",
+        headers,
+        body: Vec::new(),
+    };
+    if request
+        .header("transfer-encoding")
+        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(HttpError::Unsupported("transfer-encoding"));
+    }
+    // RFC 7230 §3.3.3: conflicting Content-Length values must be rejected
+    // outright — first-wins would let a front proxy and this server parse
+    // different request boundaries (request smuggling).
+    if request
+        .headers
+        .iter()
+        .filter(|(k, _)| k == "content-length")
+        .count()
+        > 1
+    {
+        return Err(HttpError::Malformed("multiple content-length headers"));
+    }
+    if let Some(len) = request.header("content-length") {
+        // RFC 9110 grammar is 1*DIGIT; `usize::from_str` also accepts a
+        // leading '+', which a front proxy would treat as invalid — another
+        // parse-differential smuggling vector.
+        if len.is_empty() || !len.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(HttpError::Malformed("bad content-length"));
+        }
+        let len: usize = len
+            .parse()
+            .map_err(|_| HttpError::Malformed("bad content-length"))?;
+        if len > MAX_BODY {
+            return Err(HttpError::TooLarge("body exceeds MAX_BODY"));
+        }
+        let mut body = vec![0u8; len];
+        read_body(reader, &mut body, deadline)?;
+        request.body = body;
+    }
+    Ok(Some(request))
+}
+
+/// Writes a complete response with a body and standard headers.
+///
+/// # Errors
+/// Propagates transport errors.
+pub fn write_response<W: Write>(
+    writer: &mut W,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    )?;
+    writer.write_all(body)?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &[u8]) -> Result<Option<Request>, HttpError> {
+        read_request(&mut BufReader::new(raw), None)
+    }
+
+    #[test]
+    fn parses_get_with_headers() {
+        let req = parse(b"GET /health?verbose=1 HTTP/1.1\r\nHost: x\r\nX-Custom:  padded \r\n\r\n")
+            .expect("ok")
+            .expect("some");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.target, "/health?verbose=1");
+        assert_eq!(req.path(), "/health");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("X-CUSTOM"), Some("padded"));
+        assert!(req.body.is_empty());
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn parses_post_with_body_and_bare_lf() {
+        let req = parse(b"POST /query HTTP/1.1\ncontent-length: 4\nConnection: close\n\nabcd")
+            .expect("ok")
+            .expect("some");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"abcd");
+        assert!(req.wants_close());
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        assert!(parse(b"").expect("clean EOF").is_none());
+    }
+
+    #[test]
+    fn malformed_requests_rejected() {
+        for raw in [
+            &b"GET\r\n\r\n"[..],
+            b"GET /x\r\n\r\n",
+            b"GET /x HTTP/1.1 extra\r\n\r\n",
+            b"get /x HTTP/1.1\r\n\r\n",
+            b"GET x HTTP/1.1\r\n\r\n",
+            b"GET /x HTTP/2.0\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nbad name: v\r\n\r\n",
+            b"GET /x HTTP/1.1\r\n: empty\r\n\r\n",
+            b"POST /x HTTP/1.1\r\ncontent-length: ab\r\n\r\n",
+            b"POST /x HTTP/1.1\r\ncontent-length: +5\r\n\r\nabcde",
+            b"POST /x HTTP/1.1\r\ncontent-length: -5\r\n\r\nabcde",
+            b"POST /x HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n",
+        ] {
+            assert!(
+                parse(raw).is_err(),
+                "accepted {:?}",
+                String::from_utf8_lossy(raw)
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_requests_rejected() {
+        for raw in [
+            &b"GET /x HT"[..],                                   // EOF mid request line
+            b"GET /x HTTP/1.1\r\nHost: x",                       // EOF mid header
+            b"GET /x HTTP/1.1\r\n",                              // EOF before blank line
+            b"POST /x HTTP/1.1\r\ncontent-length: 10\r\n\r\nab", // short body
+        ] {
+            assert!(
+                parse(raw).is_err(),
+                "accepted {:?}",
+                String::from_utf8_lossy(raw)
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_inputs_rejected() {
+        let long_line = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_LINE + 1));
+        assert!(matches!(
+            parse(long_line.as_bytes()),
+            Err(HttpError::TooLarge(_))
+        ));
+
+        let mut many_headers = String::from("GET /x HTTP/1.1\r\n");
+        for i in 0..=MAX_HEADERS {
+            many_headers.push_str(&format!("h{i}: v\r\n"));
+        }
+        many_headers.push_str("\r\n");
+        assert!(matches!(
+            parse(many_headers.as_bytes()),
+            Err(HttpError::TooLarge(_))
+        ));
+
+        let huge_body = format!(
+            "POST /x HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert!(matches!(
+            parse(huge_body.as_bytes()),
+            Err(HttpError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn http10_closes_by_default() {
+        let req = parse(b"GET /health HTTP/1.0\r\n\r\n")
+            .expect("ok")
+            .expect("some");
+        assert!(req.http10);
+        assert!(req.wants_close(), "HTTP/1.0 closes by default");
+        let req = parse(b"GET /health HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+            .expect("ok")
+            .expect("some");
+        assert!(!req.wants_close(), "explicit keep-alive wins on 1.0");
+        let req = parse(b"GET /health HTTP/1.1\r\n\r\n")
+            .expect("ok")
+            .expect("some");
+        assert!(!req.wants_close(), "HTTP/1.1 keeps alive by default");
+    }
+
+    #[test]
+    fn duplicate_content_length_rejected() {
+        // First-wins or last-wins would desynchronise this server from a
+        // front proxy (request smuggling); both orders must be rejected.
+        for raw in [
+            &b"POST /x HTTP/1.1\r\ncontent-length: 2\r\ncontent-length: 4\r\n\r\nabcd"[..],
+            b"POST /x HTTP/1.1\r\ncontent-length: 4\r\ncontent-length: 2\r\n\r\nabcd",
+            b"POST /x HTTP/1.1\r\ncontent-length: 4\r\ncontent-length: 4\r\n\r\nabcd",
+        ] {
+            assert!(
+                matches!(parse(raw), Err(HttpError::Malformed(_))),
+                "accepted {:?}",
+                String::from_utf8_lossy(raw)
+            );
+        }
+    }
+
+    /// A reader that yields one byte then times out forever — a
+    /// byte-dripping slow client.
+    struct Stall {
+        sent: bool,
+    }
+
+    impl std::io::Read for Stall {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.sent {
+                Err(std::io::Error::from(std::io::ErrorKind::WouldBlock))
+            } else {
+                self.sent = true;
+                buf[0] = b'G';
+                Ok(1)
+            }
+        }
+    }
+
+    #[test]
+    fn deadline_bounds_slow_requests() {
+        use std::time::{Duration, Instant};
+        // Expired deadline: the stalled read must fail, not spin forever.
+        let mut reader = BufReader::new(Stall { sent: false });
+        let past = Instant::now() - Duration::from_secs(1);
+        assert!(matches!(
+            read_request(&mut reader, Some(past)),
+            Err(HttpError::Malformed("request read timed out"))
+        ));
+        // With no deadline, socket timeouts surface unchanged (via the
+        // same path the connection handler retries on).
+        let mut reader = BufReader::new(Stall { sent: false });
+        assert!(read_request(&mut reader, None).is_err());
+    }
+
+    #[test]
+    fn keep_alive_sequencing() {
+        let raw = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let mut reader = BufReader::new(&raw[..]);
+        let a = read_request(&mut reader, None).expect("ok").expect("first");
+        let b = read_request(&mut reader, None)
+            .expect("ok")
+            .expect("second");
+        assert_eq!(a.target, "/a");
+        assert_eq!(b.target, "/b");
+        assert!(read_request(&mut reader, None).expect("ok").is_none());
+    }
+
+    #[test]
+    fn response_writer_shapes_headers() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "OK", "application/json", b"{}", true).expect("write");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 2\r\n"));
+        assert!(text.contains("connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+
+        let mut out = Vec::new();
+        write_response(&mut out, 400, "Bad Request", "application/json", b"", false)
+            .expect("write");
+        assert!(String::from_utf8(out)
+            .expect("utf8")
+            .contains("connection: close"));
+    }
+}

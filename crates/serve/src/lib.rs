@@ -1,0 +1,63 @@
+//! # lshe-serve
+//!
+//! The serving layer the paper's "Internet-scale domain search" framing
+//! calls for (§6.3 runs a 262M-domain deployment): a long-lived,
+//! concurrent query server over a persisted `.lshe` index.
+//!
+//! Everything is `std`-only — the build image has no crates.io access —
+//! so the crate hand-rolls the pieces a production server normally pulls
+//! off the shelf:
+//!
+//! | module | role |
+//! |---|---|
+//! | [`container`] | the `.lshe` index-file format (moved here from `lshe-cli` so both the CLI and the server share it) |
+//! | [`engine`] | `Arc`-swapped snapshot reads + hot `/reload`, optional sharded fan-out |
+//! | [`cache`] | thread-safe LRU query cache with hit/miss counters |
+//! | [`pool`] | fixed thread pool with drain-on-drop graceful shutdown |
+//! | [`http`] | minimal HTTP/1.1 request parser / response writer |
+//! | [`json`] | strict-subset JSON reader/writer for the wire protocol |
+//! | [`server`] | listener, routing, endpoints |
+//!
+//! ## Quick example
+//!
+//! ```
+//! use lshe_serve::container::IndexContainer;
+//! use lshe_serve::engine::Engine;
+//! use lshe_serve::server::{start, ServerConfig};
+//! use lshe_corpus::{Catalog, Domain, DomainMeta};
+//! use std::sync::Arc;
+//!
+//! // Build a tiny in-memory index…
+//! let mut catalog = Catalog::new();
+//! for k in 0..4 {
+//!     let values: Vec<String> = (0..=20 + 10 * k).map(|i| format!("v{i}")).collect();
+//!     catalog.push(
+//!         Domain::from_strs(values.iter().map(String::as_str)),
+//!         DomainMeta::new(format!("table{k}"), "col"),
+//!     );
+//! }
+//! let engine = Engine::from_container(IndexContainer::build(&catalog, 2, true), 1).unwrap();
+//!
+//! // …serve it on an ephemeral port, then shut down gracefully.
+//! let config = ServerConfig { addr: "127.0.0.1:0".into(), threads: 2, cache_capacity: 64 };
+//! let handle = start(Arc::new(engine), &config).unwrap();
+//! assert_ne!(handle.addr().port(), 0);
+//! handle.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod cache;
+pub mod client;
+pub mod container;
+pub mod engine;
+pub mod http;
+pub mod json;
+pub mod pool;
+pub mod server;
+
+pub use cache::{CacheStats, LruCache, QueryKey};
+pub use container::{DomainRecord, IndexContainer};
+pub use engine::{Engine, EngineError, Snapshot};
+pub use server::{start, ServerConfig, ServerHandle};

@@ -1,0 +1,1064 @@
+//! The HTTP server: listener, routing, endpoints, graceful shutdown.
+//!
+//! Endpoints (see `docs/API.md` for request/response examples):
+//!
+//! | method | path        | purpose                                         |
+//! |--------|-------------|-------------------------------------------------|
+//! | GET    | `/health`   | liveness + index summary                        |
+//! | GET    | `/stats`    | index, cache, and traffic statistics            |
+//! | POST   | `/query`    | one containment query                           |
+//! | POST   | `/topk`     | one top-k query (needs a ranked index)          |
+//! | POST   | `/batch`    | many queries, fanned out across worker threads  |
+//! | POST   | `/reload`   | hot-swap the index snapshot                     |
+//! | POST   | `/shutdown` | graceful stop (drain in-flight, then exit)      |
+
+use crate::cache::{signature_digest, CacheStats, LruCache, QueryKey};
+use crate::engine::{Engine, EngineError, Hit, Snapshot};
+use crate::http::{read_request, write_response, HttpError, Request};
+use crate::json::Json;
+use crate::pool::{effective_threads, ThreadPool};
+use lshe_corpus::Domain;
+use lshe_minhash::Signature;
+use std::io::{self, BufRead, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How long a worker waits for the *next* request on a hot connection
+/// before parking it (keeps rapid-fire clients on-worker, frees the worker
+/// from quiet ones).
+const HOT_WAIT: Duration = Duration::from_millis(5);
+/// Requests one worker turn may serve before the connection is forcibly
+/// parked — fairness bound so a hot client cannot monopolise a worker.
+const MAX_REQUESTS_PER_TURN: usize = 32;
+/// Parker sweep tick while traffic is flowing: upper bound on the latency
+/// for noticing a parked connection became readable.
+const PARK_TICK: Duration = Duration::from_millis(1);
+/// Parker backoff ceiling: after empty sweeps the tick doubles up to this,
+/// so a fully idle server does not burn CPU probing quiet connections.
+const PARK_TICK_MAX: Duration = Duration::from_millis(16);
+/// Whole-request read window once the first byte has arrived (slow-client
+/// bound — a hard deadline, not a per-read timeout).
+const REQUEST_TIMEOUT: Duration = Duration::from_secs(10);
+/// Socket-level read timeout while a request is being read; each timeout
+/// re-checks the [`REQUEST_TIMEOUT`] deadline.
+const REQUEST_POLL: Duration = Duration::from_millis(500);
+/// Default containment threshold when a query omits one (matches the CLI).
+const DEFAULT_THRESHOLD: f64 = 0.7;
+/// Upper bound on `k` and on batch size, to bound per-request work.
+const MAX_K: usize = 10_000;
+/// Upper bound on queries per `/batch` request.
+const MAX_BATCH: usize = 4_096;
+/// Parked connections silent for this long are dropped.
+const IDLE_TIMEOUT: Duration = Duration::from_secs(60);
+/// Maximum parked connections (fd-exhaustion bound); beyond it the
+/// longest-idle connection is evicted.
+const MAX_IDLE: usize = 4_096;
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (`:0` for an ephemeral port).
+    pub addr: String,
+    /// Worker threads (0 = available parallelism).
+    pub threads: usize,
+    /// LRU query-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".to_owned(),
+            threads: 0,
+            cache_capacity: 1024,
+        }
+    }
+}
+
+/// Per-endpoint traffic counters.
+#[derive(Debug, Default)]
+struct Counters {
+    connections: AtomicU64,
+    queries: AtomicU64,
+    topk: AtomicU64,
+    batches: AtomicU64,
+    batch_queries: AtomicU64,
+    reloads: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// Global budget for *extra* batch fan-out threads. Each `/batch` handler
+/// always gets one lane (itself); additional scoped threads are borrowed
+/// here, so concurrent batches degrade to narrower fan-out instead of
+/// multiplying OS threads without bound.
+struct FanoutBudget {
+    available: std::sync::Mutex<usize>,
+}
+
+impl FanoutBudget {
+    fn new(permits: usize) -> Self {
+        Self {
+            available: std::sync::Mutex::new(permits),
+        }
+    }
+
+    /// Takes up to `want` permits (possibly 0), returned on guard drop.
+    fn acquire_up_to(&self, want: usize) -> FanoutGuard<'_> {
+        let mut available = self.available.lock().expect("budget poisoned");
+        let taken = want.min(*available);
+        *available -= taken;
+        FanoutGuard {
+            budget: self,
+            taken,
+        }
+    }
+}
+
+struct FanoutGuard<'a> {
+    budget: &'a FanoutBudget,
+    taken: usize,
+}
+
+impl Drop for FanoutGuard<'_> {
+    fn drop(&mut self) {
+        *self.budget.available.lock().expect("budget poisoned") += self.taken;
+    }
+}
+
+/// State shared by every connection handler.
+struct Shared {
+    engine: Arc<Engine>,
+    cache: LruCache<QueryKey, Arc<Vec<Hit>>>,
+    counters: Counters,
+    started: Instant,
+    shutdown: Arc<AtomicBool>,
+    addr: SocketAddr,
+    threads: usize,
+    fanout: FanoutBudget,
+}
+
+/// A running server; dropping the handle shuts it down gracefully.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with an ephemeral `:0` bind).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests a graceful stop and waits for it: the listener closes, idle
+    /// connections are released, and in-flight requests complete.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    /// Blocks until the server stops on its own (`/shutdown` endpoint or a
+    /// listener failure).
+    pub fn join(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+
+    fn stop(&mut self) {
+        if let Some(accept) = self.accept.take() {
+            self.shutdown.store(true, Ordering::SeqCst);
+            wake_listener(self.addr);
+            let _ = accept.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Unblocks a listener parked in `accept` by poking it with a connection.
+/// Wildcard binds (`0.0.0.0` / `::`) are not connectable addresses, so the
+/// poke targets loopback on the bound port instead.
+fn wake_listener(addr: SocketAddr) {
+    let mut target = addr;
+    if target.ip().is_unspecified() {
+        target.set_ip(match target {
+            SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+            SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+        });
+    }
+    let _ = TcpStream::connect_timeout(&target, Duration::from_millis(250));
+}
+
+/// Binds `config.addr` and spawns the accept loop plus its worker pool.
+///
+/// # Errors
+/// Propagates the bind failure.
+pub fn start(engine: Arc<Engine>, config: &ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let threads = effective_threads(config.threads);
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let shared = Arc::new(Shared {
+        engine,
+        cache: LruCache::new(config.cache_capacity),
+        counters: Counters::default(),
+        started: Instant::now(),
+        shutdown: Arc::clone(&shutdown),
+        addr,
+        threads,
+        fanout: FanoutBudget::new(threads),
+    });
+    let accept_shared = Arc::clone(&shared);
+    let accept = std::thread::Builder::new()
+        .name("lshe-serve-accept".to_owned())
+        .spawn(move || accept_loop(&listener, &accept_shared))?;
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        accept: Some(accept),
+    })
+}
+
+/// One live connection: the write half plus a buffered read half.
+struct Conn {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Option<Self> {
+        // Responses are written in one small burst; Nagle + delayed ACK
+        // would add ~40 ms to every keep-alive round trip.
+        stream.set_nodelay(true).ok()?;
+        let read_half = stream.try_clone().ok()?;
+        Some(Self {
+            stream,
+            reader: BufReader::new(read_half),
+        })
+    }
+}
+
+/// Messages to the parker thread.
+enum ConnEvent {
+    /// A connection whose worker turn ended with the peer quiet.
+    Parked(Conn),
+}
+
+/// Connection lifecycle (see module docs): `accept` hands a new connection
+/// straight to the pool; a worker serves up to [`MAX_REQUESTS_PER_TURN`]
+/// requests, then *parks* the connection if the peer goes quiet for
+/// [`HOT_WAIT`]. The parker thread sweeps parked connections every
+/// [`PARK_TICK`] and redispatches any that became readable. This keeps the
+/// executor sized to the hardware while supporting arbitrarily many
+/// keep-alive connections with no head-of-line blocking.
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    let pool = Arc::new(ThreadPool::new(shared.threads, "lshe-serve-worker"));
+    let (park_tx, park_rx) = std::sync::mpsc::channel::<ConnEvent>();
+    let parker = {
+        let pool = Arc::clone(&pool);
+        let shared = Arc::clone(shared);
+        let park_tx = park_tx.clone();
+        std::thread::Builder::new()
+            .name("lshe-serve-parker".to_owned())
+            .spawn(move || parker_loop(&park_rx, &park_tx, &pool, &shared))
+            .expect("spawn parker thread")
+    };
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match stream {
+            Ok(stream) => {
+                shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+                if let Some(conn) = Conn::new(stream) {
+                    dispatch_turn(&pool, conn, shared, &park_tx);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                // Transient accept failures (ECONNABORTED on a reset
+                // handshake, EMFILE under fd pressure, …) must not kill a
+                // long-lived server: back off briefly and keep accepting.
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+    // Shutdown: the flag tells the parker (and any worker turn) to wind
+    // down; dropping the pool joins workers after in-flight work finishes.
+    shared.shutdown.store(true, Ordering::SeqCst);
+    drop(park_tx);
+    let _ = parker.join();
+    drop(pool);
+}
+
+/// Queues one worker turn for `conn`.
+fn dispatch_turn(
+    pool: &Arc<ThreadPool>,
+    conn: Conn,
+    shared: &Arc<Shared>,
+    park_tx: &std::sync::mpsc::Sender<ConnEvent>,
+) {
+    let shared = Arc::clone(shared);
+    let park_tx = park_tx.clone();
+    pool.execute(move || serve_turn(conn, &shared, &park_tx));
+}
+
+/// Owns every parked (idle keep-alive) connection; sweeps for readability
+/// every [`PARK_TICK`] and redispatches ready ones to the worker pool.
+/// Connections silent for [`IDLE_TIMEOUT`] are dropped, and the lot is
+/// capped at [`MAX_IDLE`] (longest-idle evicted first) so silent peers
+/// cannot exhaust file descriptors.
+fn parker_loop(
+    park_rx: &std::sync::mpsc::Receiver<ConnEvent>,
+    park_tx: &std::sync::mpsc::Sender<ConnEvent>,
+    pool: &Arc<ThreadPool>,
+    shared: &Arc<Shared>,
+) {
+    let mut idle: Vec<(Conn, Instant)> = Vec::new();
+    let mut tick = PARK_TICK;
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return; // parked connections are idle: safe to drop them
+        }
+        // Sweep: move every readable (or dead/expired) connection out.
+        // Parked sockets sit in non-blocking mode (flipped once on park,
+        // once on dispatch), so each probe is a single peek syscall.
+        let now = Instant::now();
+        let mut dispatched = false;
+        let mut i = 0;
+        while i < idle.len() {
+            if now.duration_since(idle[i].1) >= IDLE_TIMEOUT {
+                idle.swap_remove(i);
+                continue;
+            }
+            match park_readiness(&mut idle[i].0) {
+                ParkState::Ready => {
+                    let (conn, _) = idle.swap_remove(i);
+                    if conn.stream.set_nonblocking(false).is_ok() {
+                        dispatched = true;
+                        dispatch_turn(pool, conn, shared, park_tx);
+                    }
+                }
+                ParkState::Closed => {
+                    idle.swap_remove(i);
+                }
+                ParkState::Quiet => i += 1,
+            }
+        }
+        // Adaptive cadence: stay sharp while work is flowing, back off to
+        // PARK_TICK_MAX when every sweep comes up empty.
+        tick = if dispatched {
+            PARK_TICK
+        } else {
+            (tick * 2).min(PARK_TICK_MAX)
+        };
+        // Block until the next parked connection arrives or the tick
+        // elapses, whichever is first.
+        match park_rx.recv_timeout(tick) {
+            Ok(ConnEvent::Parked(conn)) => {
+                if idle.len() >= MAX_IDLE {
+                    // Evict the longest-idle connection to stay bounded.
+                    if let Some(oldest) = (0..idle.len()).min_by_key(|&j| idle[j].1) {
+                        idle.swap_remove(oldest);
+                    }
+                }
+                if conn.stream.set_nonblocking(true).is_ok() {
+                    idle.push((conn, Instant::now()));
+                }
+                tick = PARK_TICK;
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                // Accept loop is gone; keep sweeping until shutdown flips.
+                std::thread::sleep(tick);
+            }
+        }
+    }
+}
+
+enum ParkState {
+    Ready,
+    Quiet,
+    Closed,
+}
+
+/// Readability probe for a parked connection. The socket is already in
+/// non-blocking mode (set when parked), so this is one `peek` syscall.
+fn park_readiness(conn: &mut Conn) -> ParkState {
+    if !conn.reader.buffer().is_empty() {
+        return ParkState::Ready; // pipelined bytes already buffered
+    }
+    let mut probe = [0u8; 1];
+    match conn.stream.peek(&mut probe) {
+        Ok(0) => ParkState::Closed,
+        Ok(_) => ParkState::Ready,
+        Err(e)
+            if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::Interrupted =>
+        {
+            ParkState::Quiet
+        }
+        Err(_) => ParkState::Closed,
+    }
+}
+
+/// Whether the next request's first byte arrived within the current read
+/// timeout.
+enum NextRequest {
+    Data,
+    Quiet,
+    Closed,
+}
+
+fn await_first_byte(reader: &mut BufReader<TcpStream>) -> NextRequest {
+    if !reader.buffer().is_empty() {
+        return NextRequest::Data;
+    }
+    loop {
+        match reader.fill_buf() {
+            Ok([]) => return NextRequest::Closed,
+            Ok(_) => return NextRequest::Data,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return NextRequest::Quiet;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return NextRequest::Closed,
+        }
+    }
+}
+
+/// One worker turn: serve consecutive requests on `conn` until the peer
+/// goes quiet (→ park), the turn budget is spent (→ park, for fairness),
+/// the peer closes, or shutdown begins.
+fn serve_turn(mut conn: Conn, shared: &Arc<Shared>, park_tx: &std::sync::mpsc::Sender<ConnEvent>) {
+    for served in 0.. {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if served >= MAX_REQUESTS_PER_TURN {
+            let _ = park_tx.send(ConnEvent::Parked(conn));
+            return;
+        }
+        // Short wait for the next request; quiet connections get parked so
+        // the worker can serve someone else.
+        if conn.stream.set_read_timeout(Some(HOT_WAIT)).is_err() {
+            return;
+        }
+        match await_first_byte(&mut conn.reader) {
+            NextRequest::Data => {}
+            NextRequest::Quiet => {
+                let _ = park_tx.send(ConnEvent::Parked(conn));
+                return;
+            }
+            NextRequest::Closed => return,
+        }
+        // A request is inbound: short socket timeouts, hard whole-request
+        // deadline (so a byte-dripping client cannot pin this worker).
+        if conn.stream.set_read_timeout(Some(REQUEST_POLL)).is_err() {
+            return;
+        }
+        let deadline = Instant::now() + REQUEST_TIMEOUT;
+        let request = match read_request(&mut conn.reader, Some(deadline)) {
+            Ok(Some(request)) => request,
+            Ok(None) => return,
+            Err(HttpError::Io(_)) => return,
+            Err(e) => {
+                shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                let (status, reason) = match &e {
+                    HttpError::TooLarge(_) => (413, "Payload Too Large"),
+                    HttpError::Unsupported(_) => (501, "Not Implemented"),
+                    _ => (400, "Bad Request"),
+                };
+                let body = Json::obj(vec![("error", Json::str(e.to_string()))]).render();
+                let _ = write_response(
+                    &mut conn.stream,
+                    status,
+                    reason,
+                    "application/json",
+                    body.as_bytes(),
+                    false,
+                );
+                return;
+            }
+        };
+        let keep_alive = !request.wants_close();
+        let outcome = route(shared, &request);
+        let body = outcome.body.render();
+        if write_response(
+            &mut conn.stream,
+            outcome.status,
+            outcome.reason,
+            "application/json",
+            body.as_bytes(),
+            keep_alive && !outcome.close_after,
+        )
+        .is_err()
+        {
+            return;
+        }
+        if outcome.close_after {
+            // `/shutdown`: flip the flag only after the response is on the
+            // wire, then unpark the listener.
+            shared.shutdown.store(true, Ordering::SeqCst);
+            wake_listener(shared.addr);
+            return;
+        }
+        if !keep_alive {
+            return;
+        }
+    }
+}
+
+/// One routed response.
+struct Outcome {
+    status: u16,
+    reason: &'static str,
+    body: Json,
+    close_after: bool,
+}
+
+impl Outcome {
+    fn ok(body: Json) -> Self {
+        Self {
+            status: 200,
+            reason: "OK",
+            body,
+            close_after: false,
+        }
+    }
+
+    fn error(status: u16, reason: &'static str, msg: impl Into<String>) -> Self {
+        Self {
+            status,
+            reason,
+            body: Json::obj(vec![("error", Json::str(msg.into()))]),
+            close_after: false,
+        }
+    }
+}
+
+fn route(shared: &Arc<Shared>, request: &Request) -> Outcome {
+    let outcome = match (request.method.as_str(), request.path()) {
+        ("GET", "/health") => handle_health(shared),
+        ("GET", "/stats") => handle_stats(shared),
+        ("POST", "/query") => handle_query(shared, request, false),
+        ("POST", "/topk") => handle_query(shared, request, true),
+        ("POST", "/batch") => handle_batch(shared, request),
+        ("POST", "/reload") => handle_reload(shared, request),
+        ("POST", "/shutdown") => Outcome {
+            status: 200,
+            reason: "OK",
+            body: Json::obj(vec![("status", Json::str("shutting down"))]),
+            close_after: true,
+        },
+        (_, "/health" | "/stats" | "/query" | "/topk" | "/batch" | "/reload" | "/shutdown") => {
+            Outcome::error(405, "Method Not Allowed", "wrong method for this path")
+        }
+        (_, path) => Outcome::error(404, "Not Found", format!("no such endpoint: {path}")),
+    };
+    if outcome.status >= 400 {
+        shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+    }
+    outcome
+}
+
+fn handle_health(shared: &Shared) -> Outcome {
+    let snap = shared.engine.snapshot();
+    Outcome::ok(Json::obj(vec![
+        ("status", Json::str("ok")),
+        ("domains", Json::uint(snap.container().len() as u64)),
+        ("generation", Json::uint(snap.generation())),
+        ("shards", Json::uint(snap.num_shards() as u64)),
+        ("ranked", Json::Bool(snap.container().has_ranked())),
+        ("cache_enabled", Json::Bool(shared.cache.capacity() > 0)),
+    ]))
+}
+
+fn cache_json(stats: &CacheStats) -> Json {
+    Json::obj(vec![
+        ("capacity", Json::uint(stats.capacity as u64)),
+        ("entries", Json::uint(stats.entries as u64)),
+        ("hits", Json::uint(stats.hits)),
+        ("misses", Json::uint(stats.misses)),
+        ("hit_rate", Json::num(stats.hit_rate())),
+    ])
+}
+
+fn handle_stats(shared: &Shared) -> Outcome {
+    let snap = shared.engine.snapshot();
+    let c = &shared.counters;
+    Outcome::ok(Json::obj(vec![
+        ("domains", Json::uint(snap.container().len() as u64)),
+        ("num_perm", Json::uint(snap.container().num_perm() as u64)),
+        (
+            "partitions",
+            Json::uint(snap.container().partition_count() as u64),
+        ),
+        ("shards", Json::uint(snap.num_shards() as u64)),
+        ("generation", Json::uint(snap.generation())),
+        ("threads", Json::uint(shared.threads as u64)),
+        (
+            "uptime_ms",
+            Json::uint(shared.started.elapsed().as_millis() as u64),
+        ),
+        (
+            "requests",
+            Json::obj(vec![
+                (
+                    "connections",
+                    Json::uint(c.connections.load(Ordering::Relaxed)),
+                ),
+                ("query", Json::uint(c.queries.load(Ordering::Relaxed))),
+                ("topk", Json::uint(c.topk.load(Ordering::Relaxed))),
+                ("batch", Json::uint(c.batches.load(Ordering::Relaxed))),
+                (
+                    "batch_queries",
+                    Json::uint(c.batch_queries.load(Ordering::Relaxed)),
+                ),
+                ("reload", Json::uint(c.reloads.load(Ordering::Relaxed))),
+                ("errors", Json::uint(c.errors.load(Ordering::Relaxed))),
+            ]),
+        ),
+        ("cache", cache_json(&shared.cache.stats())),
+    ]))
+}
+
+/// One parsed query: sketch, cardinality, threshold, and optional k.
+struct QuerySpec {
+    signature: Signature,
+    size: u64,
+    threshold: f64,
+    k: usize,
+}
+
+/// Extracts a [`QuerySpec`] from a request object: `values` (required
+/// string array, hashed server-side into the index's hash universe), plus
+/// optional `threshold` and `k`. A present `k` always means top-k — on
+/// `/query`, `/topk`, and `/batch` entries alike; `require_k` only makes
+/// it mandatory (`/topk`).
+fn parse_spec(body: &Json, snap: &Snapshot, require_k: bool) -> Result<QuerySpec, String> {
+    let values = body
+        .get("values")
+        .and_then(Json::as_array)
+        .ok_or("missing \"values\": expected an array of strings")?;
+    if values.is_empty() {
+        return Err("\"values\" must not be empty".to_owned());
+    }
+    let mut strs = Vec::with_capacity(values.len());
+    for v in values {
+        strs.push(v.as_str().ok_or("\"values\" entries must all be strings")?);
+    }
+    let domain = Domain::from_strs(strs.iter().copied());
+    let threshold = match body.get("threshold") {
+        None => DEFAULT_THRESHOLD,
+        Some(t) => t
+            .as_f64()
+            .filter(|t| (0.0..=1.0).contains(t))
+            .ok_or("\"threshold\" must be a number in [0, 1]")?,
+    };
+    let k = match body.get("k") {
+        None if require_k => return Err("missing \"k\": top-k needs a positive integer".to_owned()),
+        None => 0,
+        Some(k) => k
+            .as_u64()
+            .filter(|&k| (1..=MAX_K as u64).contains(&k))
+            .ok_or_else(|| format!("\"k\" must be an integer in [1, {MAX_K}]"))?
+            as usize,
+    };
+    Ok(QuerySpec {
+        signature: domain.signature(snap.hasher()),
+        size: domain.len() as u64,
+        threshold,
+        k,
+    })
+}
+
+/// Runs one query through the LRU cache: hit → stored result, miss →
+/// compute against `snap` and insert. The snapshot generation is part of
+/// the key, so reloads can never serve stale hits.
+fn cached_search(
+    shared: &Shared,
+    snap: &Snapshot,
+    spec: &QuerySpec,
+) -> Result<(Arc<Vec<Hit>>, bool), String> {
+    let key = QueryKey {
+        digest: signature_digest(spec.signature.slots()),
+        query_size: spec.size,
+        // Top-k ignores the threshold entirely; canonicalise it to 0 so
+        // identical top-k requests with different (unused) thresholds
+        // share one cache entry.
+        threshold_bits: if spec.k > 0 {
+            0
+        } else {
+            spec.threshold.to_bits()
+        },
+        k: spec.k as u32,
+        generation: snap.generation(),
+    };
+    if let Some(hits) = shared.cache.get(&key) {
+        return Ok((hits, true));
+    }
+    let hits = if spec.k > 0 {
+        snap.top_k(&spec.signature, spec.size, spec.k)?
+    } else {
+        snap.search(&spec.signature, spec.size, spec.threshold)
+    };
+    let hits = Arc::new(hits);
+    shared.cache.insert(key, Arc::clone(&hits));
+    Ok((hits, false))
+}
+
+/// Renders a hit list with provenance.
+fn hits_json(snap: &Snapshot, hits: &[Hit]) -> Json {
+    Json::Arr(
+        hits.iter()
+            .map(|&(id, estimate)| {
+                let (table, column, size) = snap
+                    .container()
+                    .record(id)
+                    .map(|r| (r.table.as_str(), r.column.as_str(), r.size))
+                    .unwrap_or(("?", "?", 0));
+                Json::obj(vec![
+                    ("id", Json::uint(u64::from(id))),
+                    ("table", Json::str(table)),
+                    ("column", Json::str(column)),
+                    ("size", Json::uint(size)),
+                    ("estimate", estimate.map_or(Json::Null, Json::num)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn parse_body(request: &Request) -> Result<Json, String> {
+    let text = std::str::from_utf8(&request.body).map_err(|_| "body is not UTF-8".to_owned())?;
+    if text.trim().is_empty() {
+        return Ok(Json::Obj(Vec::new()));
+    }
+    Json::parse(text).map_err(|e| format!("invalid JSON body: {e}"))
+}
+
+fn handle_query(shared: &Shared, request: &Request, require_k: bool) -> Outcome {
+    let started = Instant::now();
+    let body = match parse_body(request) {
+        Ok(body) => body,
+        Err(msg) => return Outcome::error(400, "Bad Request", msg),
+    };
+    let snap = shared.engine.snapshot();
+    let spec = match parse_spec(&body, &snap, require_k) {
+        Ok(spec) => spec,
+        Err(msg) => return Outcome::error(400, "Bad Request", msg),
+    };
+    let (hits, cached) = match cached_search(shared, &snap, &spec) {
+        Ok(r) => r,
+        Err(msg) => return Outcome::error(400, "Bad Request", msg),
+    };
+    if spec.k > 0 {
+        shared.counters.topk.fetch_add(1, Ordering::Relaxed);
+    } else {
+        shared.counters.queries.fetch_add(1, Ordering::Relaxed);
+    }
+    Outcome::ok(Json::obj(vec![
+        ("count", Json::uint(hits.len() as u64)),
+        ("cached", Json::Bool(cached)),
+        ("generation", Json::uint(snap.generation())),
+        (
+            "query_time_us",
+            Json::uint(started.elapsed().as_micros() as u64),
+        ),
+        ("hits", hits_json(&snap, &hits)),
+    ]))
+}
+
+fn handle_batch(shared: &Shared, request: &Request) -> Outcome {
+    let started = Instant::now();
+    let body = match parse_body(request) {
+        Ok(body) => body,
+        Err(msg) => return Outcome::error(400, "Bad Request", msg),
+    };
+    let Some(queries) = body.get("queries").and_then(Json::as_array) else {
+        return Outcome::error(400, "Bad Request", "missing \"queries\": expected an array");
+    };
+    if queries.is_empty() {
+        return Outcome::error(400, "Bad Request", "\"queries\" must not be empty");
+    }
+    if queries.len() > MAX_BATCH {
+        return Outcome::error(
+            400,
+            "Bad Request",
+            format!("at most {MAX_BATCH} queries per batch"),
+        );
+    }
+    // Every query in the batch runs against ONE snapshot: a concurrent
+    // reload cannot split the batch across index generations.
+    let snap = shared.engine.snapshot();
+
+    // Fan out across scoped threads (not the connection pool: batch jobs
+    // waiting on sub-jobs in the same pool could deadlock it). One lane is
+    // this handler's by right; extra lanes come from the shared fan-out
+    // budget, so concurrent batches narrow instead of multiplying threads.
+    // Each worker takes a contiguous chunk; results keep request order.
+    let desired = shared.threads.min(queries.len()).max(1);
+    let borrowed = shared.fanout.acquire_up_to(desired - 1);
+    let workers = 1 + borrowed.taken;
+    let chunk_len = queries.len().div_ceil(workers);
+    let run_chunk = |chunk: &[Json]| -> Vec<Result<Json, String>> {
+        chunk
+            .iter()
+            .map(|q| {
+                let spec = parse_spec(q, &snap, false)?;
+                let (hits, cached) = cached_search(shared, &snap, &spec)?;
+                Ok(Json::obj(vec![
+                    ("count", Json::uint(hits.len() as u64)),
+                    ("cached", Json::Bool(cached)),
+                    ("hits", hits_json(&snap, &hits)),
+                ]))
+            })
+            .collect()
+    };
+    // The handler thread IS the first lane (no spawn when fan-out is 1);
+    // only the borrowed lanes get scoped threads.
+    let mut chunks = queries.chunks(chunk_len);
+    let first_chunk = chunks.next().unwrap_or(&[]);
+    let mut results: Vec<Result<Json, String>> = Vec::with_capacity(queries.len());
+    let (first_output, rest_outputs): (Vec<_>, Vec<Vec<_>>) = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .map(|chunk| scope.spawn(|| run_chunk(chunk)))
+            .collect();
+        let first = run_chunk(first_chunk);
+        (
+            first,
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("batch worker panicked"))
+                .collect(),
+        )
+    });
+    results.extend(first_output);
+    for chunk in rest_outputs {
+        results.extend(chunk);
+    }
+    let rendered: Vec<Json> = results
+        .into_iter()
+        .map(|r| match r {
+            Ok(j) => j,
+            Err(msg) => Json::obj(vec![("error", Json::str(msg))]),
+        })
+        .collect();
+    shared.counters.batches.fetch_add(1, Ordering::Relaxed);
+    shared
+        .counters
+        .batch_queries
+        .fetch_add(rendered.len() as u64, Ordering::Relaxed);
+    Outcome::ok(Json::obj(vec![
+        ("count", Json::uint(rendered.len() as u64)),
+        ("generation", Json::uint(snap.generation())),
+        (
+            "batch_time_us",
+            Json::uint(started.elapsed().as_micros() as u64),
+        ),
+        ("results", Json::Arr(rendered)),
+    ]))
+}
+
+fn handle_reload(shared: &Shared, request: &Request) -> Outcome {
+    let body = match parse_body(request) {
+        Ok(body) => body,
+        Err(msg) => return Outcome::error(400, "Bad Request", msg),
+    };
+    let path = body.get("path").and_then(Json::as_str).map(Path::new);
+    match shared.engine.reload(path) {
+        Ok(snap) => {
+            // Entries are generation-keyed (never stale), but a reload makes
+            // the old generation unreachable: drop the dead weight.
+            shared.cache.clear();
+            shared.counters.reloads.fetch_add(1, Ordering::Relaxed);
+            Outcome::ok(Json::obj(vec![
+                ("status", Json::str("reloaded")),
+                ("generation", Json::uint(snap.generation())),
+                ("domains", Json::uint(snap.container().len() as u64)),
+                ("shards", Json::uint(snap.num_shards() as u64)),
+            ]))
+        }
+        Err(EngineError::Io(e)) => Outcome::error(400, "Bad Request", format!("i/o error: {e}")),
+        Err(e @ (EngineError::Index(_) | EngineError::Config(_))) => {
+            Outcome::error(400, "Bad Request", e.to_string())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::HttpClient;
+    use crate::container::IndexContainer;
+    use lshe_corpus::{Catalog, DomainMeta};
+
+    fn test_engine(n: usize, ranked: bool) -> Arc<Engine> {
+        let mut cat = Catalog::new();
+        for k in 0..n {
+            let values: Vec<String> = (0..20 + 5 * k).map(|i| format!("v{i}")).collect();
+            cat.push(
+                Domain::from_strs(values.iter().map(String::as_str)),
+                DomainMeta::new(format!("t{k}"), "col"),
+            );
+        }
+        Arc::new(Engine::from_container(IndexContainer::build(&cat, 2, ranked), 1).expect("engine"))
+    }
+
+    fn boot(engine: Arc<Engine>) -> ServerHandle {
+        start(
+            engine,
+            &ServerConfig {
+                addr: "127.0.0.1:0".to_owned(),
+                threads: 2,
+                cache_capacity: 16,
+            },
+        )
+        .expect("bind")
+    }
+
+    /// Fresh-connection request helpers over the shared loopback client.
+    fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+        HttpClient::connect(addr).request("GET", path, None)
+    }
+
+    fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+        HttpClient::connect(addr).request("POST", path, Some(body))
+    }
+
+    #[test]
+    fn health_and_stats_shape() {
+        let server = boot(test_engine(6, true));
+        let (status, body) = get(server.addr(), "/health");
+        assert_eq!(status, 200, "{body}");
+        let health = Json::parse(&body).expect("json");
+        assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(health.get("domains").and_then(Json::as_u64), Some(6));
+
+        let (status, body) = get(server.addr(), "/stats");
+        assert_eq!(status, 200);
+        let stats = Json::parse(&body).expect("json");
+        assert!(stats.get("cache").is_some());
+        assert!(stats.get("requests").is_some());
+        server.shutdown();
+    }
+
+    #[test]
+    fn query_topk_and_cache_flow() {
+        let server = boot(test_engine(6, true));
+        let q = r#"{"values": ["v0","v1","v2","v3","v4","v5","v6","v7","v8","v9","v10","v11","v12","v13","v14","v15","v16","v17","v18","v19"], "threshold": 0.6}"#;
+        let (status, body) = post(server.addr(), "/query", q);
+        assert_eq!(status, 200, "{body}");
+        let first = Json::parse(&body).expect("json");
+        assert_eq!(first.get("cached"), Some(&Json::Bool(false)));
+        assert!(first.get("count").and_then(Json::as_u64).expect("count") >= 1);
+
+        // Same query again: served from cache.
+        let (_, body) = post(server.addr(), "/query", q);
+        let second = Json::parse(&body).expect("json");
+        assert_eq!(second.get("cached"), Some(&Json::Bool(true)));
+        assert_eq!(first.get("hits"), second.get("hits"));
+
+        let (status, body) = post(
+            server.addr(),
+            "/topk",
+            r#"{"values": ["v0","v1","v2","v3","v4"], "k": 3}"#,
+        );
+        assert_eq!(status, 200, "{body}");
+        let topk = Json::parse(&body).expect("json");
+        assert_eq!(topk.get("count").and_then(Json::as_u64), Some(3));
+
+        // A `k` on /query runs as top-k too (same semantics as a /batch
+        // entry with `k`), never silently ignored.
+        let (status, body) = post(
+            server.addr(),
+            "/query",
+            r#"{"values": ["v0","v1","v2","v3","v4"], "k": 3}"#,
+        );
+        assert_eq!(status, 200, "{body}");
+        let via_query = Json::parse(&body).expect("json");
+        assert_eq!(via_query.get("count").and_then(Json::as_u64), Some(3));
+        assert_eq!(via_query.get("hits"), topk.get("hits"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn bad_requests_are_4xx_not_disconnects() {
+        let server = boot(test_engine(4, false));
+        let addr = server.addr();
+        for (path, body) in [
+            ("/query", "not json"),
+            ("/query", "{}"),
+            ("/query", r#"{"values": []}"#),
+            ("/query", r#"{"values": [1, 2]}"#),
+            ("/query", r#"{"values": ["a"], "threshold": 7}"#),
+            ("/topk", r#"{"values": ["a"]}"#),
+            ("/topk", r#"{"values": ["a"], "k": 0}"#),
+            ("/batch", "{}"),
+            ("/batch", r#"{"queries": []}"#),
+        ] {
+            let (status, response) = post(addr, path, body);
+            assert_eq!(status, 400, "{path} {body} -> {response}");
+        }
+        // Top-k against an unranked index is a client error, not a crash.
+        let (status, response) = post(addr, "/topk", r#"{"values": ["a","b"], "k": 2}"#);
+        assert_eq!(status, 400, "{response}");
+        // Unknown path / wrong method.
+        assert_eq!(get(addr, "/nope").0, 404);
+        assert_eq!(get(addr, "/query").0, 405);
+        server.shutdown();
+    }
+
+    #[test]
+    fn batch_fans_out_and_keeps_order() {
+        let server = boot(test_engine(8, true));
+        let queries: Vec<String> = (0..8)
+            .map(|k| {
+                let values: Vec<String> = (0..20 + 5 * k).map(|i| format!("\"v{i}\"")).collect();
+                format!("{{\"values\": [{}], \"threshold\": 0.9}}", values.join(","))
+            })
+            .collect();
+        let body = format!("{{\"queries\": [{}]}}", queries.join(","));
+        let (status, response) = post(server.addr(), "/batch", &body);
+        assert_eq!(status, 200, "{response}");
+        let parsed = Json::parse(&response).expect("json");
+        assert_eq!(parsed.get("count").and_then(Json::as_u64), Some(8));
+        let results = parsed.get("results").and_then(Json::as_array).expect("arr");
+        // Query k is exactly domain k's value set: its own table must hit,
+        // in order.
+        for (k, result) in results.iter().enumerate() {
+            let hits = result.get("hits").and_then(Json::as_array).expect("hits");
+            assert!(
+                hits.iter().any(|h| {
+                    h.get("table").and_then(Json::as_str) == Some(format!("t{k}").as_str())
+                }),
+                "batch entry {k} missing self hit: {result}"
+            );
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_endpoint_stops_server() {
+        let server = boot(test_engine(4, false));
+        let addr = server.addr();
+        let (status, body) = post(addr, "/shutdown", "");
+        assert_eq!(status, 200, "{body}");
+        server.join();
+        // The listener is gone: new connections must fail (allow the OS a
+        // moment to tear the socket down).
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err());
+    }
+}

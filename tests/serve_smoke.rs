@@ -1,0 +1,457 @@
+//! Loopback integration test of `lshe-serve`: boots the real server on an
+//! ephemeral port and exercises every endpoint over actual TCP — including
+//! sustained concurrent load (≥ 10k requests across ≥ 4 client threads),
+//! result correctness against the direct `IndexContainer::search` path,
+//! cache hits, batched queries, a hot `/reload` mid-traffic, and graceful
+//! shutdown.
+
+use lshe_corpus::{Catalog, Domain, DomainMeta};
+use lshe_serve::client::HttpClient as Client;
+use lshe_serve::container::IndexContainer;
+use lshe_serve::engine::Engine;
+use lshe_serve::json::Json;
+use lshe_serve::server::{start, ServerConfig};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+// ---------------------------------------------------------------- helpers
+
+/// `n` domains where domain `k` holds the strings `v0 … v{19 + 5k}` — a
+/// nested chain, so small domains are contained in every larger one.
+fn build_catalog(n: usize) -> Catalog {
+    let mut catalog = Catalog::new();
+    for k in 0..n {
+        let values: Vec<String> = (0..20 + 5 * k).map(|i| format!("v{i}")).collect();
+        catalog.push(
+            Domain::from_strs(values.iter().map(String::as_str)),
+            DomainMeta::new(format!("t{k}"), "col"),
+        );
+    }
+    catalog
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lshe_serve_smoke_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+/// The string values of query `k` (exactly domain `k`'s value set).
+fn query_values(k: usize) -> Vec<String> {
+    (0..20 + 5 * k).map(|i| format!("v{i}")).collect()
+}
+
+fn query_body(k: usize, threshold: f64) -> String {
+    let quoted: Vec<String> = query_values(k).iter().map(|v| format!("\"{v}\"")).collect();
+    format!(
+        "{{\"values\": [{}], \"threshold\": {threshold}}}",
+        quoted.join(",")
+    )
+}
+
+/// Hit ids from a `/query` response object.
+fn hit_ids(response: &Json) -> Vec<u64> {
+    response
+        .get("hits")
+        .and_then(Json::as_array)
+        .expect("hits array")
+        .iter()
+        .map(|h| h.get("id").and_then(Json::as_u64).expect("hit id"))
+        .collect()
+}
+
+/// The direct-search reference: ids from `IndexContainer::search` for the
+/// same values/threshold, order-insensitive.
+fn expected_ids(container: &IndexContainer, k: usize, threshold: f64) -> Vec<u64> {
+    let values = query_values(k);
+    let domain = Domain::from_strs(values.iter().map(String::as_str));
+    let hasher = lshe_minhash::MinHasher::new(container.num_perm());
+    let sig = domain.signature(&hasher);
+    let mut ids: Vec<u64> = container
+        .search(&sig, domain.len() as u64, threshold)
+        .into_iter()
+        .map(|(id, _)| u64::from(id))
+        .collect();
+    ids.sort_unstable();
+    ids
+}
+
+// ------------------------------------------------------------------ tests
+
+#[test]
+fn every_endpoint_roundtrips() {
+    let dir = scratch("endpoints");
+    let index_path = dir.join("idx.lshe");
+    let container = IndexContainer::build(&build_catalog(12), 4, true);
+    std::fs::write(&index_path, container.to_bytes()).expect("write index");
+
+    let engine = Engine::load(&index_path, 1).expect("engine");
+    let server = start(
+        Arc::new(engine),
+        &ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            threads: 4,
+            cache_capacity: 256,
+        },
+    )
+    .expect("bind");
+    let addr = server.addr();
+    let mut client = Client::connect(addr);
+
+    // GET /health
+    let (status, health) = client.get("/health");
+    assert_eq!(status, 200);
+    assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(health.get("domains").and_then(Json::as_u64), Some(12));
+    assert_eq!(health.get("generation").and_then(Json::as_u64), Some(1));
+
+    // POST /query — identical results to the direct container path.
+    let (status, response) = client.post("/query", &query_body(3, 0.7));
+    assert_eq!(status, 200, "{response}");
+    let mut got = hit_ids(&response);
+    got.sort_unstable();
+    assert_eq!(got, expected_ids(&container, 3, 0.7), "query disagrees");
+    assert_eq!(response.get("cached"), Some(&Json::Bool(false)));
+
+    // Same query again: cache hit, same hits.
+    let (_, cached) = client.post("/query", &query_body(3, 0.7));
+    assert_eq!(cached.get("cached"), Some(&Json::Bool(true)));
+    assert_eq!(cached.get("hits"), response.get("hits"));
+
+    // POST /topk
+    let (status, topk) = client.post(
+        "/topk",
+        &format!(
+            "{{\"values\": [{}], \"k\": 4}}",
+            query_values(2)
+                .iter()
+                .map(|v| format!("\"{v}\""))
+                .collect::<Vec<_>>()
+                .join(",")
+        ),
+    );
+    assert_eq!(status, 200, "{topk}");
+    assert_eq!(topk.get("count").and_then(Json::as_u64), Some(4));
+    // Estimates attached and descending.
+    let hits = topk.get("hits").and_then(Json::as_array).expect("hits");
+    let estimates: Vec<f64> = hits
+        .iter()
+        .map(|h| h.get("estimate").and_then(Json::as_f64).expect("estimate"))
+        .collect();
+    for w in estimates.windows(2) {
+        assert!(w[0] >= w[1], "top-k not sorted: {estimates:?}");
+    }
+
+    // POST /batch — 6 queries, order preserved.
+    let batch_body = format!(
+        "{{\"queries\": [{}]}}",
+        (0..6)
+            .map(|k| query_body(k, 0.9))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    let (status, batch) = client.post("/batch", &batch_body);
+    assert_eq!(status, 200, "{batch}");
+    let results = batch.get("results").and_then(Json::as_array).expect("arr");
+    assert_eq!(results.len(), 6);
+    for (k, result) in results.iter().enumerate() {
+        let mut got: Vec<u64> = result
+            .get("hits")
+            .and_then(Json::as_array)
+            .expect("hits")
+            .iter()
+            .map(|h| h.get("id").and_then(Json::as_u64).expect("id"))
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, expected_ids(&container, k, 0.9), "batch entry {k}");
+    }
+
+    // POST /reload — same file, new generation; old answers stay correct.
+    let (status, reloaded) = client.post("/reload", "");
+    assert_eq!(status, 200, "{reloaded}");
+    assert_eq!(reloaded.get("generation").and_then(Json::as_u64), Some(2));
+    let (_, after) = client.post("/query", &query_body(3, 0.7));
+    let mut got = hit_ids(&after);
+    got.sort_unstable();
+    assert_eq!(got, expected_ids(&container, 3, 0.7), "post-reload query");
+    assert_eq!(after.get("cached"), Some(&Json::Bool(false)), "new gen");
+
+    // Reload from an explicit (larger) index file.
+    let bigger = dir.join("bigger.lshe");
+    std::fs::write(
+        &bigger,
+        IndexContainer::build(&build_catalog(16), 4, true).to_bytes(),
+    )
+    .expect("write");
+    let (status, reloaded) = client.post(
+        "/reload",
+        &format!(
+            "{{\"path\": {}}}",
+            Json::str(bigger.to_str().expect("utf8")).render()
+        ),
+    );
+    assert_eq!(status, 200, "{reloaded}");
+    assert_eq!(reloaded.get("domains").and_then(Json::as_u64), Some(16));
+
+    // GET /stats reflects the traffic.
+    let (status, stats) = client.get("/stats");
+    assert_eq!(status, 200);
+    assert_eq!(stats.get("domains").and_then(Json::as_u64), Some(16));
+    let requests = stats.get("requests").expect("requests");
+    assert!(requests.get("query").and_then(Json::as_u64).expect("n") >= 3);
+    assert_eq!(requests.get("batch").and_then(Json::as_u64), Some(1));
+    assert_eq!(requests.get("reload").and_then(Json::as_u64), Some(2));
+    let cache = stats.get("cache").expect("cache");
+    assert!(cache.get("hits").and_then(Json::as_u64).expect("hits") >= 1);
+
+    // Error paths keep the connection usable (4xx, not a disconnect).
+    let (status, _) = client.post("/query", "{\"values\": []}");
+    assert_eq!(status, 400);
+    let (status, _) = client.get("/nope");
+    assert_eq!(status, 404);
+    let (status, _) = client.get("/query");
+    assert_eq!(status, 405);
+    let (status, _) = client.get("/health");
+    assert_eq!(status, 200, "connection survived the errors");
+
+    server.shutdown();
+    std::thread::sleep(Duration::from_millis(50));
+    assert!(
+        TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err(),
+        "listener still accepting after shutdown"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The acceptance-criteria test: ≥ 10k single-query requests across ≥ 4
+/// concurrent client threads with zero dropped connections, results
+/// identical to direct `IndexContainer::search`, a measured cache hit-rate
+/// > 0, and a successful hot `/reload` under load.
+#[test]
+fn sustained_concurrent_load_with_hot_reload() {
+    const CLIENTS: usize = 4;
+    const REQUESTS_PER_CLIENT: usize = 2_500;
+    const DISTINCT_QUERIES: usize = 12;
+    const THRESHOLD: f64 = 0.8;
+
+    let dir = scratch("load");
+    let index_path = dir.join("idx.lshe");
+    let container = IndexContainer::build(&build_catalog(20), 4, true);
+    std::fs::write(&index_path, container.to_bytes()).expect("write index");
+
+    // Reference answers from the direct search path (same bytes).
+    let reference =
+        IndexContainer::from_bytes(&std::fs::read(&index_path).expect("read")).expect("decode");
+    let expected: Vec<Vec<u64>> = (0..DISTINCT_QUERIES)
+        .map(|k| expected_ids(&reference, k, THRESHOLD))
+        .collect();
+    let bodies: Arc<Vec<String>> = Arc::new(
+        (0..DISTINCT_QUERIES)
+            .map(|k| query_body(k, THRESHOLD))
+            .collect(),
+    );
+    let expected = Arc::new(expected);
+
+    let engine = Engine::load(&index_path, 1).expect("engine");
+    let server = start(
+        Arc::new(engine),
+        &ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            threads: 4,
+            cache_capacity: 512,
+        },
+    )
+    .expect("bind");
+    let addr = server.addr();
+
+    let client_threads: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let bodies = Arc::clone(&bodies);
+            let expected = Arc::clone(&expected);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr);
+                for i in 0..REQUESTS_PER_CLIENT {
+                    let k = (c + i) % DISTINCT_QUERIES;
+                    let (status, response) = client.post("/query", &bodies[k]);
+                    assert_eq!(status, 200, "client {c} request {i}: {response}");
+                    let mut got = hit_ids(&response);
+                    got.sort_unstable();
+                    assert_eq!(
+                        got, expected[k],
+                        "client {c} request {i} (query {k}) wrong hits"
+                    );
+                }
+            })
+        })
+        .collect();
+
+    // Hot-reload the index (same file) repeatedly while traffic flows.
+    let mut admin = Client::connect(addr);
+    let mut reloads = 0u64;
+    for _ in 0..5 {
+        std::thread::sleep(Duration::from_millis(40));
+        let (status, response) = admin.post("/reload", "");
+        assert_eq!(status, 200, "reload under load failed: {response}");
+        reloads += 1;
+    }
+
+    for handle in client_threads {
+        handle
+            .join()
+            .expect("client thread panicked — dropped connection or wrong results");
+    }
+
+    let (status, stats) = admin.get("/stats");
+    assert_eq!(status, 200);
+    let requests = stats.get("requests").expect("requests");
+    assert_eq!(
+        requests.get("query").and_then(Json::as_u64),
+        Some((CLIENTS * REQUESTS_PER_CLIENT) as u64),
+        "all {CLIENTS}×{REQUESTS_PER_CLIENT} queries must be served"
+    );
+    assert_eq!(requests.get("reload").and_then(Json::as_u64), Some(reloads));
+    let cache = stats.get("cache").expect("cache");
+    let hits = cache.get("hits").and_then(Json::as_u64).expect("hits");
+    assert!(
+        hits > 0,
+        "repeated queries must produce cache hits: {cache}"
+    );
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `--shards N` wiring: the sharded engine answers over HTTP with the
+/// paper's fan-out/union topology and still finds the query's own domain.
+#[test]
+fn sharded_engine_serves_fanout_queries() {
+    let dir = scratch("sharded");
+    let index_path = dir.join("idx.lshe");
+    std::fs::write(
+        &index_path,
+        IndexContainer::build(&build_catalog(24), 4, true).to_bytes(),
+    )
+    .expect("write index");
+
+    let engine = Engine::load(&index_path, 3).expect("sharded engine");
+    let server = start(
+        Arc::new(engine),
+        &ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            threads: 2,
+            cache_capacity: 64,
+        },
+    )
+    .expect("bind");
+    let mut client = Client::connect(server.addr());
+
+    let (status, health) = client.get("/health");
+    assert_eq!(status, 200);
+    assert_eq!(health.get("shards").and_then(Json::as_u64), Some(3));
+
+    for k in [0usize, 7, 17] {
+        let (status, response) = client.post("/query", &query_body(k, 0.8));
+        assert_eq!(status, 200, "{response}");
+        let ids = hit_ids(&response);
+        assert!(
+            ids.contains(&(k as u64)),
+            "shard fan-out missed query {k}'s own domain: {response}"
+        );
+        // Sharded results always carry estimates.
+        for h in response.get("hits").and_then(Json::as_array).expect("hits") {
+            assert!(h.get("estimate").and_then(Json::as_f64).is_some());
+        }
+    }
+
+    // An unranked index cannot be sharded — the engine refuses up front.
+    let plain = dir.join("plain.lshe");
+    std::fs::write(
+        &plain,
+        IndexContainer::build(&build_catalog(8), 2, false).to_bytes(),
+    )
+    .expect("write");
+    assert!(Engine::load(Path::new(&plain), 2).is_err());
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The CLI path: `lshe index` with the new bare `--ranked` flag produces a
+/// file the serve engine loads directly.
+#[test]
+fn cli_built_index_is_servable() {
+    let dir = scratch("cli_index");
+    std::fs::write(
+        dir.join("registry.csv"),
+        "company,sector\nacme,mfg\nborealis,ai\ncanaduck,aero\ndelta,energy\nevergreen,bio\n\
+         falcon,mining\nglacier,sw\nharbour,log\nivory,sw\njuniper,agri\n",
+    )
+    .expect("write");
+    std::fs::write(
+        dir.join("grants.csv"),
+        "partner,year\nacme,2011\nborealis,2011\ncanaduck,2011\ndelta,2011\nevergreen,2011\n\
+         falcon,2012\nglacier,2012\nharbour,2012\n",
+    )
+    .expect("write");
+    let index_path = dir.join("t.lshe");
+    lshe_cli::run(&[
+        "index".to_owned(),
+        "--dir".to_owned(),
+        dir.to_str().expect("utf8").to_owned(),
+        "--out".to_owned(),
+        index_path.to_str().expect("utf8").to_owned(),
+        "--partitions".to_owned(),
+        "4".to_owned(),
+        "--min-size".to_owned(),
+        "5".to_owned(),
+        "--ranked".to_owned(), // bare boolean flag
+    ])
+    .expect("cli index");
+
+    let engine = Engine::load(&index_path, 1).expect("engine");
+    let server = start(
+        Arc::new(engine),
+        &ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            threads: 2,
+            cache_capacity: 16,
+        },
+    )
+    .expect("bind");
+    let mut client = Client::connect(server.addr());
+    // grants.partner ⊆ registry.company: the server must surface the join.
+    let quoted: Vec<String> = [
+        "acme",
+        "borealis",
+        "canaduck",
+        "delta",
+        "evergreen",
+        "falcon",
+        "glacier",
+        "harbour",
+    ]
+    .iter()
+    .map(|v| format!("\"{v}\""))
+    .collect();
+    let (status, response) = client.post(
+        "/query",
+        &format!("{{\"values\": [{}], \"threshold\": 0.9}}", quoted.join(",")),
+    );
+    assert_eq!(status, 200, "{response}");
+    let tables: Vec<&str> = response
+        .get("hits")
+        .and_then(Json::as_array)
+        .expect("hits")
+        .iter()
+        .filter_map(|h| h.get("table").and_then(Json::as_str))
+        .collect();
+    assert!(
+        tables.contains(&"registry"),
+        "join not found over HTTP: {response}"
+    );
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
