@@ -8,7 +8,7 @@
 //! below the ensemble at high thresholds.
 
 use lshe_bench::{report, workload, Args};
-use lshe_core::{ContainmentSearch, PartitionStrategy};
+use lshe_core::{DomainIndex, PartitionStrategy};
 use lshe_datagen::{sample_queries, SizeBand};
 
 fn main() {
@@ -40,7 +40,7 @@ fn main() {
         &world.signatures,
         PartitionStrategy::EquiDepth { n: partitions },
     );
-    let indexes: Vec<&dyn ContainmentSearch> = vec![&asym, &asym_part, &ensemble];
+    let indexes: Vec<&dyn DomainIndex> = vec![&asym, &asym_part, &ensemble];
 
     report::header(&[
         "index",
@@ -62,7 +62,7 @@ fn main() {
         );
         for (t, a) in thresholds.iter().zip(&acc) {
             report::row(&[
-                index.label(),
+                index.describe(),
                 report::f4(*t),
                 report::f4(a.precision),
                 report::f4(a.recall),

@@ -9,7 +9,7 @@
 //! default.
 
 use lshe_bench::{report, workload, Args};
-use lshe_core::{ContainmentSearch, EnsembleConfig, LshEnsemble, PartitionStrategy};
+use lshe_core::{DomainIndex, EnsembleConfig, LshEnsemble, PartitionStrategy};
 use lshe_datagen::{sample_queries, SizeBand};
 use lshe_minhash::{MinHasher, Signature};
 
@@ -79,7 +79,7 @@ fn main() {
             &refs,
         );
         let acc = workload::accuracy_sweep(
-            &index as &dyn ContainmentSearch,
+            &index as &dyn DomainIndex,
             &world.exact,
             &world.catalog,
             &signatures,

@@ -11,7 +11,7 @@
 //! precision-sensitive search; OPH suits ingest-bound deployments.
 
 use lshe_bench::{report, workload, Args};
-use lshe_core::{ContainmentSearch, LshEnsemble, PartitionStrategy};
+use lshe_core::{DomainIndex, LshEnsemble, PartitionStrategy};
 use lshe_datagen::{sample_queries, SizeBand};
 use lshe_minhash::{OnePermHasher, Signature};
 
@@ -76,7 +76,7 @@ fn main() {
         ("oneperm", &oph_index, &oph_sigs),
     ] {
         let acc = workload::accuracy_sweep(
-            index as &dyn ContainmentSearch,
+            index as &dyn DomainIndex,
             &world.exact,
             &world.catalog,
             sigs,

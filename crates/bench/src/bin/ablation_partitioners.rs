@@ -7,7 +7,7 @@
 //! nearly coincide) and shows equi-width as the degenerate extreme.
 
 use lshe_bench::{report, workload, Args};
-use lshe_core::{ContainmentSearch, PartitionStrategy, Partitioning};
+use lshe_core::{DomainIndex, PartitionStrategy, Partitioning};
 use lshe_datagen::{sample_queries, SizeBand};
 
 fn main() {
@@ -62,7 +62,7 @@ fn main() {
             &[t_star],
         );
         report::row(&[
-            ens.label(),
+            ens.describe(),
             partitioning.len().to_string(),
             report::f2(partitioning.max_fp_bound()),
             report::f2(partitioning.member_count_std_dev()),

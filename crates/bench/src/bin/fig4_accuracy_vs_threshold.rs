@@ -9,7 +9,7 @@
 //! of its results empty at high thresholds.
 
 use lshe_bench::{report, workload, Args};
-use lshe_core::{ContainmentSearch, PartitionStrategy};
+use lshe_core::{DomainIndex, PartitionStrategy};
 use lshe_datagen::{sample_queries, SizeBand};
 
 fn main() {
@@ -47,7 +47,7 @@ fn main() {
         })
         .collect();
 
-    let mut indexes: Vec<&dyn ContainmentSearch> = vec![&baseline, &asym];
+    let mut indexes: Vec<&dyn DomainIndex> = vec![&baseline, &asym];
     for e in &ensembles {
         indexes.push(e);
     }
@@ -72,7 +72,7 @@ fn main() {
         );
         for (t, a) in thresholds.iter().zip(&acc) {
             report::row(&[
-                index.label(),
+                index.describe(),
                 report::f4(*t),
                 report::f4(a.precision),
                 report::f4(a.recall),

@@ -8,7 +8,7 @@
 //! collapses as padding explodes.
 
 use lshe_bench::{report, workload, Args};
-use lshe_core::{ContainmentSearch, PartitionStrategy};
+use lshe_core::{DomainIndex, PartitionStrategy};
 use lshe_datagen::{nested_size_subsets, sample_queries, skewness, SizeBand};
 
 fn main() {
@@ -67,7 +67,7 @@ fn main() {
                 )
             })
             .collect();
-        let mut indexes: Vec<&dyn ContainmentSearch> = vec![&baseline, &asym];
+        let mut indexes: Vec<&dyn DomainIndex> = vec![&baseline, &asym];
         for e in &ensembles {
             indexes.push(e);
         }
@@ -85,7 +85,7 @@ fn main() {
                 step.to_string(),
                 ids.len().to_string(),
                 report::f2(skew),
-                index.label(),
+                index.describe(),
                 report::f4(acc[0].precision),
                 report::f4(acc[0].recall),
                 report::f4(acc[0].f1),

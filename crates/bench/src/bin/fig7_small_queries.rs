@@ -6,7 +6,7 @@
 //! already mostly small queries (§6.1's own observation).
 
 use lshe_bench::{report, workload, Args};
-use lshe_core::{ContainmentSearch, PartitionStrategy};
+use lshe_core::{DomainIndex, PartitionStrategy};
 use lshe_datagen::{sample_queries, SizeBand};
 
 fn main() {
@@ -46,7 +46,7 @@ fn main() {
             )
         })
         .collect();
-    let mut indexes: Vec<&dyn ContainmentSearch> = vec![&baseline];
+    let mut indexes: Vec<&dyn DomainIndex> = vec![&baseline];
     for e in &ensembles {
         indexes.push(e);
     }
@@ -71,7 +71,7 @@ fn main() {
         );
         for (t, a) in thresholds.iter().zip(&acc) {
             report::row(&[
-                index.label(),
+                index.describe(),
                 report::f4(*t),
                 report::f4(a.precision),
                 report::f4(a.recall),

@@ -9,7 +9,7 @@
 //! with more partitions (better selectivity).
 
 use lshe_bench::{report, workload, Args};
-use lshe_core::{ContainmentSearch, EnsembleConfig, PartitionStrategy, ShardedEnsemble};
+use lshe_core::{DomainIndex, EnsembleConfig, PartitionStrategy, Query, ShardedEnsemble};
 use lshe_lsh::DomainId;
 use lshe_minhash::{MinHasher, Signature};
 use rand::rngs::StdRng;
@@ -72,8 +72,12 @@ fn main() {
             let (total, query_secs) = workload::timed(|| {
                 let mut found = 0usize;
                 for &q in &queries {
+                    let query =
+                        Query::threshold(&corpus.signatures[q], t_star).with_size(corpus.sizes[q]);
                     found += index
-                        .search(&corpus.signatures[q], corpus.sizes[q], t_star)
+                        .search(&query)
+                        .expect("valid threshold query")
+                        .hits
                         .len();
                 }
                 found

@@ -10,7 +10,7 @@
 //! at 262M domains, a ~6–15× speedup from partitioning + selectivity.
 
 use lshe_bench::{report, workload, Args};
-use lshe_core::{ContainmentSearch, EnsembleConfig, PartitionStrategy, ShardedEnsemble};
+use lshe_core::{DomainIndex, EnsembleConfig, PartitionStrategy, Query, ShardedEnsemble};
 use lshe_lsh::DomainId;
 use lshe_minhash::{MinHasher, Signature};
 use rand::rngs::StdRng;
@@ -87,8 +87,12 @@ fn main() {
         let mut total_candidates = 0usize;
         let (_, query_secs) = workload::timed(|| {
             for &q in &queries {
+                let query =
+                    Query::threshold(&corpus.signatures[q], t_star).with_size(corpus.sizes[q]);
                 total_candidates += index
-                    .search(&corpus.signatures[q], corpus.sizes[q], t_star)
+                    .search(&query)
+                    .expect("valid threshold query")
+                    .hits
                     .len();
             }
         });

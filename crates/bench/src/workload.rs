@@ -5,7 +5,7 @@
 //! corpus handling, threading, and metric conventions are identical across
 //! figures.
 
-use lshe_core::{ContainmentSearch, EnsembleConfig, LshEnsemble, PartitionStrategy};
+use lshe_core::{DomainIndex, EnsembleConfig, LshEnsemble, PartitionStrategy, Query};
 use lshe_corpus::{Catalog, DomainId, ExactIndex};
 use lshe_datagen::{aggregate, query_accuracy, WorkloadAccuracy};
 use lshe_minhash::{MinHasher, Signature};
@@ -94,7 +94,7 @@ pub fn ground_truth_sets(
 /// reused across thresholds.
 #[must_use]
 pub fn accuracy_sweep(
-    index: &dyn ContainmentSearch,
+    index: &dyn DomainIndex,
     exact: &ExactIndex,
     catalog: &Catalog,
     signatures: &[Signature],
@@ -115,7 +115,9 @@ pub fn accuracy_sweep(
                         let truth = ground_truth_sets(exact, catalog, q, thresholds);
                         let q_size = catalog.domain(q).len() as u64;
                         for (k, &t) in thresholds.iter().enumerate() {
-                            let answer = index.search(&signatures[q as usize], q_size, t);
+                            let query =
+                                Query::threshold(&signatures[q as usize], t).with_size(q_size);
+                            let answer = index.search(&query).expect("valid threshold query").ids();
                             acc[k].push(query_accuracy(&answer, &truth[k]));
                         }
                     }
@@ -144,7 +146,7 @@ pub fn accuracy_sweep(
 /// (Table 4's "Mean Query" column).
 #[must_use]
 pub fn mean_query_seconds(
-    index: &dyn ContainmentSearch,
+    index: &dyn DomainIndex,
     catalog: &Catalog,
     signatures: &[Signature],
     queries: &[DomainId],
@@ -154,7 +156,12 @@ pub fn mean_query_seconds(
     let mut sink = 0usize;
     for &q in queries {
         let q_size = catalog.domain(q).len() as u64;
-        sink += index.search(&signatures[q as usize], q_size, t_star).len();
+        let query = Query::threshold(&signatures[q as usize], t_star).with_size(q_size);
+        sink += index
+            .search(&query)
+            .expect("valid threshold query")
+            .hits
+            .len();
     }
     std::hint::black_box(sink);
     started.elapsed().as_secs_f64() / queries.len().max(1) as f64

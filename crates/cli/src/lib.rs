@@ -26,6 +26,7 @@ pub use lshe_serve::container;
 
 use bytes::Bytes;
 use container::IndexContainer;
+use lshe_core::{Query, QueryError};
 use lshe_corpus::{Catalog, CsvDocument, Domain};
 use lshe_minhash::MinHasher;
 use lshe_serve::engine::{Engine, EngineError};
@@ -247,24 +248,30 @@ fn cmd_query(flags: &Flags) -> Result<String, CliError> {
 
     let hasher = MinHasher::new(container.num_perm());
     let sig = query.signature(&hasher);
-    let hits = if top_k > 0 {
-        container
-            .top_k(&sig, query.len() as u64, top_k)
-            .map_err(CliError::Index)?
+    // One dispatch path for every index kind: open the container's backend
+    // behind `dyn DomainIndex` and hand it a typed query.
+    let index = container.open_index();
+    let typed = if top_k > 0 {
+        Query::top_k(&sig, top_k)
     } else {
-        container.search(&sig, query.len() as u64, threshold)
-    };
+        Query::threshold(&sig, threshold)
+    }
+    .with_size(query.len() as u64);
+    let outcome = index.search(&typed).map_err(|e| match e {
+        QueryError::Unsupported(msg) => CliError::Index(msg),
+        QueryError::Invalid(msg) => CliError::Query(msg),
+    })?;
 
     let mut report = String::new();
     let _ = writeln!(
         report,
         "query {column:?} ({} distinct values) → {} hit(s)",
         query.len(),
-        hits.len()
+        outcome.hits.len()
     );
-    for (id, est) in hits {
-        let (table, col, size) = container.provenance(id);
-        match est {
+    for hit in &outcome.hits {
+        let (table, col, size) = container.provenance(hit.id);
+        match hit.estimate {
             Some(e) => {
                 let _ = writeln!(report, "  t̂ = {e:.2}  {table}.{col} ({size} values)");
             }
@@ -273,6 +280,12 @@ fn cmd_query(flags: &Flags) -> Result<String, CliError> {
             }
         }
     }
+    let s = &outcome.stats;
+    let _ = writeln!(
+        report,
+        "probed {}/{} partition(s), {} candidate(s) → {} survivor(s) in {} µs",
+        s.partitions_probed, s.partitions_total, s.candidates, s.survivors, s.wall_micros
+    );
     Ok(report)
 }
 
@@ -519,9 +532,12 @@ mod tests {
             hits.contains("registry.company"),
             "expected registry.company in:\n{hits}"
         );
+        // Per-query stats from the unified surface surface in the report.
+        assert!(hits.contains("probed"), "missing stats trailer:\n{hits}");
 
         let stats = run(&s(&["stats", "--index", idx.to_str().expect("utf8")])).expect("stats");
         assert!(stats.contains("partitions"), "{stats}");
+        assert!(stats.contains("index:"), "{stats}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

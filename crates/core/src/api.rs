@@ -1,0 +1,815 @@
+//! The unified query surface: one object-safe trait over every index.
+//!
+//! The paper treats LSH Ensemble as *one* domain-search operator and
+//! evaluates it against interchangeable alternatives — MinHash LSH, LSH
+//! Forest, and Asymmetric Minwise Hashing (§6.1) — under identical query
+//! rules. This module gives the workspace the same shape: a typed
+//! [`Query`] (signature + size + [`QueryMode`]) goes in, a
+//! [`SearchOutcome`] (hits + optional containment estimates + per-query
+//! [`QueryStats`]) comes out, and every index — the ensemble, the ranked
+//! and sharded variants, the baselines, and the exact ground-truth engine
+//! — answers through the same [`DomainIndex`] trait.
+//!
+//! Because the trait is object safe, callers that must pick a backend at
+//! runtime (the server's snapshot engine, the CLI, the experiment
+//! harness) hold a `Box<dyn DomainIndex>` and never match on concrete
+//! types.
+//!
+//! ```
+//! use lshe_core::{DomainIndex, LshEnsemble, Query};
+//! use lshe_minhash::MinHasher;
+//!
+//! let hasher = MinHasher::new(256);
+//! let pool = MinHasher::synthetic_values(1, 300);
+//! let mut builder = LshEnsemble::builder();
+//! for (id, n) in [(0u32, 100usize), (1, 200), (2, 300)] {
+//!     builder.add(id, n as u64, hasher.signature(pool[..n].iter().copied()));
+//! }
+//! let index: Box<dyn DomainIndex> = Box::new(builder.build());
+//!
+//! let sig = hasher.signature(pool[..100].iter().copied());
+//! let outcome = index
+//!     .search(&Query::threshold(&sig, 0.5).with_size(100))
+//!     .expect("valid query");
+//! assert!(outcome.hits.iter().any(|h| h.id == 0));
+//! assert!(outcome.stats.partitions_probed <= outcome.stats.partitions_total);
+//! ```
+
+use crate::ensemble::EnsembleConfig;
+use crate::ranked::{merge_unique, RankedIndex};
+use crate::sharded::ShardedEnsemble;
+use crate::tuning::Tuner;
+use lshe_lsh::{DomainId, LshForest};
+use lshe_minhash::Signature;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Slack applied when pruning candidates by *estimated* containment:
+/// estimates are noisy at roughly ±1/√m, so candidates whose estimate
+/// falls just below the threshold are kept rather than dropped. Shared by
+/// [`RankedIndex`], [`ShardedRanked`], and the serve layer.
+pub const ESTIMATE_SLACK: f64 = 0.1;
+
+/// What a query asks for: everything past a containment threshold, or the
+/// `k` best domains by estimated containment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueryMode {
+    /// Threshold search (Eq. 2): all domains with `t(Q, X) ⪆ t*`.
+    Threshold(f64),
+    /// Top-k search: the `k` best domains by estimated containment.
+    /// Requires a backend that retains per-domain sketches.
+    TopK(usize),
+}
+
+/// A typed domain-search query, built in builder style:
+///
+/// ```
+/// # use lshe_core::Query;
+/// # use lshe_minhash::MinHasher;
+/// let hasher = MinHasher::new(256);
+/// let sig = hasher.signature(MinHasher::synthetic_values(1, 50));
+/// let q = Query::threshold(&sig, 0.7).with_size(50).with_parallel(true);
+/// assert_eq!(q.size(), Some(50));
+/// ```
+///
+/// The signature is borrowed, so building a query never copies sketch
+/// data. When no size is supplied the index estimates `|Q|` from the
+/// signature (`approx(|Q|)`, §5.1).
+#[derive(Debug, Clone)]
+pub struct Query<'a> {
+    signature: &'a Signature,
+    size: Option<u64>,
+    mode: QueryMode,
+    parallel: bool,
+    hashes: Option<&'a [u64]>,
+}
+
+impl<'a> Query<'a> {
+    /// A threshold query at containment threshold `t_star`.
+    #[must_use]
+    pub fn threshold(signature: &'a Signature, t_star: f64) -> Self {
+        Self {
+            signature,
+            size: None,
+            mode: QueryMode::Threshold(t_star),
+            parallel: false,
+            hashes: None,
+        }
+    }
+
+    /// A top-k query for the `k` best domains.
+    #[must_use]
+    pub fn top_k(signature: &'a Signature, k: usize) -> Self {
+        Self {
+            signature,
+            size: None,
+            mode: QueryMode::TopK(k),
+            parallel: false,
+            hashes: None,
+        }
+    }
+
+    /// Sets the exact query cardinality `|Q|` (otherwise estimated from
+    /// the signature).
+    #[must_use]
+    pub fn with_size(mut self, size: u64) -> Self {
+        self.size = Some(size);
+        self
+    }
+
+    /// Parallelism hint: ask the backend to fan the query out across its
+    /// partitions/shards with one thread each. Backends without an
+    /// internal parallel path ignore the hint.
+    #[must_use]
+    pub fn with_parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Attaches the query's raw universe hashes. Only exact (ground-truth)
+    /// backends need them; sketch-based indexes ignore them.
+    #[must_use]
+    pub fn with_hashes(mut self, hashes: &'a [u64]) -> Self {
+        self.hashes = Some(hashes);
+        self
+    }
+
+    /// The query signature.
+    #[must_use]
+    pub fn signature(&self) -> &Signature {
+        self.signature
+    }
+
+    /// The caller-supplied exact size, if any.
+    #[must_use]
+    pub fn size(&self) -> Option<u64> {
+        self.size
+    }
+
+    /// The query mode.
+    #[must_use]
+    pub fn mode(&self) -> QueryMode {
+        self.mode
+    }
+
+    /// The parallelism hint.
+    #[must_use]
+    pub fn parallel(&self) -> bool {
+        self.parallel
+    }
+
+    /// The raw universe hashes, if attached.
+    #[must_use]
+    pub fn hashes(&self) -> Option<&[u64]> {
+        self.hashes
+    }
+
+    /// The query cardinality: the supplied size, or the signature's
+    /// estimate (never 0).
+    #[must_use]
+    pub fn effective_size(&self) -> u64 {
+        self.size
+            .unwrap_or_else(|| self.signature.cardinality().round().max(1.0) as u64)
+    }
+
+    /// Validates the query against an index of signature width `num_perm`.
+    ///
+    /// # Errors
+    /// [`QueryError::Invalid`] on a width mismatch, an out-of-range
+    /// threshold, `k == 0`, or an explicit size of 0.
+    pub fn validate_for(&self, num_perm: usize) -> Result<(), QueryError> {
+        if self.signature.len() != num_perm {
+            return Err(QueryError::Invalid(format!(
+                "signature width mismatch: query has {}, index expects {num_perm}",
+                self.signature.len()
+            )));
+        }
+        if self.size == Some(0) {
+            return Err(QueryError::Invalid("query size must be positive".into()));
+        }
+        match self.mode {
+            QueryMode::Threshold(t) if !(0.0..=1.0).contains(&t) => Err(QueryError::Invalid(
+                format!("containment threshold must be in [0, 1], got {t}"),
+            )),
+            QueryMode::TopK(0) => Err(QueryError::Invalid("k must be positive".into())),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Why a query could not be answered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The query itself is malformed (bad threshold, zero k/size, wrong
+    /// signature width).
+    Invalid(String),
+    /// The backend cannot answer this query shape (e.g. top-k on an index
+    /// that retains no sketches, or an exact search without raw values).
+    Unsupported(String),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Invalid(msg) => write!(f, "invalid query: {msg}"),
+            Self::Unsupported(msg) => write!(f, "unsupported query: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// One answer: the domain id, plus the estimated containment `t̂(Q, X)`
+/// when the backend retains enough state to compute one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchHit {
+    /// The candidate domain.
+    pub id: DomainId,
+    /// Estimated (or, for exact backends, true) containment, when known.
+    pub estimate: Option<f64>,
+}
+
+/// Per-query execution counters, for observability and tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueryStats {
+    /// Partitions whose LSH was actually consulted (skip-pruned ones are
+    /// excluded; for top-k the maximum over descent passes).
+    pub partitions_probed: usize,
+    /// Total partitions across the index (summed over shards).
+    pub partitions_total: usize,
+    /// Raw candidates generated by the LSH before dedup/post-filtering.
+    pub candidates: usize,
+    /// Hits surviving dedup and any estimate post-filter (= `hits.len()`).
+    pub survivors: usize,
+    /// Wall time of the search, in microseconds.
+    pub wall_micros: u64,
+}
+
+/// The result of one [`DomainIndex::search`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchOutcome {
+    /// The answer set. Backends with estimates sort by estimate
+    /// (descending, ties by id); others sort by id (ascending).
+    pub hits: Vec<SearchHit>,
+    /// Execution counters for this query.
+    pub stats: QueryStats,
+}
+
+impl SearchOutcome {
+    /// Assembles an outcome from finished hits and probe counters, by the
+    /// shared convention: `survivors = hits.len()`, wall time measured
+    /// from `started`. Every backend builds its outcome through here.
+    #[must_use]
+    pub fn new(
+        hits: Vec<SearchHit>,
+        partitions_probed: usize,
+        partitions_total: usize,
+        candidates: usize,
+        started: Instant,
+    ) -> Self {
+        let survivors = hits.len();
+        Self {
+            hits,
+            stats: QueryStats {
+                partitions_probed,
+                partitions_total,
+                candidates,
+                survivors,
+                wall_micros: started.elapsed().as_micros() as u64,
+            },
+        }
+    }
+
+    /// The hit ids, in outcome order.
+    #[must_use]
+    pub fn ids(&self) -> Vec<DomainId> {
+        self.hits.iter().map(|h| h.id).collect()
+    }
+
+    /// The hits as `(id, estimate)` pairs, in outcome order.
+    #[must_use]
+    pub fn into_pairs(self) -> Vec<(DomainId, Option<f64>)> {
+        self.hits.into_iter().map(|h| (h.id, h.estimate)).collect()
+    }
+}
+
+/// Internal probe counters threaded out of the instrumented query paths.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ProbeCounts {
+    /// Partitions consulted.
+    pub probed: usize,
+    /// Partitions in the index.
+    pub total: usize,
+    /// Raw candidates before dedup.
+    pub candidates: usize,
+}
+
+/// Builds a [`SearchOutcome`] from finished hits plus probe counters
+/// (crate-internal shorthand over [`SearchOutcome::new`]).
+pub(crate) fn outcome_from_hits(
+    hits: Vec<SearchHit>,
+    probe: ProbeCounts,
+    started: Instant,
+) -> SearchOutcome {
+    SearchOutcome::new(hits, probe.probed, probe.total, probe.candidates, started)
+}
+
+/// Builds a [`SearchOutcome`] from plain (unestimated) candidate ids.
+pub(crate) fn outcome_from_ids(
+    ids: Vec<DomainId>,
+    probe: ProbeCounts,
+    started: Instant,
+) -> SearchOutcome {
+    let hits = ids
+        .into_iter()
+        .map(|id| SearchHit { id, estimate: None })
+        .collect();
+    outcome_from_hits(hits, probe, started)
+}
+
+/// The shared top-k strategy: descend through containment thresholds
+/// (1.0, 0.9, …, 0.0), querying the backend via `query_at`, until at
+/// least `k` distinct candidates accumulate. Probe counters follow the
+/// top-k convention — candidates sum across passes, partitions probed is
+/// the per-pass maximum (so it stays ≤ total).
+pub(crate) fn top_k_descend(
+    k: usize,
+    mut query_at: impl FnMut(f64) -> (Vec<DomainId>, ProbeCounts),
+) -> (Vec<DomainId>, ProbeCounts) {
+    let mut seen: Vec<DomainId> = Vec::new();
+    let mut probe = ProbeCounts::default();
+    for step in (0..=10u32).rev() {
+        let t = f64::from(step) / 10.0;
+        let (cands, p) = query_at(t);
+        probe.probed = probe.probed.max(p.probed);
+        probe.total = p.total;
+        probe.candidates += p.candidates;
+        // per-pass results are sorted; merge-dedup against `seen`.
+        seen = merge_unique(&seen, &cands);
+        if seen.len() >= k || step == 0 {
+            break;
+        }
+    }
+    (seen, probe)
+}
+
+/// One query surface over every index in the workspace.
+///
+/// The trait is object safe (`Box<dyn DomainIndex>` is how the server,
+/// the CLI, and the benches hold their backend) and `Send + Sync`, so a
+/// boxed index can be shared across worker threads behind an `Arc`.
+pub trait DomainIndex: std::fmt::Debug + Send + Sync {
+    /// Answers one query.
+    ///
+    /// # Errors
+    /// [`QueryError::Invalid`] for malformed queries and
+    /// [`QueryError::Unsupported`] for query shapes the backend cannot
+    /// answer — never a panic.
+    fn search(&self, query: &Query<'_>) -> Result<SearchOutcome, QueryError>;
+
+    /// Number of indexed domains.
+    fn len(&self) -> usize;
+
+    /// True if the index holds no domains.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate heap memory of the index, in bytes.
+    fn memory_bytes(&self) -> usize;
+
+    /// One-line human-readable description (used as the series label by
+    /// the experiment harness).
+    fn describe(&self) -> String;
+}
+
+impl<T: DomainIndex + ?Sized> DomainIndex for Arc<T> {
+    fn search(&self, query: &Query<'_>) -> Result<SearchOutcome, QueryError> {
+        (**self).search(query)
+    }
+
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        (**self).memory_bytes()
+    }
+
+    fn describe(&self) -> String {
+        (**self).describe()
+    }
+}
+
+// --------------------------------------------------------------- ForestIndex
+
+/// A single LSH Forest behind the unified surface: the dynamic-LSH
+/// building block (§5.5) promoted to a standalone backend, with threshold
+/// conversion through the *global* maximum domain size — i.e. MinHash LSH
+/// over one forest, without partitioning.
+///
+/// Unlike [`baseline_minhash_lsh`](crate::baseline_minhash_lsh) (a
+/// single-partition ensemble), this adapter exposes the forest directly
+/// and stays mutable: [`insert`](Self::insert) then
+/// [`commit`](Self::commit), exactly the forest's own lifecycle.
+#[derive(Debug)]
+pub struct ForestIndex {
+    forest: LshForest,
+    tuner: Tuner,
+    config: EnsembleConfig,
+    max_size: u64,
+}
+
+impl ForestIndex {
+    /// An empty forest-backed index with the given configuration
+    /// (`strategy` is ignored — a forest has one partition).
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration (`b_max·r_max > num_perm`).
+    #[must_use]
+    pub fn new(config: EnsembleConfig) -> Self {
+        // Reuse the ensemble's validation by constructing a builder.
+        let _ = crate::ensemble::LshEnsembleBuilder::new(config);
+        Self {
+            forest: LshForest::new(config.b_max, config.r_max),
+            tuner: Tuner::new(config.b_max as u32, config.r_max as u32),
+            config,
+            max_size: 0,
+        }
+    }
+
+    /// Inserts one domain; immediately queryable (staged-tail scan).
+    ///
+    /// # Panics
+    /// Panics if `size == 0` or the signature width differs from the
+    /// configuration.
+    pub fn insert(&mut self, id: DomainId, size: u64, signature: &Signature) {
+        assert!(size > 0, "domain size must be positive");
+        assert_eq!(
+            signature.len(),
+            self.config.num_perm,
+            "signature width mismatch"
+        );
+        self.max_size = self.max_size.max(size);
+        self.forest.insert(id, signature);
+    }
+
+    /// Folds staged inserts into the sorted runs.
+    pub fn commit(&mut self) {
+        self.forest.commit();
+    }
+
+    /// The global size upper bound used for threshold conversion.
+    #[must_use]
+    pub fn max_size(&self) -> u64 {
+        self.max_size
+    }
+}
+
+impl DomainIndex for ForestIndex {
+    fn search(&self, query: &Query<'_>) -> Result<SearchOutcome, QueryError> {
+        query.validate_for(self.config.num_perm)?;
+        let QueryMode::Threshold(t_star) = query.mode() else {
+            return Err(QueryError::Unsupported(
+                "top-k needs retained sketches; use a RankedIndex".into(),
+            ));
+        };
+        let started = Instant::now();
+        if self.forest.is_empty() {
+            return Ok(outcome_from_ids(
+                Vec::new(),
+                ProbeCounts::default(),
+                started,
+            ));
+        }
+        let q = query.effective_size();
+        let params = self.tuner.optimize(self.max_size, q, t_star);
+        let mut buf = Vec::new();
+        self.forest.query_into(
+            query.signature(),
+            params.b as usize,
+            params.r as usize,
+            &mut buf,
+        );
+        let candidates = buf.len();
+        buf.sort_unstable();
+        buf.dedup();
+        Ok(outcome_from_ids(
+            buf,
+            ProbeCounts {
+                probed: 1,
+                total: 1,
+                candidates,
+            },
+            started,
+        ))
+    }
+
+    fn len(&self) -> usize {
+        self.forest.len()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.forest.memory_bytes()
+    }
+
+    fn describe(&self) -> String {
+        format!("LSH Forest ({}×{})", self.config.b_max, self.config.r_max)
+    }
+}
+
+// ------------------------------------------------------------- ShardedRanked
+
+/// A [`ShardedEnsemble`] paired with the retained sketches of a
+/// [`RankedIndex`]: the paper's §6.3 fan-out/union topology *with*
+/// containment estimates and top-k — the backend the server uses for
+/// `--shards N`.
+///
+/// The sketches are shared (`Arc`), not copied: the shards borrow them at
+/// build time and the estimate pass looks them up per candidate.
+#[derive(Debug)]
+pub struct ShardedRanked {
+    shards: ShardedEnsemble,
+    ranked: Arc<RankedIndex>,
+}
+
+impl ShardedRanked {
+    /// Splits the ranked index's domains round-robin across `num_shards`
+    /// freshly built shards (zero-copy: signatures are borrowed from the
+    /// retained sketches).
+    ///
+    /// # Panics
+    /// Panics if `num_shards == 0` or the ranked index holds fewer domains
+    /// than shards.
+    #[must_use]
+    pub fn build(ranked: Arc<RankedIndex>, num_shards: usize, config: EnsembleConfig) -> Self {
+        let entries = ranked.sketch_entries();
+        let ids: Vec<DomainId> = entries.iter().map(|&(id, _, _)| id).collect();
+        let sizes: Vec<u64> = entries.iter().map(|&(_, size, _)| size).collect();
+        let sigs: Vec<&Signature> = entries.iter().map(|&(_, _, sig)| sig).collect();
+        let shards = ShardedEnsemble::build_from_parts(num_shards, config, &ids, &sizes, &sigs);
+        drop(entries);
+        Self { shards, ranked }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.shards.num_shards()
+    }
+
+    /// The underlying shards.
+    #[must_use]
+    pub fn shards(&self) -> &ShardedEnsemble {
+        &self.shards
+    }
+}
+
+impl ShardedRanked {
+    /// Attaches estimates from the retained sketches, prunes below
+    /// `t_star − ESTIMATE_SLACK`, sorts by estimate descending.
+    fn rank_and_prune(&self, ids: Vec<DomainId>, query: &Query<'_>, t_star: f64) -> Vec<SearchHit> {
+        let q = query.effective_size();
+        let mut hits: Vec<SearchHit> = self
+            .ranked
+            .rank_candidates(ids, query.signature(), q)
+            .into_iter()
+            .filter(|h| h.estimated_containment >= t_star - ESTIMATE_SLACK)
+            .map(|h| SearchHit {
+                id: h.id,
+                estimate: Some(h.estimated_containment),
+            })
+            .collect();
+        // rank_candidates already sorts descending; keep as-is.
+        hits.shrink_to_fit();
+        hits
+    }
+}
+
+impl DomainIndex for ShardedRanked {
+    fn search(&self, query: &Query<'_>) -> Result<SearchOutcome, QueryError> {
+        query.validate_for(self.ranked.ensemble().config().num_perm)?;
+        let started = Instant::now();
+        let q = query.effective_size();
+        match query.mode() {
+            QueryMode::Threshold(t_star) => {
+                let (ids, probe) = self.shards.query_counted(query.signature(), q, t_star);
+                let hits = self.rank_and_prune(ids, query, t_star);
+                Ok(outcome_from_hits(hits, probe, started))
+            }
+            QueryMode::TopK(k) => {
+                // The shared descent strategy, fanned out per pass.
+                let (seen, probe) =
+                    top_k_descend(k, |t| self.shards.query_counted(query.signature(), q, t));
+                let mut hits: Vec<SearchHit> = self
+                    .ranked
+                    .rank_candidates(seen, query.signature(), q)
+                    .into_iter()
+                    .map(|h| SearchHit {
+                        id: h.id,
+                        estimate: Some(h.estimated_containment),
+                    })
+                    .collect();
+                hits.truncate(k);
+                Ok(outcome_from_hits(hits, probe, started))
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        // The sketches are shared with the ranked index, but this backend
+        // keeps them alive, so count both the shards and the sketch heap.
+        self.shards.memory_bytes() + self.ranked.sketch_memory_bytes()
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "Sharded LSH Ensemble ({} shards, ranked)",
+            self.shards.num_shards()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ensemble::LshEnsemble;
+    use crate::partition::PartitionStrategy;
+    use crate::ranked::RankedIndexBuilder;
+    use lshe_minhash::MinHasher;
+
+    fn nested(n: usize) -> (MinHasher, Vec<(DomainId, u64, Signature)>) {
+        let h = MinHasher::new(256);
+        let pool = MinHasher::synthetic_values(5, 25 * n);
+        let entries = (0..n)
+            .map(|k| {
+                let vals = &pool[..25 * (k + 1)];
+                (
+                    k as DomainId,
+                    vals.len() as u64,
+                    h.signature(vals.iter().copied()),
+                )
+            })
+            .collect();
+        (h, entries)
+    }
+
+    fn config(parts: usize) -> EnsembleConfig {
+        EnsembleConfig {
+            strategy: PartitionStrategy::EquiDepth { n: parts },
+            ..EnsembleConfig::default()
+        }
+    }
+
+    #[test]
+    fn query_builder_roundtrip() {
+        let h = MinHasher::new(256);
+        let sig = h.signature(MinHasher::synthetic_values(1, 40));
+        let hashes = [1u64, 2, 3];
+        let q = Query::threshold(&sig, 0.7)
+            .with_size(40)
+            .with_parallel(true)
+            .with_hashes(&hashes);
+        assert_eq!(q.size(), Some(40));
+        assert_eq!(q.effective_size(), 40);
+        assert!(q.parallel());
+        assert_eq!(q.hashes(), Some(&hashes[..]));
+        assert_eq!(q.mode(), QueryMode::Threshold(0.7));
+        assert!(q.validate_for(256).is_ok());
+    }
+
+    #[test]
+    fn query_size_estimated_when_absent() {
+        let h = MinHasher::new(256);
+        let sig = h.signature(MinHasher::synthetic_values(1, 100));
+        let q = Query::threshold(&sig, 0.5);
+        let est = q.effective_size();
+        assert!((80..=120).contains(&est), "estimate {est} far from 100");
+    }
+
+    #[test]
+    fn validation_catches_bad_queries() {
+        let h = MinHasher::new(64);
+        let sig = h.signature([1u64, 2, 3]);
+        assert!(matches!(
+            Query::threshold(&sig, 0.5).validate_for(256),
+            Err(QueryError::Invalid(_))
+        ));
+        assert!(matches!(
+            Query::threshold(&sig, 1.5).validate_for(64),
+            Err(QueryError::Invalid(_))
+        ));
+        assert!(matches!(
+            Query::top_k(&sig, 0).validate_for(64),
+            Err(QueryError::Invalid(_))
+        ));
+        assert!(matches!(
+            Query::threshold(&sig, 0.5).with_size(0).validate_for(64),
+            Err(QueryError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn forest_index_finds_self_and_reports_stats() {
+        let (h, entries) = nested(12);
+        let mut idx = ForestIndex::new(EnsembleConfig::default());
+        for (id, size, sig) in &entries {
+            idx.insert(*id, *size, sig);
+        }
+        idx.commit();
+        assert_eq!(DomainIndex::len(&idx), 12);
+        assert!(idx.memory_bytes() > 0);
+        assert_eq!(idx.max_size(), 300);
+        let (_, size, sig) = &entries[4];
+        let out = idx
+            .search(&Query::threshold(sig, 0.8).with_size(*size))
+            .expect("search");
+        assert!(out.hits.iter().any(|hit| hit.id == 4));
+        assert_eq!(out.stats.partitions_total, 1);
+        assert_eq!(out.stats.partitions_probed, 1);
+        assert!(out.stats.candidates >= out.stats.survivors);
+        assert_eq!(out.stats.survivors, out.hits.len());
+        // Top-k is unsupported without sketches.
+        assert!(matches!(
+            idx.search(&Query::top_k(sig, 3).with_size(*size)),
+            Err(QueryError::Unsupported(_))
+        ));
+        let _ = h;
+    }
+
+    #[test]
+    fn empty_forest_index_returns_nothing() {
+        let idx = ForestIndex::new(EnsembleConfig::default());
+        let h = MinHasher::new(256);
+        let sig = h.signature([1u64, 2, 3]);
+        let out = idx
+            .search(&Query::threshold(&sig, 0.5).with_size(3))
+            .expect("search");
+        assert!(out.hits.is_empty());
+        assert!(DomainIndex::is_empty(&idx));
+    }
+
+    #[test]
+    fn sharded_ranked_threshold_and_topk() {
+        let (_, entries) = nested(24);
+        let mut b = RankedIndexBuilder::new(config(4));
+        for (id, size, sig) in &entries {
+            b.add(*id, *size, sig.clone());
+        }
+        let ranked = Arc::new(b.build());
+        let idx = ShardedRanked::build(Arc::clone(&ranked), 3, config(2));
+        assert_eq!(idx.num_shards(), 3);
+        assert_eq!(DomainIndex::len(&idx), 24);
+
+        let (_, size, sig) = &entries[7];
+        let out = idx
+            .search(&Query::threshold(sig, 0.8).with_size(*size))
+            .expect("search");
+        assert!(out.hits.iter().any(|h| h.id == 7), "self hit missing");
+        for h in &out.hits {
+            let e = h.estimate.expect("sharded-ranked attaches estimates");
+            assert!((0.0..=1.0).contains(&e));
+        }
+        for w in out.hits.windows(2) {
+            assert!(w[0].estimate >= w[1].estimate, "not sorted by estimate");
+        }
+        assert!(out.stats.partitions_probed <= out.stats.partitions_total);
+
+        let top = idx
+            .search(&Query::top_k(sig, 5).with_size(*size))
+            .expect("topk");
+        assert_eq!(top.hits.len(), 5);
+        assert_eq!(top.hits[0].id, 7, "self match must rank first");
+    }
+
+    #[test]
+    fn arc_and_box_dispatch() {
+        let (_, entries) = nested(8);
+        let mut b = LshEnsemble::builder_with(config(2));
+        for (id, size, sig) in &entries {
+            b.add(*id, *size, sig.clone());
+        }
+        let arc: Arc<LshEnsemble> = Arc::new(b.build());
+        let boxed: Box<dyn DomainIndex> = Box::new(Arc::clone(&arc));
+        assert_eq!(boxed.len(), 8);
+        assert!(!boxed.is_empty());
+        assert!(boxed.memory_bytes() > 0);
+        let (_, size, sig) = &entries[2];
+        let out = boxed
+            .search(&Query::threshold(sig, 0.9).with_size(*size))
+            .expect("search");
+        assert!(out.ids().contains(&2));
+    }
+
+    #[test]
+    fn query_error_display() {
+        let e = QueryError::Invalid("k must be positive".into());
+        assert!(e.to_string().contains("invalid query"));
+        let e = QueryError::Unsupported("no sketches".into());
+        assert!(e.to_string().contains("unsupported query"));
+    }
+}

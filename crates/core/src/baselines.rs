@@ -14,6 +14,9 @@
 //! * [`AsymPartitionedIndex`] — the §6.1 ablation: Asymmetric Minwise
 //!   Hashing *inside each partition* (padding to the partition bound).
 
+use crate::api::{
+    outcome_from_ids, DomainIndex, ProbeCounts, Query, QueryError, QueryMode, SearchOutcome,
+};
 use crate::ensemble::{EnsembleConfig, LshEnsemble, LshEnsembleBuilder};
 use crate::partition::{PartitionStrategy, Partitioning};
 use crate::tuning::Tuner;
@@ -33,32 +36,40 @@ pub fn baseline_minhash_lsh(config: &EnsembleConfig) -> LshEnsembleBuilder {
     })
 }
 
-/// A common query interface over all index types so the experiment harness
-/// can sweep them uniformly.
+/// The pre-`DomainIndex` query interface, kept for the experiment harness
+/// and downstream callers. Every [`DomainIndex`] gets it for free via the
+/// blanket bridge below, so the two surfaces can never drift apart.
+///
+/// The bridge can only express signature-driven threshold queries: a
+/// backend needing more (e.g. the exact index, which wants the raw query
+/// values) returns a typed error through [`DomainIndex::search`] and
+/// therefore **panics** here with that error's message — use
+/// [`DomainIndex`] directly for such backends.
 pub trait ContainmentSearch: Sync {
     /// Candidate ids for a query signature of (estimated or exact) size
     /// `query_size` at containment threshold `t_star`, sorted ascending.
+    ///
+    /// # Panics
+    /// Via the blanket bridge: panics if the underlying [`DomainIndex`]
+    /// cannot answer a plain threshold query (see the trait docs).
     fn search(&self, signature: &Signature, query_size: u64, t_star: f64) -> Vec<DomainId>;
 
     /// Human-readable label for reports.
     fn label(&self) -> String;
 }
 
-impl ContainmentSearch for LshEnsemble {
+impl<T: DomainIndex + ?Sized> ContainmentSearch for T {
     fn search(&self, signature: &Signature, query_size: u64, t_star: f64) -> Vec<DomainId> {
-        self.query_with_size(signature, query_size, t_star)
+        let query = Query::threshold(signature, t_star).with_size(query_size);
+        let mut ids = DomainIndex::search(self, &query)
+            .unwrap_or_else(|e| panic!("ContainmentSearch bridge: {e}"))
+            .ids();
+        ids.sort_unstable();
+        ids
     }
 
     fn label(&self) -> String {
-        match self.config().strategy {
-            PartitionStrategy::Single => "MinHash LSH (baseline)".to_owned(),
-            PartitionStrategy::EquiDepth { n } => format!("LSH Ensemble ({n})"),
-            PartitionStrategy::EquiWidth { n } => format!("LSH Ensemble equi-width ({n})"),
-            PartitionStrategy::Morph { n, lambda } => {
-                format!("LSH Ensemble morph ({n}, λ={lambda:.2})")
-            }
-            PartitionStrategy::EquiFp { n } => format!("LSH Ensemble equi-FP ({n})"),
-        }
+        self.describe()
     }
 }
 
@@ -187,22 +198,57 @@ impl AsymIndex {
         assert!(query_size > 0, "query size must be positive");
         assert!((0.0..=1.0).contains(&t_star), "threshold must be in [0, 1]");
         assert_eq!(signature.len(), self.num_perm, "signature width mismatch");
+        self.query_counted(signature, query_size, t_star).0
+    }
+
+    /// Instrumented query: sorted-unique ids plus probe counters. Both the
+    /// inherent path and the [`DomainIndex`] impl funnel through here.
+    fn query_counted(
+        &self,
+        signature: &Signature,
+        query_size: u64,
+        t_star: f64,
+    ) -> (Vec<DomainId>, ProbeCounts) {
         let params = self.tuner.optimize(self.max_size, query_size, t_star);
         let mut buf = Vec::new();
         self.forest
             .query_into(signature, params.b as usize, params.r as usize, &mut buf);
+        let candidates = buf.len();
         buf.sort_unstable();
         buf.dedup();
-        buf
+        (
+            buf,
+            ProbeCounts {
+                probed: 1,
+                total: 1,
+                candidates,
+            },
+        )
     }
 }
 
-impl ContainmentSearch for AsymIndex {
-    fn search(&self, signature: &Signature, query_size: u64, t_star: f64) -> Vec<DomainId> {
-        self.query_with_size(signature, query_size, t_star)
+impl DomainIndex for AsymIndex {
+    fn search(&self, query: &Query<'_>) -> Result<SearchOutcome, QueryError> {
+        query.validate_for(self.num_perm)?;
+        let QueryMode::Threshold(t_star) = query.mode() else {
+            return Err(QueryError::Unsupported(
+                "top-k needs retained sketches; use a RankedIndex".into(),
+            ));
+        };
+        let started = std::time::Instant::now();
+        let (ids, probe) = self.query_counted(query.signature(), query.effective_size(), t_star);
+        Ok(outcome_from_ids(ids, probe, started))
     }
 
-    fn label(&self) -> String {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.forest.memory_bytes()
+    }
+
+    fn describe(&self) -> String {
         "Asym".to_owned()
     }
 }
@@ -292,6 +338,21 @@ impl AsymPartitionedIndex {
         assert!(query_size > 0, "query size must be positive");
         assert!((0.0..=1.0).contains(&t_star), "threshold must be in [0, 1]");
         assert_eq!(signature.len(), self.num_perm, "signature width mismatch");
+        self.query_counted(signature, query_size, t_star).0
+    }
+
+    /// Instrumented query: sorted-unique ids plus probe counters.
+    fn query_counted(
+        &self,
+        signature: &Signature,
+        query_size: u64,
+        t_star: f64,
+    ) -> (Vec<DomainId>, ProbeCounts) {
+        let mut probe = ProbeCounts {
+            probed: 0,
+            total: self.partitions.len(),
+            candidates: 0,
+        };
         let mut set = FastHashSet::default();
         let mut buf = Vec::new();
         for p in &self.partitions {
@@ -301,11 +362,13 @@ impl AsymPartitionedIndex {
             let params = self.tuner.optimize(p.upper, query_size, t_star);
             buf.clear();
             self.forest_query(p, signature, params.b as usize, params.r as usize, &mut buf);
+            probe.probed += 1;
+            probe.candidates += buf.len();
             set.extend(buf.iter().copied());
         }
         let mut v: Vec<DomainId> = set.into_iter().collect();
         v.sort_unstable();
-        v
+        (v, probe)
     }
 
     fn forest_query(
@@ -320,12 +383,31 @@ impl AsymPartitionedIndex {
     }
 }
 
-impl ContainmentSearch for AsymPartitionedIndex {
-    fn search(&self, signature: &Signature, query_size: u64, t_star: f64) -> Vec<DomainId> {
-        self.query_with_size(signature, query_size, t_star)
+impl DomainIndex for AsymPartitionedIndex {
+    fn search(&self, query: &Query<'_>) -> Result<SearchOutcome, QueryError> {
+        query.validate_for(self.num_perm)?;
+        let QueryMode::Threshold(t_star) = query.mode() else {
+            return Err(QueryError::Unsupported(
+                "top-k needs retained sketches; use a RankedIndex".into(),
+            ));
+        };
+        let started = std::time::Instant::now();
+        let (ids, probe) = self.query_counted(query.signature(), query.effective_size(), t_star);
+        Ok(outcome_from_ids(ids, probe, started))
     }
 
-    fn label(&self) -> String {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.partitions
+            .iter()
+            .map(|p| p.forest.memory_bytes())
+            .sum()
+    }
+
+    fn describe(&self) -> String {
         format!("Asym + partitioning ({})", self.partitions.len())
     }
 }

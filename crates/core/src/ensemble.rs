@@ -8,6 +8,9 @@
 //! FP+FN mass for the partition's upper bound — and the per-partition
 //! candidate sets are unioned (`Partitioned-Containment-Search`, §5.1).
 
+use crate::api::{
+    outcome_from_ids, DomainIndex, ProbeCounts, Query, QueryError, QueryMode, SearchOutcome,
+};
 use crate::partition::PartitionStrategy;
 use crate::tuning::Tuner;
 use lshe_lsh::{DomainId, LshForest};
@@ -298,16 +301,7 @@ impl LshEnsemble {
         query_size: u64,
         t_star: f64,
     ) -> Vec<DomainId> {
-        self.check_query(signature, query_size, t_star);
-        let mut out = FastHashSet::default();
-        let mut buf = Vec::new();
-        for p in &self.partitions {
-            self.query_partition(p, signature, query_size, t_star, &mut buf);
-        }
-        out.extend(buf.iter().copied());
-        let mut v: Vec<DomainId> = out.into_iter().collect();
-        v.sort_unstable();
-        v
+        self.query_counted(signature, query_size, t_star, false).0
     }
 
     /// Containment search with one thread per partition; results are
@@ -323,31 +317,63 @@ impl LshEnsemble {
         query_size: u64,
         t_star: f64,
     ) -> Vec<DomainId> {
+        self.query_counted(signature, query_size, t_star, true).0
+    }
+
+    /// Instrumented containment search: the sorted-unique candidate ids
+    /// plus probe counters (partitions consulted, raw candidates before
+    /// dedup). Every public query path funnels through here.
+    pub(crate) fn query_counted(
+        &self,
+        signature: &Signature,
+        query_size: u64,
+        t_star: f64,
+        parallel: bool,
+    ) -> (Vec<DomainId>, ProbeCounts) {
         self.check_query(signature, query_size, t_star);
-        let buffers: Vec<Vec<DomainId>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .partitions
-                .iter()
-                .map(|p| {
-                    scope.spawn(move || {
-                        let mut buf = Vec::new();
-                        self.query_partition(p, signature, query_size, t_star, &mut buf);
-                        buf
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("partition query panicked"))
-                .collect()
-        });
+        let mut probe = ProbeCounts {
+            probed: 0,
+            total: self.partitions.len(),
+            candidates: 0,
+        };
         let mut out = FastHashSet::default();
-        for b in buffers {
-            out.extend(b);
+        if parallel {
+            let buffers: Vec<(Vec<DomainId>, bool)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .partitions
+                    .iter()
+                    .map(|p| {
+                        scope.spawn(move || {
+                            let mut buf = Vec::new();
+                            let probed =
+                                self.query_partition(p, signature, query_size, t_star, &mut buf);
+                            (buf, probed)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("partition query panicked"))
+                    .collect()
+            });
+            for (buf, probed) in buffers {
+                probe.probed += usize::from(probed);
+                probe.candidates += buf.len();
+                out.extend(buf);
+            }
+        } else {
+            let mut buf = Vec::new();
+            for p in &self.partitions {
+                let before = buf.len();
+                let probed = self.query_partition(p, signature, query_size, t_star, &mut buf);
+                probe.probed += usize::from(probed);
+                probe.candidates += buf.len() - before;
+            }
+            out.extend(buf);
         }
         let mut v: Vec<DomainId> = out.into_iter().collect();
         v.sort_unstable();
-        v
+        (v, probe)
     }
 
     fn check_query(&self, signature: &Signature, query_size: u64, t_star: f64) {
@@ -363,6 +389,8 @@ impl LshEnsemble {
         );
     }
 
+    /// Queries one partition into `out`; returns whether the partition was
+    /// actually consulted (false = skip-pruned).
     fn query_partition(
         &self,
         p: &EnsemblePartition,
@@ -370,15 +398,16 @@ impl LshEnsemble {
         query_size: u64,
         t_star: f64,
         out: &mut Vec<DomainId>,
-    ) {
+    ) -> bool {
         // A domain's containment cannot exceed x/q ≤ upper/q: partitions
         // that cannot reach the threshold are skipped outright.
         if (p.upper as f64) < t_star * query_size as f64 {
-            return;
+            return false;
         }
         let params = self.tuner.optimize(p.upper, query_size, t_star);
         p.forest
             .query_into(signature, params.b as usize, params.r as usize, out);
+        true
     }
 
     /// Inserts a new domain after construction (§6.2 dynamic data): the
@@ -445,6 +474,46 @@ impl LshEnsemble {
                 })
                 .collect(),
             len,
+        }
+    }
+}
+
+impl DomainIndex for LshEnsemble {
+    fn search(&self, query: &Query<'_>) -> Result<SearchOutcome, QueryError> {
+        query.validate_for(self.config.num_perm)?;
+        let QueryMode::Threshold(t_star) = query.mode() else {
+            return Err(QueryError::Unsupported(
+                "top-k needs retained sketches; build a RankedIndex (or re-index with --ranked)"
+                    .into(),
+            ));
+        };
+        let started = std::time::Instant::now();
+        let (ids, probe) = self.query_counted(
+            query.signature(),
+            query.effective_size(),
+            t_star,
+            query.parallel(),
+        );
+        Ok(outcome_from_ids(ids, probe, started))
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn memory_bytes(&self) -> usize {
+        LshEnsemble::memory_bytes(self)
+    }
+
+    fn describe(&self) -> String {
+        match self.config.strategy {
+            PartitionStrategy::Single => "MinHash LSH (baseline)".to_owned(),
+            PartitionStrategy::EquiDepth { n } => format!("LSH Ensemble ({n})"),
+            PartitionStrategy::EquiWidth { n } => format!("LSH Ensemble equi-width ({n})"),
+            PartitionStrategy::Morph { n, lambda } => {
+                format!("LSH Ensemble morph ({n}, λ={lambda:.2})")
+            }
+            PartitionStrategy::EquiFp { n } => format!("LSH Ensemble equi-FP ({n})"),
         }
     }
 }

@@ -62,6 +62,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod api;
 pub mod baselines;
 pub mod convert;
 pub mod cost;
@@ -72,6 +73,10 @@ pub mod ranked;
 pub mod sharded;
 pub mod tuning;
 
+pub use api::{
+    DomainIndex, ForestIndex, Query, QueryError, QueryMode, QueryStats, SearchHit, SearchOutcome,
+    ShardedRanked, ESTIMATE_SLACK,
+};
 pub use baselines::{
     baseline_minhash_lsh, AsymIndex, AsymIndexBuilder, AsymPartitionedIndex, ContainmentSearch,
 };

@@ -16,6 +16,10 @@
 //! The cost is one retained signature per domain (`8·m` bytes); use the
 //! plain [`LshEnsemble`] when memory is tighter than ranking is valuable.
 
+use crate::api::{
+    DomainIndex, ProbeCounts, Query, QueryError, QueryMode, SearchHit, SearchOutcome,
+    ESTIMATE_SLACK,
+};
 use crate::ensemble::{EnsembleConfig, LshEnsemble, LshEnsembleBuilder};
 use lshe_lsh::DomainId;
 use lshe_minhash::hash::FastHashMap;
@@ -128,6 +132,78 @@ impl RankedIndex {
         self.sketches.get(&id).map(|(size, sig)| (*size, sig))
     }
 
+    /// Every retained sketch as `(id, size, signature)`, sorted by id —
+    /// the deterministic bulk view sharded rebuilds use.
+    #[must_use]
+    pub fn sketch_entries(&self) -> Vec<(DomainId, u64, &Signature)> {
+        let mut out: Vec<(DomainId, u64, &Signature)> = self
+            .sketches
+            .iter()
+            .map(|(&id, (size, sig))| (id, *size, sig))
+            .collect();
+        out.sort_unstable_by_key(|&(id, _, _)| id);
+        out
+    }
+
+    /// Approximate heap memory of the retained sketches alone, in bytes.
+    #[must_use]
+    pub fn sketch_memory_bytes(&self) -> usize {
+        self.sketches
+            .values()
+            .map(|(_, sig)| sig.len() * 8 + 32)
+            .sum()
+    }
+
+    /// Approximate heap memory of the whole index (ensemble + sketches).
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        self.ensemble.memory_bytes() + self.sketch_memory_bytes()
+    }
+
+    /// Reassembles a ranked index from an already-built ensemble and its
+    /// retained sketches — the persistence path, which avoids rebuilding
+    /// every partition forest from scratch on load.
+    ///
+    /// # Panics
+    /// Panics if the sketch count differs from the ensemble's length or an
+    /// id repeats.
+    #[must_use]
+    pub fn from_ensemble(
+        ensemble: LshEnsemble,
+        sketches: impl IntoIterator<Item = (DomainId, u64, Signature)>,
+    ) -> Self {
+        let mut map: FastHashMap<DomainId, (u64, Signature)> = FastHashMap::default();
+        for (id, size, sig) in sketches {
+            assert!(size > 0, "domain size must be positive");
+            let prev = map.insert(id, (size, sig));
+            assert!(prev.is_none(), "duplicate domain id {id}");
+        }
+        assert_eq!(
+            map.len(),
+            ensemble.len(),
+            "sketch count disagrees with ensemble"
+        );
+        Self {
+            ensemble,
+            sketches: map,
+        }
+    }
+
+    /// Ranks arbitrary candidate ids by estimated containment (descending,
+    /// ties by id). Candidates must all be indexed.
+    ///
+    /// # Panics
+    /// Panics if a candidate id was never indexed.
+    #[must_use]
+    pub fn rank_candidates(
+        &self,
+        candidates: Vec<DomainId>,
+        signature: &Signature,
+        query_size: u64,
+    ) -> Vec<RankedHit> {
+        self.rank(candidates, signature, query_size)
+    }
+
     fn rank(&self, candidates: Vec<DomainId>, signature: &Signature, q: u64) -> Vec<RankedHit> {
         let mut hits: Vec<RankedHit> = candidates
             .into_iter()
@@ -164,10 +240,26 @@ impl RankedIndex {
         t_star: f64,
         slack: f64,
     ) -> Vec<RankedHit> {
-        let raw = self.ensemble.query_with_size(signature, query_size, t_star);
+        self.query_ranked_counted(signature, query_size, t_star, slack, false)
+            .0
+    }
+
+    /// Instrumented [`query_ranked`](Self::query_ranked): hits plus the
+    /// probe counters of the underlying ensemble sweep.
+    pub(crate) fn query_ranked_counted(
+        &self,
+        signature: &Signature,
+        query_size: u64,
+        t_star: f64,
+        slack: f64,
+        parallel: bool,
+    ) -> (Vec<RankedHit>, ProbeCounts) {
+        let (raw, probe) = self
+            .ensemble
+            .query_counted(signature, query_size, t_star, parallel);
         let mut hits = self.rank(raw, signature, query_size);
         hits.retain(|h| h.estimated_containment >= t_star - slack);
-        hits
+        (hits, probe)
     }
 
     /// Top-k search: descends through containment thresholds
@@ -178,28 +270,72 @@ impl RankedIndex {
     /// Panics if `k == 0`, plus the usual query validation.
     #[must_use]
     pub fn query_top_k(&self, signature: &Signature, query_size: u64, k: usize) -> Vec<RankedHit> {
+        self.query_top_k_counted(signature, query_size, k, false).0
+    }
+
+    /// Instrumented [`query_top_k`](Self::query_top_k). Probe counters
+    /// accumulate raw candidates across the descent passes; partitions
+    /// probed is the maximum over passes (so it stays ≤ total).
+    pub(crate) fn query_top_k_counted(
+        &self,
+        signature: &Signature,
+        query_size: u64,
+        k: usize,
+        parallel: bool,
+    ) -> (Vec<RankedHit>, ProbeCounts) {
         assert!(k > 0, "k must be positive");
-        let mut seen: Vec<DomainId> = Vec::new();
-        for step in (0..=10).rev() {
-            let t = f64::from(step) / 10.0;
-            let cands = self.ensemble.query_with_size(signature, query_size, t);
-            // query results are sorted; merge-dedup against `seen`.
-            seen = merge_unique(&seen, &cands);
-            if seen.len() >= k && step > 0 {
-                break;
-            }
-            if step == 0 {
-                break;
-            }
-        }
+        let (seen, probe) = crate::api::top_k_descend(k, |t| {
+            self.ensemble
+                .query_counted(signature, query_size, t, parallel)
+        });
         let mut hits = self.rank(seen, signature, query_size);
         hits.truncate(k);
-        hits
+        (hits, probe)
+    }
+}
+
+impl DomainIndex for RankedIndex {
+    fn search(&self, query: &Query<'_>) -> Result<SearchOutcome, QueryError> {
+        query.validate_for(self.ensemble.config().num_perm)?;
+        let started = std::time::Instant::now();
+        let q = query.effective_size();
+        let (hits, probe) = match query.mode() {
+            QueryMode::Threshold(t_star) => self.query_ranked_counted(
+                query.signature(),
+                q,
+                t_star,
+                ESTIMATE_SLACK,
+                query.parallel(),
+            ),
+            QueryMode::TopK(k) => {
+                self.query_top_k_counted(query.signature(), q, k, query.parallel())
+            }
+        };
+        let hits: Vec<SearchHit> = hits
+            .into_iter()
+            .map(|h| SearchHit {
+                id: h.id,
+                estimate: Some(h.estimated_containment),
+            })
+            .collect();
+        Ok(crate::api::outcome_from_hits(hits, probe, started))
+    }
+
+    fn len(&self) -> usize {
+        self.sketches.len()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        RankedIndex::memory_bytes(self)
+    }
+
+    fn describe(&self) -> String {
+        format!("Ranked {}", DomainIndex::describe(&self.ensemble))
     }
 }
 
 /// Merges two sorted unique id lists into one sorted unique list.
-fn merge_unique(a: &[DomainId], b: &[DomainId]) -> Vec<DomainId> {
+pub(crate) fn merge_unique(a: &[DomainId], b: &[DomainId]) -> Vec<DomainId> {
     let mut out = Vec::with_capacity(a.len() + b.len());
     let (mut i, mut j) = (0usize, 0usize);
     while i < a.len() && j < b.len() {

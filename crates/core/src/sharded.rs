@@ -7,6 +7,9 @@
 //! one shard per thread: the exact same partition → shard → union code
 //! path, minus the network.
 
+use crate::api::{
+    outcome_from_ids, DomainIndex, ProbeCounts, Query, QueryError, QueryMode, SearchOutcome,
+};
 use crate::ensemble::{EnsembleConfig, LshEnsemble, LshEnsembleBuilder};
 use lshe_lsh::DomainId;
 use lshe_minhash::Signature;
@@ -182,12 +185,30 @@ impl ShardedEnsemble {
         query_size: u64,
         t_star: f64,
     ) -> Vec<DomainId> {
-        let mut results: Vec<Vec<DomainId>> = std::thread::scope(|scope| {
+        self.query_counted(signature, query_size, t_star).0
+    }
+
+    /// Approximate heap memory across all shards, in bytes.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        self.shards.iter().map(LshEnsemble::memory_bytes).sum()
+    }
+
+    /// Instrumented fan-out query: sorted-unique ids plus probe counters
+    /// summed across shards (each shard's query is already parallel over
+    /// one thread here, matching the paper's one-ensemble-per-node model).
+    pub(crate) fn query_counted(
+        &self,
+        signature: &Signature,
+        query_size: u64,
+        t_star: f64,
+    ) -> (Vec<DomainId>, ProbeCounts) {
+        let results: Vec<(Vec<DomainId>, ProbeCounts)> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .shards
                 .iter()
                 .map(|shard| {
-                    scope.spawn(move || shard.query_with_size(signature, query_size, t_star))
+                    scope.spawn(move || shard.query_counted(signature, query_size, t_star, false))
                 })
                 .collect();
             handles
@@ -195,6 +216,16 @@ impl ShardedEnsemble {
                 .map(|h| h.join().expect("shard query panicked"))
                 .collect()
         });
+        let mut probe = ProbeCounts::default();
+        let mut results: Vec<Vec<DomainId>> = results
+            .into_iter()
+            .map(|(ids, p)| {
+                probe.probed += p.probed;
+                probe.total += p.total;
+                probe.candidates += p.candidates;
+                ids
+            })
+            .collect();
         // Shards hold disjoint id sets (round-robin assignment), so a
         // k-way merge of sorted vectors suffices; ids stay sorted.
         let mut merged = results.swap_remove(0);
@@ -222,16 +253,33 @@ impl ShardedEnsemble {
             out.extend_from_slice(&r[j..]);
             merged = out;
         }
-        merged
+        (merged, probe)
     }
 }
 
-impl crate::baselines::ContainmentSearch for ShardedEnsemble {
-    fn search(&self, signature: &Signature, query_size: u64, t_star: f64) -> Vec<DomainId> {
-        self.query_with_size(signature, query_size, t_star)
+impl DomainIndex for ShardedEnsemble {
+    fn search(&self, query: &Query<'_>) -> Result<SearchOutcome, QueryError> {
+        let num_perm = self.shards[0].config().num_perm;
+        query.validate_for(num_perm)?;
+        let QueryMode::Threshold(t_star) = query.mode() else {
+            return Err(QueryError::Unsupported(
+                "top-k needs retained sketches; use ShardedRanked".into(),
+            ));
+        };
+        let started = std::time::Instant::now();
+        let (ids, probe) = self.query_counted(query.signature(), query.effective_size(), t_star);
+        Ok(outcome_from_ids(ids, probe, started))
     }
 
-    fn label(&self) -> String {
+    fn len(&self) -> usize {
+        ShardedEnsemble::len(self)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        ShardedEnsemble::memory_bytes(self)
+    }
+
+    fn describe(&self) -> String {
         format!("Sharded LSH Ensemble ({} shards)", self.shards.len())
     }
 }

@@ -8,6 +8,7 @@
 
 use crate::catalog::{Catalog, DomainId};
 use crate::domain::Domain;
+use lshe_core::{DomainIndex, Query, QueryError, QueryMode, SearchHit, SearchOutcome};
 use lshe_minhash::hash::FastHashMap;
 
 /// Inverted index over a catalog for exact containment queries.
@@ -104,6 +105,71 @@ impl ExactIndex {
             .collect();
         out.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN").then(a.0.cmp(&b.0)));
         out
+    }
+}
+
+/// The exact engine behind the unified query surface: queries must carry
+/// their raw universe hashes ([`Query::with_hashes`]); the signature is
+/// ignored and every estimate is the *true* containment — which is what
+/// makes this the conformance reference for every sketch-based backend.
+impl DomainIndex for ExactIndex {
+    fn search(&self, query: &Query<'_>) -> Result<SearchOutcome, QueryError> {
+        // Exact search never reads the signature, so don't reject on
+        // width; validate only the mode/size fields.
+        query.validate_for(query.signature().len())?;
+        let Some(hashes) = query.hashes() else {
+            return Err(QueryError::Unsupported(
+                "exact search needs the raw query values (Query::with_hashes)".into(),
+            ));
+        };
+        if hashes.is_empty() {
+            return Err(QueryError::Invalid("query domain must not be empty".into()));
+        }
+        let started = std::time::Instant::now();
+        let domain = Domain::from_hashes(hashes.to_vec());
+        let q = domain.len() as f64;
+        let mut scored: Vec<(DomainId, f64)> = self
+            .overlap_counts(&domain)
+            .into_iter()
+            .map(|(id, c)| (id, f64::from(c) / q))
+            .collect();
+        let candidates = scored.len();
+        scored.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN").then(a.0.cmp(&b.0)));
+        let hits: Vec<SearchHit> = match query.mode() {
+            QueryMode::Threshold(t_star) => scored
+                .into_iter()
+                .filter(|&(_, t)| t >= t_star)
+                .map(|(id, t)| SearchHit {
+                    id,
+                    estimate: Some(t),
+                })
+                .collect(),
+            QueryMode::TopK(k) => scored
+                .into_iter()
+                .take(k)
+                .map(|(id, t)| SearchHit {
+                    id,
+                    estimate: Some(t),
+                })
+                .collect(),
+        };
+        Ok(SearchOutcome::new(hits, 1, 1, candidates, started))
+    }
+
+    fn len(&self) -> usize {
+        ExactIndex::len(self)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.postings
+            .values()
+            .map(|ids| 16 + ids.len() * std::mem::size_of::<DomainId>())
+            .sum::<usize>()
+            + self.sizes.len() * std::mem::size_of::<u32>()
+    }
+
+    fn describe(&self) -> String {
+        "Exact inverted index".to_owned()
     }
 }
 
@@ -208,5 +274,36 @@ mod tests {
     fn empty_query_rejected() {
         let idx = ExactIndex::build(&catalog());
         let _ = idx.search(&Domain::default(), 0.5);
+    }
+
+    #[test]
+    fn domain_index_surface_matches_inherent_search() {
+        let idx = ExactIndex::build(&catalog());
+        let hashes: Vec<u64> = (4..=8).collect();
+        let hasher = lshe_minhash::MinHasher::new(64);
+        let sig = hasher.signature(hashes.iter().copied());
+        let query = lshe_core::Query::threshold(&sig, 0.6).with_hashes(&hashes);
+        let out = DomainIndex::search(&idx, &query).expect("search");
+        let mut ids: Vec<DomainId> = out.ids();
+        ids.sort_unstable();
+        assert_eq!(ids, idx.search(&Domain::from_hashes(hashes.clone()), 0.6));
+        // Estimates are exact containments, hits sorted descending.
+        for h in &out.hits {
+            assert!((0.0..=1.0).contains(&h.estimate.expect("exact estimate")));
+        }
+        for w in out.hits.windows(2) {
+            assert!(w[0].estimate >= w[1].estimate);
+        }
+        assert!(out.stats.candidates >= out.stats.survivors);
+
+        // Top-k through the same surface.
+        let top = DomainIndex::search(&idx, &lshe_core::Query::top_k(&sig, 2).with_hashes(&hashes))
+            .expect("topk");
+        assert_eq!(top.hits.len(), 2);
+        assert_eq!(top.hits[0].id, 0, "perfect container ranks first");
+
+        // Without raw values the exact engine reports a typed error.
+        let err = DomainIndex::search(&idx, &lshe_core::Query::threshold(&sig, 0.5)).unwrap_err();
+        assert!(matches!(err, QueryError::Unsupported(_)), "{err}");
     }
 }

@@ -15,26 +15,41 @@
 //! | [`datagen`] | `lshe-datagen` | synthetic power-law corpora and queries |
 //! | [`serve`] | `lshe-serve` | the HTTP query server: snapshot engine, LRU cache, batching |
 //!
-//! The most common entry points are re-exported at the top level.
+//! The most common entry points are re-exported at the top level. The
+//! documented way in is the **unified query surface**: build any index,
+//! hold it as a [`DomainIndex`], and hand it typed [`Query`]s — the same
+//! surface the CLI, the HTTP server, and the experiment harness use.
 //!
 //! ## Quick example
 //!
 //! ```
-//! use lshe::{LshEnsemble, MinHasher};
+//! use lshe::{DomainIndex, MinHasher, Query, RankedIndex};
 //!
+//! // Index three nested domains (id, exact size, MinHash signature),
+//! // retaining sketches so estimates and top-k work.
 //! let hasher = MinHasher::new(256);
-//! let mut builder = LshEnsemble::builder();
 //! let pool = MinHasher::synthetic_values(1, 300);
+//! let mut builder = RankedIndex::builder();
 //! for (id, n) in [(0u32, 100usize), (1, 200), (2, 300)] {
 //!     builder.add(id, n as u64, hasher.signature(pool[..n].iter().copied()));
 //! }
-//! let ensemble = builder.build();
+//! let index: Box<dyn DomainIndex> = Box::new(builder.build());
 //!
-//! // Query with the first 100 values at containment threshold 0.5: domain 0
-//! // (identical to the query) must be among the candidates.
-//! let q = hasher.signature(pool[..100].iter().copied());
-//! let hits = ensemble.query_with_size(&q, 100, 0.5);
-//! assert!(hits.contains(&0));
+//! // Threshold search: which domains contain ≥ 50% of the query?
+//! // Domain 0 is identical to the query, so it must be found with
+//! // estimated containment 1.0.
+//! let sig = hasher.signature(pool[..100].iter().copied());
+//! let outcome = index
+//!     .search(&Query::threshold(&sig, 0.5).with_size(100))
+//!     .expect("valid query");
+//! assert!(outcome.hits.iter().any(|h| h.id == 0 && h.estimate == Some(1.0)));
+//!
+//! // Top-k through the very same surface, with per-query stats.
+//! let top = index
+//!     .search(&Query::top_k(&sig, 2).with_size(100))
+//!     .expect("valid query");
+//! assert_eq!(top.hits.len(), 2);
+//! assert!(top.stats.partitions_probed <= top.stats.partitions_total);
 //! ```
 
 #![warn(missing_docs)]
@@ -48,8 +63,12 @@ pub use lshe_lsh as lsh;
 pub use lshe_minhash as minhash;
 pub use lshe_serve as serve;
 
-pub use lshe_core::{EnsembleConfig, LshEnsemble, PartitionStrategy};
-pub use lshe_corpus::{Catalog, Domain};
+pub use lshe_core::{
+    DomainIndex, EnsembleConfig, ForestIndex, LshEnsemble, PartitionStrategy, Query, QueryError,
+    QueryMode, QueryStats, RankedHit, RankedIndex, SearchHit, SearchOutcome, ShardedEnsemble,
+    ShardedRanked, ESTIMATE_SLACK,
+};
+pub use lshe_corpus::{Catalog, Domain, ExactIndex};
 pub use lshe_lsh::{DomainId, LshForest};
 pub use lshe_minhash::{MinHasher, OnePermHasher, Signature};
-pub use lshe_serve::{IndexContainer, ServerConfig};
+pub use lshe_serve::{IndexContainer, IndexKind, ServerConfig};

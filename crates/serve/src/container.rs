@@ -11,11 +11,14 @@
 //! if ranked: per domain (same order): signature slots u64 array
 //! ```
 
-use lshe_core::{EnsembleConfig, LshEnsemble, PartitionStrategy, RankedHit, RankedIndex};
+use lshe_core::{
+    DomainIndex, EnsembleConfig, LshEnsemble, PartitionStrategy, Query, RankedIndex, ShardedRanked,
+};
 use lshe_corpus::Catalog;
 use lshe_minhash::codec::{CodecError, Decoder, Encoder};
 use lshe_minhash::{MinHasher, Signature};
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// Envelope tag for `.lshe` files.
 pub const MAGIC: [u8; 4] = *b"LSHX";
@@ -35,19 +38,38 @@ pub struct DomainRecord {
     pub column: String,
 }
 
+/// What kind of index a container stores — the tag
+/// [`open_index`](IndexContainer::open_index) dispatches on, so no caller
+/// ever matches on a concrete index type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    /// Ensemble only: threshold search, no estimates, no top-k.
+    Plain,
+    /// Ensemble plus per-domain sketches: estimates, top-k, and sharded
+    /// serving are available.
+    Ranked,
+}
+
+/// The stored index, shared behind `Arc`s so
+/// [`open_index`](IndexContainer::open_index) can hand out trait objects
+/// without cloning forests or sketches.
+#[derive(Debug)]
+enum StoredIndex {
+    Plain(Arc<LshEnsemble>),
+    Ranked(Arc<RankedIndex>),
+}
+
 /// A loaded (or freshly built) index file.
 #[derive(Debug)]
 pub struct IndexContainer {
     records: Vec<DomainRecord>,
-    ensemble: LshEnsemble,
-    /// Present when the container was built with ranked sketches.
-    ranked: Option<RankedIndex>,
+    index: StoredIndex,
     num_perm: usize,
 }
 
 impl IndexContainer {
     /// Builds a container from a catalog: sketches every domain, builds the
-    /// ensemble (and the ranked index when `ranked`), and records
+    /// ensemble (retaining ranked sketches when `ranked`), and records
     /// provenance.
     ///
     /// # Panics
@@ -62,7 +84,7 @@ impl IndexContainer {
             ..EnsembleConfig::default()
         };
         let mut records = Vec::with_capacity(catalog.len());
-        let mut builder = LshEnsemble::builder_with(config);
+        let mut plain_builder = (!ranked).then(|| LshEnsemble::builder_with(config));
         let mut ranked_builder = ranked.then(|| RankedIndex::builder_with(config));
         for (id, domain) in catalog.iter() {
             let meta = catalog.meta(id);
@@ -74,14 +96,20 @@ impl IndexContainer {
                 column: meta.column.clone(),
             });
             if let Some(rb) = ranked_builder.as_mut() {
-                rb.add(id, domain.len() as u64, sig.clone());
+                rb.add(id, domain.len() as u64, sig);
+            } else if let Some(b) = plain_builder.as_mut() {
+                b.add(id, domain.len() as u64, sig);
             }
-            builder.add(id, domain.len() as u64, sig);
         }
+        let index = match ranked_builder {
+            Some(rb) => StoredIndex::Ranked(Arc::new(rb.build())),
+            None => StoredIndex::Plain(Arc::new(
+                plain_builder.expect("plain builder present").build(),
+            )),
+        };
         Self {
             records,
-            ensemble: builder.build(),
-            ranked: ranked_builder.map(lshe_core::RankedIndexBuilder::build),
+            index,
             num_perm: hasher.num_perm(),
         }
     }
@@ -105,10 +133,74 @@ impl IndexContainer {
         self.records.is_empty()
     }
 
+    /// The shared ensemble (either standalone or inside the ranked index).
+    fn ensemble(&self) -> &LshEnsemble {
+        match &self.index {
+            StoredIndex::Plain(e) => e,
+            StoredIndex::Ranked(r) => r.ensemble(),
+        }
+    }
+
+    /// The kind of index this container stores.
+    #[must_use]
+    pub fn kind(&self) -> IndexKind {
+        match &self.index {
+            StoredIndex::Plain(_) => IndexKind::Plain,
+            StoredIndex::Ranked(_) => IndexKind::Ranked,
+        }
+    }
+
+    /// Opens the stored index behind the unified query surface. Cheap
+    /// (clones an `Arc`): the returned handle shares the container's
+    /// forests and sketches.
+    #[must_use]
+    pub fn open_index(&self) -> Box<dyn DomainIndex> {
+        match &self.index {
+            StoredIndex::Plain(e) => Box::new(Arc::clone(e)),
+            StoredIndex::Ranked(r) => Box::new(Arc::clone(r)),
+        }
+    }
+
+    /// Opens the stored index fanned out across `shards` query shards
+    /// (the paper's §6.3 topology). `shards <= 1` is the plain
+    /// [`open_index`](Self::open_index).
+    ///
+    /// # Errors
+    /// A message when the container stores no sketches (sharded serving
+    /// re-sharpens per-shard partitions from them) or holds fewer domains
+    /// than shards.
+    pub fn open_index_sharded(&self, shards: usize) -> Result<Box<dyn DomainIndex>, String> {
+        if shards <= 1 {
+            return Ok(self.open_index());
+        }
+        let StoredIndex::Ranked(ranked) = &self.index else {
+            return Err(
+                "--shards needs per-domain sketches; rebuild the index with --ranked".into(),
+            );
+        };
+        if self.len() < shards {
+            return Err(format!(
+                "cannot split {} domains across {shards} shards",
+                self.len()
+            ));
+        }
+        let config = EnsembleConfig {
+            strategy: PartitionStrategy::EquiDepth {
+                n: self.partition_count().div_ceil(shards).max(1),
+            },
+            ..EnsembleConfig::default()
+        };
+        Ok(Box::new(ShardedRanked::build(
+            Arc::clone(ranked),
+            shards,
+            config,
+        )))
+    }
+
     /// Number of size partitions in the ensemble.
     #[must_use]
     pub fn partition_count(&self) -> usize {
-        self.ensemble.partition_stats().len()
+        self.ensemble().partition_stats().len()
     }
 
     /// Provenance records for every indexed domain, in build order.
@@ -133,14 +225,17 @@ impl IndexContainer {
     /// and sharded serving.
     #[must_use]
     pub fn has_ranked(&self) -> bool {
-        self.ranked.is_some()
+        self.kind() == IndexKind::Ranked
     }
 
     /// The stored (size, sketch) for a domain, when ranked sketches are
     /// present.
     #[must_use]
     pub fn sketch(&self, id: u32) -> Option<(u64, &Signature)> {
-        self.ranked.as_ref().and_then(|r| r.sketch(id))
+        match &self.index {
+            StoredIndex::Ranked(r) => r.sketch(id),
+            StoredIndex::Plain(_) => None,
+        }
     }
 
     /// Provenance lookup: (table, column, size).
@@ -154,24 +249,23 @@ impl IndexContainer {
     }
 
     /// Threshold search; estimates are attached when sketches are stored.
+    /// Thin wrapper over the [`DomainIndex`] surface.
+    ///
+    /// # Panics
+    /// Panics on malformed query inputs (width mismatch, zero size,
+    /// out-of-range threshold) — use [`open_index`](Self::open_index) for
+    /// typed errors.
     #[must_use]
     pub fn search(&self, sig: &Signature, q: u64, t_star: f64) -> Vec<(u32, Option<f64>)> {
-        match &self.ranked {
-            Some(r) => r
-                .query_ranked(sig, q, t_star, 0.1)
-                .into_iter()
-                .map(|h| (h.id, Some(h.estimated_containment)))
-                .collect(),
-            None => self
-                .ensemble
-                .query_with_size(sig, q, t_star)
-                .into_iter()
-                .map(|id| (id, None))
-                .collect(),
-        }
+        let query = Query::threshold(sig, t_star).with_size(q);
+        self.open_index()
+            .search(&query)
+            .expect("valid threshold query")
+            .into_pairs()
     }
 
-    /// Top-k search (requires ranked sketches).
+    /// Top-k search (requires ranked sketches). Thin wrapper over the
+    /// [`DomainIndex`] surface.
     ///
     /// # Errors
     /// Returns a message when the container was built without `--ranked`.
@@ -181,21 +275,22 @@ impl IndexContainer {
         q: u64,
         k: usize,
     ) -> Result<Vec<(u32, Option<f64>)>, String> {
-        let ranked = self.ranked.as_ref().ok_or_else(|| {
-            "this index was built without ranked sketches; re-index with --ranked true".to_owned()
-        })?;
-        Ok(ranked
-            .query_top_k(sig, q, k)
-            .into_iter()
-            .map(|h: RankedHit| (h.id, Some(h.estimated_containment)))
-            .collect())
+        let query = Query::top_k(sig, k).with_size(q);
+        self.open_index()
+            .search(&query)
+            .map(lshe_core::SearchOutcome::into_pairs)
+            .map_err(|e| e.to_string())
     }
 
-    /// Human-readable description (the `stats` subcommand).
+    /// Human-readable description (the `stats` subcommand). The index
+    /// summary line and memory figure come from the [`DomainIndex`]
+    /// surface, so every backend reports through the same channel.
     #[must_use]
     pub fn describe(&self) -> String {
+        let index = self.open_index();
         let mut out = String::new();
-        let config = self.ensemble.config();
+        let config = self.ensemble().config();
+        let _ = writeln!(out, "index: {}", index.describe());
         let _ = writeln!(out, "domains: {}", self.len());
         let _ = writeln!(out, "num_perm: {}", config.num_perm);
         let _ = writeln!(
@@ -206,9 +301,10 @@ impl IndexContainer {
         let _ = writeln!(
             out,
             "ranked sketches: {}",
-            if self.ranked.is_some() { "yes" } else { "no" }
+            if self.has_ranked() { "yes" } else { "no" }
         );
-        let stats = self.ensemble.partition_stats();
+        let _ = writeln!(out, "memory: {} bytes", index.memory_bytes());
+        let stats = self.ensemble().partition_stats();
         let _ = writeln!(out, "partitions: {}", stats.len());
         let _ = writeln!(out, "  #\tsize_range\tdomains");
         for (i, p) in stats.iter().enumerate() {
@@ -222,7 +318,7 @@ impl IndexContainer {
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut enc = Encoder::with_capacity(64 + self.records.len() * 48);
         enc.envelope(MAGIC, VERSION);
-        enc.put_u8(u8::from(self.ranked.is_some()));
+        enc.put_u8(u8::from(self.has_ranked()));
         enc.put_u32(self.num_perm as u32);
         enc.put_u64(self.records.len() as u64);
         for rec in &self.records {
@@ -231,12 +327,12 @@ impl IndexContainer {
             enc.put_str(&rec.table);
             enc.put_str(&rec.column);
         }
-        let eb = self.ensemble.to_bytes_committed();
+        let eb = self.ensemble().to_bytes_committed();
         enc.put_u64(eb.len() as u64);
         for b in eb {
             enc.put_u8(b);
         }
-        if let Some(ranked) = &self.ranked {
+        if let StoredIndex::Ranked(ranked) = &self.index {
             for rec in &self.records {
                 let (_, sig) = ranked
                     .sketch(rec.id)
@@ -285,26 +381,35 @@ impl IndexContainer {
         if ensemble.len() != records.len() {
             return Err(CodecError::Corrupt("record count disagrees with ensemble"));
         }
-        let ranked = if has_ranked {
-            let mut rb = RankedIndex::builder_with(*ensemble.config());
+        let index = if has_ranked {
+            // Reattach the sketches to the already-decoded ensemble
+            // instead of rebuilding every partition forest from scratch.
+            let mut sketches = Vec::with_capacity(records.len());
             for rec in &records {
                 let slots = dec.get_u64_vec("sketch slots")?;
                 if slots.len() != num_perm {
                     return Err(CodecError::Corrupt("sketch width disagrees with config"));
                 }
-                rb.add(rec.id, rec.size, Signature::from_slots(slots));
+                if rec.size == 0 {
+                    return Err(CodecError::Corrupt("zero-size record in ranked container"));
+                }
+                sketches.push((rec.id, rec.size, Signature::from_slots(slots)));
             }
-            Some(rb.build())
+            let mut seen: Vec<u32> = sketches.iter().map(|&(id, _, _)| id).collect();
+            seen.sort_unstable();
+            if seen.windows(2).any(|w| w[0] == w[1]) {
+                return Err(CodecError::Corrupt("duplicate id in ranked container"));
+            }
+            StoredIndex::Ranked(Arc::new(RankedIndex::from_ensemble(ensemble, sketches)))
         } else {
-            None
+            StoredIndex::Plain(Arc::new(ensemble))
         };
         if !dec.is_exhausted() {
             return Err(CodecError::Corrupt("trailing bytes after container"));
         }
         Ok(Self {
             records,
-            ensemble,
-            ranked,
+            index,
             num_perm,
         })
     }
@@ -365,6 +470,45 @@ mod tests {
         let hasher = MinHasher::new(256);
         let q = cat.domain(0).signature(&hasher);
         assert!(built.top_k(&q, 20, 2).is_err());
+    }
+
+    #[test]
+    fn kind_tag_and_open_index_dispatch() {
+        let cat = catalog(10);
+        let plain = IndexContainer::build(&cat, 2, false);
+        let ranked = IndexContainer::build(&cat, 2, true);
+        assert_eq!(plain.kind(), IndexKind::Plain);
+        assert_eq!(ranked.kind(), IndexKind::Ranked);
+
+        let hasher = MinHasher::new(256);
+        let sig = cat.domain(2).signature(&hasher);
+        for c in [&plain, &ranked] {
+            let idx = c.open_index();
+            assert_eq!(idx.len(), 10);
+            assert!(idx.memory_bytes() > 0);
+            let out = idx
+                .search(&Query::threshold(&sig, 0.8).with_size(60))
+                .expect("search");
+            assert!(out.ids().contains(&2));
+            assert!(out.stats.partitions_probed <= out.stats.partitions_total);
+        }
+        // open_index shares (not clones) the stored index.
+        assert!(matches!(
+            plain
+                .open_index()
+                .search(&Query::top_k(&sig, 2).with_size(60)),
+            Err(lshe_core::QueryError::Unsupported(_))
+        ));
+
+        // Sharded opening: refused without sketches, works with them.
+        assert!(plain.open_index_sharded(2).is_err());
+        assert!(ranked.open_index_sharded(100).is_err(), "too few domains");
+        let sharded = ranked.open_index_sharded(2).expect("sharded");
+        let out = sharded
+            .search(&Query::threshold(&sig, 0.8).with_size(60))
+            .expect("search");
+        assert!(out.ids().contains(&2));
+        assert!(out.hits.iter().all(|h| h.estimate.is_some()));
     }
 
     #[test]

@@ -7,22 +7,18 @@
 //! they finish against the snapshot they started with, exactly the
 //! semantics a serving system wants.
 //!
-//! With `shards > 1` the snapshot additionally builds a
-//! [`ShardedEnsemble`] over the container's stored sketches, reproducing
-//! the paper's §6.3 cluster topology (split the corpus, fan the query out,
-//! union the answers) inside one process.
+//! Every snapshot holds its backend as a `Box<dyn DomainIndex>` opened by
+//! [`IndexContainer::open_index_sharded`]: unsharded ranked, unsharded
+//! plain, and sharded (`--shards N`, the paper's §6.3 cluster topology)
+//! all answer through the same trait — the engine never matches on a
+//! concrete index type.
 
 use crate::container::IndexContainer;
-use lshe_core::{EnsembleConfig, PartitionStrategy, ShardedEnsemble};
+use lshe_core::{DomainIndex, Query, QueryError, SearchOutcome};
 use lshe_minhash::{MinHasher, Signature};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
-
-/// Estimate slack mirrored from `RankedIndex::query_ranked` usage in the
-/// CLI: candidates whose estimated containment falls below `t − SLACK`
-/// are pruned (estimates are noisy at ±1/√m).
-const ESTIMATE_SLACK: f64 = 0.1;
 
 /// One hit: domain id plus estimated containment when sketches are stored.
 pub type Hit = (u32, Option<f64>);
@@ -60,52 +56,28 @@ impl From<std::io::Error> for EngineError {
 #[derive(Debug)]
 pub struct Snapshot {
     container: IndexContainer,
-    sharded: Option<ShardedEnsemble>,
+    index: Box<dyn DomainIndex>,
     hasher: MinHasher,
     generation: u64,
+    shards: usize,
 }
 
 impl Snapshot {
     fn new(container: IndexContainer, shards: usize, generation: u64) -> Result<Self, EngineError> {
-        let sharded = if shards > 1 {
-            if !container.has_ranked() {
-                return Err(EngineError::Config(
-                    "--shards needs per-domain sketches; rebuild the index with --ranked".into(),
-                ));
-            }
-            if container.len() < shards {
-                return Err(EngineError::Config(format!(
-                    "cannot split {} domains across {shards} shards",
-                    container.len()
-                )));
-            }
-            // Rebuild the fan-out topology from the stored sketches,
-            // zero-copy: each shard indexes a round-robin slice.
-            let records = container.records();
-            let ids: Vec<u32> = records.iter().map(|r| r.id).collect();
-            let sizes: Vec<u64> = records.iter().map(|r| r.size).collect();
-            let sigs: Vec<&Signature> = records
-                .iter()
-                .map(|r| container.sketch(r.id).expect("ranked container").1)
-                .collect();
-            let config = EnsembleConfig {
-                strategy: PartitionStrategy::EquiDepth {
-                    n: container.partition_count().div_ceil(shards).max(1),
-                },
-                ..EnsembleConfig::default()
-            };
-            Some(ShardedEnsemble::build_from_parts(
-                shards, config, &ids, &sizes, &sigs,
-            ))
-        } else {
-            None
-        };
+        // The container owns backend selection: plain, ranked, or sharded
+        // fan-out all come back as one trait object. Invalid shard
+        // configurations are rejected here, at load time, with a typed
+        // error — never a panic on the query path.
+        let index = container
+            .open_index_sharded(shards)
+            .map_err(EngineError::Config)?;
         let hasher = MinHasher::new(container.num_perm());
         Ok(Self {
             container,
-            sharded,
+            index,
             hasher,
             generation,
+            shards: shards.max(1),
         })
     }
 
@@ -113,6 +85,12 @@ impl Snapshot {
     #[must_use]
     pub fn container(&self) -> &IndexContainer {
         &self.container
+    }
+
+    /// The query backend for this snapshot.
+    #[must_use]
+    pub fn index(&self) -> &dyn DomainIndex {
+        &*self.index
     }
 
     /// The hasher queries must be sketched with (same permutation family
@@ -131,40 +109,40 @@ impl Snapshot {
     /// Shard count (1 = unsharded single ensemble).
     #[must_use]
     pub fn num_shards(&self) -> usize {
-        self.sharded.as_ref().map_or(1, ShardedEnsemble::num_shards)
+        self.shards
     }
 
-    /// Threshold search. Unsharded: delegates to the container (identical
-    /// results to the CLI's one-shot path). Sharded: fans out across every
-    /// shard in parallel, unions, then attaches containment estimates from
-    /// the stored sketches.
+    /// Answers one typed query through the snapshot's backend.
+    ///
+    /// # Errors
+    /// [`QueryError`] for malformed or unsupported queries (the server
+    /// maps these to HTTP 400).
+    pub fn query(&self, query: &Query<'_>) -> Result<SearchOutcome, QueryError> {
+        self.index.search(query)
+    }
+
+    /// Threshold search; thin wrapper over [`query`](Self::query) kept for
+    /// direct-embedding callers and benches.
+    ///
+    /// # Panics
+    /// Panics on malformed query inputs; use [`query`](Self::query) for
+    /// typed errors.
     #[must_use]
     pub fn search(&self, sig: &Signature, query_size: u64, threshold: f64) -> Vec<Hit> {
-        match &self.sharded {
-            None => self.container.search(sig, query_size, threshold),
-            Some(sharded) => {
-                let ids = sharded.query_with_size(sig, query_size, threshold);
-                let mut hits: Vec<(u32, f64)> = ids
-                    .into_iter()
-                    .map(|id| {
-                        let (size, sketch) = self.container.sketch(id).expect("ranked container");
-                        let est = sig.containment_in(sketch, query_size as f64, size as f64);
-                        (id, est)
-                    })
-                    .filter(|&(_, est)| est >= threshold - ESTIMATE_SLACK)
-                    .collect();
-                hits.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-                hits.into_iter().map(|(id, est)| (id, Some(est))).collect()
-            }
-        }
+        self.query(&Query::threshold(sig, threshold).with_size(query_size))
+            .expect("valid threshold query")
+            .into_pairs()
     }
 
-    /// Top-k search (requires a ranked container).
+    /// Top-k search (requires a ranked container); thin wrapper over
+    /// [`query`](Self::query).
     ///
     /// # Errors
     /// A message when the index stores no sketches.
     pub fn top_k(&self, sig: &Signature, query_size: u64, k: usize) -> Result<Vec<Hit>, String> {
-        self.container.top_k(sig, query_size, k)
+        self.query(&Query::top_k(sig, k).with_size(query_size))
+            .map(SearchOutcome::into_pairs)
+            .map_err(|e| e.to_string())
     }
 }
 

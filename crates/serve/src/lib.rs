@@ -58,6 +58,6 @@ pub mod pool;
 pub mod server;
 
 pub use cache::{CacheStats, LruCache, QueryKey};
-pub use container::{DomainRecord, IndexContainer};
+pub use container::{DomainRecord, IndexContainer, IndexKind};
 pub use engine::{Engine, EngineError, Snapshot};
 pub use server::{start, ServerConfig, ServerHandle};

@@ -13,10 +13,11 @@
 //! | POST   | `/shutdown` | graceful stop (drain in-flight, then exit)      |
 
 use crate::cache::{signature_digest, CacheStats, LruCache, QueryKey};
-use crate::engine::{Engine, EngineError, Hit, Snapshot};
+use crate::engine::{Engine, EngineError, Snapshot};
 use crate::http::{read_request, write_response, HttpError, Request};
 use crate::json::Json;
 use crate::pool::{effective_threads, ThreadPool};
+use lshe_core::{Query, QueryStats, SearchHit, SearchOutcome};
 use lshe_corpus::Domain;
 use lshe_minhash::Signature;
 use std::io::{self, BufRead, BufReader};
@@ -90,6 +91,32 @@ struct Counters {
     errors: AtomicU64,
 }
 
+/// Aggregated per-query execution counters ([`QueryStats`]) across every
+/// search the engine actually executed (cache hits are excluded — their
+/// stats were counted when first computed). Exposed on `/stats`.
+#[derive(Debug, Default)]
+struct QueryStatTotals {
+    executed: AtomicU64,
+    partitions_probed: AtomicU64,
+    candidates: AtomicU64,
+    survivors: AtomicU64,
+    wall_micros: AtomicU64,
+}
+
+impl QueryStatTotals {
+    fn record(&self, stats: &QueryStats) {
+        self.executed.fetch_add(1, Ordering::Relaxed);
+        self.partitions_probed
+            .fetch_add(stats.partitions_probed as u64, Ordering::Relaxed);
+        self.candidates
+            .fetch_add(stats.candidates as u64, Ordering::Relaxed);
+        self.survivors
+            .fetch_add(stats.survivors as u64, Ordering::Relaxed);
+        self.wall_micros
+            .fetch_add(stats.wall_micros, Ordering::Relaxed);
+    }
+}
+
 /// Global budget for *extra* batch fan-out threads. Each `/batch` handler
 /// always gets one lane (itself); additional scoped threads are borrowed
 /// here, so concurrent batches degrade to narrower fan-out instead of
@@ -131,8 +158,9 @@ impl Drop for FanoutGuard<'_> {
 /// State shared by every connection handler.
 struct Shared {
     engine: Arc<Engine>,
-    cache: LruCache<QueryKey, Arc<Vec<Hit>>>,
+    cache: LruCache<QueryKey, Arc<SearchOutcome>>,
     counters: Counters,
+    query_totals: QueryStatTotals,
     started: Instant,
     shutdown: Arc<AtomicBool>,
     addr: SocketAddr,
@@ -211,6 +239,7 @@ pub fn start(engine: Arc<Engine>, config: &ServerConfig) -> io::Result<ServerHan
         engine,
         cache: LruCache::new(config.cache_capacity),
         counters: Counters::default(),
+        query_totals: QueryStatTotals::default(),
         started: Instant::now(),
         shutdown: Arc::clone(&shutdown),
         addr,
@@ -597,6 +626,7 @@ fn cache_json(stats: &CacheStats) -> Json {
 fn handle_stats(shared: &Shared) -> Outcome {
     let snap = shared.engine.snapshot();
     let c = &shared.counters;
+    let q = &shared.query_totals;
     Outcome::ok(Json::obj(vec![
         ("domains", Json::uint(snap.container().len() as u64)),
         ("num_perm", Json::uint(snap.container().num_perm() as u64)),
@@ -630,22 +660,54 @@ fn handle_stats(shared: &Shared) -> Outcome {
             ]),
         ),
         ("cache", cache_json(&shared.cache.stats())),
+        (
+            "query_stats",
+            Json::obj(vec![
+                ("executed", Json::uint(q.executed.load(Ordering::Relaxed))),
+                (
+                    "partitions_probed",
+                    Json::uint(q.partitions_probed.load(Ordering::Relaxed)),
+                ),
+                (
+                    "candidates",
+                    Json::uint(q.candidates.load(Ordering::Relaxed)),
+                ),
+                ("survivors", Json::uint(q.survivors.load(Ordering::Relaxed))),
+                (
+                    "wall_micros",
+                    Json::uint(q.wall_micros.load(Ordering::Relaxed)),
+                ),
+            ]),
+        ),
     ]))
 }
 
-/// One parsed query: sketch, cardinality, threshold, and optional k.
+/// One parsed query: sketch, cardinality, threshold, optional k, and the
+/// opt-in per-query debug flag.
 struct QuerySpec {
     signature: Signature,
     size: u64,
     threshold: f64,
     k: usize,
+    debug: bool,
+}
+
+impl QuerySpec {
+    /// The typed [`Query`] this spec describes.
+    fn query(&self) -> Query<'_> {
+        if self.k > 0 {
+            Query::top_k(&self.signature, self.k).with_size(self.size)
+        } else {
+            Query::threshold(&self.signature, self.threshold).with_size(self.size)
+        }
+    }
 }
 
 /// Extracts a [`QuerySpec`] from a request object: `values` (required
 /// string array, hashed server-side into the index's hash universe), plus
-/// optional `threshold` and `k`. A present `k` always means top-k — on
-/// `/query`, `/topk`, and `/batch` entries alike; `require_k` only makes
-/// it mandatory (`/topk`).
+/// optional `threshold`, `k`, and `debug`. A present `k` always means
+/// top-k — on `/query`, `/topk`, and `/batch` entries alike; `require_k`
+/// only makes it mandatory (`/topk`).
 fn parse_spec(body: &Json, snap: &Snapshot, require_k: bool) -> Result<QuerySpec, String> {
     let values = body
         .get("values")
@@ -675,22 +737,29 @@ fn parse_spec(body: &Json, snap: &Snapshot, require_k: bool) -> Result<QuerySpec
             .ok_or_else(|| format!("\"k\" must be an integer in [1, {MAX_K}]"))?
             as usize,
     };
+    let debug = match body.get("debug") {
+        None => false,
+        Some(d) => d.as_bool().ok_or("\"debug\" must be a boolean")?,
+    };
     Ok(QuerySpec {
         signature: domain.signature(snap.hasher()),
         size: domain.len() as u64,
         threshold,
         k,
+        debug,
     })
 }
 
-/// Runs one query through the LRU cache: hit → stored result, miss →
-/// compute against `snap` and insert. The snapshot generation is part of
-/// the key, so reloads can never serve stale hits.
+/// Runs one query through the LRU cache: hit → stored outcome, miss →
+/// dispatch through the snapshot's `dyn DomainIndex` and insert. The
+/// snapshot generation is part of the key, so reloads can never serve
+/// stale hits. Only executed (non-cached) searches feed the aggregated
+/// [`QueryStatTotals`].
 fn cached_search(
     shared: &Shared,
     snap: &Snapshot,
     spec: &QuerySpec,
-) -> Result<(Arc<Vec<Hit>>, bool), String> {
+) -> Result<(Arc<SearchOutcome>, bool), String> {
     let key = QueryKey {
         digest: signature_digest(spec.signature.slots()),
         query_size: spec.size,
@@ -705,24 +774,21 @@ fn cached_search(
         k: spec.k as u32,
         generation: snap.generation(),
     };
-    if let Some(hits) = shared.cache.get(&key) {
-        return Ok((hits, true));
+    if let Some(outcome) = shared.cache.get(&key) {
+        return Ok((outcome, true));
     }
-    let hits = if spec.k > 0 {
-        snap.top_k(&spec.signature, spec.size, spec.k)?
-    } else {
-        snap.search(&spec.signature, spec.size, spec.threshold)
-    };
-    let hits = Arc::new(hits);
-    shared.cache.insert(key, Arc::clone(&hits));
-    Ok((hits, false))
+    let outcome = snap.query(&spec.query()).map_err(|e| e.to_string())?;
+    shared.query_totals.record(&outcome.stats);
+    let outcome = Arc::new(outcome);
+    shared.cache.insert(key, Arc::clone(&outcome));
+    Ok((outcome, false))
 }
 
 /// Renders a hit list with provenance.
-fn hits_json(snap: &Snapshot, hits: &[Hit]) -> Json {
+fn hits_json(snap: &Snapshot, hits: &[SearchHit]) -> Json {
     Json::Arr(
         hits.iter()
-            .map(|&(id, estimate)| {
+            .map(|&SearchHit { id, estimate }| {
                 let (table, column, size) = snap
                     .container()
                     .record(id)
@@ -738,6 +804,23 @@ fn hits_json(snap: &Snapshot, hits: &[Hit]) -> Json {
             })
             .collect(),
     )
+}
+
+/// Renders one query's [`QueryStats`] (the opt-in `"debug"` field).
+fn debug_json(stats: &QueryStats) -> Json {
+    Json::obj(vec![
+        (
+            "partitions_probed",
+            Json::uint(stats.partitions_probed as u64),
+        ),
+        (
+            "partitions_total",
+            Json::uint(stats.partitions_total as u64),
+        ),
+        ("candidates", Json::uint(stats.candidates as u64)),
+        ("survivors", Json::uint(stats.survivors as u64)),
+        ("wall_micros", Json::uint(stats.wall_micros)),
+    ])
 }
 
 fn parse_body(request: &Request) -> Result<Json, String> {
@@ -759,7 +842,7 @@ fn handle_query(shared: &Shared, request: &Request, require_k: bool) -> Outcome 
         Ok(spec) => spec,
         Err(msg) => return Outcome::error(400, "Bad Request", msg),
     };
-    let (hits, cached) = match cached_search(shared, &snap, &spec) {
+    let (outcome, cached) = match cached_search(shared, &snap, &spec) {
         Ok(r) => r,
         Err(msg) => return Outcome::error(400, "Bad Request", msg),
     };
@@ -768,16 +851,20 @@ fn handle_query(shared: &Shared, request: &Request, require_k: bool) -> Outcome 
     } else {
         shared.counters.queries.fetch_add(1, Ordering::Relaxed);
     }
-    Outcome::ok(Json::obj(vec![
-        ("count", Json::uint(hits.len() as u64)),
+    let mut fields = vec![
+        ("count", Json::uint(outcome.hits.len() as u64)),
         ("cached", Json::Bool(cached)),
         ("generation", Json::uint(snap.generation())),
         (
             "query_time_us",
             Json::uint(started.elapsed().as_micros() as u64),
         ),
-        ("hits", hits_json(&snap, &hits)),
-    ]))
+        ("hits", hits_json(&snap, &outcome.hits)),
+    ];
+    if spec.debug {
+        fields.push(("debug", debug_json(&outcome.stats)));
+    }
+    Outcome::ok(Json::obj(fields))
 }
 
 fn handle_batch(shared: &Shared, request: &Request) -> Outcome {
@@ -817,12 +904,16 @@ fn handle_batch(shared: &Shared, request: &Request) -> Outcome {
             .iter()
             .map(|q| {
                 let spec = parse_spec(q, &snap, false)?;
-                let (hits, cached) = cached_search(shared, &snap, &spec)?;
-                Ok(Json::obj(vec![
-                    ("count", Json::uint(hits.len() as u64)),
+                let (outcome, cached) = cached_search(shared, &snap, &spec)?;
+                let mut fields = vec![
+                    ("count", Json::uint(outcome.hits.len() as u64)),
                     ("cached", Json::Bool(cached)),
-                    ("hits", hits_json(&snap, &hits)),
-                ]))
+                    ("hits", hits_json(&snap, &outcome.hits)),
+                ];
+                if spec.debug {
+                    fields.push(("debug", debug_json(&outcome.stats)));
+                }
+                Ok(Json::obj(fields))
             })
             .collect()
     };
@@ -1017,6 +1108,70 @@ mod tests {
         // Unknown path / wrong method.
         assert_eq!(get(addr, "/nope").0, 404);
         assert_eq!(get(addr, "/query").0, 405);
+        server.shutdown();
+    }
+
+    #[test]
+    fn debug_field_and_query_stat_aggregation() {
+        let server = boot(test_engine(6, true));
+        let addr = server.addr();
+        let q = r#"{"values": ["v0","v1","v2","v3","v4","v5","v6","v7","v8","v9"], "threshold": 0.5, "debug": true}"#;
+        let (status, body) = post(addr, "/query", q);
+        assert_eq!(status, 200, "{body}");
+        let first = Json::parse(&body).expect("json");
+        let debug = first.get("debug").expect("debug object requested");
+        let probed = debug
+            .get("partitions_probed")
+            .and_then(Json::as_u64)
+            .expect("probed");
+        let total = debug
+            .get("partitions_total")
+            .and_then(Json::as_u64)
+            .expect("total");
+        let candidates = debug.get("candidates").and_then(Json::as_u64).expect("c");
+        let survivors = debug.get("survivors").and_then(Json::as_u64).expect("s");
+        assert!(probed <= total, "{debug}");
+        assert!(candidates >= survivors, "{debug}");
+        assert_eq!(
+            survivors,
+            first.get("count").and_then(Json::as_u64).expect("count")
+        );
+        assert!(debug.get("wall_micros").and_then(Json::as_u64).is_some());
+
+        // The cached replay returns the same stored stats.
+        let (_, body) = post(addr, "/query", q);
+        let second = Json::parse(&body).expect("json");
+        assert_eq!(second.get("cached"), Some(&Json::Bool(true)));
+        assert_eq!(second.get("debug"), first.get("debug"));
+
+        // Without the flag the field is absent.
+        let (_, body) = post(
+            addr,
+            "/query",
+            r#"{"values": ["v0","v1","v2"], "threshold": 0.5}"#,
+        );
+        assert!(Json::parse(&body).expect("json").get("debug").is_none());
+
+        // A non-boolean debug flag is a 400.
+        let (status, _) = post(addr, "/query", r#"{"values": ["v0"], "debug": 1}"#);
+        assert_eq!(status, 400);
+
+        // /stats aggregates executed-query counters; the cache hit is not
+        // double counted (2 distinct searches ran: the debug one + the
+        // 3-value one).
+        let (_, body) = get(addr, "/stats");
+        let stats = Json::parse(&body).expect("json");
+        let totals = stats.get("query_stats").expect("query_stats");
+        assert_eq!(totals.get("executed").and_then(Json::as_u64), Some(2));
+        let agg_probed = totals
+            .get("partitions_probed")
+            .and_then(Json::as_u64)
+            .expect("agg");
+        assert!(agg_probed >= probed, "{totals}");
+        assert!(
+            totals.get("candidates").and_then(Json::as_u64).expect("c")
+                >= totals.get("survivors").and_then(Json::as_u64).expect("s")
+        );
         server.shutdown();
     }
 

@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --release -p lshe --example quickstart`
 
-use lshe_core::{EnsembleConfig, LshEnsemble, PartitionStrategy};
+use lshe_core::{DomainIndex, EnsembleConfig, PartitionStrategy, Query, RankedIndex};
 use lshe_corpus::{Catalog, Domain, DomainMeta};
 use lshe_minhash::MinHasher;
 
@@ -37,20 +37,24 @@ fn main() {
         catalog.push(filler, DomainMeta::new(format!("filler{i}.csv"), "col"));
     }
 
-    // 2. Sketch every domain and build the ensemble.
+    // 2. Sketch every domain and build a ranked ensemble (retained
+    //    sketches buy containment estimates and top-k), then hold it
+    //    behind the unified `DomainIndex` surface — the same trait the
+    //    CLI, the HTTP server, and the benches dispatch through.
     let hasher = MinHasher::new(256);
-    let mut builder = LshEnsemble::builder_with(EnsembleConfig {
+    let mut builder = RankedIndex::builder_with(EnsembleConfig {
         strategy: PartitionStrategy::EquiDepth { n: 4 },
         ..EnsembleConfig::default()
     });
     for (id, domain) in catalog.iter() {
         builder.add(id, domain.len() as u64, domain.signature(&hasher));
     }
-    let index = builder.build();
+    let index: Box<dyn DomainIndex> = Box::new(builder.build());
     println!(
-        "indexed {} domains across {} partitions",
+        "indexed {} domains ({}, ~{} KiB)",
         index.len(),
-        index.num_partitions()
+        index.describe(),
+        index.memory_bytes() / 1024
     );
 
     // 3. The paper's §2 point, on exact scores: Q = {Ontario, Toronto}.
@@ -84,13 +88,48 @@ fn main() {
         "Chicago",
         "Illinois",
     ]);
-    let hits = index.query_with_size(&query.signature(&hasher), query.len() as u64, 0.8);
+    let sig = query.signature(&hasher);
+    let outcome = index
+        .search(&Query::threshold(&sig, 0.8).with_size(query.len() as u64))
+        .expect("valid query");
     println!("\ncontainment search (8 office cities) at t* = 0.8:");
-    for id in &hits {
-        let meta = catalog.meta(*id);
-        let t = query.containment_in(catalog.domain(*id));
-        println!("  {}.{} (t = {t:.2})", meta.table, meta.column);
+    for hit in &outcome.hits {
+        let meta = catalog.meta(hit.id);
+        let t = query.containment_in(catalog.domain(hit.id));
+        println!(
+            "  {}.{} (t = {t:.2}, t̂ = {:.2})",
+            meta.table,
+            meta.column,
+            hit.estimate.unwrap_or(f64::NAN)
+        );
     }
-    assert!(hits.contains(&locations_id), "Locations must be found");
+    let stats = outcome.stats;
+    println!(
+        "probed {}/{} partitions, {} candidates → {} survivors in {} µs",
+        stats.partitions_probed,
+        stats.partitions_total,
+        stats.candidates,
+        stats.survivors,
+        stats.wall_micros
+    );
+    assert!(
+        outcome.hits.iter().any(|h| h.id == locations_id),
+        "Locations must be found"
+    );
+
+    // 5. Top-k through the very same surface: the two best containers.
+    let top = index
+        .search(&Query::top_k(&sig, 2).with_size(query.len() as u64))
+        .expect("valid query");
+    println!("\ntop-2 by estimated containment:");
+    for hit in &top.hits {
+        let meta = catalog.meta(hit.id);
+        println!(
+            "  t̂ = {:.2}  {}.{}",
+            hit.estimate.unwrap_or(f64::NAN),
+            meta.table,
+            meta.column
+        );
+    }
     println!("\nok: the joinable column was found.");
 }

@@ -1,0 +1,323 @@
+//! Cross-backend conformance suite for the unified `DomainIndex` surface.
+//!
+//! Every index in the workspace — the LSH Ensemble, its ranked and
+//! sharded variants, the LSH Forest adapter, and the paper's §6.1
+//! baselines (MinHash LSH, Asym, Asym + partitioning) — is driven over
+//! ONE shared generated corpus through `Box<dyn DomainIndex>`, and the
+//! answers are checked against the exact (inverted-index) ground truth:
+//!
+//! * the exact self-match is always found,
+//! * recall over size-comparable true containers stays high,
+//! * containment estimates (where a backend produces them) agree with the
+//!   exact scores,
+//! * `QueryStats` are self-consistent (candidates ≥ survivors, partitions
+//!   probed ≤ total), and
+//! * malformed and unsupported queries come back as typed errors, never
+//!   panics.
+
+use lshe_core::{
+    AsymIndexBuilder, AsymPartitionedIndex, DomainIndex, EnsembleConfig, ForestIndex, LshEnsemble,
+    PartitionStrategy, Query, QueryError, RankedIndex, ShardedEnsemble, ShardedRanked,
+};
+use lshe_corpus::{Catalog, Domain, DomainMeta, ExactIndex};
+use lshe_lsh::DomainId;
+use lshe_minhash::{MinHasher, Signature};
+use std::sync::Arc;
+
+const N: usize = 24;
+const STEP: usize = 25;
+const PARTS: usize = 8;
+
+/// The shared corpus: nested pool domains, domain k = first 25·(k+1)
+/// values — so containment relations are known exactly and domain sizes
+/// span 25..600 (a 24× skew, enough to exercise partitioning).
+struct World {
+    values: Vec<Vec<u64>>,
+    entries: Vec<(DomainId, u64, Signature)>,
+    exact: ExactIndex,
+}
+
+fn world() -> World {
+    let hasher = MinHasher::new(256);
+    let pool = MinHasher::synthetic_values(77, STEP * N);
+    let mut catalog = Catalog::new();
+    let mut values = Vec::new();
+    let mut entries = Vec::new();
+    for k in 0..N {
+        let vals: Vec<u64> = pool[..STEP * (k + 1)].to_vec();
+        let sig = hasher.signature(vals.iter().copied());
+        catalog.push(
+            Domain::from_hashes(vals.clone()),
+            DomainMeta::new(format!("t{k}"), "col"),
+        );
+        entries.push((k as DomainId, vals.len() as u64, sig));
+        values.push(vals);
+    }
+    World {
+        values,
+        entries,
+        exact: ExactIndex::build(&catalog),
+    }
+}
+
+fn config() -> EnsembleConfig {
+    EnsembleConfig {
+        strategy: PartitionStrategy::EquiDepth { n: PARTS },
+        ..EnsembleConfig::default()
+    }
+}
+
+/// Every sketch-based backend, boxed behind the one trait.
+fn backends(w: &World) -> Vec<(&'static str, Box<dyn DomainIndex>)> {
+    let mut ensemble = LshEnsemble::builder_with(config());
+    let mut ranked = RankedIndex::builder_with(config());
+    let mut sharded = ShardedEnsemble::builder(3, config());
+    let mut forest = ForestIndex::new(config());
+    let mut asym = AsymIndexBuilder::new(config());
+    for (id, size, sig) in &w.entries {
+        ensemble.add(*id, *size, sig.clone());
+        ranked.add(*id, *size, sig.clone());
+        sharded.add(*id, *size, sig.clone());
+        forest.insert(*id, *size, sig);
+        asym.add(*id, *size, sig.clone());
+    }
+    forest.commit();
+    let ranked = Arc::new(ranked.build());
+    let sharded_ranked = ShardedRanked::build(Arc::clone(&ranked), 3, config());
+    vec![
+        ("ensemble", Box::new(ensemble.build())),
+        ("ranked", Box::new(ranked)),
+        ("sharded", Box::new(sharded.build())),
+        ("sharded_ranked", Box::new(sharded_ranked)),
+        ("forest", Box::new(forest)),
+        ("asym", Box::new(asym.build())),
+        (
+            "asym_partitioned",
+            Box::new(AsymPartitionedIndex::build(&config(), PARTS, &w.entries)),
+        ),
+    ]
+}
+
+/// Exact containment t(Q_q, X_x) in the nested corpus: domain q ⊆ domain x
+/// for q ≤ x, else overlap is |X_x| of Q_q's first values.
+fn exact_containment(w: &World, q: usize, x: usize) -> f64 {
+    let q_len = w.values[q].len() as f64;
+    let overlap = w.values[q].len().min(w.values[x].len()) as f64;
+    overlap / q_len
+}
+
+#[test]
+fn every_backend_is_object_safe_and_reports_sane_stats() {
+    let w = world();
+    for (name, index) in backends(&w) {
+        assert_eq!(index.len(), N, "{name}: wrong len");
+        assert!(!index.is_empty(), "{name}: empty");
+        assert!(index.memory_bytes() > 0, "{name}: no memory accounted");
+        assert!(!index.describe().is_empty(), "{name}: empty describe");
+
+        let (id, size, sig) = &w.entries[13];
+        let out = index
+            .search(&Query::threshold(sig, 0.8).with_size(*size))
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(
+            out.ids().contains(id),
+            "{name}: exact self-match missing at t*=0.8"
+        );
+        let s = out.stats;
+        assert!(
+            s.partitions_probed <= s.partitions_total,
+            "{name}: probed {} > total {}",
+            s.partitions_probed,
+            s.partitions_total
+        );
+        assert!(s.partitions_total > 0, "{name}: zero partitions");
+        assert!(
+            s.candidates >= s.survivors,
+            "{name}: candidates {} < survivors {}",
+            s.candidates,
+            s.survivors
+        );
+        assert_eq!(s.survivors, out.hits.len(), "{name}: survivors ≠ hits");
+    }
+}
+
+#[test]
+fn recall_against_exact_ground_truth() {
+    let w = world();
+    let indexes = backends(&w);
+    for &q in &[7usize, 13, 19] {
+        let (_, size, sig) = &w.entries[q];
+        for &t in &[0.5, 0.8] {
+            // Ground truth through the SAME surface, raw values attached.
+            let truth: Vec<DomainId> = DomainIndex::search(
+                &w.exact,
+                &Query::threshold(sig, t).with_hashes(&w.values[q]),
+            )
+            .expect("exact search")
+            .ids();
+            // Size-comparable true answers (x ≤ 3q): the band where the
+            // paper's own evaluation expects solid recall (Figure 7 shows
+            // recall decaying for x ≫ q).
+            let comparable: Vec<DomainId> = truth
+                .iter()
+                .copied()
+                .filter(|&x| w.values[x as usize].len() <= 3 * w.values[q].len())
+                .collect();
+            assert!(!comparable.is_empty(), "degenerate truth at q={q} t={t}");
+            for (name, index) in &indexes {
+                let got = index
+                    .search(&Query::threshold(sig, t).with_size(*size))
+                    .unwrap_or_else(|e| panic!("{name}: {e}"))
+                    .ids();
+                assert!(got.contains(&(q as DomainId)), "{name}: self missing");
+                let found = comparable.iter().filter(|x| got.contains(x)).count();
+                assert!(
+                    found * 10 >= comparable.len() * 6,
+                    "{name} q={q} t={t}: recall {found}/{} over comparable sizes",
+                    comparable.len()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn containment_estimates_agree_with_exact_scores() {
+    let w = world();
+    for (name, index) in backends(&w) {
+        let q = 13usize;
+        let (_, size, sig) = &w.entries[q];
+        let out = index
+            .search(&Query::threshold(sig, 0.5).with_size(*size))
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let with_estimates = out.hits.iter().any(|h| h.estimate.is_some());
+        // Ranked backends must estimate; unranked ones must not.
+        let should_estimate = matches!(name, "ranked" | "sharded_ranked");
+        assert_eq!(
+            with_estimates, should_estimate,
+            "{name}: estimate presence mismatch"
+        );
+        if !should_estimate {
+            continue;
+        }
+        for h in &out.hits {
+            let est = h.estimate.expect("ranked estimate");
+            let exact = exact_containment(&w, q, h.id as usize);
+            assert!(
+                (est - exact).abs() < 0.25,
+                "{name}: id {} estimate {est:.3} vs exact {exact:.3}",
+                h.id
+            );
+        }
+        // Estimate order is descending.
+        for pair in out.hits.windows(2) {
+            assert!(pair[0].estimate >= pair[1].estimate, "{name}: unsorted");
+        }
+    }
+}
+
+#[test]
+fn top_k_ranks_the_self_match_first() {
+    let w = world();
+    for (name, index) in backends(&w) {
+        let q = 10usize;
+        let (_, size, sig) = &w.entries[q];
+        let result = index.search(&Query::top_k(sig, 5).with_size(*size));
+        match name {
+            "ranked" | "sharded_ranked" => {
+                let out = result.unwrap_or_else(|e| panic!("{name}: {e}"));
+                assert_eq!(out.hits.len(), 5, "{name}: wrong k");
+                assert_eq!(out.hits[0].id, q as DomainId, "{name}: self not first");
+                assert_eq!(out.hits[0].estimate, Some(1.0), "{name}: self t̂ ≠ 1");
+                assert!(
+                    out.stats.partitions_probed <= out.stats.partitions_total,
+                    "{name}: top-k probe counters inconsistent"
+                );
+            }
+            _ => {
+                // Sketch-free-of-estimates backends refuse with a typed
+                // error instead of panicking.
+                assert!(
+                    matches!(result, Err(QueryError::Unsupported(_))),
+                    "{name}: expected Unsupported, got {result:?}"
+                );
+            }
+        }
+    }
+    // The exact engine answers top-k too — with true containments.
+    let q = 10usize;
+    let (_, _, sig) = &w.entries[q];
+    let out = DomainIndex::search(&w.exact, &Query::top_k(sig, 3).with_hashes(&w.values[q]))
+        .expect("exact top-k");
+    assert_eq!(out.hits.len(), 3);
+    assert_eq!(out.hits[0].id, q as DomainId);
+    assert_eq!(out.hits[0].estimate, Some(1.0));
+}
+
+#[test]
+fn malformed_queries_are_typed_errors_everywhere() {
+    let w = world();
+    let narrow = MinHasher::new(64).signature([1u64, 2, 3]);
+    for (name, index) in backends(&w) {
+        let (_, size, sig) = &w.entries[0];
+        // Out-of-range threshold.
+        assert!(
+            matches!(
+                index.search(&Query::threshold(sig, 1.5).with_size(*size)),
+                Err(QueryError::Invalid(_))
+            ),
+            "{name}: bad threshold accepted"
+        );
+        // Zero k.
+        assert!(
+            matches!(
+                index.search(&Query::top_k(sig, 0).with_size(*size)),
+                Err(QueryError::Invalid(_))
+            ),
+            "{name}: k=0 accepted"
+        );
+        // Zero size.
+        assert!(
+            matches!(
+                index.search(&Query::threshold(sig, 0.5).with_size(0)),
+                Err(QueryError::Invalid(_))
+            ),
+            "{name}: size=0 accepted"
+        );
+        // Signature width mismatch.
+        assert!(
+            matches!(
+                index.search(&Query::threshold(&narrow, 0.5).with_size(3)),
+                Err(QueryError::Invalid(_))
+            ),
+            "{name}: width mismatch accepted"
+        );
+    }
+    // The exact engine without raw values is Unsupported, not a panic.
+    let (_, _, sig) = &w.entries[0];
+    assert!(matches!(
+        DomainIndex::search(&w.exact, &Query::threshold(sig, 0.5)),
+        Err(QueryError::Unsupported(_))
+    ));
+}
+
+#[test]
+fn parallel_hint_does_not_change_answers() {
+    let w = world();
+    for (name, index) in backends(&w) {
+        let (_, size, sig) = &w.entries[15];
+        let seq = index
+            .search(&Query::threshold(sig, 0.6).with_size(*size))
+            .unwrap_or_else(|e| panic!("{name}: {e}"))
+            .ids();
+        let par = index
+            .search(
+                &Query::threshold(sig, 0.6)
+                    .with_size(*size)
+                    .with_parallel(true),
+            )
+            .unwrap_or_else(|e| panic!("{name}: {e}"))
+            .ids();
+        assert_eq!(seq, par, "{name}: parallel hint changed the answer");
+    }
+}

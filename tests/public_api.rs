@@ -1,0 +1,92 @@
+//! Public-API smoke test: the `lshe` facade is the documented entry point,
+//! so its re-exports ARE the product surface. This suite references every
+//! promised name — the new unified query surface and the pre-existing
+//! types — so an accidental removal or rename fails CI at compile time,
+//! and exercises a minimal end-to-end flow through the facade only.
+
+use lshe::{
+    Catalog, Domain, DomainId, DomainIndex, EnsembleConfig, ExactIndex, ForestIndex,
+    IndexContainer, IndexKind, LshEnsemble, LshForest, MinHasher, OnePermHasher, PartitionStrategy,
+    Query, QueryError, QueryMode, QueryStats, RankedHit, RankedIndex, SearchHit, SearchOutcome,
+    ServerConfig, ShardedEnsemble, ShardedRanked, Signature, ESTIMATE_SLACK,
+};
+
+/// Compile-time assertions: the trait is object safe and the key types
+/// keep their auto traits (the server shares outcomes across threads).
+#[allow(dead_code)]
+fn static_surface_assertions() {
+    fn object_safe(_: &dyn DomainIndex) {}
+    fn send_sync<T: Send + Sync>() {}
+    send_sync::<Box<dyn DomainIndex>>();
+    send_sync::<SearchOutcome>();
+    send_sync::<QueryStats>();
+    send_sync::<QueryError>();
+}
+
+#[test]
+fn facade_exposes_the_unified_query_surface() {
+    const { assert!(ESTIMATE_SLACK > 0.0 && ESTIMATE_SLACK < 1.0) };
+
+    // Build a small ranked index purely through facade names.
+    let hasher: MinHasher = MinHasher::new(256);
+    let pool = MinHasher::synthetic_values(9, 200);
+    let mut builder = RankedIndex::builder_with(EnsembleConfig {
+        strategy: PartitionStrategy::EquiDepth { n: 2 },
+        ..EnsembleConfig::default()
+    });
+    for k in 0..10u32 {
+        let vals = &pool[..20 * (k as usize + 1)];
+        builder.add(k, vals.len() as u64, hasher.signature(vals.iter().copied()));
+    }
+    let index: Box<dyn DomainIndex> = Box::new(builder.build());
+
+    let sig: Signature = hasher.signature(pool[..60].iter().copied());
+    let query: Query<'_> = Query::threshold(&sig, 0.7).with_size(60);
+    assert_eq!(query.mode(), QueryMode::Threshold(0.7));
+    let outcome: SearchOutcome = index.search(&query).expect("valid query");
+    let hit: &SearchHit = outcome.hits.first().expect("self hit");
+    let id: DomainId = hit.id;
+    assert_eq!(id, 2);
+    let stats: QueryStats = outcome.stats;
+    assert!(stats.candidates >= stats.survivors);
+
+    // Typed errors surface through the facade too.
+    let err: QueryError = index
+        .search(&Query::top_k(&sig, 0).with_size(60))
+        .unwrap_err();
+    assert!(matches!(err, QueryError::Invalid(_)));
+
+    // RankedHit is still exported for the inherent query paths.
+    let _: Vec<RankedHit>;
+}
+
+#[test]
+fn facade_keeps_the_existing_types_reachable() {
+    // Core index types.
+    let _ = LshEnsemble::builder();
+    let _ = ShardedEnsemble::builder(2, EnsembleConfig::default());
+    let _ = ForestIndex::new(EnsembleConfig::default());
+    let _ = LshForest::new(4, 4);
+    let _ = OnePermHasher::new(128);
+    fn takes_sharded_ranked(_: Option<ShardedRanked>) {}
+    takes_sharded_ranked(None);
+
+    // Corpus + container + server config.
+    let mut catalog = Catalog::new();
+    for k in 0..4u64 {
+        catalog.push(
+            Domain::from_hashes((10 * k..10 * k + 20).collect()),
+            lshe::corpus::DomainMeta::new(format!("t{k}"), "col"),
+        );
+    }
+    let exact = ExactIndex::build(&catalog);
+    assert_eq!(DomainIndex::len(&exact), 4);
+    let container = IndexContainer::build(&catalog, 2, true);
+    assert_eq!(container.kind(), IndexKind::Ranked);
+    assert_eq!(container.open_index().len(), 4);
+    let _ = ServerConfig::default();
+
+    // Module re-exports stay wired.
+    let _ = lshe::minhash::DEFAULT_NUM_PERM;
+    let _ = lshe::core::EnsembleConfig::default();
+}

@@ -196,7 +196,37 @@ fn every_endpoint_roundtrips() {
     assert_eq!(status, 200, "{reloaded}");
     assert_eq!(reloaded.get("domains").and_then(Json::as_u64), Some(16));
 
-    // GET /stats reflects the traffic.
+    // Opt-in per-query debug: execution counters ride along on /query.
+    let (status, debugged) = client.post(
+        "/query",
+        &format!(
+            "{{\"values\": [{}], \"threshold\": 0.7, \"debug\": true}}",
+            query_values(5)
+                .iter()
+                .map(|v| format!("\"{v}\""))
+                .collect::<Vec<_>>()
+                .join(",")
+        ),
+    );
+    assert_eq!(status, 200, "{debugged}");
+    let debug = debugged.get("debug").expect("debug object");
+    let probed = debug
+        .get("partitions_probed")
+        .and_then(Json::as_u64)
+        .expect("probed");
+    let total = debug
+        .get("partitions_total")
+        .and_then(Json::as_u64)
+        .expect("total");
+    assert!(probed <= total, "{debug}");
+    assert!(
+        debug.get("candidates").and_then(Json::as_u64).expect("c")
+            >= debug.get("survivors").and_then(Json::as_u64).expect("s"),
+        "{debug}"
+    );
+
+    // GET /stats reflects the traffic, including aggregated QueryStats
+    // from every executed (non-cached) search.
     let (status, stats) = client.get("/stats");
     assert_eq!(status, 200);
     assert_eq!(stats.get("domains").and_then(Json::as_u64), Some(16));
@@ -206,6 +236,29 @@ fn every_endpoint_roundtrips() {
     assert_eq!(requests.get("reload").and_then(Json::as_u64), Some(2));
     let cache = stats.get("cache").expect("cache");
     assert!(cache.get("hits").and_then(Json::as_u64).expect("hits") >= 1);
+    let totals = stats.get("query_stats").expect("query_stats");
+    let executed = totals
+        .get("executed")
+        .and_then(Json::as_u64)
+        .expect("executed");
+    assert!(
+        executed >= 3,
+        "expected several executed searches: {totals}"
+    );
+    assert!(
+        totals
+            .get("partitions_probed")
+            .and_then(Json::as_u64)
+            .expect("probed")
+            >= executed,
+        "each executed search probes ≥ 1 partition: {totals}"
+    );
+    assert!(
+        totals.get("candidates").and_then(Json::as_u64).expect("c")
+            >= totals.get("survivors").and_then(Json::as_u64).expect("s"),
+        "{totals}"
+    );
+    assert!(totals.get("wall_micros").and_then(Json::as_u64).is_some());
 
     // Error paths keep the connection usable (4xx, not a disconnect).
     let (status, _) = client.post("/query", "{\"values\": []}");
