@@ -8,6 +8,7 @@
 //! ```text
 //! lshe index --dir ./opendata --out tables.lshe [--partitions 32]
 //!            [--min-size 10] [--ranked true]
+//! lshe ingest --index tables.lshe --dir ./newdata [--min-size 10]
 //! lshe query --index tables.lshe --csv mine.csv --column Partner
 //!            [--threshold 0.7] [--top-k 10]
 //! lshe stats --index tables.lshe
@@ -84,6 +85,14 @@ COMMANDS
       domain. Default: threshold search at T = 0.7. With --top-k, return
       the K best domains by estimated containment (requires a ranked index).
 
+  lshe ingest --index FILE --dir DIR [--min-size M]
+      Bulk-append every *.csv / *.jsonl domain under DIR (≥ M distinct
+      values, default 10) to an existing index: new domains get fresh ids,
+      staged mutations from a stopped server's delta log (FILE.delta) are
+      folded in first, the index is committed (rebalancing past the skew
+      trigger) and rewritten in place. Do NOT run against an index a live
+      server is serving — they do not coordinate; use POST /insert there.
+
   lshe stats --index FILE
       Print configuration and per-partition statistics.
 
@@ -93,7 +102,7 @@ COMMANDS
       LRU query cache of C entries (default 1024, 0 disables), and S
       query shards fanned out per request (default 1; S > 1 needs a
       ranked index). Endpoints: GET /health /stats, POST /query /topk
-      /batch /reload /shutdown — see docs/API.md.";
+      /batch /insert /remove /commit /reload /shutdown — see docs/API.md.";
 
 /// Simple `--key [value]` parser for one subcommand.
 ///
@@ -172,6 +181,7 @@ impl Flags {
 pub fn run(args: &[String]) -> Result<String, CliError> {
     match args.first().map(String::as_str) {
         Some("index") => cmd_index(&Flags::parse(&args[1..])?),
+        Some("ingest") => cmd_ingest(&Flags::parse(&args[1..])?),
         Some("query") => cmd_query(&Flags::parse(&args[1..])?),
         Some("stats") => cmd_stats(&Flags::parse(&args[1..])?),
         Some("serve") => cmd_serve(&Flags::parse(&args[1..])?),
@@ -211,6 +221,92 @@ fn cmd_index(flags: &Flags) -> Result<String, CliError> {
         if ranked { "yes" } else { "no" }
     );
     Ok(report)
+}
+
+/// Bulk-appends a directory of CSV/JSONL domains to a stored index — the
+/// mutation lifecycle (stage → commit → rebalance) driven from the CLI.
+/// Any staged server mutations sitting in the `FILE.delta` sidecar are
+/// folded in first (append order preserved), so an offline ingest never
+/// discards a stopped server's uncommitted work.
+///
+/// The index file must not be concurrently served: `ingest` and
+/// `lshe serve` do not coordinate, and a live server's next commit would
+/// rewrite the file from its own (pre-ingest) snapshot. Stop the server
+/// first, or ingest through its `POST /insert` endpoint instead.
+fn cmd_ingest(flags: &Flags) -> Result<String, CliError> {
+    let index_path = flags.require("index")?.to_owned();
+    let dir = flags.require("dir")?.to_owned();
+    let min_size: usize = flags.get_parsed("min-size", 10)?;
+
+    let bytes = std::fs::read(&index_path)?;
+    let mut container = IndexContainer::from_bytes(&bytes)
+        .map_err(|e| CliError::Index(format!("{index_path}: {e}")))?;
+
+    // Fold any staged delta-log ops first. A torn or corrupt log is a
+    // typed error — never a panic, never silent data loss.
+    let log = container::DeltaLog::sidecar(Path::new(&index_path));
+    let replayed = log
+        .read()
+        .map_err(|e| CliError::Index(format!("{}: {e}", log.path().display())))?;
+    let replayed_count = replayed.len();
+    if replayed_count > 0 {
+        container
+            .apply(&replayed)
+            .map_err(|e| CliError::Index(format!("replaying {}: {e}", log.path().display())))?;
+    }
+
+    let catalog = ingest_dir(Path::new(&dir), min_size)?;
+    if catalog.is_empty() && replayed_count == 0 {
+        return Err(CliError::Query(format!(
+            "no domains with ≥ {min_size} distinct values found under {dir}"
+        )));
+    }
+    let hasher = MinHasher::new(container.num_perm());
+    let mut ops = Vec::with_capacity(catalog.len());
+    for (next_id, (id, domain)) in (container.next_id()..).zip(catalog.iter()) {
+        let meta = catalog.meta(id);
+        ops.push(container::DeltaOp::Insert {
+            record: container::DomainRecord {
+                id: next_id,
+                size: domain.len() as u64,
+                table: meta.table.clone(),
+                column: meta.column.clone(),
+            },
+            signature: domain.signature(&hasher),
+        });
+    }
+    let appended = ops.len();
+    container
+        .apply(&ops)
+        .map_err(|e| CliError::Index(e.to_string()))?;
+    let report = container.commit_mutations();
+
+    // Atomic rewrite, then retire the folded delta log.
+    let tmp = format!("{index_path}.tmp");
+    std::fs::write(&tmp, container.to_bytes())?;
+    std::fs::rename(&tmp, &index_path)?;
+    log.clear()?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "ingested {appended} domain(s) from {dir} into {index_path} ({} total)",
+        container.len()
+    );
+    if replayed_count > 0 {
+        let _ = writeln!(out, "folded {replayed_count} staged delta-log op(s) first");
+    }
+    let _ = writeln!(
+        out,
+        "committed: {} staged insert(s) merged, partitions {}",
+        report.merged,
+        if report.rebalanced {
+            "rebalanced"
+        } else {
+            "unchanged"
+        }
+    );
+    Ok(out)
 }
 
 fn cmd_query(flags: &Flags) -> Result<String, CliError> {
@@ -313,7 +409,7 @@ fn cmd_serve(flags: &Flags) -> Result<String, CliError> {
 
     let engine = Engine::load(Path::new(&index_path), shards).map_err(|e| match e {
         EngineError::Io(e) => CliError::Io(e),
-        EngineError::Index(msg) => CliError::Index(msg),
+        EngineError::Index(msg) | EngineError::Mutation(msg) => CliError::Index(msg),
         EngineError::Config(msg) => CliError::Usage(msg),
     })?;
     // Copy out the banner datum rather than holding the snapshot Arc across
@@ -636,6 +732,123 @@ mod tests {
         assert!(
             hits.contains("registry_export.name"),
             "cross-format join missing:\n{hits}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ingest_appends_and_folds_delta_log() {
+        let dir = tmp_dir("ingest");
+        write_corpus(&dir);
+        let idx = dir.join("t.lshe");
+        run(&s(&[
+            "index",
+            "--dir",
+            dir.to_str().expect("utf8"),
+            "--out",
+            idx.to_str().expect("utf8"),
+            "--min-size",
+            "5",
+            "--ranked",
+        ]))
+        .expect("index");
+
+        // A server left one staged insert in the delta log.
+        let log = container::DeltaLog::sidecar(&idx);
+        let staged_values: Vec<String> = (0..8).map(|i| format!("staged{i}")).collect();
+        let staged_domain = Domain::from_strs(staged_values.iter().map(String::as_str));
+        // (id 3: the built corpus holds ids 0..=2 — registry.company,
+        // registry.sector, grants.partner.)
+        log.append(&container::DeltaOp::Insert {
+            record: container::DomainRecord {
+                id: 3,
+                size: staged_domain.len() as u64,
+                table: "serverlog".to_owned(),
+                column: "v".to_owned(),
+            },
+            signature: staged_domain.signature(&MinHasher::new(256)),
+        })
+        .expect("append");
+
+        // New data arrives in a second directory.
+        let more = dir.join("more");
+        std::fs::create_dir_all(&more).expect("mkdir");
+        std::fs::write(
+            more.join("suppliers.csv"),
+            "vendor,city\nacme,ottawa\nborealis,oslo\ncanaduck,toronto\ndelta,denver\nevergreen,eugene\nfalcon,flint\n",
+        )
+        .expect("write");
+
+        let out = run(&s(&[
+            "ingest",
+            "--index",
+            idx.to_str().expect("utf8"),
+            "--dir",
+            more.to_str().expect("utf8"),
+            "--min-size",
+            "5",
+        ]))
+        .expect("ingest");
+        assert!(out.contains("ingested"), "{out}");
+        assert!(out.contains("folded 1 staged delta-log op(s)"), "{out}");
+        assert!(!log.exists(), "delta log must be retired after ingest");
+
+        // The appended column joins against the original corpus.
+        let hits = run(&s(&[
+            "query",
+            "--index",
+            idx.to_str().expect("utf8"),
+            "--csv",
+            dir.join("grants.csv").to_str().expect("utf8"),
+            "--column",
+            "partner",
+            "--threshold",
+            "0.7",
+        ]))
+        .expect("query");
+        assert!(hits.contains("suppliers.vendor"), "{hits}");
+        // And the folded server insert is committed + queryable by stats.
+        let stats = run(&s(&["stats", "--index", idx.to_str().expect("utf8")])).expect("stats");
+        assert!(
+            stats.contains("domains: 6"),
+            "3 built + 1 folded + 2 ingested:\n{stats}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ingest_rejects_torn_delta_log_with_typed_error() {
+        let dir = tmp_dir("ingest_torn");
+        write_corpus(&dir);
+        let idx = dir.join("t.lshe");
+        run(&s(&[
+            "index",
+            "--dir",
+            dir.to_str().expect("utf8"),
+            "--out",
+            idx.to_str().expect("utf8"),
+            "--min-size",
+            "5",
+        ]))
+        .expect("index");
+        let log = container::DeltaLog::sidecar(&idx);
+        log.append(&container::DeltaOp::Remove { id: 0 })
+            .expect("append");
+        let bytes = std::fs::read(log.path()).expect("read");
+        std::fs::write(log.path(), &bytes[..bytes.len() - 2]).expect("tear");
+        let err = run(&s(&[
+            "ingest",
+            "--index",
+            idx.to_str().expect("utf8"),
+            "--dir",
+            dir.to_str().expect("utf8"),
+            "--min-size",
+            "5",
+        ]))
+        .unwrap_err();
+        assert!(
+            matches!(&err, CliError::Index(msg) if msg.contains("torn")),
+            "{err}"
         );
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -35,8 +35,8 @@
 //! assert!(outcome.stats.partitions_probed <= outcome.stats.partitions_total);
 //! ```
 
-use crate::ensemble::EnsembleConfig;
-use crate::ranked::{merge_unique, RankedIndex};
+use crate::ensemble::{EnsembleConfig, LshEnsemble, PartitionStats};
+use crate::ranked::{merge_unique, skew_exceeds, RankedIndex};
 use crate::sharded::ShardedEnsemble;
 use crate::tuning::Tuner;
 use lshe_lsh::{DomainId, LshForest};
@@ -195,6 +195,96 @@ impl<'a> Query<'a> {
             _ => Ok(()),
         }
     }
+}
+
+/// Default equi-depth rebalance trigger: commit rebuilds partitions (and
+/// shards) from retained sketches once the fullest partition holds more
+/// than this multiple of the mean partition population. §6.2 argues plain
+/// boundary growth stays *correct* indefinitely (upper bounds only grow,
+/// so conversion stays conservative), but precision decays with skew —
+/// this is the point where a sketch-retaining index pays for a rebuild.
+pub const DEFAULT_REBALANCE_TRIGGER: f64 = 4.0;
+
+/// Why a mutation could not be applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MutationError {
+    /// The id is already indexed (ids must stay unique).
+    DuplicateId(DomainId),
+    /// The id is not indexed (removal of an unknown or already-removed
+    /// domain).
+    UnknownId(DomainId),
+    /// The mutation itself is malformed (zero size, signature width
+    /// mismatch).
+    Invalid(String),
+}
+
+impl std::fmt::Display for MutationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::DuplicateId(id) => write!(f, "duplicate domain id {id}"),
+            Self::UnknownId(id) => write!(f, "unknown domain id {id}"),
+            Self::Invalid(msg) => write!(f, "invalid mutation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MutationError {}
+
+/// What one [`MutableIndex::commit`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CommitReport {
+    /// Staged inserts folded into the sorted runs by this commit.
+    pub merged: usize,
+    /// Whether the commit rebuilt partitions/shards from retained sketches
+    /// because equi-depth skew passed the rebalance trigger.
+    pub rebalanced: bool,
+}
+
+/// The mutation surface over an index: dynamic data, §6.2.
+///
+/// Inserts are *staged* — immediately queryable through each forest's
+/// unsorted tail, folded into the sorted runs by [`commit`](Self::commit).
+/// Removes apply eagerly (the id disappears from queries at once). Ids
+/// must stay unique; every mutation is validated and returns a typed
+/// [`MutationError`] rather than panicking.
+///
+/// Backends that retain per-domain sketches ([`crate::RankedIndex`],
+/// [`ShardedRanked`]) additionally *rebalance* on commit: when the fullest
+/// partition drifts past the configured trigger multiple of the mean
+/// population, the equi-depth partitioning (and shard assignment) is
+/// rebuilt from the sketches, restoring the freshly-built layout. Plain
+/// backends grow their boundary partitions conservatively instead — upper
+/// bounds only grow, so threshold conversion never produces new false
+/// negatives (the paper's dynamic-data argument).
+///
+/// The trait is object safe: the server's ingestion path holds
+/// `&mut dyn MutableIndex`.
+pub trait MutableIndex: DomainIndex {
+    /// Stages one new domain. Immediately queryable.
+    ///
+    /// # Errors
+    /// [`MutationError::DuplicateId`] if the id is already indexed,
+    /// [`MutationError::Invalid`] on a zero size or a signature width
+    /// mismatch.
+    fn insert(
+        &mut self,
+        id: DomainId,
+        size: u64,
+        signature: &Signature,
+    ) -> Result<(), MutationError>;
+
+    /// Removes one domain. Takes effect immediately (no commit needed).
+    ///
+    /// # Errors
+    /// [`MutationError::UnknownId`] if the id is not indexed.
+    fn remove(&mut self, id: DomainId) -> Result<(), MutationError>;
+
+    /// Folds staged inserts into the sorted runs; sketch-retaining
+    /// backends also rebalance when equi-depth skew passed their trigger.
+    fn commit(&mut self) -> CommitReport;
+
+    /// Number of staged (not yet committed) inserts.
+    fn staged_len(&self) -> usize;
 }
 
 /// Why a query could not be answered.
@@ -531,6 +621,8 @@ impl DomainIndex for ForestIndex {
 pub struct ShardedRanked {
     shards: ShardedEnsemble,
     ranked: Arc<RankedIndex>,
+    config: EnsembleConfig,
+    rebalance_trigger: f64,
 }
 
 impl ShardedRanked {
@@ -549,7 +641,12 @@ impl ShardedRanked {
         let sigs: Vec<&Signature> = entries.iter().map(|&(_, _, sig)| sig).collect();
         let shards = ShardedEnsemble::build_from_parts(num_shards, config, &ids, &sizes, &sigs);
         drop(entries);
-        Self { shards, ranked }
+        Self {
+            shards,
+            ranked,
+            config,
+            rebalance_trigger: DEFAULT_REBALANCE_TRIGGER,
+        }
     }
 
     /// Number of shards.
@@ -562,6 +659,119 @@ impl ShardedRanked {
     #[must_use]
     pub fn shards(&self) -> &ShardedEnsemble {
         &self.shards
+    }
+
+    /// True if `id` is currently indexed.
+    #[must_use]
+    pub fn contains(&self, id: DomainId) -> bool {
+        self.ranked.contains(id)
+    }
+
+    /// Sets the equi-depth skew multiple past which a commit rebuilds the
+    /// shard assignment (and the ranked index's partitioning) from the
+    /// retained sketches. Values ≤ 1.0 rebalance on every post-mutation
+    /// commit; the default is [`DEFAULT_REBALANCE_TRIGGER`].
+    pub fn set_rebalance_trigger(&mut self, trigger: f64) {
+        self.rebalance_trigger = trigger;
+        Arc::make_mut(&mut self.ranked).set_rebalance_trigger(trigger);
+    }
+
+    /// Typed insert: retains the sketch (copy-on-write on the shared
+    /// ranked index) and routes the domain to shard `id % num_shards`.
+    ///
+    /// # Errors
+    /// As [`RankedIndex::try_insert`].
+    pub fn try_insert(
+        &mut self,
+        id: DomainId,
+        size: u64,
+        signature: &Signature,
+    ) -> Result<(), MutationError> {
+        Arc::make_mut(&mut self.ranked).try_insert(id, size, signature)?;
+        self.shards.try_insert(id, size, signature)
+    }
+
+    /// Typed removal from both the sketch store and the owning shard.
+    ///
+    /// # Errors
+    /// [`MutationError::UnknownId`] if the id is not indexed.
+    pub fn try_remove(&mut self, id: DomainId) -> Result<(), MutationError> {
+        Arc::make_mut(&mut self.ranked).try_remove(id)?;
+        self.shards.try_remove(id)
+    }
+
+    /// Folds staged inserts on every shard (and in the ranked index), then
+    /// rebuilds the whole shard assignment from the retained sketches when
+    /// partition-population skew passed the trigger — restoring exactly
+    /// the layout a fresh [`build`](Self::build) on the current corpus
+    /// would produce.
+    pub fn commit(&mut self) -> CommitReport {
+        let merged = self.shards.staged_len();
+        let ranked_report = Arc::make_mut(&mut self.ranked).commit();
+        self.shards.commit();
+        let rebalanced = self.maybe_rebalance();
+        CommitReport {
+            merged,
+            rebalanced: rebalanced || ranked_report.rebalanced,
+        }
+    }
+
+    /// Number of staged inserts on the query (shard) side.
+    #[must_use]
+    pub fn staged_len(&self) -> usize {
+        self.shards.staged_len()
+    }
+
+    fn maybe_rebalance(&mut self) -> bool {
+        let stats: Vec<PartitionStats> = self
+            .shards
+            .shards()
+            .iter()
+            .flat_map(LshEnsemble::partition_stats)
+            .collect();
+        if !skew_exceeds(&stats, self.shards.len(), self.rebalance_trigger) {
+            return false;
+        }
+        if self.ranked.len() < self.shards.num_shards() {
+            return false; // cannot split fewer domains than shards
+        }
+        let entries = self.ranked.sketch_entries();
+        let ids: Vec<DomainId> = entries.iter().map(|&(id, _, _)| id).collect();
+        let sizes: Vec<u64> = entries.iter().map(|&(_, size, _)| size).collect();
+        let sigs: Vec<&Signature> = entries.iter().map(|&(_, _, sig)| sig).collect();
+        let rebuilt = ShardedEnsemble::build_from_parts(
+            self.shards.num_shards(),
+            self.config,
+            &ids,
+            &sizes,
+            &sigs,
+        );
+        drop((entries, ids, sizes, sigs));
+        self.shards = rebuilt;
+        true
+    }
+}
+
+impl MutableIndex for ShardedRanked {
+    fn insert(
+        &mut self,
+        id: DomainId,
+        size: u64,
+        signature: &Signature,
+    ) -> Result<(), MutationError> {
+        self.try_insert(id, size, signature)
+    }
+
+    fn remove(&mut self, id: DomainId) -> Result<(), MutationError> {
+        self.try_remove(id)
+    }
+
+    fn commit(&mut self) -> CommitReport {
+        ShardedRanked::commit(self)
+    }
+
+    fn staged_len(&self) -> usize {
+        ShardedRanked::staged_len(self)
     }
 }
 
@@ -784,6 +994,68 @@ mod tests {
             .expect("topk");
         assert_eq!(top.hits.len(), 5);
         assert_eq!(top.hits[0].id, 7, "self match must rank first");
+    }
+
+    #[test]
+    fn sharded_ranked_mutation_is_cow_and_rebalances() {
+        let (h, entries) = nested(24);
+        let mut b = RankedIndexBuilder::new(config(4));
+        for (id, size, sig) in &entries {
+            b.add(*id, *size, sig.clone());
+        }
+        let ranked = Arc::new(b.build());
+        let mut idx = ShardedRanked::build(Arc::clone(&ranked), 3, config(2));
+
+        // Insert + remove through the trait; the shared ranked index must
+        // stay untouched (copy-on-write).
+        let vals = MinHasher::synthetic_values(31, 75);
+        let sig = h.signature(vals.iter().copied());
+        MutableIndex::insert(&mut idx, 400, 75, &sig).expect("insert");
+        assert!(idx.contains(400));
+        assert!(!ranked.contains(400), "shared Arc mutated in place");
+        MutableIndex::remove(&mut idx, 2).expect("remove");
+        assert!(ranked.contains(2), "shared Arc mutated in place");
+        assert_eq!(idx.len(), 24);
+
+        // Staged insert immediately visible with an estimate.
+        let out = idx
+            .search(&Query::threshold(&sig, 0.9).with_size(75))
+            .expect("search");
+        let own = out.hits.iter().find(|hh| hh.id == 400).expect("self hit");
+        assert!(own.estimate.expect("estimate") > 0.9);
+
+        // Typed duplicate/unknown errors.
+        assert_eq!(
+            idx.try_insert(400, 75, &sig),
+            Err(MutationError::DuplicateId(400))
+        );
+        assert_eq!(idx.try_remove(2), Err(MutationError::UnknownId(2)));
+
+        // Forced rebalance reproduces a fresh build on the final corpus.
+        idx.set_rebalance_trigger(0.0);
+        let report = MutableIndex::commit(&mut idx);
+        assert_eq!(report.merged, 1);
+        assert!(report.rebalanced);
+        assert_eq!(MutableIndex::staged_len(&idx), 0);
+        let fresh = {
+            let mut b = RankedIndexBuilder::new(config(4));
+            for (id, size, sig) in &entries {
+                if *id != 2 {
+                    b.add(*id, *size, sig.clone());
+                }
+            }
+            b.add(400, 75, h.signature(vals.iter().copied()));
+            ShardedRanked::build(Arc::new(b.build()), 3, config(2))
+        };
+        for (qid, qsize, qsig) in entries.iter().filter(|(id, _, _)| *id != 2) {
+            let a = idx
+                .search(&Query::threshold(qsig, 0.7).with_size(*qsize))
+                .expect("mutated");
+            let b = fresh
+                .search(&Query::threshold(qsig, 0.7).with_size(*qsize))
+                .expect("fresh");
+            assert_eq!(a.hits, b.hits, "divergence at query {qid}");
+        }
     }
 
     #[test]

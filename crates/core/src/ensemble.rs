@@ -9,12 +9,13 @@
 //! candidate sets are unioned (`Partitioned-Containment-Search`, §5.1).
 
 use crate::api::{
-    outcome_from_ids, DomainIndex, ProbeCounts, Query, QueryError, QueryMode, SearchOutcome,
+    outcome_from_ids, CommitReport, DomainIndex, MutableIndex, MutationError, ProbeCounts, Query,
+    QueryError, QueryMode, SearchOutcome,
 };
 use crate::partition::PartitionStrategy;
 use crate::tuning::Tuner;
 use lshe_lsh::{DomainId, LshForest};
-use lshe_minhash::hash::FastHashSet;
+use lshe_minhash::hash::{FastHashMap, FastHashSet};
 use lshe_minhash::{MinHasher, Signature};
 
 /// Configuration of an [`LshEnsemble`].
@@ -126,7 +127,7 @@ impl LshEnsembleBuilder {
 }
 
 /// One size class and its dynamic LSH.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct EnsemblePartition {
     lower: u64,
     upper: u64,
@@ -151,6 +152,23 @@ pub struct LshEnsemble {
     partitions: Vec<EnsemblePartition>,
     tuner: Tuner,
     len: usize,
+    /// id → partition index, for O(1) duplicate detection and removal
+    /// routing. Rebuilt from the forests on decode; never persisted.
+    ids: FastHashMap<DomainId, u32>,
+}
+
+impl Clone for LshEnsemble {
+    /// Clones the index. The tuner's memo table is a cache and starts
+    /// empty in the clone (it refills lazily).
+    fn clone(&self) -> Self {
+        Self {
+            config: self.config,
+            partitions: self.partitions.clone(),
+            tuner: Tuner::new(self.config.b_max as u32, self.config.r_max as u32),
+            len: self.len,
+            ids: self.ids.clone(),
+        }
+    }
 }
 
 impl LshEnsemble {
@@ -194,6 +212,18 @@ impl LshEnsemble {
         }
         let partitioning = config.strategy.partition(sizes);
         let (b_max, r_max) = (config.b_max, config.r_max);
+        let mut id_map: FastHashMap<DomainId, u32> = FastHashMap::default();
+        id_map.reserve(ids.len());
+        for (pidx, part) in partitioning.parts().iter().enumerate() {
+            for &member in &part.members {
+                let prev = id_map.insert(ids[member as usize], pidx as u32);
+                assert!(
+                    prev.is_none(),
+                    "duplicate domain id {}",
+                    ids[member as usize]
+                );
+            }
+        }
         let mut shells: Vec<EnsemblePartition> = partitioning
             .parts()
             .iter()
@@ -220,6 +250,7 @@ impl LshEnsemble {
             config,
             partitions: shells,
             len: ids.len(),
+            ids: id_map,
         }
     }
 
@@ -419,15 +450,40 @@ impl LshEnsemble {
     /// periodically to fold staged inserts into the sorted runs.
     ///
     /// # Panics
-    /// Panics if `size == 0` or the signature width differs from the
-    /// configuration.
+    /// Panics if `size == 0`, the signature width differs from the
+    /// configuration, or the id is already indexed. Use
+    /// [`try_insert`](Self::try_insert) for typed errors.
     pub fn insert(&mut self, id: DomainId, size: u64, signature: &Signature) {
-        assert!(size > 0, "domain size must be positive");
-        assert_eq!(
-            signature.len(),
-            self.config.num_perm,
-            "signature width mismatch"
-        );
+        self.try_insert(id, size, signature)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Typed [`insert`](Self::insert): stages one new domain.
+    ///
+    /// # Errors
+    /// [`MutationError::DuplicateId`] if the id is already indexed,
+    /// [`MutationError::Invalid`] on a zero size or width mismatch.
+    pub fn try_insert(
+        &mut self,
+        id: DomainId,
+        size: u64,
+        signature: &Signature,
+    ) -> Result<(), MutationError> {
+        if size == 0 {
+            return Err(MutationError::Invalid(
+                "domain size must be positive".into(),
+            ));
+        }
+        if signature.len() != self.config.num_perm {
+            return Err(MutationError::Invalid(format!(
+                "signature width mismatch: domain has {}, index expects {}",
+                signature.len(),
+                self.config.num_perm
+            )));
+        }
+        if self.ids.contains_key(&id) {
+            return Err(MutationError::DuplicateId(id));
+        }
         let idx = self
             .partitions
             .iter()
@@ -437,7 +493,38 @@ impl LshEnsemble {
         p.upper = p.upper.max(size);
         p.lower = p.lower.min(size);
         p.forest.insert(id, signature);
+        self.ids.insert(id, idx as u32);
         self.len += 1;
+        Ok(())
+    }
+
+    /// Removes one domain. Takes effect immediately: the id's rows leave
+    /// the owning partition forest (committed run and staged tail alike).
+    /// Partition bounds are left as-is — a too-wide upper bound only makes
+    /// threshold conversion *more* conservative, never less correct.
+    ///
+    /// # Errors
+    /// [`MutationError::UnknownId`] if the id is not indexed.
+    pub fn try_remove(&mut self, id: DomainId) -> Result<(), MutationError> {
+        let Some(idx) = self.ids.remove(&id) else {
+            return Err(MutationError::UnknownId(id));
+        };
+        let removed = self.partitions[idx as usize].forest.remove(id);
+        debug_assert!(removed, "id map pointed at a partition without the id");
+        self.len -= 1;
+        Ok(())
+    }
+
+    /// True if `id` is currently indexed.
+    #[must_use]
+    pub fn contains(&self, id: DomainId) -> bool {
+        self.ids.contains_key(&id)
+    }
+
+    /// Number of staged (inserted but not yet committed) domains.
+    #[must_use]
+    pub fn staged_len(&self) -> usize {
+        self.partitions.iter().map(|p| p.forest.staged_len()).sum()
     }
 
     /// Folds staged inserts into the sorted runs of every partition.
@@ -456,12 +543,20 @@ impl LshEnsemble {
     }
 
     /// Rebuilds an ensemble from persisted partitions. The decoder is
-    /// responsible for structural validation.
+    /// responsible for structural validation; the id → partition map is
+    /// rederived from the forests' stored ids.
     pub(crate) fn from_raw_partitions(
         config: EnsembleConfig,
         partitions: Vec<(u64, u64, LshForest)>,
         len: usize,
     ) -> Self {
+        let mut ids: FastHashMap<DomainId, u32> = FastHashMap::default();
+        ids.reserve(len);
+        for (pidx, (_, _, forest)) in partitions.iter().enumerate() {
+            for id in forest.ids() {
+                ids.insert(id, pidx as u32);
+            }
+        }
         Self {
             tuner: Tuner::new(config.b_max as u32, config.r_max as u32),
             config,
@@ -474,7 +569,38 @@ impl LshEnsemble {
                 })
                 .collect(),
             len,
+            ids,
         }
+    }
+}
+
+impl MutableIndex for LshEnsemble {
+    fn insert(
+        &mut self,
+        id: DomainId,
+        size: u64,
+        signature: &Signature,
+    ) -> Result<(), MutationError> {
+        self.try_insert(id, size, signature)
+    }
+
+    fn remove(&mut self, id: DomainId) -> Result<(), MutationError> {
+        self.try_remove(id)
+    }
+
+    fn commit(&mut self) -> CommitReport {
+        let merged = self.staged_len();
+        LshEnsemble::commit(self);
+        // No retained sketches → no rebalance; boundary growth stays
+        // conservative (§6.2) until a caller rebuilds from source data.
+        CommitReport {
+            merged,
+            rebalanced: false,
+        }
+    }
+
+    fn staged_len(&self) -> usize {
+        LshEnsemble::staged_len(self)
     }
 }
 
@@ -691,6 +817,97 @@ mod tests {
         // Both must find the query's own id.
         assert!(r8.contains(&10));
         assert!(r32.contains(&10));
+    }
+
+    #[test]
+    fn try_insert_and_remove_roundtrip() {
+        let (h, entries) = nested_corpus(256, 20);
+        let mut ens = build_default(&entries, 4);
+        let vals = MinHasher::synthetic_values(123, 64);
+        let sig = h.signature(vals.iter().copied());
+        ens.try_insert(500, 64, &sig).expect("insert");
+        assert!(ens.contains(500));
+        assert_eq!(ens.staged_len(), 1);
+        // Duplicate insert is a typed error, not a second copy.
+        assert_eq!(
+            ens.try_insert(500, 64, &sig),
+            Err(MutationError::DuplicateId(500))
+        );
+        // Invalid inputs are typed errors.
+        assert!(matches!(
+            ens.try_insert(501, 0, &sig),
+            Err(MutationError::Invalid(_))
+        ));
+        let narrow = MinHasher::new(64).signature([1u64, 2]);
+        assert!(matches!(
+            ens.try_insert(501, 2, &narrow),
+            Err(MutationError::Invalid(_))
+        ));
+        // Removal takes effect immediately, pre-commit.
+        ens.try_remove(500).expect("remove staged");
+        assert!(!ens.contains(500));
+        assert_eq!(ens.staged_len(), 0);
+        assert!(!ens.query_with_size(&sig, 64, 0.9).contains(&500));
+        assert_eq!(ens.try_remove(500), Err(MutationError::UnknownId(500)));
+        // Removing a committed (built) domain works too.
+        let (_, size, sig3, _) = &entries[3];
+        ens.try_remove(3).expect("remove built");
+        assert_eq!(ens.len(), 19);
+        assert!(!ens.query_with_size(sig3, *size, 1.0).contains(&3));
+        // Neighbours survive.
+        let (_, size4, sig4, _) = &entries[4];
+        assert!(ens.query_with_size(sig4, *size4, 1.0).contains(&4));
+    }
+
+    #[test]
+    fn mutable_index_trait_reports_commit() {
+        use crate::api::MutableIndex;
+        let (h, entries) = nested_corpus(256, 12);
+        let mut ens = build_default(&entries, 3);
+        let sig = h.signature(MinHasher::synthetic_values(9, 33));
+        MutableIndex::insert(&mut ens, 700, 33, &sig).expect("insert");
+        assert_eq!(MutableIndex::staged_len(&ens), 1);
+        let report = MutableIndex::commit(&mut ens);
+        assert_eq!(report.merged, 1);
+        assert!(!report.rebalanced, "plain ensemble cannot rebalance");
+        assert_eq!(MutableIndex::staged_len(&ens), 0);
+        assert!(ens.query_with_size(&sig, 33, 0.9).contains(&700));
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let (h, entries) = nested_corpus(256, 10);
+        let ens = build_default(&entries, 2);
+        let mut copy = ens.clone();
+        let sig = h.signature(MinHasher::synthetic_values(77, 40));
+        copy.try_insert(900, 40, &sig).expect("insert");
+        copy.try_remove(0).expect("remove");
+        assert_eq!(copy.len(), 10);
+        assert_eq!(ens.len(), 10);
+        assert!(ens.contains(0), "original mutated through clone");
+        assert!(!ens.contains(900));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate domain id")]
+    fn panicking_insert_rejects_duplicates() {
+        let (h, entries) = nested_corpus(256, 8);
+        let mut ens = build_default(&entries, 2);
+        let sig = h.signature(MinHasher::synthetic_values(5, 30));
+        ens.insert(2, 30, &sig); // id 2 already indexed
+    }
+
+    #[test]
+    fn remove_to_empty_is_legal() {
+        let (_, entries) = nested_corpus(256, 6);
+        let mut ens = build_default(&entries, 2);
+        for k in 0..6u32 {
+            ens.try_remove(k).expect("remove");
+        }
+        assert!(ens.is_empty());
+        assert_eq!(ens.len(), 0);
+        let (_, size, sig, _) = &entries[0];
+        assert!(ens.query_with_size(sig, *size, 0.1).is_empty());
     }
 
     #[test]

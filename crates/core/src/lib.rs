@@ -74,8 +74,9 @@ pub mod sharded;
 pub mod tuning;
 
 pub use api::{
-    DomainIndex, ForestIndex, Query, QueryError, QueryMode, QueryStats, SearchHit, SearchOutcome,
-    ShardedRanked, ESTIMATE_SLACK,
+    CommitReport, DomainIndex, ForestIndex, MutableIndex, MutationError, Query, QueryError,
+    QueryMode, QueryStats, SearchHit, SearchOutcome, ShardedRanked, DEFAULT_REBALANCE_TRIGGER,
+    ESTIMATE_SLACK,
 };
 pub use baselines::{
     baseline_minhash_lsh, AsymIndex, AsymIndexBuilder, AsymPartitionedIndex, ContainmentSearch,

@@ -250,6 +250,44 @@ mod tests {
     }
 
     #[test]
+    fn mutated_ensemble_roundtrips_with_id_routing_intact() {
+        let (h, mut ens, entries) = sample_ensemble(24);
+        // Mutate: remove a few built domains, add a fresh one.
+        ens.try_remove(3).expect("remove");
+        ens.try_remove(17).expect("remove");
+        let vals = MinHasher::synthetic_values(321, 90);
+        let sig = h.signature(vals.iter().copied());
+        ens.try_insert(777, 90, &sig).expect("insert");
+        let bytes = ens.to_bytes();
+        let mut restored = LshEnsemble::from_bytes(&bytes).expect("decode");
+        assert_eq!(restored.len(), 23);
+        // The rebuilt id map routes further mutations correctly.
+        assert!(!restored.contains(3) && !restored.contains(17));
+        assert!(restored.contains(777));
+        assert_eq!(
+            restored.try_insert(777, 90, &sig),
+            Err(crate::MutationError::DuplicateId(777))
+        );
+        restored.try_remove(777).expect("remove decoded insert");
+        assert!(!restored.query_with_size(&sig, 90, 0.9).contains(&777));
+        let (_, size5, sig5) = &entries[5];
+        assert!(restored.query_with_size(sig5, *size5, 1.0).contains(&5));
+    }
+
+    #[test]
+    fn fully_emptied_ensemble_roundtrips() {
+        let (_, mut ens, _) = sample_ensemble(6);
+        for k in 0..6u32 {
+            ens.try_remove(k).expect("remove");
+        }
+        assert!(ens.is_empty());
+        let bytes = ens.to_bytes();
+        let restored = LshEnsemble::from_bytes(&bytes).expect("decode empty");
+        assert!(restored.is_empty());
+        assert_eq!(restored.num_partitions(), ens.num_partitions());
+    }
+
+    #[test]
     fn save_load_file_roundtrip() {
         let (_, mut ens, entries) = sample_ensemble(15);
         let path = std::env::temp_dir().join("lshe_persist_test.idx");

@@ -17,20 +17,33 @@
 //! plain [`LshEnsemble`] when memory is tighter than ranking is valuable.
 
 use crate::api::{
-    DomainIndex, ProbeCounts, Query, QueryError, QueryMode, SearchHit, SearchOutcome,
-    ESTIMATE_SLACK,
+    CommitReport, DomainIndex, MutableIndex, MutationError, ProbeCounts, Query, QueryError,
+    QueryMode, SearchHit, SearchOutcome, DEFAULT_REBALANCE_TRIGGER, ESTIMATE_SLACK,
 };
-use crate::ensemble::{EnsembleConfig, LshEnsemble, LshEnsembleBuilder};
+use crate::ensemble::{EnsembleConfig, LshEnsemble, LshEnsembleBuilder, PartitionStats};
 use lshe_lsh::DomainId;
 use lshe_minhash::hash::FastHashMap;
 use lshe_minhash::{containment_from_jaccard, Signature};
 
 /// A containment-search index that can rank its answers.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RankedIndex {
     ensemble: LshEnsemble,
     /// id → (cardinality, signature); retained for estimation.
     sketches: FastHashMap<DomainId, (u64, Signature)>,
+    /// Equi-depth skew multiple past which a commit rebuilds the
+    /// partitioning from the retained sketches.
+    rebalance_trigger: f64,
+}
+
+/// True when the fullest partition holds more than `trigger` times the
+/// mean partition population — the §6.2 drift point where a rebuild pays.
+pub(crate) fn skew_exceeds(stats: &[PartitionStats], len: usize, trigger: f64) -> bool {
+    if len == 0 || stats.is_empty() {
+        return false;
+    }
+    let max = stats.iter().map(|p| p.count).max().unwrap_or(0);
+    (max * stats.len()) as f64 > trigger * len as f64
 }
 
 /// Builder for [`RankedIndex`].
@@ -82,6 +95,7 @@ impl RankedIndexBuilder {
         RankedIndex {
             ensemble: self.inner.build(),
             sketches: self.sketches,
+            rebalance_trigger: DEFAULT_REBALANCE_TRIGGER,
         }
     }
 }
@@ -186,7 +200,102 @@ impl RankedIndex {
         Self {
             ensemble,
             sketches: map,
+            rebalance_trigger: DEFAULT_REBALANCE_TRIGGER,
         }
+    }
+
+    /// The configured equi-depth rebalance trigger (see
+    /// [`set_rebalance_trigger`](Self::set_rebalance_trigger)).
+    #[must_use]
+    pub fn rebalance_trigger(&self) -> f64 {
+        self.rebalance_trigger
+    }
+
+    /// Sets the skew multiple past which [`commit`](Self::commit) rebuilds
+    /// the equi-depth partitioning from the retained sketches. Values
+    /// ≤ 1.0 rebalance on every commit that follows a mutation; the
+    /// default is [`DEFAULT_REBALANCE_TRIGGER`].
+    pub fn set_rebalance_trigger(&mut self, trigger: f64) {
+        self.rebalance_trigger = trigger;
+    }
+
+    /// Typed insert: stages the domain in the ensemble and retains its
+    /// sketch. Immediately queryable (including estimates).
+    ///
+    /// # Errors
+    /// As [`LshEnsemble::try_insert`].
+    pub fn try_insert(
+        &mut self,
+        id: DomainId,
+        size: u64,
+        signature: &Signature,
+    ) -> Result<(), MutationError> {
+        self.ensemble.try_insert(id, size, signature)?;
+        self.sketches.insert(id, (size, signature.clone()));
+        Ok(())
+    }
+
+    /// Typed removal: drops the domain from the ensemble and its retained
+    /// sketch. Takes effect immediately.
+    ///
+    /// # Errors
+    /// [`MutationError::UnknownId`] if the id is not indexed.
+    pub fn try_remove(&mut self, id: DomainId) -> Result<(), MutationError> {
+        self.ensemble.try_remove(id)?;
+        self.sketches.remove(&id);
+        Ok(())
+    }
+
+    /// True if `id` is currently indexed.
+    #[must_use]
+    pub fn contains(&self, id: DomainId) -> bool {
+        self.sketches.contains_key(&id)
+    }
+
+    /// Number of staged (uncommitted) inserts.
+    #[must_use]
+    pub fn staged_len(&self) -> usize {
+        self.ensemble.staged_len()
+    }
+
+    /// Folds staged inserts into the sorted runs and — because this index
+    /// retains every sketch — rebuilds the equi-depth partitioning from
+    /// scratch when drift passed the configured trigger, restoring the
+    /// exact freshly-built layout (§6.2's remedy, automated).
+    pub fn commit(&mut self) -> CommitReport {
+        let merged = self.ensemble.staged_len();
+        self.ensemble.commit();
+        let rebalanced = self.maybe_rebalance();
+        CommitReport { merged, rebalanced }
+    }
+
+    /// Rebuilds the inner ensemble from the retained sketches when the
+    /// partition-population skew exceeds the trigger. Returns whether a
+    /// rebuild happened.
+    fn maybe_rebalance(&mut self) -> bool {
+        if !skew_exceeds(
+            &self.ensemble.partition_stats(),
+            self.ensemble.len(),
+            self.rebalance_trigger,
+        ) {
+            return false;
+        }
+        let config = *self.ensemble.config();
+        // Borrow only the sketches field so the finished ensemble can be
+        // swapped in while the borrowed signatures are still alive.
+        let mut entries: Vec<(DomainId, u64, &Signature)> = self
+            .sketches
+            .iter()
+            .map(|(&id, (size, sig))| (id, *size, sig))
+            .collect();
+        entries.sort_unstable_by_key(|&(id, _, _)| id);
+        let ids: Vec<DomainId> = entries.iter().map(|&(id, _, _)| id).collect();
+        let sizes: Vec<u64> = entries.iter().map(|&(_, size, _)| size).collect();
+        let sigs: Vec<&Signature> = entries.iter().map(|&(_, _, sig)| sig).collect();
+        let rebuilt = LshEnsemble::build_from_parts(config, &ids, &sizes, &sigs);
+        drop((entries, ids, sizes, sigs));
+        self.ensemble = rebuilt;
+        true
     }
 
     /// Ranks arbitrary candidate ids by estimated containment (descending,
@@ -291,6 +400,29 @@ impl RankedIndex {
         let mut hits = self.rank(seen, signature, query_size);
         hits.truncate(k);
         (hits, probe)
+    }
+}
+
+impl MutableIndex for RankedIndex {
+    fn insert(
+        &mut self,
+        id: DomainId,
+        size: u64,
+        signature: &Signature,
+    ) -> Result<(), MutationError> {
+        self.try_insert(id, size, signature)
+    }
+
+    fn remove(&mut self, id: DomainId) -> Result<(), MutationError> {
+        self.try_remove(id)
+    }
+
+    fn commit(&mut self) -> CommitReport {
+        RankedIndex::commit(self)
+    }
+
+    fn staged_len(&self) -> usize {
+        RankedIndex::staged_len(self)
     }
 }
 
@@ -460,6 +592,87 @@ mod tests {
         let strict = idx.query_ranked(&q, values[2].len() as u64, 0.6, 0.0);
         let loose = idx.query_ranked(&q, values[2].len() as u64, 0.6, 0.3);
         assert!(strict.len() <= loose.len());
+    }
+
+    #[test]
+    fn mutation_updates_sketches_and_estimates() {
+        let (h, mut idx, values) = index(15);
+        let vals = MinHasher::synthetic_values(444, 120);
+        let sig = h.signature(vals.iter().copied());
+        idx.try_insert(600, 120, &sig).expect("insert");
+        assert!(idx.contains(600));
+        assert_eq!(idx.staged_len(), 1);
+        // Staged insert is queryable WITH an estimate (self t̂ = 1).
+        let hits = idx.query_ranked(&sig, 120, 0.9, 0.1);
+        let own = hits.iter().find(|hh| hh.id == 600).expect("self hit");
+        assert!((own.estimated_containment - 1.0).abs() < 1e-9);
+        // Duplicate → typed error; sketch map untouched.
+        assert_eq!(
+            idx.try_insert(600, 120, &sig),
+            Err(MutationError::DuplicateId(600))
+        );
+        assert_eq!(idx.len(), 16);
+        // Removal drops the sketch too.
+        idx.try_remove(600).expect("remove");
+        assert!(!idx.contains(600));
+        assert!(idx.sketch(600).is_none());
+        assert_eq!(idx.try_remove(600), Err(MutationError::UnknownId(600)));
+        // Existing domains unaffected.
+        let q = h.signature(values[4].iter().copied());
+        assert!(idx
+            .query_ranked(&q, values[4].len() as u64, 0.9, 0.1)
+            .iter()
+            .any(|hh| hh.id == 4));
+    }
+
+    #[test]
+    fn commit_rebalances_past_trigger() {
+        let (h, mut idx, _) = index(16);
+        // Flood one size class so equi-depth drifts hard.
+        for i in 0..64u32 {
+            let vals = MinHasher::synthetic_values(9_000 + u64::from(i), 10);
+            idx.try_insert(1_000 + i, 10, &h.signature(vals.iter().copied()))
+                .expect("insert");
+        }
+        let drifted = idx.ensemble().partition_stats();
+        let max_before = drifted.iter().map(|p| p.count).max().expect("parts");
+        idx.set_rebalance_trigger(1.0);
+        let report = idx.commit();
+        assert_eq!(report.merged, 64);
+        assert!(
+            report.rebalanced,
+            "skew {max_before} should trip trigger 1.0"
+        );
+        let stats = idx.ensemble().partition_stats();
+        let max_after = stats.iter().map(|p| p.count).max().expect("parts");
+        assert!(
+            max_after < max_before,
+            "rebalance should flatten: {max_after} vs {max_before}"
+        );
+        assert_eq!(idx.staged_len(), 0);
+        // Everything is still queryable after the rebuild.
+        for i in [1_000u32, 1_031, 1_063] {
+            let vals = MinHasher::synthetic_values(9_000 + u64::from(i - 1_000), 10);
+            let sig = h.signature(vals.iter().copied());
+            assert!(
+                idx.query_ranked(&sig, 10, 0.9, 0.1)
+                    .iter()
+                    .any(|hh| hh.id == i),
+                "domain {i} lost in rebalance"
+            );
+        }
+    }
+
+    #[test]
+    fn commit_below_trigger_keeps_layout() {
+        let (h, mut idx, _) = index(16);
+        let sig = h.signature(MinHasher::synthetic_values(1, 50));
+        idx.try_insert(999, 50, &sig).expect("insert");
+        idx.set_rebalance_trigger(1_000.0);
+        let before = idx.ensemble().partition_stats();
+        let report = idx.commit();
+        assert!(!report.rebalanced);
+        assert_eq!(idx.ensemble().partition_stats().len(), before.len());
     }
 
     #[test]

@@ -8,14 +8,15 @@
 //! path, minus the network.
 
 use crate::api::{
-    outcome_from_ids, DomainIndex, ProbeCounts, Query, QueryError, QueryMode, SearchOutcome,
+    outcome_from_ids, CommitReport, DomainIndex, MutableIndex, MutationError, ProbeCounts, Query,
+    QueryError, QueryMode, SearchOutcome,
 };
 use crate::ensemble::{EnsembleConfig, LshEnsemble, LshEnsembleBuilder};
 use lshe_lsh::DomainId;
 use lshe_minhash::Signature;
 
 /// A set of independently built LSH Ensembles queried in parallel.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ShardedEnsemble {
     shards: Vec<LshEnsemble>,
 }
@@ -194,6 +195,65 @@ impl ShardedEnsemble {
         self.shards.iter().map(LshEnsemble::memory_bytes).sum()
     }
 
+    /// True if `id` is indexed on any shard.
+    #[must_use]
+    pub fn contains(&self, id: DomainId) -> bool {
+        self.shards.iter().any(|s| s.contains(id))
+    }
+
+    /// Number of staged inserts across all shards.
+    #[must_use]
+    pub fn staged_len(&self) -> usize {
+        self.shards.iter().map(LshEnsemble::staged_len).sum()
+    }
+
+    /// Typed insert, routed by id: new domains land on shard
+    /// `id % num_shards`, so routing is deterministic regardless of
+    /// arrival order. Immediately queryable via the fan-out path.
+    ///
+    /// # Errors
+    /// [`MutationError::DuplicateId`] if *any* shard holds the id;
+    /// [`MutationError::Invalid`] on bad inputs.
+    pub fn try_insert(
+        &mut self,
+        id: DomainId,
+        size: u64,
+        signature: &Signature,
+    ) -> Result<(), MutationError> {
+        if self.contains(id) {
+            return Err(MutationError::DuplicateId(id));
+        }
+        let shard = id as usize % self.shards.len();
+        self.shards[shard].try_insert(id, size, signature)
+    }
+
+    /// Typed removal: the owning shard is located (builder assignment is
+    /// round-robin by arrival, so routing by id alone would miss
+    /// bulk-built domains) and the id dropped from it.
+    ///
+    /// # Errors
+    /// [`MutationError::UnknownId`] if no shard holds the id.
+    pub fn try_remove(&mut self, id: DomainId) -> Result<(), MutationError> {
+        let Some(shard) = self.shards.iter().position(|s| s.contains(id)) else {
+            return Err(MutationError::UnknownId(id));
+        };
+        self.shards[shard].try_remove(id)
+    }
+
+    /// Folds staged inserts into every shard's sorted runs.
+    pub fn commit(&mut self) -> CommitReport {
+        let merged = self.staged_len();
+        for shard in &mut self.shards {
+            LshEnsemble::commit(shard);
+        }
+        // Shards retain no sketches: domains cannot migrate between shards
+        // or partitions, so boundary growth stays conservative instead.
+        CommitReport {
+            merged,
+            rebalanced: false,
+        }
+    }
+
     /// Instrumented fan-out query: sorted-unique ids plus probe counters
     /// summed across shards (each shard's query is already parallel over
     /// one thread here, matching the paper's one-ensemble-per-node model).
@@ -254,6 +314,29 @@ impl ShardedEnsemble {
             merged = out;
         }
         (merged, probe)
+    }
+}
+
+impl MutableIndex for ShardedEnsemble {
+    fn insert(
+        &mut self,
+        id: DomainId,
+        size: u64,
+        signature: &Signature,
+    ) -> Result<(), MutationError> {
+        self.try_insert(id, size, signature)
+    }
+
+    fn remove(&mut self, id: DomainId) -> Result<(), MutationError> {
+        self.try_remove(id)
+    }
+
+    fn commit(&mut self) -> CommitReport {
+        ShardedEnsemble::commit(self)
+    }
+
+    fn staged_len(&self) -> usize {
+        ShardedEnsemble::staged_len(self)
     }
 }
 
@@ -372,5 +455,44 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_rejected() {
         let _ = ShardedEnsemble::builder(0, config());
+    }
+
+    #[test]
+    fn mutations_route_by_id_and_stay_queryable() {
+        let (h, es) = entries(30);
+        let mut sharded = ShardedEnsemble::builder(3, config());
+        for (id, size, sig, _) in &es {
+            sharded.add(*id, *size, sig.clone());
+        }
+        let mut sharded = sharded.build();
+
+        // Insert routes to id % num_shards.
+        let vals = MinHasher::synthetic_values(999, 55);
+        let sig = h.signature(vals.iter().copied());
+        sharded.try_insert(100, 55, &sig).expect("insert");
+        assert_eq!(sharded.len(), 31);
+        assert!(sharded.shards()[100 % 3].contains(100));
+        assert!(sharded.query_with_size(&sig, 55, 0.9).contains(&100));
+        assert_eq!(
+            sharded.try_insert(100, 55, &sig),
+            Err(MutationError::DuplicateId(100))
+        );
+
+        // Remove finds domains wherever the builder placed them (arrival
+        // round-robin, not id % shards): id 7 was the 8th add → shard 1.
+        sharded.try_remove(7).expect("remove built domain");
+        let (_, size7, sig7, _) = &es[7];
+        assert!(!sharded.query_with_size(sig7, *size7, 1.0).contains(&7));
+        assert_eq!(sharded.try_remove(7), Err(MutationError::UnknownId(7)));
+
+        // Commit folds the staged insert; everything stays answerable.
+        assert_eq!(sharded.staged_len(), 1);
+        let report = sharded.commit();
+        assert_eq!(report.merged, 1);
+        assert!(!report.rebalanced);
+        assert_eq!(sharded.staged_len(), 0);
+        assert!(sharded.query_with_size(&sig, 55, 0.9).contains(&100));
+        let (_, size8, sig8, _) = &es[8];
+        assert!(sharded.query_with_size(sig8, *size8, 1.0).contains(&8));
     }
 }

@@ -79,6 +79,41 @@ impl PrefixTree {
         self.ids = new_ids;
     }
 
+    /// Drops every row stored under `id`, committed and staged, keeping
+    /// the committed region sorted. Returns `(committed, staged)` rows
+    /// removed.
+    fn remove(&mut self, r_max: usize, id: DomainId) -> (usize, usize) {
+        let committed = Self::retain_rows(&mut self.keys, &mut self.ids, r_max, id);
+        let staged = Self::retain_rows(&mut self.staged_keys, &mut self.staged_ids, r_max, id);
+        (committed, staged)
+    }
+
+    /// Removes the rows of `id` from one (keys, ids) column pair, keeping
+    /// relative row order. Returns the number of rows removed.
+    fn retain_rows(
+        keys: &mut Vec<u32>,
+        ids: &mut Vec<DomainId>,
+        r_max: usize,
+        id: DomainId,
+    ) -> usize {
+        let before = ids.len();
+        let mut write = 0usize;
+        for read in 0..ids.len() {
+            if ids[read] == id {
+                continue;
+            }
+            if write != read {
+                ids[write] = ids[read];
+                let (dst, src) = (write * r_max, read * r_max);
+                keys.copy_within(src..src + r_max, dst);
+            }
+            write += 1;
+        }
+        ids.truncate(write);
+        keys.truncate(write * r_max);
+        before - write
+    }
+
     /// Appends ids of all rows whose first `r` key slots equal `prefix` to
     /// `out`. `prefix.len() == r`.
     fn query(&self, r_max: usize, prefix: &[u32], out: &mut Vec<DomainId>) {
@@ -210,6 +245,49 @@ impl LshForest {
             tree.commit(self.r_max);
         }
         self.staged = 0;
+    }
+
+    /// Removes every entry stored under `id` — committed rows and staged
+    /// tail rows alike — from all trees. Returns `true` if the id was
+    /// present. Queries reflect the removal immediately; no commit needed.
+    ///
+    /// Domains inserted more than once under the same id lose *all* their
+    /// rows.
+    pub fn remove(&mut self, id: DomainId) -> bool {
+        let mut committed = 0usize;
+        let mut staged = 0usize;
+        for tree in &mut self.trees {
+            let (c, s) = tree.remove(self.r_max, id);
+            committed = committed.max(c);
+            staged = staged.max(s);
+        }
+        // Every insert writes one row to EVERY tree, so per-tree removal
+        // counts agree; the max is the number of inserts this id had.
+        self.len -= committed + staged;
+        self.staged -= staged;
+        committed + staged > 0
+    }
+
+    /// True if `id` has at least one row in the forest.
+    #[must_use]
+    pub fn contains(&self, id: DomainId) -> bool {
+        self.trees
+            .first()
+            .is_some_and(|t| t.ids.contains(&id) || t.staged_ids.contains(&id))
+    }
+
+    /// Iterates over the ids of every indexed domain (committed then
+    /// staged), in storage order. Ids inserted more than once repeat.
+    pub fn ids(&self) -> impl Iterator<Item = DomainId> + '_ {
+        let tree = self.trees.first();
+        tree.map(|t| t.ids.iter().copied())
+            .into_iter()
+            .flatten()
+            .chain(
+                tree.map(|t| t.staged_ids.iter().copied())
+                    .into_iter()
+                    .flatten(),
+            )
     }
 
     /// Collects candidates for `sig` using the first `b` trees at prefix
@@ -473,6 +551,74 @@ mod tests {
         let h = MinHasher::new(256);
         let f = forest_with(&h, &[(1, MinHasher::synthetic_values(4, 50))], true);
         assert!(f.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn remove_drops_committed_and_staged_rows() {
+        let h = MinHasher::new(256);
+        let a = MinHasher::synthetic_values(1, 60);
+        let b = MinHasher::synthetic_values(2, 70);
+        let c = MinHasher::synthetic_values(3, 80);
+        let mut f = forest_with(&h, &[(1, a.clone()), (2, b.clone())], true);
+        f.insert(3, &h.signature(c.iter().copied())); // staged
+        assert_eq!(f.len(), 3);
+        assert!(f.contains(2) && f.contains(3));
+
+        // Remove a committed entry.
+        assert!(f.remove(2));
+        assert_eq!(f.len(), 2);
+        assert!(!f.contains(2));
+        assert!(f.query(&h.signature(b), 32, 8).is_empty());
+        // Remove a staged entry: staged count shrinks too.
+        assert_eq!(f.staged_len(), 1);
+        assert!(f.remove(3));
+        assert_eq!(f.staged_len(), 0);
+        assert!(f.query(&h.signature(c), 32, 8).is_empty());
+        // The survivor is untouched, before and after a commit.
+        assert!(f.query(&h.signature(a.clone()), 32, 8).contains(&1));
+        f.commit();
+        assert!(f.query(&h.signature(a), 32, 8).contains(&1));
+        // Removing an absent id reports false and changes nothing.
+        assert!(!f.remove(42));
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn remove_keeps_sorted_runs_queryable() {
+        let h = MinHasher::new(256);
+        let domains: Vec<(DomainId, Vec<u64>)> = (0..40)
+            .map(|i| (i, MinHasher::synthetic_values(500 + u64::from(i), 90)))
+            .collect();
+        let mut f = forest_with(&h, &domains, true);
+        for id in (0..40).step_by(3) {
+            assert!(f.remove(id));
+        }
+        for (id, vals) in &domains {
+            let got = f.query(&h.signature(vals.iter().copied()), 32, 8);
+            if id % 3 == 0 {
+                assert!(!got.contains(id), "removed {id} still found");
+            } else {
+                assert!(got.contains(id), "survivor {id} lost");
+            }
+        }
+        assert_eq!(f.len(), domains.len() - (0..40).step_by(3).count());
+    }
+
+    #[test]
+    fn ids_iterates_committed_and_staged() {
+        let h = MinHasher::new(256);
+        let mut f = forest_with(
+            &h,
+            &[
+                (5, MinHasher::synthetic_values(1, 30)),
+                (9, MinHasher::synthetic_values(2, 30)),
+            ],
+            true,
+        );
+        f.insert(7, &h.signature(MinHasher::synthetic_values(3, 30)));
+        let mut ids: Vec<DomainId> = f.ids().collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![5, 7, 9]);
     }
 
     #[test]

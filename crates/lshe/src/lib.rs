@@ -64,11 +64,12 @@ pub use lshe_minhash as minhash;
 pub use lshe_serve as serve;
 
 pub use lshe_core::{
-    DomainIndex, EnsembleConfig, ForestIndex, LshEnsemble, PartitionStrategy, Query, QueryError,
-    QueryMode, QueryStats, RankedHit, RankedIndex, SearchHit, SearchOutcome, ShardedEnsemble,
-    ShardedRanked, ESTIMATE_SLACK,
+    CommitReport, DomainIndex, EnsembleConfig, ForestIndex, LshEnsemble, MutableIndex,
+    MutationError, PartitionStrategy, Query, QueryError, QueryMode, QueryStats, RankedHit,
+    RankedIndex, SearchHit, SearchOutcome, ShardedEnsemble, ShardedRanked,
+    DEFAULT_REBALANCE_TRIGGER, ESTIMATE_SLACK,
 };
 pub use lshe_corpus::{Catalog, Domain, ExactIndex};
 pub use lshe_lsh::{DomainId, LshForest};
 pub use lshe_minhash::{MinHasher, OnePermHasher, Signature};
-pub use lshe_serve::{IndexContainer, IndexKind, ServerConfig};
+pub use lshe_serve::{DeltaLog, DeltaOp, IndexContainer, IndexKind, ServerConfig};

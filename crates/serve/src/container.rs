@@ -12,12 +12,15 @@
 //! ```
 
 use lshe_core::{
-    DomainIndex, EnsembleConfig, LshEnsemble, PartitionStrategy, Query, RankedIndex, ShardedRanked,
+    CommitReport, DomainIndex, EnsembleConfig, LshEnsemble, MutableIndex, MutationError,
+    PartitionStrategy, Query, RankedIndex, ShardedRanked,
 };
 use lshe_corpus::Catalog;
 use lshe_minhash::codec::{CodecError, Decoder, Encoder};
 use lshe_minhash::{MinHasher, Signature};
 use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// Envelope tag for `.lshe` files.
@@ -53,14 +56,19 @@ pub enum IndexKind {
 /// The stored index, shared behind `Arc`s so
 /// [`open_index`](IndexContainer::open_index) can hand out trait objects
 /// without cloning forests or sketches.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum StoredIndex {
     Plain(Arc<LshEnsemble>),
     Ranked(Arc<RankedIndex>),
 }
 
 /// A loaded (or freshly built) index file.
-#[derive(Debug)]
+///
+/// Cloning is cheap (the index is behind an `Arc`); the first mutation on
+/// a clone copies the index (copy-on-write), which is how the server
+/// commits staged mutations into a fresh snapshot while in-flight queries
+/// keep the old one.
+#[derive(Debug, Clone)]
 pub struct IndexContainer {
     records: Vec<DomainRecord>,
     index: StoredIndex,
@@ -195,6 +203,80 @@ impl IndexContainer {
             shards,
             config,
         )))
+    }
+
+    /// The stored index as its mutation surface (copy-on-write: shared
+    /// `Arc`s are cloned on first mutation).
+    fn index_mut(&mut self) -> &mut dyn MutableIndex {
+        match &mut self.index {
+            StoredIndex::Plain(e) => Arc::make_mut(e) as &mut dyn MutableIndex,
+            StoredIndex::Ranked(r) => Arc::make_mut(r) as &mut dyn MutableIndex,
+        }
+    }
+
+    /// The smallest id safely assignable to a new domain (one past the
+    /// largest id on record).
+    #[must_use]
+    pub fn next_id(&self) -> u32 {
+        self.records
+            .iter()
+            .map(|r| r.id)
+            .max()
+            .map_or(0, |id| id + 1)
+    }
+
+    /// Applies a batch of staged mutations in order: inserts stage into
+    /// the index (immediately queryable) and append provenance records;
+    /// removes apply eagerly and drop their record. Stops at the first
+    /// failing op — earlier ops in the batch stay applied. Call
+    /// [`commit_mutations`](Self::commit_mutations) afterwards to fold and
+    /// rebalance.
+    ///
+    /// # Errors
+    /// [`MutationError`] from the failing op: duplicate id, unknown id, or
+    /// a signature whose width disagrees with the container.
+    pub fn apply(&mut self, ops: &[DeltaOp]) -> Result<usize, MutationError> {
+        for (applied, op) in ops.iter().enumerate() {
+            match op {
+                DeltaOp::Insert { record, signature } => {
+                    if signature.len() != self.num_perm {
+                        return Err(MutationError::Invalid(format!(
+                            "signature width mismatch at op {applied}: domain has {}, container expects {}",
+                            signature.len(),
+                            self.num_perm
+                        )));
+                    }
+                    self.index_mut().insert(record.id, record.size, signature)?;
+                    let at = self
+                        .records
+                        .binary_search_by_key(&record.id, |r| r.id)
+                        .expect_err("index insert rejects duplicates");
+                    self.records.insert(at, record.clone());
+                }
+                DeltaOp::Remove { id } => {
+                    self.index_mut().remove(*id)?;
+                    self.records.retain(|r| r.id != *id);
+                }
+            }
+        }
+        Ok(ops.len())
+    }
+
+    /// Folds staged inserts into the sorted runs (and rebalances
+    /// sketch-retaining indexes past their skew trigger). Must run before
+    /// [`to_bytes`](Self::to_bytes), whose byte form is always the
+    /// canonical committed state.
+    pub fn commit_mutations(&mut self) -> CommitReport {
+        self.index_mut().commit()
+    }
+
+    /// Number of staged (uncommitted) inserts in the stored index.
+    #[must_use]
+    pub fn staged_len(&self) -> usize {
+        match &self.index {
+            StoredIndex::Plain(e) => e.staged_len(),
+            StoredIndex::Ranked(r) => r.staged_len(),
+        }
     }
 
     /// Number of size partitions in the ensemble.
@@ -415,6 +497,255 @@ impl IndexContainer {
     }
 }
 
+// ------------------------------------------------------------- delta log
+
+/// Envelope tag for `.delta` sidecar files.
+pub const DELTA_MAGIC: [u8; 4] = *b"LSHD";
+/// Current delta-log format version.
+pub const DELTA_VERSION: u8 = 1;
+
+/// One staged mutation, as recorded in the append-only delta log.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeltaOp {
+    /// Stage a new domain: provenance record plus its MinHash signature.
+    Insert {
+        /// Provenance (id, size, table, column) of the new domain.
+        record: DomainRecord,
+        /// The domain's signature at the container's `num_perm`.
+        signature: Signature,
+    },
+    /// Remove a domain by id.
+    Remove {
+        /// The id to remove.
+        id: u32,
+    },
+}
+
+/// Why a delta log could not be read back.
+#[derive(Debug)]
+pub enum DeltaError {
+    /// Filesystem problem.
+    Io(std::io::Error),
+    /// The log's header or an entry's payload is structurally invalid.
+    Corrupt(String),
+    /// The log ends mid-entry — the classic torn write of a crash during
+    /// append. The prefix before `entries` decoded cleanly.
+    Torn {
+        /// Entries that decoded cleanly before the tear.
+        entries: usize,
+    },
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "delta log i/o error: {e}"),
+            Self::Corrupt(msg) => write!(f, "corrupt delta log: {msg}"),
+            Self::Torn { entries } => write!(
+                f,
+                "torn delta log: truncated entry after {entries} complete entries"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+impl From<std::io::Error> for DeltaError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// FNV-1a over an entry payload — the per-entry integrity check.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn encode_op(op: &DeltaOp) -> Vec<u8> {
+    let mut enc = Encoder::default();
+    match op {
+        DeltaOp::Insert { record, signature } => {
+            enc.put_u8(1);
+            enc.put_u32(record.id);
+            enc.put_u64(record.size);
+            enc.put_str(&record.table);
+            enc.put_str(&record.column);
+            enc.put_u64_slice(signature.slots());
+        }
+        DeltaOp::Remove { id } => {
+            enc.put_u8(2);
+            enc.put_u32(*id);
+        }
+    }
+    enc.finish()
+}
+
+fn decode_op(payload: &[u8]) -> Result<DeltaOp, CodecError> {
+    let mut dec = Decoder::new(payload);
+    let op = match dec.get_u8("delta op tag")? {
+        1 => DeltaOp::Insert {
+            record: DomainRecord {
+                id: dec.get_u32("delta id")?,
+                size: dec.get_u64("delta size")?,
+                table: dec.get_str("delta table")?,
+                column: dec.get_str("delta column")?,
+            },
+            signature: Signature::from_slots(dec.get_u64_vec("delta signature")?),
+        },
+        2 => DeltaOp::Remove {
+            id: dec.get_u32("delta id")?,
+        },
+        _ => return Err(CodecError::Corrupt("unknown delta op tag")),
+    };
+    if !dec.is_exhausted() {
+        return Err(CodecError::Corrupt("trailing bytes after delta op"));
+    }
+    Ok(op)
+}
+
+/// The append-only mutation log kept next to a served `.lshe` file
+/// (`<index>.delta`): every staged `/insert` and `/remove` is appended
+/// before it is acknowledged, and replayed on the next load, so a server
+/// restart loses no staged mutation.
+///
+/// ```text
+/// "LSHD" version:u8
+/// per entry: len:u32  payload[len]  fnv1a(payload):u64
+/// ```
+///
+/// A crash mid-append leaves a truncated final entry; [`read`](Self::read)
+/// reports it as the typed [`DeltaError::Torn`] rather than panicking or
+/// silently dropping data.
+#[derive(Debug, Clone)]
+pub struct DeltaLog {
+    path: PathBuf,
+}
+
+impl DeltaLog {
+    /// The conventional sidecar path for an index file: `<index>.delta`.
+    #[must_use]
+    pub fn sidecar(index_path: &Path) -> Self {
+        let mut os = index_path.as_os_str().to_owned();
+        os.push(".delta");
+        Self {
+            path: PathBuf::from(os),
+        }
+    }
+
+    /// A delta log at an explicit path.
+    #[must_use]
+    pub fn at(path: PathBuf) -> Self {
+        Self { path }
+    }
+
+    /// The log's path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// True if the log file exists on disk.
+    #[must_use]
+    pub fn exists(&self) -> bool {
+        self.path.exists()
+    }
+
+    /// Appends one op, creating the file (with its header) on first use.
+    /// The entry is fsynced (`sync_data`) before returning — the op is on
+    /// disk, not just in the page cache, by the time the caller
+    /// acknowledges it.
+    ///
+    /// # Errors
+    /// Propagates I/O errors; the op is not recorded on failure.
+    pub fn append(&self, op: &DeltaOp) -> std::io::Result<()> {
+        let payload = encode_op(op);
+        let mut entry = Encoder::with_capacity(payload.len() + 16);
+        entry.put_u32(payload.len() as u32);
+        let check = fnv1a(&payload);
+        let mut bytes = entry.finish();
+        bytes.extend_from_slice(&payload);
+        bytes.extend_from_slice(&check.to_le_bytes());
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        if file.metadata()?.len() == 0 {
+            let mut header = Encoder::with_capacity(5);
+            header.envelope(DELTA_MAGIC, DELTA_VERSION);
+            file.write_all(&header.finish())?;
+        }
+        file.write_all(&bytes)?;
+        file.sync_data()
+    }
+
+    /// Reads every op in append order. A missing file is an empty log.
+    ///
+    /// # Errors
+    /// [`DeltaError::Torn`] when the file ends mid-entry (torn write),
+    /// [`DeltaError::Corrupt`] on a bad header, checksum, or payload, and
+    /// [`DeltaError::Io`] on filesystem failures.
+    pub fn read(&self) -> Result<Vec<DeltaOp>, DeltaError> {
+        let bytes = match std::fs::read(&self.path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e.into()),
+        };
+        let mut dec = Decoder::new(&bytes);
+        let version = dec
+            .envelope(DELTA_MAGIC)
+            .map_err(|e| DeltaError::Corrupt(e.to_string()))?;
+        if version > DELTA_VERSION {
+            return Err(DeltaError::Corrupt(format!(
+                "unsupported delta version {version}"
+            )));
+        }
+        // Entries are parsed straight off validated slices (the envelope
+        // above is the fixed 5-byte magic + version header).
+        let mut pos = 5usize;
+        let mut ops = Vec::new();
+        while pos < bytes.len() {
+            if bytes.len() - pos < 4 {
+                return Err(DeltaError::Torn { entries: ops.len() });
+            }
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            pos += 4;
+            if bytes.len() - pos < len + 8 {
+                return Err(DeltaError::Torn { entries: ops.len() });
+            }
+            let payload = &bytes[pos..pos + len];
+            pos += len;
+            let check = u64::from_le_bytes(bytes[pos..pos + 8].try_into().expect("8 bytes"));
+            pos += 8;
+            if check != fnv1a(payload) {
+                return Err(DeltaError::Corrupt(format!(
+                    "checksum mismatch in entry {}",
+                    ops.len()
+                )));
+            }
+            ops.push(decode_op(payload).map_err(|e| DeltaError::Corrupt(e.to_string()))?);
+        }
+        Ok(ops)
+    }
+
+    /// Deletes the log (after its ops were committed into the base file).
+    ///
+    /// # Errors
+    /// Propagates I/O errors; a missing file is fine.
+    pub fn clear(&self) -> std::io::Result<()> {
+        match std::fs::remove_file(&self.path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -518,5 +849,172 @@ mod tests {
         for cut in [0usize, 4, 9, bytes.len() / 3, bytes.len() - 1] {
             assert!(IndexContainer::from_bytes(&bytes[..cut]).is_err());
         }
+    }
+
+    fn insert_op(id: u32, n_values: usize, num_perm: usize) -> DeltaOp {
+        let hasher = MinHasher::new(num_perm);
+        let values: Vec<u64> = (9_000..9_000 + n_values as u64).collect();
+        DeltaOp::Insert {
+            record: DomainRecord {
+                id,
+                size: n_values as u64,
+                table: format!("live{id}"),
+                column: "col".to_owned(),
+            },
+            signature: hasher.signature(values.iter().copied()),
+        }
+    }
+
+    #[test]
+    fn apply_commit_persist_roundtrip() {
+        for ranked in [false, true] {
+            let cat = catalog(10);
+            let mut c = IndexContainer::build(&cat, 2, ranked);
+            assert_eq!(c.next_id(), 10);
+            let ops = vec![
+                insert_op(10, 25, c.num_perm()),
+                DeltaOp::Remove { id: 4 },
+                insert_op(11, 33, c.num_perm()),
+            ];
+            assert_eq!(c.apply(&ops).expect("apply"), 3);
+            assert_eq!(c.len(), 11);
+            assert_eq!(c.staged_len(), 2);
+            assert_eq!(c.next_id(), 12);
+            assert!(c.record(4).is_none());
+            assert_eq!(c.record(10).expect("record").table, "live10");
+
+            // Staged inserts answer queries immediately.
+            let hasher = MinHasher::new(c.num_perm());
+            let sig = hasher.signature((9_000..9_025).map(|v| v as u64));
+            let hits = c.search(&sig, 25, 0.9);
+            assert!(hits.iter().any(|&(id, _)| id == 10), "{ranked}: {hits:?}");
+
+            // Commit, persist, reload: everything survives.
+            let report = c.commit_mutations();
+            assert_eq!(report.merged, 2);
+            assert_eq!(c.staged_len(), 0);
+            let restored = IndexContainer::from_bytes(&c.to_bytes()).expect("decode");
+            assert_eq!(restored.len(), 11);
+            assert!(restored.record(4).is_none());
+            assert!(restored
+                .search(&sig, 25, 0.9)
+                .iter()
+                .any(|&(id, _)| id == 10));
+            assert_eq!(restored.provenance(11).0, "live11");
+        }
+    }
+
+    #[test]
+    fn apply_rejects_bad_ops_with_typed_errors() {
+        let cat = catalog(6);
+        let mut c = IndexContainer::build(&cat, 2, true);
+        // Duplicate id.
+        assert!(matches!(
+            c.apply(&[insert_op(3, 20, c.num_perm())]),
+            Err(lshe_core::MutationError::DuplicateId(3))
+        ));
+        // Unknown removal.
+        assert!(matches!(
+            c.apply(&[DeltaOp::Remove { id: 99 }]),
+            Err(lshe_core::MutationError::UnknownId(99))
+        ));
+        // Double remove: first applies, second fails typed.
+        let err = c
+            .apply(&[DeltaOp::Remove { id: 2 }, DeltaOp::Remove { id: 2 }])
+            .unwrap_err();
+        assert!(matches!(err, lshe_core::MutationError::UnknownId(2)));
+        assert_eq!(c.len(), 5, "first remove stays applied");
+        // Wrong signature width.
+        assert!(matches!(
+            c.apply(&[insert_op(40, 20, 64)]),
+            Err(lshe_core::MutationError::Invalid(_))
+        ));
+        // Insert-then-remove before commit cancels out cleanly.
+        c.apply(&[insert_op(50, 20, c.num_perm()), DeltaOp::Remove { id: 50 }])
+            .expect("insert then remove");
+        assert_eq!(c.len(), 5);
+        assert!(c.record(50).is_none());
+        let _ = c.commit_mutations();
+        let restored = IndexContainer::from_bytes(&c.to_bytes()).expect("decode");
+        assert_eq!(restored.len(), 5);
+    }
+
+    #[test]
+    fn container_clone_is_copy_on_write() {
+        let cat = catalog(8);
+        let original = IndexContainer::build(&cat, 2, true);
+        let mut copy = original.clone();
+        copy.apply(&[
+            DeltaOp::Remove { id: 0 },
+            insert_op(20, 30, copy.num_perm()),
+        ])
+        .expect("apply");
+        assert_eq!(copy.len(), 8);
+        assert_eq!(original.len(), 8);
+        assert!(original.record(0).is_some(), "original lost a record");
+        assert!(original.sketch(20).is_none(), "original gained a sketch");
+        let hasher = MinHasher::new(original.num_perm());
+        let sig = cat.domain(0).signature(&hasher);
+        assert!(original
+            .search(&sig, cat.domain(0).len() as u64, 1.0)
+            .iter()
+            .any(|&(id, _)| id == 0));
+    }
+
+    fn scratch_log(name: &str) -> DeltaLog {
+        let dir = std::env::temp_dir().join(format!("lshe_delta_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        DeltaLog::sidecar(&dir.join("idx.lshe"))
+    }
+
+    #[test]
+    fn delta_log_roundtrips_in_order() {
+        let log = scratch_log("roundtrip");
+        assert!(!log.exists());
+        assert_eq!(log.read().expect("missing file is empty"), Vec::new());
+        let ops = vec![
+            insert_op(7, 12, 256),
+            DeltaOp::Remove { id: 3 },
+            insert_op(8, 40, 256),
+        ];
+        for op in &ops {
+            log.append(op).expect("append");
+        }
+        assert_eq!(log.read().expect("read"), ops);
+        log.clear().expect("clear");
+        assert!(!log.exists());
+        assert_eq!(log.read().expect("cleared is empty"), Vec::new());
+        std::fs::remove_dir_all(log.path().parent().expect("dir")).ok();
+    }
+
+    #[test]
+    fn torn_delta_log_is_a_typed_error_at_every_cut() {
+        let log = scratch_log("torn");
+        log.append(&insert_op(1, 10, 256)).expect("append");
+        log.append(&DeltaOp::Remove { id: 1 }).expect("append");
+        let bytes = std::fs::read(log.path()).expect("read");
+        // Cut anywhere strictly inside the second entry: one complete
+        // entry must be reported, never a panic.
+        let first_entry_end = {
+            let payload_len = u32::from_le_bytes(bytes[5..9].try_into().expect("len")) as usize;
+            5 + 4 + payload_len + 8
+        };
+        for cut in [first_entry_end + 1, first_entry_end + 4, bytes.len() - 1] {
+            std::fs::write(log.path(), &bytes[..cut]).expect("truncate");
+            match log.read() {
+                Err(DeltaError::Torn { entries }) => assert_eq!(entries, 1, "cut {cut}"),
+                other => panic!("cut {cut}: expected Torn, got {other:?}"),
+            }
+        }
+        // A flipped payload byte is a checksum error, not a panic.
+        let mut flipped = bytes.clone();
+        flipped[10] ^= 0xFF;
+        std::fs::write(log.path(), &flipped).expect("write");
+        assert!(matches!(log.read(), Err(DeltaError::Corrupt(_))));
+        // Garbage header.
+        std::fs::write(log.path(), b"garbage").expect("write");
+        assert!(matches!(log.read(), Err(DeltaError::Corrupt(_))));
+        std::fs::remove_dir_all(log.path().parent().expect("dir")).ok();
     }
 }

@@ -13,12 +13,13 @@
 //! all answer through the same trait — the engine never matches on a
 //! concrete index type.
 
-use crate::container::IndexContainer;
-use lshe_core::{DomainIndex, Query, QueryError, SearchOutcome};
+use crate::container::{DeltaLog, DeltaOp, IndexContainer};
+use lshe_core::{CommitReport, DomainIndex, Query, QueryError, SearchOutcome};
 use lshe_minhash::{MinHasher, Signature};
+use std::collections::HashSet;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// One hit: domain id plus estimated containment when sketches are stored.
 pub type Hit = (u32, Option<f64>);
@@ -32,6 +33,9 @@ pub enum EngineError {
     Index(String),
     /// Invalid engine configuration (e.g. sharding an unranked index).
     Config(String),
+    /// A staged mutation was rejected (duplicate insert, unknown or
+    /// double removal, width mismatch).
+    Mutation(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -40,6 +44,7 @@ impl std::fmt::Display for EngineError {
             Self::Io(e) => write!(f, "i/o error: {e}"),
             Self::Index(msg) => write!(f, "index error: {msg}"),
             Self::Config(msg) => write!(f, "config error: {msg}"),
+            Self::Mutation(msg) => write!(f, "mutation error: {msg}"),
         }
     }
 }
@@ -146,6 +151,40 @@ impl Snapshot {
     }
 }
 
+/// Staged (uncommitted) mutations: the ops in arrival order plus the
+/// bookkeeping that validates new stagings against the net effect so far.
+#[derive(Debug, Default)]
+struct Pending {
+    /// Every staged op, in arrival order (replayed verbatim on commit).
+    ops: Vec<DeltaOp>,
+    /// Ids inserted in this batch and not since removed.
+    staged_inserts: HashSet<u32>,
+    /// Committed ids removed in this batch.
+    staged_removes: HashSet<u32>,
+    /// Next id to hand out. Monotone across commits and reloads, so a
+    /// staged insert can never collide with an id that later appears.
+    next_id: u32,
+}
+
+/// Counts of currently staged mutations, as reported on `/stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StagedCounts {
+    /// Staged inserts awaiting commit (net of cancelled ones).
+    pub inserts: usize,
+    /// Staged removes awaiting commit.
+    pub removes: usize,
+}
+
+/// What one [`Engine::commit_staged`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CommitOutcome {
+    /// Ops applied into the new snapshot (0 = nothing was staged and no
+    /// swap happened).
+    pub applied: usize,
+    /// The index-level commit report (staged inserts folded, rebalanced?).
+    pub report: CommitReport,
+}
+
 /// The hot-reloadable engine: an atomic pointer to the current snapshot.
 #[derive(Debug)]
 pub struct Engine {
@@ -157,18 +196,38 @@ pub struct Engine {
     reload_lock: std::sync::Mutex<()>,
     shards: usize,
     generation: AtomicU64,
+    /// Staged live mutations, guarded separately from the snapshot so
+    /// staging never blocks queries.
+    pending: Mutex<Pending>,
 }
 
 impl Engine {
-    /// Loads an index file and builds generation 1.
+    /// Loads an index file and builds generation 1. When a `<path>.delta`
+    /// sidecar exists (staged mutations from a previous run that never
+    /// committed), its ops are replayed into the staging area — a restart
+    /// loses nothing, and the ops become visible on the next commit
+    /// exactly as they would have before the restart.
     ///
     /// # Errors
-    /// [`EngineError`] on I/O failure, a corrupt file, or an invalid
-    /// shard configuration.
+    /// [`EngineError`] on I/O failure, a corrupt file, an invalid shard
+    /// configuration, or a corrupt/torn delta log (typed, never a panic).
     pub fn load(path: &Path, shards: usize) -> Result<Self, EngineError> {
         let bytes = std::fs::read(path)?;
         let container = IndexContainer::from_bytes(&bytes)
             .map_err(|e| EngineError::Index(format!("{}: {e}", path.display())))?;
+        let log = DeltaLog::sidecar(path);
+        let ops = log
+            .read()
+            .map_err(|e| EngineError::Index(format!("{}: {e}", log.path().display())))?;
+        let had_ops = !ops.is_empty();
+        let pending = Self::replay_pending(&container, ops)?;
+        if had_ops && pending.ops.is_empty() {
+            // Every logged op is already embodied in the base file — the
+            // crash window between a commit's atomic rename and its log
+            // clear. Retire the log now instead of re-skipping it on
+            // every boot.
+            log.clear()?;
+        }
         let snapshot = Snapshot::new(container, shards, 1)?;
         Ok(Self {
             current: RwLock::new(Arc::new(snapshot)),
@@ -176,15 +235,18 @@ impl Engine {
             reload_lock: std::sync::Mutex::new(()),
             shards,
             generation: AtomicU64::new(1),
+            pending: Mutex::new(pending),
         })
     }
 
     /// Wraps an in-memory container (tests, examples, benches). `/reload`
-    /// then requires an explicit path.
+    /// then requires an explicit path, and staged mutations live only in
+    /// memory (no delta log to replay).
     ///
     /// # Errors
     /// [`EngineError::Config`] on an invalid shard configuration.
     pub fn from_container(container: IndexContainer, shards: usize) -> Result<Self, EngineError> {
+        let next_id = container.next_id();
         let snapshot = Snapshot::new(container, shards, 1)?;
         Ok(Self {
             current: RwLock::new(Arc::new(snapshot)),
@@ -192,7 +254,75 @@ impl Engine {
             reload_lock: std::sync::Mutex::new(()),
             shards,
             generation: AtomicU64::new(1),
+            pending: Mutex::new(Pending {
+                next_id,
+                ..Pending::default()
+            }),
         })
+    }
+
+    /// Rebuilds the staging bookkeeping from replayed delta-log ops,
+    /// validating each against the container + the net staged effect.
+    ///
+    /// Replay is **idempotent**: a commit persists the base file (atomic
+    /// rename) *before* clearing the log, so a crash in between leaves a
+    /// log whose ops the base already embodies. Such ops — an insert
+    /// whose exact record is present, a removal whose id is absent — are
+    /// skipped rather than re-staged, and since a commit applies its
+    /// whole batch atomically the log replays either entirely as staged
+    /// or entirely as already-applied. An id collision with a *different*
+    /// record is a genuine conflict and stays a typed error.
+    fn replay_pending(
+        container: &IndexContainer,
+        ops: Vec<DeltaOp>,
+    ) -> Result<Pending, EngineError> {
+        let mut pending = Pending {
+            next_id: container.next_id(),
+            ..Pending::default()
+        };
+        for op in ops {
+            match &op {
+                DeltaOp::Insert { record, .. } => {
+                    if let Some(existing) = container.record(record.id) {
+                        if existing == record {
+                            // Already committed (crash after rename,
+                            // before log clear): ids stay allocated.
+                            pending.next_id = pending.next_id.max(record.id + 1);
+                            continue;
+                        }
+                        return Err(EngineError::Index(format!(
+                            "delta log replays insert of existing id {} with different provenance",
+                            record.id
+                        )));
+                    }
+                    if pending.staged_inserts.contains(&record.id) {
+                        return Err(EngineError::Index(format!(
+                            "delta log replays duplicate insert of id {}",
+                            record.id
+                        )));
+                    }
+                    pending.staged_inserts.insert(record.id);
+                    pending.next_id = pending.next_id.max(record.id + 1);
+                }
+                DeltaOp::Remove { id } => {
+                    if pending.staged_inserts.remove(id) {
+                        // insert-then-remove before commit: cancels out,
+                        // but both ops replay so the commit applies them
+                        // in order.
+                    } else if container.record(*id).is_some()
+                        && !pending.staged_removes.contains(id)
+                    {
+                        pending.staged_removes.insert(*id);
+                    } else {
+                        // Already committed (the id is gone from the
+                        // base): skip rather than wedge the boot.
+                        continue;
+                    }
+                }
+            }
+            pending.ops.push(op);
+        }
+        Ok(pending)
     }
 
     /// The current snapshot. Cheap (one `Arc` clone under a read lock);
@@ -207,6 +337,165 @@ impl Engine {
     #[must_use]
     pub fn shards(&self) -> usize {
         self.shards
+    }
+
+    /// Stages one new domain for insertion: assigns it the next free id,
+    /// appends the op to the delta log (when the engine is file-backed),
+    /// and records it for the next [`commit_staged`](Self::commit_staged).
+    /// The domain becomes queryable at commit, not before — in-flight and
+    /// pre-commit queries keep a consistent snapshot.
+    ///
+    /// # Errors
+    /// [`EngineError::Mutation`] on a signature width mismatch,
+    /// [`EngineError::Io`] if the delta log cannot be appended (the op is
+    /// then *not* staged).
+    pub fn stage_insert(
+        &self,
+        table: String,
+        column: String,
+        size: u64,
+        signature: Signature,
+    ) -> Result<(u32, StagedCounts), EngineError> {
+        if size == 0 {
+            return Err(EngineError::Mutation("domain size must be positive".into()));
+        }
+        // Pending lock FIRST, snapshot second: commit_staged swaps the
+        // snapshot while holding the pending lock, so this order makes
+        // validation and staging atomic with respect to commits — a
+        // snapshot read before the lock could validate against a state a
+        // concurrent commit already replaced.
+        let mut pending = self.pending.lock().expect("pending lock poisoned");
+        let num_perm = self.snapshot().container().num_perm();
+        if signature.len() != num_perm {
+            return Err(EngineError::Mutation(format!(
+                "signature width mismatch: domain has {}, index expects {num_perm}",
+                signature.len()
+            )));
+        }
+        let id = pending.next_id;
+        let op = DeltaOp::Insert {
+            record: crate::container::DomainRecord {
+                id,
+                size,
+                table,
+                column,
+            },
+            signature,
+        };
+        self.log_op(&op)?;
+        pending.next_id += 1;
+        pending.staged_inserts.insert(id);
+        pending.ops.push(op);
+        Ok((id, Self::counts(&pending)))
+    }
+
+    /// Stages the removal of a domain. Valid targets are committed ids
+    /// (not yet staged for removal) and ids staged for insertion in this
+    /// batch (insert-then-remove cancels out at commit). Double removal
+    /// of the same id is a typed error.
+    ///
+    /// # Errors
+    /// [`EngineError::Mutation`] for an unknown or already-removed id,
+    /// [`EngineError::Io`] if the delta log cannot be appended.
+    pub fn stage_remove(&self, id: u32) -> Result<StagedCounts, EngineError> {
+        // Pending lock before the snapshot read — see stage_insert: a
+        // concurrent commit swaps the snapshot under the pending lock, so
+        // this order prevents validating against a replaced generation
+        // (which could log an op that can never apply).
+        let mut pending = self.pending.lock().expect("pending lock poisoned");
+        let snap = self.snapshot();
+        let committed = snap.container().record(id).is_some();
+        let staged = pending.staged_inserts.contains(&id);
+        if pending.staged_removes.contains(&id) {
+            return Err(EngineError::Mutation(format!(
+                "domain id {id} is already staged for removal"
+            )));
+        }
+        if !committed && !staged {
+            return Err(EngineError::Mutation(format!("unknown domain id {id}")));
+        }
+        let op = DeltaOp::Remove { id };
+        self.log_op(&op)?;
+        if staged {
+            pending.staged_inserts.remove(&id);
+        } else {
+            pending.staged_removes.insert(id);
+        }
+        pending.ops.push(op);
+        Ok(Self::counts(&pending))
+    }
+
+    /// Currently staged mutation counts (for `/stats`).
+    #[must_use]
+    pub fn staged_counts(&self) -> StagedCounts {
+        Self::counts(&self.pending.lock().expect("pending lock poisoned"))
+    }
+
+    fn counts(pending: &Pending) -> StagedCounts {
+        StagedCounts {
+            inserts: pending.staged_inserts.len(),
+            removes: pending.staged_removes.len(),
+        }
+    }
+
+    /// Appends one op to the delta log when the engine is file-backed.
+    fn log_op(&self, op: &DeltaOp) -> Result<(), EngineError> {
+        let path = self.path.read().expect("engine lock poisoned").clone();
+        if let Some(path) = path {
+            DeltaLog::sidecar(&path).append(op)?;
+        }
+        Ok(())
+    }
+
+    /// Commits every staged mutation as one new snapshot generation:
+    /// copy-on-write — the current container is cloned, the ops applied
+    /// and folded (rebalancing past the skew trigger), the result
+    /// persisted back to the index file (atomic tmp + rename) with the
+    /// delta log cleared, and the snapshot swapped. In-flight queries keep
+    /// their pre-commit snapshot; the query cache invalidates by
+    /// generation.
+    ///
+    /// With nothing staged this is a no-op returning the live snapshot.
+    ///
+    /// # Errors
+    /// [`EngineError::Mutation`] when an op no longer applies (e.g. the
+    /// index was hot-reloaded to a file that already uses a staged id) —
+    /// staged ops are kept so the operator can reload the original file
+    /// and retry; [`EngineError::Io`] when the committed state cannot be
+    /// persisted — the commit is then abandoned whole: no snapshot swap,
+    /// staged ops kept, delta log untouched, retry on the next `/commit`.
+    pub fn commit_staged(&self) -> Result<(Arc<Snapshot>, CommitOutcome), EngineError> {
+        let _guard = self.reload_lock.lock().expect("reload lock poisoned");
+        let mut pending = self.pending.lock().expect("pending lock poisoned");
+        if pending.ops.is_empty() {
+            return Ok((self.snapshot(), CommitOutcome::default()));
+        }
+        let snap = self.snapshot();
+        let mut container = snap.container().clone();
+        container
+            .apply(&pending.ops)
+            .map_err(|e| EngineError::Mutation(e.to_string()))?;
+        let report = container.commit_mutations();
+        let applied = pending.ops.len();
+
+        // Persist the committed state, then retire the delta log: the base
+        // file now embodies every logged op.
+        let path = self.path.read().expect("engine lock poisoned").clone();
+        if let Some(path) = &path {
+            let tmp = path.with_extension("lshe.tmp");
+            std::fs::write(&tmp, container.to_bytes())?;
+            std::fs::rename(&tmp, path)?;
+            DeltaLog::sidecar(path).clear()?;
+        }
+
+        let generation = self.generation.fetch_add(1, Ordering::SeqCst) + 1;
+        let snapshot = Arc::new(Snapshot::new(container, self.shards, generation)?);
+        *self.current.write().expect("engine lock poisoned") = Arc::clone(&snapshot);
+        *pending = Pending {
+            next_id: pending.next_id,
+            ..Pending::default()
+        };
+        Ok((snapshot, CommitOutcome { applied, report }))
     }
 
     /// Reloads the index from `path` (or the path of the previous load)
@@ -241,6 +530,12 @@ impl Engine {
         let snapshot = Arc::new(Snapshot::new(container, self.shards, generation)?);
         *self.path.write().expect("engine lock poisoned") = Some(target);
         *self.current.write().expect("engine lock poisoned") = Arc::clone(&snapshot);
+        // Staged mutations survive a reload; keep the id allocator ahead
+        // of whatever the reloaded file uses so staged inserts can only
+        // conflict if the new file already claimed their exact ids (a
+        // typed commit error, never a corruption).
+        let mut pending = self.pending.lock().expect("pending lock poisoned");
+        pending.next_id = pending.next_id.max(snapshot.container().next_id());
         Ok(snapshot)
     }
 }
@@ -342,6 +637,235 @@ mod tests {
         std::fs::write(&path, b"garbage").expect("write");
         assert!(engine.reload(None).is_err());
         assert_eq!(engine.snapshot().generation(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn sig_of(values: std::ops::Range<u64>, num_perm: usize) -> (Signature, u64) {
+        let hasher = MinHasher::new(num_perm);
+        let vals: Vec<u64> = values.collect();
+        (hasher.signature(vals.iter().copied()), vals.len() as u64)
+    }
+
+    #[test]
+    fn staged_mutations_commit_into_a_new_generation() {
+        let engine =
+            Engine::from_container(IndexContainer::build(&catalog(10), 2, true), 1).expect("ok");
+        let old = engine.snapshot();
+        let (sig, q) = sig_of(50_000..50_040, old.container().num_perm());
+
+        let (id, counts) = engine
+            .stage_insert("live".into(), "col".into(), q, sig.clone())
+            .expect("stage");
+        assert_eq!(id, 10);
+        assert_eq!(
+            counts,
+            StagedCounts {
+                inserts: 1,
+                removes: 0
+            }
+        );
+        let counts = engine.stage_remove(3).expect("stage remove");
+        assert_eq!(
+            counts,
+            StagedCounts {
+                inserts: 1,
+                removes: 1
+            }
+        );
+        // Double remove is typed.
+        assert!(matches!(
+            engine.stage_remove(3),
+            Err(EngineError::Mutation(_))
+        ));
+        // Unknown remove is typed.
+        assert!(matches!(
+            engine.stage_remove(500),
+            Err(EngineError::Mutation(_))
+        ));
+        // Nothing visible pre-commit.
+        assert!(engine.snapshot().search(&sig, q, 0.9).is_empty());
+        assert_eq!(engine.snapshot().generation(), 1);
+
+        let (snap, outcome) = engine.commit_staged().expect("commit");
+        assert_eq!(outcome.applied, 2);
+        assert_eq!(outcome.report.merged, 1);
+        assert_eq!(snap.generation(), 2);
+        assert_eq!(snap.container().len(), 10); // 10 − 1 + 1
+        assert!(snap.search(&sig, q, 0.9).iter().any(|&(hit, _)| hit == id));
+        assert!(snap.container().record(3).is_none());
+        // Pre-commit snapshot is untouched (in-flight queries).
+        assert!(old.container().record(3).is_some());
+        assert!(old.search(&sig, q, 0.9).is_empty());
+        assert_eq!(engine.staged_counts(), StagedCounts::default());
+
+        // Empty commit: no-op, same generation.
+        let (snap, outcome) = engine.commit_staged().expect("empty commit");
+        assert_eq!(outcome.applied, 0);
+        assert_eq!(snap.generation(), 2);
+
+        // Insert-then-remove before commit cancels out.
+        let (id2, _) = engine
+            .stage_insert("gone".into(), "col".into(), q, sig.clone())
+            .expect("stage");
+        engine.stage_remove(id2).expect("remove staged insert");
+        let (snap, outcome) = engine.commit_staged().expect("commit");
+        assert_eq!(outcome.applied, 2);
+        assert_eq!(snap.container().len(), 10);
+        assert!(snap.container().record(id2).is_none());
+        // Ids are never reused.
+        let (id3, _) = engine
+            .stage_insert("next".into(), "col".into(), q, sig)
+            .expect("stage");
+        assert!(id3 > id2);
+    }
+
+    #[test]
+    fn delta_log_replays_across_restart() {
+        let dir = std::env::temp_dir().join(format!("lshe_engine_delta_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("idx.lshe");
+        std::fs::write(
+            &path,
+            IndexContainer::build(&catalog(8), 2, true).to_bytes(),
+        )
+        .expect("write");
+
+        let (sig, q) = {
+            let engine = Engine::load(&path, 1).expect("load");
+            let (sig, q) = sig_of(70_000..70_030, engine.snapshot().container().num_perm());
+            engine
+                .stage_insert("durable".into(), "col".into(), q, sig.clone())
+                .expect("stage");
+            engine.stage_remove(2).expect("stage remove");
+            // Engine dropped WITHOUT commit: ops live only in the log.
+            (sig, q)
+        };
+        assert!(crate::container::DeltaLog::sidecar(&path).exists());
+
+        // Restart: staged ops are replayed as staged (not yet visible)…
+        let engine = Engine::load(&path, 1).expect("reload with delta");
+        assert_eq!(
+            engine.staged_counts(),
+            StagedCounts {
+                inserts: 1,
+                removes: 1
+            }
+        );
+        assert!(engine.snapshot().search(&sig, q, 0.9).is_empty());
+        // …and commit exactly as they would have pre-restart.
+        let (snap, outcome) = engine.commit_staged().expect("commit");
+        assert_eq!(outcome.applied, 2);
+        assert!(snap.search(&sig, q, 0.9).iter().any(|&(id, _)| id == 8));
+        assert!(snap.container().record(2).is_none());
+        // The log is retired; the base file embodies the ops now.
+        assert!(!crate::container::DeltaLog::sidecar(&path).exists());
+        let fresh = Engine::load(&path, 1).expect("load committed");
+        assert_eq!(fresh.snapshot().container().len(), 8);
+        assert!(fresh
+            .snapshot()
+            .search(&sig, q, 0.9)
+            .iter()
+            .any(|&(id, _)| id == 8));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn already_committed_delta_log_replays_idempotently() {
+        // The crash window a commit leaves open: base file renamed (ops
+        // embodied), process dies before the log clear. The stale log
+        // must replay as a no-op and be retired — never wedge the boot.
+        let dir = std::env::temp_dir().join(format!("lshe_engine_stale_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("idx.lshe");
+        std::fs::write(
+            &path,
+            IndexContainer::build(&catalog(7), 2, true).to_bytes(),
+        )
+        .expect("write");
+
+        let engine = Engine::load(&path, 1).expect("load");
+        let (sig, q) = sig_of(60_000..60_030, engine.snapshot().container().num_perm());
+        engine
+            .stage_insert("survivor".into(), "col".into(), q, sig.clone())
+            .expect("stage");
+        engine.stage_remove(2).expect("stage");
+        // Capture the log as written, commit (which clears it), then put
+        // the stale copy back — simulating a crash before the clear.
+        let log = crate::container::DeltaLog::sidecar(&path);
+        let stale = std::fs::read(log.path()).expect("log bytes");
+        engine.commit_staged().expect("commit");
+        assert!(!log.exists());
+        std::fs::write(log.path(), &stale).expect("restore stale log");
+        drop(engine);
+
+        let engine = Engine::load(&path, 1).expect("boot over stale log");
+        assert_eq!(engine.staged_counts(), StagedCounts::default());
+        assert!(!log.exists(), "fully-applied log must be retired at load");
+        let snap = engine.snapshot();
+        assert_eq!(snap.container().len(), 7); // 7 − 1 + 1
+        assert!(snap.search(&sig, q, 0.9).iter().any(|&(id, _)| id == 7));
+        assert!(snap.container().record(2).is_none());
+        // The id allocator stays past the replayed insert's id.
+        let (next, _) = engine
+            .stage_insert("after".into(), "col".into(), q, sig)
+            .expect("stage");
+        assert_eq!(next, 8);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_delta_log_fails_load_with_typed_error() {
+        let dir = std::env::temp_dir().join(format!("lshe_engine_torn_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("idx.lshe");
+        std::fs::write(
+            &path,
+            IndexContainer::build(&catalog(6), 2, true).to_bytes(),
+        )
+        .expect("write");
+        let engine = Engine::load(&path, 1).expect("load");
+        let (sig, q) = sig_of(80_000..80_020, engine.snapshot().container().num_perm());
+        engine
+            .stage_insert("t".into(), "c".into(), q, sig)
+            .expect("stage");
+        drop(engine);
+        // Tear the final entry.
+        let log_path = crate::container::DeltaLog::sidecar(&path).path().to_owned();
+        let bytes = std::fs::read(&log_path).expect("read log");
+        std::fs::write(&log_path, &bytes[..bytes.len() - 3]).expect("tear");
+        let err = Engine::load(&path, 1).unwrap_err();
+        assert!(matches!(err, EngineError::Index(_)), "{err}");
+        assert!(err.to_string().contains("torn"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reload_during_staging_keeps_ops_and_commits_after() {
+        let dir = std::env::temp_dir().join(format!("lshe_engine_race_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("idx.lshe");
+        std::fs::write(
+            &path,
+            IndexContainer::build(&catalog(9), 2, true).to_bytes(),
+        )
+        .expect("write");
+        let engine = Engine::load(&path, 1).expect("load");
+        let (sig, q) = sig_of(90_000..90_025, engine.snapshot().container().num_perm());
+        let (id, _) = engine
+            .stage_insert("racer".into(), "col".into(), q, sig.clone())
+            .expect("stage");
+        // Hot reload (same file) lands between staging and commit.
+        engine.reload(None).expect("reload");
+        assert_eq!(engine.snapshot().generation(), 2);
+        assert_eq!(engine.staged_counts().inserts, 1, "staging survived");
+        let (snap, outcome) = engine.commit_staged().expect("commit after reload");
+        assert_eq!(outcome.applied, 1);
+        assert_eq!(snap.generation(), 3);
+        assert!(snap.search(&sig, q, 0.9).iter().any(|&(hit, _)| hit == id));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -58,6 +58,6 @@ pub mod pool;
 pub mod server;
 
 pub use cache::{CacheStats, LruCache, QueryKey};
-pub use container::{DomainRecord, IndexContainer, IndexKind};
-pub use engine::{Engine, EngineError, Snapshot};
+pub use container::{DeltaError, DeltaLog, DeltaOp, DomainRecord, IndexContainer, IndexKind};
+pub use engine::{CommitOutcome, Engine, EngineError, Snapshot, StagedCounts};
 pub use server::{start, ServerConfig, ServerHandle};

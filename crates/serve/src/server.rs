@@ -5,10 +5,13 @@
 //! | method | path        | purpose                                         |
 //! |--------|-------------|-------------------------------------------------|
 //! | GET    | `/health`   | liveness + index summary                        |
-//! | GET    | `/stats`    | index, cache, and traffic statistics            |
+//! | GET    | `/stats`    | index, cache, traffic, and staging statistics   |
 //! | POST   | `/query`    | one containment query                           |
 //! | POST   | `/topk`     | one top-k query (needs a ranked index)          |
 //! | POST   | `/batch`    | many queries, fanned out across worker threads  |
+//! | POST   | `/insert`   | stage one new domain (delta-logged)             |
+//! | POST   | `/remove`   | stage the removal of a domain by id             |
+//! | POST   | `/commit`   | apply staged mutations as a new generation      |
 //! | POST   | `/reload`   | hot-swap the index snapshot                     |
 //! | POST   | `/shutdown` | graceful stop (drain in-flight, then exit)      |
 
@@ -88,6 +91,9 @@ struct Counters {
     batches: AtomicU64,
     batch_queries: AtomicU64,
     reloads: AtomicU64,
+    inserts: AtomicU64,
+    removes: AtomicU64,
+    commits: AtomicU64,
     errors: AtomicU64,
 }
 
@@ -584,15 +590,20 @@ fn route(shared: &Arc<Shared>, request: &Request) -> Outcome {
         ("POST", "/topk") => handle_query(shared, request, true),
         ("POST", "/batch") => handle_batch(shared, request),
         ("POST", "/reload") => handle_reload(shared, request),
+        ("POST", "/insert") => handle_insert(shared, request),
+        ("POST", "/remove") => handle_remove(shared, request),
+        ("POST", "/commit") => handle_commit(shared),
         ("POST", "/shutdown") => Outcome {
             status: 200,
             reason: "OK",
             body: Json::obj(vec![("status", Json::str("shutting down"))]),
             close_after: true,
         },
-        (_, "/health" | "/stats" | "/query" | "/topk" | "/batch" | "/reload" | "/shutdown") => {
-            Outcome::error(405, "Method Not Allowed", "wrong method for this path")
-        }
+        (
+            _,
+            "/health" | "/stats" | "/query" | "/topk" | "/batch" | "/reload" | "/insert"
+            | "/remove" | "/commit" | "/shutdown",
+        ) => Outcome::error(405, "Method Not Allowed", "wrong method for this path"),
         (_, path) => Outcome::error(404, "Not Found", format!("no such endpoint: {path}")),
     };
     if outcome.status >= 400 {
@@ -625,6 +636,7 @@ fn cache_json(stats: &CacheStats) -> Json {
 
 fn handle_stats(shared: &Shared) -> Outcome {
     let snap = shared.engine.snapshot();
+    let staged = shared.engine.staged_counts();
     let c = &shared.counters;
     let q = &shared.query_totals;
     Outcome::ok(Json::obj(vec![
@@ -656,7 +668,17 @@ fn handle_stats(shared: &Shared) -> Outcome {
                     Json::uint(c.batch_queries.load(Ordering::Relaxed)),
                 ),
                 ("reload", Json::uint(c.reloads.load(Ordering::Relaxed))),
+                ("insert", Json::uint(c.inserts.load(Ordering::Relaxed))),
+                ("remove", Json::uint(c.removes.load(Ordering::Relaxed))),
+                ("commit", Json::uint(c.commits.load(Ordering::Relaxed))),
                 ("errors", Json::uint(c.errors.load(Ordering::Relaxed))),
+            ]),
+        ),
+        (
+            "staged",
+            Json::obj(vec![
+                ("inserts", Json::uint(staged.inserts as u64)),
+                ("removes", Json::uint(staged.removes as u64)),
             ]),
         ),
         ("cache", cache_json(&shared.cache.stats())),
@@ -982,9 +1004,138 @@ fn handle_reload(shared: &Shared, request: &Request) -> Outcome {
             ]))
         }
         Err(EngineError::Io(e)) => Outcome::error(400, "Bad Request", format!("i/o error: {e}")),
-        Err(e @ (EngineError::Index(_) | EngineError::Config(_))) => {
-            Outcome::error(400, "Bad Request", e.to_string())
+        Err(e) => Outcome::error(400, "Bad Request", e.to_string()),
+    }
+}
+
+/// `POST /insert`: stage one domain for live ingestion. The body carries
+/// the domain's `values` (hashed server-side, exactly like `/query`) plus
+/// optional `table`/`column` provenance. The domain becomes queryable on
+/// the next `/commit`; until then `/stats` reports it under `staged`.
+fn handle_insert(shared: &Shared, request: &Request) -> Outcome {
+    let body = match parse_body(request) {
+        Ok(body) => body,
+        Err(msg) => return Outcome::error(400, "Bad Request", msg),
+    };
+    let Some(values) = body.get("values").and_then(Json::as_array) else {
+        return Outcome::error(
+            400,
+            "Bad Request",
+            "missing \"values\": expected an array of strings",
+        );
+    };
+    if values.is_empty() {
+        return Outcome::error(400, "Bad Request", "\"values\" must not be empty");
+    }
+    let mut strs = Vec::with_capacity(values.len());
+    for v in values {
+        match v.as_str() {
+            Some(s) => strs.push(s),
+            None => {
+                return Outcome::error(400, "Bad Request", "\"values\" entries must all be strings")
+            }
         }
+    }
+    let table = match body.get("table") {
+        None => "ingest".to_owned(),
+        Some(t) => match t.as_str() {
+            Some(t) => t.to_owned(),
+            None => return Outcome::error(400, "Bad Request", "\"table\" must be a string"),
+        },
+    };
+    let column = match body.get("column") {
+        None => "col".to_owned(),
+        Some(c) => match c.as_str() {
+            Some(c) => c.to_owned(),
+            None => return Outcome::error(400, "Bad Request", "\"column\" must be a string"),
+        },
+    };
+    let domain = Domain::from_strs(strs.iter().copied());
+    let snap = shared.engine.snapshot();
+    let signature = domain.signature(snap.hasher());
+    match shared
+        .engine
+        .stage_insert(table, column, domain.len() as u64, signature)
+    {
+        Ok((id, staged)) => {
+            shared.counters.inserts.fetch_add(1, Ordering::Relaxed);
+            Outcome::ok(Json::obj(vec![
+                ("status", Json::str("staged")),
+                ("id", Json::uint(u64::from(id))),
+                ("size", Json::uint(domain.len() as u64)),
+                ("staged_inserts", Json::uint(staged.inserts as u64)),
+                ("staged_removes", Json::uint(staged.removes as u64)),
+            ]))
+        }
+        Err(EngineError::Io(e)) => {
+            Outcome::error(500, "Internal Server Error", format!("delta log: {e}"))
+        }
+        Err(e) => Outcome::error(400, "Bad Request", e.to_string()),
+    }
+}
+
+/// `POST /remove`: stage the removal of a domain by id. Takes effect on
+/// the next `/commit`; double-removal and unknown ids are 400s.
+fn handle_remove(shared: &Shared, request: &Request) -> Outcome {
+    let body = match parse_body(request) {
+        Ok(body) => body,
+        Err(msg) => return Outcome::error(400, "Bad Request", msg),
+    };
+    let Some(id) = body.get("id").and_then(Json::as_u64) else {
+        return Outcome::error(400, "Bad Request", "missing \"id\": expected an integer");
+    };
+    let Ok(id) = u32::try_from(id) else {
+        return Outcome::error(400, "Bad Request", "\"id\" out of range");
+    };
+    match shared.engine.stage_remove(id) {
+        Ok(staged) => {
+            shared.counters.removes.fetch_add(1, Ordering::Relaxed);
+            Outcome::ok(Json::obj(vec![
+                ("status", Json::str("staged")),
+                ("id", Json::uint(u64::from(id))),
+                ("staged_inserts", Json::uint(staged.inserts as u64)),
+                ("staged_removes", Json::uint(staged.removes as u64)),
+            ]))
+        }
+        Err(EngineError::Io(e)) => {
+            Outcome::error(500, "Internal Server Error", format!("delta log: {e}"))
+        }
+        Err(e) => Outcome::error(400, "Bad Request", e.to_string()),
+    }
+}
+
+/// `POST /commit`: apply every staged mutation as one new snapshot
+/// generation (copy-on-write: in-flight queries keep their snapshot), and
+/// persist the result. Idempotent when nothing is staged.
+fn handle_commit(shared: &Shared) -> Outcome {
+    match shared.engine.commit_staged() {
+        Ok((snap, outcome)) => {
+            if outcome.applied > 0 {
+                // Entries are generation-keyed (never stale), but the old
+                // generation is unreachable now: drop the dead weight.
+                shared.cache.clear();
+                shared.counters.commits.fetch_add(1, Ordering::Relaxed);
+            }
+            Outcome::ok(Json::obj(vec![
+                (
+                    "status",
+                    Json::str(if outcome.applied > 0 {
+                        "committed"
+                    } else {
+                        "nothing staged"
+                    }),
+                ),
+                ("applied", Json::uint(outcome.applied as u64)),
+                ("merged", Json::uint(outcome.report.merged as u64)),
+                ("rebalanced", Json::Bool(outcome.report.rebalanced)),
+                ("generation", Json::uint(snap.generation())),
+                ("domains", Json::uint(snap.container().len() as u64)),
+            ]))
+        }
+        Err(EngineError::Io(e)) => {
+            Outcome::error(500, "Internal Server Error", format!("persist: {e}"))
+        }
+        Err(e) => Outcome::error(400, "Bad Request", e.to_string()),
     }
 }
 
@@ -1201,6 +1352,86 @@ mod tests {
                 "batch entry {k} missing self hit: {result}"
             );
         }
+        server.shutdown();
+    }
+
+    #[test]
+    fn insert_remove_commit_endpoints() {
+        let server = boot(test_engine(6, true));
+        let addr = server.addr();
+
+        // Stage an insert; not yet visible.
+        let values: Vec<String> = (0..30).map(|i| format!("\"w{i}\"")).collect();
+        let insert_body = format!(
+            "{{\"values\": [{}], \"table\": \"live\", \"column\": \"c\"}}",
+            values.join(",")
+        );
+        let (status, body) = post(addr, "/insert", &insert_body);
+        assert_eq!(status, 200, "{body}");
+        let staged = Json::parse(&body).expect("json");
+        assert_eq!(staged.get("status").and_then(Json::as_str), Some("staged"));
+        assert_eq!(staged.get("id").and_then(Json::as_u64), Some(6));
+        let query_body = format!("{{\"values\": [{}], \"threshold\": 0.9}}", values.join(","));
+        let (_, pre) = post(addr, "/query", &query_body);
+        let pre = Json::parse(&pre).expect("json");
+        assert_eq!(pre.get("count").and_then(Json::as_u64), Some(0));
+
+        // Stage a remove; /stats shows both.
+        let (status, body) = post(addr, "/remove", r#"{"id": 2}"#);
+        assert_eq!(status, 200, "{body}");
+        let (_, stats) = get(addr, "/stats");
+        let stats = Json::parse(&stats).expect("json");
+        let s = stats.get("staged").expect("staged");
+        assert_eq!(s.get("inserts").and_then(Json::as_u64), Some(1));
+        assert_eq!(s.get("removes").and_then(Json::as_u64), Some(1));
+
+        // Bad mutations are 400s.
+        assert_eq!(post(addr, "/remove", r#"{"id": 2}"#).0, 400, "double");
+        assert_eq!(post(addr, "/remove", r#"{"id": 999}"#).0, 400, "unknown");
+        assert_eq!(post(addr, "/remove", "{}").0, 400);
+        assert_eq!(post(addr, "/insert", r#"{"values": []}"#).0, 400);
+        assert_eq!(post(addr, "/insert", r#"{"values": [3]}"#).0, 400);
+        assert_eq!(get(addr, "/commit").0, 405);
+
+        // Commit: new generation, insert visible, removed id gone.
+        let (status, body) = post(addr, "/commit", "");
+        assert_eq!(status, 200, "{body}");
+        let committed = Json::parse(&body).expect("json");
+        assert_eq!(
+            committed.get("status").and_then(Json::as_str),
+            Some("committed")
+        );
+        assert_eq!(committed.get("applied").and_then(Json::as_u64), Some(2));
+        assert_eq!(committed.get("generation").and_then(Json::as_u64), Some(2));
+        assert_eq!(committed.get("domains").and_then(Json::as_u64), Some(6));
+        let (_, post_commit) = post(addr, "/query", &query_body);
+        let post_commit = Json::parse(&post_commit).expect("json");
+        assert_eq!(
+            post_commit.get("cached"),
+            Some(&Json::Bool(false)),
+            "new generation must not serve the stale cached answer"
+        );
+        let hits = post_commit
+            .get("hits")
+            .and_then(Json::as_array)
+            .expect("hits");
+        assert!(
+            hits.iter()
+                .any(|h| h.get("id").and_then(Json::as_u64) == Some(6)
+                    && h.get("table").and_then(Json::as_str) == Some("live")),
+            "{post_commit}"
+        );
+
+        // Idempotent empty commit.
+        let (status, body) = post(addr, "/commit", "");
+        assert_eq!(status, 200);
+        assert_eq!(
+            Json::parse(&body)
+                .expect("json")
+                .get("status")
+                .and_then(Json::as_str),
+            Some("nothing staged")
+        );
         server.shutdown();
     }
 

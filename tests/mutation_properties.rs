@@ -1,0 +1,259 @@
+//! Property-based invariants for dynamic mutation (§6.2): arbitrary
+//! insert / remove / commit interleavings against a ground-truth model.
+//!
+//! For every generated script the suite maintains a plain `BTreeMap`
+//! model of the live corpus and checks, on the mutated `LshEnsemble` (and
+//! a `RankedIndex` driven by the same script, with rebalancing enabled):
+//!
+//! * partition boundaries stay monotone (`lower ≤ upper`, ranges ordered
+//!   and non-overlapping across partitions),
+//! * every stored id remains queryable **exactly once** (a self-query at
+//!   `t* = 1.0` returns it once; removed ids are never returned),
+//! * `len()` / `is_empty()` / `contains()` never disagree with the model,
+//!   and `memory_bytes()` stays positive while anything is indexed,
+//! * `staged_len()` tracks exactly the inserts since the last commit.
+
+use lshe_core::{
+    EnsembleConfig, LshEnsemble, MutableIndex, MutationError, PartitionStrategy, RankedIndex,
+};
+use lshe_lsh::DomainId;
+use lshe_minhash::{MinHasher, Signature};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+const NUM_PERM: usize = 64;
+
+fn config(parts: usize) -> EnsembleConfig {
+    EnsembleConfig {
+        num_perm: NUM_PERM,
+        b_max: 8,
+        r_max: 8,
+        strategy: PartitionStrategy::EquiDepth { n: parts },
+    }
+}
+
+/// Deterministic per-id domain: `size` distinct synthetic values.
+fn signature_for(id: DomainId, size: u64) -> Signature {
+    let hasher = MinHasher::new(NUM_PERM);
+    let vals = MinHasher::synthetic_values(u64::from(id) + 1, size as usize);
+    hasher.signature(vals.iter().copied())
+}
+
+/// Checks the structural invariants of one mutated index against the
+/// model. `staged` is the insert count since the last commit.
+fn check_invariants(
+    label: &str,
+    index: &dyn MutableIndex,
+    ens: &LshEnsemble,
+    model: &BTreeMap<DomainId, u64>,
+    staged: usize,
+) -> Result<(), TestCaseError> {
+    prop_assert!(
+        index.len() == model.len(),
+        "{label}: len {} vs model {}",
+        index.len(),
+        model.len()
+    );
+    prop_assert!(
+        index.is_empty() == model.is_empty(),
+        "{label}: is_empty disagrees"
+    );
+    prop_assert!(
+        index.staged_len() == staged,
+        "{label}: staged_len {} vs {staged}",
+        index.staged_len()
+    );
+    if !model.is_empty() {
+        prop_assert!(index.memory_bytes() > 0, "{label}: no memory accounted");
+    }
+    for &id in model.keys() {
+        prop_assert!(ens.contains(id), "{label}: live id {id} not contained");
+    }
+    // Partition boundaries monotone and well-formed.
+    let stats = ens.partition_stats();
+    let members: usize = stats.iter().map(|p| p.count).sum();
+    prop_assert!(
+        members == model.len(),
+        "{label}: partition members {members} vs model {}",
+        model.len()
+    );
+    for p in &stats {
+        prop_assert!(p.lower <= p.upper, "{label}: inverted bounds {p:?}");
+    }
+    for w in stats.windows(2) {
+        prop_assert!(
+            w[0].upper <= w[1].lower,
+            "{label}: overlapping partitions {w:?}"
+        );
+    }
+    Ok(())
+}
+
+/// Self-queries: every live id is returned exactly once at `t* = 1.0`;
+/// every removed id never (probed with its original signature). Checked
+/// on a sample to bound runtime.
+fn check_queryability(
+    label: &str,
+    ens: &LshEnsemble,
+    model: &BTreeMap<DomainId, u64>,
+    dead: &[(DomainId, u64)],
+) -> Result<(), TestCaseError> {
+    for (&id, &size) in model.iter().take(25) {
+        let sig = signature_for(id, size);
+        let got = ens.query_with_size(&sig, size, 1.0);
+        let hits = got.iter().filter(|&&g| g == id).count();
+        prop_assert!(hits == 1, "{label}: live id {id} found {hits} times");
+    }
+    for &(id, size) in dead.iter().take(25) {
+        let sig = signature_for(id, size);
+        prop_assert!(
+            !ens.query_with_size(&sig, size, 1.0).contains(&id),
+            "{label}: dead id {id} returned"
+        );
+        prop_assert!(!ens.contains(id), "{label}: dead id {id} contained");
+    }
+    Ok(())
+}
+
+proptest! {
+    /// The headline property: arbitrary interleavings keep both the plain
+    /// ensemble and the rebalancing ranked index consistent with the
+    /// model, structurally sound, and exactly-once queryable.
+    #[test]
+    fn interleaved_mutations_preserve_equi_depth_invariants(
+        initial_sizes in prop::collection::vec(1u64..1_500, 8..24),
+        script in prop::collection::vec(0u32..1_000_000, 1..40),
+        parts in 2usize..6,
+        trigger_choice in 0usize..3,
+    ) {
+        // Build the initial corpus (ids 0..n) and the model.
+        let mut model: BTreeMap<DomainId, u64> = BTreeMap::new();
+        let mut ens_builder = LshEnsemble::builder_with(config(parts));
+        let mut ranked_builder = RankedIndex::builder_with(config(parts));
+        for (i, &size) in initial_sizes.iter().enumerate() {
+            let id = i as DomainId;
+            let sig = signature_for(id, size);
+            ens_builder.add(id, size, sig.clone());
+            ranked_builder.add(id, size, sig);
+            model.insert(id, size);
+        }
+        let mut ens = ens_builder.build();
+        let mut ranked = ranked_builder.build();
+        // Sweep the trigger across "always", "default", and "never" so
+        // rebalancing and conservative growth are both exercised.
+        ranked.set_rebalance_trigger([0.5, 4.0, 1e12][trigger_choice]);
+
+        let mut next_id = initial_sizes.len() as DomainId;
+        let mut dead: Vec<(DomainId, u64)> = Vec::new();
+        let mut staged = 0usize;
+        for word in script {
+            match word % 3 {
+                0 => {
+                    // Insert a fresh domain; duplicate inserts must fail
+                    // identically on both indexes.
+                    let id = next_id;
+                    next_id += 1;
+                    let size = 1 + u64::from(word / 3) % 3_000;
+                    let sig = signature_for(id, size);
+                    ens.try_insert(id, size, &sig).expect("fresh insert");
+                    ranked.try_insert(id, size, &sig).expect("fresh insert");
+                    prop_assert_eq!(
+                        ens.try_insert(id, size, &sig),
+                        Err(MutationError::DuplicateId(id))
+                    );
+                    prop_assert_eq!(
+                        ranked.try_insert(id, size, &sig),
+                        Err(MutationError::DuplicateId(id))
+                    );
+                    model.insert(id, size);
+                    staged += 1;
+                }
+                1 => {
+                    if model.is_empty() {
+                        continue;
+                    }
+                    // Remove a deterministic live id; double removal must
+                    // fail identically on both indexes.
+                    let live: Vec<DomainId> = model.keys().copied().collect();
+                    let id = live[(word as usize / 3) % live.len()];
+                    // Removing a still-staged insert shrinks the backlog.
+                    let was_staged = ens.staged_len();
+                    ens.try_remove(id).expect("live remove");
+                    ranked.try_remove(id).expect("live remove");
+                    staged -= was_staged - ens.staged_len();
+                    prop_assert_eq!(ens.try_remove(id), Err(MutationError::UnknownId(id)));
+                    prop_assert_eq!(ranked.try_remove(id), Err(MutationError::UnknownId(id)));
+                    let size = model.remove(&id).expect("modelled");
+                    dead.push((id, size));
+                }
+                _ => {
+                    let report = MutableIndex::commit(&mut ens);
+                    prop_assert!(
+                        report.merged == staged,
+                        "ensemble commit merged {} vs staged {staged}",
+                        report.merged
+                    );
+                    prop_assert!(!report.rebalanced, "plain ensemble cannot rebalance");
+                    let _ = ranked.commit();
+                    staged = 0;
+                }
+            }
+            prop_assert_eq!(ranked.staged_len(), ens.staged_len());
+        }
+
+        check_invariants("ensemble", &ens, &ens, &model, staged)?;
+        check_invariants("ranked", &ranked, ranked.ensemble(), &model, staged)?;
+        check_queryability("ensemble", &ens, &model, &dead)?;
+        check_queryability("ranked", ranked.ensemble(), &model, &dead)?;
+
+        // A final commit folds everything and changes no answers.
+        let _ = MutableIndex::commit(&mut ens);
+        let _ = ranked.commit();
+        prop_assert_eq!(ens.staged_len(), 0);
+        check_queryability("ensemble/committed", &ens, &model, &dead)?;
+        check_queryability("ranked/committed", ranked.ensemble(), &model, &dead)?;
+    }
+
+    /// Serialisation commutes with mutation: mutate → save → load lands on
+    /// an index that answers exactly like the in-memory original.
+    #[test]
+    fn mutated_ensemble_roundtrips_through_bytes(
+        initial_sizes in prop::collection::vec(1u64..800, 4..16),
+        script in prop::collection::vec(0u32..1_000_000, 1..25),
+    ) {
+        let mut model: BTreeMap<DomainId, u64> = BTreeMap::new();
+        let mut builder = LshEnsemble::builder_with(config(3));
+        for (i, &size) in initial_sizes.iter().enumerate() {
+            let id = i as DomainId;
+            builder.add(id, size, signature_for(id, size));
+            model.insert(id, size);
+        }
+        let mut ens = builder.build();
+        let mut next_id = initial_sizes.len() as DomainId;
+        for word in script {
+            if word % 2 == 0 {
+                let id = next_id;
+                next_id += 1;
+                let size = 1 + u64::from(word) % 900;
+                ens.try_insert(id, size, &signature_for(id, size)).expect("insert");
+                model.insert(id, size);
+            } else if !model.is_empty() {
+                let live: Vec<DomainId> = model.keys().copied().collect();
+                let id = live[(word as usize) % live.len()];
+                ens.try_remove(id).expect("remove");
+                model.remove(&id);
+            }
+        }
+        let restored = LshEnsemble::from_bytes(&ens.to_bytes()).expect("roundtrip");
+        prop_assert_eq!(restored.len(), model.len());
+        for (&id, &size) in model.iter().take(20) {
+            let sig = signature_for(id, size);
+            prop_assert!(
+                ens.query_with_size(&sig, size, 1.0)
+                    == restored.query_with_size(&sig, size, 1.0),
+                "id {id} answers diverge after roundtrip"
+            );
+            prop_assert!(restored.contains(id));
+        }
+    }
+}

@@ -5,22 +5,26 @@
 //! and exercises a minimal end-to-end flow through the facade only.
 
 use lshe::{
-    Catalog, Domain, DomainId, DomainIndex, EnsembleConfig, ExactIndex, ForestIndex,
-    IndexContainer, IndexKind, LshEnsemble, LshForest, MinHasher, OnePermHasher, PartitionStrategy,
-    Query, QueryError, QueryMode, QueryStats, RankedHit, RankedIndex, SearchHit, SearchOutcome,
-    ServerConfig, ShardedEnsemble, ShardedRanked, Signature, ESTIMATE_SLACK,
+    Catalog, CommitReport, DeltaLog, DeltaOp, Domain, DomainId, DomainIndex, EnsembleConfig,
+    ExactIndex, ForestIndex, IndexContainer, IndexKind, LshEnsemble, LshForest, MinHasher,
+    MutableIndex, MutationError, OnePermHasher, PartitionStrategy, Query, QueryError, QueryMode,
+    QueryStats, RankedHit, RankedIndex, SearchHit, SearchOutcome, ServerConfig, ShardedEnsemble,
+    ShardedRanked, Signature, DEFAULT_REBALANCE_TRIGGER, ESTIMATE_SLACK,
 };
 
-/// Compile-time assertions: the trait is object safe and the key types
+/// Compile-time assertions: the traits are object safe and the key types
 /// keep their auto traits (the server shares outcomes across threads).
 #[allow(dead_code)]
 fn static_surface_assertions() {
     fn object_safe(_: &dyn DomainIndex) {}
+    fn mutable_object_safe(_: &mut dyn MutableIndex) {}
     fn send_sync<T: Send + Sync>() {}
     send_sync::<Box<dyn DomainIndex>>();
     send_sync::<SearchOutcome>();
     send_sync::<QueryStats>();
     send_sync::<QueryError>();
+    send_sync::<MutationError>();
+    send_sync::<CommitReport>();
 }
 
 #[test]
@@ -58,6 +62,44 @@ fn facade_exposes_the_unified_query_surface() {
 
     // RankedHit is still exported for the inherent query paths.
     let _: Vec<RankedHit>;
+}
+
+#[test]
+fn facade_exposes_the_mutation_surface() {
+    const { assert!(DEFAULT_REBALANCE_TRIGGER > 1.0) };
+    let hasher = MinHasher::new(256);
+    let pool = MinHasher::synthetic_values(4, 200);
+    let mut builder = RankedIndex::builder_with(EnsembleConfig {
+        strategy: PartitionStrategy::EquiDepth { n: 2 },
+        ..EnsembleConfig::default()
+    });
+    for k in 0..8u32 {
+        let vals = &pool[..20 * (k as usize + 1)];
+        builder.add(k, vals.len() as u64, hasher.signature(vals.iter().copied()));
+    }
+    let mut index = builder.build();
+    let mutable: &mut dyn MutableIndex = &mut index;
+
+    let sig = hasher.signature(pool[..50].iter().copied());
+    mutable.insert(100, 50, &sig).expect("insert");
+    assert_eq!(mutable.staged_len(), 1);
+    assert!(matches!(
+        mutable.insert(100, 50, &sig),
+        Err(MutationError::DuplicateId(100))
+    ));
+    mutable.remove(3).expect("remove");
+    let report: CommitReport = mutable.commit();
+    assert_eq!(report.merged, 1);
+    assert_eq!(mutable.len(), 8);
+
+    // Delta-log types are reachable and round-trip through the facade.
+    let dir = std::env::temp_dir().join(format!("lshe_public_api_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let log = DeltaLog::sidecar(&dir.join("api.lshe"));
+    log.append(&DeltaOp::Remove { id: 1 }).expect("append");
+    assert_eq!(log.read().expect("read"), vec![DeltaOp::Remove { id: 1 }]);
+    log.clear().expect("clear");
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -377,6 +377,163 @@ fn sustained_concurrent_load_with_hot_reload() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Live ingestion under concurrent query load: one writer hammers
+/// `/insert` + `/commit` (with a hot `/reload` thrown mid-stream — the
+/// reload-during-insert race) while 3 clients query continuously. Zero
+/// failed requests; pre-insert snapshots stay consistent (the original
+/// corpus answers never change, whatever generation serves them); after
+/// the final commit every surviving inserted domain is queryable and the
+/// staged backlog is empty.
+#[test]
+fn live_ingestion_under_concurrent_query_load() {
+    const READERS: usize = 3;
+    const READS_PER_CLIENT: usize = 600;
+    const INSERTS: usize = 20;
+    const THRESHOLD: f64 = 0.8;
+
+    let dir = scratch("ingest");
+    let index_path = dir.join("idx.lshe");
+    let container = IndexContainer::build(&build_catalog(16), 4, true);
+    std::fs::write(&index_path, container.to_bytes()).expect("write index");
+
+    // Reference answers for the original corpus: inserted domains use a
+    // disjoint value namespace ("w…"), so these answers must hold across
+    // every generation, before and after each commit.
+    let reference =
+        IndexContainer::from_bytes(&std::fs::read(&index_path).expect("read")).expect("decode");
+    let expected: Arc<Vec<Vec<u64>>> = Arc::new(
+        (0..8)
+            .map(|k| expected_ids(&reference, k, THRESHOLD))
+            .collect(),
+    );
+    let bodies: Arc<Vec<String>> = Arc::new((0..8).map(|k| query_body(k, THRESHOLD)).collect());
+
+    let engine = Engine::load(&index_path, 1).expect("engine");
+    let server = start(
+        Arc::new(engine),
+        &ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            threads: 4,
+            cache_capacity: 256,
+        },
+    )
+    .expect("bind");
+    let addr = server.addr();
+
+    let readers: Vec<_> = (0..READERS)
+        .map(|c| {
+            let bodies = Arc::clone(&bodies);
+            let expected = Arc::clone(&expected);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr);
+                for i in 0..READS_PER_CLIENT {
+                    let k = (c + i) % bodies.len();
+                    let (status, response) = client.post("/query", &bodies[k]);
+                    assert_eq!(status, 200, "reader {c} req {i}: {response}");
+                    let mut got = hit_ids(&response);
+                    got.retain(|&id| id < 16); // inserted ids may appear post-commit
+                    got.sort_unstable();
+                    assert_eq!(
+                        got, expected[k],
+                        "reader {c} req {i} (query {k}): original-corpus answers drifted"
+                    );
+                }
+            })
+        })
+        .collect();
+
+    // The writer: 20 inserts, a commit every 5, a /reload mid-stream, one
+    // /remove of an inserted id, and a final commit.
+    let writer = std::thread::spawn(move || {
+        let mut client = Client::connect(addr);
+        let mut inserted: Vec<(u64, usize)> = Vec::new();
+        for k in 0..INSERTS {
+            let values: Vec<String> = (0..25 + 3 * k).map(|i| format!("\"w{k}_{i}\"")).collect();
+            let body = format!(
+                "{{\"values\": [{}], \"table\": \"live{k}\", \"column\": \"c\"}}",
+                values.join(",")
+            );
+            let (status, response) = client.post("/insert", &body);
+            assert_eq!(status, 200, "insert {k}: {response}");
+            let id = response.get("id").and_then(Json::as_u64).expect("id");
+            inserted.push((id, k));
+            if k == 7 {
+                // The reload-during-insert race: hot-swap the (committed)
+                // base file while mutations are staged.
+                let (status, response) = client.post("/reload", "");
+                assert_eq!(status, 200, "reload during staging: {response}");
+            }
+            if k == 11 {
+                let victim = inserted[10].0;
+                let (status, response) = client.post("/remove", &format!("{{\"id\": {victim}}}"));
+                assert_eq!(status, 200, "remove staged insert: {response}");
+                inserted.retain(|&(id, _)| id != victim);
+            }
+            if k % 5 == 4 {
+                let (status, response) = client.post("/commit", "");
+                assert_eq!(status, 200, "commit at {k}: {response}");
+            }
+        }
+        let (status, response) = client.post("/commit", "");
+        assert_eq!(status, 200, "final commit: {response}");
+        inserted
+    });
+
+    let inserted = writer.join().expect("writer panicked");
+    for handle in readers {
+        handle
+            .join()
+            .expect("reader panicked — error or stale answer");
+    }
+
+    // Every surviving inserted domain answers its own query post-commit.
+    let mut client = Client::connect(addr);
+    for &(id, k) in &inserted {
+        let values: Vec<String> = (0..25 + 3 * k).map(|i| format!("\"w{k}_{i}\"")).collect();
+        let body = format!("{{\"values\": [{}], \"threshold\": 0.9}}", values.join(","));
+        let (status, response) = client.post("/query", &body);
+        assert_eq!(status, 200, "{response}");
+        assert!(
+            hit_ids(&response).contains(&id),
+            "inserted domain {id} (live{k}) invisible post-commit: {response}"
+        );
+    }
+
+    // Staged backlog drained; no server-side errors beyond none expected.
+    let (status, stats) = client.get("/stats");
+    assert_eq!(status, 200);
+    let staged = stats.get("staged").expect("staged");
+    assert_eq!(staged.get("inserts").and_then(Json::as_u64), Some(0));
+    assert_eq!(staged.get("removes").and_then(Json::as_u64), Some(0));
+    let requests = stats.get("requests").expect("requests");
+    assert_eq!(
+        requests.get("insert").and_then(Json::as_u64),
+        Some(INSERTS as u64)
+    );
+    assert_eq!(requests.get("remove").and_then(Json::as_u64), Some(1));
+    assert_eq!(requests.get("errors").and_then(Json::as_u64), Some(0));
+    assert_eq!(
+        requests.get("query").and_then(Json::as_u64),
+        Some((READERS * READS_PER_CLIENT + inserted.len()) as u64)
+    );
+    let domains = stats
+        .get("domains")
+        .and_then(Json::as_u64)
+        .expect("domains");
+    assert_eq!(domains, 16 + inserted.len() as u64);
+
+    // The committed state is durable: a fresh engine on the same file
+    // (no delta log left behind) sees everything.
+    server.shutdown();
+    assert!(
+        !lshe_serve::container::DeltaLog::sidecar(&index_path).exists(),
+        "delta log must be retired after the final commit"
+    );
+    let reloaded = Engine::load(&index_path, 1).expect("reload committed file");
+    assert_eq!(reloaded.snapshot().container().len(), 16 + inserted.len());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// `--shards N` wiring: the sharded engine answers over HTTP with the
 /// paper's fan-out/union topology and still finds the query's own domain.
 #[test]
