@@ -114,10 +114,17 @@ pub fn accuracy_sweep(
                     for &q in qs {
                         let truth = ground_truth_sets(exact, catalog, q, thresholds);
                         let q_size = catalog.domain(q).len() as u64;
-                        for (k, &t) in thresholds.iter().enumerate() {
-                            let query =
-                                Query::threshold(&signatures[q as usize], t).with_size(q_size);
-                            let answer = index.search(&query).expect("valid threshold query").ids();
+                        // One batched dispatch per query across the whole
+                        // threshold grid: the index amortizes its
+                        // partition probes over all thresholds at once.
+                        let batch: Vec<Query<'_>> = thresholds
+                            .iter()
+                            .map(|&t| {
+                                Query::threshold(&signatures[q as usize], t).with_size(q_size)
+                            })
+                            .collect();
+                        for (k, result) in index.search_batch(&batch).into_iter().enumerate() {
+                            let answer = result.expect("valid threshold query").ids();
                             acc[k].push(query_accuracy(&answer, &truth[k]));
                         }
                     }

@@ -262,8 +262,14 @@ fn cmd_ingest(flags: &Flags) -> Result<String, CliError> {
         )));
     }
     let hasher = MinHasher::new(container.num_perm());
+    // Sketch every appended domain through the batched constructor (one
+    // shared hash scratch, worker lanes spawned once for the directory).
+    let sets: Vec<&[u64]> = catalog.iter().map(|(_, d)| d.hashes()).collect();
+    let signatures = hasher.bulk_signatures(&sets);
     let mut ops = Vec::with_capacity(catalog.len());
-    for (next_id, (id, domain)) in (container.next_id()..).zip(catalog.iter()) {
+    for ((next_id, (id, domain)), signature) in
+        (container.next_id()..).zip(catalog.iter()).zip(signatures)
+    {
         let meta = catalog.meta(id);
         ops.push(container::DeltaOp::Insert {
             record: container::DomainRecord {
@@ -272,7 +278,7 @@ fn cmd_ingest(flags: &Flags) -> Result<String, CliError> {
                 table: meta.table.clone(),
                 column: meta.column.clone(),
             },
-            signature: domain.signature(&hasher),
+            signature,
         });
     }
     let appended = ops.len();

@@ -331,7 +331,11 @@ pub struct QueryStats {
     pub candidates: usize,
     /// Hits surviving dedup and any estimate post-filter (= `hits.len()`).
     pub survivors: usize,
-    /// Wall time of the search, in microseconds.
+    /// Execution time of the search, in microseconds. For a single
+    /// [`DomainIndex::search`] this is plain wall time; under
+    /// [`DomainIndex::search_batch`] it is the execution time *attributed
+    /// to this query* within the batch (its probes, dedup, and ranking),
+    /// so per-query cost stays meaningful when many queries interleave.
     pub wall_micros: u64,
 }
 
@@ -417,6 +421,40 @@ pub(crate) fn outcome_from_ids(
     outcome_from_hits(hits, probe, started)
 }
 
+/// Builds a [`SearchOutcome`] with an explicit execution time in
+/// nanoseconds — the batched paths accumulate per-query time across the
+/// partition-outer sweep instead of bracketing one `Instant`.
+pub(crate) fn outcome_from_hits_timed(
+    hits: Vec<SearchHit>,
+    probe: ProbeCounts,
+    nanos: u64,
+) -> SearchOutcome {
+    let survivors = hits.len();
+    SearchOutcome {
+        hits,
+        stats: QueryStats {
+            partitions_probed: probe.probed,
+            partitions_total: probe.total,
+            candidates: probe.candidates,
+            survivors,
+            wall_micros: nanos / 1_000,
+        },
+    }
+}
+
+/// [`outcome_from_hits_timed`] over plain candidate ids.
+pub(crate) fn outcome_from_ids_timed(
+    ids: Vec<DomainId>,
+    probe: ProbeCounts,
+    nanos: u64,
+) -> SearchOutcome {
+    let hits = ids
+        .into_iter()
+        .map(|id| SearchHit { id, estimate: None })
+        .collect();
+    outcome_from_hits_timed(hits, probe, nanos)
+}
+
 /// The shared top-k strategy: descend through containment thresholds
 /// (1.0, 0.9, …, 0.0), querying the backend via `query_at`, until at
 /// least `k` distinct candidates accumulate. Probe counters follow the
@@ -457,6 +495,25 @@ pub trait DomainIndex: std::fmt::Debug + Send + Sync {
     /// answer — never a panic.
     fn search(&self, query: &Query<'_>) -> Result<SearchOutcome, QueryError>;
 
+    /// Answers a batch of queries, one result per query in request order.
+    ///
+    /// The default implementation is the plain loop over
+    /// [`search`](Self::search). Backends with a real batched execution
+    /// path override it to amortize work across the batch: partitions and
+    /// shards are probed once per batch (while their forests are hot),
+    /// dedup scratch is reused across queries, and thread fan-out happens
+    /// once per batch instead of once per query.
+    ///
+    /// Overrides are *semantically identical* to the loop: each query
+    /// yields exactly the hits and deterministic [`QueryStats`] fields the
+    /// single-query path would (`wall_micros` reports the execution time
+    /// attributed to that query). A malformed or unsupported query yields
+    /// its [`QueryError`] in position without affecting the other queries
+    /// — never a panic, never a whole-batch failure.
+    fn search_batch(&self, queries: &[Query<'_>]) -> Vec<Result<SearchOutcome, QueryError>> {
+        queries.iter().map(|q| self.search(q)).collect()
+    }
+
     /// Number of indexed domains.
     fn len(&self) -> usize;
 
@@ -476,6 +533,10 @@ pub trait DomainIndex: std::fmt::Debug + Send + Sync {
 impl<T: DomainIndex + ?Sized> DomainIndex for Arc<T> {
     fn search(&self, query: &Query<'_>) -> Result<SearchOutcome, QueryError> {
         (**self).search(query)
+    }
+
+    fn search_batch(&self, queries: &[Query<'_>]) -> Vec<Result<SearchOutcome, QueryError>> {
+        (**self).search_batch(queries)
     }
 
     fn len(&self) -> usize {
@@ -554,6 +615,37 @@ impl ForestIndex {
     pub fn max_size(&self) -> u64 {
         self.max_size
     }
+
+    /// One threshold probe against the forest, filling `buf` with the
+    /// sorted-unique candidates — the single shared core of
+    /// [`search`](DomainIndex::search) and
+    /// [`search_batch`](DomainIndex::search_batch), so the two can never
+    /// drift. Outcome assembly stays with the callers: the single path
+    /// moves the buffer out, the batched path clones it so one buffer's
+    /// capacity serves the whole batch.
+    fn probe_threshold(
+        &self,
+        signature: &Signature,
+        size: u64,
+        t_star: f64,
+        buf: &mut Vec<DomainId>,
+    ) -> ProbeCounts {
+        buf.clear();
+        if self.forest.is_empty() {
+            return ProbeCounts::default();
+        }
+        let params = self.tuner.optimize(self.max_size, size, t_star);
+        self.forest
+            .query_into(signature, params.b as usize, params.r as usize, buf);
+        let candidates = buf.len();
+        buf.sort_unstable();
+        buf.dedup();
+        ProbeCounts {
+            probed: 1,
+            total: 1,
+            candidates,
+        }
+    }
 }
 
 impl DomainIndex for ForestIndex {
@@ -565,34 +657,37 @@ impl DomainIndex for ForestIndex {
             ));
         };
         let started = Instant::now();
-        if self.forest.is_empty() {
-            return Ok(outcome_from_ids(
-                Vec::new(),
-                ProbeCounts::default(),
-                started,
-            ));
-        }
-        let q = query.effective_size();
-        let params = self.tuner.optimize(self.max_size, q, t_star);
         let mut buf = Vec::new();
-        self.forest.query_into(
-            query.signature(),
-            params.b as usize,
-            params.r as usize,
-            &mut buf,
-        );
-        let candidates = buf.len();
-        buf.sort_unstable();
-        buf.dedup();
-        Ok(outcome_from_ids(
-            buf,
-            ProbeCounts {
-                probed: 1,
-                total: 1,
-                candidates,
+        let probe =
+            self.probe_threshold(query.signature(), query.effective_size(), t_star, &mut buf);
+        Ok(outcome_from_ids(buf, probe, started))
+    }
+
+    fn search_batch(&self, queries: &[Query<'_>]) -> Vec<Result<SearchOutcome, QueryError>> {
+        crate::batch::split_and_run(
+            queries,
+            self.config.num_perm,
+            |items| {
+                // Single forest: no fan-out to amortize, but the probe
+                // buffer and the tuner's memo table stay hot across the
+                // whole batch.
+                let mut buf: Vec<DomainId> = Vec::new();
+                items
+                    .iter()
+                    .map(|item| {
+                        let started = Instant::now();
+                        let probe =
+                            self.probe_threshold(item.signature, item.size, item.t_star, &mut buf);
+                        outcome_from_ids(buf.clone(), probe, started)
+                    })
+                    .collect()
             },
-            started,
-        ))
+            |_, _| {
+                Err(QueryError::Unsupported(
+                    "top-k needs retained sketches; use a RankedIndex".into(),
+                ))
+            },
+        )
     }
 
     fn len(&self) -> usize {
@@ -778,11 +873,16 @@ impl MutableIndex for ShardedRanked {
 impl ShardedRanked {
     /// Attaches estimates from the retained sketches, prunes below
     /// `t_star − ESTIMATE_SLACK`, sorts by estimate descending.
-    fn rank_and_prune(&self, ids: Vec<DomainId>, query: &Query<'_>, t_star: f64) -> Vec<SearchHit> {
-        let q = query.effective_size();
+    fn rank_and_prune(
+        &self,
+        ids: Vec<DomainId>,
+        signature: &Signature,
+        q: u64,
+        t_star: f64,
+    ) -> Vec<SearchHit> {
         let mut hits: Vec<SearchHit> = self
             .ranked
-            .rank_candidates(ids, query.signature(), q)
+            .rank_candidates(ids, signature, q)
             .into_iter()
             .filter(|h| h.estimated_containment >= t_star - ESTIMATE_SLACK)
             .map(|h| SearchHit {
@@ -794,6 +894,28 @@ impl ShardedRanked {
         hits.shrink_to_fit();
         hits
     }
+
+    /// The shared top-k descent, fanned out across the shards per pass —
+    /// one code path for [`search`](DomainIndex::search) and
+    /// [`search_batch`](DomainIndex::search_batch) so they can never
+    /// drift.
+    fn top_k_outcome(&self, query: &Query<'_>, k: usize) -> SearchOutcome {
+        let started = Instant::now();
+        let q = query.effective_size();
+        let (seen, probe) =
+            top_k_descend(k, |t| self.shards.query_counted(query.signature(), q, t));
+        let mut hits: Vec<SearchHit> = self
+            .ranked
+            .rank_candidates(seen, query.signature(), q)
+            .into_iter()
+            .map(|h| SearchHit {
+                id: h.id,
+                estimate: Some(h.estimated_containment),
+            })
+            .collect();
+        hits.truncate(k);
+        outcome_from_hits(hits, probe, started)
+    }
 }
 
 impl DomainIndex for ShardedRanked {
@@ -804,26 +926,33 @@ impl DomainIndex for ShardedRanked {
         match query.mode() {
             QueryMode::Threshold(t_star) => {
                 let (ids, probe) = self.shards.query_counted(query.signature(), q, t_star);
-                let hits = self.rank_and_prune(ids, query, t_star);
+                let hits = self.rank_and_prune(ids, query.signature(), q, t_star);
                 Ok(outcome_from_hits(hits, probe, started))
             }
-            QueryMode::TopK(k) => {
-                // The shared descent strategy, fanned out per pass.
-                let (seen, probe) =
-                    top_k_descend(k, |t| self.shards.query_counted(query.signature(), q, t));
-                let mut hits: Vec<SearchHit> = self
-                    .ranked
-                    .rank_candidates(seen, query.signature(), q)
-                    .into_iter()
-                    .map(|h| SearchHit {
-                        id: h.id,
-                        estimate: Some(h.estimated_containment),
-                    })
-                    .collect();
-                hits.truncate(k);
-                Ok(outcome_from_hits(hits, probe, started))
-            }
+            QueryMode::TopK(k) => Ok(self.top_k_outcome(query, k)),
         }
+    }
+
+    fn search_batch(&self, queries: &[Query<'_>]) -> Vec<Result<SearchOutcome, QueryError>> {
+        crate::batch::split_and_run(
+            queries,
+            self.ranked.ensemble().config().num_perm,
+            |items| {
+                // One shard fan-out for the whole batch, then per-query
+                // ranking from the shared sketches.
+                items
+                    .iter()
+                    .zip(self.shards.batch_query_counted(items))
+                    .map(|(item, (ids, probe, mut nanos))| {
+                        let started = Instant::now();
+                        let hits = self.rank_and_prune(ids, item.signature, item.size, item.t_star);
+                        nanos += started.elapsed().as_nanos() as u64;
+                        crate::api::outcome_from_hits_timed(hits, probe, nanos)
+                    })
+                    .collect()
+            },
+            |query, k| Ok(self.top_k_outcome(query, k)),
+        )
     }
 
     fn len(&self) -> usize {

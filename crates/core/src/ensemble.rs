@@ -441,6 +441,93 @@ impl LshEnsemble {
         true
     }
 
+    /// Queries swept together per partition-outer pass: large enough to
+    /// amortize partition/forest locality, small enough to bound the raw
+    /// candidate memory held at once (see
+    /// [`batch_sweep_chunk`](Self::batch_sweep_chunk)).
+    pub(crate) const SWEEP_GROUP: usize = 32;
+
+    /// Batched instrumented containment search, partition-outer: the
+    /// partition loop runs once per group of queries, every query probes
+    /// a partition while its forest is hot, and one dedup scratch set
+    /// serves the whole chunk. Per query the answer is identical to
+    /// [`query_counted`](Self::query_counted) — same sorted-unique ids,
+    /// same probe counters — only the wall attribution differs.
+    ///
+    /// The chunk is swept in groups of [`Self::SWEEP_GROUP`] queries so
+    /// peak memory holds at most one group's *raw* (pre-dedup) candidate
+    /// unions, never the whole batch's — a low-threshold query can make
+    /// every partition contribute near the full corpus, and thousands of
+    /// such accumulators at once would be an OOM vector on the server.
+    ///
+    /// `post` runs inside the worker lane right after a query's dedup, so
+    /// per-query post-processing (ranking, outcome assembly) shares the
+    /// batch's thread fan-out instead of re-spawning.
+    pub(crate) fn batch_sweep_chunk<R>(
+        &self,
+        chunk: &[crate::batch::ThresholdItem<'_>],
+        post: &(impl Fn(&crate::batch::ThresholdItem<'_>, Vec<DomainId>, ProbeCounts, u64) -> R + Sync),
+    ) -> Vec<R> {
+        use std::time::Instant;
+        let mut buf: Vec<DomainId> = Vec::new();
+        let mut set: FastHashSet<DomainId> = FastHashSet::default();
+        let mut results = Vec::with_capacity(chunk.len());
+        for group in chunk.chunks(Self::SWEEP_GROUP) {
+            // Per-query accumulators: raw candidates, probes, nanos.
+            let mut acc: Vec<(Vec<DomainId>, ProbeCounts, u64)> = group
+                .iter()
+                .map(|_| {
+                    (
+                        Vec::new(),
+                        ProbeCounts {
+                            probed: 0,
+                            total: self.partitions.len(),
+                            candidates: 0,
+                        },
+                        0u64,
+                    )
+                })
+                .collect();
+            for p in &self.partitions {
+                for (item, out) in group.iter().zip(acc.iter_mut()) {
+                    let started = Instant::now();
+                    buf.clear();
+                    let probed =
+                        self.query_partition(p, item.signature, item.size, item.t_star, &mut buf);
+                    out.1.probed += usize::from(probed);
+                    out.1.candidates += buf.len();
+                    out.0.extend_from_slice(&buf);
+                    out.2 += started.elapsed().as_nanos() as u64;
+                }
+            }
+            // Dedup + sort each query's union through the reused scratch.
+            results.extend(
+                group
+                    .iter()
+                    .zip(acc)
+                    .map(|(item, (mut raw, probe, mut nanos))| {
+                        let started = Instant::now();
+                        set.extend(raw.drain(..));
+                        raw.extend(set.drain());
+                        raw.sort_unstable();
+                        nanos += started.elapsed().as_nanos() as u64;
+                        post(item, raw, probe, nanos)
+                    }),
+            );
+        }
+        results
+    }
+
+    /// [`batch_sweep_chunk`](Self::batch_sweep_chunk) fanned across worker
+    /// lanes — the lanes are spawned once for the whole batch.
+    pub(crate) fn batch_threshold_map<R: Send>(
+        &self,
+        items: &[crate::batch::ThresholdItem<'_>],
+        post: impl Fn(&crate::batch::ThresholdItem<'_>, Vec<DomainId>, ProbeCounts, u64) -> R + Sync,
+    ) -> Vec<R> {
+        crate::batch::chunked(items, |chunk| self.batch_sweep_chunk(chunk, &post))
+    }
+
     /// Inserts a new domain after construction (§6.2 dynamic data): the
     /// domain is routed to the partition covering its size — growing the
     /// boundary partitions when the size falls outside every range, which
@@ -621,6 +708,24 @@ impl DomainIndex for LshEnsemble {
             query.parallel(),
         );
         Ok(outcome_from_ids(ids, probe, started))
+    }
+
+    fn search_batch(&self, queries: &[Query<'_>]) -> Vec<Result<SearchOutcome, QueryError>> {
+        crate::batch::split_and_run(
+            queries,
+            self.config.num_perm,
+            |items| {
+                self.batch_threshold_map(items, |_, ids, probe, nanos| {
+                    crate::api::outcome_from_ids_timed(ids, probe, nanos)
+                })
+            },
+            |_, _| {
+                Err(QueryError::Unsupported(
+                    "top-k needs retained sketches; build a RankedIndex (or re-index with --ranked)"
+                        .into(),
+                ))
+            },
+        )
     }
 
     fn len(&self) -> usize {

@@ -426,6 +426,16 @@ impl MutableIndex for RankedIndex {
     }
 }
 
+/// Converts ranked hits into the unified [`SearchHit`] shape.
+fn to_search_hits(hits: Vec<RankedHit>) -> Vec<SearchHit> {
+    hits.into_iter()
+        .map(|h| SearchHit {
+            id: h.id,
+            estimate: Some(h.estimated_containment),
+        })
+        .collect()
+}
+
 impl DomainIndex for RankedIndex {
     fn search(&self, query: &Query<'_>) -> Result<SearchOutcome, QueryError> {
         query.validate_for(self.ensemble.config().num_perm)?;
@@ -443,14 +453,45 @@ impl DomainIndex for RankedIndex {
                 self.query_top_k_counted(query.signature(), q, k, query.parallel())
             }
         };
-        let hits: Vec<SearchHit> = hits
-            .into_iter()
-            .map(|h| SearchHit {
-                id: h.id,
-                estimate: Some(h.estimated_containment),
-            })
-            .collect();
-        Ok(crate::api::outcome_from_hits(hits, probe, started))
+        Ok(crate::api::outcome_from_hits(
+            to_search_hits(hits),
+            probe,
+            started,
+        ))
+    }
+
+    fn search_batch(&self, queries: &[Query<'_>]) -> Vec<Result<SearchOutcome, QueryError>> {
+        crate::batch::split_and_run(
+            queries,
+            self.ensemble.config().num_perm,
+            |items| {
+                // One batched ensemble sweep for every threshold query;
+                // ranking runs in the same worker lane, straight after the
+                // query's dedup.
+                self.ensemble
+                    .batch_threshold_map(items, |item, ids, probe, mut nanos| {
+                        let started = std::time::Instant::now();
+                        let mut hits = self.rank(ids, item.signature, item.size);
+                        hits.retain(|h| h.estimated_containment >= item.t_star - ESTIMATE_SLACK);
+                        nanos += started.elapsed().as_nanos() as u64;
+                        crate::api::outcome_from_hits_timed(to_search_hits(hits), probe, nanos)
+                    })
+            },
+            |query, k| {
+                let started = std::time::Instant::now();
+                let (hits, probe) = self.query_top_k_counted(
+                    query.signature(),
+                    query.effective_size(),
+                    k,
+                    query.parallel(),
+                );
+                Ok(crate::api::outcome_from_hits(
+                    to_search_hits(hits),
+                    probe,
+                    started,
+                ))
+            },
+        )
     }
 
     fn len(&self) -> usize {

@@ -277,7 +277,7 @@ impl ShardedEnsemble {
                 .collect()
         });
         let mut probe = ProbeCounts::default();
-        let mut results: Vec<Vec<DomainId>> = results
+        let results: Vec<Vec<DomainId>> = results
             .into_iter()
             .map(|(ids, p)| {
                 probe.probed += p.probed;
@@ -288,32 +288,72 @@ impl ShardedEnsemble {
             .collect();
         // Shards hold disjoint id sets (round-robin assignment), so a
         // k-way merge of sorted vectors suffices; ids stay sorted.
-        let mut merged = results.swap_remove(0);
-        for r in results {
-            let mut out = Vec::with_capacity(merged.len() + r.len());
-            let (mut i, mut j) = (0, 0);
-            while i < merged.len() && j < r.len() {
-                match merged[i].cmp(&r[j]) {
-                    std::cmp::Ordering::Less => {
-                        out.push(merged[i]);
-                        i += 1;
-                    }
-                    std::cmp::Ordering::Greater => {
-                        out.push(r[j]);
-                        j += 1;
-                    }
-                    std::cmp::Ordering::Equal => {
-                        out.push(merged[i]);
-                        i += 1;
-                        j += 1;
-                    }
+        (crate::batch::merge_sorted_disjoint(results), probe)
+    }
+
+    /// Batched instrumented fan-out: the shard threads are spawned ONCE
+    /// for the whole batch — drawn from the process-wide
+    /// [`lshe_minhash::lanes`] budget, so concurrent batches degrade to
+    /// fewer lanes (down to a sequential shard loop on the calling
+    /// thread) instead of multiplying `callers × shards` threads. Each
+    /// shard sweeps every query partition-outer with its own scratch, and
+    /// the per-shard answers are merged per query. Identical per-query
+    /// results to looping [`query_counted`](Self::query_counted) — the
+    /// fan-out cost is simply paid once per batch instead of once per
+    /// query.
+    pub(crate) fn batch_query_counted(
+        &self,
+        items: &[crate::batch::ThresholdItem<'_>],
+    ) -> Vec<(Vec<DomainId>, ProbeCounts, u64)> {
+        let sweep = |shard: &LshEnsemble| {
+            shard.batch_sweep_chunk(items, &|_, ids, probe, nanos| (ids, probe, nanos))
+        };
+        let guard = lshe_minhash::lanes::acquire(self.shards.len().saturating_sub(1));
+        let lanes = guard.lanes().min(self.shards.len());
+        // Shard order must be preserved for the per-query merge; lanes
+        // each take a contiguous run of shards (the calling thread works
+        // the first run itself).
+        let per_shard: Vec<Vec<(Vec<DomainId>, ProbeCounts, u64)>> = if lanes <= 1 {
+            self.shards.iter().map(&sweep).collect()
+        } else {
+            let group = self.shards.len().div_ceil(lanes);
+            let mut shard_groups = self.shards.chunks(group);
+            let first = shard_groups.next().unwrap_or(&[]);
+            let (first_out, rest): (Vec<_>, Vec<Vec<_>>) = std::thread::scope(|scope| {
+                let handles: Vec<_> = shard_groups
+                    .map(|shards| scope.spawn(|| shards.iter().map(&sweep).collect::<Vec<_>>()))
+                    .collect();
+                let first_out: Vec<_> = first.iter().map(sweep).collect();
+                (
+                    first_out,
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("shard batch panicked"))
+                        .collect(),
+                )
+            });
+            first_out
+                .into_iter()
+                .chain(rest.into_iter().flatten())
+                .collect()
+        };
+        let mut columns: Vec<_> = per_shard.into_iter().map(Vec::into_iter).collect();
+        (0..items.len())
+            .map(|_| {
+                let mut probe = ProbeCounts::default();
+                let mut nanos = 0u64;
+                let mut runs = Vec::with_capacity(columns.len());
+                for column in &mut columns {
+                    let (ids, p, n) = column.next().expect("each shard answers each query");
+                    probe.probed += p.probed;
+                    probe.total += p.total;
+                    probe.candidates += p.candidates;
+                    nanos += n;
+                    runs.push(ids);
                 }
-            }
-            out.extend_from_slice(&merged[i..]);
-            out.extend_from_slice(&r[j..]);
-            merged = out;
-        }
-        (merged, probe)
+                (crate::batch::merge_sorted_disjoint(runs), probe, nanos)
+            })
+            .collect()
     }
 }
 
@@ -352,6 +392,27 @@ impl DomainIndex for ShardedEnsemble {
         let started = std::time::Instant::now();
         let (ids, probe) = self.query_counted(query.signature(), query.effective_size(), t_star);
         Ok(outcome_from_ids(ids, probe, started))
+    }
+
+    fn search_batch(&self, queries: &[Query<'_>]) -> Vec<Result<SearchOutcome, QueryError>> {
+        let num_perm = self.shards[0].config().num_perm;
+        crate::batch::split_and_run(
+            queries,
+            num_perm,
+            |items| {
+                self.batch_query_counted(items)
+                    .into_iter()
+                    .map(|(ids, probe, nanos)| {
+                        crate::api::outcome_from_ids_timed(ids, probe, nanos)
+                    })
+                    .collect()
+            },
+            |_, _| {
+                Err(QueryError::Unsupported(
+                    "top-k needs retained sketches; use ShardedRanked".into(),
+                ))
+            },
+        )
     }
 
     fn len(&self) -> usize {

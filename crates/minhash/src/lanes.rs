@@ -1,0 +1,183 @@
+//! Process-wide worker-lane budget for batched fan-out.
+//!
+//! Batched operations across the workspace — bulk signature
+//! construction here, the batched query sweeps in `lshe-core`, and
+//! whatever future bulk paths appear — all amortize work by spawning
+//! scoped worker lanes. Individually each call bounds itself by the
+//! host parallelism, but *concurrent* callers (many server batches in
+//! flight at once) would multiply: `callers × cores` transient threads.
+//!
+//! This module is the shared governor: one process-wide pool of
+//! `cores − 1` *extra* lanes. A batched call [`acquire`]s up to what it
+//! wants, runs with `1 + taken` lanes (the calling thread is always a
+//! lane of its own), and returns the permits when its guard drops.
+//! Under contention callers degrade gracefully toward inline execution
+//! instead of oversubscribing the host — the acquire never blocks.
+//!
+//! It lives in `lshe-minhash` because this is the substrate crate every
+//! batched layer already depends on.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// The pool of extra lanes, initialised to `cores − 1` on first use.
+fn pool() -> &'static AtomicUsize {
+    static POOL: OnceLock<AtomicUsize> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let cores = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+        AtomicUsize::new(cores.saturating_sub(1))
+    })
+}
+
+/// Holds `taken` extra lanes; returned to the pool on drop.
+#[derive(Debug)]
+pub struct LaneGuard {
+    taken: usize,
+}
+
+impl LaneGuard {
+    /// Total lanes the holder may run: the calling thread plus the
+    /// extras taken from the pool. Always ≥ 1.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.taken + 1
+    }
+}
+
+impl Drop for LaneGuard {
+    fn drop(&mut self) {
+        if self.taken > 0 {
+            pool().fetch_add(self.taken, Ordering::AcqRel);
+        }
+    }
+}
+
+/// Minimum items a lane must receive before another lane is worth a
+/// spawn: below this the scoped-thread setup costs more than the
+/// parallelism buys, and small batches issued from already-parallel
+/// callers stay inline instead of oversubscribing.
+pub const MIN_ITEMS_PER_LANE: usize = 8;
+
+/// The *ideal* lane count for a batch of `items`: bounded by the host
+/// parallelism, scaled by batch size (≥ [`MIN_ITEMS_PER_LANE`] items per
+/// lane), never zero. [`run_chunked`] additionally subjects the extras
+/// to the process-wide budget.
+#[must_use]
+pub fn ideal_lanes(items: usize) -> usize {
+    let cores = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+    cores.min(items / MIN_ITEMS_PER_LANE).max(1)
+}
+
+/// Runs `run` over contiguous chunks of `items` across budget-governed
+/// worker lanes — spawned once per batch, not once per item — and
+/// concatenates the per-chunk outputs in item order. The calling thread
+/// IS the first lane (it runs the first chunk itself while the spawned
+/// lanes work the rest), so a batch uses exactly the lanes its
+/// [`LaneGuard`] accounts for. `run` must be a pure function of its
+/// chunk, so the chunking can never change results.
+pub fn run_chunked<I: Sync, O: Send>(items: &[I], run: impl Fn(&[I]) -> Vec<O> + Sync) -> Vec<O> {
+    let guard = acquire(ideal_lanes(items.len()) - 1);
+    let lanes = guard.lanes();
+    if lanes <= 1 {
+        return run(items);
+    }
+    let chunk = items.len().div_ceil(lanes);
+    let mut chunks = items.chunks(chunk);
+    let first = chunks.next().unwrap_or(&[]);
+    let (first_out, rest): (Vec<O>, Vec<Vec<O>>) = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks.map(|c| scope.spawn(|| run(c))).collect();
+        let first_out = run(first);
+        (
+            first_out,
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("batch lane panicked"))
+                .collect(),
+        )
+    });
+    first_out
+        .into_iter()
+        .chain(rest.into_iter().flatten())
+        .collect()
+}
+
+/// Takes up to `want_extra` additional lanes from the process budget.
+/// Never blocks: under contention the guard may hold fewer extras (down
+/// to zero — run inline). Drop the guard to return them.
+#[must_use]
+pub fn acquire(want_extra: usize) -> LaneGuard {
+    let pool = pool();
+    let mut available = pool.load(Ordering::Acquire);
+    loop {
+        let take = want_extra.min(available);
+        if take == 0 {
+            return LaneGuard { taken: 0 };
+        }
+        match pool.compare_exchange_weak(
+            available,
+            available - take,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => return LaneGuard { taken: take },
+            Err(now) => available = now,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_respects_budget_invariants() {
+        // Other tests in this binary may hold lanes concurrently, so
+        // assert the invariants rather than exact counts: never more
+        // than the host budget, never fewer than the inline lane, and
+        // permits flow back (a drop-then-reacquire can never shrink the
+        // pool).
+        let cores = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+        let first = acquire(usize::MAX);
+        assert!(first.lanes() >= 1 && first.lanes() <= cores);
+        let taken = first.lanes();
+        drop(first);
+        let second = acquire(taken.saturating_sub(1));
+        assert!(second.lanes() >= 1 && second.lanes() <= taken.max(1));
+    }
+
+    #[test]
+    fn zero_want_is_inline() {
+        assert_eq!(acquire(0).lanes(), 1);
+    }
+
+    #[test]
+    fn ideal_lanes_scale_with_batch_size() {
+        assert_eq!(ideal_lanes(0), 1);
+        assert_eq!(ideal_lanes(1), 1);
+        assert_eq!(
+            ideal_lanes(MIN_ITEMS_PER_LANE - 1),
+            1,
+            "tiny batches stay inline"
+        );
+        let cores = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+        assert!(ideal_lanes(4 * MIN_ITEMS_PER_LANE) <= 4);
+        assert_eq!(ideal_lanes(1_000_000), cores);
+    }
+
+    #[test]
+    fn run_chunked_preserves_item_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let doubled = run_chunked(&items, |chunk| chunk.iter().map(|x| x * 2).collect());
+        assert_eq!(doubled.len(), 1000);
+        for (i, v) in doubled.into_iter().enumerate() {
+            assert_eq!(v, 2 * i as u64);
+        }
+    }
+
+    #[test]
+    fn run_chunked_handles_tiny_batches() {
+        assert_eq!(run_chunked(&[7u32], |c| c.to_vec()), vec![7]);
+        let empty: Vec<u32> = Vec::new();
+        assert_eq!(run_chunked(&empty, |c| c.to_vec()), Vec::<u32>::new());
+    }
+}

@@ -16,6 +16,9 @@
 //! * the inclusion–exclusion conversions between Jaccard similarity and set
 //!   containment (Eq. 6) as free functions, re-used by the core crate's
 //!   threshold machinery.
+//! * [`lanes`] — the process-wide worker-lane budget shared by every
+//!   batched fan-out in the workspace (bulk sketching here, the batched
+//!   query sweeps upstream).
 //!
 //! ## Quick example
 //!
@@ -34,6 +37,7 @@
 
 pub mod codec;
 pub mod hash;
+pub mod lanes;
 pub mod oneperm;
 pub mod perm;
 pub mod signature;

@@ -205,6 +205,25 @@ impl MinHasher {
         self.family.compatible_with(&other.family)
     }
 
+    /// The min-fold kernel: folds every value's permuted hashes into
+    /// `slots` by slot-wise minimum. Single-signature construction,
+    /// streaming updates, and the bulk path all run through here, so the
+    /// sketching math lives in exactly one place.
+    fn fold_into<I>(&self, values: I, slots: &mut [u64])
+    where
+        I: IntoIterator<Item = u64>,
+    {
+        let perms = self.family.permutations();
+        for v in values {
+            for (slot, perm) in slots.iter_mut().zip(perms.iter()) {
+                let h = perm.apply(v);
+                if h < *slot {
+                    *slot = h;
+                }
+            }
+        }
+    }
+
     /// Computes the signature of a set of pre-hashed 64-bit values.
     ///
     /// Duplicates in the input do not affect the result (minimum is
@@ -215,17 +234,8 @@ impl MinHasher {
     where
         I: IntoIterator<Item = u64>,
     {
-        let m = self.family.len();
-        let mut slots = vec![EMPTY_SLOT; m];
-        let perms = self.family.permutations();
-        for v in values {
-            for (slot, perm) in slots.iter_mut().zip(perms.iter()) {
-                let h = perm.apply(v);
-                if h < *slot {
-                    *slot = h;
-                }
-            }
-        }
+        let mut slots = vec![EMPTY_SLOT; self.family.len()];
+        self.fold_into(values, &mut slots);
         Signature {
             slots: slots.into_boxed_slice(),
         }
@@ -240,18 +250,44 @@ impl MinHasher {
         self.signature(values.into_iter().map(crate::hash::hash_str))
     }
 
+    /// Computes one signature per pre-hashed value set, in input order —
+    /// the batched construction path used by bulk index builds, CLI
+    /// ingest, and the server's `/batch` endpoint.
+    ///
+    /// Semantically identical to mapping [`signature`](Self::signature)
+    /// over `sets`, but the per-item setup is paid once per batch: the
+    /// permutation family is fetched once, each worker lane fills a shared
+    /// min-slot scratch buffer instead of growing a fresh one per item,
+    /// and the lanes come from the process-wide [`crate::lanes`] harness
+    /// (spawned once per batch, floored at
+    /// [`crate::lanes::MIN_ITEMS_PER_LANE`] sets per lane, budget-governed
+    /// so concurrent bulk callers degrade gracefully instead of
+    /// oversubscribing the host).
+    #[must_use]
+    pub fn bulk_signatures(&self, sets: &[&[u64]]) -> Vec<Signature> {
+        let m = self.family.len();
+        crate::lanes::run_chunked(sets, |chunk| {
+            let mut scratch: Vec<u64> = vec![EMPTY_SLOT; m];
+            chunk
+                .iter()
+                .map(|values| {
+                    scratch.fill(EMPTY_SLOT);
+                    self.fold_into(values.iter().copied(), &mut scratch);
+                    Signature {
+                        slots: scratch.clone().into_boxed_slice(),
+                    }
+                })
+                .collect()
+        })
+    }
+
     /// Folds one more value into an existing signature (streaming update).
     ///
     /// # Panics
     /// Panics if the signature width differs from the hasher's `m`.
     pub fn update(&self, sig: &mut Signature, value: u64) {
         assert_eq!(sig.len(), self.family.len(), "signature width mismatch");
-        for (slot, perm) in sig.slots.iter_mut().zip(self.family.permutations()) {
-            let h = perm.apply(value);
-            if h < *slot {
-                *slot = h;
-            }
-        }
+        self.fold_into(std::iter::once(value), &mut sig.slots);
     }
 
     /// Generates a set of `n` distinct synthetic universe values, useful in
@@ -395,6 +431,25 @@ mod tests {
         let x = h.signature(x_vals);
         let t = q.containment_in(&x, 200.0, 1000.0);
         assert!(t > 0.8, "containment estimate {t} too low for t = 1.0");
+    }
+
+    #[test]
+    fn bulk_signatures_match_singles() {
+        let h = MinHasher::new(128);
+        let sets: Vec<Vec<u64>> = (0..37)
+            .map(|k| MinHasher::synthetic_values(k + 1, 10 + 13 * k as usize % 200))
+            .collect();
+        let refs: Vec<&[u64]> = sets.iter().map(Vec::as_slice).collect();
+        let bulk = h.bulk_signatures(&refs);
+        assert_eq!(bulk.len(), sets.len());
+        for (set, sig) in sets.iter().zip(&bulk) {
+            assert_eq!(*sig, h.signature(set.iter().copied()), "bulk diverges");
+        }
+        // Empty input slice and empty member sets both behave.
+        assert!(h.bulk_signatures(&[]).is_empty());
+        let with_empty = h.bulk_signatures(&[&[], &[1, 2, 3]]);
+        assert!(with_empty[0].is_empty_domain());
+        assert_eq!(with_empty[1], h.signature([1u64, 2, 3]));
     }
 
     #[test]

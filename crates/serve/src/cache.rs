@@ -18,6 +18,12 @@ use std::sync::Mutex;
 
 /// Cache key for one containment query. `generation` ties entries to an
 /// index snapshot so a hot reload can never serve stale results.
+///
+/// EVERY request field that shapes the response must be part of the key:
+/// the query mode (`k` distinguishes top-k from threshold, with the
+/// unused threshold canonicalised by the caller), and the per-request
+/// `debug` flag — a cached non-debug response must never answer a debug
+/// request, nor the reverse.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct QueryKey {
     /// FNV-1a digest of the query signature's slots.
@@ -28,6 +34,8 @@ pub struct QueryKey {
     pub threshold_bits: u64,
     /// Top-k parameter (0 for threshold search).
     pub k: u32,
+    /// Whether the request asked for per-query debug stats.
+    pub debug: bool,
     /// Engine snapshot generation the result was computed against.
     pub generation: u64,
 }

@@ -94,9 +94,12 @@ impl IndexContainer {
         let mut records = Vec::with_capacity(catalog.len());
         let mut plain_builder = (!ranked).then(|| LshEnsemble::builder_with(config));
         let mut ranked_builder = ranked.then(|| RankedIndex::builder_with(config));
-        for (id, domain) in catalog.iter() {
+        // Sketch the whole catalog through the batched constructor: the
+        // hash scratch is shared and the worker lanes are spawned once.
+        let sets: Vec<&[u64]> = catalog.iter().map(|(_, d)| d.hashes()).collect();
+        let signatures = hasher.bulk_signatures(&sets);
+        for ((id, domain), sig) in catalog.iter().zip(signatures) {
             let meta = catalog.meta(id);
-            let sig = domain.signature(&hasher);
             records.push(DomainRecord {
                 id,
                 size: domain.len() as u64,

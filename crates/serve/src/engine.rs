@@ -431,6 +431,29 @@ impl Engine {
         Self::counts(&self.pending.lock().expect("pending lock poisoned"))
     }
 
+    /// Approximate heap bytes held by the staged (uncommitted) mutation
+    /// backlog: each pending insert retains its full signature plus
+    /// provenance until the next commit. Staged ops are not part of any
+    /// snapshot index yet, so a memory report that only asked the index
+    /// would under-count under live ingestion — `/stats` adds this in.
+    #[must_use]
+    pub fn staged_memory_bytes(&self) -> usize {
+        let pending = self.pending.lock().expect("pending lock poisoned");
+        pending
+            .ops
+            .iter()
+            .map(|op| match op {
+                DeltaOp::Insert { record, signature } => {
+                    signature.len() * 8
+                        + record.table.capacity()
+                        + record.column.capacity()
+                        + std::mem::size_of::<crate::container::DomainRecord>()
+                }
+                DeltaOp::Remove { .. } => std::mem::size_of::<DeltaOp>(),
+            })
+            .sum()
+    }
+
     fn counts(pending: &Pending) -> StagedCounts {
         StagedCounts {
             inserts: pending.staged_inserts.len(),

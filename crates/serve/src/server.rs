@@ -123,44 +123,6 @@ impl QueryStatTotals {
     }
 }
 
-/// Global budget for *extra* batch fan-out threads. Each `/batch` handler
-/// always gets one lane (itself); additional scoped threads are borrowed
-/// here, so concurrent batches degrade to narrower fan-out instead of
-/// multiplying OS threads without bound.
-struct FanoutBudget {
-    available: std::sync::Mutex<usize>,
-}
-
-impl FanoutBudget {
-    fn new(permits: usize) -> Self {
-        Self {
-            available: std::sync::Mutex::new(permits),
-        }
-    }
-
-    /// Takes up to `want` permits (possibly 0), returned on guard drop.
-    fn acquire_up_to(&self, want: usize) -> FanoutGuard<'_> {
-        let mut available = self.available.lock().expect("budget poisoned");
-        let taken = want.min(*available);
-        *available -= taken;
-        FanoutGuard {
-            budget: self,
-            taken,
-        }
-    }
-}
-
-struct FanoutGuard<'a> {
-    budget: &'a FanoutBudget,
-    taken: usize,
-}
-
-impl Drop for FanoutGuard<'_> {
-    fn drop(&mut self) {
-        *self.budget.available.lock().expect("budget poisoned") += self.taken;
-    }
-}
-
 /// State shared by every connection handler.
 struct Shared {
     engine: Arc<Engine>,
@@ -171,7 +133,6 @@ struct Shared {
     shutdown: Arc<AtomicBool>,
     addr: SocketAddr,
     threads: usize,
-    fanout: FanoutBudget,
 }
 
 /// A running server; dropping the handle shuts it down gracefully.
@@ -250,7 +211,6 @@ pub fn start(engine: Arc<Engine>, config: &ServerConfig) -> io::Result<ServerHan
         shutdown: Arc::clone(&shutdown),
         addr,
         threads,
-        fanout: FanoutBudget::new(threads),
     });
     let accept_shared = Arc::clone(&shared);
     let accept = std::thread::Builder::new()
@@ -681,6 +641,22 @@ fn handle_stats(shared: &Shared) -> Outcome {
                 ("removes", Json::uint(staged.removes as u64)),
             ]),
         ),
+        // Heap accounting must cover the staged backlog too: uncommitted
+        // inserts live outside every snapshot index, and a report that
+        // only asked the index would under-count under live ingestion.
+        (
+            "memory",
+            Json::obj(vec![
+                (
+                    "index_bytes",
+                    Json::uint(snap.index().memory_bytes() as u64),
+                ),
+                (
+                    "staged_bytes",
+                    Json::uint(shared.engine.staged_memory_bytes() as u64),
+                ),
+            ]),
+        ),
         ("cache", cache_json(&shared.cache.stats())),
         (
             "query_stats",
@@ -725,12 +701,35 @@ impl QuerySpec {
     }
 }
 
-/// Extracts a [`QuerySpec`] from a request object: `values` (required
-/// string array, hashed server-side into the index's hash universe), plus
-/// optional `threshold`, `k`, and `debug`. A present `k` always means
-/// top-k — on `/query`, `/topk`, and `/batch` entries alike; `require_k`
-/// only makes it mandatory (`/topk`).
-fn parse_spec(body: &Json, snap: &Snapshot, require_k: bool) -> Result<QuerySpec, String> {
+/// One request object parsed up to (but not including) sketching: the
+/// query domain plus its options. The batch path parses every item to
+/// this form first, then sketches all the valid ones in one
+/// [`bulk_signatures`](lshe_minhash::MinHasher::bulk_signatures) pass.
+struct ParsedItem {
+    domain: Domain,
+    threshold: f64,
+    k: usize,
+    debug: bool,
+}
+
+impl ParsedItem {
+    fn into_spec(self, signature: Signature) -> QuerySpec {
+        QuerySpec {
+            size: self.domain.len() as u64,
+            signature,
+            threshold: self.threshold,
+            k: self.k,
+            debug: self.debug,
+        }
+    }
+}
+
+/// Parses a request object: `values` (required string array, hashed
+/// server-side into the index's hash universe), plus optional
+/// `threshold`, `k`, and `debug`. A present `k` always means top-k — on
+/// `/query`, `/topk`, and `/batch` entries alike; `require_k` only makes
+/// it mandatory (`/topk`).
+fn parse_item(body: &Json, require_k: bool) -> Result<ParsedItem, String> {
     let values = body
         .get("values")
         .and_then(Json::as_array)
@@ -763,13 +762,20 @@ fn parse_spec(body: &Json, snap: &Snapshot, require_k: bool) -> Result<QuerySpec
         None => false,
         Some(d) => d.as_bool().ok_or("\"debug\" must be a boolean")?,
     };
-    Ok(QuerySpec {
-        signature: domain.signature(snap.hasher()),
-        size: domain.len() as u64,
+    Ok(ParsedItem {
+        domain,
         threshold,
         k,
         debug,
     })
+}
+
+/// Parse + sketch in one step — the single-query (`/query`, `/topk`)
+/// path.
+fn parse_spec(body: &Json, snap: &Snapshot, require_k: bool) -> Result<QuerySpec, String> {
+    let item = parse_item(body, require_k)?;
+    let signature = item.domain.signature(snap.hasher());
+    Ok(item.into_spec(signature))
 }
 
 /// Runs one query through the LRU cache: hit → stored outcome, miss →
@@ -777,12 +783,10 @@ fn parse_spec(body: &Json, snap: &Snapshot, require_k: bool) -> Result<QuerySpec
 /// snapshot generation is part of the key, so reloads can never serve
 /// stale hits. Only executed (non-cached) searches feed the aggregated
 /// [`QueryStatTotals`].
-fn cached_search(
-    shared: &Shared,
-    snap: &Snapshot,
-    spec: &QuerySpec,
-) -> Result<(Arc<SearchOutcome>, bool), String> {
-    let key = QueryKey {
+/// The cache key for a spec against one snapshot generation: the full
+/// response-shaping tuple (digest, size, mode, `debug`).
+fn cache_key(spec: &QuerySpec, generation: u64) -> QueryKey {
+    QueryKey {
         digest: signature_digest(spec.signature.slots()),
         query_size: spec.size,
         // Top-k ignores the threshold entirely; canonicalise it to 0 so
@@ -794,8 +798,17 @@ fn cached_search(
             spec.threshold.to_bits()
         },
         k: spec.k as u32,
-        generation: snap.generation(),
-    };
+        debug: spec.debug,
+        generation,
+    }
+}
+
+fn cached_search(
+    shared: &Shared,
+    snap: &Snapshot,
+    spec: &QuerySpec,
+) -> Result<(Arc<SearchOutcome>, bool), String> {
+    let key = cache_key(spec, snap.generation());
     if let Some(outcome) = shared.cache.get(&key) {
         return Ok((outcome, true));
     }
@@ -912,21 +925,108 @@ fn handle_batch(shared: &Shared, request: &Request) -> Outcome {
     // reload cannot split the batch across index generations.
     let snap = shared.engine.snapshot();
 
-    // Fan out across scoped threads (not the connection pool: batch jobs
-    // waiting on sub-jobs in the same pool could deadlock it). One lane is
-    // this handler's by right; extra lanes come from the shared fan-out
-    // budget, so concurrent batches narrow instead of multiplying threads.
-    // Each worker takes a contiguous chunk; results keep request order.
-    let desired = shared.threads.min(queries.len()).max(1);
-    let borrowed = shared.fanout.acquire_up_to(desired - 1);
-    let workers = 1 + borrowed.taken;
-    let chunk_len = queries.len().div_ceil(workers);
-    let run_chunk = |chunk: &[Json]| -> Vec<Result<Json, String>> {
-        chunk
-            .iter()
-            .map(|q| {
-                let spec = parse_spec(q, &snap, false)?;
-                let (outcome, cached) = cached_search(shared, &snap, &spec)?;
+    // Phase 1 — parse every item. A malformed item becomes a typed error
+    // pinned to its position; it can never fail the batch or shift the
+    // answers of its neighbours.
+    let parsed: Vec<Result<ParsedItem, String>> =
+        queries.iter().map(|q| parse_item(q, false)).collect();
+
+    // Phase 2 — sketch all well-formed items in one bulk pass (shared
+    // hash scratch, worker lanes spawned once for the batch).
+    let sets: Vec<&[u64]> = parsed
+        .iter()
+        .filter_map(|p| p.as_ref().ok().map(|item| item.domain.hashes()))
+        .collect();
+    let mut signatures = snap.hasher().bulk_signatures(&sets).into_iter();
+    let specs: Vec<Result<QuerySpec, String>> = parsed
+        .into_iter()
+        .map(|p| {
+            p.map(|item| {
+                let sig = signatures.next().expect("one signature per parsed item");
+                item.into_spec(sig)
+            })
+        })
+        .collect();
+
+    // Phase 3 — consult the cache per item; collect the misses. Identical
+    // uncached entries within one batch dispatch ONCE: later duplicates
+    // borrow the first occurrence's answer (and report `cached`, exactly
+    // as they would have under sequential execution).
+    let mut slots: Vec<Option<(Arc<SearchOutcome>, bool)>> = vec![None; specs.len()];
+    let mut errors: Vec<Option<String>> = specs.iter().map(|s| s.as_ref().err().cloned()).collect();
+    let mut miss_positions: Vec<usize> = Vec::new();
+    let mut first_miss: std::collections::HashMap<QueryKey, usize> =
+        std::collections::HashMap::new();
+    let mut duplicate_of: Vec<Option<usize>> = vec![None; specs.len()];
+    for (i, spec) in specs.iter().enumerate() {
+        let Ok(spec) = spec else { continue };
+        let key = cache_key(spec, snap.generation());
+        // The duplicate check comes FIRST so a duplicate never counts a
+        // cache miss it did not cause: its hit is recorded when it reads
+        // the first occurrence's freshly inserted entry below, exactly
+        // the hit/miss accounting sequential execution would produce.
+        if let Some(&first) = first_miss.get(&key) {
+            duplicate_of[i] = Some(first);
+        } else if let Some(outcome) = shared.cache.get(&key) {
+            slots[i] = Some((outcome, true));
+        } else {
+            first_miss.insert(key, i);
+            miss_positions.push(i);
+        }
+    }
+
+    // Phase 4 — ONE batched dispatch for every miss: the backend
+    // amortizes partition/shard probing and fan-out across the whole
+    // batch instead of paying per query.
+    let miss_queries: Vec<lshe_core::Query<'_>> = miss_positions
+        .iter()
+        .map(|&i| specs[i].as_ref().expect("miss positions are valid").query())
+        .collect();
+    let outcomes = snap.index().search_batch(&miss_queries);
+    for (&i, result) in miss_positions.iter().zip(outcomes) {
+        match result {
+            Ok(outcome) => {
+                shared.query_totals.record(&outcome.stats);
+                let outcome = Arc::new(outcome);
+                let spec = specs[i].as_ref().expect("valid spec");
+                shared
+                    .cache
+                    .insert(cache_key(spec, snap.generation()), Arc::clone(&outcome));
+                slots[i] = Some((outcome, false));
+            }
+            // Per-item query errors (e.g. top-k against an unranked
+            // index) stay in position, exactly like parse errors.
+            Err(e) => errors[i] = Some(e.to_string()),
+        }
+    }
+    // Duplicates of a dispatched miss share its answer (or its error),
+    // flagged `cached` as they would be under sequential execution. The
+    // answer is read back through the cache so the hit counters reflect
+    // it (falling back to the first slot's Arc if an eviction already
+    // raced it out).
+    for (i, first) in duplicate_of.into_iter().enumerate() {
+        let Some(first) = first else { continue };
+        if let Some((outcome, _)) = &slots[first] {
+            let spec = specs[i].as_ref().expect("duplicates parsed");
+            let replay = shared
+                .cache
+                .get(&cache_key(spec, snap.generation()))
+                .unwrap_or_else(|| Arc::clone(outcome));
+            slots[i] = Some((replay, true));
+        } else {
+            errors[i] = errors[first].clone();
+        }
+    }
+
+    // Phase 5 — render in request order.
+    let rendered: Vec<Json> = slots
+        .into_iter()
+        .zip(errors)
+        .zip(&specs)
+        .map(|((slot, error), spec)| match (slot, error) {
+            (_, Some(msg)) => Json::obj(vec![("error", Json::str(msg))]),
+            (Some((outcome, cached)), None) => {
+                let spec = spec.as_ref().expect("answered items parsed");
                 let mut fields = vec![
                     ("count", Json::uint(outcome.hits.len() as u64)),
                     ("cached", Json::Bool(cached)),
@@ -935,37 +1035,9 @@ fn handle_batch(shared: &Shared, request: &Request) -> Outcome {
                 if spec.debug {
                     fields.push(("debug", debug_json(&outcome.stats)));
                 }
-                Ok(Json::obj(fields))
-            })
-            .collect()
-    };
-    // The handler thread IS the first lane (no spawn when fan-out is 1);
-    // only the borrowed lanes get scoped threads.
-    let mut chunks = queries.chunks(chunk_len);
-    let first_chunk = chunks.next().unwrap_or(&[]);
-    let mut results: Vec<Result<Json, String>> = Vec::with_capacity(queries.len());
-    let (first_output, rest_outputs): (Vec<_>, Vec<Vec<_>>) = std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .map(|chunk| scope.spawn(|| run_chunk(chunk)))
-            .collect();
-        let first = run_chunk(first_chunk);
-        (
-            first,
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("batch worker panicked"))
-                .collect(),
-        )
-    });
-    results.extend(first_output);
-    for chunk in rest_outputs {
-        results.extend(chunk);
-    }
-    let rendered: Vec<Json> = results
-        .into_iter()
-        .map(|r| match r {
-            Ok(j) => j,
-            Err(msg) => Json::obj(vec![("error", Json::str(msg))]),
+                Json::obj(fields)
+            }
+            (None, None) => unreachable!("every item is answered or errored"),
         })
         .collect();
     shared.counters.batches.fetch_add(1, Ordering::Relaxed);
@@ -1352,6 +1424,144 @@ mod tests {
                 "batch entry {k} missing self hit: {result}"
             );
         }
+        server.shutdown();
+    }
+
+    #[test]
+    fn batch_partial_failures_stay_in_position() {
+        // Hostile input: one malformed item must neither fail the batch
+        // nor shift its neighbours — every item answers (or errors) in
+        // its own position, with a typed message.
+        let server = boot(test_engine(6, false)); // unranked: top-k items must error too
+        let body = r#"{"queries": [
+            {"values": ["v0","v1","v2","v3","v4"], "threshold": 0.5},
+            {"values": []},
+            {"values": [1, 2]},
+            {"values": ["v0"], "threshold": 7},
+            {"values": ["v0","v1"], "k": 2},
+            {"values": ["v0"], "k": 0},
+            {"values": ["v0"], "debug": 1},
+            "not an object",
+            {"values": ["v0","v1","v2","v3","v4"], "threshold": 0.5}
+        ]}"#;
+        let (status, response) = post(server.addr(), "/batch", body);
+        assert_eq!(status, 200, "{response}");
+        let parsed = Json::parse(&response).expect("json");
+        assert_eq!(parsed.get("count").and_then(Json::as_u64), Some(9));
+        let results = parsed.get("results").and_then(Json::as_array).expect("arr");
+        // Items 0 and 8 are valid and identical: both answer with hits.
+        for &i in &[0usize, 8] {
+            assert!(
+                results[i].get("error").is_none(),
+                "item {i}: {}",
+                results[i]
+            );
+            assert!(
+                results[i].get("hits").and_then(Json::as_array).is_some(),
+                "item {i} lost its answer: {}",
+                results[i]
+            );
+        }
+        assert_eq!(results[0].get("hits"), results[8].get("hits"));
+        // Identical uncached entries dispatch once: the duplicate borrows
+        // the first occurrence's answer and reports it as cached.
+        assert_eq!(results[0].get("cached"), Some(&Json::Bool(false)));
+        assert_eq!(results[8].get("cached"), Some(&Json::Bool(true)));
+        // Every hostile item carries its own typed error, in position.
+        for (i, needle) in [
+            (1usize, "must not be empty"),
+            (2, "strings"),
+            (3, "threshold"),
+            (4, "top-k"),
+            (5, "\"k\""),
+            (6, "debug"),
+            (7, "values"),
+        ] {
+            let msg = results[i]
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or_else(|| panic!("item {i} should error: {}", results[i]));
+            assert!(msg.contains(needle), "item {i}: {msg:?} missing {needle:?}");
+            assert!(results[i].get("hits").is_none(), "item {i} answered anyway");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn cache_key_includes_debug_flag() {
+        // A cached non-debug response must never answer a debug request,
+        // and vice versa — the flag is part of the cache key.
+        let server = boot(test_engine(6, true));
+        let addr = server.addr();
+        let plain = r#"{"values": ["v0","v1","v2","v3","v4","v5"], "threshold": 0.5}"#;
+        let debug =
+            r#"{"values": ["v0","v1","v2","v3","v4","v5"], "threshold": 0.5, "debug": true}"#;
+
+        let (_, body) = post(addr, "/query", plain);
+        let first = Json::parse(&body).expect("json");
+        assert_eq!(first.get("cached"), Some(&Json::Bool(false)));
+        assert!(first.get("debug").is_none());
+
+        // Same query with debug: a separate cache entry, never the plain
+        // one replayed without its stats.
+        let (_, body) = post(addr, "/query", debug);
+        let second = Json::parse(&body).expect("json");
+        assert_eq!(second.get("cached"), Some(&Json::Bool(false)), "{second}");
+        assert!(second.get("debug").is_some(), "debug stats missing");
+
+        // Each variant now replays from its own entry.
+        let (_, body) = post(addr, "/query", debug);
+        let replay = Json::parse(&body).expect("json");
+        assert_eq!(replay.get("cached"), Some(&Json::Bool(true)));
+        assert_eq!(replay.get("debug"), second.get("debug"));
+        let (_, body) = post(addr, "/query", plain);
+        let replay = Json::parse(&body).expect("json");
+        assert_eq!(replay.get("cached"), Some(&Json::Bool(true)));
+        assert!(replay.get("debug").is_none(), "debug leaked into plain");
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_memory_covers_staged_backlog() {
+        let server = boot(test_engine(6, true));
+        let addr = server.addr();
+        let memory = |addr| {
+            let (_, body) = get(addr, "/stats");
+            let stats = Json::parse(&body).expect("json");
+            let m = stats.get("memory").expect("memory object").clone();
+            (
+                m.get("index_bytes").and_then(Json::as_u64).expect("index"),
+                m.get("staged_bytes")
+                    .and_then(Json::as_u64)
+                    .expect("staged"),
+            )
+        };
+        let (index_bytes, staged_bytes) = memory(addr);
+        assert!(index_bytes > 0);
+        assert_eq!(staged_bytes, 0);
+
+        // Staging an insert grows the backlog accounting (the signature
+        // alone is num_perm × 8 bytes).
+        let values: Vec<String> = (0..24).map(|i| format!("\"m{i}\"")).collect();
+        let (status, body) = post(
+            addr,
+            "/insert",
+            &format!("{{\"values\": [{}]}}", values.join(",")),
+        );
+        assert_eq!(status, 200, "{body}");
+        let (_, staged_after_insert) = memory(addr);
+        assert!(
+            staged_after_insert >= 256 * 8,
+            "staged backlog under-reported: {staged_after_insert}"
+        );
+
+        // Commit folds the backlog into the index: staged accounting
+        // drops back to zero.
+        let (status, _) = post(addr, "/commit", "");
+        assert_eq!(status, 200);
+        let (index_after, staged_after_commit) = memory(addr);
+        assert_eq!(staged_after_commit, 0);
+        assert!(index_after > 0);
         server.shutdown();
     }
 

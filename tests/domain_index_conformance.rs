@@ -264,6 +264,146 @@ fn top_k_ranks_the_self_match_first() {
     assert_eq!(out.hits[0].estimate, Some(1.0));
 }
 
+/// Asserts two search results agree on everything deterministic: the
+/// hits (ids AND estimates) and every [`lshe_core::QueryStats`] field
+/// except `wall_micros`, which reports timing rather than the answer.
+fn assert_result_matches(
+    context: &str,
+    batched: &Result<lshe_core::SearchOutcome, QueryError>,
+    looped: &Result<lshe_core::SearchOutcome, QueryError>,
+) {
+    match (batched, looped) {
+        (Ok(b), Ok(l)) => {
+            assert_eq!(b.hits, l.hits, "{context}: hits diverge");
+            assert_eq!(
+                (
+                    b.stats.partitions_probed,
+                    b.stats.partitions_total,
+                    b.stats.candidates,
+                    b.stats.survivors,
+                ),
+                (
+                    l.stats.partitions_probed,
+                    l.stats.partitions_total,
+                    l.stats.candidates,
+                    l.stats.survivors,
+                ),
+                "{context}: deterministic stats diverge"
+            );
+        }
+        (Err(b), Err(l)) => assert_eq!(b, l, "{context}: errors diverge"),
+        (b, l) => panic!("{context}: batched {b:?} vs looped {l:?}"),
+    }
+}
+
+#[test]
+fn search_batch_equals_looped_search_on_every_backend() {
+    let w = world();
+    // A mixed batch: thresholds across the grid, top-k, estimated sizes,
+    // the parallel hint, and malformed queries that must error in
+    // position without affecting their neighbours.
+    let narrow = MinHasher::new(64).signature([1u64, 2, 3]);
+    let mut queries: Vec<Query<'_>> = Vec::new();
+    for &(q, t) in &[(3usize, 0.3), (7, 0.5), (13, 0.8), (19, 0.5), (23, 1.0)] {
+        let (_, size, sig) = &w.entries[q];
+        queries.push(Query::threshold(sig, t).with_size(*size));
+    }
+    let (_, size5, sig5) = &w.entries[5];
+    queries.push(Query::threshold(sig5, 0.5)); // size estimated from the sketch
+    queries.push(
+        Query::threshold(sig5, 0.6)
+            .with_size(*size5)
+            .with_parallel(true),
+    );
+    queries.push(Query::top_k(sig5, 4).with_size(*size5));
+    queries.push(Query::top_k(sig5, 500).with_size(*size5)); // k > corpus
+    queries.push(Query::threshold(&narrow, 0.5).with_size(3)); // width mismatch
+    queries.push(Query::threshold(sig5, 1.5).with_size(*size5)); // bad threshold
+    queries.push(Query::top_k(sig5, 0).with_size(*size5)); // k = 0
+
+    for (name, index) in backends(&w) {
+        let batched = index.search_batch(&queries);
+        assert_eq!(batched.len(), queries.len(), "{name}: result count");
+        for (i, (b, q)) in batched.iter().zip(&queries).enumerate() {
+            let looped = index.search(q);
+            assert_result_matches(&format!("{name} query {i}"), b, &looped);
+        }
+    }
+    // The exact engine answers through the default loop impl; raw hashes
+    // attached per query.
+    let exact_queries: Vec<Query<'_>> = w
+        .entries
+        .iter()
+        .take(4)
+        .map(|(id, size, sig)| {
+            Query::threshold(sig, 0.5)
+                .with_size(*size)
+                .with_hashes(&w.values[*id as usize])
+        })
+        .collect();
+    let batched = DomainIndex::search_batch(&w.exact, &exact_queries);
+    for (i, (b, q)) in batched.iter().zip(&exact_queries).enumerate() {
+        assert_result_matches(
+            &format!("exact query {i}"),
+            b,
+            &DomainIndex::search(&w.exact, q),
+        );
+    }
+}
+
+#[test]
+fn top_k_zero_and_oversized_k_are_normalized() {
+    // Pinned semantics, identical on every backend:
+    // * `TopK(0)` is `QueryError::Invalid` — validation precedes the
+    //   capability check, so even backends that cannot answer top-k at
+    //   all report Invalid (not Unsupported) for k = 0;
+    // * `k > corpus_len` is NOT an error: backends with sketches return
+    //   every domain they can rank (≤ len), backends without report
+    //   Unsupported exactly as for any other k.
+    let w = world();
+    for (name, index) in backends(&w) {
+        let (_, size, sig) = &w.entries[6];
+        assert!(
+            matches!(
+                index.search(&Query::top_k(sig, 0).with_size(*size)),
+                Err(QueryError::Invalid(_))
+            ),
+            "{name}: TopK(0) must be Invalid"
+        );
+        let oversized = index.search(&Query::top_k(sig, 10 * N).with_size(*size));
+        match name {
+            "ranked" | "sharded_ranked" => {
+                let out = oversized.unwrap_or_else(|e| panic!("{name}: oversized k errored: {e}"));
+                assert!(
+                    !out.hits.is_empty() && out.hits.len() <= N,
+                    "{name}: oversized k returned {} hits",
+                    out.hits.len()
+                );
+                assert_eq!(out.stats.survivors, out.hits.len(), "{name}");
+            }
+            _ => assert!(
+                matches!(oversized, Err(QueryError::Unsupported(_))),
+                "{name}: oversized k on an unranked backend must stay Unsupported"
+            ),
+        }
+    }
+    // The exact engine follows the same rules (true containments).
+    let (id, _, sig) = &w.entries[6];
+    assert!(matches!(
+        DomainIndex::search(
+            &w.exact,
+            &Query::top_k(sig, 0).with_hashes(&w.values[*id as usize])
+        ),
+        Err(QueryError::Invalid(_))
+    ));
+    let out = DomainIndex::search(
+        &w.exact,
+        &Query::top_k(sig, 10 * N).with_hashes(&w.values[*id as usize]),
+    )
+    .expect("oversized k is not an error");
+    assert!(out.hits.len() <= N);
+}
+
 #[test]
 fn malformed_queries_are_typed_errors_everywhere() {
     let w = world();

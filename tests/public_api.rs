@@ -60,6 +60,17 @@ fn facade_exposes_the_unified_query_surface() {
         .unwrap_err();
     assert!(matches!(err, QueryError::Invalid(_)));
 
+    // Batched execution is part of the promised surface: request order,
+    // per-item typed errors, answers identical to single search.
+    let batch = [
+        Query::threshold(&sig, 0.7).with_size(60),
+        Query::top_k(&sig, 0).with_size(60),
+    ];
+    let results: Vec<Result<SearchOutcome, QueryError>> = index.search_batch(&batch);
+    assert_eq!(results.len(), 2);
+    assert_eq!(results[0].as_ref().expect("valid").hits, outcome.hits);
+    assert!(matches!(results[1], Err(QueryError::Invalid(_))));
+
     // RankedHit is still exported for the inherent query paths.
     let _: Vec<RankedHit>;
 }
