@@ -57,6 +57,7 @@ fn server_throughput(c: &mut Criterion) {
             addr: "127.0.0.1:0".to_owned(),
             threads: 4,
             cache_capacity: 4_096,
+            ..ServerConfig::default()
         },
     )
     .expect("bind");
@@ -105,6 +106,27 @@ fn server_throughput(c: &mut Criterion) {
                 .collect();
             let body = format!("{{\"queries\": [{}]}}", queries.join(","));
             post_ok(&mut client, "/batch", &body)
+        })
+    });
+    // 256 concurrent keep-alive connections, one cache-hit query each per
+    // iteration, every request written before any response is read: the
+    // reactor must multiplex the whole connection set, not serve them one
+    // thread at a time.
+    const CONNS: usize = 256;
+    let mut conns: Vec<HttpClient> = (0..CONNS).map(|_| HttpClient::connect(addr)).collect();
+    group.throughput(Throughput::Elements(CONNS as u64));
+    group.bench_function("http_query_256conn_burst", |b| {
+        b.iter(|| {
+            for conn in &mut conns {
+                conn.send("POST", "/query", Some(&hit_body));
+            }
+            let mut bytes = 0usize;
+            for conn in &mut conns {
+                let (status, body) = conn.read_response();
+                assert_eq!(status, 200, "burst response: {body}");
+                bytes += body.len();
+            }
+            bytes
         })
     });
     group.finish();

@@ -426,6 +426,7 @@ fn cmd_serve(flags: &Flags) -> Result<String, CliError> {
         addr,
         threads,
         cache_capacity,
+        ..ServerConfig::default()
     };
     let handle = start(Arc::new(engine), &config)?;
     println!(

@@ -335,9 +335,11 @@ impl LshEnsemble {
         self.query_counted(signature, query_size, t_star, false).0
     }
 
-    /// Containment search with one thread per partition; results are
-    /// unioned. Semantically identical to
-    /// [`query_with_size`](Self::query_with_size).
+    /// Containment search with partitions probed across budget-governed
+    /// worker lanes (`lshe_minhash::lanes`); results are unioned.
+    /// Semantically identical to
+    /// [`query_with_size`](Self::query_with_size) — with no spare cores
+    /// the lane budget yields nothing and the probe runs inline.
     ///
     /// # Panics
     /// As [`query_with_size`](Self::query_with_size).
@@ -369,24 +371,24 @@ impl LshEnsemble {
         };
         let mut out = FastHashSet::default();
         if parallel {
-            let buffers: Vec<(Vec<DomainId>, bool)> = std::thread::scope(|scope| {
-                let handles: Vec<_> = self
-                    .partitions
-                    .iter()
-                    .map(|p| {
-                        scope.spawn(move || {
+            // Partitions are chunked across lanes drawn from the
+            // process-wide budget (`lshe_minhash::lanes`), not one thread
+            // per partition: on a single-core or saturated host the budget
+            // yields zero extras and the probe runs inline, identical to
+            // the sequential path — fan-out cost is only ever paid when
+            // there are cores to absorb it.
+            let buffers: Vec<(Vec<DomainId>, bool)> =
+                lshe_minhash::lanes::run_chunked(&self.partitions, |chunk| {
+                    chunk
+                        .iter()
+                        .map(|p| {
                             let mut buf = Vec::new();
                             let probed =
                                 self.query_partition(p, signature, query_size, t_star, &mut buf);
                             (buf, probed)
                         })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("partition query panicked"))
-                    .collect()
-            });
+                        .collect()
+                });
             for (buf, probed) in buffers {
                 probe.probed += usize::from(probed);
                 probe.candidates += buf.len();

@@ -2,10 +2,11 @@
 //!
 //! Repeated domain-search queries are common in practice (dashboards,
 //! retried crawls, popular tables), and an LSH Ensemble query is pure: the
-//! same (signature, query size, threshold, k) against the same index
+//! same (domain, query size, threshold, k) against the same index
 //! snapshot always yields the same hits. The server therefore memoises
-//! results keyed on a digest of the query, with hit/miss counters exposed
-//! on `/stats`.
+//! results keyed on a digest of the query's *raw domain hashes* — taken
+//! before MinHash sketching, so a cache hit skips the sketch entirely —
+//! with hit/miss counters exposed on `/stats`.
 //!
 //! The implementation is a classic `HashMap` + intrusive doubly-linked
 //! list over a slab of nodes, giving O(1) lookup, insert, touch, and
@@ -26,7 +27,7 @@ use std::sync::Mutex;
 /// request, nor the reverse.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct QueryKey {
-    /// FNV-1a digest of the query signature's slots.
+    /// FNV-1a digest of the query domain's raw (pre-sketch) hash set.
     pub digest: u64,
     /// Query-domain cardinality.
     pub query_size: u64,
@@ -40,7 +41,8 @@ pub struct QueryKey {
     pub generation: u64,
 }
 
-/// FNV-1a over the little-endian bytes of the signature slots.
+/// FNV-1a over the little-endian bytes of a `u64` slice (domain hash
+/// sets and MinHash signature slots alike).
 #[must_use]
 pub fn signature_digest(slots: &[u64]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;

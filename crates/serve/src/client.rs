@@ -45,6 +45,18 @@ impl HttpClient {
     /// # Panics
     /// Panics on transport failure or unparseable response framing.
     pub fn request(&mut self, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
+        self.send(method, path, body);
+        self.read_response()
+    }
+
+    /// Sends one request WITHOUT reading the response — the pipelining
+    /// half of [`request`](Self::request). Pair each send with one later
+    /// [`read_response`](Self::read_response); the server answers
+    /// pipelined requests strictly in order.
+    ///
+    /// # Panics
+    /// Panics on transport failure.
+    pub fn send(&mut self, method: &str, path: &str, body: Option<&str>) {
         let mut raw = format!("{method} {path} HTTP/1.1\r\nhost: lshe\r\n");
         if let Some(body) = body {
             raw.push_str(&format!("content-length: {}\r\n", body.len()));
@@ -54,7 +66,13 @@ impl HttpClient {
             raw.push_str(body);
         }
         self.stream.write_all(raw.as_bytes()).expect("send request");
+    }
 
+    /// Reads one response off the connection. Returns `(status, body)`.
+    ///
+    /// # Panics
+    /// Panics on transport failure or unparseable response framing.
+    pub fn read_response(&mut self) -> (u16, String) {
         let mut status_line = String::new();
         self.reader
             .read_line(&mut status_line)

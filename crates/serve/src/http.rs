@@ -113,83 +113,216 @@ fn check_deadline(e: &io::Error, deadline: Option<std::time::Instant>) -> Result
     }
 }
 
-/// Reads one CRLF- (or bare-LF-) terminated line, capped at [`MAX_LINE`]
-/// bytes. Returns `None` on clean EOF before any byte.
-fn read_line<R: BufRead>(
-    reader: &mut R,
-    deadline: Option<std::time::Instant>,
-) -> Result<Option<String>, HttpError> {
-    let mut buf = Vec::with_capacity(128);
-    loop {
-        if deadline.is_some_and(|d| std::time::Instant::now() >= d) && !buf.is_empty() {
-            return Err(HttpError::Malformed("request read timed out"));
+/// Incremental parser state: accumulating head bytes, or streaming a
+/// known-length body.
+enum ParseState {
+    /// Scanning buffered bytes for the head terminator. Offsets are
+    /// relative to the parser's unconsumed region and only ever move
+    /// forward, so re-feeding never re-scans.
+    Head {
+        /// Start of the line currently being scanned.
+        line_start: usize,
+        /// Bytes already examined for a `\n`.
+        scanned: usize,
+        /// Completed (non-terminator) lines seen so far.
+        lines: usize,
+    },
+    /// Head parsed; `remaining` body bytes still outstanding.
+    Body {
+        request: Box<Request>,
+        remaining: usize,
+    },
+}
+
+/// An incremental, resumable HTTP/1.1 request parser.
+///
+/// Built for readiness-driven I/O: the event loop [`feed`](Self::feed)s
+/// whatever bytes the socket had, then drains complete requests with
+/// [`next_request`](Self::next_request) — which returns `Ok(None)` (not
+/// an error) when the buffered bytes end mid-request, so a request split
+/// at *any* byte boundary across reads parses identically to one that
+/// arrived whole. Pipelined requests queue naturally: each
+/// `next_request` call consumes exactly one request's bytes and leaves
+/// the rest buffered.
+///
+/// After an `Err` the parser is poisoned — request framing is lost, so
+/// the connection must be answered with an error and closed. The
+/// blocking [`read_request`] is a thin driver over this same parser;
+/// there is exactly one parsing codepath.
+pub struct RequestParser {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed by completed requests.
+    pos: usize,
+    state: ParseState,
+}
+
+impl Default for RequestParser {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RequestParser {
+    /// A parser with nothing buffered.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            buf: Vec::new(),
+            pos: 0,
+            state: ParseState::Head {
+                line_start: 0,
+                scanned: 0,
+                lines: 0,
+            },
         }
-        let mut byte = [0u8; 1];
-        match reader.read(&mut byte) {
-            Ok(0) => {
-                if buf.is_empty() {
-                    return Ok(None);
-                }
-                return Err(HttpError::Malformed("unexpected EOF mid-line"));
-            }
-            Ok(_) => {
-                if byte[0] == b'\n' {
-                    if buf.last() == Some(&b'\r') {
-                        buf.pop();
+    }
+
+    /// Buffers more bytes from the transport.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// True when no partial request is buffered — the connection is
+    /// between requests (safe to idle-timeout without an error response).
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        matches!(self.state, ParseState::Head { .. }) && self.pos == self.buf.len()
+    }
+
+    /// Body bytes the current request still needs (0 outside a body) —
+    /// lets a blocking driver bulk-consume body bytes without stealing
+    /// the next pipelined request's.
+    #[must_use]
+    pub fn body_wanted(&self) -> usize {
+        match &self.state {
+            ParseState::Body { remaining, .. } => *remaining,
+            ParseState::Head { .. } => 0,
+        }
+    }
+
+    /// Bytes currently buffered and not yet consumed by a request.
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Tries to complete one request from the buffered bytes. `Ok(None)`
+    /// means the bytes end mid-request: feed more and call again.
+    ///
+    /// # Errors
+    /// [`HttpError`] on malformed syntax, exceeded protocol limits, or
+    /// unsupported features; the parser must not be reused afterwards.
+    pub fn next_request(&mut self) -> Result<Option<Request>, HttpError> {
+        loop {
+            match &mut self.state {
+                ParseState::Head {
+                    line_start,
+                    scanned,
+                    lines,
+                } => {
+                    let data = &self.buf[self.pos..];
+                    let mut head_end = None;
+                    while *scanned < data.len() {
+                        let b = data[*scanned];
+                        if b == b'\n' {
+                            let mut line_end = *scanned;
+                            if line_end > *line_start && data[line_end - 1] == b'\r' {
+                                line_end -= 1;
+                            }
+                            if line_end == *line_start {
+                                head_end = Some(*scanned + 1);
+                                *scanned += 1;
+                                break;
+                            }
+                            *lines += 1;
+                            // Request line + headers; one more line than
+                            // MAX_HEADERS is the request line itself.
+                            if *lines > MAX_HEADERS + 1 {
+                                return Err(HttpError::TooLarge("too many headers"));
+                            }
+                            *line_start = *scanned + 1;
+                        } else if *scanned - *line_start >= MAX_LINE {
+                            return Err(HttpError::TooLarge("line exceeds MAX_LINE"));
+                        }
+                        *scanned += 1;
                     }
-                    let line = String::from_utf8(buf)
-                        .map_err(|_| HttpError::Malformed("non-UTF-8 header data"))?;
-                    return Ok(Some(line));
+                    let Some(head_end) = head_end else {
+                        return Ok(None);
+                    };
+                    let head = &self.buf[self.pos..self.pos + head_end];
+                    let (request, body_len) = parse_head(head)?;
+                    self.pos += head_end;
+                    if body_len == 0 {
+                        self.reset_after_request();
+                        return Ok(Some(request));
+                    }
+                    // Pre-size conservatively: Content-Length is
+                    // client-controlled, so don't let a declared-but-never-
+                    // sent 8 MB body reserve 8 MB per connection.
+                    let mut request = Box::new(request);
+                    request.body = Vec::with_capacity(body_len.min(64 * 1024));
+                    self.state = ParseState::Body {
+                        request,
+                        remaining: body_len,
+                    };
                 }
-                if buf.len() >= MAX_LINE {
-                    return Err(HttpError::TooLarge("line exceeds MAX_LINE"));
+                ParseState::Body { request, remaining } => {
+                    let avail = self.buf.len() - self.pos;
+                    let take = avail.min(*remaining);
+                    request
+                        .body
+                        .extend_from_slice(&self.buf[self.pos..self.pos + take]);
+                    self.pos += take;
+                    *remaining -= take;
+                    if *remaining > 0 {
+                        return Ok(None);
+                    }
+                    let ParseState::Body { request, .. } = std::mem::replace(
+                        &mut self.state,
+                        ParseState::Head {
+                            line_start: 0,
+                            scanned: 0,
+                            lines: 0,
+                        },
+                    ) else {
+                        unreachable!("state checked above");
+                    };
+                    self.compact();
+                    return Ok(Some(*request));
                 }
-                buf.push(byte[0]);
             }
-            Err(e) => check_deadline(&e, deadline)?,
         }
+    }
+
+    fn reset_after_request(&mut self) {
+        self.state = ParseState::Head {
+            line_start: 0,
+            scanned: 0,
+            lines: 0,
+        };
+        self.compact();
+    }
+
+    /// Drops consumed bytes so pipelined leftovers start at offset 0
+    /// (head-scan offsets are relative to the unconsumed region).
+    fn compact(&mut self) {
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+        } else {
+            self.buf.drain(..self.pos);
+        }
+        self.pos = 0;
     }
 }
 
-/// Reads exactly `buf.len()` body bytes, honouring the request deadline.
-fn read_body<R: BufRead>(
-    reader: &mut R,
-    buf: &mut [u8],
-    deadline: Option<std::time::Instant>,
-) -> Result<(), HttpError> {
-    let mut filled = 0;
-    while filled < buf.len() {
-        // Checked on the success path too: a client dripping bytes just
-        // under the socket timeout must still hit the whole-request bound.
-        if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
-            return Err(HttpError::Malformed("request read timed out"));
-        }
-        match reader.read(&mut buf[filled..]) {
-            Ok(0) => return Err(HttpError::Malformed("body shorter than content-length")),
-            Ok(n) => filled += n,
-            Err(e) => check_deadline(&e, deadline)?,
-        }
-    }
-    Ok(())
-}
-
-/// Reads one request off the stream. `Ok(None)` means the peer closed the
-/// connection cleanly between requests (normal keep-alive teardown).
-///
-/// `deadline`, when given, bounds the *whole* request read: reads that
-/// time out at the socket level are retried until the deadline passes,
-/// then rejected — pair it with a short socket read timeout.
-///
-/// # Errors
-/// [`HttpError`] on transport failure, malformed syntax, exceeded
-/// protocol limits, or a blown deadline.
-pub fn read_request<R: BufRead>(
-    reader: &mut R,
-    deadline: Option<std::time::Instant>,
-) -> Result<Option<Request>, HttpError> {
-    let Some(request_line) = read_line(reader, deadline)? else {
-        return Ok(None);
-    };
+/// Parses a complete head (request line + headers + blank line) and
+/// validates framing; returns the request (body still empty) and its
+/// declared body length.
+fn parse_head(head: &[u8]) -> Result<(Request, usize), HttpError> {
+    let text =
+        std::str::from_utf8(head).map_err(|_| HttpError::Malformed("non-UTF-8 header data"))?;
+    let mut line_iter = text.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
+    let request_line = line_iter.next().unwrap_or("");
     let mut parts = request_line.split(' ');
     let method = parts
         .next()
@@ -212,10 +345,9 @@ pub fn read_request<R: BufRead>(
     }
 
     let mut headers = Vec::new();
-    loop {
-        let line = read_line(reader, deadline)?.ok_or(HttpError::Malformed("EOF in headers"))?;
+    for line in line_iter {
         if line.is_empty() {
-            break;
+            break; // the head terminator
         }
         if headers.len() >= MAX_HEADERS {
             return Err(HttpError::TooLarge("too many headers"));
@@ -229,7 +361,7 @@ pub fn read_request<R: BufRead>(
         headers.push((name.to_ascii_lowercase(), value.trim().to_owned()));
     }
 
-    let mut request = Request {
+    let request = Request {
         method,
         target,
         http10: version == "HTTP/1.0",
@@ -254,24 +386,99 @@ pub fn read_request<R: BufRead>(
     {
         return Err(HttpError::Malformed("multiple content-length headers"));
     }
-    if let Some(len) = request.header("content-length") {
-        // RFC 9110 grammar is 1*DIGIT; `usize::from_str` also accepts a
-        // leading '+', which a front proxy would treat as invalid — another
-        // parse-differential smuggling vector.
-        if len.is_empty() || !len.bytes().all(|b| b.is_ascii_digit()) {
-            return Err(HttpError::Malformed("bad content-length"));
+    let body_len = match request.header("content-length") {
+        None => 0,
+        Some(len) => {
+            // RFC 9110 grammar is 1*DIGIT; `usize::from_str` also accepts
+            // a leading '+', which a front proxy would treat as invalid —
+            // another parse-differential smuggling vector.
+            if len.is_empty() || !len.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(HttpError::Malformed("bad content-length"));
+            }
+            let len: usize = len
+                .parse()
+                .map_err(|_| HttpError::Malformed("bad content-length"))?;
+            if len > MAX_BODY {
+                return Err(HttpError::TooLarge("body exceeds MAX_BODY"));
+            }
+            len
         }
-        let len: usize = len
-            .parse()
-            .map_err(|_| HttpError::Malformed("bad content-length"))?;
-        if len > MAX_BODY {
-            return Err(HttpError::TooLarge("body exceeds MAX_BODY"));
+    };
+    Ok((request, body_len))
+}
+
+/// Reads one request off the stream — a blocking driver over
+/// [`RequestParser`]. `Ok(None)` means the peer closed the connection
+/// cleanly between requests (normal keep-alive teardown).
+///
+/// `deadline`, when given, bounds the *whole* request read: reads that
+/// time out at the socket level are retried until the deadline passes,
+/// then rejected — pair it with a short socket read timeout.
+///
+/// # Errors
+/// [`HttpError`] on transport failure, malformed syntax, exceeded
+/// protocol limits, or a blown deadline.
+pub fn read_request<R: BufRead>(
+    reader: &mut R,
+    deadline: Option<std::time::Instant>,
+) -> Result<Option<Request>, HttpError> {
+    let mut parser = RequestParser::new();
+    loop {
+        if let Some(request) = parser.next_request()? {
+            return Ok(Some(request));
         }
-        let mut body = vec![0u8; len];
-        read_body(reader, &mut body, deadline)?;
-        request.body = body;
+        // Checked on the success path too: a client dripping bytes just
+        // under the socket timeout must still hit the whole-request bound.
+        if deadline.is_some_and(|d| std::time::Instant::now() >= d) && !parser.is_idle() {
+            return Err(HttpError::Malformed("request read timed out"));
+        }
+        let chunk = match reader.fill_buf() {
+            Ok([]) => {
+                if parser.is_idle() {
+                    return Ok(None);
+                }
+                if parser.body_wanted() > 0 {
+                    return Err(HttpError::Malformed("body shorter than content-length"));
+                }
+                return Err(HttpError::Malformed("unexpected EOF mid-request"));
+            }
+            Ok(chunk) => chunk,
+            Err(e) => {
+                check_deadline(&e, deadline)?;
+                continue;
+            }
+        };
+        // Consume only what this request can claim: head bytes one at a
+        // time (the terminator position isn't known yet), body bytes in
+        // bulk (the parser knows exactly how many remain). Pipelined
+        // bytes belonging to the NEXT request stay in the reader.
+        let take = match parser.body_wanted() {
+            0 => 1,
+            wanted => wanted.min(chunk.len()),
+        };
+        parser.feed(&chunk[..take]);
+        reader.consume(take);
     }
-    Ok(Some(request))
+}
+
+/// Appends a response head (status line + standard headers + blank line)
+/// to `out`. The event loop renders heads with this straight into reused
+/// per-connection write buffers; [`write_response`] is the same head over
+/// a blocking writer.
+pub fn write_head(
+    out: &mut Vec<u8>,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    content_length: usize,
+    keep_alive: bool,
+) {
+    // Writing into a Vec<u8> cannot fail.
+    let _ = write!(
+        out,
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\ncontent-length: {content_length}\r\nconnection: {}\r\n\r\n",
+        if keep_alive { "keep-alive" } else { "close" },
+    );
 }
 
 /// Writes a complete response with a body and standard headers.
@@ -286,12 +493,16 @@ pub fn write_response<W: Write>(
     body: &[u8],
     keep_alive: bool,
 ) -> io::Result<()> {
-    write!(
-        writer,
-        "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+    let mut head = Vec::with_capacity(128);
+    write_head(
+        &mut head,
+        status,
+        reason,
+        content_type,
         body.len(),
-        if keep_alive { "keep-alive" } else { "close" },
-    )?;
+        keep_alive,
+    );
+    writer.write_all(&head)?;
     writer.write_all(body)?;
     writer.flush()
 }
@@ -500,5 +711,111 @@ mod tests {
         assert!(String::from_utf8(out)
             .expect("utf8")
             .contains("connection: close"));
+    }
+
+    /// Reference parse of a byte stream containing exactly the given
+    /// requests, fed in one piece.
+    fn whole_parse(raw: &[u8], expect: usize) -> Vec<Request> {
+        let mut parser = RequestParser::new();
+        parser.feed(raw);
+        let mut out = Vec::new();
+        while let Some(req) = parser.next_request().expect("whole parse") {
+            out.push(req);
+        }
+        assert_eq!(out.len(), expect, "reference parse");
+        assert!(parser.is_idle());
+        out
+    }
+
+    fn assert_same(a: &Request, b: &Request) {
+        assert_eq!(a.method, b.method);
+        assert_eq!(a.target, b.target);
+        assert_eq!(a.body, b.body);
+        assert_eq!(a.wants_close(), b.wants_close());
+        assert_eq!(a.header("host"), b.header("host"));
+    }
+
+    #[test]
+    fn split_at_every_byte_boundary_parses_identically() {
+        // Hostile transport: a pipelined pair (one with a body) split
+        // into two feeds at EVERY byte boundary must parse exactly like
+        // the unsplit stream — same requests, no spurious errors, and
+        // `Ok(None)` (never `Err`) at the incomplete points.
+        let raw: &[u8] =
+            b"POST /query HTTP/1.1\r\nhost: a\r\ncontent-length: 11\r\n\r\n{\"v\":[1,2]}\
+                           GET /stats HTTP/1.1\r\nhost: b\r\nconnection: close\r\n\r\n";
+        let reference = whole_parse(raw, 2);
+        for split in 0..=raw.len() {
+            let mut parser = RequestParser::new();
+            let mut got = Vec::new();
+            for part in [&raw[..split], &raw[split..]] {
+                parser.feed(part);
+                while let Some(req) = parser
+                    .next_request()
+                    .unwrap_or_else(|e| panic!("split at {split}: {e:?}"))
+                {
+                    got.push(req);
+                }
+            }
+            assert_eq!(got.len(), 2, "split at {split} lost a request");
+            for (a, b) in got.iter().zip(reference.iter()) {
+                assert_same(a, b);
+            }
+            assert!(parser.is_idle(), "split at {split} left state behind");
+        }
+    }
+
+    #[test]
+    fn one_byte_at_a_time_feed() {
+        let raw: &[u8] = b"POST /topk HTTP/1.1\r\ncontent-length: 4\r\n\r\nabcd";
+        let reference = whole_parse(raw, 1);
+        let mut parser = RequestParser::new();
+        let mut got = None;
+        for (i, &b) in raw.iter().enumerate() {
+            parser.feed(&[b]);
+            match parser.next_request().expect("byte feed") {
+                Some(req) => {
+                    assert_eq!(i, raw.len() - 1, "completed early at byte {i}");
+                    got = Some(req);
+                }
+                None => assert!(i < raw.len() - 1, "never completed"),
+            }
+        }
+        assert_same(&got.expect("request"), &reference[0]);
+    }
+
+    #[test]
+    fn malformed_bytes_poison_after_valid_prefix() {
+        // A valid pipelined prefix followed by garbage: the parser must
+        // hand out the valid requests first, then error exactly once.
+        let mut parser = RequestParser::new();
+        parser.feed(b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\nBOGUS LINE\r\n\r\n");
+        let a = parser.next_request().expect("ok").expect("first");
+        assert_eq!(a.target, "/a");
+        let b = parser.next_request().expect("ok").expect("second");
+        assert_eq!(b.target, "/b");
+        assert!(parser.next_request().is_err(), "garbage must poison");
+    }
+
+    #[test]
+    fn parser_limits_apply_incrementally() {
+        // A request line dripped in forever must trip MAX_LINE without
+        // waiting for a newline — an attacker never sends one.
+        let mut parser = RequestParser::new();
+        parser.feed(b"GET /");
+        let chunk = [b'a'; 1024];
+        let mut err = None;
+        for _ in 0..(MAX_LINE / 1024 + 2) {
+            parser.feed(&chunk);
+            match parser.next_request() {
+                Ok(None) => {}
+                Ok(Some(_)) => panic!("parsed an unterminated line"),
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        assert!(matches!(err, Some(HttpError::TooLarge(_))), "{err:?}");
     }
 }

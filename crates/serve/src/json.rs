@@ -159,6 +159,16 @@ impl Json {
         out
     }
 
+    /// Serialises the value to compact JSON text appended to `out`,
+    /// reusing the buffer's capacity — the server renders every response
+    /// body through this into per-connection write buffers, so a hot
+    /// keep-alive connection stops paying a fresh `String` per response.
+    /// Byte-identical to [`render`](Self::render) (both funnel through
+    /// one writer).
+    pub fn render_into(&self, out: &mut String) {
+        self.write(out);
+    }
+
     fn write(&self, out: &mut String) {
         match self {
             Self::Null => out.push_str("null"),

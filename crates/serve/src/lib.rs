@@ -13,10 +13,12 @@
 //! | [`container`] | the `.lshe` index-file format (moved here from `lshe-cli` so both the CLI and the server share it) |
 //! | [`engine`] | `Arc`-swapped snapshot reads + hot `/reload`, optional sharded fan-out |
 //! | [`cache`] | thread-safe LRU query cache with hit/miss counters |
-//! | [`pool`] | fixed thread pool with drain-on-drop graceful shutdown |
-//! | [`http`] | minimal HTTP/1.1 request parser / response writer |
-//! | [`json`] | strict-subset JSON reader/writer for the wire protocol |
-//! | [`server`] | listener, routing, endpoints |
+//! | [`pool`] | fixed thread pool (the reactor's compute lanes) with drain-on-drop graceful shutdown |
+//! | [`http`] | minimal HTTP/1.1 parsing — incremental/resumable over partial reads — and response writing |
+//! | [`json`] | strict-subset JSON reader/writer for the wire protocol, with render-into-buffer reuse |
+//! | [`poller`] | readiness polling (epoll on Linux, `poll(2)` elsewhere) via std-linked libc symbols |
+//! | [`server`] | configuration, routing, endpoints |
+//! | `reactor` (internal) | the event loop: non-blocking listener + connections, pipelined in-order responses |
 //!
 //! ## Quick example
 //!
@@ -39,7 +41,12 @@
 //! let engine = Engine::from_container(IndexContainer::build(&catalog, 2, true), 1).unwrap();
 //!
 //! // …serve it on an ephemeral port, then shut down gracefully.
-//! let config = ServerConfig { addr: "127.0.0.1:0".into(), threads: 2, cache_capacity: 64 };
+//! let config = ServerConfig {
+//!     addr: "127.0.0.1:0".into(),
+//!     threads: 2,
+//!     cache_capacity: 64,
+//!     ..ServerConfig::default()
+//! };
 //! let handle = start(Arc::new(engine), &config).unwrap();
 //! assert_ne!(handle.addr().port(), 0);
 //! handle.shutdown();
@@ -54,7 +61,9 @@ pub mod container;
 pub mod engine;
 pub mod http;
 pub mod json;
+pub mod poller;
 pub mod pool;
+mod reactor;
 pub mod server;
 
 pub use cache::{CacheStats, LruCache, QueryKey};

@@ -1,0 +1,749 @@
+//! The readiness-driven I/O core: one thread, every connection.
+//!
+//! One reactor thread owns the listener and all connection sockets,
+//! multiplexed through [`crate::poller`] (epoll on Linux). Each
+//! connection is a small state machine — reading → parsing → executing →
+//! writing — fed by the resumable [`RequestParser`], with pipelined
+//! HTTP/1.1 requests answered strictly in arrival order through a
+//! per-connection completion ledger.
+//!
+//! The reactor itself never searches. Cache hits, parse errors, and
+//! cheap control endpoints (`/health`, `/stats`, `/shutdown`, 404/405)
+//! answer inline — a cache probe and a JSON render, microseconds — while
+//! anything that must sketch, search, or mutate the engine is handed to
+//! the compute pool. Cache-missed `/query`/`/topk` requests decoded in
+//! the *same poller tick* are batched into ONE pool job that executes
+//! them through a single `search_batch` dispatch, so a burst of N
+//! concurrent single-query clients costs one fan-out, not N.
+//!
+//! Backpressure and hygiene: per-connection pipelines are capped at
+//! [`MAX_PIPELINE`] in-flight requests (read interest drops while full),
+//! reads are bounded per tick so one firehose client cannot starve the
+//! loop, write buffers are reused and shrunk after bursts, a
+//! whole-request deadline kills byte-dripping clients, and idle
+//! keep-alive connections expire after [`IDLE_TIMEOUT`].
+
+use crate::http::{HttpError, Request, RequestParser};
+use crate::poller::{Event, Poller, Waker, READ, WRITE};
+use crate::pool::ThreadPool;
+use crate::server::{self, MissQuery, Outcome, QueryStep, Shared};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// In-flight (unanswered) pipelined requests allowed per connection;
+/// beyond it the reactor stops reading from that socket until responses
+/// drain (TCP backpressure does the rest).
+const MAX_PIPELINE: usize = 64;
+/// `/query`/`/topk` bodies up to this size parse inline on the reactor;
+/// larger ones go to the compute pool like any heavy request.
+const INLINE_BODY_MAX: usize = 64 * 1024;
+/// Per-`read` chunk size.
+const READ_CHUNK: usize = 16 * 1024;
+/// Per-connection read budget within one tick — fairness bound so one
+/// firehose client cannot monopolise the loop.
+const PER_TICK_READ_MAX: usize = 256 * 1024;
+/// Poller timeout while serving: the upper bound on deadline-sweep lag.
+const TICK: Duration = Duration::from_millis(250);
+/// Poller timeout while draining for shutdown.
+const DRAIN_TICK: Duration = Duration::from_millis(50);
+/// Deadline-sweep cadence (sweeps are O(connections), so they are rate
+/// limited independently of the event rate).
+const SWEEP_INTERVAL: Duration = Duration::from_millis(50);
+/// Keep-alive connections silent for this long are dropped.
+const IDLE_TIMEOUT: Duration = Duration::from_secs(60);
+/// How long a graceful shutdown waits for in-flight work before
+/// force-closing what remains.
+const DRAIN_GRACE: Duration = Duration::from_secs(5);
+/// Write buffers shrink back to this capacity after a burst, and a
+/// partially-written buffer compacts once the consumed prefix passes it.
+const WRITE_COMPACT: usize = 64 * 1024;
+
+/// One fully rendered HTTP response, ready for a connection's write
+/// buffer.
+struct Rendered {
+    bytes: Vec<u8>,
+    /// Close the connection once this response is flushed.
+    close: bool,
+    /// This response was `/shutdown`: begin the server drain once it is
+    /// on the wire.
+    shutdown: bool,
+}
+
+/// A response produced off-thread, routed back to its connection slot.
+struct Completion {
+    fd: RawFd,
+    /// Guards against fd reuse: must match the connection's epoch.
+    epoch: u64,
+    seq: u64,
+    rendered: Rendered,
+}
+
+/// One same-tick cache-missed query awaiting the grouped dispatch.
+struct GroupJob {
+    fd: RawFd,
+    epoch: u64,
+    seq: u64,
+    keep_alive: bool,
+    started: Instant,
+    miss: Box<MissQuery>,
+}
+
+/// Per-connection state machine.
+struct Conn {
+    stream: TcpStream,
+    parser: RequestParser,
+    /// Rendered-but-unflushed response bytes ([`out_pos`](Self::out_pos)
+    /// marks the already-written prefix).
+    outbuf: Vec<u8>,
+    out_pos: usize,
+    /// In-order response ledger: slot `i` holds the response for request
+    /// `base_seq + i` once it completes; filled head slots promote to
+    /// `outbuf`. Out-of-order completions wait their turn here.
+    pending: VecDeque<Option<Rendered>>,
+    /// Sequence number of the front pending slot.
+    base_seq: u64,
+    /// Sequence number the next parsed request will get.
+    next_seq: u64,
+    /// Monotonic connection identity (fd numbers are reused by the OS).
+    epoch: u64,
+    /// Interest bits currently registered with the poller.
+    interest: u8,
+    last_activity: Instant,
+    /// When the currently-incomplete request's first byte arrived (the
+    /// whole-request deadline anchor); `None` between requests.
+    request_started: Option<Instant>,
+    peer_eof: bool,
+    /// Stop parsing new requests (close response queued, or draining).
+    closing: bool,
+    /// Close once `outbuf` is flushed and no responses remain pending.
+    close_when_flushed: bool,
+    /// Flip the server-wide shutdown flag once `outbuf` is flushed.
+    shutdown_when_flushed: bool,
+    /// Unrecoverable socket error: drop without further ceremony.
+    broken: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, epoch: u64) -> Self {
+        Self {
+            stream,
+            parser: RequestParser::new(),
+            outbuf: Vec::new(),
+            out_pos: 0,
+            pending: VecDeque::new(),
+            base_seq: 0,
+            next_seq: 0,
+            epoch,
+            interest: READ,
+            last_activity: Instant::now(),
+            request_started: None,
+            peer_eof: false,
+            closing: false,
+            close_when_flushed: false,
+            shutdown_when_flushed: false,
+            broken: false,
+        }
+    }
+
+    fn flushed(&self) -> bool {
+        self.out_pos == self.outbuf.len()
+    }
+}
+
+/// Runs the event loop until shutdown completes. This is the body of the
+/// `lshe-serve-reactor` thread.
+pub(crate) fn run(listener: TcpListener, shared: &Arc<Shared>, waker: &Arc<Waker>) {
+    let Ok(mut reactor) = Reactor::new(listener, Arc::clone(shared), Arc::clone(waker)) else {
+        return; // no poller ⇒ no server; bind errors were already surfaced
+    };
+    reactor.run_loop();
+}
+
+struct Reactor {
+    poller: Poller,
+    waker: Arc<Waker>,
+    waker_fd: RawFd,
+    listener: Option<TcpListener>,
+    listener_fd: RawFd,
+    shared: Arc<Shared>,
+    pool: ThreadPool,
+    conns: HashMap<RawFd, Conn>,
+    comp_tx: Sender<Completion>,
+    comp_rx: Receiver<Completion>,
+    /// Pool jobs in flight (drain waits for zero).
+    outstanding: Arc<AtomicUsize>,
+    epoch_counter: u64,
+    draining: bool,
+    drain_deadline: Option<Instant>,
+    /// Reused JSON render buffer for inline responses.
+    scratch: String,
+    /// Same-tick cache-missed queries, batched into one pool job.
+    tick_queries: Vec<GroupJob>,
+    next_sweep: Instant,
+    events: Vec<Event>,
+}
+
+impl Reactor {
+    fn new(listener: TcpListener, shared: Arc<Shared>, waker: Arc<Waker>) -> io::Result<Self> {
+        let poller = Poller::new()?;
+        let waker_fd = waker.fd();
+        let listener_fd = listener.as_raw_fd();
+        poller.register(waker_fd, waker_fd as u64, READ)?;
+        poller.register(listener_fd, listener_fd as u64, READ)?;
+        let pool = ThreadPool::new(shared.threads, "lshe-serve-worker");
+        let (comp_tx, comp_rx) = std::sync::mpsc::channel();
+        Ok(Self {
+            poller,
+            waker,
+            waker_fd,
+            listener: Some(listener),
+            listener_fd,
+            shared,
+            pool,
+            conns: HashMap::new(),
+            comp_tx,
+            comp_rx,
+            outstanding: Arc::new(AtomicUsize::new(0)),
+            epoch_counter: 0,
+            draining: false,
+            drain_deadline: None,
+            scratch: String::new(),
+            tick_queries: Vec::new(),
+            next_sweep: Instant::now(),
+            events: Vec::new(),
+        })
+    }
+
+    fn run_loop(&mut self) {
+        loop {
+            if !self.draining && self.shared.shutdown.load(Ordering::SeqCst) {
+                self.begin_drain();
+            }
+            if self.draining && self.drain_complete() {
+                break;
+            }
+            self.events.clear();
+            let timeout = if self.draining { DRAIN_TICK } else { TICK };
+            if self.poller.wait(&mut self.events, Some(timeout)).is_err() {
+                break; // poller failure is unrecoverable
+            }
+            self.shared
+                .server_stats
+                .wakeups
+                .fetch_add(1, Ordering::Relaxed);
+            let events = std::mem::take(&mut self.events);
+            for ev in &events {
+                #[allow(clippy::cast_possible_truncation)]
+                let fd = ev.token as RawFd;
+                if fd == self.waker_fd {
+                    self.waker.drain();
+                } else if fd == self.listener_fd && self.listener.is_some() {
+                    self.accept_ready();
+                } else {
+                    self.conn_event(fd, ev);
+                }
+            }
+            self.events = events;
+            self.drain_completions();
+            self.dispatch_tick_queries();
+            self.sweep_deadlines();
+        }
+    }
+
+    /// Accepts until the listener would block. Over-cap connections are
+    /// closed immediately (the kernel already completed the handshake;
+    /// an instant EOF is the clearest refusal we can give).
+    fn accept_ready(&mut self) {
+        loop {
+            let accepted = self.listener.as_ref().expect("listener checked").accept();
+            match accepted {
+                Ok((stream, _)) => {
+                    if self.conns.len() >= self.shared.max_connections {
+                        drop(stream);
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    // Responses go out in one small burst; Nagle + delayed
+                    // ACK would add ~40 ms per keep-alive round trip.
+                    let _ = stream.set_nodelay(true);
+                    let fd = stream.as_raw_fd();
+                    self.epoch_counter += 1;
+                    if self.poller.register(fd, fd as u64, READ).is_ok() {
+                        self.shared
+                            .counters
+                            .connections
+                            .fetch_add(1, Ordering::Relaxed);
+                        self.conns.insert(fd, Conn::new(stream, self.epoch_counter));
+                        self.shared
+                            .server_stats
+                            .open
+                            .store(self.conns.len() as u64, Ordering::Relaxed);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                // Transient accept failures (ECONNABORTED, EMFILE, …)
+                // must not kill the server; the level-triggered poller
+                // re-reports on the next tick, which is our backoff.
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn conn_event(&mut self, fd: RawFd, ev: &Event) {
+        let Some(mut conn) = self.conns.remove(&fd) else {
+            return; // stale event for an fd closed earlier this tick
+        };
+        if ev.hangup && !ev.readable {
+            conn.peer_eof = true;
+        }
+        if ev.readable {
+            self.read_ready(&mut conn);
+            self.parse_and_execute(fd, &mut conn);
+        }
+        self.finish_event(fd, conn);
+    }
+
+    /// Drains the socket into the parser, bounded per tick.
+    fn read_ready(&mut self, conn: &mut Conn) {
+        if conn.closing || conn.peer_eof || conn.broken {
+            return;
+        }
+        let mut chunk = [0u8; READ_CHUNK];
+        let mut total = 0;
+        loop {
+            if conn.pending.len() >= MAX_PIPELINE {
+                break; // backpressure: stop pulling bytes while saturated
+            }
+            match (&conn.stream).read(&mut chunk) {
+                Ok(0) => {
+                    conn.peer_eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.parser.feed(&chunk[..n]);
+                    conn.last_activity = Instant::now();
+                    total += n;
+                    if total >= PER_TICK_READ_MAX {
+                        break; // level-triggered: the rest re-fires next tick
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    conn.broken = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Parses every complete buffered request (up to the pipeline cap)
+    /// and dispatches each one; a malformed request answers the valid
+    /// prefix, queues its error, and marks the connection closing.
+    fn parse_and_execute(&mut self, fd: RawFd, conn: &mut Conn) {
+        while !conn.closing && !conn.broken && conn.pending.len() < MAX_PIPELINE {
+            match conn.parser.next_request() {
+                Ok(Some(request)) => {
+                    conn.request_started = None;
+                    let seq = conn.next_seq;
+                    conn.next_seq += 1;
+                    conn.pending.push_back(None);
+                    self.shared
+                        .server_stats
+                        .pipeline_hwm
+                        .fetch_max(conn.pending.len() as u64, Ordering::Relaxed);
+                    self.dispatch_request(fd, conn, seq, request);
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    self.shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    let (status, reason) = match &e {
+                        HttpError::TooLarge(_) => (413, "Payload Too Large"),
+                        HttpError::Unsupported(_) => (501, "Not Implemented"),
+                        _ => (400, "Bad Request"),
+                    };
+                    let outcome = Outcome::error(status, reason, e.to_string());
+                    let bytes = server::render_outcome(&outcome, false, &mut self.scratch);
+                    conn.pending.push_back(Some(Rendered {
+                        bytes,
+                        close: true,
+                        shutdown: false,
+                    }));
+                    conn.next_seq += 1;
+                    conn.closing = true;
+                    break;
+                }
+            }
+        }
+        // Anchor (or clear) the whole-request deadline: it runs only
+        // while a request is partially read, not while the pipeline cap
+        // is holding complete-but-unparsed requests back.
+        if conn.closing || conn.parser.is_idle() || conn.pending.len() >= MAX_PIPELINE {
+            conn.request_started = None;
+        } else if conn.request_started.is_none() {
+            conn.request_started = Some(Instant::now());
+        }
+    }
+
+    /// Routes one request: cache-probe queries and cheap control
+    /// endpoints inline, heavy work to the compute pool, cache-missed
+    /// queries into the same-tick batch.
+    fn dispatch_request(&mut self, fd: RawFd, conn: &mut Conn, seq: u64, request: Request) {
+        let keep_alive = !request.wants_close();
+        let is_query = matches!(
+            (request.method.as_str(), request.path()),
+            ("POST", "/query" | "/topk")
+        );
+        if is_query && request.body.len() <= INLINE_BODY_MAX {
+            let require_k = request.path() == "/topk";
+            let started = Instant::now();
+            match server::query_step(&self.shared, &request.body, require_k, started) {
+                QueryStep::Reply(outcome) => {
+                    // Parse errors and cache hits answer without leaving
+                    // the reactor thread.
+                    if outcome.status >= 400 {
+                        self.shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    self.complete_local(conn, seq, &outcome, keep_alive);
+                }
+                QueryStep::Miss(miss) => self.tick_queries.push(GroupJob {
+                    fd,
+                    epoch: conn.epoch,
+                    seq,
+                    keep_alive,
+                    started,
+                    miss,
+                }),
+            }
+            return;
+        }
+        let heavy = matches!(
+            (request.method.as_str(), request.path()),
+            (
+                "POST",
+                "/query" | "/topk" | "/batch" | "/reload" | "/insert" | "/remove" | "/commit"
+            )
+        );
+        if heavy {
+            self.dispatch_pool(fd, conn.epoch, seq, keep_alive, request);
+        } else {
+            // /health, /stats, /shutdown, 404, 405: O(µs) inline.
+            let outcome = server::route(&self.shared, &request);
+            if outcome.status >= 400 {
+                self.shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            }
+            self.complete_local(conn, seq, &outcome, keep_alive);
+        }
+    }
+
+    /// Renders an inline outcome straight into the connection's ledger.
+    fn complete_local(&mut self, conn: &mut Conn, seq: u64, outcome: &Outcome, keep_alive: bool) {
+        let ka = keep_alive && !outcome.close_after;
+        let bytes = server::render_outcome(outcome, ka, &mut self.scratch);
+        deliver(
+            conn,
+            seq,
+            Rendered {
+                bytes,
+                close: !ka,
+                shutdown: outcome.close_after,
+            },
+        );
+    }
+
+    /// One generic pool job: route + render off-thread, completion back
+    /// through the channel, waker poke so the reactor picks it up.
+    fn dispatch_pool(&self, fd: RawFd, epoch: u64, seq: u64, keep_alive: bool, request: Request) {
+        let shared = Arc::clone(&self.shared);
+        let tx = self.comp_tx.clone();
+        let waker = Arc::clone(&self.waker);
+        let outstanding = Arc::clone(&self.outstanding);
+        outstanding.fetch_add(1, Ordering::SeqCst);
+        self.pool.execute(move || {
+            let outcome = server::route(&shared, &request);
+            if outcome.status >= 400 {
+                shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            }
+            let ka = keep_alive && !outcome.close_after;
+            let mut scratch = String::new();
+            let bytes = server::render_outcome(&outcome, ka, &mut scratch);
+            let _ = tx.send(Completion {
+                fd,
+                epoch,
+                seq,
+                rendered: Rendered {
+                    bytes,
+                    close: !ka,
+                    shutdown: outcome.close_after,
+                },
+            });
+            outstanding.fetch_sub(1, Ordering::SeqCst);
+            waker.wake();
+        });
+    }
+
+    /// Ships every cache-missed query decoded this tick as ONE pool job
+    /// executing ONE batched dispatch — a burst of N concurrent clients
+    /// costs one `search_batch` fan-out instead of N searches.
+    fn dispatch_tick_queries(&mut self) {
+        if self.tick_queries.is_empty() {
+            return;
+        }
+        let jobs = std::mem::take(&mut self.tick_queries);
+        let shared = Arc::clone(&self.shared);
+        let tx = self.comp_tx.clone();
+        let waker = Arc::clone(&self.waker);
+        let outstanding = Arc::clone(&self.outstanding);
+        outstanding.fetch_add(1, Ordering::SeqCst);
+        self.pool.execute(move || {
+            let refs: Vec<(&MissQuery, Instant)> =
+                jobs.iter().map(|j| (&*j.miss, j.started)).collect();
+            let outcomes = server::execute_miss_group(&shared, &refs);
+            let mut scratch = String::new();
+            for (job, outcome) in jobs.iter().zip(outcomes) {
+                if outcome.status >= 400 {
+                    shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                }
+                let bytes = server::render_outcome(&outcome, job.keep_alive, &mut scratch);
+                let _ = tx.send(Completion {
+                    fd: job.fd,
+                    epoch: job.epoch,
+                    seq: job.seq,
+                    rendered: Rendered {
+                        bytes,
+                        close: !job.keep_alive,
+                        shutdown: false,
+                    },
+                });
+            }
+            outstanding.fetch_sub(1, Ordering::SeqCst);
+            waker.wake();
+        });
+    }
+
+    /// Collects finished pool work into connection ledgers. A completion
+    /// may free pipeline slots, so buffered bytes get another parse pass.
+    fn drain_completions(&mut self) {
+        while let Ok(comp) = self.comp_rx.try_recv() {
+            let Some(mut conn) = self.conns.remove(&comp.fd) else {
+                continue; // connection died while the job ran
+            };
+            if conn.epoch != comp.epoch {
+                // The fd was reused for a new connection: not ours.
+                self.conns.insert(comp.fd, conn);
+                continue;
+            }
+            deliver(&mut conn, comp.seq, comp.rendered);
+            self.finish_event(comp.fd, conn);
+        }
+    }
+
+    /// Flush → re-parse → repeat until quiescent, then update poller
+    /// interest and either re-insert the connection or close it.
+    fn finish_event(&mut self, fd: RawFd, mut conn: Conn) {
+        loop {
+            self.flush_conn(&mut conn);
+            // Flushing pops answered head slots; freed pipeline capacity
+            // may unlock already-buffered requests (which a level-
+            // triggered poller would never re-announce on its own).
+            let before = conn.next_seq;
+            self.parse_and_execute(fd, &mut conn);
+            if conn.next_seq == before {
+                break;
+            }
+        }
+        if conn.broken
+            || (conn.close_when_flushed && conn.flushed() && conn.pending.is_empty())
+            || (conn.peer_eof && conn.flushed() && conn.pending.is_empty())
+        {
+            self.close_conn(fd, conn);
+            return;
+        }
+        let mut want = 0u8;
+        if !conn.closing && !conn.peer_eof && conn.pending.len() < MAX_PIPELINE {
+            want |= READ;
+        }
+        if !conn.flushed() {
+            want |= WRITE;
+        }
+        if want != conn.interest {
+            if self.poller.modify(fd, fd as u64, want).is_err() {
+                self.close_conn(fd, conn);
+                return;
+            }
+            conn.interest = want;
+        }
+        self.conns.insert(fd, conn);
+    }
+
+    /// Promotes in-order completed responses into the write buffer, then
+    /// writes as much as the socket accepts.
+    fn flush_conn(&mut self, conn: &mut Conn) {
+        while matches!(conn.pending.front(), Some(Some(_))) {
+            let rendered = conn
+                .pending
+                .pop_front()
+                .flatten()
+                .expect("front slot checked filled");
+            conn.base_seq += 1;
+            conn.outbuf.extend_from_slice(&rendered.bytes);
+            if rendered.shutdown {
+                conn.shutdown_when_flushed = true;
+            }
+            if rendered.close {
+                // Nothing after a close-flagged response may be sent:
+                // drop any later pipelined work (stale completions are
+                // discarded by the ledger bounds check).
+                conn.closing = true;
+                conn.close_when_flushed = true;
+                conn.pending.clear();
+                break;
+            }
+        }
+        self.shared
+            .server_stats
+            .write_buf_hwm
+            .fetch_max(conn.outbuf.len() as u64, Ordering::Relaxed);
+        while conn.out_pos < conn.outbuf.len() {
+            match (&conn.stream).write(&conn.outbuf[conn.out_pos..]) {
+                Ok(0) => {
+                    conn.broken = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.out_pos += n;
+                    conn.last_activity = Instant::now();
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    conn.broken = true;
+                    break;
+                }
+            }
+        }
+        if conn.flushed() {
+            conn.outbuf.clear();
+            conn.out_pos = 0;
+            if conn.outbuf.capacity() > WRITE_COMPACT {
+                conn.outbuf.shrink_to(WRITE_COMPACT);
+            }
+            if conn.shutdown_when_flushed {
+                // The /shutdown response is on the wire: begin draining.
+                conn.shutdown_when_flushed = false;
+                self.shared.shutdown.store(true, Ordering::SeqCst);
+            }
+        } else if conn.out_pos >= WRITE_COMPACT {
+            // Long partial writes: reclaim the consumed prefix so the
+            // buffer cannot grow without bound under a slow reader.
+            conn.outbuf.drain(..conn.out_pos);
+            conn.out_pos = 0;
+        }
+    }
+
+    fn close_conn(&mut self, fd: RawFd, conn: Conn) {
+        self.poller.deregister(fd);
+        drop(conn); // dropping the TcpStream closes the fd
+        self.shared
+            .server_stats
+            .open
+            .store(self.conns.len() as u64, Ordering::Relaxed);
+    }
+
+    /// Rate-limited O(connections) sweep: whole-request deadlines and
+    /// idle keep-alive expiry.
+    fn sweep_deadlines(&mut self) {
+        let now = Instant::now();
+        if now < self.next_sweep {
+            return;
+        }
+        self.next_sweep = now + SWEEP_INTERVAL;
+        let fds: Vec<RawFd> = self.conns.keys().copied().collect();
+        for fd in fds {
+            let Some(mut conn) = self.conns.remove(&fd) else {
+                continue;
+            };
+            let timed_out = conn
+                .request_started
+                .is_some_and(|s| now.duration_since(s) >= self.shared.request_timeout);
+            if timed_out && !conn.closing {
+                // A slow-dripping request hit the whole-request deadline:
+                // answer 400 (after any pipelined predecessors) and close.
+                self.shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                let outcome = Outcome::error(400, "Bad Request", "request read timed out");
+                let bytes = server::render_outcome(&outcome, false, &mut self.scratch);
+                conn.pending.push_back(Some(Rendered {
+                    bytes,
+                    close: true,
+                    shutdown: false,
+                }));
+                conn.next_seq += 1;
+                conn.closing = true;
+                conn.request_started = None;
+                self.finish_event(fd, conn);
+                continue;
+            }
+            if now.duration_since(conn.last_activity) >= IDLE_TIMEOUT
+                && conn.pending.is_empty()
+                && conn.parser.is_idle()
+            {
+                self.close_conn(fd, conn);
+                continue;
+            }
+            self.conns.insert(fd, conn);
+        }
+    }
+
+    /// Stops accepting, marks every connection for close-after-flush, and
+    /// drops the ones with nothing left to say. In-flight pool work keeps
+    /// its connections alive until the responses ship.
+    fn begin_drain(&mut self) {
+        self.draining = true;
+        self.drain_deadline = Some(Instant::now() + DRAIN_GRACE);
+        if let Some(listener) = self.listener.take() {
+            self.poller.deregister(self.listener_fd);
+            drop(listener);
+        }
+        let fds: Vec<RawFd> = self.conns.keys().copied().collect();
+        for fd in fds {
+            let Some(mut conn) = self.conns.remove(&fd) else {
+                continue;
+            };
+            conn.closing = true;
+            conn.close_when_flushed = true;
+            self.finish_event(fd, conn);
+        }
+    }
+
+    fn drain_complete(&self) -> bool {
+        if self.conns.is_empty() && self.outstanding.load(Ordering::SeqCst) == 0 {
+            return true;
+        }
+        // Grace expired: force-close what remains (dropping Conns closes
+        // their sockets; dropping the pool joins its threads).
+        self.drain_deadline
+            .is_some_and(|deadline| Instant::now() >= deadline)
+    }
+}
+
+/// Files a completed response into its ledger slot. Out-of-bounds
+/// sequences (a slot discarded after a close-flagged response) are
+/// dropped silently.
+fn deliver(conn: &mut Conn, seq: u64, rendered: Rendered) {
+    let Some(idx) = seq.checked_sub(conn.base_seq) else {
+        return;
+    };
+    let idx = idx as usize;
+    if idx < conn.pending.len() {
+        conn.pending[idx] = Some(rendered);
+    }
+}

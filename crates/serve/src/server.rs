@@ -1,75 +1,73 @@
-//! The HTTP server: listener, routing, endpoints, graceful shutdown.
+//! The HTTP server: configuration, routing, endpoints, graceful shutdown.
 //!
 //! Endpoints (see `docs/API.md` for request/response examples):
 //!
 //! | method | path        | purpose                                         |
 //! |--------|-------------|-------------------------------------------------|
 //! | GET    | `/health`   | liveness + index summary                        |
-//! | GET    | `/stats`    | index, cache, traffic, and staging statistics   |
+//! | GET    | `/stats`    | index, cache, traffic, server, staging stats    |
 //! | POST   | `/query`    | one containment query                           |
 //! | POST   | `/topk`     | one top-k query (needs a ranked index)          |
-//! | POST   | `/batch`    | many queries, fanned out across worker threads  |
+//! | POST   | `/batch`    | many queries, answered in one batched dispatch  |
 //! | POST   | `/insert`   | stage one new domain (delta-logged)             |
 //! | POST   | `/remove`   | stage the removal of a domain by id             |
 //! | POST   | `/commit`   | apply staged mutations as a new generation      |
 //! | POST   | `/reload`   | hot-swap the index snapshot                     |
 //! | POST   | `/shutdown` | graceful stop (drain in-flight, then exit)      |
+//!
+//! I/O runs on the readiness-driven reactor (the crate-private
+//! `reactor` module): one
+//! event-loop thread owns every connection, cache-hit queries and cheap
+//! control endpoints answer inline, and everything that must search hands
+//! off to a small compute pool. This module owns everything *above* the
+//! sockets: the shared state, the route table, and the handlers.
 
 use crate::cache::{signature_digest, CacheStats, LruCache, QueryKey};
 use crate::engine::{Engine, EngineError, Snapshot};
-use crate::http::{read_request, write_response, HttpError, Request};
+use crate::http::{write_head, Request};
 use crate::json::Json;
-use crate::pool::{effective_threads, ThreadPool};
+use crate::poller::Waker;
+use crate::pool::effective_threads;
 use lshe_core::{Query, QueryStats, SearchHit, SearchOutcome};
 use lshe_corpus::Domain;
 use lshe_minhash::Signature;
-use std::io::{self, BufRead, BufReader};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// How long a worker waits for the *next* request on a hot connection
-/// before parking it (keeps rapid-fire clients on-worker, frees the worker
-/// from quiet ones).
-const HOT_WAIT: Duration = Duration::from_millis(5);
-/// Requests one worker turn may serve before the connection is forcibly
-/// parked — fairness bound so a hot client cannot monopolise a worker.
-const MAX_REQUESTS_PER_TURN: usize = 32;
-/// Parker sweep tick while traffic is flowing: upper bound on the latency
-/// for noticing a parked connection became readable.
-const PARK_TICK: Duration = Duration::from_millis(1);
-/// Parker backoff ceiling: after empty sweeps the tick doubles up to this,
-/// so a fully idle server does not burn CPU probing quiet connections.
-const PARK_TICK_MAX: Duration = Duration::from_millis(16);
-/// Whole-request read window once the first byte has arrived (slow-client
-/// bound — a hard deadline, not a per-read timeout).
-const REQUEST_TIMEOUT: Duration = Duration::from_secs(10);
-/// Socket-level read timeout while a request is being read; each timeout
-/// re-checks the [`REQUEST_TIMEOUT`] deadline.
-const REQUEST_POLL: Duration = Duration::from_millis(500);
 /// Default containment threshold when a query omits one (matches the CLI).
 const DEFAULT_THRESHOLD: f64 = 0.7;
-/// Upper bound on `k` and on batch size, to bound per-request work.
+/// Upper bound on `k`, to bound per-request work.
 const MAX_K: usize = 10_000;
 /// Upper bound on queries per `/batch` request.
 const MAX_BATCH: usize = 4_096;
-/// Parked connections silent for this long are dropped.
-const IDLE_TIMEOUT: Duration = Duration::from_secs(60);
-/// Maximum parked connections (fd-exhaustion bound); beyond it the
-/// longest-idle connection is evicted.
-const MAX_IDLE: usize = 4_096;
 
 /// Server construction parameters.
+///
+/// Construct with struct-update syntax so new knobs keep defaults:
+///
+/// ```ignore
+/// ServerConfig { addr: "127.0.0.1:0".into(), ..ServerConfig::default() }
+/// ```
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Bind address, e.g. `127.0.0.1:7878` (`:0` for an ephemeral port).
     pub addr: String,
-    /// Worker threads (0 = available parallelism).
+    /// Compute-pool threads (0 = available parallelism).
     pub threads: usize,
     /// LRU query-cache capacity in entries (0 disables caching).
     pub cache_capacity: usize,
+    /// Whole-request read deadline in milliseconds: once a request's first
+    /// byte arrives, the rest must follow within this window or the
+    /// connection is answered `400` and closed (slow-loris bound).
+    pub request_timeout_ms: u64,
+    /// Maximum simultaneously open connections; excess accepts are closed
+    /// immediately (fd-exhaustion bound).
+    pub max_connections: usize,
 }
 
 impl Default for ServerConfig {
@@ -78,23 +76,40 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:7878".to_owned(),
             threads: 0,
             cache_capacity: 1024,
+            request_timeout_ms: 10_000,
+            max_connections: 10_240,
         }
     }
 }
 
 /// Per-endpoint traffic counters.
 #[derive(Debug, Default)]
-struct Counters {
-    connections: AtomicU64,
-    queries: AtomicU64,
-    topk: AtomicU64,
-    batches: AtomicU64,
-    batch_queries: AtomicU64,
-    reloads: AtomicU64,
-    inserts: AtomicU64,
-    removes: AtomicU64,
-    commits: AtomicU64,
-    errors: AtomicU64,
+pub(crate) struct Counters {
+    pub(crate) connections: AtomicU64,
+    pub(crate) queries: AtomicU64,
+    pub(crate) topk: AtomicU64,
+    pub(crate) batches: AtomicU64,
+    pub(crate) batch_queries: AtomicU64,
+    pub(crate) reloads: AtomicU64,
+    pub(crate) inserts: AtomicU64,
+    pub(crate) removes: AtomicU64,
+    pub(crate) commits: AtomicU64,
+    pub(crate) errors: AtomicU64,
+}
+
+/// Event-loop observability counters, exposed as the `server` object on
+/// `/stats`.
+#[derive(Debug, Default)]
+pub(crate) struct ServerStats {
+    /// Connections currently open.
+    pub(crate) open: AtomicU64,
+    /// Highest number of in-flight pipelined requests seen on any one
+    /// connection.
+    pub(crate) pipeline_hwm: AtomicU64,
+    /// Event-loop wakeups (one per `epoll_wait` return).
+    pub(crate) wakeups: AtomicU64,
+    /// Largest per-connection write buffer observed, in bytes.
+    pub(crate) write_buf_hwm: AtomicU64,
 }
 
 /// Aggregated per-query execution counters ([`QueryStats`]) across every
@@ -123,16 +138,20 @@ impl QueryStatTotals {
     }
 }
 
-/// State shared by every connection handler.
-struct Shared {
-    engine: Arc<Engine>,
-    cache: LruCache<QueryKey, Arc<SearchOutcome>>,
-    counters: Counters,
+/// State shared by the reactor, the compute pool, and every handler.
+pub(crate) struct Shared {
+    pub(crate) engine: Arc<Engine>,
+    pub(crate) cache: LruCache<QueryKey, Arc<SearchOutcome>>,
+    pub(crate) counters: Counters,
     query_totals: QueryStatTotals,
+    pub(crate) server_stats: ServerStats,
     started: Instant,
-    shutdown: Arc<AtomicBool>,
-    addr: SocketAddr,
-    threads: usize,
+    pub(crate) shutdown: Arc<AtomicBool>,
+    pub(crate) threads: usize,
+    /// Whole-request read deadline (from [`ServerConfig::request_timeout_ms`]).
+    pub(crate) request_timeout: Duration,
+    /// Open-connection cap (from [`ServerConfig::max_connections`]).
+    pub(crate) max_connections: usize,
 }
 
 /// A running server; dropping the handle shuts it down gracefully.
@@ -140,7 +159,8 @@ struct Shared {
 pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    accept: Option<std::thread::JoinHandle<()>>,
+    waker: Arc<Waker>,
+    reactor: Option<std::thread::JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -150,25 +170,27 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Requests a graceful stop and waits for it: the listener closes, idle
-    /// connections are released, and in-flight requests complete.
+    /// Requests a graceful stop and waits for it: the listener closes,
+    /// idle connections are released, and in-flight requests complete.
     pub fn shutdown(mut self) {
         self.stop();
     }
 
-    /// Blocks until the server stops on its own (`/shutdown` endpoint or a
-    /// listener failure).
+    /// Blocks until the server stops on its own (`/shutdown` endpoint or
+    /// a reactor failure).
     pub fn join(mut self) {
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
+        if let Some(reactor) = self.reactor.take() {
+            let _ = reactor.join();
         }
     }
 
     fn stop(&mut self) {
-        if let Some(accept) = self.accept.take() {
+        if let Some(reactor) = self.reactor.take() {
             self.shutdown.store(true, Ordering::SeqCst);
-            wake_listener(self.addr);
-            let _ = accept.join();
+            // The reactor may be blocked in `wait`; the waker's fd is
+            // registered there, so one poke gets it to notice the flag.
+            self.waker.wake();
+            let _ = reactor.join();
         }
     }
 }
@@ -179,26 +201,14 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Unblocks a listener parked in `accept` by poking it with a connection.
-/// Wildcard binds (`0.0.0.0` / `::`) are not connectable addresses, so the
-/// poke targets loopback on the bound port instead.
-fn wake_listener(addr: SocketAddr) {
-    let mut target = addr;
-    if target.ip().is_unspecified() {
-        target.set_ip(match target {
-            SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
-            SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
-        });
-    }
-    let _ = TcpStream::connect_timeout(&target, Duration::from_millis(250));
-}
-
-/// Binds `config.addr` and spawns the accept loop plus its worker pool.
+/// Binds `config.addr` and spawns the reactor thread (which owns the
+/// listener, every connection, and the compute pool).
 ///
 /// # Errors
-/// Propagates the bind failure.
+/// Propagates the bind / waker-creation / spawn failure.
 pub fn start(engine: Arc<Engine>, config: &ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
     let threads = effective_threads(config.threads);
     let shutdown = Arc::new(AtomicBool::new(false));
@@ -207,319 +217,35 @@ pub fn start(engine: Arc<Engine>, config: &ServerConfig) -> io::Result<ServerHan
         cache: LruCache::new(config.cache_capacity),
         counters: Counters::default(),
         query_totals: QueryStatTotals::default(),
+        server_stats: ServerStats::default(),
         started: Instant::now(),
         shutdown: Arc::clone(&shutdown),
-        addr,
         threads,
+        request_timeout: Duration::from_millis(config.request_timeout_ms.max(1)),
+        max_connections: config.max_connections.max(1),
     });
-    let accept_shared = Arc::clone(&shared);
-    let accept = std::thread::Builder::new()
-        .name("lshe-serve-accept".to_owned())
-        .spawn(move || accept_loop(&listener, &accept_shared))?;
+    let waker = Arc::new(Waker::new()?);
+    let reactor = {
+        let shared = Arc::clone(&shared);
+        let waker = Arc::clone(&waker);
+        std::thread::Builder::new()
+            .name("lshe-serve-reactor".to_owned())
+            .spawn(move || crate::reactor::run(listener, &shared, &waker))?
+    };
     Ok(ServerHandle {
         addr,
         shutdown,
-        accept: Some(accept),
+        waker,
+        reactor: Some(reactor),
     })
 }
 
-/// One live connection: the write half plus a buffered read half.
-struct Conn {
-    stream: TcpStream,
-    reader: BufReader<TcpStream>,
-}
-
-impl Conn {
-    fn new(stream: TcpStream) -> Option<Self> {
-        // Responses are written in one small burst; Nagle + delayed ACK
-        // would add ~40 ms to every keep-alive round trip.
-        stream.set_nodelay(true).ok()?;
-        let read_half = stream.try_clone().ok()?;
-        Some(Self {
-            stream,
-            reader: BufReader::new(read_half),
-        })
-    }
-}
-
-/// Messages to the parker thread.
-enum ConnEvent {
-    /// A connection whose worker turn ended with the peer quiet.
-    Parked(Conn),
-}
-
-/// Connection lifecycle (see module docs): `accept` hands a new connection
-/// straight to the pool; a worker serves up to [`MAX_REQUESTS_PER_TURN`]
-/// requests, then *parks* the connection if the peer goes quiet for
-/// [`HOT_WAIT`]. The parker thread sweeps parked connections every
-/// [`PARK_TICK`] and redispatches any that became readable. This keeps the
-/// executor sized to the hardware while supporting arbitrarily many
-/// keep-alive connections with no head-of-line blocking.
-fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
-    let pool = Arc::new(ThreadPool::new(shared.threads, "lshe-serve-worker"));
-    let (park_tx, park_rx) = std::sync::mpsc::channel::<ConnEvent>();
-    let parker = {
-        let pool = Arc::clone(&pool);
-        let shared = Arc::clone(shared);
-        let park_tx = park_tx.clone();
-        std::thread::Builder::new()
-            .name("lshe-serve-parker".to_owned())
-            .spawn(move || parker_loop(&park_rx, &park_tx, &pool, &shared))
-            .expect("spawn parker thread")
-    };
-    for stream in listener.incoming() {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-        match stream {
-            Ok(stream) => {
-                shared.counters.connections.fetch_add(1, Ordering::Relaxed);
-                if let Some(conn) = Conn::new(stream) {
-                    dispatch_turn(&pool, conn, shared, &park_tx);
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(_) => {
-                // Transient accept failures (ECONNABORTED on a reset
-                // handshake, EMFILE under fd pressure, …) must not kill a
-                // long-lived server: back off briefly and keep accepting.
-                std::thread::sleep(Duration::from_millis(10));
-            }
-        }
-    }
-    // Shutdown: the flag tells the parker (and any worker turn) to wind
-    // down; dropping the pool joins workers after in-flight work finishes.
-    shared.shutdown.store(true, Ordering::SeqCst);
-    drop(park_tx);
-    let _ = parker.join();
-    drop(pool);
-}
-
-/// Queues one worker turn for `conn`.
-fn dispatch_turn(
-    pool: &Arc<ThreadPool>,
-    conn: Conn,
-    shared: &Arc<Shared>,
-    park_tx: &std::sync::mpsc::Sender<ConnEvent>,
-) {
-    let shared = Arc::clone(shared);
-    let park_tx = park_tx.clone();
-    pool.execute(move || serve_turn(conn, &shared, &park_tx));
-}
-
-/// Owns every parked (idle keep-alive) connection; sweeps for readability
-/// every [`PARK_TICK`] and redispatches ready ones to the worker pool.
-/// Connections silent for [`IDLE_TIMEOUT`] are dropped, and the lot is
-/// capped at [`MAX_IDLE`] (longest-idle evicted first) so silent peers
-/// cannot exhaust file descriptors.
-fn parker_loop(
-    park_rx: &std::sync::mpsc::Receiver<ConnEvent>,
-    park_tx: &std::sync::mpsc::Sender<ConnEvent>,
-    pool: &Arc<ThreadPool>,
-    shared: &Arc<Shared>,
-) {
-    let mut idle: Vec<(Conn, Instant)> = Vec::new();
-    let mut tick = PARK_TICK;
-    loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            return; // parked connections are idle: safe to drop them
-        }
-        // Sweep: move every readable (or dead/expired) connection out.
-        // Parked sockets sit in non-blocking mode (flipped once on park,
-        // once on dispatch), so each probe is a single peek syscall.
-        let now = Instant::now();
-        let mut dispatched = false;
-        let mut i = 0;
-        while i < idle.len() {
-            if now.duration_since(idle[i].1) >= IDLE_TIMEOUT {
-                idle.swap_remove(i);
-                continue;
-            }
-            match park_readiness(&mut idle[i].0) {
-                ParkState::Ready => {
-                    let (conn, _) = idle.swap_remove(i);
-                    if conn.stream.set_nonblocking(false).is_ok() {
-                        dispatched = true;
-                        dispatch_turn(pool, conn, shared, park_tx);
-                    }
-                }
-                ParkState::Closed => {
-                    idle.swap_remove(i);
-                }
-                ParkState::Quiet => i += 1,
-            }
-        }
-        // Adaptive cadence: stay sharp while work is flowing, back off to
-        // PARK_TICK_MAX when every sweep comes up empty.
-        tick = if dispatched {
-            PARK_TICK
-        } else {
-            (tick * 2).min(PARK_TICK_MAX)
-        };
-        // Block until the next parked connection arrives or the tick
-        // elapses, whichever is first.
-        match park_rx.recv_timeout(tick) {
-            Ok(ConnEvent::Parked(conn)) => {
-                if idle.len() >= MAX_IDLE {
-                    // Evict the longest-idle connection to stay bounded.
-                    if let Some(oldest) = (0..idle.len()).min_by_key(|&j| idle[j].1) {
-                        idle.swap_remove(oldest);
-                    }
-                }
-                if conn.stream.set_nonblocking(true).is_ok() {
-                    idle.push((conn, Instant::now()));
-                }
-                tick = PARK_TICK;
-            }
-            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
-            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
-                // Accept loop is gone; keep sweeping until shutdown flips.
-                std::thread::sleep(tick);
-            }
-        }
-    }
-}
-
-enum ParkState {
-    Ready,
-    Quiet,
-    Closed,
-}
-
-/// Readability probe for a parked connection. The socket is already in
-/// non-blocking mode (set when parked), so this is one `peek` syscall.
-fn park_readiness(conn: &mut Conn) -> ParkState {
-    if !conn.reader.buffer().is_empty() {
-        return ParkState::Ready; // pipelined bytes already buffered
-    }
-    let mut probe = [0u8; 1];
-    match conn.stream.peek(&mut probe) {
-        Ok(0) => ParkState::Closed,
-        Ok(_) => ParkState::Ready,
-        Err(e)
-            if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::Interrupted =>
-        {
-            ParkState::Quiet
-        }
-        Err(_) => ParkState::Closed,
-    }
-}
-
-/// Whether the next request's first byte arrived within the current read
-/// timeout.
-enum NextRequest {
-    Data,
-    Quiet,
-    Closed,
-}
-
-fn await_first_byte(reader: &mut BufReader<TcpStream>) -> NextRequest {
-    if !reader.buffer().is_empty() {
-        return NextRequest::Data;
-    }
-    loop {
-        match reader.fill_buf() {
-            Ok([]) => return NextRequest::Closed,
-            Ok(_) => return NextRequest::Data,
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                return NextRequest::Quiet;
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(_) => return NextRequest::Closed,
-        }
-    }
-}
-
-/// One worker turn: serve consecutive requests on `conn` until the peer
-/// goes quiet (→ park), the turn budget is spent (→ park, for fairness),
-/// the peer closes, or shutdown begins.
-fn serve_turn(mut conn: Conn, shared: &Arc<Shared>, park_tx: &std::sync::mpsc::Sender<ConnEvent>) {
-    for served in 0.. {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            return;
-        }
-        if served >= MAX_REQUESTS_PER_TURN {
-            let _ = park_tx.send(ConnEvent::Parked(conn));
-            return;
-        }
-        // Short wait for the next request; quiet connections get parked so
-        // the worker can serve someone else.
-        if conn.stream.set_read_timeout(Some(HOT_WAIT)).is_err() {
-            return;
-        }
-        match await_first_byte(&mut conn.reader) {
-            NextRequest::Data => {}
-            NextRequest::Quiet => {
-                let _ = park_tx.send(ConnEvent::Parked(conn));
-                return;
-            }
-            NextRequest::Closed => return,
-        }
-        // A request is inbound: short socket timeouts, hard whole-request
-        // deadline (so a byte-dripping client cannot pin this worker).
-        if conn.stream.set_read_timeout(Some(REQUEST_POLL)).is_err() {
-            return;
-        }
-        let deadline = Instant::now() + REQUEST_TIMEOUT;
-        let request = match read_request(&mut conn.reader, Some(deadline)) {
-            Ok(Some(request)) => request,
-            Ok(None) => return,
-            Err(HttpError::Io(_)) => return,
-            Err(e) => {
-                shared.counters.errors.fetch_add(1, Ordering::Relaxed);
-                let (status, reason) = match &e {
-                    HttpError::TooLarge(_) => (413, "Payload Too Large"),
-                    HttpError::Unsupported(_) => (501, "Not Implemented"),
-                    _ => (400, "Bad Request"),
-                };
-                let body = Json::obj(vec![("error", Json::str(e.to_string()))]).render();
-                let _ = write_response(
-                    &mut conn.stream,
-                    status,
-                    reason,
-                    "application/json",
-                    body.as_bytes(),
-                    false,
-                );
-                return;
-            }
-        };
-        let keep_alive = !request.wants_close();
-        let outcome = route(shared, &request);
-        let body = outcome.body.render();
-        if write_response(
-            &mut conn.stream,
-            outcome.status,
-            outcome.reason,
-            "application/json",
-            body.as_bytes(),
-            keep_alive && !outcome.close_after,
-        )
-        .is_err()
-        {
-            return;
-        }
-        if outcome.close_after {
-            // `/shutdown`: flip the flag only after the response is on the
-            // wire, then unpark the listener.
-            shared.shutdown.store(true, Ordering::SeqCst);
-            wake_listener(shared.addr);
-            return;
-        }
-        if !keep_alive {
-            return;
-        }
-    }
-}
-
 /// One routed response.
-struct Outcome {
-    status: u16,
-    reason: &'static str,
-    body: Json,
-    close_after: bool,
+pub(crate) struct Outcome {
+    pub(crate) status: u16,
+    pub(crate) reason: &'static str,
+    pub(crate) body: Json,
+    pub(crate) close_after: bool,
 }
 
 impl Outcome {
@@ -532,7 +258,7 @@ impl Outcome {
         }
     }
 
-    fn error(status: u16, reason: &'static str, msg: impl Into<String>) -> Self {
+    pub(crate) fn error(status: u16, reason: &'static str, msg: impl Into<String>) -> Self {
         Self {
             status,
             reason,
@@ -542,8 +268,31 @@ impl Outcome {
     }
 }
 
-fn route(shared: &Arc<Shared>, request: &Request) -> Outcome {
-    let outcome = match (request.method.as_str(), request.path()) {
+/// Serialises `outcome` to raw HTTP response bytes, rendering the JSON
+/// body through `scratch` (reused across calls, so steady-state rendering
+/// allocates only the returned vector). Pure: counter bumps happen at the
+/// call sites that know whether this response ends a request or a parse.
+pub(crate) fn render_outcome(outcome: &Outcome, keep_alive: bool, scratch: &mut String) -> Vec<u8> {
+    scratch.clear();
+    outcome.body.render_into(scratch);
+    let mut bytes = Vec::with_capacity(scratch.len() + 128);
+    write_head(
+        &mut bytes,
+        outcome.status,
+        outcome.reason,
+        "application/json",
+        scratch.len(),
+        keep_alive,
+    );
+    bytes.extend_from_slice(scratch.as_bytes());
+    bytes
+}
+
+/// Routes one request to its handler. Counter discipline: this function
+/// does NOT bump `errors` — the reactor does, exactly once per rendered
+/// error response (routed 4xx/5xx, parse failures, and timeouts alike).
+pub(crate) fn route(shared: &Shared, request: &Request) -> Outcome {
+    match (request.method.as_str(), request.path()) {
         ("GET", "/health") => handle_health(shared),
         ("GET", "/stats") => handle_stats(shared),
         ("POST", "/query") => handle_query(shared, request, false),
@@ -565,11 +314,7 @@ fn route(shared: &Arc<Shared>, request: &Request) -> Outcome {
             | "/remove" | "/commit" | "/shutdown",
         ) => Outcome::error(405, "Method Not Allowed", "wrong method for this path"),
         (_, path) => Outcome::error(404, "Not Found", format!("no such endpoint: {path}")),
-    };
-    if outcome.status >= 400 {
-        shared.counters.errors.fetch_add(1, Ordering::Relaxed);
     }
-    outcome
 }
 
 fn handle_health(shared: &Shared) -> Outcome {
@@ -599,6 +344,7 @@ fn handle_stats(shared: &Shared) -> Outcome {
     let staged = shared.engine.staged_counts();
     let c = &shared.counters;
     let q = &shared.query_totals;
+    let s = &shared.server_stats;
     Outcome::ok(Json::obj(vec![
         ("domains", Json::uint(snap.container().len() as u64)),
         ("num_perm", Json::uint(snap.container().num_perm() as u64)),
@@ -632,6 +378,33 @@ fn handle_stats(shared: &Shared) -> Outcome {
                 ("remove", Json::uint(c.removes.load(Ordering::Relaxed))),
                 ("commit", Json::uint(c.commits.load(Ordering::Relaxed))),
                 ("errors", Json::uint(c.errors.load(Ordering::Relaxed))),
+            ]),
+        ),
+        // Event-loop observability: how loaded the single reactor thread
+        // actually is (satellite of the readiness-driven rewrite).
+        (
+            "server",
+            Json::obj(vec![
+                (
+                    "open_connections",
+                    Json::uint(s.open.load(Ordering::Relaxed)),
+                ),
+                (
+                    "accepted_total",
+                    Json::uint(c.connections.load(Ordering::Relaxed)),
+                ),
+                (
+                    "pipeline_depth_hwm",
+                    Json::uint(s.pipeline_hwm.load(Ordering::Relaxed)),
+                ),
+                (
+                    "event_loop_wakeups",
+                    Json::uint(s.wakeups.load(Ordering::Relaxed)),
+                ),
+                (
+                    "write_buf_hwm_bytes",
+                    Json::uint(s.write_buf_hwm.load(Ordering::Relaxed)),
+                ),
             ]),
         ),
         (
@@ -680,14 +453,14 @@ fn handle_stats(shared: &Shared) -> Outcome {
     ]))
 }
 
-/// One parsed query: sketch, cardinality, threshold, optional k, and the
-/// opt-in per-query debug flag.
+/// One parsed query after sketching: sketch, cardinality, threshold, and
+/// optional k. (The `debug` response flag stays on [`ParsedItem`] — it
+/// shapes rendering, not execution.)
 struct QuerySpec {
     signature: Signature,
     size: u64,
     threshold: f64,
     k: usize,
-    debug: bool,
 }
 
 impl QuerySpec {
@@ -702,10 +475,12 @@ impl QuerySpec {
 }
 
 /// One request object parsed up to (but not including) sketching: the
-/// query domain plus its options. The batch path parses every item to
-/// this form first, then sketches all the valid ones in one
-/// [`bulk_signatures`](lshe_minhash::MinHasher::bulk_signatures) pass.
-struct ParsedItem {
+/// query domain plus its options. Both the single-query and batch paths
+/// stop here first — the cache is keyed on the *raw domain* (see
+/// [`item_key`]), so a hit never pays for sketching at all; only misses
+/// go on to one bulk [`bulk_signatures`](lshe_minhash::MinHasher::bulk_signatures)
+/// pass.
+pub(crate) struct ParsedItem {
     domain: Domain,
     threshold: f64,
     k: usize,
@@ -713,13 +488,12 @@ struct ParsedItem {
 }
 
 impl ParsedItem {
-    fn into_spec(self, signature: Signature) -> QuerySpec {
+    fn spec(&self, signature: Signature) -> QuerySpec {
         QuerySpec {
             size: self.domain.len() as u64,
             signature,
             threshold: self.threshold,
             k: self.k,
-            debug: self.debug,
         }
     }
 }
@@ -770,53 +544,228 @@ fn parse_item(body: &Json, require_k: bool) -> Result<ParsedItem, String> {
     })
 }
 
-/// Parse + sketch in one step — the single-query (`/query`, `/topk`)
-/// path.
-fn parse_spec(body: &Json, snap: &Snapshot, require_k: bool) -> Result<QuerySpec, String> {
-    let item = parse_item(body, require_k)?;
-    let signature = item.domain.signature(snap.hasher());
-    Ok(item.into_spec(signature))
-}
-
-/// Runs one query through the LRU cache: hit → stored outcome, miss →
-/// dispatch through the snapshot's `dyn DomainIndex` and insert. The
-/// snapshot generation is part of the key, so reloads can never serve
-/// stale hits. Only executed (non-cached) searches feed the aggregated
-/// [`QueryStatTotals`].
-/// The cache key for a spec against one snapshot generation: the full
-/// response-shaping tuple (digest, size, mode, `debug`).
-fn cache_key(spec: &QuerySpec, generation: u64) -> QueryKey {
+/// The cache key for a parsed item against one snapshot generation: a
+/// digest of the raw (pre-sketch) domain hashes plus the full
+/// response-shaping tuple (size, mode, `debug`). Keying on the raw domain
+/// instead of the MinHash signature means a cache hit skips sketching
+/// entirely — the dominant cost of a repeated query.
+fn item_key(item: &ParsedItem, generation: u64) -> QueryKey {
     QueryKey {
-        digest: signature_digest(spec.signature.slots()),
-        query_size: spec.size,
+        digest: signature_digest(item.domain.hashes()),
+        query_size: item.domain.len() as u64,
         // Top-k ignores the threshold entirely; canonicalise it to 0 so
         // identical top-k requests with different (unused) thresholds
         // share one cache entry.
-        threshold_bits: if spec.k > 0 {
+        threshold_bits: if item.k > 0 {
             0
         } else {
-            spec.threshold.to_bits()
+            item.threshold.to_bits()
         },
-        k: spec.k as u32,
-        debug: spec.debug,
+        k: item.k as u32,
+        debug: item.debug,
         generation,
     }
 }
 
-fn cached_search(
+/// Sketches and searches cache-missed items in ONE batched dispatch:
+/// first-occurrence duplicates collapse (later copies alias the first
+/// answer, reported `cached` exactly as sequential execution would),
+/// unique items sketch in one `bulk_signatures` pass and search in one
+/// `search_batch` call, and every executed outcome lands in the cache.
+/// Returns, per input item, `Ok((outcome, aliased))` or the per-item
+/// error.
+#[allow(clippy::type_complexity)]
+fn run_uncached(
     shared: &Shared,
     snap: &Snapshot,
-    spec: &QuerySpec,
-) -> Result<(Arc<SearchOutcome>, bool), String> {
-    let key = cache_key(spec, snap.generation());
-    if let Some(outcome) = shared.cache.get(&key) {
-        return Ok((outcome, true));
+    items: &[(&ParsedItem, QueryKey)],
+) -> Vec<Result<(Arc<SearchOutcome>, bool), String>> {
+    // Collapse duplicates (same key ⇒ same answer) before paying for
+    // sketching: `alias_of[i]` points at the unique slot answering item i.
+    let mut unique_positions: Vec<usize> = Vec::with_capacity(items.len());
+    let mut first_seen: HashMap<QueryKey, usize> = HashMap::with_capacity(items.len());
+    let mut alias_of: Vec<usize> = Vec::with_capacity(items.len());
+    for (i, (_, key)) in items.iter().enumerate() {
+        match first_seen.entry(*key) {
+            std::collections::hash_map::Entry::Occupied(e) => alias_of.push(*e.get()),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(unique_positions.len());
+                alias_of.push(unique_positions.len());
+                unique_positions.push(i);
+            }
+        }
     }
-    let outcome = snap.query(&spec.query()).map_err(|e| e.to_string())?;
-    shared.query_totals.record(&outcome.stats);
-    let outcome = Arc::new(outcome);
-    shared.cache.insert(key, Arc::clone(&outcome));
-    Ok((outcome, false))
+    // Sketch every unique item in one bulk pass (shared hash scratch,
+    // worker lanes spawned once), then search them in one batch so the
+    // backend amortizes partition/shard probing across the lot.
+    let sets: Vec<&[u64]> = unique_positions
+        .iter()
+        .map(|&i| items[i].0.domain.hashes())
+        .collect();
+    let signatures = snap.hasher().bulk_signatures(&sets);
+    let specs: Vec<QuerySpec> = unique_positions
+        .iter()
+        .zip(signatures)
+        .map(|(&i, sig)| items[i].0.spec(sig))
+        .collect();
+    let queries: Vec<Query<'_>> = specs.iter().map(QuerySpec::query).collect();
+    let outcomes = snap.index().search_batch(&queries);
+    let unique_results: Vec<Result<Arc<SearchOutcome>, String>> = unique_positions
+        .iter()
+        .zip(outcomes)
+        .map(|(&i, result)| match result {
+            Ok(outcome) => {
+                shared.query_totals.record(&outcome.stats);
+                let outcome = Arc::new(outcome);
+                shared.cache.insert(items[i].1, Arc::clone(&outcome));
+                Ok(outcome)
+            }
+            Err(e) => Err(e.to_string()),
+        })
+        .collect();
+    alias_of
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            let aliased = unique_positions[slot] != i;
+            match &unique_results[slot] {
+                Ok(outcome) => Ok((Arc::clone(outcome), aliased)),
+                Err(msg) => Err(msg.clone()),
+            }
+        })
+        .collect()
+}
+
+/// Bumps the per-endpoint counter for one answered query.
+fn bump_query_counter(shared: &Shared, k: usize) {
+    if k > 0 {
+        shared.counters.topk.fetch_add(1, Ordering::Relaxed);
+    } else {
+        shared.counters.queries.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Renders one answered query in the `/query`/`/topk` response shape.
+fn render_query_outcome(
+    snap: &Snapshot,
+    item: &ParsedItem,
+    outcome: &SearchOutcome,
+    cached: bool,
+    started: Instant,
+) -> Outcome {
+    let mut fields = vec![
+        ("count", Json::uint(outcome.hits.len() as u64)),
+        ("cached", Json::Bool(cached)),
+        ("generation", Json::uint(snap.generation())),
+        (
+            "query_time_us",
+            Json::uint(started.elapsed().as_micros() as u64),
+        ),
+        ("hits", hits_json(snap, &outcome.hits)),
+    ];
+    if item.debug {
+        fields.push(("debug", debug_json(&outcome.stats)));
+    }
+    Outcome::ok(fields_obj(fields))
+}
+
+fn fields_obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::obj(fields)
+}
+
+/// A `/query`/`/topk` request that missed the cache: everything needed to
+/// execute it later (possibly batched with other same-tick misses), off
+/// the reactor thread.
+pub(crate) struct MissQuery {
+    item: ParsedItem,
+    key: QueryKey,
+    snap: Arc<Snapshot>,
+}
+
+/// The first, non-blocking half of a `/query`/`/topk` request: parse, key
+/// the cache on the raw domain, and either answer immediately (parse
+/// error or cache hit — no sketching, no searching) or hand back the
+/// deferred [`MissQuery`].
+pub(crate) enum QueryStep {
+    /// Answer now (error or cache hit).
+    Reply(Outcome),
+    /// Cache miss: execute via [`finish_miss`] / [`execute_miss_group`].
+    Miss(Box<MissQuery>),
+}
+
+/// Runs the cheap half of a single query. Safe on the reactor thread: the
+/// worst case is a JSON parse + one cache probe.
+pub(crate) fn query_step(
+    shared: &Shared,
+    body: &[u8],
+    require_k: bool,
+    started: Instant,
+) -> QueryStep {
+    let json = match parse_body_bytes(body) {
+        Ok(json) => json,
+        Err(msg) => return QueryStep::Reply(Outcome::error(400, "Bad Request", msg)),
+    };
+    let item = match parse_item(&json, require_k) {
+        Ok(item) => item,
+        Err(msg) => return QueryStep::Reply(Outcome::error(400, "Bad Request", msg)),
+    };
+    let snap = shared.engine.snapshot();
+    let key = item_key(&item, snap.generation());
+    if let Some(outcome) = shared.cache.get(&key) {
+        bump_query_counter(shared, item.k);
+        return QueryStep::Reply(render_query_outcome(&snap, &item, &outcome, true, started));
+    }
+    QueryStep::Miss(Box::new(MissQuery { item, key, snap }))
+}
+
+/// Executes one cache-missed query (the non-batched completion path).
+pub(crate) fn finish_miss(shared: &Shared, miss: &MissQuery, started: Instant) -> Outcome {
+    let result = run_uncached(shared, &miss.snap, &[(&miss.item, miss.key)])
+        .pop()
+        .expect("one result per item");
+    match result {
+        Ok((outcome, _)) => {
+            bump_query_counter(shared, miss.item.k);
+            render_query_outcome(&miss.snap, &miss.item, &outcome, false, started)
+        }
+        Err(msg) => Outcome::error(400, "Bad Request", msg),
+    }
+}
+
+/// Executes a group of same-tick cache misses in as few batched dispatches
+/// as possible (one per snapshot generation — normally exactly one), and
+/// returns the outcomes in input order. This is how the reactor converts
+/// N concurrent single-query requests into one `search_batch` call.
+pub(crate) fn execute_miss_group(shared: &Shared, jobs: &[(&MissQuery, Instant)]) -> Vec<Outcome> {
+    // Group by generation so every dispatch runs against one snapshot.
+    let mut groups: HashMap<u64, Vec<usize>> = HashMap::new();
+    for (i, (miss, _)) in jobs.iter().enumerate() {
+        groups.entry(miss.snap.generation()).or_default().push(i);
+    }
+    let mut out: Vec<Option<Outcome>> = (0..jobs.len()).map(|_| None).collect();
+    for positions in groups.into_values() {
+        let snap = &jobs[positions[0]].0.snap;
+        let items: Vec<(&ParsedItem, QueryKey)> = positions
+            .iter()
+            .map(|&i| (&jobs[i].0.item, jobs[i].0.key))
+            .collect();
+        for (&i, result) in positions.iter().zip(run_uncached(shared, snap, &items)) {
+            let (miss, started) = &jobs[i];
+            out[i] = Some(match result {
+                Ok((outcome, aliased)) => {
+                    bump_query_counter(shared, miss.item.k);
+                    // An alias shares a neighbour's just-executed answer —
+                    // reported `cached`, exactly as sequential arrival
+                    // order would have produced.
+                    render_query_outcome(&miss.snap, &miss.item, &outcome, aliased, *started)
+                }
+                Err(msg) => Outcome::error(400, "Bad Request", msg),
+            });
+        }
+    }
+    out.into_iter()
+        .map(|o| o.expect("every job answered"))
+        .collect()
 }
 
 /// Renders a hit list with provenance.
@@ -858,48 +807,27 @@ fn debug_json(stats: &QueryStats) -> Json {
     ])
 }
 
-fn parse_body(request: &Request) -> Result<Json, String> {
-    let text = std::str::from_utf8(&request.body).map_err(|_| "body is not UTF-8".to_owned())?;
+fn parse_body_bytes(body: &[u8]) -> Result<Json, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_owned())?;
     if text.trim().is_empty() {
         return Ok(Json::Obj(Vec::new()));
     }
     Json::parse(text).map_err(|e| format!("invalid JSON body: {e}"))
 }
 
+fn parse_body(request: &Request) -> Result<Json, String> {
+    parse_body_bytes(&request.body)
+}
+
+/// `/query` and `/topk` via the generic (blocking) route path: the cheap
+/// half inline, then the miss executed immediately. The reactor uses the
+/// two halves separately so misses can batch across connections.
 fn handle_query(shared: &Shared, request: &Request, require_k: bool) -> Outcome {
     let started = Instant::now();
-    let body = match parse_body(request) {
-        Ok(body) => body,
-        Err(msg) => return Outcome::error(400, "Bad Request", msg),
-    };
-    let snap = shared.engine.snapshot();
-    let spec = match parse_spec(&body, &snap, require_k) {
-        Ok(spec) => spec,
-        Err(msg) => return Outcome::error(400, "Bad Request", msg),
-    };
-    let (outcome, cached) = match cached_search(shared, &snap, &spec) {
-        Ok(r) => r,
-        Err(msg) => return Outcome::error(400, "Bad Request", msg),
-    };
-    if spec.k > 0 {
-        shared.counters.topk.fetch_add(1, Ordering::Relaxed);
-    } else {
-        shared.counters.queries.fetch_add(1, Ordering::Relaxed);
+    match query_step(shared, &request.body, require_k, started) {
+        QueryStep::Reply(outcome) => outcome,
+        QueryStep::Miss(miss) => finish_miss(shared, &miss, started),
     }
-    let mut fields = vec![
-        ("count", Json::uint(outcome.hits.len() as u64)),
-        ("cached", Json::Bool(cached)),
-        ("generation", Json::uint(snap.generation())),
-        (
-            "query_time_us",
-            Json::uint(started.elapsed().as_micros() as u64),
-        ),
-        ("hits", hits_json(&snap, &outcome.hits)),
-    ];
-    if spec.debug {
-        fields.push(("debug", debug_json(&outcome.stats)));
-    }
-    Outcome::ok(Json::obj(fields))
 }
 
 fn handle_batch(shared: &Shared, request: &Request) -> Outcome {
@@ -931,72 +859,58 @@ fn handle_batch(shared: &Shared, request: &Request) -> Outcome {
     let parsed: Vec<Result<ParsedItem, String>> =
         queries.iter().map(|q| parse_item(q, false)).collect();
 
-    // Phase 2 — sketch all well-formed items in one bulk pass (shared
-    // hash scratch, worker lanes spawned once for the batch).
-    let sets: Vec<&[u64]> = parsed
+    // Phase 2 — consult the cache per item (keyed on the raw domain, so
+    // hits skip sketching). Identical uncached entries within one batch
+    // dispatch ONCE: later duplicates borrow the first occurrence's
+    // answer (and report `cached`, exactly as they would have under
+    // sequential execution). The duplicate check comes FIRST so a
+    // duplicate never counts a cache miss it did not cause: its hit is
+    // recorded when it reads the freshly inserted entry below.
+    let keys: Vec<Option<QueryKey>> = parsed
         .iter()
-        .filter_map(|p| p.as_ref().ok().map(|item| item.domain.hashes()))
-        .collect();
-    let mut signatures = snap.hasher().bulk_signatures(&sets).into_iter();
-    let specs: Vec<Result<QuerySpec, String>> = parsed
-        .into_iter()
         .map(|p| {
-            p.map(|item| {
-                let sig = signatures.next().expect("one signature per parsed item");
-                item.into_spec(sig)
-            })
+            p.as_ref()
+                .ok()
+                .map(|item| item_key(item, snap.generation()))
         })
         .collect();
-
-    // Phase 3 — consult the cache per item; collect the misses. Identical
-    // uncached entries within one batch dispatch ONCE: later duplicates
-    // borrow the first occurrence's answer (and report `cached`, exactly
-    // as they would have under sequential execution).
-    let mut slots: Vec<Option<(Arc<SearchOutcome>, bool)>> = vec![None; specs.len()];
-    let mut errors: Vec<Option<String>> = specs.iter().map(|s| s.as_ref().err().cloned()).collect();
+    let mut slots: Vec<Option<(Arc<SearchOutcome>, bool)>> = vec![None; parsed.len()];
+    let mut errors: Vec<Option<String>> =
+        parsed.iter().map(|p| p.as_ref().err().cloned()).collect();
     let mut miss_positions: Vec<usize> = Vec::new();
-    let mut first_miss: std::collections::HashMap<QueryKey, usize> =
-        std::collections::HashMap::new();
-    let mut duplicate_of: Vec<Option<usize>> = vec![None; specs.len()];
-    for (i, spec) in specs.iter().enumerate() {
-        let Ok(spec) = spec else { continue };
-        let key = cache_key(spec, snap.generation());
-        // The duplicate check comes FIRST so a duplicate never counts a
-        // cache miss it did not cause: its hit is recorded when it reads
-        // the first occurrence's freshly inserted entry below, exactly
-        // the hit/miss accounting sequential execution would produce.
-        if let Some(&first) = first_miss.get(&key) {
+    let mut first_miss: HashMap<QueryKey, usize> = HashMap::new();
+    let mut duplicate_of: Vec<Option<usize>> = vec![None; parsed.len()];
+    for (i, key) in keys.iter().enumerate() {
+        let Some(key) = key else { continue };
+        if let Some(&first) = first_miss.get(key) {
             duplicate_of[i] = Some(first);
-        } else if let Some(outcome) = shared.cache.get(&key) {
+        } else if let Some(outcome) = shared.cache.get(key) {
             slots[i] = Some((outcome, true));
         } else {
-            first_miss.insert(key, i);
+            first_miss.insert(*key, i);
             miss_positions.push(i);
         }
     }
 
-    // Phase 4 — ONE batched dispatch for every miss: the backend
-    // amortizes partition/shard probing and fan-out across the whole
-    // batch instead of paying per query.
-    let miss_queries: Vec<lshe_core::Query<'_>> = miss_positions
+    // Phase 3 — sketch + search every miss in one batched dispatch.
+    let miss_items: Vec<(&ParsedItem, QueryKey)> = miss_positions
         .iter()
-        .map(|&i| specs[i].as_ref().expect("miss positions are valid").query())
+        .map(|&i| {
+            (
+                parsed[i].as_ref().expect("miss positions are valid"),
+                keys[i].expect("miss positions are keyed"),
+            )
+        })
         .collect();
-    let outcomes = snap.index().search_batch(&miss_queries);
-    for (&i, result) in miss_positions.iter().zip(outcomes) {
+    for (&i, result) in miss_positions
+        .iter()
+        .zip(run_uncached(shared, &snap, &miss_items))
+    {
         match result {
-            Ok(outcome) => {
-                shared.query_totals.record(&outcome.stats);
-                let outcome = Arc::new(outcome);
-                let spec = specs[i].as_ref().expect("valid spec");
-                shared
-                    .cache
-                    .insert(cache_key(spec, snap.generation()), Arc::clone(&outcome));
-                slots[i] = Some((outcome, false));
-            }
+            Ok((outcome, _)) => slots[i] = Some((outcome, false)),
             // Per-item query errors (e.g. top-k against an unranked
             // index) stay in position, exactly like parse errors.
-            Err(e) => errors[i] = Some(e.to_string()),
+            Err(e) => errors[i] = Some(e),
         }
     }
     // Duplicates of a dispatched miss share its answer (or its error),
@@ -1007,10 +921,10 @@ fn handle_batch(shared: &Shared, request: &Request) -> Outcome {
     for (i, first) in duplicate_of.into_iter().enumerate() {
         let Some(first) = first else { continue };
         if let Some((outcome, _)) = &slots[first] {
-            let spec = specs[i].as_ref().expect("duplicates parsed");
+            let key = keys[i].expect("duplicates parsed");
             let replay = shared
                 .cache
-                .get(&cache_key(spec, snap.generation()))
+                .get(&key)
                 .unwrap_or_else(|| Arc::clone(outcome));
             slots[i] = Some((replay, true));
         } else {
@@ -1018,21 +932,21 @@ fn handle_batch(shared: &Shared, request: &Request) -> Outcome {
         }
     }
 
-    // Phase 5 — render in request order.
+    // Phase 4 — render in request order.
     let rendered: Vec<Json> = slots
         .into_iter()
         .zip(errors)
-        .zip(&specs)
-        .map(|((slot, error), spec)| match (slot, error) {
+        .zip(&parsed)
+        .map(|((slot, error), item)| match (slot, error) {
             (_, Some(msg)) => Json::obj(vec![("error", Json::str(msg))]),
             (Some((outcome, cached)), None) => {
-                let spec = spec.as_ref().expect("answered items parsed");
+                let item = item.as_ref().expect("answered items parsed");
                 let mut fields = vec![
                     ("count", Json::uint(outcome.hits.len() as u64)),
                     ("cached", Json::Bool(cached)),
                     ("hits", hits_json(&snap, &outcome.hits)),
                 ];
-                if spec.debug {
+                if item.debug {
                     fields.push(("debug", debug_json(&outcome.stats)));
                 }
                 Json::obj(fields)
@@ -1217,6 +1131,8 @@ mod tests {
     use crate::client::HttpClient;
     use crate::container::IndexContainer;
     use lshe_corpus::{Catalog, DomainMeta};
+    use std::io::{BufRead, BufReader, Read as _, Write as _};
+    use std::net::TcpStream;
 
     fn test_engine(n: usize, ranked: bool) -> Arc<Engine> {
         let mut cat = Catalog::new();
@@ -1230,16 +1146,20 @@ mod tests {
         Arc::new(Engine::from_container(IndexContainer::build(&cat, 2, ranked), 1).expect("engine"))
     }
 
+    fn boot_with(engine: Arc<Engine>, config: ServerConfig) -> ServerHandle {
+        start(engine, &config).expect("bind")
+    }
+
     fn boot(engine: Arc<Engine>) -> ServerHandle {
-        start(
+        boot_with(
             engine,
-            &ServerConfig {
+            ServerConfig {
                 addr: "127.0.0.1:0".to_owned(),
                 threads: 2,
                 cache_capacity: 16,
+                ..ServerConfig::default()
             },
         )
-        .expect("bind")
     }
 
     /// Fresh-connection request helpers over the shared loopback client.
@@ -1249,6 +1169,30 @@ mod tests {
 
     fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
         HttpClient::connect(addr).request("POST", path, Some(body))
+    }
+
+    /// Reads one HTTP response off a raw socket reader; `None` on EOF.
+    fn read_resp<R: BufRead>(reader: &mut R) -> Option<(u16, String)> {
+        let mut status_line = String::new();
+        if reader.read_line(&mut status_line).ok()? == 0 {
+            return None;
+        }
+        let status: u16 = status_line.split(' ').nth(1)?.parse().ok()?;
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).ok()?;
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+                content_length = v.trim().parse().ok()?;
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).ok()?;
+        Some((status, String::from_utf8(body).ok()?))
     }
 
     #[test]
@@ -1265,6 +1209,31 @@ mod tests {
         let stats = Json::parse(&body).expect("json");
         assert!(stats.get("cache").is_some());
         assert!(stats.get("requests").is_some());
+        // The event-loop observability object (new in the reactor core).
+        let srv = stats.get("server").expect("server object");
+        assert!(srv.get("open_connections").and_then(Json::as_u64).is_some());
+        assert!(
+            srv.get("accepted_total")
+                .and_then(Json::as_u64)
+                .expect("accepted")
+                >= 1,
+            "{srv}"
+        );
+        assert!(srv
+            .get("pipeline_depth_hwm")
+            .and_then(Json::as_u64)
+            .is_some());
+        assert!(
+            srv.get("event_loop_wakeups")
+                .and_then(Json::as_u64)
+                .expect("wakeups")
+                >= 1,
+            "{srv}"
+        );
+        assert!(srv
+            .get("write_buf_hwm_bytes")
+            .and_then(Json::as_u64)
+            .is_some());
         server.shutdown();
     }
 
@@ -1656,5 +1625,190 @@ mod tests {
         // moment to tear the socket down).
         std::thread::sleep(Duration::from_millis(50));
         assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err());
+    }
+
+    #[test]
+    fn pipelined_requests_answer_in_order() {
+        let server = boot(test_engine(6, true));
+        let addr = server.addr();
+        // Mixed pipelined burst on one connection, sent before any
+        // response is read: a cache-missing query (slow, goes through the
+        // compute pool), /health (fast, inline), the same query again,
+        // and /stats. Responses must come back strictly in request order.
+        let q = r#"{"values": ["v0","v1","v2","v3","v4","v5","v6"], "threshold": 0.5}"#;
+        let mut client = HttpClient::connect(addr);
+        client.send("POST", "/query", Some(q));
+        client.send("GET", "/health", None);
+        client.send("POST", "/query", Some(q));
+        client.send("GET", "/stats", None);
+        let (s1, b1) = client.read_response();
+        let (s2, b2) = client.read_response();
+        let (s3, b3) = client.read_response();
+        let (s4, b4) = client.read_response();
+        assert_eq!(
+            (s1, s2, s3, s4),
+            (200, 200, 200, 200),
+            "{b1} {b2} {b3} {b4}"
+        );
+        let r1 = Json::parse(&b1).expect("json");
+        assert!(r1.get("hits").is_some(), "slot 1 should be the query: {r1}");
+        let r2 = Json::parse(&b2).expect("json");
+        assert_eq!(
+            r2.get("status").and_then(Json::as_str),
+            Some("ok"),
+            "slot 2 should be /health: {r2}"
+        );
+        let r3 = Json::parse(&b3).expect("json");
+        assert_eq!(r1.get("hits"), r3.get("hits"), "same query, same answer");
+        let r4 = Json::parse(&b4).expect("json");
+        assert!(
+            r4.get("requests").is_some(),
+            "slot 4 should be /stats: {r4}"
+        );
+        // The reactor saw at least 2 requests in flight at once.
+        let hwm = r4
+            .get("server")
+            .and_then(|s| s.get("pipeline_depth_hwm"))
+            .and_then(Json::as_u64)
+            .expect("hwm");
+        assert!(hwm >= 2, "pipelined burst not observed: hwm={hwm}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_mid_pipeline_answers_valid_prefix_then_closes() {
+        let server = boot(test_engine(4, false));
+        let addr = server.addr();
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("timeout");
+        // Two valid requests, then garbage that can never parse as HTTP.
+        let burst = b"GET /health HTTP/1.1\r\nhost: x\r\n\r\n\
+                      GET /health HTTP/1.1\r\nhost: x\r\n\r\n\
+                      NOT AN HTTP LINE AT ALL\r\n\r\n";
+        stream.write_all(burst).expect("send");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        // The valid prefix answers normally…
+        let (s1, _) = read_resp(&mut reader).expect("first response");
+        assert_eq!(s1, 200);
+        let (s2, _) = read_resp(&mut reader).expect("second response");
+        assert_eq!(s2, 200);
+        // …the malformed request gets a 400, then the connection closes.
+        let (s3, b3) = read_resp(&mut reader).expect("error response");
+        assert_eq!(s3, 400, "{b3}");
+        assert!(read_resp(&mut reader).is_none(), "connection must close");
+        server.shutdown();
+    }
+
+    #[test]
+    fn slow_drip_body_hits_request_deadline() {
+        let server = boot_with(
+            test_engine(4, false),
+            ServerConfig {
+                addr: "127.0.0.1:0".to_owned(),
+                threads: 2,
+                cache_capacity: 16,
+                request_timeout_ms: 300,
+                ..ServerConfig::default()
+            },
+        );
+        let addr = server.addr();
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("timeout");
+        // Head promises a 50-byte body; then drip one byte at a time so
+        // the request never completes. The whole-request deadline must
+        // answer 400 and close rather than pin the connection forever.
+        stream
+            .write_all(b"POST /query HTTP/1.1\r\nhost: x\r\ncontent-length: 50\r\n\r\n")
+            .expect("head");
+        let reader_stream = stream.try_clone().expect("clone");
+        let dripper = std::thread::spawn(move || {
+            let mut stream = stream;
+            for _ in 0..40 {
+                if stream.write_all(b"x").is_err() {
+                    return; // server closed on us: exactly what we expect
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        });
+        let mut reader = BufReader::new(reader_stream);
+        let (status, body) = read_resp(&mut reader).expect("deadline response");
+        assert_eq!(status, 400, "{body}");
+        assert!(body.contains("timed out"), "{body}");
+        assert!(read_resp(&mut reader).is_none(), "connection must close");
+        dripper.join().expect("dripper");
+        server.shutdown();
+    }
+
+    #[test]
+    fn connection_cap_closes_excess_connections() {
+        let server = boot_with(
+            test_engine(4, false),
+            ServerConfig {
+                addr: "127.0.0.1:0".to_owned(),
+                threads: 2,
+                cache_capacity: 16,
+                max_connections: 2,
+                ..ServerConfig::default()
+            },
+        );
+        let addr = server.addr();
+        // Fill the cap with two live keep-alive connections (a request on
+        // each proves they are registered, not just queued in accept).
+        let mut c1 = HttpClient::connect(addr);
+        let mut c2 = HttpClient::connect(addr);
+        assert_eq!(c1.request("GET", "/health", None).0, 200);
+        assert_eq!(c2.request("GET", "/health", None).0, 200);
+        // The third connection is accepted by the kernel but closed by
+        // the server without an answer.
+        let mut excess = TcpStream::connect(addr).expect("connect");
+        excess
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("timeout");
+        excess
+            .write_all(b"GET /health HTTP/1.1\r\nhost: x\r\n\r\n")
+            .expect("send");
+        // Clean FIN (EOF) and RST (reset: the server dropped the socket
+        // with our request bytes still unread) are both "closed
+        // unanswered"; a response is the only failure.
+        let mut buf = [0u8; 64];
+        match excess.read(&mut buf) {
+            Ok(0) => {}
+            Ok(n) => panic!(
+                "over-cap connection was answered: {:?}",
+                String::from_utf8_lossy(&buf[..n])
+            ),
+            Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::ConnectionReset, "{e}"),
+        }
+        // Capacity frees when a connection leaves.
+        drop(c1);
+        std::thread::sleep(Duration::from_millis(100));
+        assert_eq!(get(addr, "/health").0, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn byte_dripped_request_head_still_parses() {
+        // The resumable parser must assemble a request that arrives one
+        // byte at a time (within the deadline) exactly like one burst.
+        let server = boot(test_engine(4, false));
+        let addr = server.addr();
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("timeout");
+        let raw = b"GET /health HTTP/1.1\r\nhost: x\r\n\r\n";
+        for chunk in raw.chunks(3) {
+            stream.write_all(chunk).expect("drip");
+            stream.flush().expect("flush");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let mut reader = BufReader::new(stream);
+        let (status, body) = read_resp(&mut reader).expect("response");
+        assert_eq!(status, 200, "{body}");
+        server.shutdown();
     }
 }

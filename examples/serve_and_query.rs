@@ -67,6 +67,7 @@ fn main() {
         addr: "127.0.0.1:0".to_owned(),
         threads: 2,
         cache_capacity: 64,
+        ..ServerConfig::default()
     };
     let server = start(Arc::new(engine), &config).expect("bind");
     let addr = server.addr();

@@ -1,0 +1,111 @@
+//! Lane-budget regression guard for the parallel query path.
+//!
+//! History: the original `query_parallel` spawned one thread per
+//! partition on every call, which benchmarked ~12× SLOWER than the
+//! sequential probe on a small host (BENCH_serve.json's
+//! `query_parallel_32p` vs `query_sequential_32p`). The fix routes the
+//! fan-out through the process-wide lane budget
+//! (`lshe_minhash::lanes::run_chunked`): with no spare lanes the probe
+//! must degrade to the inline sequential code path — same results, and
+//! within noise of sequential latency instead of an order of magnitude
+//! behind it.
+
+use lshe_core::{EnsembleConfig, LshEnsemble, PartitionStrategy};
+use lshe_minhash::MinHasher;
+use std::time::{Duration, Instant};
+
+fn build_32p(num_domains: usize) -> (LshEnsemble, Vec<lshe_minhash::Signature>, Vec<u64>) {
+    let hasher = MinHasher::new(256);
+    let corpus = lshe_bench::workload::build_perf_corpus(num_domains, 9, &hasher);
+    let ids: Vec<u32> = (0..corpus.sizes.len() as u32).collect();
+    let sig_refs: Vec<&lshe_minhash::Signature> = corpus.signatures.iter().collect();
+    let ens = LshEnsemble::build_from_parts(
+        EnsembleConfig {
+            strategy: PartitionStrategy::EquiDepth { n: 32 },
+            ..EnsembleConfig::default()
+        },
+        &ids,
+        &corpus.sizes,
+        &sig_refs,
+    );
+    (ens, corpus.signatures, corpus.sizes)
+}
+
+/// Minimum wall time of `runs` invocations — the standard noise filter
+/// for micro-timing (the minimum is the run least disturbed by the OS).
+fn min_time(runs: usize, mut f: impl FnMut()) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..runs {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
+#[test]
+fn parallel_path_degrades_inline_when_budget_is_empty() {
+    let (ens, signatures, sizes) = build_32p(8_000);
+    let q = 4_321usize;
+
+    // Drain the whole lane budget so `run_chunked` cannot take extras:
+    // the parallel probe must run inline on the calling thread.
+    let _hog = lshe_minhash::lanes::acquire(usize::MAX);
+
+    // Identical results either way, budget or no budget.
+    let seq = ens.query_with_size(&signatures[q], sizes[q], 0.5);
+    let par = ens.query_parallel(&signatures[q], sizes[q], 0.5);
+    assert_eq!(seq, par, "inline-degraded parallel probe changed results");
+
+    // Warm both paths, then compare min-of-N wall times. The old
+    // thread-per-partition code was ~12× slower; the inline-degraded
+    // path does the same work as sequential plus one atomic acquire, so
+    // 1.5× is a generous bound that still catches any respawn
+    // regression by an order of magnitude. The whole comparison retries
+    // a few times because this test shares the machine with the rest of
+    // the suite — one quiet window is enough to prove the paths match,
+    // while a genuine respawn regression fails every attempt.
+    const RUNS: usize = 30;
+    const ATTEMPTS: usize = 6;
+    for _ in 0..5 {
+        std::hint::black_box(ens.query_with_size(&signatures[q], sizes[q], 0.5));
+        std::hint::black_box(ens.query_parallel(&signatures[q], sizes[q], 0.5));
+    }
+    // Floor the denominator so a sub-microsecond sequential probe can't
+    // turn scheduler jitter into a spurious ratio failure.
+    let floor = Duration::from_micros(20);
+    let mut attempts = Vec::new();
+    for _ in 0..ATTEMPTS {
+        let t_seq = min_time(RUNS, || {
+            std::hint::black_box(ens.query_with_size(&signatures[q], sizes[q], 0.5));
+        });
+        let t_par = min_time(RUNS, || {
+            std::hint::black_box(ens.query_parallel(&signatures[q], sizes[q], 0.5));
+        });
+        if t_par <= t_seq.max(floor) * 3 / 2 {
+            return;
+        }
+        attempts.push((t_par, t_seq));
+    }
+    panic!(
+        "budget-starved parallel probe should match sequential on at least \
+         one of {ATTEMPTS} attempts: (parallel, sequential) = {attempts:?}"
+    );
+}
+
+#[test]
+fn parallel_path_matches_sequential_results_with_budget() {
+    // With the budget intact (whatever this host offers), chunked
+    // fan-out must never change the answer — for several queries and
+    // thresholds, including ones with zero hits.
+    let (ens, signatures, sizes) = build_32p(4_000);
+    for q in [7usize, 999, 2_500, 3_999] {
+        for t in [0.3, 0.5, 0.9, 1.0] {
+            assert_eq!(
+                ens.query_with_size(&signatures[q], sizes[q], t),
+                ens.query_parallel(&signatures[q], sizes[q], t),
+                "q={q} t={t}"
+            );
+        }
+    }
+}

@@ -95,6 +95,7 @@ fn every_endpoint_roundtrips() {
             addr: "127.0.0.1:0".to_owned(),
             threads: 4,
             cache_capacity: 256,
+            ..ServerConfig::default()
         },
     )
     .expect("bind");
@@ -315,6 +316,7 @@ fn sustained_concurrent_load_with_hot_reload() {
             addr: "127.0.0.1:0".to_owned(),
             threads: 4,
             cache_capacity: 512,
+            ..ServerConfig::default()
         },
     )
     .expect("bind");
@@ -415,6 +417,7 @@ fn live_ingestion_under_concurrent_query_load() {
             addr: "127.0.0.1:0".to_owned(),
             threads: 4,
             cache_capacity: 256,
+            ..ServerConfig::default()
         },
     )
     .expect("bind");
@@ -553,6 +556,7 @@ fn sharded_engine_serves_fanout_queries() {
             addr: "127.0.0.1:0".to_owned(),
             threads: 2,
             cache_capacity: 64,
+            ..ServerConfig::default()
         },
     )
     .expect("bind");
@@ -628,6 +632,7 @@ fn cli_built_index_is_servable() {
             addr: "127.0.0.1:0".to_owned(),
             threads: 2,
             cache_capacity: 16,
+            ..ServerConfig::default()
         },
     )
     .expect("bind");
@@ -663,5 +668,248 @@ fn cli_built_index_is_servable() {
         "join not found over HTTP: {response}"
     );
     server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Pipelining: many requests written before any response is read must be
+/// answered strictly in request order on one connection — including when
+/// slow uncached queries (compute-pool round trips) interleave with fast
+/// inline endpoints, which is exactly the reordering hazard a
+/// readiness-driven server has that a thread-per-connection server
+/// doesn't.
+#[test]
+fn pipelined_responses_arrive_in_request_order() {
+    let dir = scratch("pipeline");
+    let index_path = dir.join("idx.lshe");
+    let container = IndexContainer::build(&build_catalog(12), 4, true);
+    std::fs::write(&index_path, container.to_bytes()).expect("write index");
+
+    let engine = Engine::load(&index_path, 1).expect("engine");
+    let server = start(
+        Arc::new(engine),
+        &ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            threads: 2,
+            cache_capacity: 64,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let mut client = Client::connect(server.addr());
+
+    // Interleave slow (uncached query: sketch + search on the pool) and
+    // fast (inline /health) requests, 12 deep, all written up front.
+    let mut sent: Vec<(&str, String)> = Vec::new();
+    for k in 0..6 {
+        sent.push(("query", query_body(k, 0.8)));
+        sent.push(("health", String::new()));
+    }
+    for (kind, body) in &sent {
+        match *kind {
+            "query" => client.send("POST", "/query", Some(body)),
+            _ => client.send("GET", "/health", None),
+        }
+    }
+    // Responses come back in exactly the order the requests went out:
+    // query k's answer (checked against the direct search path) in the
+    // even slots, /health in the odd ones.
+    for (i, (kind, _)) in sent.iter().enumerate() {
+        let (status, body) = client.read_response();
+        assert_eq!(status, 200, "slot {i}: {body}");
+        let response = Json::parse(&body).expect("json");
+        match *kind {
+            "query" => {
+                let mut got = hit_ids(&response);
+                got.sort_unstable();
+                assert_eq!(
+                    got,
+                    expected_ids(&container, i / 2, 0.8),
+                    "slot {i}: wrong answer — pipelined responses reordered"
+                );
+            }
+            _ => {
+                assert_eq!(
+                    response.get("status").and_then(Json::as_str),
+                    Some("ok"),
+                    "slot {i} should be /health: {response}"
+                );
+            }
+        }
+    }
+
+    // The server observed the burst: pipeline depth high-water ≥ 2 and
+    // the connection gauge is live.
+    let (_, stats) = client.get("/stats");
+    let srv = stats.get("server").expect("server stats object");
+    assert!(
+        srv.get("pipeline_depth_hwm")
+            .and_then(Json::as_u64)
+            .expect("hwm")
+            >= 2,
+        "{srv}"
+    );
+    assert!(
+        srv.get("open_connections")
+            .and_then(Json::as_u64)
+            .expect("open")
+            >= 1,
+        "{srv}"
+    );
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The 10k-connections-without-10k-threads claim, scaled to CI: ≥ 256
+/// keep-alive connections held open SIMULTANEOUSLY (visible in the
+/// server's own `open_connections` gauge), pushing mixed query / batch /
+/// insert traffic with zero failed requests, followed by a commit and a
+/// clean `/shutdown` drain.
+#[test]
+fn high_concurrency_keepalive_connections() {
+    const CONNS: usize = 256;
+    const QUERIES_PER_CONN: usize = 3;
+    const WRITERS: usize = 16; // conns that also stage one insert
+    const THRESHOLD: f64 = 0.8;
+
+    let dir = scratch("highconc");
+    let index_path = dir.join("idx.lshe");
+    let container = IndexContainer::build(&build_catalog(12), 4, true);
+    std::fs::write(&index_path, container.to_bytes()).expect("write index");
+
+    let expected: Arc<Vec<Vec<u64>>> = Arc::new(
+        (0..8)
+            .map(|k| expected_ids(&container, k, THRESHOLD))
+            .collect(),
+    );
+    let bodies: Arc<Vec<String>> = Arc::new((0..8).map(|k| query_body(k, THRESHOLD)).collect());
+
+    let engine = Engine::load(&index_path, 1).expect("engine");
+    let server = start(
+        Arc::new(engine),
+        &ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            threads: 4,
+            cache_capacity: 256,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.addr();
+
+    // Two rendezvous points: after `connected` every client holds an
+    // established, request-proven connection (so the gauge must read ≥
+    // CONNS); `release` lets them proceed to traffic + disconnect.
+    let connected = Arc::new(std::sync::Barrier::new(CONNS + 1));
+    let release = Arc::new(std::sync::Barrier::new(CONNS + 1));
+
+    let clients: Vec<_> = (0..CONNS)
+        .map(|c| {
+            let bodies = Arc::clone(&bodies);
+            let expected = Arc::clone(&expected);
+            let connected = Arc::clone(&connected);
+            let release = Arc::clone(&release);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr);
+                // Prove the connection is registered, not just SYN-acked.
+                let (status, _) = client.request("GET", "/health", None);
+                assert_eq!(status, 200, "conn {c} handshake");
+                connected.wait();
+                release.wait();
+                // Mixed traffic on the held connection.
+                for i in 0..QUERIES_PER_CONN {
+                    let k = (c + i) % bodies.len();
+                    let (status, body) = client.request("POST", "/query", Some(&bodies[k]));
+                    assert_eq!(status, 200, "conn {c} query {i}: {body}");
+                    let response = Json::parse(&body).expect("json");
+                    let mut got = hit_ids(&response);
+                    got.retain(|&id| id < 12); // writers' inserts may land
+                    got.sort_unstable();
+                    assert_eq!(got, expected[k], "conn {c} query {i} wrong hits");
+                }
+                let batch = format!(
+                    "{{\"queries\": [{},{}]}}",
+                    bodies[c % 8],
+                    bodies[(c + 1) % 8]
+                );
+                let (status, body) = client.request("POST", "/batch", Some(&batch));
+                assert_eq!(status, 200, "conn {c} batch: {body}");
+                if c < WRITERS {
+                    let values: Vec<String> = (0..25).map(|i| format!("\"hc{c}_{i}\"")).collect();
+                    let insert = format!(
+                        "{{\"values\": [{}], \"table\": \"hc{c}\", \"column\": \"c\"}}",
+                        values.join(",")
+                    );
+                    let (status, body) = client.request("POST", "/insert", Some(&insert));
+                    assert_eq!(status, 200, "conn {c} insert: {body}");
+                }
+            })
+        })
+        .collect();
+
+    connected.wait();
+    // All CONNS keep-alive connections are open right now — the server
+    // must be holding them all (plus this admin one) without a
+    // thread-per-connection.
+    let mut admin = Client::connect(addr);
+    let (_, stats) = admin.get("/stats");
+    let open = stats
+        .get("server")
+        .and_then(|s| s.get("open_connections"))
+        .and_then(Json::as_u64)
+        .expect("open gauge");
+    assert!(
+        open >= CONNS as u64,
+        "only {open} connections open while {CONNS} clients hold theirs"
+    );
+    release.wait();
+
+    for (c, handle) in clients.into_iter().enumerate() {
+        handle
+            .join()
+            .unwrap_or_else(|_| panic!("client {c} lost a request under load"));
+    }
+
+    // Zero lost, zero errored: every request is accounted for.
+    let (status, body) = admin.request("POST", "/commit", None);
+    assert_eq!(status, 200, "{body}");
+    let (_, stats) = admin.get("/stats");
+    let requests = stats.get("requests").expect("requests");
+    assert_eq!(requests.get("errors").and_then(Json::as_u64), Some(0));
+    assert_eq!(
+        requests.get("query").and_then(Json::as_u64),
+        Some((CONNS * QUERIES_PER_CONN) as u64)
+    );
+    assert_eq!(
+        requests.get("batch").and_then(Json::as_u64),
+        Some(CONNS as u64)
+    );
+    assert_eq!(
+        requests.get("insert").and_then(Json::as_u64),
+        Some(WRITERS as u64)
+    );
+    assert_eq!(
+        stats.get("domains").and_then(Json::as_u64),
+        Some((12 + WRITERS) as u64),
+        "committed inserts must all land"
+    );
+    assert!(
+        stats
+            .get("server")
+            .and_then(|s| s.get("accepted_total"))
+            .and_then(Json::as_u64)
+            .expect("accepted")
+            >= (CONNS + 1) as u64
+    );
+
+    // Clean drain: /shutdown answers 200, the reactor exits, and the
+    // listener stops accepting.
+    let (status, body) = admin.request("POST", "/shutdown", None);
+    assert_eq!(status, 200, "{body}");
+    server.join();
+    std::thread::sleep(Duration::from_millis(50));
+    assert!(
+        TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err(),
+        "listener still accepting after drain"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
