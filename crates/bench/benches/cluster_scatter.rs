@@ -1,0 +1,172 @@
+//! Microbench: the cluster coordinator's scatter/gather cost — a
+//! 4-shard cluster (coordinator + four real loopback shard servers)
+//! against ONE server running the in-process `ShardedRanked` over the
+//! same corpus, at single queries and at batch 64. The delta is the
+//! price of process isolation: one extra HTTP hop, four scattered
+//! sub-requests, and the coordinator-side union/rank merge.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lshe_cluster::{shard_of, ClusterConfig};
+use lshe_corpus::{Catalog, Domain, DomainMeta};
+use lshe_serve::client::HttpClient;
+use lshe_serve::engine::Engine;
+use lshe_serve::server::{start, ServerConfig};
+use lshe_serve::IndexContainer;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+const DOMAINS: usize = 2_000;
+const QUERY_VALUES: usize = 64;
+const BATCH: usize = 64;
+const SHARDS: usize = 4;
+
+/// The server_throughput catalog: overlapping windows, varied sizes.
+fn build_catalog() -> Catalog {
+    let mut catalog = Catalog::new();
+    for k in 0..DOMAINS {
+        let lo = 7 * k;
+        let values: Vec<String> = (lo..lo + 20 + (k % 64)).map(|i| format!("v{i}")).collect();
+        catalog.push(
+            Domain::from_strs(values.iter().map(String::as_str)),
+            DomainMeta::new(format!("t{k}"), "col"),
+        );
+    }
+    catalog
+}
+
+fn query_body(threshold: f64) -> String {
+    let quoted: Vec<String> = (0..QUERY_VALUES).map(|i| format!("\"v{i}\"")).collect();
+    format!(
+        "{{\"values\": [{}], \"threshold\": {threshold}}}",
+        quoted.join(",")
+    )
+}
+
+/// 64 uncached queries in one /batch body (unique thresholds defeat the
+/// shard-side caches while keeping the search work identical).
+fn batch_body(counter: &mut u64) -> String {
+    let queries: Vec<String> = (0..BATCH)
+        .map(|_| {
+            *counter += 1;
+            query_body(0.5 + *counter as f64 * 1e-9)
+        })
+        .collect();
+    format!("{{\"queries\": [{}]}}", queries.join(","))
+}
+
+fn post_ok(client: &mut HttpClient, path: &str, body: &str) -> usize {
+    let (status, response) = client.request("POST", path, Some(body));
+    assert_eq!(status, 200, "bad response: {response}");
+    response.len()
+}
+
+fn cluster_scatter(c: &mut Criterion) {
+    let container = IndexContainer::build(&build_catalog(), 8, true);
+
+    // The single-process reference: one server, in-process sharding.
+    let single_bytes = container.to_bytes();
+    let single_server = start(
+        Arc::new(
+            Engine::from_container(
+                IndexContainer::from_bytes(&single_bytes).expect("decode"),
+                SHARDS,
+            )
+            .expect("engine"),
+        ),
+        &ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            threads: 4,
+            cache_capacity: 16, // tiny: these benches measure uncached work
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind single");
+
+    // The cluster: the same index split 4 ways, one server per shard,
+    // the coordinator scattering over loopback.
+    let shard_servers: Vec<_> = container
+        .split_with(SHARDS, shard_of)
+        .expect("split")
+        .into_iter()
+        .enumerate()
+        .map(|(s, part)| {
+            start(
+                Arc::new(Engine::from_container(part, 1).expect("shard engine")),
+                &ServerConfig {
+                    addr: "127.0.0.1:0".to_owned(),
+                    threads: 2,
+                    cache_capacity: 16,
+                    shard_id: Some(s as u64),
+                    ..ServerConfig::default()
+                },
+            )
+            .expect("bind shard")
+        })
+        .collect();
+    let coordinator = lshe_cluster::start(ClusterConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        shards: shard_servers
+            .iter()
+            .map(|s| s.addr())
+            .collect::<Vec<SocketAddr>>(),
+        connect_timeout: Duration::from_secs(1),
+        read_timeout: Duration::from_secs(30),
+        hedge_after: Duration::from_secs(5), // never fires at bench latencies
+        probe_interval: Duration::from_secs(60),
+    })
+    .expect("coordinator");
+
+    let mut group = c.benchmark_group("cluster_scatter");
+    let mut counter = 0u64;
+
+    // Single uncached query: the per-request scatter floor.
+    group.throughput(Throughput::Elements(1));
+    let mut single_client = HttpClient::connect(single_server.addr());
+    group.bench_function("single_process_query", |b| {
+        b.iter(|| {
+            counter += 1;
+            post_ok(
+                &mut single_client,
+                "/query",
+                &query_body(0.5 + counter as f64 * 1e-9),
+            )
+        })
+    });
+    let mut coord_client = HttpClient::connect(coordinator.addr());
+    group.bench_function("cluster4_query", |b| {
+        b.iter(|| {
+            counter += 1;
+            post_ok(
+                &mut coord_client,
+                "/query",
+                &query_body(0.5 + counter as f64 * 1e-9),
+            )
+        })
+    });
+
+    // Batch 64: the headline — scatter amortised over a full batch.
+    group.throughput(Throughput::Elements(BATCH as u64));
+    group.bench_function("single_process_batch64", |b| {
+        b.iter(|| {
+            let body = batch_body(&mut counter);
+            post_ok(&mut single_client, "/batch", &body)
+        })
+    });
+    group.bench_function("cluster4_batch64", |b| {
+        b.iter(|| {
+            let body = batch_body(&mut counter);
+            post_ok(&mut coord_client, "/batch", &body)
+        })
+    });
+    group.finish();
+
+    coordinator.shutdown();
+    single_server.shutdown();
+    for shard in shard_servers {
+        shard.shutdown();
+    }
+}
+
+criterion_group!(benches, cluster_scatter);
+criterion_main!(benches);

@@ -13,7 +13,9 @@
 //!            [--threshold 0.7] [--top-k 10]
 //! lshe stats --index tables.lshe
 //! lshe serve --index tables.lshe [--addr 127.0.0.1:7878] [--threads N]
-//!            [--cache 1024] [--shards 1]
+//!            [--cache 1024] [--shards 1] [--shard-id K]
+//! lshe split --index tables.lshe --shards 4 [--out prefix]
+//! lshe cluster --shards 127.0.0.1:7878,127.0.0.1:7879 [--addr 127.0.0.1:7979]
 //! ```
 //!
 //! All logic lives in this library so it is unit-testable; `main.rs` is a
@@ -97,12 +99,32 @@ COMMANDS
       Print configuration and per-partition statistics.
 
   lshe serve --index FILE [--addr HOST:PORT] [--threads N] [--cache C] [--shards S]
+             [--shard-id K]
       Serve the index over HTTP (default 127.0.0.1:7878) until /shutdown
       or SIGKILL. N worker threads (default: available parallelism), an
       LRU query cache of C entries (default 1024, 0 disables), and S
       query shards fanned out per request (default 1; S > 1 needs a
-      ranked index). Endpoints: GET /health /stats, POST /query /topk
-      /batch /insert /remove /commit /reload /shutdown — see docs/API.md.";
+      ranked index). --shard-id marks this process as cluster shard K
+      (surfaced on /stats; the coordinator verifies it). Endpoints:
+      GET /health /stats, POST /query /topk /batch /insert /remove
+      /commit /reload /shutdown — see docs/API.md.
+
+  lshe split --index FILE --shards N [--out PREFIX]
+      Split a ranked index into N shard files PREFIX.shard0.lshe …
+      PREFIX.shardN-1.lshe (default PREFIX: FILE minus .lshe), placing
+      each domain by id % N — the same routing the coordinator and
+      in-process sharding use, so a cluster serving the split answers
+      bit-identically to `lshe serve --shards N` over FILE.
+
+  lshe cluster --shards ADDR,ADDR,... [--addr HOST:PORT] [--hedge-ms H]
+               [--connect-timeout-ms C] [--read-timeout-ms R] [--probe-ms P]
+      Run a coordinator (default 127.0.0.1:7979) over shard servers
+      listed IN SHARD-ID ORDER. Serves the same endpoints as `lshe
+      serve`, scattering reads across shards with hedged retries after
+      H ms (default 150) and routing /insert & /remove by id % N.
+      Shard calls use a C ms connect deadline (default 1000) and an
+      R ms read deadline (default 30000); shard health is probed every
+      P ms (default 2000). /shutdown drains the coordinator only.";
 
 /// Simple `--key [value]` parser for one subcommand.
 ///
@@ -185,6 +207,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         Some("query") => cmd_query(&Flags::parse(&args[1..])?),
         Some("stats") => cmd_stats(&Flags::parse(&args[1..])?),
         Some("serve") => cmd_serve(&Flags::parse(&args[1..])?),
+        Some("split") => cmd_split(&Flags::parse(&args[1..])?),
+        Some("cluster") => cmd_cluster(&Flags::parse(&args[1..])?),
         Some("help") | None => Ok(USAGE.to_owned()),
         Some(other) => Err(CliError::Usage(format!("unknown command {other:?}"))),
     }
@@ -412,6 +436,12 @@ fn cmd_serve(flags: &Flags) -> Result<String, CliError> {
     if shards == 0 {
         return Err(CliError::Usage("--shards must be positive".into()));
     }
+    let shard_id: Option<u64> = match flags.get("shard-id")? {
+        None => None,
+        Some(v) => Some(v.parse().map_err(|_| {
+            CliError::Usage(format!("--shard-id: cannot parse {v:?} as an integer"))
+        })?),
+    };
 
     let engine = Engine::load(Path::new(&index_path), shards).map_err(|e| match e {
         EngineError::Io(e) => CliError::Io(e),
@@ -426,11 +456,12 @@ fn cmd_serve(flags: &Flags) -> Result<String, CliError> {
         addr,
         threads,
         cache_capacity,
+        shard_id,
         ..ServerConfig::default()
     };
     let handle = start(Arc::new(engine), &config)?;
     println!(
-        "lshe-serve listening on http://{} ({} domains, {} shard(s), cache {})",
+        "lshe-serve listening on http://{} ({} domains, {} shard(s), cache {}{})",
         handle.addr(),
         domains,
         shards,
@@ -438,10 +469,94 @@ fn cmd_serve(flags: &Flags) -> Result<String, CliError> {
             "disabled".to_owned()
         } else {
             format!("{cache_capacity} entries")
-        }
+        },
+        shard_id.map_or(String::new(), |id| format!(", cluster shard {id}"))
     );
     handle.join();
     Ok("server stopped\n".to_owned())
+}
+
+/// Splits a ranked index into per-shard container files by `id % N` —
+/// the exact placement the cluster coordinator routes by, and (for the
+/// dense ids a fresh build assigns) the exact distribution the
+/// in-process `--shards N` server uses, so the resulting cluster answers
+/// bit-identically to the unsplit server.
+fn cmd_split(flags: &Flags) -> Result<String, CliError> {
+    let index_path = flags.require("index")?.to_owned();
+    let shards: usize = flags.get_parsed("shards", 0)?;
+    if shards < 2 {
+        return Err(CliError::Usage(
+            "--shards must be at least 2 (there is nothing to split otherwise)".into(),
+        ));
+    }
+    let default_prefix = index_path
+        .strip_suffix(".lshe")
+        .unwrap_or(&index_path)
+        .to_owned();
+    let prefix = flags.get("out")?.unwrap_or(&default_prefix).to_owned();
+
+    let bytes = std::fs::read(&index_path)?;
+    let container = IndexContainer::from_bytes(&bytes)
+        .map_err(|e| CliError::Index(format!("{index_path}: {e}")))?;
+    let parts = container
+        .split_with(shards, lshe_cluster::shard_of)
+        .map_err(CliError::Index)?;
+
+    let mut report = String::new();
+    for (s, part) in parts.iter().enumerate() {
+        let path = format!("{prefix}.shard{s}.lshe");
+        std::fs::write(&path, part.to_bytes())?;
+        let _ = writeln!(report, "shard {s}: {} domain(s) → {path}", part.len());
+    }
+    let _ = writeln!(
+        report,
+        "serve each file with `lshe serve --index {prefix}.shardS.lshe --shard-id S`,\n\
+         then run `lshe cluster --shards HOST:PORT,...` listing them in shard order"
+    );
+    Ok(report)
+}
+
+/// Boots the cluster coordinator over already-running shard servers and
+/// blocks until `POST /shutdown`. Mirrors `cmd_serve`'s banner-then-join
+/// shape so CI probes learn the bound address the same way.
+fn cmd_cluster(flags: &Flags) -> Result<String, CliError> {
+    use std::net::ToSocketAddrs as _;
+    let shard_list = flags.require("shards")?.to_owned();
+    let addr = flags.get("addr")?.unwrap_or("127.0.0.1:7979").to_owned();
+    let hedge_ms: u64 = flags.get_parsed("hedge-ms", 150)?;
+    let connect_ms: u64 = flags.get_parsed("connect-timeout-ms", 1_000)?;
+    let read_ms: u64 = flags.get_parsed("read-timeout-ms", 30_000)?;
+    let probe_ms: u64 = flags.get_parsed("probe-ms", 2_000)?;
+
+    let mut shards = Vec::new();
+    for part in shard_list.split(',') {
+        let part = part.trim();
+        let resolved = part
+            .to_socket_addrs()
+            .ok()
+            .and_then(|mut addrs| addrs.next())
+            .ok_or_else(|| {
+                CliError::Usage(format!("--shards: {part:?} is not a host:port address"))
+            })?;
+        shards.push(resolved);
+    }
+
+    let count = shards.len();
+    let handle = lshe_cluster::start(lshe_cluster::ClusterConfig {
+        addr,
+        shards,
+        connect_timeout: std::time::Duration::from_millis(connect_ms),
+        read_timeout: std::time::Duration::from_millis(read_ms),
+        hedge_after: std::time::Duration::from_millis(hedge_ms),
+        probe_interval: std::time::Duration::from_millis(probe_ms),
+    })
+    .map_err(CliError::Index)?;
+    println!(
+        "lshe-cluster listening on http://{} ({count} shard(s), hedge after {hedge_ms} ms)",
+        handle.addr()
+    );
+    handle.join();
+    Ok("cluster stopped\n".to_owned())
 }
 
 /// Ingests every `*.csv` and `*.jsonl` under `dir` (sorted for
@@ -858,6 +973,102 @@ mod tests {
             "{err}"
         );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn split_flag_validation() {
+        // --shards below 2 is a usage error before any file I/O.
+        for bad in [
+            &["split", "--index", "x.lshe"][..],
+            &["split", "--index", "x.lshe", "--shards", "1"],
+        ] {
+            assert!(matches!(run(&s(bad)).unwrap_err(), CliError::Usage(_)));
+        }
+        // A plain (unranked) index cannot be split.
+        let dir = tmp_dir("split_plain");
+        write_corpus(&dir);
+        let idx = dir.join("plain.lshe");
+        run(&s(&[
+            "index",
+            "--dir",
+            dir.to_str().expect("utf8"),
+            "--out",
+            idx.to_str().expect("utf8"),
+            "--min-size",
+            "5",
+        ]))
+        .expect("index");
+        let err = run(&s(&[
+            "split",
+            "--index",
+            idx.to_str().expect("utf8"),
+            "--shards",
+            "2",
+        ]))
+        .unwrap_err();
+        assert!(
+            matches!(&err, CliError::Index(msg) if msg.contains("--ranked")),
+            "{err}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn split_writes_loadable_disjoint_shard_files() {
+        let dir = tmp_dir("split");
+        write_corpus(&dir);
+        let idx = dir.join("t.lshe");
+        run(&s(&[
+            "index",
+            "--dir",
+            dir.to_str().expect("utf8"),
+            "--out",
+            idx.to_str().expect("utf8"),
+            "--min-size",
+            "5",
+            "--ranked",
+        ]))
+        .expect("index");
+        let report = run(&s(&[
+            "split",
+            "--index",
+            idx.to_str().expect("utf8"),
+            "--shards",
+            "2",
+        ]))
+        .expect("split");
+        assert!(report.contains("shard 0"), "{report}");
+
+        let whole = IndexContainer::from_bytes(&std::fs::read(&idx).expect("read"))
+            .expect("whole container");
+        let mut seen = std::collections::HashSet::new();
+        let mut total = 0;
+        for shard in 0..2u32 {
+            let path = dir.join(format!("t.shard{shard}.lshe"));
+            let part = IndexContainer::from_bytes(&std::fs::read(&path).expect("shard file"))
+                .expect("shard container");
+            assert_eq!(part.num_perm(), whole.num_perm());
+            total += part.len();
+            for id in part.records().iter().map(|r| r.id) {
+                assert_eq!(id % 2, shard, "id {id} misplaced on shard {shard}");
+                assert!(seen.insert(id), "id {id} on two shards");
+            }
+        }
+        assert_eq!(total, whole.len(), "split must partition every domain");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cluster_flag_validation() {
+        assert!(matches!(
+            run(&s(&["cluster"])).unwrap_err(),
+            CliError::Usage(_)
+        ));
+        let err = run(&s(&["cluster", "--shards", "not-an-address"])).unwrap_err();
+        assert!(
+            matches!(&err, CliError::Usage(msg) if msg.contains("host:port")),
+            "{err}"
+        );
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! Per-shard health: a consecutive-failure state machine.
+//!
+//! Every shard call — scatter fan-outs and background probes alike —
+//! reports its outcome here. [`DEGRADE_AFTER`] consecutive failures mark
+//! the shard *degraded*: the coordinator stops scattering queries to it
+//! (so one dead shard costs nothing per request instead of a connect
+//! timeout each) and reports it in `/health`. Probes keep hitting
+//! degraded shards, and a single success re-admits the shard — the
+//! counter is consecutive, not cumulative, so recovery is immediate.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Consecutive failures after which a shard is considered degraded.
+/// Two, not one: a single hedge-salvaged straggle or connection reset
+/// should not eject a shard from the query path.
+pub const DEGRADE_AFTER: u32 = 2;
+
+/// Failure-tracking state for one shard.
+#[derive(Debug, Default)]
+pub struct HealthState {
+    /// Failures since the last success.
+    consecutive: AtomicU32,
+    /// Lifetime failures (observability; never resets).
+    total_failures: AtomicU64,
+}
+
+impl HealthState {
+    /// Fresh, healthy state.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A call to the shard succeeded: the shard is (back to) healthy.
+    pub fn record_ok(&self) {
+        self.consecutive.store(0, Ordering::Release);
+    }
+
+    /// A call to the shard failed at the transport level.
+    pub fn record_failure(&self) {
+        self.consecutive.fetch_add(1, Ordering::AcqRel);
+        self.total_failures.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Whether the shard has crossed [`DEGRADE_AFTER`] consecutive
+    /// failures and should be skipped by the query scatter.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.consecutive.load(Ordering::Acquire) >= DEGRADE_AFTER
+    }
+
+    /// Failures since the last success.
+    #[must_use]
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive.load(Ordering::Acquire)
+    }
+
+    /// Lifetime failure count.
+    #[must_use]
+    pub fn total_failures(&self) -> u64 {
+        self.total_failures.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degrades_only_after_consecutive_failures() {
+        let h = HealthState::new();
+        assert!(!h.is_degraded());
+        h.record_failure();
+        assert!(!h.is_degraded(), "one blip does not degrade");
+        h.record_failure();
+        assert!(h.is_degraded());
+        assert_eq!(h.consecutive_failures(), 2);
+        assert_eq!(h.total_failures(), 2);
+    }
+
+    #[test]
+    fn success_resets_the_streak_but_not_the_lifetime_count() {
+        let h = HealthState::new();
+        for _ in 0..5 {
+            h.record_failure();
+        }
+        assert!(h.is_degraded());
+        h.record_ok();
+        assert!(!h.is_degraded(), "one success re-admits the shard");
+        assert_eq!(h.consecutive_failures(), 0);
+        assert_eq!(h.total_failures(), 5);
+    }
+
+    #[test]
+    fn interleaved_blips_never_degrade() {
+        let h = HealthState::new();
+        for _ in 0..10 {
+            h.record_failure();
+            h.record_ok();
+        }
+        assert!(!h.is_degraded());
+        assert_eq!(h.total_failures(), 10);
+    }
+}

@@ -1,0 +1,49 @@
+//! Deterministic domain→shard placement.
+//!
+//! One function, used by every layer that must agree on where a domain
+//! lives: `lshe split` when it partitions a container into shard files,
+//! the coordinator when it routes `/insert` and `/remove`, and (by
+//! construction) `lshe_core::ShardedEnsemble::try_insert`, which routes
+//! live inserts to `id % num_shards` in the single-process topology.
+//!
+//! For the dense ids a fresh `IndexContainer::build` assigns (0..n), the
+//! modulus also coincides with the positional round-robin
+//! `ShardedEnsemble::build_from_parts` distributes sorted-by-id entries
+//! with — which is what makes a split-file cluster answer bit-identically
+//! to the one-process `--shards N` server over the same corpus.
+
+/// The shard that owns domain `id` in an `num_shards`-way cluster.
+///
+/// # Panics
+/// Panics if `num_shards == 0`.
+#[must_use]
+pub fn shard_of(id: u32, num_shards: usize) -> usize {
+    assert!(num_shards > 0, "a cluster has at least one shard");
+    id as usize % num_shards
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modular_and_total() {
+        for n in 1..6 {
+            let mut counts = vec![0usize; n];
+            for id in 0..1000u32 {
+                let s = shard_of(id, n);
+                assert!(s < n);
+                assert_eq!(s, id as usize % n);
+                counts[s] += 1;
+            }
+            // Dense ids spread evenly.
+            assert!(counts.iter().all(|&c| c >= 1000 / n - 1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = shard_of(0, 0);
+    }
+}

@@ -104,8 +104,16 @@ pub(crate) fn split_and_run<'q>(
 /// Merges per-shard sorted id runs into one sorted unique list. Shards
 /// hold disjoint id sets, so a pairwise sorted merge suffices — this is
 /// the exact merge the single-query sharded path performs, factored out
-/// so the batched path cannot drift from it.
-pub(crate) fn merge_sorted_disjoint(mut runs: Vec<Vec<DomainId>>) -> Vec<DomainId> {
+/// so the batched path cannot drift from it. The `lshe-cluster`
+/// coordinator reuses it to union per-shard wire results, hence `pub`.
+///
+/// Inputs MUST be disjoint: a duplicate id across runs means two shards
+/// claim the same domain (a mis-placed split, or one container served
+/// twice), and the union would silently under-count. Debug builds assert
+/// on it; release builds keep the id once, matching the historical
+/// behaviour.
+#[must_use]
+pub fn merge_sorted_disjoint(mut runs: Vec<Vec<DomainId>>) -> Vec<DomainId> {
     let mut merged = if runs.is_empty() {
         Vec::new()
     } else {
@@ -125,6 +133,11 @@ pub(crate) fn merge_sorted_disjoint(mut runs: Vec<Vec<DomainId>>) -> Vec<DomainI
                     j += 1;
                 }
                 std::cmp::Ordering::Equal => {
+                    debug_assert!(
+                        false,
+                        "merge_sorted_disjoint: id {} appears in two runs — shard inputs must be disjoint",
+                        merged[i]
+                    );
                     out.push(merged[i]);
                     i += 1;
                     j += 1;
@@ -148,5 +161,37 @@ mod tests {
         assert_eq!(merged, vec![1, 2, 3, 4, 5, 8, 9, 10]);
         assert_eq!(merge_sorted_disjoint(Vec::new()), Vec::<DomainId>::new());
         assert_eq!(merge_sorted_disjoint(vec![vec![], vec![2]]), vec![2]);
+    }
+
+    #[test]
+    fn merge_empty_shard_result_is_transparent() {
+        // One shard answered nothing (e.g. no candidates): the union is
+        // exactly the other shards' ids, in order.
+        assert_eq!(
+            merge_sorted_disjoint(vec![vec![3, 7], vec![], vec![1, 5]]),
+            vec![1, 3, 5, 7]
+        );
+    }
+
+    #[test]
+    fn merge_single_shard_is_identity() {
+        assert_eq!(merge_sorted_disjoint(vec![vec![2, 4, 6]]), vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn merge_all_empty_yields_empty() {
+        assert_eq!(
+            merge_sorted_disjoint(vec![vec![], vec![], vec![]]),
+            Vec::<DomainId>::new()
+        );
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "shard inputs must be disjoint")]
+    fn merge_rejects_duplicate_ids_across_runs() {
+        // Id 4 claimed by two runs: a mis-placed split. Debug builds must
+        // refuse rather than silently under-count the union.
+        let _ = merge_sorted_disjoint(vec![vec![1, 4], vec![4, 9]]);
     }
 }

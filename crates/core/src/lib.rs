@@ -64,7 +64,7 @@
 
 pub mod api;
 pub mod baselines;
-pub(crate) mod batch;
+pub mod batch;
 pub mod convert;
 pub mod cost;
 pub mod ensemble;

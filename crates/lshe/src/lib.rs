@@ -14,6 +14,7 @@
 //! | [`corpus`] | `lshe-corpus` | CSV/JSONL ingestion, catalogs, exact baselines |
 //! | [`datagen`] | `lshe-datagen` | synthetic power-law corpora and queries |
 //! | [`serve`] | `lshe-serve` | the HTTP query server: snapshot engine, LRU cache, batching |
+//! | [`cluster`] | `lshe-cluster` | multi-node scatter/gather coordinator over the shard protocol |
 //!
 //! The most common entry points are re-exported at the top level. The
 //! documented way in is the **unified query surface**: build any index,
@@ -56,6 +57,7 @@
 #![warn(clippy::all)]
 
 pub use lshe_asym as asym;
+pub use lshe_cluster as cluster;
 pub use lshe_core as core;
 pub use lshe_corpus as corpus;
 pub use lshe_datagen as datagen;

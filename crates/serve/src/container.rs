@@ -195,17 +195,105 @@ impl IndexContainer {
                 self.len()
             ));
         }
-        let config = EnsembleConfig {
+        Ok(Box::new(ShardedRanked::build(
+            Arc::clone(ranked),
+            shards,
+            self.shard_config(shards),
+        )))
+    }
+
+    /// The per-shard ensemble configuration for an `N`-way split — shared
+    /// by [`open_index_sharded`](Self::open_index_sharded) and
+    /// [`split_with`](Self::split_with) so an in-process shard and a
+    /// split-out shard container are built identically.
+    fn shard_config(&self, shards: usize) -> EnsembleConfig {
+        EnsembleConfig {
             strategy: PartitionStrategy::EquiDepth {
                 n: self.partition_count().div_ceil(shards).max(1),
             },
             ..EnsembleConfig::default()
+        }
+    }
+
+    /// Partitions a ranked container into `num_shards` standalone shard
+    /// containers, routing each domain with `place(id, num_shards)`.
+    ///
+    /// Each output holds the routed subset of records and sketches plus a
+    /// freshly built ensemble using the same per-shard configuration as
+    /// [`open_index_sharded`](Self::open_index_sharded). With the modular
+    /// placement the cluster coordinator uses (`id % num_shards`) and the
+    /// dense ids `build` assigns, every output ensemble is bit-identical
+    /// to the matching in-process shard of a `--shards num_shards` server
+    /// — so a process cluster over the split files answers exactly like
+    /// the single sharded process.
+    ///
+    /// # Errors
+    /// A message when the container stores no sketches, holds fewer
+    /// domains than shards, `num_shards < 2`, or the placement leaves a
+    /// shard empty / routes out of range.
+    pub fn split_with(
+        &self,
+        num_shards: usize,
+        place: impl Fn(u32, usize) -> usize,
+    ) -> Result<Vec<IndexContainer>, String> {
+        if num_shards < 2 {
+            return Err("split needs at least 2 shards".into());
+        }
+        let StoredIndex::Ranked(ranked) = &self.index else {
+            return Err("split needs per-domain sketches; rebuild the index with --ranked".into());
         };
-        Ok(Box::new(ShardedRanked::build(
-            Arc::clone(ranked),
-            shards,
-            config,
-        )))
+        if self.len() < num_shards {
+            return Err(format!(
+                "cannot split {} domains across {num_shards} shards",
+                self.len()
+            ));
+        }
+        let config = self.shard_config(num_shards);
+        // Route every sketch entry; entries are sorted by id, so each
+        // shard's parallel arrays stay id-sorted like a fresh build's.
+        let mut parts: Vec<(Vec<u32>, Vec<u64>, Vec<&Signature>)> =
+            (0..num_shards).map(|_| Default::default()).collect();
+        for (id, size, sig) in ranked.sketch_entries() {
+            let s = place(id, num_shards);
+            if s >= num_shards {
+                return Err(format!(
+                    "placement routed id {id} to shard {s} of {num_shards}"
+                ));
+            }
+            parts[s].0.push(id);
+            parts[s].1.push(size);
+            parts[s].2.push(sig);
+        }
+        if let Some(empty) = parts.iter().position(|(ids, _, _)| ids.is_empty()) {
+            return Err(format!("placement leaves shard {empty} empty"));
+        }
+        Ok(parts
+            .iter()
+            .map(|(ids, sizes, sigs)| {
+                let ensemble = LshEnsemble::build_from_parts(config, ids, sizes, sigs);
+                let sketches: Vec<(u32, u64, Signature)> = ids
+                    .iter()
+                    .zip(sizes)
+                    .zip(sigs)
+                    .map(|((&id, &size), &sig)| (id, size, sig.clone()))
+                    .collect();
+                let records: Vec<DomainRecord> = ids
+                    .iter()
+                    .map(|&id| {
+                        self.record(id)
+                            .expect("every sketch id has a provenance record")
+                            .clone()
+                    })
+                    .collect();
+                IndexContainer {
+                    records,
+                    index: StoredIndex::Ranked(Arc::new(RankedIndex::from_ensemble(
+                        ensemble, sketches,
+                    ))),
+                    num_perm: self.num_perm,
+                }
+            })
+            .collect())
     }
 
     /// The stored index as its mutation surface (copy-on-write: shared
@@ -962,6 +1050,81 @@ mod tests {
             .search(&sig, cat.domain(0).len() as u64, 1.0)
             .iter()
             .any(|&(id, _)| id == 0));
+    }
+
+    #[test]
+    fn split_shards_are_bit_identical_to_in_process_shards() {
+        let cat = catalog(12);
+        let c = IndexContainer::build(&cat, 4, true);
+        let n = 3;
+        let shards = c.split_with(n, |id, n| id as usize % n).expect("split");
+        assert_eq!(shards.len(), n);
+        assert_eq!(shards.iter().map(IndexContainer::len).sum::<usize>(), 12);
+
+        // Each split shard's ensemble is byte-for-byte the corresponding
+        // in-process shard of open_index_sharded(n): with dense ids the
+        // modular placement coincides with the round-robin the sharded
+        // build uses.
+        let StoredIndex::Ranked(ranked) = &c.index else {
+            unreachable!("built ranked");
+        };
+        let inproc = ShardedRanked::build(Arc::clone(ranked), n, c.shard_config(n));
+        for (s, sc) in shards.iter().enumerate() {
+            assert!(sc.has_ranked());
+            assert_eq!(sc.num_perm(), c.num_perm());
+            assert!(sc.records().iter().all(|r| r.id as usize % n == s));
+            assert_eq!(
+                sc.ensemble().to_bytes_committed(),
+                inproc.shards().shards()[s].to_bytes_committed(),
+                "shard {s} ensemble drifted from the in-process build"
+            );
+            // And it survives a disk round-trip intact.
+            let restored = IndexContainer::from_bytes(&sc.to_bytes()).expect("decode");
+            assert_eq!(restored.len(), sc.len());
+            assert_eq!(
+                restored.ensemble().to_bytes_committed(),
+                sc.ensemble().to_bytes_committed()
+            );
+        }
+
+        // Union of per-shard answers == the sharded in-process answer,
+        // estimates and rank order included.
+        let hasher = MinHasher::new(c.num_perm());
+        let q = cat.domain(5).signature(&hasher);
+        let qsize = cat.domain(5).len() as u64;
+        let sharded = c.open_index_sharded(n).expect("sharded");
+        let want = sharded
+            .search(&Query::threshold(&q, 0.5).with_size(qsize))
+            .expect("search")
+            .into_pairs();
+        let mut got: Vec<(u32, Option<f64>)> = shards
+            .iter()
+            .flat_map(|sc| sc.search(&q, qsize, 0.5))
+            .collect();
+        got.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("estimates are not NaN")
+                .then(a.0.cmp(&b.0))
+        });
+        assert_eq!(got, want);
+        assert!(got.iter().any(|&(id, _)| id == 5));
+    }
+
+    #[test]
+    fn split_rejects_bad_inputs() {
+        let cat = catalog(6);
+        let plain = IndexContainer::build(&cat, 2, false);
+        assert!(plain.split_with(2, |id, n| id as usize % n).is_err());
+        let ranked = IndexContainer::build(&cat, 2, true);
+        assert!(ranked.split_with(1, |id, n| id as usize % n).is_err());
+        assert!(ranked.split_with(7, |id, n| id as usize % n).is_err());
+        // A placement that starves a shard is refused, not built empty.
+        assert!(ranked
+            .split_with(2, |_, _| 0)
+            .unwrap_err()
+            .contains("leaves shard 1 empty"));
+        // Out-of-range routing is refused.
+        assert!(ranked.split_with(2, |_, n| n).is_err());
     }
 
     fn scratch_log(name: &str) -> DeltaLog {

@@ -356,6 +356,27 @@ impl Engine {
         size: u64,
         signature: Signature,
     ) -> Result<(u32, StagedCounts), EngineError> {
+        self.stage_insert_as(table, column, size, signature, None)
+    }
+
+    /// [`stage_insert`](Self::stage_insert) with an optional explicit id —
+    /// the cluster path: the coordinator allocates cluster-wide ids (so
+    /// shards cannot collide) and routes each insert to the shard the id
+    /// places on. `None` keeps local allocation; an explicit id must be
+    /// free (not committed, not staged), and the local allocator jumps
+    /// past it so later local inserts cannot collide either.
+    ///
+    /// # Errors
+    /// As [`stage_insert`](Self::stage_insert), plus
+    /// [`EngineError::Mutation`] for an explicit id that is already in use.
+    pub fn stage_insert_as(
+        &self,
+        table: String,
+        column: String,
+        size: u64,
+        signature: Signature,
+        explicit_id: Option<u32>,
+    ) -> Result<(u32, StagedCounts), EngineError> {
         if size == 0 {
             return Err(EngineError::Mutation("domain size must be positive".into()));
         }
@@ -365,14 +386,25 @@ impl Engine {
         // snapshot read before the lock could validate against a state a
         // concurrent commit already replaced.
         let mut pending = self.pending.lock().expect("pending lock poisoned");
-        let num_perm = self.snapshot().container().num_perm();
+        let snap = self.snapshot();
+        let num_perm = snap.container().num_perm();
         if signature.len() != num_perm {
             return Err(EngineError::Mutation(format!(
                 "signature width mismatch: domain has {}, index expects {num_perm}",
                 signature.len()
             )));
         }
-        let id = pending.next_id;
+        let id = match explicit_id {
+            None => pending.next_id,
+            Some(id) => {
+                if snap.container().record(id).is_some() || pending.staged_inserts.contains(&id) {
+                    return Err(EngineError::Mutation(format!(
+                        "domain id {id} is already in use"
+                    )));
+                }
+                id
+            }
+        };
         let op = DeltaOp::Insert {
             record: crate::container::DomainRecord {
                 id,
@@ -383,10 +415,18 @@ impl Engine {
             signature,
         };
         self.log_op(&op)?;
-        pending.next_id += 1;
+        pending.next_id = pending.next_id.max(id + 1);
         pending.staged_inserts.insert(id);
         pending.ops.push(op);
         Ok((id, Self::counts(&pending)))
+    }
+
+    /// The id the next locally-allocated insert would take. Monotone
+    /// across commits and reloads; a cluster coordinator reads this from
+    /// every shard (via `/stats`) and allocates from the maximum.
+    #[must_use]
+    pub fn next_id(&self) -> u32 {
+        self.pending.lock().expect("pending lock poisoned").next_id
     }
 
     /// Stages the removal of a domain. Valid targets are committed ids

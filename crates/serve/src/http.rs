@@ -473,12 +473,38 @@ pub fn write_head(
     content_length: usize,
     keep_alive: bool,
 ) {
+    write_head_with(
+        out,
+        status,
+        reason,
+        content_type,
+        content_length,
+        keep_alive,
+        &[],
+    );
+}
+
+/// [`write_head`] plus extra header lines (name, value) before the blank
+/// terminator — e.g. `Retry-After` on a drain-time 503.
+pub fn write_head_with(
+    out: &mut Vec<u8>,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    content_length: usize,
+    keep_alive: bool,
+    extra: &[(&str, &str)],
+) {
     // Writing into a Vec<u8> cannot fail.
     let _ = write!(
         out,
-        "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\ncontent-length: {content_length}\r\nconnection: {}\r\n\r\n",
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\ncontent-length: {content_length}\r\nconnection: {}\r\n",
         if keep_alive { "keep-alive" } else { "close" },
     );
+    for (name, value) in extra {
+        let _ = write!(out, "{name}: {value}\r\n");
+    }
+    out.extend_from_slice(b"\r\n");
 }
 
 /// Writes a complete response with a body and standard headers.

@@ -70,9 +70,6 @@ struct Rendered {
     bytes: Vec<u8>,
     /// Close the connection once this response is flushed.
     close: bool,
-    /// This response was `/shutdown`: begin the server drain once it is
-    /// on the wire.
-    shutdown: bool,
 }
 
 /// A response produced off-thread, routed back to its connection slot.
@@ -123,8 +120,6 @@ struct Conn {
     closing: bool,
     /// Close once `outbuf` is flushed and no responses remain pending.
     close_when_flushed: bool,
-    /// Flip the server-wide shutdown flag once `outbuf` is flushed.
-    shutdown_when_flushed: bool,
     /// Unrecoverable socket error: drop without further ceremony.
     broken: bool,
 }
@@ -146,7 +141,6 @@ impl Conn {
             peer_eof: false,
             closing: false,
             close_when_flushed: false,
-            shutdown_when_flushed: false,
             broken: false,
         }
     }
@@ -373,11 +367,8 @@ impl Reactor {
                     };
                     let outcome = Outcome::error(status, reason, e.to_string());
                     let bytes = server::render_outcome(&outcome, false, &mut self.scratch);
-                    conn.pending.push_back(Some(Rendered {
-                        bytes,
-                        close: true,
-                        shutdown: false,
-                    }));
+                    conn.pending
+                        .push_back(Some(Rendered { bytes, close: true }));
                     conn.next_seq += 1;
                     conn.closing = true;
                     break;
@@ -399,6 +390,14 @@ impl Reactor {
     /// queries into the same-tick batch.
     fn dispatch_request(&mut self, fd: RawFd, conn: &mut Conn, seq: u64, request: Request) {
         let keep_alive = !request.wants_close();
+        // Draining (or a /shutdown earlier in this very burst): refuse
+        // with 503 + Retry-After so retry logic can tell drain from
+        // failure. The close flag tears the connection down after it.
+        if self.draining || self.shared.shutdown.load(Ordering::SeqCst) {
+            self.shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            self.complete_local(conn, seq, &Outcome::draining(), keep_alive);
+            return;
+        }
         let is_query = matches!(
             (request.method.as_str(), request.path()),
             ("POST", "/query" | "/topk")
@@ -449,15 +448,7 @@ impl Reactor {
     fn complete_local(&mut self, conn: &mut Conn, seq: u64, outcome: &Outcome, keep_alive: bool) {
         let ka = keep_alive && !outcome.close_after;
         let bytes = server::render_outcome(outcome, ka, &mut self.scratch);
-        deliver(
-            conn,
-            seq,
-            Rendered {
-                bytes,
-                close: !ka,
-                shutdown: outcome.close_after,
-            },
-        );
+        deliver(conn, seq, Rendered { bytes, close: !ka });
     }
 
     /// One generic pool job: route + render off-thread, completion back
@@ -480,11 +471,7 @@ impl Reactor {
                 fd,
                 epoch,
                 seq,
-                rendered: Rendered {
-                    bytes,
-                    close: !ka,
-                    shutdown: outcome.close_after,
-                },
+                rendered: Rendered { bytes, close: !ka },
             });
             outstanding.fetch_sub(1, Ordering::SeqCst);
             waker.wake();
@@ -521,7 +508,6 @@ impl Reactor {
                     rendered: Rendered {
                         bytes,
                         close: !job.keep_alive,
-                        shutdown: false,
                     },
                 });
             }
@@ -596,9 +582,6 @@ impl Reactor {
                 .expect("front slot checked filled");
             conn.base_seq += 1;
             conn.outbuf.extend_from_slice(&rendered.bytes);
-            if rendered.shutdown {
-                conn.shutdown_when_flushed = true;
-            }
             if rendered.close {
                 // Nothing after a close-flagged response may be sent:
                 // drop any later pipelined work (stale completions are
@@ -636,11 +619,6 @@ impl Reactor {
             conn.out_pos = 0;
             if conn.outbuf.capacity() > WRITE_COMPACT {
                 conn.outbuf.shrink_to(WRITE_COMPACT);
-            }
-            if conn.shutdown_when_flushed {
-                // The /shutdown response is on the wire: begin draining.
-                conn.shutdown_when_flushed = false;
-                self.shared.shutdown.store(true, Ordering::SeqCst);
             }
         } else if conn.out_pos >= WRITE_COMPACT {
             // Long partial writes: reclaim the consumed prefix so the
@@ -681,11 +659,8 @@ impl Reactor {
                 self.shared.counters.errors.fetch_add(1, Ordering::Relaxed);
                 let outcome = Outcome::error(400, "Bad Request", "request read timed out");
                 let bytes = server::render_outcome(&outcome, false, &mut self.scratch);
-                conn.pending.push_back(Some(Rendered {
-                    bytes,
-                    close: true,
-                    shutdown: false,
-                }));
+                conn.pending
+                    .push_back(Some(Rendered { bytes, close: true }));
                 conn.next_seq += 1;
                 conn.closing = true;
                 conn.request_started = None;
@@ -703,9 +678,10 @@ impl Reactor {
         }
     }
 
-    /// Stops accepting, marks every connection for close-after-flush, and
-    /// drops the ones with nothing left to say. In-flight pool work keeps
-    /// its connections alive until the responses ship.
+    /// Stops accepting, answers every fully-buffered request with the
+    /// drain 503, marks every connection for close-after-flush, and drops
+    /// the ones with nothing left to say. In-flight pool work keeps its
+    /// connections alive until the responses ship.
     fn begin_drain(&mut self) {
         self.draining = true;
         self.drain_deadline = Some(Instant::now() + DRAIN_GRACE);
@@ -718,6 +694,10 @@ impl Reactor {
             let Some(mut conn) = self.conns.remove(&fd) else {
                 continue;
             };
+            // Complete buffered requests deserve an answer, not a silent
+            // hangup: with `draining` set, each one routes to the 503 +
+            // Retry-After refusal (never to a handler).
+            self.parse_and_execute(fd, &mut conn);
             conn.closing = true;
             conn.close_when_flushed = true;
             self.finish_event(fd, conn);

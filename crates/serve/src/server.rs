@@ -24,7 +24,7 @@
 
 use crate::cache::{signature_digest, CacheStats, LruCache, QueryKey};
 use crate::engine::{Engine, EngineError, Snapshot};
-use crate::http::{write_head, Request};
+use crate::http::{write_head_with, Request};
 use crate::json::Json;
 use crate::poller::Waker;
 use crate::pool::effective_threads;
@@ -68,6 +68,10 @@ pub struct ServerConfig {
     /// Maximum simultaneously open connections; excess accepts are closed
     /// immediately (fd-exhaustion bound).
     pub max_connections: usize,
+    /// This server's shard number within a cluster, surfaced on `/stats`
+    /// so a coordinator (or an operator) can verify each process serves
+    /// the split it was assigned. `None` for standalone servers.
+    pub shard_id: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -78,6 +82,7 @@ impl Default for ServerConfig {
             cache_capacity: 1024,
             request_timeout_ms: 10_000,
             max_connections: 10_240,
+            shard_id: None,
         }
     }
 }
@@ -152,6 +157,8 @@ pub(crate) struct Shared {
     pub(crate) request_timeout: Duration,
     /// Open-connection cap (from [`ServerConfig::max_connections`]).
     pub(crate) max_connections: usize,
+    /// Shard identity (from [`ServerConfig::shard_id`]), echoed on `/stats`.
+    shard_id: Option<u64>,
 }
 
 /// A running server; dropping the handle shuts it down gracefully.
@@ -223,6 +230,7 @@ pub fn start(engine: Arc<Engine>, config: &ServerConfig) -> io::Result<ServerHan
         threads,
         request_timeout: Duration::from_millis(config.request_timeout_ms.max(1)),
         max_connections: config.max_connections.max(1),
+        shard_id: config.shard_id,
     });
     let waker = Arc::new(Waker::new()?);
     let reactor = {
@@ -246,6 +254,9 @@ pub(crate) struct Outcome {
     pub(crate) reason: &'static str,
     pub(crate) body: Json,
     pub(crate) close_after: bool,
+    /// Emit a `Retry-After: <seconds>` header — how a draining server
+    /// tells retry logic "come back later" (vs a hard failure).
+    pub(crate) retry_after: Option<u64>,
 }
 
 impl Outcome {
@@ -255,6 +266,7 @@ impl Outcome {
             reason: "OK",
             body,
             close_after: false,
+            retry_after: None,
         }
     }
 
@@ -264,6 +276,19 @@ impl Outcome {
             reason,
             body: Json::obj(vec![("error", Json::str(msg.into()))]),
             close_after: false,
+            retry_after: None,
+        }
+    }
+
+    /// The drain-time refusal: a request arrived after `/shutdown` began
+    /// draining. `503` + `Retry-After` lets retry logic (the cluster
+    /// coordinator's, most importantly) distinguish "come back later /
+    /// elsewhere" from a hard failure.
+    pub(crate) fn draining() -> Self {
+        Self {
+            close_after: true,
+            retry_after: Some(1),
+            ..Self::error(503, "Service Unavailable", "server is draining")
         }
     }
 }
@@ -276,13 +301,19 @@ pub(crate) fn render_outcome(outcome: &Outcome, keep_alive: bool, scratch: &mut 
     scratch.clear();
     outcome.body.render_into(scratch);
     let mut bytes = Vec::with_capacity(scratch.len() + 128);
-    write_head(
+    let retry_after = outcome.retry_after.map(|secs| secs.to_string());
+    let extra: &[(&str, &str)] = match &retry_after {
+        Some(secs) => &[("retry-after", secs.as_str())],
+        None => &[],
+    };
+    write_head_with(
         &mut bytes,
         outcome.status,
         outcome.reason,
         "application/json",
         scratch.len(),
         keep_alive,
+        extra,
     );
     bytes.extend_from_slice(scratch.as_bytes());
     bytes
@@ -302,12 +333,16 @@ pub(crate) fn route(shared: &Shared, request: &Request) -> Outcome {
         ("POST", "/insert") => handle_insert(shared, request),
         ("POST", "/remove") => handle_remove(shared, request),
         ("POST", "/commit") => handle_commit(shared),
-        ("POST", "/shutdown") => Outcome {
-            status: 200,
-            reason: "OK",
-            body: Json::obj(vec![("status", Json::str("shutting down"))]),
-            close_after: true,
-        },
+        ("POST", "/shutdown") => {
+            // The flag is stored at route time, so requests pipelined
+            // BEHIND /shutdown in the same burst already answer 503 +
+            // Retry-After (see the reactor's drain check); the reactor
+            // begins the drain on its next loop iteration, after this
+            // response is queued. Keep-alive on the wire: a close-flagged
+            // response would discard those queued 503s.
+            shared.shutdown.store(true, Ordering::SeqCst);
+            Outcome::ok(Json::obj(vec![("status", Json::str("shutting down"))]))
+        }
         (
             _,
             "/health" | "/stats" | "/query" | "/topk" | "/batch" | "/reload" | "/insert"
@@ -353,6 +388,11 @@ fn handle_stats(shared: &Shared) -> Outcome {
             Json::uint(snap.container().partition_count() as u64),
         ),
         ("shards", Json::uint(snap.num_shards() as u64)),
+        // Cluster plumbing: which split this process serves (absent for
+        // standalone servers) and the next id an insert would take — the
+        // coordinator allocates cluster-wide ids as the max across shards.
+        ("shard_id", shared.shard_id.map_or(Json::Null, Json::uint)),
+        ("next_id", Json::uint(u64::from(shared.engine.next_id()))),
         ("generation", Json::uint(snap.generation())),
         ("threads", Json::uint(shared.threads as u64)),
         (
@@ -1036,12 +1076,21 @@ fn handle_insert(shared: &Shared, request: &Request) -> Outcome {
             None => return Outcome::error(400, "Bad Request", "\"column\" must be a string"),
         },
     };
+    // Optional explicit id — the cluster path: the coordinator allocates
+    // cluster-wide ids and routes each insert to the shard it places on.
+    let explicit_id = match body.get("id") {
+        None => None,
+        Some(id) => match id.as_u64().and_then(|id| u32::try_from(id).ok()) {
+            Some(id) => Some(id),
+            None => return Outcome::error(400, "Bad Request", "\"id\" out of range"),
+        },
+    };
     let domain = Domain::from_strs(strs.iter().copied());
     let snap = shared.engine.snapshot();
     let signature = domain.signature(snap.hasher());
     match shared
         .engine
-        .stage_insert(table, column, domain.len() as u64, signature)
+        .stage_insert_as(table, column, domain.len() as u64, signature, explicit_id)
     {
         Ok((id, staged)) => {
             shared.counters.inserts.fetch_add(1, Ordering::Relaxed);
@@ -1612,6 +1661,64 @@ mod tests {
             Some("nothing staged")
         );
         server.shutdown();
+    }
+
+    /// Like [`read_resp`] but also surfaces the `Retry-After` header.
+    fn read_resp_retry<R: BufRead>(reader: &mut R) -> Option<(u16, Option<u64>, String)> {
+        let mut status_line = String::new();
+        if reader.read_line(&mut status_line).ok()? == 0 {
+            return None;
+        }
+        let status: u16 = status_line.split(' ').nth(1)?.parse().ok()?;
+        let mut content_length = 0usize;
+        let mut retry_after = None;
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).ok()?;
+            let line = line.trim_end().to_ascii_lowercase();
+            if line.is_empty() {
+                break;
+            }
+            if let Some(v) = line.strip_prefix("content-length:") {
+                content_length = v.trim().parse().ok()?;
+            } else if let Some(v) = line.strip_prefix("retry-after:") {
+                retry_after = v.trim().parse().ok();
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).ok()?;
+        Some((status, retry_after, String::from_utf8(body).ok()?))
+    }
+
+    #[test]
+    fn drain_answers_pipelined_successors_with_503_retry_after() {
+        let server = boot(test_engine(4, false));
+        let addr = server.addr();
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("timeout");
+        // One burst: /shutdown with a request pipelined behind it. The
+        // successor must get the typed drain refusal (503 + Retry-After,
+        // how a coordinator tells drain from failure) — not a silent
+        // hangup, and never a normal answer.
+        stream
+            .write_all(
+                b"POST /shutdown HTTP/1.1\r\nhost: x\r\ncontent-length: 0\r\n\r\n\
+                  GET /health HTTP/1.1\r\nhost: x\r\n\r\n",
+            )
+            .expect("send");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let (s1, retry1, b1) = read_resp_retry(&mut reader).expect("shutdown response");
+        assert_eq!(s1, 200, "{b1}");
+        assert_eq!(retry1, None);
+        let (s2, retry2, b2) = read_resp_retry(&mut reader).expect("drain refusal");
+        assert_eq!(s2, 503, "{b2}");
+        assert_eq!(retry2, Some(1), "Retry-After missing: {b2}");
+        assert!(b2.contains("draining"), "{b2}");
+        // After the refusal the connection closes, and the server drains.
+        assert!(read_resp_retry(&mut reader).is_none(), "must close");
+        server.join();
     }
 
     #[test]

@@ -1,0 +1,437 @@
+//! Conformance of the multi-process cluster tier against the
+//! single-process sharded engine: a coordinator fronting four real
+//! `lshe-serve` processes (well, in-process servers on real TCP ports —
+//! the wire protocol is identical) must answer `/query`, `/topk`, and
+//! `/batch` **bit-identically** to one server running the in-process
+//! `ShardedRanked` over the same corpus: same hits, same estimates
+//! (f64s survive the JSON layer at shortest-round-trip precision), same
+//! order. Also covered: mutations routed through the coordinator
+//! (insert → commit → visible; remove → commit → gone), and the
+//! degraded-shard path — killing one shard mid-load yields typed
+//! degraded responses from the survivors, never wrong answers.
+
+use lshe::cluster::{shard_of, ClusterConfig};
+use lshe::corpus::{Catalog, Domain, DomainMeta};
+use lshe::serve::client::HttpClient as Client;
+use lshe::serve::container::IndexContainer;
+use lshe::serve::engine::Engine;
+use lshe::serve::json::Json;
+use lshe::serve::server::{start as start_shard, ServerConfig, ServerHandle};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+const SHARDS: usize = 4;
+const DOMAINS: usize = 32;
+
+// ---------------------------------------------------------------- helpers
+
+/// Same nested-chain corpus the serve smoke tests use: domain `k` holds
+/// `v0 … v{19 + 5k}`, so smaller domains are contained in larger ones
+/// and every threshold produces a non-trivial ranked answer.
+fn build_catalog(n: usize) -> Catalog {
+    let mut catalog = Catalog::new();
+    for k in 0..n {
+        let values: Vec<String> = (0..20 + 5 * k).map(|i| format!("v{i}")).collect();
+        catalog.push(
+            Domain::from_strs(values.iter().map(String::as_str)),
+            DomainMeta::new(format!("t{k}"), "col"),
+        );
+    }
+    catalog
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lshe_cluster_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+fn query_body(k: usize, threshold: f64) -> String {
+    let quoted: Vec<String> = (0..20 + 5 * k).map(|i| format!("\"v{i}\"")).collect();
+    format!(
+        "{{\"values\": [{}], \"threshold\": {threshold}}}",
+        quoted.join(",")
+    )
+}
+
+fn topk_body(k: usize, top: usize) -> String {
+    let quoted: Vec<String> = (0..20 + 5 * k).map(|i| format!("\"v{i}\"")).collect();
+    format!("{{\"values\": [{}], \"k\": {top}}}", quoted.join(","))
+}
+
+fn hit_ids(response: &Json) -> Vec<u64> {
+    response
+        .get("hits")
+        .and_then(Json::as_array)
+        .expect("hits array")
+        .iter()
+        .map(|h| h.get("id").and_then(Json::as_u64).expect("hit id"))
+        .collect()
+}
+
+/// A running topology: the whole-index reference server (in-process
+/// `--shards 4`), four single-shard servers over the split files, and
+/// the coordinator fronting them.
+struct Topology {
+    dir: PathBuf,
+    reference: ServerHandle,
+    shards: Vec<ServerHandle>,
+    cluster: lshe::cluster::ClusterHandle,
+}
+
+fn boot(name: &str) -> Topology {
+    let dir = scratch(name);
+    let whole_path = dir.join("whole.lshe");
+    let container = IndexContainer::build(&build_catalog(DOMAINS), SHARDS, true);
+    std::fs::write(&whole_path, container.to_bytes()).expect("write whole");
+
+    // The reference: ONE process, in-process sharding — the ground truth
+    // the cluster must reproduce bit-for-bit.
+    let reference = start_shard(
+        Arc::new(Engine::load(&whole_path, SHARDS).expect("reference engine")),
+        &ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            threads: 2,
+            cache_capacity: 64,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind reference");
+
+    // The cluster: the same index split with the same placement the
+    // in-process path uses, one real server per shard file.
+    let parts = container
+        .split_with(SHARDS, shard_of)
+        .expect("split whole index");
+    let mut shards = Vec::with_capacity(SHARDS);
+    for (s, part) in parts.iter().enumerate() {
+        let path = dir.join(format!("whole.shard{s}.lshe"));
+        std::fs::write(&path, part.to_bytes()).expect("write shard");
+        shards.push(
+            start_shard(
+                Arc::new(Engine::load(&path, 1).expect("shard engine")),
+                &ServerConfig {
+                    addr: "127.0.0.1:0".to_owned(),
+                    threads: 2,
+                    cache_capacity: 64,
+                    shard_id: Some(s as u64),
+                    ..ServerConfig::default()
+                },
+            )
+            .expect("bind shard"),
+        );
+    }
+
+    let shard_addrs: Vec<SocketAddr> = shards.iter().map(ServerHandle::addr).collect();
+    let cluster = lshe::cluster::start(ClusterConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        shards: shard_addrs,
+        connect_timeout: Duration::from_millis(500),
+        read_timeout: Duration::from_secs(5),
+        hedge_after: Duration::from_secs(2),
+        probe_interval: Duration::from_secs(60),
+    })
+    .expect("coordinator starts against live shards");
+
+    Topology {
+        dir,
+        reference,
+        shards,
+        cluster,
+    }
+}
+
+impl Topology {
+    fn teardown(self) {
+        self.cluster.shutdown();
+        self.reference.shutdown();
+        for shard in self.shards {
+            shard.shutdown();
+        }
+        std::fs::remove_dir_all(&self.dir).ok();
+    }
+}
+
+// ------------------------------------------------------------------ tests
+
+/// The acceptance-criteria test: every read endpoint answers
+/// bit-identically to the single-process sharded engine.
+#[test]
+fn cluster_answers_match_single_process_sharded_bit_for_bit() {
+    let topo = boot("conformance");
+    let mut coord = Client::connect(topo.cluster.addr());
+    let mut single = Client::connect(topo.reference.addr());
+
+    // /health agrees on the corpus size.
+    let (status, health) = coord.get("/health");
+    assert_eq!(status, 200, "{health}");
+    assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(
+        health.get("domains").and_then(Json::as_u64),
+        Some(DOMAINS as u64)
+    );
+
+    // /query across a spread of query sizes and thresholds. The `hits`
+    // arrays must be equal as JSON values: same ids, same provenance,
+    // same estimates to the last bit, same order.
+    for (k, threshold) in [(0usize, 0.5), (5, 0.7), (13, 0.6), (27, 0.9), (31, 0.5)] {
+        let body = query_body(k, threshold);
+        let (cs, cr) = coord.post("/query", &body);
+        let (ss, sr) = single.post("/query", &body);
+        assert_eq!(cs, 200, "coordinator query {k}: {cr}");
+        assert_eq!(ss, 200, "reference query {k}: {sr}");
+        assert_eq!(
+            cr.get("hits"),
+            sr.get("hits"),
+            "query k={k} t={threshold}: cluster diverged from single-process"
+        );
+        assert_eq!(cr.get("count"), sr.get("count"), "query k={k} count");
+        assert!(
+            !hit_ids(&cr).is_empty(),
+            "query {k} must actually hit (its own domain at least)"
+        );
+        assert_eq!(
+            cr.get("degraded"),
+            None,
+            "healthy cluster, no degraded flag"
+        );
+    }
+
+    // /topk is best-effort on BOTH sides — top-k is an LSH-guided
+    // best-first search whose candidate set depends on the partition
+    // layout, and the whole index (4 partitions) and the shard files
+    // (1 partition each) probe differently. So no bit-equality here;
+    // instead: exactly k hits, globally rank-ordered, and the top hit —
+    // the query's own domain at estimate 1.0 — agrees.
+    for (k, top) in [(3usize, 4usize), (10, 7), (31, 1)] {
+        let body = topk_body(k, top);
+        let (cs, cr) = coord.post("/topk", &body);
+        let (ss, sr) = single.post("/topk", &body);
+        assert_eq!(cs, 200, "coordinator topk {k}: {cr}");
+        assert_eq!(ss, 200, "reference topk {k}: {sr}");
+        assert_eq!(hit_ids(&cr).len(), top, "topk returns exactly k: {cr}");
+        let coord_hits = cr.get("hits").and_then(Json::as_array).expect("hits");
+        let single_hits = sr.get("hits").and_then(Json::as_array).expect("hits");
+        assert_eq!(
+            coord_hits.first().and_then(|h| h.get("id")),
+            single_hits.first().and_then(|h| h.get("id")),
+            "topk k={k}: top hit disagrees"
+        );
+        let estimates: Vec<f64> = coord_hits
+            .iter()
+            .map(|h| h.get("estimate").and_then(Json::as_f64).expect("estimate"))
+            .collect();
+        for w in estimates.windows(2) {
+            assert!(w[0] >= w[1], "cluster topk not rank-ordered: {estimates:?}");
+        }
+        // The merged union of per-shard top-k can only improve on the
+        // single probe sequence: its weakest hit ranks at least as high.
+        let single_min = single_hits
+            .iter()
+            .map(|h| h.get("estimate").and_then(Json::as_f64).expect("estimate"))
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            estimates.last().copied().unwrap_or(f64::INFINITY) >= single_min - 1e-12,
+            "cluster topk k={k} worse than single-process: {cr} vs {sr}"
+        );
+    }
+
+    // /batch: element-wise identical, order preserved, mixed modes.
+    let mut items: Vec<String> = (0..8).map(|k| query_body(2 * k, 0.8)).collect();
+    items.push(topk_body(6, 3));
+    let batch = format!("{{\"queries\": [{}]}}", items.join(","));
+    let (cs, cr) = coord.post("/batch", &batch);
+    let (ss, sr) = single.post("/batch", &batch);
+    assert_eq!(cs, 200, "coordinator batch: {cr}");
+    assert_eq!(ss, 200, "reference batch: {sr}");
+    let coord_results = cr.get("results").and_then(Json::as_array).expect("results");
+    let single_results = sr.get("results").and_then(Json::as_array).expect("results");
+    assert_eq!(coord_results.len(), single_results.len());
+    for (i, (c, s)) in coord_results.iter().zip(single_results).enumerate() {
+        assert_eq!(c.get("hits"), s.get("hits"), "batch item {i} diverged");
+    }
+
+    // Malformed queries are rejected identically (shard 4xx forwarded
+    // verbatim — every shard parses the same way).
+    for bad in ["{\"values\": []}", "{\"threshold\": 0.5}", "not json"] {
+        let (cs, cr) = coord.post("/query", bad);
+        let (ss, sr) = single.post("/query", bad);
+        assert_eq!(cs, ss, "status for {bad}");
+        assert_eq!(cr.get("error").is_some(), sr.get("error").is_some());
+        assert_eq!(cs, 400);
+    }
+
+    // /stats aggregates the shard fleet.
+    let (status, stats) = coord.get("/stats");
+    assert_eq!(status, 200);
+    assert_eq!(
+        stats.get("domains").and_then(Json::as_u64),
+        Some(DOMAINS as u64)
+    );
+    let per_shard = stats
+        .get("per_shard")
+        .and_then(Json::as_array)
+        .expect("per_shard array");
+    assert_eq!(per_shard.len(), SHARDS);
+
+    topo.teardown();
+}
+
+/// Mutations route through the coordinator by `id % shards` and stay
+/// consistent with what a rebuild would see: insert → commit → the new
+/// domain answers its own query; remove → commit → it is gone again.
+#[test]
+fn mutations_route_commit_and_become_visible() {
+    let topo = boot("mutations");
+    let mut coord = Client::connect(topo.cluster.addr());
+
+    // A value namespace disjoint from the corpus ("m…").
+    let values: Vec<String> = (0..30).map(|i| format!("\"m{i}\"")).collect();
+    let insert = format!(
+        "{{\"values\": [{}], \"table\": \"live\", \"column\": \"c\"}}",
+        values.join(",")
+    );
+    let (status, response) = coord.post("/insert", &insert);
+    assert_eq!(status, 200, "{response}");
+    let id = response.get("id").and_then(Json::as_u64).expect("id");
+    assert_eq!(id, DOMAINS as u64, "ids continue past the fleet's max");
+    let owner = shard_of(u32::try_from(id).expect("small id"), SHARDS);
+
+    // Commit broadcasts to every shard; only the owner had staged work.
+    let (status, committed) = coord.post("/commit", "");
+    assert_eq!(status, 200, "{committed}");
+    assert!(
+        committed
+            .get("applied")
+            .and_then(Json::as_u64)
+            .expect("applied")
+            >= 1,
+        "{committed}"
+    );
+
+    // The inserted domain is queryable through the coordinator, served
+    // by exactly the shard the placement function names.
+    let probe = format!("{{\"values\": [{}], \"threshold\": 0.9}}", values.join(","));
+    let (status, response) = coord.post("/query", &probe);
+    assert_eq!(status, 200, "{response}");
+    assert!(hit_ids(&response).contains(&id), "{response}");
+    let mut owner_client = Client::connect(topo.shards[owner].addr());
+    let (_, owner_answer) = owner_client.post("/query", &probe);
+    assert!(
+        hit_ids(&owner_answer).contains(&id),
+        "placement says shard {owner} owns id {id}: {owner_answer}"
+    );
+
+    // Remove it and the answer reverts.
+    let (status, response) = coord.post("/remove", &format!("{{\"id\": {id}}}"));
+    assert_eq!(status, 200, "{response}");
+    let (status, committed) = coord.post("/commit", "");
+    assert_eq!(status, 200, "{committed}");
+    let (status, response) = coord.post("/query", &probe);
+    assert_eq!(status, 200, "{response}");
+    assert!(
+        !hit_ids(&response).contains(&id),
+        "removed domain still answering: {response}"
+    );
+
+    // The fleet-wide domain count is back to the original corpus.
+    let (_, stats) = coord.get("/stats");
+    assert_eq!(
+        stats.get("domains").and_then(Json::as_u64),
+        Some(DOMAINS as u64)
+    );
+
+    topo.teardown();
+}
+
+/// Kill one shard mid-load: reads keep answering from the survivors with
+/// a typed `degraded` marker (never silently-wrong full answers), the
+/// coordinator's /health turns degraded and names the dead shard, and a
+/// mutation owned by the dead shard is refused with 503.
+#[test]
+fn killing_one_shard_degrades_gracefully() {
+    let mut topo = boot("degraded");
+    let mut coord = Client::connect(topo.cluster.addr());
+
+    // Healthy first: the full answer includes hits from every shard.
+    let body = query_body(1, 0.5); // small query, contained in everything
+    let (status, before) = coord.post("/query", &body);
+    assert_eq!(status, 200, "{before}");
+    let full: Vec<u64> = hit_ids(&before);
+    let victim = 2usize;
+    assert!(
+        full.iter().any(|&id| shard_of(id as u32, SHARDS) == victim),
+        "pick a query that the victim shard contributes to: {full:?}"
+    );
+
+    // Kill shard 2 (drain its listener; the coordinator only sees
+    // connection refusals from here on).
+    topo.shards.remove(victim).shutdown();
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Reads survive, flagged. (Two calls: the first failure starts the
+    // streak, DEGRADE_AFTER = 2 marks the shard degraded.)
+    for round in 0..2 {
+        let (status, during) = coord.post("/query", &body);
+        assert_eq!(status, 200, "round {round}: {during}");
+        assert_eq!(
+            during.get("degraded"),
+            Some(&Json::Bool(true)),
+            "round {round} must be marked degraded: {during}"
+        );
+        let ids = hit_ids(&during);
+        assert!(!ids.is_empty(), "survivors must still answer");
+        for id in &ids {
+            assert_ne!(
+                shard_of(*id as u32, SHARDS),
+                victim,
+                "a hit from the dead shard appeared: {during}"
+            );
+        }
+        let named = during
+            .get("degraded_shards")
+            .and_then(Json::as_array)
+            .expect("degraded_shards");
+        assert!(
+            named.contains(&Json::uint(victim as u64)),
+            "response names the failed shard: {during}"
+        );
+    }
+
+    // /health live-probes the fleet and reports the outage.
+    let (status, health) = coord.get("/health");
+    assert_eq!(status, 200, "{health}");
+    assert_eq!(
+        health.get("status").and_then(Json::as_str),
+        Some("degraded"),
+        "{health}"
+    );
+    assert!(
+        health
+            .get("degraded_shards")
+            .and_then(Json::as_array)
+            .expect("degraded_shards")
+            .contains(&Json::uint(victim as u64)),
+        "{health}"
+    );
+
+    // A mutation owned by the dead shard is a typed refusal, not a hang
+    // and not a silent drop. Id DOMAINS+victim lands on the victim.
+    let owned_by_victim = (0..)
+        .find(|id: &u32| shard_of(*id, SHARDS) == victim)
+        .expect("some id maps there");
+    let (status, refused) = coord.post("/remove", &format!("{{\"id\": {owned_by_victim}}}"));
+    assert_eq!(status, 503, "{refused}");
+    assert!(refused.get("error").is_some(), "{refused}");
+
+    // Batches likewise degrade rather than fail.
+    let batch = format!("{{\"queries\": [{}, {}]}}", query_body(0, 0.5), body);
+    let (status, response) = coord.post("/batch", &batch);
+    assert_eq!(status, 200, "{response}");
+    assert_eq!(response.get("degraded"), Some(&Json::Bool(true)));
+
+    topo.teardown();
+}
