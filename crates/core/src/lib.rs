@@ -68,6 +68,7 @@ pub mod batch;
 pub mod convert;
 pub mod cost;
 pub mod ensemble;
+pub mod mmap;
 pub mod partition;
 pub mod persist;
 pub mod ranked;
@@ -83,6 +84,7 @@ pub use baselines::{
     baseline_minhash_lsh, AsymIndex, AsymIndexBuilder, AsymPartitionedIndex, ContainmentSearch,
 };
 pub use ensemble::{EnsembleConfig, LshEnsemble, LshEnsembleBuilder, PartitionStats};
+pub use mmap::{pack_ranked, pack_ranked_to, MmapIndex, MmapIndexError};
 pub use partition::{Partition, PartitionStrategy, Partitioning};
 pub use ranked::{RankedHit, RankedIndex, RankedIndexBuilder};
 pub use sharded::{ShardedEnsemble, ShardedEnsembleBuilder};

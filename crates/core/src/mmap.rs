@@ -1,0 +1,803 @@
+//! The memory-mapped index backend: `DomainIndex` over a v2 store file.
+//!
+//! [`pack_ranked`] streams a committed [`RankedIndex`] into an
+//! `lshe-store` v2 container — partition bounds, forest tree columns, and
+//! the retained sketches, each in its own checksummed 64-byte-aligned
+//! section. [`MmapIndex`] opens such a file and answers
+//! [`search`](crate::DomainIndex::search)/
+//! [`search_batch`](crate::DomainIndex::search_batch) *in place*: the
+//! partition skip-prune, per-query `(b, r)` tuning, prefix-tree probing,
+//! and containment ranking all run against borrowed mapped memory, so
+//! opening a multi-gigabyte corpus costs milliseconds and no decode-time
+//! heap.
+//!
+//! The backend replicates the heap path bit for bit — same candidate
+//! sets, same probe counters, same estimates, same ordering — which the
+//! conformance suite pins by running it side by side with `RankedIndex`
+//! over identical corpora.
+
+use crate::api::{
+    outcome_from_hits, outcome_from_hits_timed, DomainIndex, ProbeCounts, Query, QueryError,
+    QueryMode, SearchHit, SearchOutcome, ESTIMATE_SLACK,
+};
+use crate::ensemble::EnsembleConfig;
+use crate::partition::PartitionStrategy;
+use crate::ranked::{RankedHit, RankedIndex};
+use crate::tuning::Tuner;
+use lshe_lsh::forest::truncate_slot;
+use lshe_lsh::DomainId;
+use lshe_minhash::codec::{CodecError, Decoder, Encoder};
+use lshe_minhash::hash::FastHashSet;
+use lshe_minhash::{containment_from_jaccard, Signature};
+use lshe_store::{Packer, PartitionView, SectionKind, SketchesView, Store, StoreError};
+use std::path::Path;
+
+// ------------------------------------------------------------------ errors
+
+/// Why a v2 store could not be opened as an index.
+#[derive(Debug)]
+pub enum MmapIndexError {
+    /// The container layer failed: I/O, structure, or checksums.
+    Store(StoreError),
+    /// A codec-encoded section (the meta blob) failed to decode.
+    Codec {
+        /// The section being decoded.
+        section: &'static str,
+        /// The underlying codec failure.
+        source: CodecError,
+    },
+}
+
+impl std::fmt::Display for MmapIndexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Store(e) => write!(f, "{e}"),
+            Self::Codec { section, source } => {
+                write!(f, "section \"{section}\": {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MmapIndexError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Store(e) => Some(e),
+            Self::Codec { source, .. } => Some(source),
+        }
+    }
+}
+
+impl From<StoreError> for MmapIndexError {
+    fn from(e: StoreError) -> Self {
+        Self::Store(e)
+    }
+}
+
+// ----------------------------------------------------------------- packing
+
+/// Streams a committed [`RankedIndex`] into `packer` as the index
+/// sections of a v2 store (meta, partition bounds/lens, tree columns,
+/// sketches). The caller owns the packer so it can append further
+/// sections (the serve layer adds domain records) before
+/// [`Packer::finish`].
+///
+/// # Errors
+/// Propagates write failure.
+///
+/// # Panics
+/// Panics if the index has staged (uncommitted) inserts — the byte form
+/// is always the canonical committed state, exactly as v1 persistence.
+pub fn pack_ranked(index: &RankedIndex, packer: &mut Packer) -> std::io::Result<()> {
+    let ensemble = index.ensemble();
+    assert_eq!(
+        ensemble.staged_len(),
+        0,
+        "pack_ranked on an index with staged inserts; commit first"
+    );
+    let config = *ensemble.config();
+    let parts = ensemble.raw_partitions();
+
+    let mut enc = Encoder::default();
+    enc.put_u32(config.num_perm as u32);
+    enc.put_u32(config.b_max as u32);
+    enc.put_u32(config.r_max as u32);
+    crate::persist::encode_strategy(&mut enc, config.strategy);
+    enc.put_u64(ensemble.len() as u64);
+    enc.put_u64(parts.len() as u64);
+    packer.begin_section(SectionKind::Meta)?;
+    packer.write(&enc.finish())?;
+    packer.end_section();
+
+    packer.begin_section(SectionKind::PartitionBounds)?;
+    for &(lower, upper, _) in &parts {
+        packer.write_u64s(&[lower, upper])?;
+    }
+    packer.end_section();
+
+    packer.begin_section(SectionKind::PartitionLens)?;
+    for &(_, _, forest) in &parts {
+        packer.write_u64s(&[forest.len() as u64])?;
+    }
+    packer.end_section();
+
+    packer.begin_section(SectionKind::TreeKeys)?;
+    for &(_, _, forest) in &parts {
+        for (keys, _) in forest.committed_trees() {
+            packer.write_u32s(keys)?;
+        }
+    }
+    packer.end_section();
+
+    packer.begin_section(SectionKind::TreeIds)?;
+    for &(_, _, forest) in &parts {
+        for (_, ids) in forest.committed_trees() {
+            packer.write_u32s(ids)?;
+        }
+    }
+    packer.end_section();
+
+    let entries = index.sketch_entries();
+    packer.begin_section(SectionKind::SketchIds)?;
+    for &(id, _, _) in &entries {
+        packer.write_u32s(&[id])?;
+    }
+    packer.end_section();
+
+    packer.begin_section(SectionKind::SketchSizes)?;
+    for &(_, size, _) in &entries {
+        packer.write_u64s(&[size])?;
+    }
+    packer.end_section();
+
+    packer.begin_section(SectionKind::SketchSlots)?;
+    for &(_, _, sig) in &entries {
+        packer.write_u64s(sig.slots())?;
+    }
+    packer.end_section();
+    Ok(())
+}
+
+/// Packs a [`RankedIndex`] into a standalone v2 store file (index
+/// sections only — no domain records) and finishes it.
+///
+/// # Errors
+/// Propagates file I/O failure.
+///
+/// # Panics
+/// As [`pack_ranked`].
+pub fn pack_ranked_to(index: &RankedIndex, path: impl AsRef<Path>) -> std::io::Result<()> {
+    let mut packer = Packer::create(path)?;
+    pack_ranked(index, &mut packer)?;
+    packer.finish()
+}
+
+// ----------------------------------------------------------------- backend
+
+/// One partition's shape and element offsets into the shared tree
+/// columns.
+#[derive(Debug, Clone, Copy)]
+struct PartMeta {
+    lower: u64,
+    upper: u64,
+    /// Domains in this partition (rows per tree).
+    rows: usize,
+    /// Element offset of this partition's keys in the TreeKeys section.
+    key_off: usize,
+    /// Element offset of this partition's ids in the TreeIds section.
+    id_off: usize,
+}
+
+/// A read-only [`DomainIndex`] served directly from a mapped v2 store.
+///
+/// Holds only metadata on the heap (a few dozen bytes per partition);
+/// every key, id, and sketch slot stays in the mapping. Queries replicate
+/// the [`RankedIndex`] pipeline exactly: partition skip-prune →
+/// per-query tuned `(b, r)` → prefix-tree equal-range probes → hash-set
+/// dedup → containment ranking over the mapped sketches.
+#[derive(Debug)]
+pub struct MmapIndex {
+    store: Store,
+    config: EnsembleConfig,
+    tuner: Tuner,
+    len: usize,
+    parts: Vec<PartMeta>,
+}
+
+impl Clone for MmapIndex {
+    /// Clones the backend. The mapping is shared; the tuner's memo cache
+    /// starts empty in the clone (it refills lazily).
+    fn clone(&self) -> Self {
+        Self {
+            store: self.store.clone(),
+            config: self.config,
+            tuner: Tuner::new(self.config.b_max as u32, self.config.r_max as u32),
+            len: self.len,
+            parts: self.parts.clone(),
+        }
+    }
+}
+
+fn corrupt(section: &'static str, detail: &'static str) -> MmapIndexError {
+    MmapIndexError::Store(StoreError::Corrupt { section, detail })
+}
+
+impl MmapIndex {
+    /// Opens a packed index file with structural validation only (headers,
+    /// table, bounds, cross-section counts) — O(sections + partitions),
+    /// not O(file). Use [`open_verified`](Self::open_verified) to also
+    /// checksum every payload.
+    ///
+    /// # Errors
+    /// [`MmapIndexError`] on I/O, structural, or consistency failure.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, MmapIndexError> {
+        Self::from_store(Store::open(path)?)
+    }
+
+    /// Opens a packed index file and verifies every section checksum — the
+    /// serving path, where a damaged file must fail loudly at boot instead
+    /// of answering queries from corrupt memory.
+    ///
+    /// # Errors
+    /// As [`open`](Self::open), plus
+    /// [`StoreError::SectionChecksum`] naming any damaged section.
+    pub fn open_verified(path: impl AsRef<Path>) -> Result<Self, MmapIndexError> {
+        let store = Store::open(path)?;
+        store.verify()?;
+        Self::from_store(store)
+    }
+
+    /// Builds the backend over an already-opened [`Store`], validating
+    /// cross-section consistency.
+    ///
+    /// # Errors
+    /// [`MmapIndexError`] when sections are missing, fail to decode, or
+    /// disagree with each other.
+    pub fn from_store(store: Store) -> Result<Self, MmapIndexError> {
+        let meta = store.bytes(SectionKind::Meta)?;
+        let mut dec = Decoder::new(meta);
+        let codec = |source: CodecError| MmapIndexError::Codec {
+            section: "meta",
+            source,
+        };
+        let num_perm = dec.get_u32("num_perm").map_err(codec)? as usize;
+        let b_max = dec.get_u32("b_max").map_err(codec)? as usize;
+        let r_max = dec.get_u32("r_max").map_err(codec)? as usize;
+        let strategy = crate::persist::decode_strategy(&mut dec).map_err(codec)?;
+        let len = dec.get_u64("len").map_err(codec)? as usize;
+        let part_count = dec.get_u64("partition count").map_err(codec)? as usize;
+        if !dec.is_exhausted() {
+            return Err(corrupt("meta", "trailing bytes after metadata"));
+        }
+        if num_perm == 0 || b_max == 0 || r_max == 0 || b_max * r_max > num_perm {
+            return Err(corrupt("meta", "inconsistent configuration"));
+        }
+
+        let bounds = store.u64s(SectionKind::PartitionBounds)?;
+        if bounds.len() != part_count * 2 {
+            return Err(corrupt("partition bounds", "count disagrees with meta"));
+        }
+        let lens = store.u64s(SectionKind::PartitionLens)?;
+        if lens.len() != part_count {
+            return Err(corrupt("partition lens", "count disagrees with meta"));
+        }
+        let mut parts = Vec::with_capacity(part_count);
+        let (mut key_off, mut id_off, mut total) = (0usize, 0usize, 0usize);
+        for (i, &rows64) in lens.iter().enumerate() {
+            let (lower, upper) = (bounds[i * 2], bounds[i * 2 + 1]);
+            if lower > upper {
+                return Err(corrupt("partition bounds", "inverted partition bounds"));
+            }
+            let rows = usize::try_from(rows64)
+                .map_err(|_| corrupt("partition lens", "partition length exceeds address space"))?;
+            parts.push(PartMeta {
+                lower,
+                upper,
+                rows,
+                key_off,
+                id_off,
+            });
+            key_off += rows * b_max * r_max;
+            id_off += rows * b_max;
+            total += rows;
+        }
+        if total != len {
+            return Err(corrupt(
+                "partition lens",
+                "partition sizes do not sum to len",
+            ));
+        }
+        let tree_keys = store.u32s(SectionKind::TreeKeys)?;
+        if tree_keys.len() != key_off {
+            return Err(corrupt("tree keys", "length disagrees with partition lens"));
+        }
+        let tree_ids = store.u32s(SectionKind::TreeIds)?;
+        if tree_ids.len() != id_off {
+            return Err(corrupt("tree ids", "length disagrees with partition lens"));
+        }
+
+        let sketch_ids = store.u32s(SectionKind::SketchIds)?;
+        if sketch_ids.len() != len {
+            return Err(corrupt("sketch ids", "count disagrees with meta len"));
+        }
+        if !sketch_ids.windows(2).all(|w| w[0] < w[1]) {
+            return Err(corrupt("sketch ids", "ids are not strictly ascending"));
+        }
+        let sketch_sizes = store.u64s(SectionKind::SketchSizes)?;
+        if sketch_sizes.len() != len {
+            return Err(corrupt("sketch sizes", "count disagrees with meta len"));
+        }
+        let sketch_slots = store.u64s(SectionKind::SketchSlots)?;
+        if sketch_slots.len() != len * num_perm {
+            return Err(corrupt("sketch slots", "length disagrees with meta len"));
+        }
+
+        Ok(Self {
+            store,
+            config: EnsembleConfig {
+                num_perm,
+                b_max,
+                r_max,
+                strategy,
+            },
+            tuner: Tuner::new(b_max as u32, r_max as u32),
+            len,
+            parts,
+        })
+    }
+
+    /// The configuration the packed index was built with.
+    #[must_use]
+    pub fn config(&self) -> &EnsembleConfig {
+        &self.config
+    }
+
+    /// The underlying store (for section-level diagnostics and the serve
+    /// layer's record sections).
+    #[must_use]
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Number of partitions.
+    #[must_use]
+    pub fn num_partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Per-partition summaries, matching
+    /// [`LshEnsemble::partition_stats`](crate::LshEnsemble::partition_stats)
+    /// for the packed corpus.
+    #[must_use]
+    pub fn partition_stats(&self) -> Vec<crate::PartitionStats> {
+        self.parts
+            .iter()
+            .map(|p| crate::PartitionStats {
+                lower: p.lower,
+                upper: p.upper,
+                count: p.rows,
+            })
+            .collect()
+    }
+
+    /// Borrowed sketch columns, assembled fresh from the mapping.
+    fn sketches(&self) -> SketchesView<'_> {
+        let ids = self.store.u32s(SectionKind::SketchIds).expect("validated");
+        let sizes = self
+            .store
+            .u64s(SectionKind::SketchSizes)
+            .expect("validated");
+        let slots = self
+            .store
+            .u64s(SectionKind::SketchSlots)
+            .expect("validated");
+        SketchesView::new(ids, sizes, slots, self.config.num_perm).expect("validated at open")
+    }
+
+    fn check_query(&self, signature: &Signature, query_size: u64, t_star: f64) {
+        assert!(query_size > 0, "query size must be positive");
+        assert!(
+            (0.0..=1.0).contains(&t_star),
+            "containment threshold must be in [0, 1]"
+        );
+        assert_eq!(
+            signature.len(),
+            self.config.num_perm,
+            "signature width mismatch"
+        );
+    }
+
+    /// Probes one partition into `out`; returns whether it was consulted
+    /// (false = skip-pruned). Mirrors `LshEnsemble::query_partition` +
+    /// `LshForest::query_into` over the mapped columns.
+    #[allow(clippy::too_many_arguments)]
+    fn query_partition(
+        &self,
+        pm: &PartMeta,
+        tree_keys: &[u32],
+        tree_ids: &[u32],
+        prefix: &mut Vec<u32>,
+        signature: &Signature,
+        query_size: u64,
+        t_star: f64,
+        out: &mut Vec<DomainId>,
+    ) -> bool {
+        if (pm.upper as f64) < t_star * query_size as f64 {
+            return false;
+        }
+        let params = self.tuner.optimize(pm.upper, query_size, t_star);
+        let (b, r) = (params.b as usize, params.r as usize);
+        let (b_max, r_max) = (self.config.b_max, self.config.r_max);
+        let view = PartitionView::new(
+            &tree_keys[pm.key_off..pm.key_off + pm.rows * b_max * r_max],
+            &tree_ids[pm.id_off..pm.id_off + pm.rows * b_max],
+            b_max,
+            r_max,
+            pm.rows,
+        )
+        .expect("validated at open");
+        let slots = signature.slots();
+        for t in 0..b {
+            let start = t * r_max;
+            prefix.clear();
+            prefix.extend(slots[start..start + r].iter().map(|&v| truncate_slot(v)));
+            view.tree(t).probe_into(prefix, out);
+        }
+        true
+    }
+
+    /// Instrumented containment sweep: sorted-unique candidate ids plus
+    /// probe counters, identical to `LshEnsemble::query_counted` over the
+    /// same corpus.
+    fn query_counted(
+        &self,
+        signature: &Signature,
+        query_size: u64,
+        t_star: f64,
+    ) -> (Vec<DomainId>, ProbeCounts) {
+        self.check_query(signature, query_size, t_star);
+        let tree_keys = self.store.u32s(SectionKind::TreeKeys).expect("validated");
+        let tree_ids = self.store.u32s(SectionKind::TreeIds).expect("validated");
+        let mut probe = ProbeCounts {
+            probed: 0,
+            total: self.parts.len(),
+            candidates: 0,
+        };
+        let mut buf: Vec<DomainId> = Vec::new();
+        let mut prefix: Vec<u32> = Vec::with_capacity(self.config.r_max);
+        for pm in &self.parts {
+            let before = buf.len();
+            let probed = self.query_partition(
+                pm,
+                tree_keys,
+                tree_ids,
+                &mut prefix,
+                signature,
+                query_size,
+                t_star,
+                &mut buf,
+            );
+            probe.probed += usize::from(probed);
+            probe.candidates += buf.len() - before;
+        }
+        let mut set: FastHashSet<DomainId> = FastHashSet::default();
+        set.extend(buf);
+        let mut v: Vec<DomainId> = set.into_iter().collect();
+        v.sort_unstable();
+        (v, probe)
+    }
+
+    /// Ranks candidates by estimated containment against the mapped
+    /// sketches — same estimator, ordering, and tie-break as
+    /// `RankedIndex::rank`.
+    ///
+    /// # Panics
+    /// Panics if a candidate id has no sketch (impossible in a file that
+    /// passed open-time validation and checksum verification, exactly as
+    /// the heap index panics on an id it never retained).
+    fn rank(
+        &self,
+        sketches: &SketchesView<'_>,
+        candidates: Vec<DomainId>,
+        signature: &Signature,
+        q: u64,
+    ) -> Vec<RankedHit> {
+        let q_slots = signature.slots();
+        let m = self.config.num_perm;
+        let mut hits: Vec<RankedHit> = candidates
+            .into_iter()
+            .map(|id| {
+                let (x, slots) = sketches.lookup(id).expect("candidate id has no sketch");
+                let equal = q_slots.iter().zip(slots).filter(|(a, b)| a == b).count();
+                let s = equal as f64 / m as f64;
+                RankedHit {
+                    id,
+                    estimated_containment: containment_from_jaccard(s, x as f64, q as f64),
+                }
+            })
+            .collect();
+        hits.sort_by(|a, b| {
+            b.estimated_containment
+                .partial_cmp(&a.estimated_containment)
+                .expect("no NaN")
+                .then(a.id.cmp(&b.id))
+        });
+        hits
+    }
+
+    fn query_ranked_counted(
+        &self,
+        signature: &Signature,
+        query_size: u64,
+        t_star: f64,
+    ) -> (Vec<RankedHit>, ProbeCounts) {
+        let (raw, probe) = self.query_counted(signature, query_size, t_star);
+        let sketches = self.sketches();
+        let mut hits = self.rank(&sketches, raw, signature, query_size);
+        hits.retain(|h| h.estimated_containment >= t_star - ESTIMATE_SLACK);
+        (hits, probe)
+    }
+
+    fn query_top_k_counted(
+        &self,
+        signature: &Signature,
+        query_size: u64,
+        k: usize,
+    ) -> (Vec<RankedHit>, ProbeCounts) {
+        assert!(k > 0, "k must be positive");
+        let (seen, probe) =
+            crate::api::top_k_descend(k, |t| self.query_counted(signature, query_size, t));
+        let sketches = self.sketches();
+        let mut hits = self.rank(&sketches, seen, signature, query_size);
+        hits.truncate(k);
+        (hits, probe)
+    }
+}
+
+fn to_search_hits(hits: Vec<RankedHit>) -> Vec<SearchHit> {
+    hits.into_iter()
+        .map(|h| SearchHit {
+            id: h.id,
+            estimate: Some(h.estimated_containment),
+        })
+        .collect()
+}
+
+impl DomainIndex for MmapIndex {
+    fn search(&self, query: &Query<'_>) -> Result<SearchOutcome, QueryError> {
+        query.validate_for(self.config.num_perm)?;
+        let started = std::time::Instant::now();
+        let q = query.effective_size();
+        // The parallel hint is accepted and ignored: partitions are swept
+        // sequentially over the mapping (hint semantics permit this; the
+        // answer is identical either way).
+        let (hits, probe) = match query.mode() {
+            QueryMode::Threshold(t_star) => self.query_ranked_counted(query.signature(), q, t_star),
+            QueryMode::TopK(k) => self.query_top_k_counted(query.signature(), q, k),
+        };
+        Ok(outcome_from_hits(to_search_hits(hits), probe, started))
+    }
+
+    fn search_batch(&self, queries: &[Query<'_>]) -> Vec<Result<SearchOutcome, QueryError>> {
+        crate::batch::split_and_run(
+            queries,
+            self.config.num_perm,
+            |items| {
+                // Fan the batch across worker lanes; each lane runs the
+                // exact single-query pipeline, so batch ≡ looped.
+                crate::batch::chunked(items, |chunk| {
+                    chunk
+                        .iter()
+                        .map(|item| {
+                            let started = std::time::Instant::now();
+                            let (raw, probe) =
+                                self.query_counted(item.signature, item.size, item.t_star);
+                            let sketches = self.sketches();
+                            let mut hits = self.rank(&sketches, raw, item.signature, item.size);
+                            hits.retain(|h| {
+                                h.estimated_containment >= item.t_star - ESTIMATE_SLACK
+                            });
+                            let nanos = started.elapsed().as_nanos() as u64;
+                            outcome_from_hits_timed(to_search_hits(hits), probe, nanos)
+                        })
+                        .collect()
+                })
+            },
+            |query, k| {
+                let started = std::time::Instant::now();
+                let (hits, probe) =
+                    self.query_top_k_counted(query.signature(), query.effective_size(), k);
+                Ok(outcome_from_hits(to_search_hits(hits), probe, started))
+            },
+        )
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn memory_bytes(&self) -> usize {
+        // Heap footprint is metadata only — the corpus lives in the
+        // mapping (page cache), which is the whole point.
+        std::mem::size_of::<Self>() + self.parts.len() * std::mem::size_of::<PartMeta>()
+    }
+
+    fn describe(&self) -> String {
+        let base = match self.config.strategy {
+            PartitionStrategy::Single => "MinHash LSH (baseline)".to_owned(),
+            PartitionStrategy::EquiDepth { n } => format!("LSH Ensemble ({n})"),
+            PartitionStrategy::EquiWidth { n } => format!("LSH Ensemble equi-width ({n})"),
+            PartitionStrategy::Morph { n, lambda } => {
+                format!("LSH Ensemble morph ({n}, λ={lambda:.2})")
+            }
+            PartitionStrategy::EquiFp { n } => format!("LSH Ensemble equi-FP ({n})"),
+        };
+        format!("Mmap Ranked {base}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::QueryStats;
+    use lshe_minhash::MinHasher;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("lshe_mmap_idx_{name}_{}.v2", std::process::id()))
+    }
+
+    /// Nested pool corpus mirroring the ranked tests.
+    fn sample(n: usize) -> (MinHasher, RankedIndex, Vec<Vec<u64>>) {
+        let h = MinHasher::new(256);
+        let pool = MinHasher::synthetic_values(3, 30 * n);
+        let mut b = RankedIndex::builder_with(EnsembleConfig {
+            strategy: PartitionStrategy::EquiDepth { n: 4 },
+            ..EnsembleConfig::default()
+        });
+        let mut values = Vec::new();
+        for k in 0..n {
+            let vals: Vec<u64> = pool[..30 * (k + 1)].to_vec();
+            b.add(
+                k as u32,
+                vals.len() as u64,
+                h.signature(vals.iter().copied()),
+            );
+            values.push(vals);
+        }
+        (h, b.build(), values)
+    }
+
+    fn strip_wall(mut o: SearchOutcome) -> (Vec<SearchHit>, QueryStats) {
+        o.stats.wall_micros = 0;
+        (o.hits, o.stats)
+    }
+
+    #[test]
+    fn mmap_matches_heap_ranked_exactly() {
+        let (h, ranked, values) = sample(24);
+        let path = tmp("parity");
+        pack_ranked_to(&ranked, &path).expect("pack");
+        let mapped = MmapIndex::open_verified(&path).expect("open");
+        assert_eq!(mapped.len(), ranked.len());
+        assert_eq!(mapped.num_partitions(), ranked.ensemble().num_partitions());
+        assert_eq!(
+            mapped.partition_stats(),
+            ranked.ensemble().partition_stats()
+        );
+        for k in [0usize, 5, 11, 23] {
+            let sig = h.signature(values[k].iter().copied());
+            let size = values[k].len() as u64;
+            for t in [0.1, 0.5, 0.9] {
+                let q = Query::threshold(&sig, t).with_size(size);
+                let a = strip_wall(ranked.search(&q).expect("heap"));
+                let b = strip_wall(mapped.search(&q).expect("mmap"));
+                assert_eq!(a, b, "threshold parity k={k} t={t}");
+            }
+            for kk in [1usize, 5] {
+                let q = Query::top_k(&sig, kk).with_size(size);
+                let a = strip_wall(ranked.search(&q).expect("heap"));
+                let b = strip_wall(mapped.search(&q).expect("mmap"));
+                assert_eq!(a, b, "top-k parity k={k} kk={kk}");
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn batch_equals_looped_singles() {
+        let (h, ranked, values) = sample(16);
+        let path = tmp("batch");
+        pack_ranked_to(&ranked, &path).expect("pack");
+        let mapped = MmapIndex::open(&path).expect("open");
+        let sigs: Vec<Signature> = values
+            .iter()
+            .map(|v| h.signature(v.iter().copied()))
+            .collect();
+        let queries: Vec<Query<'_>> = sigs
+            .iter()
+            .zip(&values)
+            .enumerate()
+            .map(|(i, (sig, vals))| {
+                if i % 3 == 0 {
+                    Query::top_k(sig, 3).with_size(vals.len() as u64)
+                } else {
+                    Query::threshold(sig, 0.4).with_size(vals.len() as u64)
+                }
+            })
+            .collect();
+        let batched = mapped.search_batch(&queries);
+        for (q, b) in queries.iter().zip(batched) {
+            let single = strip_wall(mapped.search(q).expect("single"));
+            assert_eq!(single, strip_wall(b.expect("batched")));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_is_structural_verify_catches_payload_damage() {
+        let (_, ranked, _) = sample(8);
+        let path = tmp("damage");
+        pack_ranked_to(&ranked, &path).expect("pack");
+        let store = Store::open(&path).expect("open store");
+        let keys_off = store
+            .sections()
+            .iter()
+            .find(|s| s.kind == SectionKind::TreeKeys)
+            .expect("keys section")
+            .offset as usize;
+        drop(store);
+        let mut bytes = std::fs::read(&path).expect("read");
+        bytes[keys_off + 2] ^= 0x04;
+        std::fs::write(&path, &bytes).expect("write");
+        // Structural open succeeds (counts are intact)…
+        assert!(MmapIndex::open(&path).is_ok());
+        // …but the verified open names the damaged section.
+        match MmapIndex::open_verified(&path).unwrap_err() {
+            MmapIndexError::Store(StoreError::SectionChecksum { section, .. }) => {
+                assert_eq!(section, "tree keys");
+            }
+            other => panic!("wrong error: {other}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_section_is_typed() {
+        let path = tmp("missing");
+        let mut p = Packer::create(&path).expect("create");
+        p.begin_section(SectionKind::Meta).expect("begin");
+        p.write(&[0u8; 4]).expect("write");
+        p.end_section();
+        p.finish().expect("finish");
+        let err = MmapIndex::open(&path).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                MmapIndexError::Codec {
+                    section: "meta",
+                    ..
+                } | MmapIndexError::Store(StoreError::MissingSection { .. })
+            ),
+            "got {err}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn memory_footprint_is_metadata_sized() {
+        let (_, ranked, _) = sample(24);
+        let path = tmp("memory");
+        pack_ranked_to(&ranked, &path).expect("pack");
+        let mapped = MmapIndex::open(&path).expect("open");
+        let heap = DomainIndex::memory_bytes(&mapped);
+        assert!(heap > 0);
+        // The heap backend retains ~8·m bytes per domain; the mapped
+        // backend must be orders of magnitude below that.
+        assert!(
+            heap * 10 < RankedIndex::memory_bytes(&ranked),
+            "mapped heap {heap} not small vs {}",
+            RankedIndex::memory_bytes(&ranked)
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}

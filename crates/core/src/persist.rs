@@ -22,7 +22,7 @@ pub const MAGIC: [u8; 4] = *b"LSHE";
 /// Current format version.
 pub const VERSION: u8 = 1;
 
-fn encode_strategy(enc: &mut Encoder, strategy: PartitionStrategy) {
+pub(crate) fn encode_strategy(enc: &mut Encoder, strategy: PartitionStrategy) {
     match strategy {
         PartitionStrategy::Single => enc.put_u8(0),
         PartitionStrategy::EquiDepth { n } => {
@@ -45,7 +45,7 @@ fn encode_strategy(enc: &mut Encoder, strategy: PartitionStrategy) {
     }
 }
 
-fn decode_strategy(dec: &mut Decoder<'_>) -> Result<PartitionStrategy, CodecError> {
+pub(crate) fn decode_strategy(dec: &mut Decoder<'_>) -> Result<PartitionStrategy, CodecError> {
     let tag = dec.get_u8("strategy tag")?;
     Ok(match tag {
         0 => PartitionStrategy::Single,

@@ -19,7 +19,7 @@ pub mod powerlaw;
 pub mod queries;
 pub mod skew;
 
-pub use corpus_gen::{generate_catalog, CorpusConfig};
+pub use corpus_gen::{generate_catalog, CorpusConfig, CorpusStream};
 pub use metrics::{aggregate, query_accuracy, QueryAccuracy, WorkloadAccuracy};
 pub use powerlaw::{log2_histogram, PowerLawSizes};
 pub use queries::{sample_queries, SizeBand};

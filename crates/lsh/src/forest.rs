@@ -30,8 +30,13 @@ use lshe_minhash::Signature;
 
 /// Truncates a signature slot (61-bit value) to its top 32 bits for compact
 /// key storage.
+///
+/// Public because out-of-crate readers of the committed form (the
+/// memory-mapped store backend) must derive query prefixes with the exact
+/// same truncation the forest used at insert time.
 #[inline]
-fn truncate_slot(v: u64) -> u32 {
+#[must_use]
+pub fn truncate_slot(v: u64) -> u32 {
     // Slots are < 2^61 (or the u64::MAX empty sentinel, which saturates).
     (v >> 29).min(u64::from(u32::MAX)) as u32
 }
@@ -329,6 +334,21 @@ impl LshForest {
     /// Committed (keys, ids) columns per tree, for persistence.
     pub(crate) fn raw_trees(&self) -> impl Iterator<Item = (&[u32], &[DomainId])> {
         self.trees.iter().map(|t| (&t.keys[..], &t.ids[..]))
+    }
+
+    /// The committed (keys, ids) columns of every tree, in tree order —
+    /// the canonical sorted form external serialisers (the v2 store
+    /// packer) copy out verbatim.
+    ///
+    /// # Panics
+    /// Panics if staged inserts exist: the staged tail is not part of the
+    /// canonical form, so callers must [`commit`](Self::commit) first.
+    pub fn committed_trees(&self) -> impl Iterator<Item = (&[u32], &[DomainId])> {
+        assert_eq!(
+            self.staged, 0,
+            "committed_trees on a forest with staged inserts; commit first"
+        );
+        self.raw_trees()
     }
 
     /// Rebuilds a forest from persisted tree columns. Callers (the decoder)

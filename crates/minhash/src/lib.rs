@@ -10,6 +10,8 @@
 //!   universe, plus the fast internal hasher used by indexes.
 //! * [`perm`] — the pairwise-independent affine permutation family over the
 //!   Mersenne prime `2^61 − 1`.
+//! * [`kernel`] — the [`FoldKernel`] min-fold inner loop (runtime-detected
+//!   AVX2 lanes with a portable unrolled fallback, bit-identical results).
 //! * [`signature`] — [`MinHasher`] / [`Signature`]: signature generation,
 //!   Jaccard estimation (Eq. 4 of the paper), union merging, cardinality
 //!   estimation (`approx(|Q|)`, §5.1), and containment estimation.
@@ -37,12 +39,14 @@
 
 pub mod codec;
 pub mod hash;
+pub mod kernel;
 pub mod lanes;
 pub mod oneperm;
 pub mod perm;
 pub mod signature;
 
 pub use codec::CodecError;
+pub use kernel::FoldKernel;
 pub use oneperm::OnePermHasher;
 pub use perm::{AffinePermutation, PermutationFamily, EMPTY_SLOT, MERSENNE_PRIME};
 pub use signature::{MinHasher, Signature, DEFAULT_NUM_PERM};

@@ -10,6 +10,7 @@
 //! * containment estimation via the inclusion–exclusion conversion (Eq. 6).
 
 use crate::hash::SeedStream;
+use crate::kernel::FoldKernel;
 use crate::perm::{PermutationFamily, EMPTY_SLOT, MERSENNE_PRIME};
 
 /// Default number of minwise hash functions, matching Table 3 of the paper.
@@ -167,6 +168,10 @@ impl Signature {
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MinHasher {
     family: PermutationFamily,
+    /// Derived fold kernel (structure-of-arrays coefficients plus the CPU
+    /// feature probe). Rebuilt from the family on deserialisation.
+    #[cfg_attr(feature = "serde", serde(skip))]
+    kernel: FoldKernel,
 }
 
 impl MinHasher {
@@ -176,9 +181,9 @@ impl MinHasher {
     /// Creates a hasher with `m` permutations from an explicit seed.
     #[must_use]
     pub fn with_seed(seed: u64, m: usize) -> Self {
-        Self {
-            family: PermutationFamily::new(seed, m),
-        }
+        let family = PermutationFamily::new(seed, m);
+        let kernel = FoldKernel::new(family.permutations());
+        Self { family, kernel }
     }
 
     /// Creates a hasher with the workspace default seed.
@@ -207,12 +212,21 @@ impl MinHasher {
 
     /// The min-fold kernel: folds every value's permuted hashes into
     /// `slots` by slot-wise minimum. Single-signature construction,
-    /// streaming updates, and the bulk path all run through here, so the
-    /// sketching math lives in exactly one place.
+    /// streaming updates, and the bulk path all run through
+    /// [`FoldKernel::fold`], which picks AVX2 lanes or the portable
+    /// unrolled loop at runtime — both bit-identical to the scalar
+    /// per-permutation reference.
     fn fold_into<I>(&self, values: I, slots: &mut [u64])
     where
         I: IntoIterator<Item = u64>,
     {
+        if self.kernel.len() == slots.len() {
+            self.kernel.fold(values, slots);
+            return;
+        }
+        // The kernel is serde-skipped, so a hasher that arrived through
+        // deserialisation without reconstruction has an empty kernel —
+        // fall back to the per-permutation scalar reference.
         let perms = self.family.permutations();
         for v in values {
             for (slot, perm) in slots.iter_mut().zip(perms.iter()) {

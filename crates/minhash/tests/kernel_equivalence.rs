@@ -1,0 +1,76 @@
+//! Property tests: the [`FoldKernel`] (AVX2 or portable, whichever this
+//! host runs) is bit-identical to the scalar per-permutation reference.
+//!
+//! Signatures are persisted in index files and compared across machines,
+//! so the vectorised kernel must never change a single slot relative to
+//! [`AffinePermutation::apply`] folded lane by lane.
+
+use lshe_minhash::kernel::FoldKernel;
+use lshe_minhash::perm::{AffinePermutation, PermutationFamily, EMPTY_SLOT, MERSENNE_PRIME};
+use lshe_minhash::MinHasher;
+use proptest::prelude::*;
+
+/// Scalar reference fold: per-lane `apply` + min.
+fn reference_fold(perms: &[AffinePermutation], values: &[u64], slots: &mut [u64]) {
+    for &v in values {
+        for (slot, perm) in slots.iter_mut().zip(perms.iter()) {
+            let h = perm.apply(v);
+            if h < *slot {
+                *slot = h;
+            }
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn kernel_fold_matches_scalar_reference(
+        seed in any::<u64>(),
+        m in 1usize..300,
+        values in prop::collection::vec(any::<u64>(), 0..200),
+    ) {
+        let family = PermutationFamily::new(seed, m);
+        let kernel = FoldKernel::new(family.permutations());
+        let mut expect = vec![EMPTY_SLOT; m];
+        reference_fold(family.permutations(), &values, &mut expect);
+        let mut got = vec![EMPTY_SLOT; m];
+        kernel.fold(values.iter().copied(), &mut got);
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn kernel_fold_resumes_from_partial_slots(
+        seed in any::<u64>(),
+        m in 1usize..130,
+        first in prop::collection::vec(any::<u64>(), 1..100),
+        second in prop::collection::vec(any::<u64>(), 1..100),
+    ) {
+        // Folding in two batches must equal one fold of the concatenation
+        // (the streaming-update contract).
+        let family = PermutationFamily::new(seed, m);
+        let kernel = FoldKernel::new(family.permutations());
+        let mut split = vec![EMPTY_SLOT; m];
+        kernel.fold(first.iter().copied(), &mut split);
+        kernel.fold(second.iter().copied(), &mut split);
+        let mut whole = vec![EMPTY_SLOT; m];
+        kernel.fold(first.iter().chain(second.iter()).copied(), &mut whole);
+        prop_assert_eq!(split, whole);
+        // And every slot is canonical: strictly below p (or the sentinel).
+        prop_assert!(whole.iter().all(|&s| s < MERSENNE_PRIME || s == EMPTY_SLOT));
+    }
+
+    #[test]
+    fn minhasher_signature_matches_reference_fold(
+        seed in any::<u64>(),
+        values in prop::collection::vec(any::<u64>(), 0..150),
+    ) {
+        // End-to-end: the public MinHasher (kernel-backed) agrees with the
+        // scalar reference at the default production width.
+        let m = 256usize;
+        let hasher = MinHasher::with_seed(seed, m);
+        let mut expect = vec![EMPTY_SLOT; m];
+        reference_fold(hasher.family().permutations(), &values, &mut expect);
+        let sig = hasher.signature(values.iter().copied());
+        prop_assert_eq!(sig.slots(), expect.as_slice());
+    }
+}

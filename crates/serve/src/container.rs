@@ -10,14 +10,23 @@
 //! ensemble: u64 length + LshEnsemble bytes
 //! if ranked: per domain (same order): signature slots u64 array
 //! ```
+//!
+//! Two on-disk generations share this module. The v1 format above is
+//! decoded wholesale into heap structures. The v2 format (`lshe-store`,
+//! magic `LSHEIDX2`, see `docs/FORMAT.md`) is packed once from a ranked
+//! container by [`IndexContainer::pack_v2`] and then **served in place**:
+//! [`IndexContainer::load`] memory-maps it and queries run against
+//! borrowed page-cache memory through [`MmapIndex`]. Mapped containers
+//! are read-only — mutations are typed errors, never silent no-ops.
 
 use lshe_core::{
-    CommitReport, DomainIndex, EnsembleConfig, LshEnsemble, MutableIndex, MutationError,
-    PartitionStrategy, Query, RankedIndex, ShardedRanked,
+    CommitReport, DomainIndex, EnsembleConfig, LshEnsemble, MmapIndex, MmapIndexError,
+    MutableIndex, MutationError, PartitionStrategy, Query, RankedIndex, ShardedRanked,
 };
-use lshe_corpus::Catalog;
+use lshe_corpus::{Catalog, Domain, DomainMeta};
 use lshe_minhash::codec::{CodecError, Decoder, Encoder};
 use lshe_minhash::{MinHasher, Signature};
+use lshe_store::{Packer, SectionKind};
 use std::fmt::Write as _;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
@@ -51,6 +60,9 @@ pub enum IndexKind {
     /// Ensemble plus per-domain sketches: estimates, top-k, and sharded
     /// serving are available.
     Ranked,
+    /// A v2 file served in place through `mmap(2)`: estimates and top-k
+    /// work (the sketches are on disk), but the container is read-only.
+    Mapped,
 }
 
 /// The stored index, shared behind `Arc`s so
@@ -60,6 +72,7 @@ pub enum IndexKind {
 enum StoredIndex {
     Plain(Arc<LshEnsemble>),
     Ranked(Arc<RankedIndex>),
+    Mapped(Arc<MmapIndex>),
 }
 
 /// A loaded (or freshly built) index file.
@@ -125,6 +138,58 @@ impl IndexContainer {
         }
     }
 
+    /// Builds a container from a stream of domains, sketching and dropping
+    /// each one as it arrives: peak memory is the index under construction
+    /// (signatures and records), never the raw value sets. This is the
+    /// constructor for corpora that do not fit in RAM — e.g. a
+    /// `lshe_datagen::CorpusStream` scaled to multiple gigabytes.
+    ///
+    /// Value-identical to [`build`](Self::build) over a catalog containing
+    /// the same domains in the same order.
+    ///
+    /// # Panics
+    /// Panics if the stream is empty or `partitions == 0`.
+    pub fn from_stream<I>(domains: I, partitions: usize, ranked: bool) -> Self
+    where
+        I: IntoIterator<Item = (Domain, DomainMeta)>,
+    {
+        assert!(partitions > 0, "partitions must be positive");
+        let hasher = MinHasher::new(lshe_minhash::DEFAULT_NUM_PERM);
+        let config = EnsembleConfig {
+            strategy: PartitionStrategy::EquiDepth { n: partitions },
+            ..EnsembleConfig::default()
+        };
+        let mut records = Vec::new();
+        let mut plain_builder = (!ranked).then(|| LshEnsemble::builder_with(config));
+        let mut ranked_builder = ranked.then(|| RankedIndex::builder_with(config));
+        for (id, (domain, meta)) in (0u32..).zip(domains) {
+            let sig = hasher.signature(domain.hashes().iter().copied());
+            records.push(DomainRecord {
+                id,
+                size: domain.len() as u64,
+                table: meta.table,
+                column: meta.column,
+            });
+            if let Some(rb) = ranked_builder.as_mut() {
+                rb.add(id, domain.len() as u64, sig);
+            } else if let Some(b) = plain_builder.as_mut() {
+                b.add(id, domain.len() as u64, sig);
+            }
+        }
+        assert!(!records.is_empty(), "stream must yield at least one domain");
+        let index = match ranked_builder {
+            Some(rb) => StoredIndex::Ranked(Arc::new(rb.build())),
+            None => StoredIndex::Plain(Arc::new(
+                plain_builder.expect("plain builder present").build(),
+            )),
+        };
+        Self {
+            records,
+            index,
+            num_perm: hasher.num_perm(),
+        }
+    }
+
     /// Signature width the index was built with (clients must sketch
     /// queries at this width).
     #[must_use]
@@ -145,10 +210,32 @@ impl IndexContainer {
     }
 
     /// The shared ensemble (either standalone or inside the ranked index).
+    ///
+    /// Mapped containers have no heap ensemble; every caller below either
+    /// guards on the variant first or documents the panic.
     fn ensemble(&self) -> &LshEnsemble {
         match &self.index {
             StoredIndex::Plain(e) => e,
             StoredIndex::Ranked(r) => r.ensemble(),
+            StoredIndex::Mapped(_) => panic!("mapped container has no heap ensemble"),
+        }
+    }
+
+    /// The ensemble configuration, whichever variant stores it.
+    fn config(&self) -> EnsembleConfig {
+        match &self.index {
+            StoredIndex::Plain(e) => *e.config(),
+            StoredIndex::Ranked(r) => *r.ensemble().config(),
+            StoredIndex::Mapped(m) => *m.config(),
+        }
+    }
+
+    /// Per-partition statistics, whichever variant computes them.
+    fn partition_stats(&self) -> Vec<lshe_core::PartitionStats> {
+        match &self.index {
+            StoredIndex::Plain(e) => e.partition_stats(),
+            StoredIndex::Ranked(r) => r.ensemble().partition_stats(),
+            StoredIndex::Mapped(m) => m.partition_stats(),
         }
     }
 
@@ -158,17 +245,19 @@ impl IndexContainer {
         match &self.index {
             StoredIndex::Plain(_) => IndexKind::Plain,
             StoredIndex::Ranked(_) => IndexKind::Ranked,
+            StoredIndex::Mapped(_) => IndexKind::Mapped,
         }
     }
 
     /// Opens the stored index behind the unified query surface. Cheap
     /// (clones an `Arc`): the returned handle shares the container's
-    /// forests and sketches.
+    /// forests and sketches (or, for a mapped container, its pages).
     #[must_use]
     pub fn open_index(&self) -> Box<dyn DomainIndex> {
         match &self.index {
             StoredIndex::Plain(e) => Box::new(Arc::clone(e)),
             StoredIndex::Ranked(r) => Box::new(Arc::clone(r)),
+            StoredIndex::Mapped(m) => Box::new(Arc::clone(m)),
         }
     }
 
@@ -185,9 +274,13 @@ impl IndexContainer {
             return Ok(self.open_index());
         }
         let StoredIndex::Ranked(ranked) = &self.index else {
-            return Err(
-                "--shards needs per-domain sketches; rebuild the index with --ranked".into(),
-            );
+            return Err(match self.kind() {
+                IndexKind::Mapped => "an mmap-served index cannot be sharded in process; \
+                     `lshe split` the source container, pack each shard, and serve them \
+                     as a cluster"
+                    .into(),
+                _ => "--shards needs per-domain sketches; rebuild the index with --ranked".into(),
+            });
         };
         if self.len() < shards {
             return Err(format!(
@@ -240,7 +333,14 @@ impl IndexContainer {
             return Err("split needs at least 2 shards".into());
         }
         let StoredIndex::Ranked(ranked) = &self.index else {
-            return Err("split needs per-domain sketches; rebuild the index with --ranked".into());
+            return Err(match self.kind() {
+                IndexKind::Mapped => {
+                    "split works on the source .lshe container, not a packed v2 file; \
+                     split first, then pack each shard"
+                        .into()
+                }
+                _ => "split needs per-domain sketches; rebuild the index with --ranked".into(),
+            });
         };
         if self.len() < num_shards {
             return Err(format!(
@@ -297,11 +397,13 @@ impl IndexContainer {
     }
 
     /// The stored index as its mutation surface (copy-on-write: shared
-    /// `Arc`s are cloned on first mutation).
+    /// `Arc`s are cloned on first mutation). Callers guard the mapped
+    /// variant first ([`apply`](Self::apply) returns a typed error).
     fn index_mut(&mut self) -> &mut dyn MutableIndex {
         match &mut self.index {
             StoredIndex::Plain(e) => Arc::make_mut(e) as &mut dyn MutableIndex,
             StoredIndex::Ranked(r) => Arc::make_mut(r) as &mut dyn MutableIndex,
+            StoredIndex::Mapped(_) => unreachable!("mutation paths reject mapped containers"),
         }
     }
 
@@ -324,9 +426,17 @@ impl IndexContainer {
     /// rebalance.
     ///
     /// # Errors
-    /// [`MutationError`] from the failing op: duplicate id, unknown id, or
-    /// a signature whose width disagrees with the container.
+    /// [`MutationError`] from the failing op: duplicate id, unknown id, a
+    /// signature whose width disagrees with the container, or any op at
+    /// all against a read-only mapped container.
     pub fn apply(&mut self, ops: &[DeltaOp]) -> Result<usize, MutationError> {
+        if matches!(self.index, StoredIndex::Mapped(_)) && !ops.is_empty() {
+            return Err(MutationError::Invalid(
+                "mmap-served index is read-only; mutate the source .lshe container \
+                 and re-pack"
+                    .into(),
+            ));
+        }
         for (applied, op) in ops.iter().enumerate() {
             match op {
                 DeltaOp::Insert { record, signature } => {
@@ -358,6 +468,10 @@ impl IndexContainer {
     /// [`to_bytes`](Self::to_bytes), whose byte form is always the
     /// canonical committed state.
     pub fn commit_mutations(&mut self) -> CommitReport {
+        if matches!(self.index, StoredIndex::Mapped(_)) {
+            // Nothing can be staged into a read-only container.
+            return CommitReport::default();
+        }
         self.index_mut().commit()
     }
 
@@ -367,13 +481,14 @@ impl IndexContainer {
         match &self.index {
             StoredIndex::Plain(e) => e.staged_len(),
             StoredIndex::Ranked(r) => r.staged_len(),
+            StoredIndex::Mapped(_) => 0,
         }
     }
 
     /// Number of size partitions in the ensemble.
     #[must_use]
     pub fn partition_count(&self) -> usize {
-        self.ensemble().partition_stats().len()
+        self.partition_stats().len()
     }
 
     /// Provenance records for every indexed domain, in build order.
@@ -394,20 +509,22 @@ impl IndexContainer {
     }
 
     /// True when the container stores per-domain ranked sketches (built
-    /// with `--ranked`), enabling [`Self::top_k`], containment estimates,
-    /// and sharded serving.
+    /// with `--ranked`, or packed into a v2 file), enabling
+    /// [`Self::top_k`] and containment estimates.
     #[must_use]
     pub fn has_ranked(&self) -> bool {
-        self.kind() == IndexKind::Ranked
+        matches!(self.kind(), IndexKind::Ranked | IndexKind::Mapped)
     }
 
-    /// The stored (size, sketch) for a domain, when ranked sketches are
-    /// present.
+    /// The stored (size, sketch) for a domain, when heap-resident ranked
+    /// sketches are present. Mapped containers keep sketches on disk and
+    /// return `None` here — query through [`open_index`](Self::open_index)
+    /// instead.
     #[must_use]
     pub fn sketch(&self, id: u32) -> Option<(u64, &Signature)> {
         match &self.index {
             StoredIndex::Ranked(r) => r.sketch(id),
-            StoredIndex::Plain(_) => None,
+            StoredIndex::Plain(_) | StoredIndex::Mapped(_) => None,
         }
     }
 
@@ -462,7 +579,7 @@ impl IndexContainer {
     pub fn describe(&self) -> String {
         let index = self.open_index();
         let mut out = String::new();
-        let config = self.ensemble().config();
+        let config = self.config();
         let _ = writeln!(out, "index: {}", index.describe());
         let _ = writeln!(out, "domains: {}", self.len());
         let _ = writeln!(out, "num_perm: {}", config.num_perm);
@@ -477,7 +594,7 @@ impl IndexContainer {
             if self.has_ranked() { "yes" } else { "no" }
         );
         let _ = writeln!(out, "memory: {} bytes", index.memory_bytes());
-        let stats = self.ensemble().partition_stats();
+        let stats = self.partition_stats();
         let _ = writeln!(out, "partitions: {}", stats.len());
         let _ = writeln!(out, "  #\tsize_range\tdomains");
         for (i, p) in stats.iter().enumerate() {
@@ -486,9 +603,17 @@ impl IndexContainer {
         out
     }
 
-    /// Serialises the container.
+    /// Serialises the container in the v1 format.
+    ///
+    /// # Panics
+    /// Panics on a mapped container — a v2 file *is* its serialised form;
+    /// it is produced by [`pack_v2`](Self::pack_v2), never rewritten.
     #[must_use]
     pub fn to_bytes(&self) -> Vec<u8> {
+        assert!(
+            !matches!(self.index, StoredIndex::Mapped(_)),
+            "mapped containers are not re-serialised; the packed file is canonical"
+        );
         let mut enc = Encoder::with_capacity(64 + self.records.len() * 48);
         enc.envelope(MAGIC, VERSION);
         enc.put_u8(u8::from(self.has_ranked()));
@@ -516,75 +641,333 @@ impl IndexContainer {
         enc.finish()
     }
 
-    /// Deserialises a container.
+    /// Deserialises a v1 container.
     ///
     /// # Errors
     /// [`CodecError`] on truncation, tag/version mismatch, or structural
-    /// inconsistencies.
+    /// inconsistencies. Prefer [`load`](Self::load) when reading from a
+    /// file: it reports the path and failing section, and transparently
+    /// handles packed v2 files.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        Self::decode_v1(bytes).map_err(|(_, e)| e)
+    }
+
+    /// The v1 decoder, reporting which part of the file failed alongside
+    /// the codec error — [`load`](Self::load) surfaces both.
+    fn decode_v1(bytes: &[u8]) -> Result<Self, (&'static str, CodecError)> {
         let mut dec = Decoder::new(bytes);
-        let version = dec.envelope(MAGIC)?;
+        let hdr = |e| ("header", e);
+        let version = dec.envelope(MAGIC).map_err(hdr)?;
         if version > VERSION {
-            return Err(CodecError::UnsupportedVersion {
+            return Err(hdr(CodecError::UnsupportedVersion {
                 found: version,
                 supported: VERSION,
-            });
+            }));
         }
-        let has_ranked = dec.get_u8("flags")? != 0;
-        let num_perm = dec.get_u32("num_perm")? as usize;
-        let count = dec.get_u64("meta count")? as usize;
+        let has_ranked = dec.get_u8("flags").map_err(hdr)? != 0;
+        let num_perm = dec.get_u32("num_perm").map_err(hdr)? as usize;
+        let count = dec.get_u64("meta count").map_err(hdr)? as usize;
+        let rcs = |e| ("domain records", e);
         let mut records = Vec::with_capacity(count.min(1 << 20));
         for _ in 0..count {
             records.push(DomainRecord {
-                id: dec.get_u32("record id")?,
-                size: dec.get_u64("record size")?,
-                table: dec.get_str("record table")?,
-                column: dec.get_str("record column")?,
+                id: dec.get_u32("record id").map_err(rcs)?,
+                size: dec.get_u64("record size").map_err(rcs)?,
+                table: dec.get_str("record table").map_err(rcs)?,
+                column: dec.get_str("record column").map_err(rcs)?,
             });
         }
-        let eb_len = dec.get_u64("ensemble length")? as usize;
+        let ens = |e| ("ensemble", e);
+        let eb_len = dec.get_u64("ensemble length").map_err(ens)? as usize;
         if eb_len > dec.remaining() {
-            return Err(CodecError::Corrupt("ensemble payload exceeds input"));
+            return Err(ens(CodecError::Corrupt("ensemble payload exceeds input")));
         }
         let mut eb = Vec::with_capacity(eb_len);
         for _ in 0..eb_len {
-            eb.push(dec.get_u8("ensemble bytes")?);
+            eb.push(dec.get_u8("ensemble bytes").map_err(ens)?);
         }
-        let ensemble = LshEnsemble::from_bytes(&eb)?;
+        let ensemble = LshEnsemble::from_bytes(&eb).map_err(ens)?;
         if ensemble.len() != records.len() {
-            return Err(CodecError::Corrupt("record count disagrees with ensemble"));
+            return Err(ens(CodecError::Corrupt(
+                "record count disagrees with ensemble",
+            )));
         }
+        let sk = |e| ("sketches", e);
         let index = if has_ranked {
             // Reattach the sketches to the already-decoded ensemble
             // instead of rebuilding every partition forest from scratch.
             let mut sketches = Vec::with_capacity(records.len());
             for rec in &records {
-                let slots = dec.get_u64_vec("sketch slots")?;
+                let slots = dec.get_u64_vec("sketch slots").map_err(sk)?;
                 if slots.len() != num_perm {
-                    return Err(CodecError::Corrupt("sketch width disagrees with config"));
+                    return Err(sk(CodecError::Corrupt(
+                        "sketch width disagrees with config",
+                    )));
                 }
                 if rec.size == 0 {
-                    return Err(CodecError::Corrupt("zero-size record in ranked container"));
+                    return Err(sk(CodecError::Corrupt(
+                        "zero-size record in ranked container",
+                    )));
                 }
                 sketches.push((rec.id, rec.size, Signature::from_slots(slots)));
             }
             let mut seen: Vec<u32> = sketches.iter().map(|&(id, _, _)| id).collect();
             seen.sort_unstable();
             if seen.windows(2).any(|w| w[0] == w[1]) {
-                return Err(CodecError::Corrupt("duplicate id in ranked container"));
+                return Err(sk(CodecError::Corrupt("duplicate id in ranked container")));
             }
             StoredIndex::Ranked(Arc::new(RankedIndex::from_ensemble(ensemble, sketches)))
         } else {
             StoredIndex::Plain(Arc::new(ensemble))
         };
         if !dec.is_exhausted() {
-            return Err(CodecError::Corrupt("trailing bytes after container"));
+            return Err(sk(CodecError::Corrupt("trailing bytes after container")));
         }
         Ok(Self {
             records,
             index,
             num_perm,
         })
+    }
+
+    /// Loads an index file of either generation: a v1 `.lshe` container
+    /// is decoded into heap structures, a packed v2 file (magic
+    /// `LSHEIDX2`) is checksum-verified and memory-mapped in place. The
+    /// format is detected from the file's magic, so callers never pass a
+    /// format flag.
+    ///
+    /// # Errors
+    /// [`LoadError`], carrying the file path and (for decode and checksum
+    /// failures) the section that failed.
+    pub fn load(path: &Path) -> Result<Self, LoadError> {
+        let io_err = |source| LoadError::Io {
+            path: path.to_owned(),
+            source,
+        };
+        let mut head = [0u8; 8];
+        let filled = {
+            use std::io::Read as _;
+            let mut file = std::fs::File::open(path).map_err(io_err)?;
+            let mut filled = 0;
+            while filled < head.len() {
+                match file.read(&mut head[filled..]) {
+                    Ok(0) => break,
+                    Ok(n) => filled += n,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(io_err(e)),
+                }
+            }
+            filled
+        };
+        if filled == head.len() && head == lshe_store::MAGIC {
+            return Self::open_mapped(path);
+        }
+        let bytes = std::fs::read(path).map_err(io_err)?;
+        Self::decode_v1(&bytes).map_err(|(section, source)| LoadError::Decode {
+            path: path.to_owned(),
+            section,
+            source,
+        })
+    }
+
+    /// Opens a packed v2 file as a read-only mapped container: structural
+    /// validation plus a full checksum pass over every section (the
+    /// serving path never trusts unverified bytes), then the provenance
+    /// records are decoded from their sections.
+    ///
+    /// # Errors
+    /// [`LoadError::Store`] naming the failing section, or
+    /// [`LoadError::Io`] from `open(2)`/`mmap(2)`.
+    pub fn open_mapped(path: &Path) -> Result<Self, LoadError> {
+        let store_err = |source| LoadError::Store {
+            path: path.to_owned(),
+            source,
+        };
+        let mapped = MmapIndex::open_verified(path).map_err(store_err)?;
+        let records = Self::decode_packed_records(&mapped).map_err(store_err)?;
+        let num_perm = mapped.config().num_perm;
+        Ok(Self {
+            records,
+            index: StoredIndex::Mapped(Arc::new(mapped)),
+            num_perm,
+        })
+    }
+
+    /// Decodes the provenance records packed next to the index sections
+    /// by [`pack_v2`](Self::pack_v2).
+    fn decode_packed_records(mapped: &MmapIndex) -> Result<Vec<DomainRecord>, MmapIndexError> {
+        let corrupt = |section: SectionKind, detail: &'static str| {
+            MmapIndexError::from(lshe_store::StoreError::Corrupt {
+                section: section.name(),
+                detail,
+            })
+        };
+        let store = mapped.store();
+        let offsets = store.u64s(SectionKind::RecordOffsets)?;
+        let blob = store.bytes(SectionKind::Records)?;
+        let count = offsets
+            .len()
+            .checked_sub(1)
+            .ok_or_else(|| corrupt(SectionKind::RecordOffsets, "offsets table is empty"))?;
+        if count != mapped.len() {
+            return Err(corrupt(
+                SectionKind::RecordOffsets,
+                "record count disagrees with index length",
+            ));
+        }
+        if offsets[0] != 0
+            || offsets.windows(2).any(|w| w[0] > w[1])
+            || offsets[count] != blob.len() as u64
+        {
+            return Err(corrupt(
+                SectionKind::RecordOffsets,
+                "offsets are not a monotone cover of the records blob",
+            ));
+        }
+        let codec = |source| MmapIndexError::Codec {
+            section: SectionKind::Records.name(),
+            source,
+        };
+        let mut records = Vec::with_capacity(count);
+        for pair in offsets.windows(2) {
+            let mut dec = Decoder::new(&blob[pair[0] as usize..pair[1] as usize]);
+            records.push(DomainRecord {
+                id: dec.get_u32("record id").map_err(codec)?,
+                size: dec.get_u64("record size").map_err(codec)?,
+                table: dec.get_str("record table").map_err(codec)?,
+                column: dec.get_str("record column").map_err(codec)?,
+            });
+            if !dec.is_exhausted() {
+                return Err(corrupt(SectionKind::Records, "trailing bytes after record"));
+            }
+        }
+        Ok(records)
+    }
+
+    /// Packs this container into a v2 file at `path`: the checksummed,
+    /// 64-byte-aligned `lshe-store` format that [`load`](Self::load)
+    /// serves in place (see `docs/FORMAT.md`). The index sections are
+    /// written by [`lshe_core::pack_ranked`]; the provenance records ride
+    /// along as two extra sections (an offsets table plus a blob of codec
+    /// records) so a mapped server answers hit provenance and `/stats`
+    /// without the source file.
+    ///
+    /// # Errors
+    /// A message when the container stores no sketches (plain indexes
+    /// have nothing to rank from disk; rebuild with `--ranked`), when it
+    /// is already mapped, when mutations are staged (commit first), or on
+    /// I/O failure.
+    pub fn pack_v2(&self, path: &Path) -> Result<(), String> {
+        let StoredIndex::Ranked(ranked) = &self.index else {
+            return Err(match self.kind() {
+                IndexKind::Mapped => "index is already a packed v2 file".into(),
+                _ => "pack needs per-domain sketches; rebuild the index with --ranked".into(),
+            });
+        };
+        if self.staged_len() > 0 {
+            return Err("commit staged mutations before packing".into());
+        }
+        let io = |e: std::io::Error| format!("{}: {e}", path.display());
+        let mut packer = Packer::create(path).map_err(io)?;
+        lshe_core::pack_ranked(ranked, &mut packer).map_err(io)?;
+        // Provenance: one codec blob per record, sliced by an offsets
+        // table of count + 1 entries (the last is the blob length).
+        let mut offsets: Vec<u64> = Vec::with_capacity(self.records.len() + 1);
+        let mut blob: Vec<u8> = Vec::with_capacity(self.records.len() * 48);
+        for rec in &self.records {
+            offsets.push(blob.len() as u64);
+            let mut enc = Encoder::with_capacity(24 + rec.table.len() + rec.column.len());
+            enc.put_u32(rec.id);
+            enc.put_u64(rec.size);
+            enc.put_str(&rec.table);
+            enc.put_str(&rec.column);
+            blob.extend_from_slice(&enc.finish());
+        }
+        offsets.push(blob.len() as u64);
+        packer
+            .begin_section(SectionKind::RecordOffsets)
+            .map_err(io)?;
+        packer.write_u64s(&offsets).map_err(io)?;
+        packer.end_section();
+        packer.begin_section(SectionKind::Records).map_err(io)?;
+        packer.write(&blob).map_err(io)?;
+        packer.end_section();
+        packer.finish().map_err(io)
+    }
+}
+
+/// Why an index file could not be loaded — every variant carries the file
+/// path, and decode/verification failures name the failing section, so a
+/// bad index never reports a bare codec error (the operator knows *which
+/// file* and *which part* without re-running under a debugger).
+#[derive(Debug)]
+pub enum LoadError {
+    /// Filesystem problem (open, read, or mmap).
+    Io {
+        /// The index file being loaded.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// A v1 container failed to decode.
+    Decode {
+        /// The index file being loaded.
+        path: PathBuf,
+        /// Which part of the container was being decoded ("header",
+        /// "domain records", "ensemble", or "sketches").
+        section: &'static str,
+        /// The underlying codec error.
+        source: CodecError,
+    },
+    /// A packed v2 file failed structural validation, a checksum, or
+    /// cross-section consistency (the inner error names the section).
+    Store {
+        /// The index file being loaded.
+        path: PathBuf,
+        /// The underlying store/index error.
+        source: MmapIndexError,
+    },
+}
+
+impl LoadError {
+    /// The index file that failed to load.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        match self {
+            Self::Io { path, .. } | Self::Decode { path, .. } | Self::Store { path, .. } => path,
+        }
+    }
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io { path, source } => {
+                write!(f, "index file {}: {source}", path.display())
+            }
+            Self::Decode {
+                path,
+                section,
+                source,
+            } => write!(
+                f,
+                "index file {}: {section} section: {source}",
+                path.display()
+            ),
+            Self::Store { path, source } => {
+                write!(f, "index file {}: {source}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io { source, .. } => Some(source),
+            Self::Decode { source, .. } => Some(source),
+            Self::Store { source, .. } => Some(source),
+        }
     }
 }
 
@@ -886,6 +1269,33 @@ mod tests {
     }
 
     #[test]
+    fn from_stream_matches_batch_build() {
+        // The streaming constructor must be value-identical to the batch
+        // one: same records, same index, byte-identical serialisation.
+        let cat = catalog(12);
+        for ranked in [false, true] {
+            let batch = IndexContainer::build(&cat, 3, ranked);
+            let streamed = IndexContainer::from_stream(
+                cat.iter().map(|(id, d)| {
+                    let meta = cat.meta(id);
+                    (d.clone(), DomainMeta::new(&meta.table, &meta.column))
+                }),
+                3,
+                ranked,
+            );
+            assert_eq!(streamed.len(), batch.len());
+            assert_eq!(streamed.kind(), batch.kind());
+            assert_eq!(streamed.to_bytes(), batch.to_bytes(), "ranked={ranked}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one domain")]
+    fn from_stream_rejects_empty_stream() {
+        let _ = IndexContainer::from_stream(std::iter::empty(), 2, true);
+    }
+
+    #[test]
     fn plain_container_rejects_top_k() {
         let cat = catalog(5);
         let built = IndexContainer::build(&cat, 2, false);
@@ -1182,5 +1592,144 @@ mod tests {
         std::fs::write(log.path(), b"garbage").expect("write");
         assert!(matches!(log.read(), Err(DeltaError::Corrupt(_))));
         std::fs::remove_dir_all(log.path().parent().expect("dir")).ok();
+    }
+
+    fn scratch_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("lshe_pack_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    #[test]
+    fn pack_v2_roundtrips_through_mmap() {
+        let dir = scratch_dir("roundtrip");
+        let path = dir.join("idx.lshepk");
+        let cat = catalog(12);
+        let ranked = IndexContainer::build(&cat, 3, true);
+        ranked.pack_v2(&path).expect("pack");
+
+        let mapped = IndexContainer::load(&path).expect("load packed");
+        assert_eq!(mapped.kind(), IndexKind::Mapped);
+        assert!(mapped.has_ranked());
+        assert_eq!(mapped.len(), ranked.len());
+        assert_eq!(mapped.num_perm(), ranked.num_perm());
+        assert_eq!(mapped.records(), ranked.records());
+        assert_eq!(mapped.partition_count(), ranked.partition_count());
+        assert_eq!(mapped.staged_len(), 0);
+
+        // Every query answers identically to the heap-served original.
+        let hasher = MinHasher::new(256);
+        for probe in 0..cat.len() as u32 {
+            let sig = cat.domain(probe).signature(&hasher);
+            let q = 20 * (u64::from(probe) + 1);
+            assert_eq!(
+                mapped.search(&sig, q, 0.7),
+                ranked.search(&sig, q, 0.7),
+                "probe {probe}"
+            );
+            assert_eq!(
+                mapped.top_k(&sig, q, 3).expect("top-k"),
+                ranked.top_k(&sig, q, 3).expect("top-k"),
+                "probe {probe}"
+            );
+        }
+        // Stats surface works without a heap ensemble.
+        assert!(mapped.describe().contains("domains"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pack_v2_guards_plain_staged_and_mapped() {
+        let dir = scratch_dir("guards");
+        let path = dir.join("idx.lshepk");
+        let cat = catalog(6);
+
+        let plain = IndexContainer::build(&cat, 2, false);
+        assert!(plain.pack_v2(&path).unwrap_err().contains("--ranked"));
+
+        let mut staged = IndexContainer::build(&cat, 2, true);
+        staged.apply(&[insert_op(99, 15, 256)]).expect("stage");
+        assert!(staged.pack_v2(&path).unwrap_err().contains("commit staged"));
+        staged.commit_mutations();
+        staged.pack_v2(&path).expect("pack after commit");
+
+        let mapped = IndexContainer::load(&path).expect("load");
+        assert!(mapped.pack_v2(&path).unwrap_err().contains("already"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mapped_container_is_read_only() {
+        let dir = scratch_dir("readonly");
+        let path = dir.join("idx.lshepk");
+        let cat = catalog(8);
+        IndexContainer::build(&cat, 2, true)
+            .pack_v2(&path)
+            .expect("pack");
+        let mut mapped = IndexContainer::load(&path).expect("load");
+
+        // Mutations are a typed refusal, never a silent no-op.
+        let err = mapped.apply(&[insert_op(50, 10, 256)]).unwrap_err();
+        assert!(err.to_string().contains("read-only"), "got {err}");
+        // An empty batch is harmless either way.
+        assert_eq!(mapped.apply(&[]).expect("empty batch"), 0);
+        assert_eq!(mapped.commit_mutations().merged, 0);
+
+        // In-process sharding and splitting point at the v1 workflow.
+        assert!(mapped
+            .open_index_sharded(2)
+            .unwrap_err()
+            .contains("cluster"));
+        assert!(mapped.split_with(2, |id, n| id as usize % n).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_errors_name_path_and_section() {
+        let dir = scratch_dir("loaderr");
+
+        // Missing file: an I/O error carrying the path.
+        let missing = dir.join("absent.lshe");
+        let err = IndexContainer::load(&missing).unwrap_err();
+        assert!(matches!(err, LoadError::Io { .. }));
+        assert_eq!(err.path(), missing.as_path());
+        assert!(err.to_string().contains("absent.lshe"));
+
+        // Truncated v1 container: the failing section is named.
+        let cat = catalog(5);
+        let bytes = IndexContainer::build(&cat, 2, true).to_bytes();
+        let cut = dir.join("cut.lshe");
+        std::fs::write(&cut, &bytes[..bytes.len() - 1]).expect("write");
+        let err = IndexContainer::load(&cut).unwrap_err();
+        match &err {
+            LoadError::Decode { section, .. } => assert_eq!(*section, "sketches"),
+            other => panic!("expected Decode, got {other:?}"),
+        }
+        assert!(err.to_string().contains("cut.lshe"), "got {err}");
+        assert!(err.to_string().contains("sketches section"), "got {err}");
+
+        // Garbage magic decodes as v1 and fails in the header.
+        let junk = dir.join("junk.lshe");
+        std::fs::write(&junk, b"not an index at all").expect("write");
+        match IndexContainer::load(&junk).unwrap_err() {
+            LoadError::Decode { section, .. } => assert_eq!(section, "header"),
+            other => panic!("expected Decode, got {other:?}"),
+        }
+
+        // A flipped byte in a packed v2 section is a checksum error
+        // that names the damaged section.
+        let packed = dir.join("idx.lshepk");
+        IndexContainer::build(&cat, 2, true)
+            .pack_v2(&packed)
+            .expect("pack");
+        let mut v2 = std::fs::read(&packed).expect("read");
+        let last = v2.len() - 1;
+        v2[last] ^= 0x01;
+        std::fs::write(&packed, &v2).expect("write");
+        let err = IndexContainer::load(&packed).unwrap_err();
+        assert!(matches!(err, LoadError::Store { .. }), "got {err:?}");
+        assert!(err.to_string().contains("idx.lshepk"), "got {err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -13,7 +13,7 @@
 //! all answer through the same trait — the engine never matches on a
 //! concrete index type.
 
-use crate::container::{DeltaLog, DeltaOp, IndexContainer};
+use crate::container::{DeltaLog, DeltaOp, IndexContainer, IndexKind, LoadError};
 use lshe_core::{CommitReport, DomainIndex, Query, QueryError, SearchOutcome};
 use lshe_minhash::{MinHasher, Signature};
 use std::collections::HashSet;
@@ -54,6 +54,18 @@ impl std::error::Error for EngineError {}
 impl From<std::io::Error> for EngineError {
     fn from(e: std::io::Error) -> Self {
         Self::Io(e)
+    }
+}
+
+impl From<LoadError> for EngineError {
+    fn from(e: LoadError) -> Self {
+        match e {
+            // Keep plain filesystem failures in the Io lane (callers map
+            // it to exit codes); decode and checksum failures carry the
+            // path and failing section in their rendered message.
+            LoadError::Io { source, .. } => Self::Io(source),
+            other => Self::Index(other.to_string()),
+        }
     }
 }
 
@@ -212,14 +224,24 @@ impl Engine {
     /// [`EngineError`] on I/O failure, a corrupt file, an invalid shard
     /// configuration, or a corrupt/torn delta log (typed, never a panic).
     pub fn load(path: &Path, shards: usize) -> Result<Self, EngineError> {
-        let bytes = std::fs::read(path)?;
-        let container = IndexContainer::from_bytes(&bytes)
-            .map_err(|e| EngineError::Index(format!("{}: {e}", path.display())))?;
+        let container = IndexContainer::load(path)?;
         let log = DeltaLog::sidecar(path);
         let ops = log
             .read()
             .map_err(|e| EngineError::Index(format!("{}: {e}", log.path().display())))?;
         let had_ops = !ops.is_empty();
+        if had_ops && container.kind() == IndexKind::Mapped {
+            // A packed file can never embody logged mutations, so a
+            // non-empty sidecar means ops staged against some other
+            // generation landed next to it — refuse loudly rather than
+            // silently dropping them.
+            return Err(EngineError::Index(format!(
+                "{}: packed index has a non-empty delta sidecar ({}); packed files are \
+                 read-only — re-pack from the mutated source container and remove the log",
+                path.display(),
+                log.path().display(),
+            )));
+        }
         let pending = Self::replay_pending(&container, ops)?;
         if had_ops && pending.ops.is_empty() {
             // Every logged op is already embodied in the base file — the
@@ -359,6 +381,20 @@ impl Engine {
         self.stage_insert_as(table, column, size, signature, None)
     }
 
+    /// Mutation guard for mapped snapshots: a packed v2 file is served in
+    /// place and read-only, so staging against it is a typed refusal —
+    /// before anything reaches the delta log.
+    fn reject_mapped(snap: &Snapshot) -> Result<(), EngineError> {
+        if snap.container().kind() == IndexKind::Mapped {
+            return Err(EngineError::Mutation(
+                "index is mmap-served and read-only; mutate the source .lshe container \
+                 and re-pack"
+                    .into(),
+            ));
+        }
+        Ok(())
+    }
+
     /// [`stage_insert`](Self::stage_insert) with an optional explicit id —
     /// the cluster path: the coordinator allocates cluster-wide ids (so
     /// shards cannot collide) and routes each insert to the shard the id
@@ -387,6 +423,7 @@ impl Engine {
         // concurrent commit already replaced.
         let mut pending = self.pending.lock().expect("pending lock poisoned");
         let snap = self.snapshot();
+        Self::reject_mapped(&snap)?;
         let num_perm = snap.container().num_perm();
         if signature.len() != num_perm {
             return Err(EngineError::Mutation(format!(
@@ -444,6 +481,7 @@ impl Engine {
         // (which could log an op that can never apply).
         let mut pending = self.pending.lock().expect("pending lock poisoned");
         let snap = self.snapshot();
+        Self::reject_mapped(&snap)?;
         let committed = snap.container().record(id).is_some();
         let staged = pending.staged_inserts.contains(&id);
         if pending.staged_removes.contains(&id) {
@@ -586,9 +624,7 @@ impl Engine {
                     )
                 })?,
         };
-        let bytes = std::fs::read(&target)?;
-        let container = IndexContainer::from_bytes(&bytes)
-            .map_err(|e| EngineError::Index(format!("{}: {e}", target.display())))?;
+        let container = IndexContainer::load(&target)?;
         let generation = self.generation.fetch_add(1, Ordering::SeqCst) + 1;
         let snapshot = Arc::new(Snapshot::new(container, self.shards, generation)?);
         *self.path.write().expect("engine lock poisoned") = Some(target);
@@ -940,5 +976,57 @@ mod tests {
             engine.reload(None).unwrap_err(),
             EngineError::Config(_)
         ));
+    }
+
+    #[test]
+    fn packed_index_serves_in_place_and_rejects_mutation() {
+        let dir = std::env::temp_dir().join(format!("lshe_engine_packed_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let packed = dir.join("idx.lshepk");
+        let cat = catalog(8);
+        let source = IndexContainer::build(&cat, 2, true);
+        source.pack_v2(&packed).expect("pack");
+
+        let engine = Engine::load(&packed, 1).expect("load packed");
+        let snap = engine.snapshot();
+        assert_eq!(snap.container().kind(), crate::container::IndexKind::Mapped);
+
+        // Served answers match the heap container it was packed from.
+        let hasher = MinHasher::new(snap.container().num_perm());
+        let sig = cat.domain(3).signature(&hasher);
+        let hits = snap.search(&sig, 80, 0.7);
+        assert_eq!(hits, source.search(&sig, 80, 0.7));
+        assert!(hits.iter().any(|&(id, _)| id == 3));
+
+        // Mutations are typed refusals before anything reaches a log.
+        let err = engine
+            .stage_insert("t".into(), "col".into(), 25, sig.clone())
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Mutation(_)), "got {err}");
+        assert!(err.to_string().contains("read-only"), "got {err}");
+        let err = engine.stage_remove(0).unwrap_err();
+        assert!(err.to_string().contains("read-only"), "got {err}");
+        assert!(!DeltaLog::sidecar(&packed).exists(), "nothing was logged");
+        drop(engine);
+
+        // A stale non-empty delta sidecar next to a packed file is a
+        // typed load failure, never silently dropped ops.
+        let log = DeltaLog::sidecar(&packed);
+        log.append(&DeltaOp::Remove { id: 0 }).expect("append");
+        let err = Engine::load(&packed, 1).unwrap_err();
+        assert!(matches!(err, EngineError::Index(_)), "got {err}");
+        assert!(err.to_string().contains("delta sidecar"), "got {err}");
+        log.clear().expect("clear");
+
+        // Hot reload crosses generations: v1 file in, packed file in.
+        let v1 = dir.join("idx.lshe");
+        std::fs::write(&v1, source.to_bytes()).expect("write v1");
+        let engine = Engine::load(&v1, 1).expect("load v1");
+        let new = engine.reload(Some(&packed)).expect("reload onto packed");
+        assert_eq!(new.generation(), 2);
+        assert_eq!(new.container().kind(), crate::container::IndexKind::Mapped);
+        assert_eq!(new.search(&sig, 80, 0.7), source.search(&sig, 80, 0.7));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,228 @@
+//! A std-only `mmap(2)` facade.
+//!
+//! Serving an index in place needs one thing the standard library does not
+//! expose: "give me the file's bytes as a borrowable region backed by the
+//! page cache". With no crates.io access, this module declares the three
+//! libc symbols it needs — `mmap`, `munmap`, `madvise` — and builds a safe
+//! read-only mapping type over them, the same shape as `lshe-serve`'s
+//! epoll/poll shim.
+//!
+//! Mappings are always `PROT_READ` + `MAP_PRIVATE`: the store never writes
+//! through a mapping, and a private mapping keeps a concurrently-truncated
+//! file from feeding writes back. A mapping outlives the [`std::fs::File`]
+//! it was created from (the kernel keeps the inode pinned), so callers can
+//! drop the file handle immediately after mapping.
+
+pub use sys::Mmap;
+
+/// Paging advice forwarded to `madvise(2)`. Advisory only: failures are
+/// ignored (a kernel that rejects advice still serves the mapping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Advice {
+    /// Expect sequential access (aggressive readahead) — the verify pass.
+    Sequential,
+    /// Expect random access (minimal readahead) — query serving.
+    Random,
+    /// Populate the page cache soon — warmup before a latency-sensitive
+    /// benchmark or cutover.
+    WillNeed,
+}
+
+#[cfg(unix)]
+mod sys {
+    //! POSIX `mmap` backend. The constants used here (`PROT_READ = 1`,
+    //! `MAP_PRIVATE = 2`, and the three `MADV_*` values) have the same
+    //! numeric values on Linux and the BSD family, so one module covers
+    //! every Unix this workspace builds on.
+
+    use super::Advice;
+    use std::fs::File;
+    use std::io;
+    use std::os::raw::{c_int, c_void};
+    use std::os::unix::io::AsRawFd;
+
+    const PROT_READ: c_int = 1;
+    const MAP_PRIVATE: c_int = 2;
+    const MADV_RANDOM: c_int = 1;
+    const MADV_SEQUENTIAL: c_int = 2;
+    const MADV_WILLNEED: c_int = 3;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> c_int;
+        fn madvise(addr: *mut c_void, len: usize, advice: c_int) -> c_int;
+    }
+
+    /// `MAP_FAILED`: mmap's error sentinel is all-ones, not null.
+    const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+
+    /// A read-only, page-cache-backed mapping of an entire file.
+    #[derive(Debug)]
+    pub struct Mmap {
+        /// Null only for the zero-length mapping (mmap rejects `len == 0`,
+        /// so empty files get a dangling empty slice instead).
+        ptr: *mut c_void,
+        len: usize,
+    }
+
+    // SAFETY: the mapping is immutable (PROT_READ) for its whole lifetime,
+    // so shared references to its bytes are valid from any thread.
+    unsafe impl Send for Mmap {}
+    unsafe impl Sync for Mmap {}
+
+    impl Mmap {
+        /// Maps the whole of `file` read-only.
+        ///
+        /// # Errors
+        /// Propagates `mmap` failure (or the metadata read used for the
+        /// length).
+        pub fn map_file(file: &File) -> io::Result<Self> {
+            let len = file.metadata()?.len();
+            let len = usize::try_from(len).map_err(|_| {
+                io::Error::new(io::ErrorKind::InvalidInput, "file exceeds address space")
+            })?;
+            if len == 0 {
+                return Ok(Self {
+                    ptr: std::ptr::null_mut(),
+                    len: 0,
+                });
+            }
+            // SAFETY: fd is a live file descriptor and len matches the file
+            // size; the kernel validates everything else.
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr == MAP_FAILED {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Self { ptr, len })
+        }
+
+        /// The mapped bytes.
+        #[must_use]
+        pub fn as_slice(&self) -> &[u8] {
+            if self.len == 0 {
+                return &[];
+            }
+            // SAFETY: ptr/len describe a live PROT_READ mapping owned by
+            // self; the region is never written through this mapping.
+            unsafe { std::slice::from_raw_parts(self.ptr.cast::<u8>(), self.len) }
+        }
+
+        /// Mapping length in bytes.
+        #[must_use]
+        pub fn len(&self) -> usize {
+            self.len
+        }
+
+        /// True for the mapping of an empty file.
+        #[must_use]
+        pub fn is_empty(&self) -> bool {
+            self.len == 0
+        }
+
+        /// Forwards paging advice to the kernel. Best-effort: errors are
+        /// swallowed (advice never affects correctness).
+        pub fn advise(&self, advice: Advice) {
+            if self.len == 0 {
+                return;
+            }
+            let flag = match advice {
+                Advice::Sequential => MADV_SEQUENTIAL,
+                Advice::Random => MADV_RANDOM,
+                Advice::WillNeed => MADV_WILLNEED,
+            };
+            // SAFETY: ptr/len describe a live mapping owned by self.
+            unsafe { madvise(self.ptr, self.len, flag) };
+        }
+    }
+
+    impl Drop for Mmap {
+        fn drop(&mut self) {
+            if self.len > 0 {
+                // SAFETY: ptr/len describe a live mapping owned by this
+                // instance and unmapped exactly once.
+                unsafe { munmap(self.ptr, self.len) };
+            }
+        }
+    }
+}
+
+#[cfg(not(unix))]
+compile_error!(
+    "lshe-store's in-place reader needs POSIX mmap(2); \
+     no backend exists for this target"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+
+    fn tmp(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("lshe_mmap_{name}_{}", std::process::id()));
+        let mut f = std::fs::File::create(&path).expect("create");
+        f.write_all(bytes).expect("write");
+        path
+    }
+
+    #[test]
+    fn maps_file_contents() {
+        let path = tmp("basic", b"hello mapped world");
+        let file = std::fs::File::open(&path).expect("open");
+        let map = Mmap::map_file(&file).expect("map");
+        drop(file); // mapping must outlive the handle
+        assert_eq!(map.as_slice(), b"hello mapped world");
+        assert_eq!(map.len(), 18);
+        assert!(!map.is_empty());
+        map.advise(Advice::Sequential);
+        map.advise(Advice::Random);
+        map.advise(Advice::WillNeed);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_maps_empty() {
+        let path = tmp("empty", b"");
+        let file = std::fs::File::open(&path).expect("open");
+        let map = Mmap::map_file(&file).expect("map");
+        assert!(map.is_empty());
+        assert_eq!(map.as_slice(), b"");
+        map.advise(Advice::Random); // no-op, must not crash
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mapping_shared_across_threads() {
+        let body: Vec<u8> = (0..8192u32).flat_map(u32::to_le_bytes).collect();
+        let path = tmp("threads", &body);
+        let file = std::fs::File::open(&path).expect("open");
+        let map = std::sync::Arc::new(Mmap::map_file(&file).expect("map"));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = std::sync::Arc::clone(&map);
+                std::thread::spawn(move || m.as_slice().iter().map(|&b| b as u64).sum::<u64>())
+            })
+            .collect();
+        let sums: Vec<u64> = handles
+            .into_iter()
+            .map(|h| h.join().expect("join"))
+            .collect();
+        assert!(sums.windows(2).all(|w| w[0] == w[1]));
+        std::fs::remove_file(&path).ok();
+    }
+}

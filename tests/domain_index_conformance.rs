@@ -16,13 +16,15 @@
 //!   panics.
 
 use lshe_core::{
-    AsymIndexBuilder, AsymPartitionedIndex, DomainIndex, EnsembleConfig, ForestIndex, LshEnsemble,
-    MutableIndex, PartitionStrategy, Query, QueryError, RankedIndex, ShardedEnsemble,
-    ShardedRanked,
+    pack_ranked, AsymIndexBuilder, AsymPartitionedIndex, DomainIndex, EnsembleConfig, ForestIndex,
+    LshEnsemble, MmapIndex, MutableIndex, PartitionStrategy, Query, QueryError, RankedIndex,
+    ShardedEnsemble, ShardedRanked,
 };
 use lshe_corpus::{Catalog, Domain, DomainMeta, ExactIndex};
 use lshe_lsh::DomainId;
 use lshe_minhash::{MinHasher, Signature};
+use lshe_store::Packer;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 const N: usize = 24;
@@ -77,6 +79,24 @@ fn config() -> EnsembleConfig {
     }
 }
 
+/// Packs `ranked` into a scratch v2 file and opens it through `mmap(2)`;
+/// the file is unlinked immediately (the mapping keeps it alive), so the
+/// backend really does answer from borrowed page-cache memory.
+fn mmap_backend(ranked: &RankedIndex) -> MmapIndex {
+    static UNIQUE: AtomicU64 = AtomicU64::new(0);
+    let path = std::env::temp_dir().join(format!(
+        "lshe_conformance_{}_{}.lshepk",
+        std::process::id(),
+        UNIQUE.fetch_add(1, Ordering::Relaxed)
+    ));
+    let mut packer = Packer::create(&path).expect("create packer");
+    pack_ranked(ranked, &mut packer).expect("pack ranked sections");
+    packer.finish().expect("finish pack");
+    let mapped = MmapIndex::open_verified(&path).expect("open packed file");
+    let _ = std::fs::remove_file(&path);
+    mapped
+}
+
 /// Every sketch-based backend, boxed behind the one trait.
 fn backends(w: &World) -> Vec<(&'static str, Box<dyn DomainIndex>)> {
     let mut ensemble = LshEnsemble::builder_with(config());
@@ -94,11 +114,13 @@ fn backends(w: &World) -> Vec<(&'static str, Box<dyn DomainIndex>)> {
     forest.commit();
     let ranked = Arc::new(ranked.build());
     let sharded_ranked = ShardedRanked::build(Arc::clone(&ranked), 3, config());
+    let mapped = mmap_backend(&ranked);
     vec![
         ("ensemble", Box::new(ensemble.build())),
         ("ranked", Box::new(ranked)),
         ("sharded", Box::new(sharded.build())),
         ("sharded_ranked", Box::new(sharded_ranked)),
+        ("mmap", Box::new(mapped)),
         ("forest", Box::new(forest)),
         ("asym", Box::new(asym.build())),
         (
@@ -202,7 +224,7 @@ fn containment_estimates_agree_with_exact_scores() {
             .unwrap_or_else(|e| panic!("{name}: {e}"));
         let with_estimates = out.hits.iter().any(|h| h.estimate.is_some());
         // Ranked backends must estimate; unranked ones must not.
-        let should_estimate = matches!(name, "ranked" | "sharded_ranked");
+        let should_estimate = matches!(name, "ranked" | "sharded_ranked" | "mmap");
         assert_eq!(
             with_estimates, should_estimate,
             "{name}: estimate presence mismatch"
@@ -234,7 +256,7 @@ fn top_k_ranks_the_self_match_first() {
         let (_, size, sig) = &w.entries[q];
         let result = index.search(&Query::top_k(sig, 5).with_size(*size));
         match name {
-            "ranked" | "sharded_ranked" => {
+            "ranked" | "sharded_ranked" | "mmap" => {
                 let out = result.unwrap_or_else(|e| panic!("{name}: {e}"));
                 assert_eq!(out.hits.len(), 5, "{name}: wrong k");
                 assert_eq!(out.hits[0].id, q as DomainId, "{name}: self not first");
@@ -372,7 +394,7 @@ fn top_k_zero_and_oversized_k_are_normalized() {
         );
         let oversized = index.search(&Query::top_k(sig, 10 * N).with_size(*size));
         match name {
-            "ranked" | "sharded_ranked" => {
+            "ranked" | "sharded_ranked" | "mmap" => {
                 let out = oversized.unwrap_or_else(|e| panic!("{name}: oversized k errored: {e}"));
                 assert!(
                     !out.hits.is_empty() && out.hits.len() <= N,

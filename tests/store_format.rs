@@ -1,0 +1,254 @@
+//! Corruption robustness of the packed v2 store format.
+//!
+//! A serving node must never crash on — or silently answer from — a
+//! damaged index file. This suite packs a real container, then damages
+//! the file every way the format can detect: a bit flipped in every
+//! section payload, in the header, and in the section table; truncation
+//! at every structural boundary; and a wrong magic. Every case must
+//! produce a *typed* error naming what is wrong (and, through the
+//! container, which file), never a panic and never a clean load.
+
+use lshe_datagen::{generate_catalog, CorpusConfig};
+use lshe_serve::container::LoadError;
+use lshe_serve::IndexContainer;
+use lshe_store::{Store, StoreError, HEADER_LEN, MAGIC};
+use std::path::PathBuf;
+
+/// Fresh per-test scratch dir (parallel tests must not collide).
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lshe_store_format_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Builds a ranked container and packs it; returns the packed bytes and
+/// the container (for answer comparison).
+fn packed_fixture(dir: &std::path::Path) -> (Vec<u8>, IndexContainer) {
+    let catalog = generate_catalog(&CorpusConfig::tiny(60, 77));
+    let container = IndexContainer::build(&catalog, 4, true);
+    let path = dir.join("clean.lshepk");
+    container.pack_v2(&path).expect("pack");
+    let bytes = std::fs::read(&path).expect("read packed");
+    (bytes, container)
+}
+
+/// Writes `bytes` to a file and runs both load paths, asserting neither
+/// panics and both fail; returns the container-load error for inspection.
+fn load_damaged(dir: &std::path::Path, name: &str, bytes: &[u8]) -> LoadError {
+    let path = dir.join(name);
+    std::fs::write(&path, bytes).expect("write damaged");
+    let err = IndexContainer::load(&path).expect_err("damaged file must not load");
+    // The error must say which file is bad.
+    assert_eq!(err.path(), path, "error must carry the file path");
+    err
+}
+
+#[test]
+fn bit_flip_in_every_section_is_a_typed_checksum_error() {
+    let dir = scratch("flip_sections");
+    let (clean, container) = packed_fixture(&dir);
+
+    // Discover the section layout from the clean file.
+    let clean_path = dir.join("clean.lshepk");
+    let store = Store::open(&clean_path).expect("clean store opens");
+    let sections: Vec<(&'static str, u64, u64)> = store
+        .sections()
+        .iter()
+        .map(|s| (s.kind.name(), s.offset, s.len))
+        .collect();
+    drop(store);
+    assert!(
+        sections.len() >= 9,
+        "fixture should populate every section kind, got {sections:?}"
+    );
+
+    for (name, offset, len) in sections {
+        assert!(len > 0, "section {name} is empty");
+        // Flip one bit at the start, middle, and end of the payload.
+        for probe in [offset, offset + len / 2, offset + len - 1] {
+            let mut bytes = clean.clone();
+            bytes[probe as usize] ^= 0x10;
+            let file = format!("flip_{}_{probe}.lshepk", name.replace(' ', "_"));
+
+            // Store layer: structural open succeeds (payloads are not
+            // read), verify pins the damage to the named section.
+            let path = dir.join(&file);
+            std::fs::write(&path, &bytes).expect("write");
+            let store = Store::open(&path).expect("structural open is O(sections)");
+            match store.verify() {
+                Err(StoreError::SectionChecksum { section, .. }) => {
+                    assert_eq!(section, name, "wrong section blamed at byte {probe}");
+                }
+                other => {
+                    panic!("section {name} byte {probe}: expected checksum error, got {other:?}")
+                }
+            }
+            drop(store);
+
+            // Serving layer: the container refuses the file outright —
+            // corruption can never reach query execution.
+            let err = load_damaged(&dir, &file, &bytes);
+            let msg = err.to_string();
+            assert!(
+                msg.contains(name),
+                "container error must name section {name:?}, got: {msg}"
+            );
+        }
+    }
+
+    // The clean file still answers identically to the source container —
+    // the fixture itself is sound.
+    let reopened = IndexContainer::load(&clean_path).expect("clean file loads");
+    let (size, sig) = container.sketch(3).expect("ranked fixture");
+    assert_eq!(
+        reopened.search(sig, size, 0.6),
+        container.search(sig, size, 0.6),
+        "clean packed file must answer like its source"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn header_and_table_damage_is_detected() {
+    let dir = scratch("flip_header");
+    let (clean, _) = packed_fixture(&dir);
+
+    // Every byte of the checksummed header prefix (magic, version,
+    // lengths, table pointer, checksums) must be load-bearing.
+    for probe in 0..40usize {
+        let mut bytes = clean.clone();
+        bytes[probe] ^= 0x04;
+        let err = load_damaged(&dir, &format!("hdr_{probe}.lshepk"), &bytes);
+        // v1 fallback must not kick in either: damage inside the magic
+        // makes the file *neither* format, and the error still points at
+        // a structural problem rather than a clean parse.
+        let msg = err.to_string();
+        assert!(!msg.is_empty());
+    }
+
+    // The section table is checksummed independently of the header. Its
+    // location comes from the header itself (the packer appends it after
+    // the last section payload).
+    let section_count = u32::from_le_bytes(clean[16..20].try_into().expect("4 bytes")) as usize;
+    let table_offset = u64::from_le_bytes(clean[24..32].try_into().expect("8 bytes")) as usize;
+    assert!(
+        table_offset >= HEADER_LEN && section_count > 0,
+        "sane header"
+    );
+    // Flip one bit in every table entry; each must be caught by the
+    // table CRC before any entry is trusted.
+    for entry in 0..section_count {
+        let probe = table_offset + entry * 32 + 17;
+        let mut bytes = clean.clone();
+        bytes[probe] ^= 0x01;
+        let path = dir.join(format!("table_{entry}.lshepk"));
+        std::fs::write(&path, &bytes).expect("write");
+        match Store::open(&path) {
+            Err(StoreError::TableChecksum { .. }) => {}
+            other => panic!("table entry {entry}: expected TableChecksum, got {other:?}"),
+        }
+        let _ = load_damaged(&dir, &format!("table_c_{entry}.lshepk"), &bytes);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncation_at_every_boundary_is_typed() {
+    let dir = scratch("truncate");
+    let (clean, _) = packed_fixture(&dir);
+
+    // Below the header: too short to be anything.
+    for cut in [0usize, 1, 7, 8, 39, HEADER_LEN - 1] {
+        let bytes = clean[..cut].to_vec();
+        let path = dir.join(format!("cut_{cut}.lshepk"));
+        std::fs::write(&path, &bytes).expect("write");
+        match Store::open(&path) {
+            Err(StoreError::Truncated { .. } | StoreError::BadMagic { .. }) => {}
+            other => panic!("cut at {cut}: expected truncation/magic error, got {other:?}"),
+        }
+        // The container layer sees a too-short head as a v1 candidate or
+        // a store failure; either way it must error with the path.
+        if cut >= 8 {
+            let _ = load_damaged(&dir, &format!("cut_c_{cut}.lshepk"), &bytes);
+        }
+    }
+
+    // Past the header: the table or a section runs off the end.
+    for frac in [4usize, 2] {
+        let cut = clean.len() / frac;
+        let bytes = clean[..cut].to_vec();
+        let path = dir.join(format!("cut_mid_{frac}.lshepk"));
+        std::fs::write(&path, &bytes).expect("write");
+        match Store::open(&path) {
+            Err(
+                StoreError::Truncated { .. }
+                | StoreError::SectionBounds { .. }
+                | StoreError::TableChecksum { .. },
+            ) => {}
+            Ok(_) => panic!("cut at {cut} of {} must not open", clean.len()),
+            Err(other) => panic!("cut at {cut}: unexpected error class {other:?}"),
+        }
+        let _ = load_damaged(&dir, &format!("cut_midc_{frac}.lshepk"), &bytes);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wrong_magic_is_rejected_not_misparsed() {
+    let dir = scratch("magic");
+    let (clean, _) = packed_fixture(&dir);
+
+    // A file that *almost* has the magic.
+    let mut bytes = clean.clone();
+    bytes[7] = b'3';
+    let path = dir.join("near_magic.lshepk");
+    std::fs::write(&path, &bytes).expect("write");
+    match Store::open(&path) {
+        Err(StoreError::BadMagic { found }) => {
+            assert_eq!(&found[..7], &MAGIC[..7], "prefix preserved in report");
+        }
+        other => panic!("expected BadMagic, got {other:?}"),
+    }
+
+    // Arbitrary garbage of plausible size: the store must reject it, and
+    // the container must fail its v1 fallback with a typed decode error
+    // rather than panic.
+    let garbage: Vec<u8> = (0..4096u32).map(|i| (i * 31 % 251) as u8).collect();
+    assert!(matches!(
+        Store::open({
+            let p = dir.join("garbage.lshepk");
+            std::fs::write(&p, &garbage).expect("write");
+            p
+        }),
+        Err(StoreError::BadMagic { .. })
+    ));
+    let err = load_damaged(&dir, "garbage2.lshepk", &garbage);
+    assert!(
+        matches!(err, LoadError::Decode { .. }),
+        "garbage falls through to the v1 decoder and fails typed: {err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn version_from_the_future_is_refused() {
+    let dir = scratch("version");
+    let (clean, _) = packed_fixture(&dir);
+    let mut bytes = clean.clone();
+    // Bump the version field and re-seal the header checksum so ONLY the
+    // version differs — the reader must refuse on version, not checksum.
+    bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+    let reseal = lshe_store::crc32(&bytes[0..36]);
+    bytes[36..40].copy_from_slice(&reseal.to_le_bytes());
+    let path = dir.join("future.lshepk");
+    std::fs::write(&path, &bytes).expect("write");
+    match Store::open(&path) {
+        Err(StoreError::UnsupportedVersion { found, supported }) => {
+            assert_eq!(found, 99);
+            assert_eq!(supported, lshe_store::VERSION);
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
