@@ -1,0 +1,139 @@
+//! Mutation-path benchmark: segmented commit (seal, O(staged delta))
+//! versus the stop-the-world rebuild (compact, O(corpus)) across a 10×
+//! corpus sweep — the numbers behind `BENCH_mutation.json`.
+//!
+//! Each sweep point streams a WDC-like corpus into a ranked
+//! `IndexContainer`, stages one delta batch (inserts plus removals of
+//! earlier live inserts), and times the two paths that can absorb it:
+//!
+//! * `commit_seal` — `IndexContainer::commit_mutations`: the staged delta
+//!   becomes an immutable sealed segment; the base partitioning is not
+//!   touched. This is what `POST /commit` pays since the tiered rework.
+//! * `compact_rebuild` — `IndexContainer::compact_index`: segments and
+//!   tombstones fold into the base, which is rebuilt from the retained
+//!   sketches. This is exactly what every commit used to pay, now run off
+//!   the commit path (background merger, `lshe compact`).
+//!
+//! The CI gates derive from the sweep: seal latency must stay flat (≤2×
+//! from the smallest to the 10× corpus — it only depends on the delta),
+//! while the rebuild must grow with the corpus (≥4× across the sweep,
+//! i.e. visibly linear), proving the O(corpus) work really left the
+//! commit path.
+
+use lshe_bench::{report, workload, Args};
+use lshe_datagen::{CorpusConfig, CorpusStream};
+use lshe_minhash::MinHasher;
+use lshe_serve::container::{DeltaOp, DomainRecord, IndexContainer};
+
+/// One staged delta batch: `batch` inserts of fresh synthetic domains and
+/// `batch / 4` removals of live ids from the previous round, so sealing
+/// covers both tombstone creation and segment build.
+fn staged_batch(
+    hasher: &MinHasher,
+    first_id: u32,
+    batch: usize,
+    previous: &[u32],
+) -> (Vec<DeltaOp>, Vec<u32>) {
+    let mut ops = Vec::with_capacity(batch + batch / 4);
+    let mut live = Vec::with_capacity(batch);
+    for k in 0..batch {
+        let id = first_id + k as u32;
+        let values = (0..40u64).map(|j| (u64::from(id) << 20) | j);
+        ops.push(DeltaOp::Insert {
+            record: DomainRecord {
+                id,
+                size: 40,
+                table: "live".to_owned(),
+                column: "col".to_owned(),
+            },
+            signature: hasher.signature(values),
+        });
+        live.push(id);
+    }
+    for id in previous.iter().take(batch / 4) {
+        ops.push(DeltaOp::Remove { id: *id });
+    }
+    (ops, live)
+}
+
+fn main() {
+    let args = Args::from_env();
+    let scale = args.get_f64("scale", 1.0);
+    let base = (args.get_usize("domains", 2_000) as f64 * scale).round() as usize;
+    let batch = args.get_usize("batch", 64);
+    let repeats = args.get_usize("repeats", 5);
+    let partitions = args.get_usize("partitions", 16);
+    let seed = args.get_u64("seed", 42);
+
+    report::banner(
+        "mutation_path",
+        "segmented commit (seal) vs stop-the-world rebuild across a 10x corpus sweep",
+        &[
+            ("base_domains", base.to_string()),
+            ("scale", report::f2(scale)),
+            ("batch", batch.to_string()),
+            ("repeats", repeats.to_string()),
+            ("partitions", partitions.to_string()),
+            ("seed", seed.to_string()),
+        ],
+    );
+
+    report::header(&["domains", "commit_seal_us", "compact_rebuild_us"]);
+    let mut seal_us = Vec::new();
+    let mut rebuild_us = Vec::new();
+    for mult in [1.0f64, 2.0, 4.0, 10.0] {
+        let domains = (base as f64 * mult).round() as usize;
+        let mut config = CorpusConfig::wdc_web_tables_like(domains);
+        config.seed = seed;
+        let mut container =
+            IndexContainer::from_stream(CorpusStream::new(config), partitions, true);
+        let hasher = MinHasher::new(container.num_perm());
+
+        // Seal phase: each repeat stages a fresh delta and times ONLY the
+        // commit — cost must track the delta, never the corpus.
+        let mut previous: Vec<u32> = Vec::new();
+        let mut seal_total = 0.0;
+        for _ in 0..repeats {
+            let (ops, live) = staged_batch(&hasher, container.next_id(), batch, &previous);
+            container.apply(&ops).expect("stage delta");
+            let (report, secs) = workload::timed(|| container.commit_mutations());
+            assert!(report.sealed, "commit must seal a non-empty delta");
+            seal_total += secs;
+            previous = live;
+        }
+        let seal = seal_total / repeats as f64;
+
+        // Rebuild phase: stage another delta, then time the fold — the
+        // old commit path, expected to scale with the corpus.
+        let mut rebuild_total = 0.0;
+        for _ in 0..repeats {
+            let (ops, live) = staged_batch(&hasher, container.next_id(), batch, &previous);
+            container.apply(&ops).expect("stage delta");
+            let (_, secs) = workload::timed(|| container.compact_index());
+            let stats = container.segment_stats();
+            assert_eq!(
+                (stats.segments, stats.tombstones),
+                (0, 0),
+                "compaction must drain segments and tombstones"
+            );
+            rebuild_total += secs;
+            previous = live;
+        }
+        let rebuild = rebuild_total / repeats as f64;
+
+        let us = |s: f64| format!("{:.1}", s * 1e6);
+        report::row(&[domains.to_string(), us(seal), us(rebuild)]);
+        seal_us.push(seal * 1e6);
+        rebuild_us.push(rebuild * 1e6);
+    }
+
+    let seal_flatness = seal_us.last().expect("sweep") / seal_us[0];
+    let rebuild_growth = rebuild_us.last().expect("sweep") / rebuild_us[0];
+    let rebuild_over_seal = rebuild_us.last().expect("sweep") / seal_us.last().expect("sweep");
+    println!("# seal_flatness_10x = {}", report::f2(seal_flatness));
+    println!("# rebuild_growth_10x = {}", report::f2(rebuild_growth));
+    println!(
+        "# rebuild_over_seal_at_10x = {}",
+        report::f2(rebuild_over_seal)
+    );
+}

@@ -9,6 +9,7 @@
 //! lshe index --dir ./opendata --out tables.lshe [--partitions 32]
 //!            [--min-size 10] [--ranked true]
 //! lshe ingest --index tables.lshe --dir ./newdata [--min-size 10]
+//! lshe compact --index tables.lshe
 //! lshe query --index tables.lshe --csv mine.csv --column Partner
 //!            [--threshold 0.7] [--top-k 10]
 //! lshe stats --index tables.lshe
@@ -107,6 +108,14 @@ COMMANDS
       trigger) and rewritten in place. Do NOT run against an index a live
       server is serving — they do not coordinate; use POST /insert there.
 
+  lshe compact --index FILE
+      Fold every sealed segment and tombstone into the base index — the
+      one O(corpus) step of the tiered mutation lifecycle, run offline.
+      Staged delta-log ops (FILE.delta) are applied first, the compacted
+      index is rewritten atomically, and the delta log is retired. Same
+      caveat as ingest: never run against an index a live server is
+      serving — use its POST /compact endpoint instead.
+
   lshe stats --index FILE
       Print configuration and per-partition statistics.
 
@@ -122,7 +131,8 @@ COMMANDS
       and served straight from the memory-mapped file — read-only, with
       open time independent of index size; --mmap asserts this path was
       taken. Endpoints: GET /health /stats, POST /query /topk /batch
-      /insert /remove /commit /reload /shutdown — see docs/API.md.
+      /insert /remove /commit /compact /reload /shutdown — see
+      docs/API.md.
 
   lshe pack --index FILE [--out FILE.lshepk]
       Pack a ranked v1 index into the checksummed, memory-mappable v2
@@ -227,6 +237,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     match args.first().map(String::as_str) {
         Some("index") => cmd_index(&Flags::parse(&args[1..])?),
         Some("ingest") => cmd_ingest(&Flags::parse(&args[1..])?),
+        Some("compact") => cmd_compact(&Flags::parse(&args[1..])?),
         Some("query") => cmd_query(&Flags::parse(&args[1..])?),
         Some("stats") => cmd_stats(&Flags::parse(&args[1..])?),
         Some("serve") => cmd_serve(&Flags::parse(&args[1..])?),
@@ -295,13 +306,19 @@ fn cmd_ingest(flags: &Flags) -> Result<String, CliError> {
     }
 
     // Fold any staged delta-log ops first. A torn or corrupt log is a
-    // typed error — never a panic, never silent data loss.
+    // typed error — never a panic, never silent data loss. The log
+    // header's allocator mark is honoured too, so ids the server burned
+    // on staged-then-removed inserts are never reissued here.
     let log = container::DeltaLog::sidecar(Path::new(&index_path));
-    let replayed = log
-        .read()
+    let (mark, replayed) = log
+        .read_with_mark()
         .map_err(|e| CliError::Index(format!("{}: {e}", log.path().display())))?;
-    let replayed_count = replayed.len();
-    if replayed_count > 0 {
+    container.reserve_next_id(mark);
+    let replayed_count = replayed
+        .iter()
+        .filter(|op| !matches!(op, container::DeltaOp::Commit { .. }))
+        .count();
+    if !replayed.is_empty() {
         container
             .apply(&replayed)
             .map_err(|e| CliError::Index(format!("replaying {}: {e}", log.path().display())))?;
@@ -337,7 +354,10 @@ fn cmd_ingest(flags: &Flags) -> Result<String, CliError> {
     container
         .apply(&ops)
         .map_err(|e| CliError::Index(e.to_string()))?;
-    let report = container.commit_mutations();
+    // Bulk append pays the O(corpus) rewrite anyway, so fold everything —
+    // replayed ops, sealed segments, tombstones, the fresh appends — into
+    // one compacted base rather than persisting a segment stack.
+    let report = container.compact_index();
 
     // Atomic rewrite, then retire the folded delta log.
     let tmp = format!("{index_path}.tmp");
@@ -447,6 +467,46 @@ fn cmd_stats(flags: &Flags) -> Result<String, CliError> {
     Ok(container.describe())
 }
 
+fn engine_error(e: EngineError) -> CliError {
+    match e {
+        EngineError::Io(e) => CliError::Io(e),
+        EngineError::Index(msg) | EngineError::Mutation(msg) => CliError::Index(msg),
+        EngineError::Config(msg) => CliError::Usage(msg),
+    }
+}
+
+/// Folds every sealed segment and tombstone into the base index — the
+/// one O(corpus) step of the tiered mutation lifecycle, run offline
+/// through the same engine path the server's `POST /compact` uses:
+/// committed delta-log batches replay as segments, staged tail ops are
+/// applied, the compacted container is rewritten atomically, and the
+/// delta log is retired. Like `ingest`, this must not run against an
+/// index a live server is serving.
+fn cmd_compact(flags: &Flags) -> Result<String, CliError> {
+    let index_path = flags.require("index")?.to_owned();
+    let engine = Engine::load(Path::new(&index_path), 1).map_err(engine_error)?;
+    let before = engine.segment_stats();
+    let (snap, outcome) = engine.compact().map_err(engine_error)?;
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "compacted {index_path}: folded {} segment(s), {} tombstone(s), {} staged op(s)",
+        before.segments, before.tombstones, outcome.applied
+    );
+    let _ = writeln!(
+        report,
+        "{} domain(s), {} entr(y/ies) merged, partitions {}",
+        snap.container().len(),
+        outcome.report.merged,
+        if outcome.report.rebalanced {
+            "rebalanced"
+        } else {
+            "unchanged"
+        }
+    );
+    Ok(report)
+}
+
 /// Boots the domain-search server over a persisted index and blocks until
 /// it stops (`POST /shutdown`, or the process is killed). The listening
 /// line is printed *before* blocking so callers (and CI probes) know the
@@ -468,11 +528,7 @@ fn cmd_serve(flags: &Flags) -> Result<String, CliError> {
     };
     let want_mmap: bool = flags.get_bool("mmap")?;
 
-    let engine = Engine::load(Path::new(&index_path), shards).map_err(|e| match e {
-        EngineError::Io(e) => CliError::Io(e),
-        EngineError::Index(msg) | EngineError::Mutation(msg) => CliError::Index(msg),
-        EngineError::Config(msg) => CliError::Usage(msg),
-    })?;
+    let engine = Engine::load(Path::new(&index_path), shards).map_err(engine_error)?;
     // The file's magic decides how it is served; --mmap asserts the
     // operator got the zero-copy path they asked for instead of silently
     // heap-decoding a v1 file.
@@ -949,15 +1005,18 @@ mod tests {
         let staged_domain = Domain::from_strs(staged_values.iter().map(String::as_str));
         // (id 3: the built corpus holds ids 0..=2 — registry.company,
         // registry.sector, grants.partner.)
-        log.append(&container::DeltaOp::Insert {
-            record: container::DomainRecord {
-                id: 3,
-                size: staged_domain.len() as u64,
-                table: "serverlog".to_owned(),
-                column: "v".to_owned(),
+        log.append(
+            &container::DeltaOp::Insert {
+                record: container::DomainRecord {
+                    id: 3,
+                    size: staged_domain.len() as u64,
+                    table: "serverlog".to_owned(),
+                    column: "v".to_owned(),
+                },
+                signature: staged_domain.signature(&MinHasher::new(256)),
             },
-            signature: staged_domain.signature(&MinHasher::new(256)),
-        })
+            4,
+        )
         .expect("append");
 
         // New data arrives in a second directory.
@@ -983,7 +1042,11 @@ mod tests {
         assert!(out.contains("folded 1 staged delta-log op(s)"), "{out}");
         assert!(!log.exists(), "delta log must be retired after ingest");
 
-        // The appended column joins against the original corpus.
+        // The appended column joins against the original corpus. Ingest
+        // compacts, restoring the freshly-built equi-depth layout — whose
+        // per-partition (b,r) tuned at 0.7 probabilistically misses this
+        // 0.75-containment pair exactly as a from-scratch build does — so
+        // probe at 0.6, under the estimate either layout produces.
         let hits = run(&s(&[
             "query",
             "--index",
@@ -993,7 +1056,7 @@ mod tests {
             "--column",
             "partner",
             "--threshold",
-            "0.7",
+            "0.6",
         ]))
         .expect("query");
         assert!(hits.contains("suppliers.vendor"), "{hits}");
@@ -1022,7 +1085,7 @@ mod tests {
         ]))
         .expect("index");
         let log = container::DeltaLog::sidecar(&idx);
-        log.append(&container::DeltaOp::Remove { id: 0 })
+        log.append(&container::DeltaOp::Remove { id: 0 }, 3)
             .expect("append");
         let bytes = std::fs::read(log.path()).expect("read");
         std::fs::write(log.path(), &bytes[..bytes.len() - 2]).expect("tear");
@@ -1039,6 +1102,41 @@ mod tests {
         assert!(
             matches!(&err, CliError::Index(msg) if msg.contains("torn")),
             "{err}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compact_folds_staged_ops_and_retires_the_log() {
+        let dir = tmp_dir("cli_compact");
+        write_corpus(&dir);
+        let idx = dir.join("t.lshe");
+        run(&s(&[
+            "index",
+            "--dir",
+            dir.to_str().expect("utf8"),
+            "--out",
+            idx.to_str().expect("utf8"),
+            "--min-size",
+            "5",
+            "--ranked",
+        ]))
+        .expect("index");
+
+        // A server left one staged remove behind (ids 0..=2 were built).
+        let log = container::DeltaLog::sidecar(&idx);
+        log.append(&container::DeltaOp::Remove { id: 0 }, 3)
+            .expect("append");
+
+        let out = run(&s(&["compact", "--index", idx.to_str().expect("utf8")])).expect("compact");
+        assert!(out.contains("compacted"), "{out}");
+        assert!(out.contains("1 staged op(s)"), "{out}");
+        assert!(!log.exists(), "delta log must be retired after compact");
+
+        let stats = run(&s(&["stats", "--index", idx.to_str().expect("utf8")])).expect("stats");
+        assert!(
+            stats.contains("domains: 2"),
+            "3 built - 1 removed:\n{stats}"
         );
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -19,8 +19,14 @@
 //!   than failing it, as long as at least one shard answered.
 //! - **Mutations** (`/insert`, `/remove`) are routed to the single
 //!   owning shard by [`crate::placement::shard_of`] and never hedged (a
-//!   losing hedge may still have applied). `/commit` and `/reload`
-//!   broadcast to every shard, unhedged, and aggregate.
+//!   losing hedge may still have applied). `/commit`, `/compact`, and
+//!   `/reload` broadcast to every shard, unhedged, and aggregate.
+//!   `/commit` and `/compact` retry each failed shard exactly once —
+//!   safe because a shard commit is idempotent (re-committing an empty
+//!   stage is a no-op), and necessary because a lost response does not
+//!   mean a lost commit. Each shard's last acknowledged commit
+//!   generation is tracked and surfaced on `/stats`, so a diverged
+//!   cluster names the shard that is behind.
 //! - `/health` live-probes every shard — including degraded ones, which
 //!   is how a recovered shard is re-admitted between background probe
 //!   rounds. `/shutdown` drains the coordinator only; shards keep
@@ -153,6 +159,11 @@ struct Coordinator {
     /// Cluster-wide id allocator for `/insert` without an explicit id;
     /// seeded at startup from the max shard `next_id`.
     next_id: AtomicU32,
+    /// Per-shard generation from the last `/commit` (or `/compact`) the
+    /// shard acknowledged through this coordinator; 0 = none yet.
+    /// Surfaced on `/stats` so a partially-failed broadcast names the
+    /// shard whose state lags the cluster.
+    last_commit_generation: Vec<AtomicU64>,
     hedges_fired: AtomicU64,
     shutting_down: AtomicBool,
 }
@@ -275,12 +286,13 @@ impl Coordinator {
             ("POST", "/insert") => self.route_insert(request),
             ("POST", "/remove") => self.route_remove(request),
             ("POST", "/commit") => self.broadcast(request, "/commit"),
+            ("POST", "/compact") => self.broadcast(request, "/compact"),
             ("POST", "/reload") => self.broadcast(request, "/reload"),
             ("POST", "/shutdown") => self.begin_shutdown(),
             (
                 _,
                 "/health" | "/stats" | "/query" | "/topk" | "/batch" | "/insert" | "/remove"
-                | "/commit" | "/reload" | "/shutdown",
+                | "/commit" | "/compact" | "/reload" | "/shutdown",
             ) => Response::error(405, "wrong method for this path"),
             (_, path) => Response::error(404, format!("no such endpoint: {path}")),
         }
@@ -532,20 +544,44 @@ impl Coordinator {
         }
     }
 
-    /// `/commit` and `/reload`: broadcast to EVERY shard (degraded ones
-    /// included — skipping a shard would fork cluster state), aggregate
-    /// on full success, 502 naming the failed shards otherwise.
+    /// `/commit`, `/compact`, and `/reload`: broadcast to EVERY shard
+    /// (degraded ones included — skipping a shard would fork cluster
+    /// state), aggregate on full success, 502 naming the failed shards
+    /// otherwise. Commit-class paths retry each failed shard exactly
+    /// once: a transport failure or 5xx does not say whether the shard
+    /// applied the op before the response was lost, and because a shard
+    /// commit is idempotent (re-committing an empty stage is "nothing
+    /// staged"), one retry converges either way instead of reporting a
+    /// divergence that may not exist.
     fn broadcast(&self, request: &Request, path: &str) -> Response {
         let Ok(body) = std::str::from_utf8(&request.body) else {
             return Response::error(400, "request body must be UTF-8");
         };
-        let outcomes = scatter(self.n(), |s| self.plain_call(s, "POST", path, Some(body)));
+        let commit_class = path == "/commit" || path == "/compact";
+        let outcomes = scatter(self.n(), |s| {
+            let first = self.plain_call(s, "POST", path, Some(body));
+            let settled = matches!(&first, Ok(out) if out.status < 500);
+            if settled || !commit_class {
+                first
+            } else {
+                self.plain_call(s, "POST", path, Some(body))
+            }
+        });
         let mut failed: Vec<usize> = Vec::new();
         let mut parsed: Vec<Json> = Vec::new();
         for (s, res) in outcomes.into_iter().enumerate() {
             match res {
                 Ok(out) if out.status == 200 => match Json::parse(&out.body) {
-                    Ok(json) => parsed.push(json),
+                    Ok(json) => {
+                        if commit_class {
+                            if let Some(generation) = json.get("generation").and_then(Json::as_u64)
+                            {
+                                self.last_commit_generation[s]
+                                    .fetch_max(generation, Ordering::AcqRel);
+                            }
+                        }
+                        parsed.push(json);
+                    }
                     Err(_) => failed.push(s),
                 },
                 Ok(out) if (400..500).contains(&out.status) => return Response::forwarded(out),
@@ -582,10 +618,25 @@ impl Coordinator {
                 ("shards", Json::uint(self.n() as u64)),
             ]));
         }
-        let applied = sum("applied");
         let rebalanced = parsed
             .iter()
             .any(|j| j.get("rebalanced").and_then(Json::as_bool) == Some(true));
+        if path == "/compact" {
+            return Response::ok(Json::obj(vec![
+                ("status", Json::str("compacted")),
+                ("applied", Json::uint(sum("applied"))),
+                ("merged", Json::uint(sum("merged"))),
+                ("rebalanced", Json::Bool(rebalanced)),
+                ("segments", Json::uint(sum("segments"))),
+                ("tombstones", Json::uint(sum("tombstones"))),
+                ("generation", Json::uint(max("generation"))),
+                ("domains", Json::uint(sum("domains"))),
+            ]));
+        }
+        let applied = sum("applied");
+        let sealed = parsed
+            .iter()
+            .any(|j| j.get("sealed").and_then(Json::as_bool) == Some(true));
         Response::ok(Json::obj(vec![
             (
                 "status",
@@ -598,6 +649,9 @@ impl Coordinator {
             ("applied", Json::uint(applied)),
             ("merged", Json::uint(sum("merged"))),
             ("rebalanced", Json::Bool(rebalanced)),
+            ("sealed", Json::Bool(sealed)),
+            ("segments", Json::uint(sum("segments"))),
+            ("tombstones", Json::uint(sum("tombstones"))),
             ("generation", Json::uint(max("generation"))),
             ("domains", Json::uint(sum("domains"))),
         ]))
@@ -695,6 +749,13 @@ impl Coordinator {
                 ("addr", Json::str(self.pools[s].addr().to_string())),
                 ("reachable", Json::Bool(stats.is_some())),
                 ("degraded", Json::Bool(self.health[s].is_degraded())),
+                // The commit-convergence witness: equal values across
+                // shards mean the last broadcast landed everywhere; a
+                // lagging value names the shard to re-commit.
+                (
+                    "last_commit_generation",
+                    Json::uint(self.last_commit_generation[s].load(Ordering::Acquire)),
+                ),
                 ("stats", stats.unwrap_or(Json::Null)),
             ]));
         }
@@ -821,12 +882,14 @@ pub fn start(config: ClusterConfig) -> Result<ClusterHandle, String> {
         .map(|&shard| ConnPool::new(shard, config.connect_timeout, config.read_timeout))
         .collect::<Vec<_>>();
     let health = (0..pools.len()).map(|_| HealthState::new()).collect();
+    let last_commit_generation = (0..pools.len()).map(|_| AtomicU64::new(0)).collect();
     let coordinator = Arc::new(Coordinator {
         config,
         self_addr: addr,
         pools,
         health,
         next_id: AtomicU32::new(0),
+        last_commit_generation,
         hedges_fired: AtomicU64::new(0),
         shutting_down: AtomicBool::new(false),
     });
@@ -1038,11 +1101,21 @@ mod tests {
     /// answers. `shard_id` is what it reports on `/stats`; `hits` is its
     /// ranked answer to every query (and every batch item).
     fn fake_shard(shard_id: u64, hits: Vec<Json>) -> SocketAddr {
+        fake_shard_failing_commits(shard_id, hits, 0)
+    }
+
+    /// Like [`fake_shard`], but the first `fail_commits` `/commit`
+    /// attempts answer 500 — the wire shape of a shard killed (or
+    /// wedged) mid-commit, used to exercise the coordinator's
+    /// retry-once convergence.
+    fn fake_shard_failing_commits(shard_id: u64, hits: Vec<Json>, fail_commits: u64) -> SocketAddr {
         let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
         let addr = listener.local_addr().expect("addr");
+        let commits = Arc::new(AtomicU64::new(0));
         std::thread::spawn(move || {
             while let Ok((stream, _)) = listener.accept() {
                 let hits = hits.clone();
+                let commits = Arc::clone(&commits);
                 std::thread::spawn(move || {
                     let Ok(read_half) = stream.try_clone() else {
                         return;
@@ -1050,7 +1123,7 @@ mod tests {
                     let mut reader = BufReader::new(read_half);
                     let mut writer = stream;
                     while let Ok(Some(req)) = read_request(&mut reader, None) {
-                        let (status, body) = answer(&req, shard_id, &hits);
+                        let (status, body) = answer(&req, shard_id, &hits, &commits, fail_commits);
                         let keep = !req.wants_close();
                         if write_response(
                             &mut writer,
@@ -1072,7 +1145,13 @@ mod tests {
         addr
     }
 
-    fn answer(req: &Request, shard_id: u64, hits: &[Json]) -> (u16, String) {
+    fn answer(
+        req: &Request,
+        shard_id: u64,
+        hits: &[Json],
+        commits: &AtomicU64,
+        fail_commits: u64,
+    ) -> (u16, String) {
         let query_answer = || {
             Json::obj(vec![
                 ("count", Json::uint(hits.len() as u64)),
@@ -1109,6 +1188,28 @@ mod tests {
                 fields.insert(2, ("generation".to_owned(), Json::uint(1)));
                 fields.insert(3, ("query_time_us".to_owned(), Json::uint(5)));
                 (200, Json::Obj(fields).render())
+            }
+            ("POST", "/commit") => {
+                let attempt = commits.fetch_add(1, Ordering::SeqCst);
+                if attempt < fail_commits {
+                    (500, r#"{"error":"injected commit failure"}"#.to_owned())
+                } else {
+                    (
+                        200,
+                        Json::obj(vec![
+                            ("status", Json::str("committed")),
+                            ("applied", Json::uint(1)),
+                            ("merged", Json::uint(1)),
+                            ("rebalanced", Json::Bool(false)),
+                            ("sealed", Json::Bool(true)),
+                            ("segments", Json::uint(1)),
+                            ("tombstones", Json::uint(0)),
+                            ("generation", Json::uint(2)),
+                            ("domains", Json::uint(hits.len() as u64)),
+                        ])
+                        .render(),
+                    )
+                }
             }
             ("POST", "/batch") => {
                 let items = std::str::from_utf8(&req.body)
@@ -1274,6 +1375,78 @@ mod tests {
         // Mutations owned by the degraded shard are refused, not lost.
         let (status, body) = client.post("/remove", r#"{"id": 1}"#);
         assert_eq!(status, 503, "{body}");
+        handle.shutdown();
+    }
+
+    /// The commit-convergence satellite: a shard that dies on its first
+    /// `/commit` attempt but recovers must not fork cluster state — the
+    /// coordinator's single idempotent retry lands the commit, the
+    /// client sees one clean success, and `/stats` shows every shard at
+    /// the same `last_commit_generation`.
+    #[test]
+    fn commit_retries_once_and_converges_after_shard_failure() {
+        let handle = boot(vec![
+            fake_shard(0, vec![hit(0, 0.9)]),
+            fake_shard_failing_commits(1, vec![hit(1, 0.7)], 1),
+        ]);
+        let mut client = HttpClient::connect(handle.addr());
+        let (status, body) = client.post("/commit", "");
+        assert_eq!(status, 200, "retry must converge: {body}");
+        assert_eq!(body.get("status").and_then(Json::as_str), Some("committed"));
+        assert_eq!(body.get("applied").and_then(Json::as_u64), Some(2));
+        assert_eq!(body.get("sealed").and_then(Json::as_bool), Some(true));
+        assert_eq!(body.get("segments").and_then(Json::as_u64), Some(2));
+
+        let (status, stats) = client.get("/stats");
+        assert_eq!(status, 200);
+        let per_shard = stats
+            .get("per_shard")
+            .and_then(Json::as_array)
+            .expect("per_shard");
+        for entry in per_shard {
+            assert_eq!(
+                entry.get("last_commit_generation").and_then(Json::as_u64),
+                Some(2),
+                "shard lagging after converged commit: {entry}"
+            );
+        }
+        handle.shutdown();
+    }
+
+    /// When the retry fails too, the coordinator reports the divergence
+    /// — and `last_commit_generation` pins exactly which shard is
+    /// behind (the healthy shard committed; skipping it was never an
+    /// option, or cluster state would fork silently).
+    #[test]
+    fn exhausted_commit_retry_names_the_lagging_shard() {
+        let handle = boot(vec![
+            fake_shard(0, vec![hit(0, 0.9)]),
+            fake_shard_failing_commits(1, vec![hit(1, 0.7)], 10),
+        ]);
+        let mut client = HttpClient::connect(handle.addr());
+        let (status, body) = client.post("/commit", "");
+        assert_eq!(status, 502, "{body}");
+        let msg = body.get("error").and_then(Json::as_str).expect("error");
+        assert!(msg.contains("[1]"), "failed shard not named: {msg}");
+
+        let (_, stats) = client.get("/stats");
+        let per_shard = stats
+            .get("per_shard")
+            .and_then(Json::as_array)
+            .expect("per_shard");
+        let generations: Vec<u64> = per_shard
+            .iter()
+            .map(|e| {
+                e.get("last_commit_generation")
+                    .and_then(Json::as_u64)
+                    .expect("generation")
+            })
+            .collect();
+        assert_eq!(
+            generations,
+            vec![2, 0],
+            "stats must pin the lagging shard: {stats}"
+        );
         handle.shutdown();
     }
 

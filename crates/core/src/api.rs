@@ -238,6 +238,40 @@ pub struct CommitReport {
     /// Whether the commit rebuilt partitions/shards from retained sketches
     /// because equi-depth skew passed the rebalance trigger.
     pub rebalanced: bool,
+    /// Whether a non-empty staged delta was sealed into a segment.
+    pub sealed: bool,
+    /// Sealed segments outstanding after this commit (0 right after a
+    /// rebalance or [`MutableIndex::compact`]).
+    pub segments: usize,
+    /// Tombstoned ids outstanding after this commit.
+    pub tombstones: usize,
+}
+
+/// Outstanding tiered-mutation state: how far the index has drifted from
+/// its compacted base layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SegmentStats {
+    /// Sealed segments awaiting compaction (summed across shards).
+    pub segments: usize,
+    /// Tombstoned ids awaiting compaction (summed across shards).
+    pub tombstones: usize,
+}
+
+/// Compaction policy: fold segments into the base once the stack is this
+/// deep. Each outstanding segment adds partitions to the query sweep, so
+/// the stack is kept shallow.
+pub const MAX_SEGMENTS: usize = 8;
+
+/// Compaction policy: fold once tombstones exceed this fraction of the
+/// live corpus (dead rows dilute every candidate set until erased).
+pub const MAX_TOMBSTONE_RATIO: f64 = 0.25;
+
+/// True if [`SegmentStats`] has drifted far enough that a compaction is
+/// worth scheduling, per the shared policy constants.
+#[must_use]
+pub fn needs_compaction(stats: SegmentStats, len: usize) -> bool {
+    stats.segments >= MAX_SEGMENTS
+        || stats.tombstones as f64 > MAX_TOMBSTONE_RATIO * len.max(1) as f64
 }
 
 /// The mutation surface over an index: dynamic data, §6.2.
@@ -279,12 +313,29 @@ pub trait MutableIndex: DomainIndex {
     /// [`MutationError::UnknownId`] if the id is not indexed.
     fn remove(&mut self, id: DomainId) -> Result<(), MutationError>;
 
-    /// Folds staged inserts into the sorted runs; sketch-retaining
-    /// backends also rebalance when equi-depth skew passed their trigger.
+    /// Seals the staged delta into an immutable segment — O(staged delta),
+    /// never O(corpus). Sketch-retaining backends additionally rebalance
+    /// (a full rebuild from sketches) when equi-depth skew passed their
+    /// trigger; with the default trigger that stays the rare escape hatch,
+    /// not the steady-state commit cost.
     fn commit(&mut self) -> CommitReport;
 
     /// Number of staged (not yet committed) inserts.
     fn staged_len(&self) -> usize;
+
+    /// Folds every sealed segment back into the base and erases
+    /// tombstoned rows — the O(corpus) step, off the commit path. Seals
+    /// any staged delta first so nothing is lost. The default forwards to
+    /// [`commit`](Self::commit) for backends without tiered state.
+    fn compact(&mut self) -> CommitReport {
+        self.commit()
+    }
+
+    /// Outstanding segment/tombstone counts. Defaults to zero for
+    /// backends without tiered state.
+    fn segment_stats(&self) -> SegmentStats {
+        SegmentStats::default()
+    }
 }
 
 /// Why a query could not be answered.
@@ -803,12 +854,60 @@ impl ShardedRanked {
     pub fn commit(&mut self) -> CommitReport {
         let merged = self.shards.staged_len();
         let ranked_report = Arc::make_mut(&mut self.ranked).commit();
-        self.shards.commit();
+        let shard_report = self.shards.commit();
         let rebalanced = self.maybe_rebalance();
+        let stats = self.segment_stats();
         CommitReport {
             merged,
             rebalanced: rebalanced || ranked_report.rebalanced,
+            sealed: shard_report.sealed,
+            segments: stats.segments,
+            tombstones: stats.tombstones,
         }
+    }
+
+    /// Forces the O(corpus) merge on every tier: seals any staged delta,
+    /// then rebuilds the shard assignment from the retained sketches (the
+    /// same path a triggered rebalance takes), leaving zero outstanding
+    /// segments and tombstones. Falls back to per-shard in-place folding
+    /// when the corpus is smaller than the shard count.
+    pub fn compact(&mut self) -> CommitReport {
+        let merged = self.shards.staged_len();
+        let ranked_report = Arc::make_mut(&mut self.ranked).compact();
+        let shard_report = self.shards.commit();
+        let rebalanced = if self.ranked.len() < self.shards.num_shards() {
+            self.shards.compact();
+            false
+        } else {
+            let entries = self.ranked.sketch_entries();
+            let ids: Vec<DomainId> = entries.iter().map(|&(id, _, _)| id).collect();
+            let sizes: Vec<u64> = entries.iter().map(|&(_, size, _)| size).collect();
+            let sigs: Vec<&Signature> = entries.iter().map(|&(_, _, sig)| sig).collect();
+            let rebuilt = ShardedEnsemble::build_from_parts(
+                self.shards.num_shards(),
+                self.config,
+                &ids,
+                &sizes,
+                &sigs,
+            );
+            drop((entries, ids, sizes, sigs));
+            self.shards = rebuilt;
+            true
+        };
+        let stats = self.segment_stats();
+        CommitReport {
+            merged,
+            rebalanced: rebalanced || ranked_report.rebalanced,
+            sealed: shard_report.sealed,
+            segments: stats.segments,
+            tombstones: stats.tombstones,
+        }
+    }
+
+    /// Outstanding segments/tombstones summed over the query-side shards.
+    #[must_use]
+    pub fn segment_stats(&self) -> SegmentStats {
+        self.shards.segment_stats()
     }
 
     /// Number of staged inserts on the query (shard) side.
@@ -818,11 +917,13 @@ impl ShardedRanked {
     }
 
     fn maybe_rebalance(&mut self) -> bool {
+        // Base partitions only: sealed segments are transient and must not
+        // read as drift (see `RankedIndex::maybe_rebalance`).
         let stats: Vec<PartitionStats> = self
             .shards
             .shards()
             .iter()
-            .flat_map(LshEnsemble::partition_stats)
+            .flat_map(LshEnsemble::base_partition_stats)
             .collect();
         if !skew_exceeds(&stats, self.shards.len(), self.rebalance_trigger) {
             return false;
@@ -867,6 +968,14 @@ impl MutableIndex for ShardedRanked {
 
     fn staged_len(&self) -> usize {
         ShardedRanked::staged_len(self)
+    }
+
+    fn compact(&mut self) -> CommitReport {
+        ShardedRanked::compact(self)
+    }
+
+    fn segment_stats(&self) -> SegmentStats {
+        ShardedRanked::segment_stats(self)
     }
 }
 

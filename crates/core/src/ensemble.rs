@@ -128,10 +128,110 @@ impl LshEnsembleBuilder {
 
 /// One size class and its dynamic LSH.
 #[derive(Debug, Clone)]
-struct EnsemblePartition {
-    lower: u64,
-    upper: u64,
-    forest: LshForest,
+pub(crate) struct EnsemblePartition {
+    pub(crate) lower: u64,
+    pub(crate) upper: u64,
+    pub(crate) forest: LshForest,
+}
+
+/// Where a live domain id currently resides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Slot {
+    /// Base partition `idx`.
+    Base(u32),
+    /// Sealed segment `idx` (partition within is found by size).
+    Seg(u32),
+    /// The staged (uncommitted) delta.
+    Staged,
+}
+
+/// Which tier held a removed id's rows. Removal of committed rows is a
+/// tombstone: the rows stay in their forest until compaction, and queries
+/// filter them out of the candidate union.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DeadSlot {
+    /// The id's rows live in base partition `idx`.
+    Base(u32),
+    /// The id's entry lives in sealed segment `idx`.
+    Seg(u32),
+}
+
+impl DeadSlot {
+    fn matches(self, slot: Slot) -> bool {
+        match (self, slot) {
+            (Self::Base(a), Slot::Base(b)) => a == b,
+            (Self::Seg(a), Slot::Seg(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+/// An immutable sub-index sealed from one committed delta: the delta's
+/// domains, equi-depth-partitioned (by the configured strategy) over just
+/// themselves, each partition carrying its own committed forest. The raw
+/// entry triples are retained verbatim — they are the canonical byte form
+/// (persistence re-encodes them bit for bit) and the compaction input
+/// (folding a segment into the base re-routes each entry by size).
+#[derive(Debug, Clone)]
+pub(crate) struct SealedSegment {
+    pub(crate) partitions: Vec<EnsemblePartition>,
+    pub(crate) entries: Vec<(DomainId, u64, Signature)>,
+}
+
+/// The staged (uncommitted) delta: one forest holding every staged
+/// insert, swept as a pseudo-partition whose bounds track the staged
+/// sizes. `commit` seals it into a [`SealedSegment`] in O(delta).
+#[derive(Debug, Clone)]
+struct StagedDelta {
+    part: EnsemblePartition,
+    entries: Vec<(DomainId, u64, Signature)>,
+}
+
+impl StagedDelta {
+    fn new(b_max: usize, r_max: usize) -> Self {
+        Self {
+            part: EnsemblePartition {
+                lower: 0,
+                upper: 0,
+                forest: LshForest::new(b_max, r_max),
+            },
+            entries: Vec::new(),
+        }
+    }
+}
+
+/// Builds one sealed segment from a committed delta: partition the entry
+/// sizes with the configured strategy, then build each partition's forest.
+/// Deterministic — the persistence decoder replays it to reconstruct a
+/// segment from its stored entries.
+pub(crate) fn build_segment(
+    config: &EnsembleConfig,
+    entries: Vec<(DomainId, u64, Signature)>,
+) -> SealedSegment {
+    debug_assert!(!entries.is_empty(), "cannot seal an empty delta");
+    let sizes: Vec<u64> = entries.iter().map(|e| e.1).collect();
+    let partitioning = config.strategy.partition(&sizes);
+    let partitions = partitioning
+        .parts()
+        .iter()
+        .map(|p| {
+            let mut forest = LshForest::new(config.b_max, config.r_max);
+            for &m in &p.members {
+                let (id, _, sig) = &entries[m as usize];
+                forest.insert(*id, sig);
+            }
+            forest.commit();
+            EnsemblePartition {
+                lower: p.lower,
+                upper: p.upper,
+                forest,
+            }
+        })
+        .collect();
+    SealedSegment {
+        partitions,
+        entries,
+    }
 }
 
 /// Summary of one partition, for diagnostics and the experiment harness.
@@ -146,15 +246,30 @@ pub struct PartitionStats {
 }
 
 /// The LSH Ensemble index.
+///
+/// Mutation is tiered, LSM-style: inserts stage into a delta buffer,
+/// [`commit`](Self::commit) seals the delta into an immutable
+/// sealed segment in O(delta), removes of committed rows become
+/// tombstones filtered out of every candidate union, and
+/// [`compact`](Self::compact) folds segments and tombstones back into the
+/// base partitions — the only O(corpus) step, and the only one a serving
+/// commit path never runs.
 #[derive(Debug)]
 pub struct LshEnsemble {
     config: EnsembleConfig,
     partitions: Vec<EnsemblePartition>,
+    /// Sealed deltas, oldest first; queries sweep them after the base.
+    segments: Vec<SealedSegment>,
+    /// The staged (uncommitted) delta.
+    staged: StagedDelta,
+    /// Tombstones, in removal order: ids whose rows are still physically
+    /// present in a base or segment forest. Cleared by compaction.
+    dead: Vec<(DomainId, DeadSlot)>,
     tuner: Tuner,
     len: usize,
-    /// id → partition index, for O(1) duplicate detection and removal
-    /// routing. Rebuilt from the forests on decode; never persisted.
-    ids: FastHashMap<DomainId, u32>,
+    /// id → residence, for O(1) duplicate detection, removal routing, and
+    /// tombstone filtering. Rebuilt on decode; never persisted.
+    ids: FastHashMap<DomainId, Slot>,
 }
 
 impl Clone for LshEnsemble {
@@ -164,6 +279,9 @@ impl Clone for LshEnsemble {
         Self {
             config: self.config,
             partitions: self.partitions.clone(),
+            segments: self.segments.clone(),
+            staged: self.staged.clone(),
+            dead: self.dead.clone(),
             tuner: Tuner::new(self.config.b_max as u32, self.config.r_max as u32),
             len: self.len,
             ids: self.ids.clone(),
@@ -212,11 +330,11 @@ impl LshEnsemble {
         }
         let partitioning = config.strategy.partition(sizes);
         let (b_max, r_max) = (config.b_max, config.r_max);
-        let mut id_map: FastHashMap<DomainId, u32> = FastHashMap::default();
+        let mut id_map: FastHashMap<DomainId, Slot> = FastHashMap::default();
         id_map.reserve(ids.len());
         for (pidx, part) in partitioning.parts().iter().enumerate() {
             for &member in &part.members {
-                let prev = id_map.insert(ids[member as usize], pidx as u32);
+                let prev = id_map.insert(ids[member as usize], Slot::Base(pidx as u32));
                 assert!(
                     prev.is_none(),
                     "duplicate domain id {}",
@@ -247,8 +365,11 @@ impl LshEnsemble {
         });
         Self {
             tuner: Tuner::new(config.b_max as u32, config.r_max as u32),
-            config,
             partitions: shells,
+            segments: Vec::new(),
+            staged: StagedDelta::new(b_max, r_max),
+            dead: Vec::new(),
+            config,
             len: ids.len(),
             ids: id_map,
         }
@@ -279,15 +400,67 @@ impl LshEnsemble {
         self.len == 0
     }
 
-    /// Number of partitions.
+    /// Live entries in the id → slot map (decoder cross-check).
+    pub(crate) fn id_count(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Smallest id that is safely allocatable from this ensemble's view:
+    /// one past the largest id it still knows about, *including*
+    /// tombstoned ids (whose rows persist until compaction). Callers that
+    /// track an allocator high-water mark across compactions should prefer
+    /// their own persisted mark — compaction erases tombstones, so this
+    /// floor can shrink afterwards.
+    #[must_use]
+    pub fn min_next_id(&self) -> u32 {
+        let live = self.ids.keys().copied().max();
+        let dead = self.dead.iter().map(|&(id, _)| id).max();
+        match (live, dead) {
+            (Some(a), Some(b)) => a.max(b) + 1,
+            (Some(a), None) | (None, Some(a)) => a + 1,
+            (None, None) => 0,
+        }
+    }
+
+    /// Number of base partitions (sealed segments carry their own).
     #[must_use]
     pub fn num_partitions(&self) -> usize {
         self.partitions.len()
     }
 
-    /// Per-partition summaries.
+    /// Per-partition summaries: base partitions first, then each sealed
+    /// segment's partitions (oldest segment first), then — when inserts
+    /// are staged — one pseudo-partition covering the staged delta.
+    /// Counts are physical rows, so tombstoned domains still count until
+    /// compaction.
     #[must_use]
     pub fn partition_stats(&self) -> Vec<PartitionStats> {
+        let part = |p: &EnsemblePartition| PartitionStats {
+            lower: p.lower,
+            upper: p.upper,
+            count: p.forest.len(),
+        };
+        let mut stats: Vec<PartitionStats> = self.partitions.iter().map(part).collect();
+        for seg in &self.segments {
+            stats.extend(seg.partitions.iter().map(part));
+        }
+        if !self.staged.entries.is_empty() {
+            stats.push(PartitionStats {
+                lower: self.staged.part.lower,
+                upper: self.staged.part.upper,
+                count: self.staged.entries.len(),
+            });
+        }
+        stats
+    }
+
+    /// Stats for the BASE partitions only — the population a drift check
+    /// must judge. Segment and staged tiers are transient by design
+    /// (compaction folds them), so counting their small partitions into a
+    /// skew metric would let a stack of sealed segments masquerade as
+    /// drift and drag an O(corpus) rebuild back onto the commit path.
+    #[must_use]
+    pub fn base_partition_stats(&self) -> Vec<PartitionStats> {
         self.partitions
             .iter()
             .map(|p| PartitionStats {
@@ -298,13 +471,64 @@ impl LshEnsemble {
             .collect()
     }
 
-    /// Approximate heap memory of all forests, in bytes.
+    /// Segment-tier summary: sealed segments outstanding and tombstoned
+    /// ids awaiting compaction.
+    #[must_use]
+    pub fn segment_stats(&self) -> crate::api::SegmentStats {
+        crate::api::SegmentStats {
+            segments: self.segments.len(),
+            tombstones: self.dead.len(),
+        }
+    }
+
+    /// Approximate heap memory of all forests and retained segment
+    /// entries, in bytes.
     #[must_use]
     pub fn memory_bytes(&self) -> usize {
-        self.partitions
+        let entry_bytes = |entries: &[(DomainId, u64, Signature)]| {
+            std::mem::size_of_val(entries)
+                + entries.len() * self.config.num_perm * std::mem::size_of::<u64>()
+        };
+        let base: usize = self
+            .partitions
             .iter()
             .map(|p| p.forest.memory_bytes())
-            .sum()
+            .sum();
+        let segs: usize = self
+            .segments
+            .iter()
+            .map(|s| {
+                s.partitions
+                    .iter()
+                    .map(|p| p.forest.memory_bytes())
+                    .sum::<usize>()
+                    + entry_bytes(&s.entries)
+            })
+            .sum();
+        base + segs + self.staged.part.forest.memory_bytes() + entry_bytes(&self.staged.entries)
+    }
+
+    /// Every sweepable query unit, in stats order: base partitions, each
+    /// sealed segment's partitions, then the staged pseudo-partition when
+    /// inserts are staged.
+    fn sweep_units(&self) -> Vec<&EnsemblePartition> {
+        let mut units: Vec<&EnsemblePartition> = Vec::with_capacity(
+            self.partitions.len()
+                + self
+                    .segments
+                    .iter()
+                    .map(|s| s.partitions.len())
+                    .sum::<usize>()
+                + 1,
+        );
+        units.extend(self.partitions.iter());
+        for seg in &self.segments {
+            units.extend(seg.partitions.iter());
+        }
+        if !self.staged.entries.is_empty() {
+            units.push(&self.staged.part);
+        }
+        units
     }
 
     /// Containment search (Algorithm 1 + `Partitioned-Containment-Search`):
@@ -364,24 +588,25 @@ impl LshEnsemble {
         parallel: bool,
     ) -> (Vec<DomainId>, ProbeCounts) {
         self.check_query(signature, query_size, t_star);
+        let units = self.sweep_units();
         let mut probe = ProbeCounts {
             probed: 0,
-            total: self.partitions.len(),
+            total: units.len(),
             candidates: 0,
         };
         let mut out = FastHashSet::default();
         if parallel {
-            // Partitions are chunked across lanes drawn from the
+            // Sweep units are chunked across lanes drawn from the
             // process-wide budget (`lshe_minhash::lanes`), not one thread
             // per partition: on a single-core or saturated host the budget
             // yields zero extras and the probe runs inline, identical to
             // the sequential path — fan-out cost is only ever paid when
             // there are cores to absorb it.
             let buffers: Vec<(Vec<DomainId>, bool)> =
-                lshe_minhash::lanes::run_chunked(&self.partitions, |chunk| {
+                lshe_minhash::lanes::run_chunked(&units, |chunk| {
                     chunk
                         .iter()
-                        .map(|p| {
+                        .map(|&p| {
                             let mut buf = Vec::new();
                             let probed =
                                 self.query_partition(p, signature, query_size, t_star, &mut buf);
@@ -396,7 +621,7 @@ impl LshEnsemble {
             }
         } else {
             let mut buf = Vec::new();
-            for p in &self.partitions {
+            for &p in &units {
                 let before = buf.len();
                 let probed = self.query_partition(p, signature, query_size, t_star, &mut buf);
                 probe.probed += usize::from(probed);
@@ -423,7 +648,9 @@ impl LshEnsemble {
     }
 
     /// Queries one partition into `out`; returns whether the partition was
-    /// actually consulted (false = skip-pruned).
+    /// actually consulted (false = skip-pruned). Tombstoned ids — rows
+    /// physically present but removed — are filtered out of the appended
+    /// candidates.
     fn query_partition(
         &self,
         p: &EnsemblePartition,
@@ -438,8 +665,21 @@ impl LshEnsemble {
             return false;
         }
         let params = self.tuner.optimize(p.upper, query_size, t_star);
+        let before = out.len();
         p.forest
             .query_into(signature, params.b as usize, params.r as usize, out);
+        if !self.dead.is_empty() {
+            // Live ids are exactly the id-map keys; a candidate absent
+            // from it is a tombstoned row awaiting compaction.
+            let mut w = before;
+            for i in before..out.len() {
+                if self.ids.contains_key(&out[i]) {
+                    out[w] = out[i];
+                    w += 1;
+                }
+            }
+            out.truncate(w);
+        }
         true
     }
 
@@ -471,6 +711,7 @@ impl LshEnsemble {
         post: &(impl Fn(&crate::batch::ThresholdItem<'_>, Vec<DomainId>, ProbeCounts, u64) -> R + Sync),
     ) -> Vec<R> {
         use std::time::Instant;
+        let units = self.sweep_units();
         let mut buf: Vec<DomainId> = Vec::new();
         let mut set: FastHashSet<DomainId> = FastHashSet::default();
         let mut results = Vec::with_capacity(chunk.len());
@@ -483,14 +724,14 @@ impl LshEnsemble {
                         Vec::new(),
                         ProbeCounts {
                             probed: 0,
-                            total: self.partitions.len(),
+                            total: units.len(),
                             candidates: 0,
                         },
                         0u64,
                     )
                 })
                 .collect();
-            for p in &self.partitions {
+            for &p in &units {
                 for (item, out) in group.iter().zip(acc.iter_mut()) {
                     let started = Instant::now();
                     buf.clear();
@@ -573,33 +814,48 @@ impl LshEnsemble {
         if self.ids.contains_key(&id) {
             return Err(MutationError::DuplicateId(id));
         }
-        let idx = self
-            .partitions
-            .iter()
-            .position(|p| size <= p.upper)
-            .unwrap_or(self.partitions.len() - 1);
-        let p = &mut self.partitions[idx];
-        p.upper = p.upper.max(size);
-        p.lower = p.lower.min(size);
-        p.forest.insert(id, signature);
-        self.ids.insert(id, idx as u32);
+        if self.staged.entries.is_empty() {
+            self.staged.part.lower = size;
+            self.staged.part.upper = size;
+        } else {
+            self.staged.part.lower = self.staged.part.lower.min(size);
+            self.staged.part.upper = self.staged.part.upper.max(size);
+        }
+        self.staged.part.forest.insert(id, signature);
+        self.staged.entries.push((id, size, signature.clone()));
+        self.ids.insert(id, Slot::Staged);
         self.len += 1;
         Ok(())
     }
 
-    /// Removes one domain. Takes effect immediately: the id's rows leave
-    /// the owning partition forest (committed run and staged tail alike).
-    /// Partition bounds are left as-is — a too-wide upper bound only makes
-    /// threshold conversion *more* conservative, never less correct.
+    /// Removes one domain. Takes effect immediately for queries: a staged
+    /// id is dropped from the delta buffer physically, while an id living
+    /// in the base or in a sealed segment becomes a tombstone that is
+    /// filtered out of every candidate set until
+    /// [`compact`](Self::compact) erases the underlying rows. Partition
+    /// bounds are left as-is — a too-wide upper bound only makes threshold
+    /// conversion *more* conservative, never less correct.
     ///
     /// # Errors
     /// [`MutationError::UnknownId`] if the id is not indexed.
     pub fn try_remove(&mut self, id: DomainId) -> Result<(), MutationError> {
-        let Some(idx) = self.ids.remove(&id) else {
+        let Some(slot) = self.ids.get(&id).copied() else {
             return Err(MutationError::UnknownId(id));
         };
-        let removed = self.partitions[idx as usize].forest.remove(id);
-        debug_assert!(removed, "id map pointed at a partition without the id");
+        match slot {
+            Slot::Staged => {
+                let removed = self.staged.part.forest.remove(id);
+                debug_assert!(removed, "id map pointed at a staged delta without the id");
+                self.staged.entries.retain(|e| e.0 != id);
+                if self.staged.entries.is_empty() {
+                    // Drop the stale forest + bounds along with the last entry.
+                    self.staged = StagedDelta::new(self.config.b_max, self.config.r_max);
+                }
+            }
+            Slot::Base(p) => self.dead.push((id, DeadSlot::Base(p))),
+            Slot::Seg(s) => self.dead.push((id, DeadSlot::Seg(s))),
+        }
+        self.ids.remove(&id);
         self.len -= 1;
         Ok(())
     }
@@ -610,16 +866,89 @@ impl LshEnsemble {
         self.ids.contains_key(&id)
     }
 
-    /// Number of staged (inserted but not yet committed) domains.
+    /// Number of staged (inserted but not yet sealed) domains.
     #[must_use]
     pub fn staged_len(&self) -> usize {
-        self.partitions.iter().map(|p| p.forest.staged_len()).sum()
+        self.staged.entries.len()
     }
 
-    /// Folds staged inserts into the sorted runs of every partition.
-    pub fn commit(&mut self) {
-        for p in &mut self.partitions {
-            p.forest.commit();
+    /// Seals the staged delta into an immutable segment (LSM-style tiering):
+    /// the delta is equi-depth-partitioned on its own and pushed onto the
+    /// segment stack, so the cost is O(staged delta), never O(corpus).
+    /// Returns `true` if a segment was sealed (`false` on an empty delta).
+    pub fn commit(&mut self) -> bool {
+        if self.staged.entries.is_empty() {
+            return false;
+        }
+        let staged = std::mem::replace(
+            &mut self.staged,
+            StagedDelta::new(self.config.b_max, self.config.r_max),
+        );
+        let seg = self.segments.len() as u32;
+        for (id, _, _) in &staged.entries {
+            self.ids.insert(*id, Slot::Seg(seg));
+        }
+        self.segments
+            .push(build_segment(&self.config, staged.entries));
+        true
+    }
+
+    /// Folds every sealed segment back into the base and erases tombstoned
+    /// rows — the only O(corpus) mutation step, intended to run off the
+    /// commit path (background merger, `lshe compact`). Live segment
+    /// entries are routed to the base partition covering their size with
+    /// conservative boundary growth, exactly as a pre-segment insert was.
+    pub fn compact(&mut self) {
+        if self.segments.is_empty() && self.dead.is_empty() {
+            return;
+        }
+        let mut touched = vec![false; self.partitions.len()];
+        for &(id, slot) in &self.dead {
+            if let DeadSlot::Base(p) = slot {
+                let removed = self.partitions[p as usize].forest.remove(id);
+                debug_assert!(
+                    removed,
+                    "tombstone pointed at a base partition without the id"
+                );
+                touched[p as usize] = true;
+            }
+        }
+        self.dead.clear();
+        let segments = std::mem::take(&mut self.segments);
+        for (j, seg) in segments.into_iter().enumerate() {
+            for (id, size, sig) in seg.entries {
+                // A retained entry is live only while the id map still points
+                // at this segment — removed or re-inserted ids moved on.
+                if self.ids.get(&id) != Some(&Slot::Seg(j as u32)) {
+                    continue;
+                }
+                if self.partitions.is_empty() {
+                    // Base built from an empty corpus: grow one partition
+                    // from scratch; min/max below fix the inverted bounds.
+                    self.partitions.push(EnsemblePartition {
+                        lower: u64::MAX,
+                        upper: 0,
+                        forest: LshForest::new(self.config.b_max, self.config.r_max),
+                    });
+                    touched.push(false);
+                }
+                let idx = self
+                    .partitions
+                    .iter()
+                    .position(|p| size <= p.upper)
+                    .unwrap_or(self.partitions.len() - 1);
+                let p = &mut self.partitions[idx];
+                p.upper = p.upper.max(size);
+                p.lower = p.lower.min(size);
+                p.forest.insert(id, &sig);
+                touched[idx] = true;
+                self.ids.insert(id, Slot::Base(idx as u32));
+            }
+        }
+        for (idx, t) in touched.into_iter().enumerate() {
+            if t {
+                self.partitions[idx].forest.commit();
+            }
         }
     }
 
@@ -631,23 +960,56 @@ impl LshEnsemble {
             .collect()
     }
 
-    /// Rebuilds an ensemble from persisted partitions. The decoder is
-    /// responsible for structural validation; the id → partition map is
-    /// rederived from the forests' stored ids.
+    /// Sealed segments, for persistence (the retained entry triples are the
+    /// canonical byte-level form; partitions are replayed from them).
+    pub(crate) fn raw_segments(&self) -> &[SealedSegment] {
+        &self.segments
+    }
+
+    /// Tombstones in insertion order, for persistence.
+    pub(crate) fn raw_dead(&self) -> &[(DomainId, DeadSlot)] {
+        &self.dead
+    }
+
+    /// Rebuilds an ensemble from persisted parts. The decoder is
+    /// responsible for structural validation; the id → slot map is
+    /// rederived from the base forests, then overridden by segment entries
+    /// (later segments win — a re-inserted id lives in the newest one),
+    /// and finally tombstones erase the ids whose slot they still match.
     pub(crate) fn from_raw_partitions(
         config: EnsembleConfig,
         partitions: Vec<(u64, u64, LshForest)>,
         len: usize,
+        segment_entries: Vec<Vec<(DomainId, u64, Signature)>>,
+        dead: Vec<(DomainId, DeadSlot)>,
     ) -> Self {
-        let mut ids: FastHashMap<DomainId, u32> = FastHashMap::default();
+        let mut ids: FastHashMap<DomainId, Slot> = FastHashMap::default();
         ids.reserve(len);
         for (pidx, (_, _, forest)) in partitions.iter().enumerate() {
             for id in forest.ids() {
-                ids.insert(id, pidx as u32);
+                ids.insert(id, Slot::Base(pidx as u32));
+            }
+        }
+        let segments: Vec<SealedSegment> = segment_entries
+            .into_iter()
+            .enumerate()
+            .map(|(j, entries)| {
+                for (id, _, _) in &entries {
+                    ids.insert(*id, Slot::Seg(j as u32));
+                }
+                build_segment(&config, entries)
+            })
+            .collect();
+        for &(id, dslot) in &dead {
+            if ids.get(&id).is_some_and(|&slot| dslot.matches(slot)) {
+                ids.remove(&id);
             }
         }
         Self {
             tuner: Tuner::new(config.b_max as u32, config.r_max as u32),
+            segments,
+            staged: StagedDelta::new(config.b_max, config.r_max),
+            dead,
             config,
             partitions: partitions
                 .into_iter()
@@ -679,17 +1041,37 @@ impl MutableIndex for LshEnsemble {
 
     fn commit(&mut self) -> CommitReport {
         let merged = self.staged_len();
-        LshEnsemble::commit(self);
+        let sealed = LshEnsemble::commit(self);
         // No retained sketches → no rebalance; boundary growth stays
         // conservative (§6.2) until a caller rebuilds from source data.
         CommitReport {
             merged,
             rebalanced: false,
+            sealed,
+            segments: self.segments.len(),
+            tombstones: self.dead.len(),
+        }
+    }
+
+    fn compact(&mut self) -> CommitReport {
+        let merged = self.staged_len();
+        let sealed = LshEnsemble::commit(self);
+        LshEnsemble::compact(self);
+        CommitReport {
+            merged,
+            rebalanced: false,
+            sealed,
+            segments: 0,
+            tombstones: 0,
         }
     }
 
     fn staged_len(&self) -> usize {
         LshEnsemble::staged_len(self)
+    }
+
+    fn segment_stats(&self) -> crate::api::SegmentStats {
+        LshEnsemble::segment_stats(self)
     }
 }
 

@@ -76,15 +76,15 @@ pub mod sharded;
 pub mod tuning;
 
 pub use api::{
-    CommitReport, DomainIndex, ForestIndex, MutableIndex, MutationError, Query, QueryError,
-    QueryMode, QueryStats, SearchHit, SearchOutcome, ShardedRanked, DEFAULT_REBALANCE_TRIGGER,
-    ESTIMATE_SLACK,
+    needs_compaction, CommitReport, DomainIndex, ForestIndex, MutableIndex, MutationError, Query,
+    QueryError, QueryMode, QueryStats, SearchHit, SearchOutcome, SegmentStats, ShardedRanked,
+    DEFAULT_REBALANCE_TRIGGER, ESTIMATE_SLACK, MAX_SEGMENTS, MAX_TOMBSTONE_RATIO,
 };
 pub use baselines::{
     baseline_minhash_lsh, AsymIndex, AsymIndexBuilder, AsymPartitionedIndex, ContainmentSearch,
 };
 pub use ensemble::{EnsembleConfig, LshEnsemble, LshEnsembleBuilder, PartitionStats};
-pub use mmap::{pack_ranked, pack_ranked_to, MmapIndex, MmapIndexError};
+pub use mmap::{pack_ranked, pack_ranked_to, pack_ranked_with, MmapIndex, MmapIndexError};
 pub use partition::{Partition, PartitionStrategy, Partitioning};
 pub use ranked::{RankedHit, RankedIndex, RankedIndexBuilder};
 pub use sharded::{ShardedEnsemble, ShardedEnsembleBuilder};

@@ -89,6 +89,25 @@ impl From<StoreError> for MmapIndexError {
 /// Panics if the index has staged (uncommitted) inserts — the byte form
 /// is always the canonical committed state, exactly as v1 persistence.
 pub fn pack_ranked(index: &RankedIndex, packer: &mut Packer) -> std::io::Result<()> {
+    pack_ranked_with(index, packer, index.ensemble().min_next_id())
+}
+
+/// [`pack_ranked`] with an explicit id-allocator high-water mark, recorded
+/// in the `Segments` section so `next_id` survives a pack → open
+/// round-trip even when the largest id ever issued was since removed and
+/// compacted away. Serving layers that own an allocator pass their mark;
+/// [`pack_ranked`] falls back to the ensemble's own floor.
+///
+/// # Errors
+/// Propagates write failure.
+///
+/// # Panics
+/// As [`pack_ranked`].
+pub fn pack_ranked_with(
+    index: &RankedIndex,
+    packer: &mut Packer,
+    next_id: u32,
+) -> std::io::Result<()> {
     let ensemble = index.ensemble();
     assert_eq!(
         ensemble.staged_len(),
@@ -155,6 +174,16 @@ pub fn pack_ranked(index: &RankedIndex, packer: &mut Packer) -> std::io::Result<
         packer.write_u64s(sig.slots())?;
     }
     packer.end_section();
+
+    // Tiered-mutation tail: the segment stack round-trips verbatim (sealed
+    // entry triples + tombstones), plus the id-allocator high-water mark.
+    // Additive section — pre-segment readers skip it.
+    let mut enc = Encoder::default();
+    crate::persist::encode_segments(&mut enc, ensemble.raw_segments(), ensemble.raw_dead());
+    enc.put_u32(next_id);
+    packer.begin_section(SectionKind::Segments)?;
+    packer.write(&enc.finish())?;
+    packer.end_section();
     Ok(())
 }
 
@@ -202,6 +231,16 @@ pub struct MmapIndex {
     tuner: Tuner,
     len: usize,
     parts: Vec<PartMeta>,
+    /// Sealed segments replayed onto the heap from the `Segments` section
+    /// (deterministic rebuild from the stored entry triples — identical
+    /// forests to the heap index that was packed). Small by construction:
+    /// segments hold recent deltas, the mapped base holds the corpus.
+    segments: Vec<crate::ensemble::SealedSegment>,
+    /// Tombstones: mapped base rows (and segment entries) whose ids are
+    /// dead. Queries filter candidates by sketch liveness while any exist.
+    dead: Vec<(DomainId, crate::ensemble::DeadSlot)>,
+    /// Persisted id-allocator high-water mark.
+    next_id: u32,
 }
 
 impl Clone for MmapIndex {
@@ -214,6 +253,9 @@ impl Clone for MmapIndex {
             tuner: Tuner::new(self.config.b_max as u32, self.config.r_max as u32),
             len: self.len,
             parts: self.parts.clone(),
+            segments: self.segments.clone(),
+            dead: self.dead.clone(),
+            next_id: self.next_id,
         }
     }
 }
@@ -301,7 +343,37 @@ impl MmapIndex {
             id_off += rows * b_max;
             total += rows;
         }
-        if total != len {
+        // Tiered-mutation tail (absent on pre-segment files → compacted).
+        let (segment_entries, dead, next_id) = if store.has(SectionKind::Segments) {
+            let blob = store.bytes(SectionKind::Segments)?;
+            let mut sdec = Decoder::new(blob);
+            let scodec = |source: CodecError| MmapIndexError::Codec {
+                section: "segments",
+                source,
+            };
+            let (entries, dead) =
+                crate::persist::decode_segments(&mut sdec, num_perm, part_count).map_err(scodec)?;
+            let next_id = sdec.get_u32("next id").map_err(scodec)?;
+            if !sdec.is_exhausted() {
+                return Err(corrupt("segments", "trailing bytes after segments"));
+            }
+            (entries, dead, next_id)
+        } else {
+            (Vec::new(), Vec::new(), 0)
+        };
+        let seg_entry_total: usize = segment_entries.iter().map(Vec::len).sum();
+        let dead_seg = dead
+            .iter()
+            .filter(|(_, s)| matches!(s, crate::ensemble::DeadSlot::Seg(_)))
+            .count();
+        let dead_base = dead.len() - dead_seg;
+        // Base rows are physical: live base domains plus tombstoned rows
+        // not yet compacted away. Live segment entries (total minus their
+        // tombstones) make up the rest of `len`.
+        let seg_live = seg_entry_total
+            .checked_sub(dead_seg)
+            .ok_or_else(|| corrupt("segments", "more segment tombstones than entries"))?;
+        if total + seg_live != len + dead_base {
             return Err(corrupt(
                 "partition lens",
                 "partition sizes do not sum to len",
@@ -332,17 +404,34 @@ impl MmapIndex {
             return Err(corrupt("sketch slots", "length disagrees with meta len"));
         }
 
+        let config = EnsembleConfig {
+            num_perm,
+            b_max,
+            r_max,
+            strategy,
+        };
+        // Replay each segment's deterministic seal — identical partitions
+        // and forests to the heap index that was packed.
+        let segments = segment_entries
+            .into_iter()
+            .map(|entries| crate::ensemble::build_segment(&config, entries))
+            .collect();
+        // Files without the section predate the allocator mark: the best
+        // floor is one past the largest live id.
+        let next_id = if store.has(SectionKind::Segments) {
+            next_id
+        } else {
+            sketch_ids.last().map_or(0, |&id| id + 1)
+        };
         Ok(Self {
             store,
-            config: EnsembleConfig {
-                num_perm,
-                b_max,
-                r_max,
-                strategy,
-            },
+            config,
             tuner: Tuner::new(b_max as u32, r_max as u32),
             len,
             parts,
+            segments,
+            dead,
+            next_id,
         })
     }
 
@@ -370,14 +459,40 @@ impl MmapIndex {
     /// for the packed corpus.
     #[must_use]
     pub fn partition_stats(&self) -> Vec<crate::PartitionStats> {
-        self.parts
+        let mut stats: Vec<crate::PartitionStats> = self
+            .parts
             .iter()
             .map(|p| crate::PartitionStats {
                 lower: p.lower,
                 upper: p.upper,
                 count: p.rows,
             })
-            .collect()
+            .collect();
+        for seg in &self.segments {
+            stats.extend(seg.partitions.iter().map(|p| crate::PartitionStats {
+                lower: p.lower,
+                upper: p.upper,
+                count: p.forest.len(),
+            }));
+        }
+        stats
+    }
+
+    /// Outstanding segments/tombstones carried by the packed file.
+    #[must_use]
+    pub fn segment_stats(&self) -> crate::SegmentStats {
+        crate::SegmentStats {
+            segments: self.segments.len(),
+            tombstones: self.dead.len(),
+        }
+    }
+
+    /// The id-allocator high-water mark persisted at pack time (one past
+    /// the largest id ever issued — including since-removed ids, so a
+    /// re-issued id can never alias a tombstoned one).
+    #[must_use]
+    pub fn next_id_hint(&self) -> u32 {
+        self.next_id
     }
 
     /// Borrowed sketch columns, assembled fresh from the mapping.
@@ -458,9 +573,15 @@ impl MmapIndex {
         self.check_query(signature, query_size, t_star);
         let tree_keys = self.store.u32s(SectionKind::TreeKeys).expect("validated");
         let tree_ids = self.store.u32s(SectionKind::TreeIds).expect("validated");
+        let sketches = self.sketches();
         let mut probe = ProbeCounts {
             probed: 0,
-            total: self.parts.len(),
+            total: self.parts.len()
+                + self
+                    .segments
+                    .iter()
+                    .map(|s| s.partitions.len())
+                    .sum::<usize>(),
             candidates: 0,
         };
         let mut buf: Vec<DomainId> = Vec::new();
@@ -477,14 +598,53 @@ impl MmapIndex {
                 t_star,
                 &mut buf,
             );
+            if probed {
+                self.filter_tombstoned(&sketches, &mut buf, before);
+            }
             probe.probed += usize::from(probed);
             probe.candidates += buf.len() - before;
+        }
+        // Heap-replayed segment partitions: same skip-prune, tuning, and
+        // probing as the heap index's segment sweep.
+        for seg in &self.segments {
+            for p in &seg.partitions {
+                if (p.upper as f64) < t_star * query_size as f64 {
+                    continue;
+                }
+                let before = buf.len();
+                let params = self.tuner.optimize(p.upper, query_size, t_star);
+                p.forest
+                    .query_into(signature, params.b as usize, params.r as usize, &mut buf);
+                self.filter_tombstoned(&sketches, &mut buf, before);
+                probe.probed += 1;
+                probe.candidates += buf.len() - before;
+            }
         }
         let mut set: FastHashSet<DomainId> = FastHashSet::default();
         set.extend(buf);
         let mut v: Vec<DomainId> = set.into_iter().collect();
         v.sort_unstable();
         (v, probe)
+    }
+
+    /// Drops candidates appended past `from` whose ids are tombstoned.
+    /// A sketch exists exactly for the live ids (the heap index filters on
+    /// its id → slot map; the sketch sections are that map's image), so
+    /// liveness is a mapped binary search. No-op while nothing is dead —
+    /// a re-inserted id is live in its new tier even though stale rows for
+    /// it remain in the base, and those rows must NOT be dropped.
+    fn filter_tombstoned(&self, sketches: &SketchesView<'_>, buf: &mut Vec<DomainId>, from: usize) {
+        if self.dead.is_empty() {
+            return;
+        }
+        let mut w = from;
+        for i in from..buf.len() {
+            if sketches.lookup(buf[i]).is_some() {
+                buf[w] = buf[i];
+                w += 1;
+            }
+        }
+        buf.truncate(w);
     }
 
     /// Ranks candidates by estimated containment against the mapped
@@ -699,6 +859,71 @@ mod tests {
                 let b = strip_wall(mapped.search(&q).expect("mmap"));
                 assert_eq!(a, b, "top-k parity k={k} kk={kk}");
             }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mutated_index_round_trips_segment_stack() {
+        let (h, mut ranked, values) = sample(24);
+        // Drift the corpus: remove a few built domains, add two batches of
+        // fresh ones (two sealed segments), remove one sealed insert.
+        ranked.try_remove(3).expect("remove");
+        ranked.try_remove(17).expect("remove");
+        for k in 0..5u32 {
+            let vals = MinHasher::synthetic_values(900 + u64::from(k), 120 + 10 * k as usize);
+            let sig = h.signature(vals.iter().copied());
+            ranked
+                .try_insert(100 + k, vals.len() as u64, &sig)
+                .expect("insert");
+        }
+        ranked.commit();
+        for k in 5..8u32 {
+            let vals = MinHasher::synthetic_values(900 + u64::from(k), 120 + 10 * k as usize);
+            let sig = h.signature(vals.iter().copied());
+            ranked
+                .try_insert(100 + k, vals.len() as u64, &sig)
+                .expect("insert");
+        }
+        ranked.commit();
+        ranked.try_remove(102).expect("remove sealed insert");
+        let stats = ranked.segment_stats();
+        assert_eq!(stats.segments, 2);
+        assert_eq!(stats.tombstones, 3);
+
+        let path = tmp("segmented");
+        pack_ranked_to(&ranked, &path).expect("pack");
+        let mapped = MmapIndex::open_verified(&path).expect("open");
+        assert_eq!(mapped.len(), ranked.len());
+        assert_eq!(mapped.segment_stats(), ranked.segment_stats());
+        assert_eq!(mapped.next_id_hint(), 108);
+        assert_eq!(
+            mapped.partition_stats(),
+            ranked.ensemble().partition_stats(),
+            "overlay partitions must replay bit-identically"
+        );
+        for k in [0usize, 5, 11, 23] {
+            let sig = h.signature(values[k].iter().copied());
+            let size = values[k].len() as u64;
+            for t in [0.1, 0.5, 0.9] {
+                let q = Query::threshold(&sig, t).with_size(size);
+                let a = strip_wall(ranked.search(&q).expect("heap"));
+                let b = strip_wall(mapped.search(&q).expect("mmap"));
+                assert_eq!(a, b, "threshold parity k={k} t={t}");
+            }
+            let q = Query::top_k(&sig, 5).with_size(size);
+            let a = strip_wall(ranked.search(&q).expect("heap"));
+            let b = strip_wall(mapped.search(&q).expect("mmap"));
+            assert_eq!(a, b, "top-k parity k={k}");
+        }
+        // Tombstoned ids never resurface; sealed inserts answer exactly.
+        let sig3 = h.signature(values[3].iter().copied());
+        let q = Query::threshold(&sig3, 0.0).with_size(values[3].len() as u64);
+        for outcome in [
+            mapped.search(&q).expect("mmap"),
+            ranked.search(&q).expect("heap"),
+        ] {
+            assert!(outcome.hits.iter().all(|hit| hit.id != 3 && hit.id != 102));
         }
         std::fs::remove_file(&path).ok();
     }

@@ -7,20 +7,32 @@
 //! num_perm:u32 b_max:u32 r_max:u32 strategy_tag:u8 strategy_args…
 //! len:u64 partition_count:u64
 //! per partition: lower:u64 upper:u64 forest_len:u64 forest_bytes
+//! segment_count:u64
+//! per segment: entry_count:u64, then per entry id:u32 size:u64 slots:u64×m
+//! dead_count:u64
+//! per tombstone: id:u32 tier:u8 (0 = base, 1 = segment) index:u32
 //! ```
+//!
+//! Version 2 added the trailing segment stack and tombstone list (tiered
+//! commits); a version-1 payload decodes as a fully compacted index. Sealed
+//! segments persist as their raw entry triples — partitioning a segment is
+//! deterministic, so the decoder replays [`build_segment`] and reconstructs
+//! bit-identical forests, which keeps the byte form canonical.
 //!
 //! The tuner's memo table is deliberately *not* persisted — it is a cache,
 //! rebuilt lazily, and excluding it keeps the byte form canonical.
-
-use crate::ensemble::{EnsembleConfig, LshEnsemble};
+//!
+//! [`build_segment`]: crate::ensemble
+use crate::ensemble::{DeadSlot, EnsembleConfig, LshEnsemble};
 use crate::partition::PartitionStrategy;
-use lshe_lsh::LshForest;
+use lshe_lsh::{DomainId, LshForest};
 use lshe_minhash::codec::{CodecError, Decoder, Encoder};
+use lshe_minhash::Signature;
 
 /// Envelope tag for ensemble payloads.
 pub const MAGIC: [u8; 4] = *b"LSHE";
 /// Current format version.
-pub const VERSION: u8 = 1;
+pub const VERSION: u8 = 2;
 
 pub(crate) fn encode_strategy(enc: &mut Encoder, strategy: PartitionStrategy) {
     match strategy {
@@ -43,6 +55,103 @@ pub(crate) fn encode_strategy(enc: &mut Encoder, strategy: PartitionStrategy) {
             enc.put_u64(n as u64);
         }
     }
+}
+
+/// Appends the tiered-mutation tail (segment stack + tombstone list) —
+/// shared between v1-style ensemble payloads and the v2 store's
+/// `Segments` section.
+pub(crate) fn encode_segments(
+    enc: &mut Encoder,
+    segments: &[crate::ensemble::SealedSegment],
+    dead: &[(DomainId, DeadSlot)],
+) {
+    enc.put_u64(segments.len() as u64);
+    for seg in segments {
+        enc.put_u64(seg.entries.len() as u64);
+        for (id, size, sig) in &seg.entries {
+            enc.put_u32(*id);
+            enc.put_u64(*size);
+            for &slot in sig.slots() {
+                enc.put_u64(slot);
+            }
+        }
+    }
+    enc.put_u64(dead.len() as u64);
+    for &(id, slot) in dead {
+        enc.put_u32(id);
+        match slot {
+            DeadSlot::Base(p) => {
+                enc.put_u8(0);
+                enc.put_u32(p);
+            }
+            DeadSlot::Seg(s) => {
+                enc.put_u8(1);
+                enc.put_u32(s);
+            }
+        }
+    }
+}
+
+/// Decodes [`encode_segments`]' output: per-segment raw entry triples plus
+/// the tombstone list, validated against the owning index's shape.
+///
+/// # Errors
+/// [`CodecError`] on truncation or structural inconsistency.
+#[allow(clippy::type_complexity)]
+pub(crate) fn decode_segments(
+    dec: &mut Decoder<'_>,
+    num_perm: usize,
+    part_count: usize,
+) -> Result<
+    (
+        Vec<Vec<(DomainId, u64, Signature)>>,
+        Vec<(DomainId, DeadSlot)>,
+    ),
+    CodecError,
+> {
+    let seg_count = dec.get_u64("segment count")? as usize;
+    let mut segment_entries = Vec::new();
+    for _ in 0..seg_count {
+        let entry_count = dec.get_u64("segment entry count")? as usize;
+        if entry_count == 0 {
+            return Err(CodecError::Corrupt("empty sealed segment"));
+        }
+        if entry_count.saturating_mul(12 + 8 * num_perm) > dec.remaining() {
+            return Err(CodecError::Corrupt("segment payload exceeds input"));
+        }
+        let mut entries = Vec::with_capacity(entry_count);
+        for _ in 0..entry_count {
+            let id = dec.get_u32("segment entry id")?;
+            let size = dec.get_u64("segment entry size")?;
+            if size == 0 {
+                return Err(CodecError::Corrupt("zero-size segment entry"));
+            }
+            let mut slots = Vec::with_capacity(num_perm);
+            for _ in 0..num_perm {
+                slots.push(dec.get_u64("segment entry slot")?);
+            }
+            entries.push((id, size, Signature::from_slots(slots)));
+        }
+        segment_entries.push(entries);
+    }
+    let dead_count = dec.get_u64("tombstone count")? as usize;
+    if dead_count.saturating_mul(9) > dec.remaining() {
+        return Err(CodecError::Corrupt("tombstone payload exceeds input"));
+    }
+    let mut dead = Vec::with_capacity(dead_count);
+    for _ in 0..dead_count {
+        let id = dec.get_u32("tombstone id")?;
+        let tier = dec.get_u8("tombstone tier")?;
+        let idx = dec.get_u32("tombstone index")?;
+        let slot = match tier {
+            0 if (idx as usize) < part_count => DeadSlot::Base(idx),
+            1 if (idx as usize) < seg_count => DeadSlot::Seg(idx),
+            0 | 1 => return Err(CodecError::Corrupt("tombstone index out of range")),
+            _ => return Err(CodecError::Corrupt("unknown tombstone tier")),
+        };
+        dead.push((id, slot));
+    }
+    Ok((segment_entries, dead))
 }
 
 pub(crate) fn decode_strategy(dec: &mut Decoder<'_>) -> Result<PartitionStrategy, CodecError> {
@@ -78,10 +187,17 @@ impl LshEnsemble {
     /// Serialises a *committed* ensemble from a shared reference.
     ///
     /// # Panics
-    /// Panics (via the forest serialiser) if staged inserts exist — call
-    /// [`commit`](Self::commit) or use [`to_bytes`](Self::to_bytes).
+    /// Panics if staged inserts exist (they live outside the base forests
+    /// and the segment stack, so serialising them here would silently drop
+    /// them) — call [`commit`](Self::commit) or use
+    /// [`to_bytes`](Self::to_bytes).
     #[must_use]
     pub fn to_bytes_committed(&self) -> Vec<u8> {
+        assert_eq!(
+            self.staged_len(),
+            0,
+            "commit staged inserts before serialising"
+        );
         let config = *self.config();
         let mut enc = Encoder::with_capacity(64 + self.memory_bytes());
         enc.envelope(MAGIC, VERSION);
@@ -102,6 +218,7 @@ impl LshEnsemble {
                 enc.put_u8(b);
             }
         }
+        encode_segments(&mut enc, self.raw_segments(), self.raw_dead());
         enc.finish()
     }
 
@@ -129,7 +246,6 @@ impl LshEnsemble {
             return Err(CodecError::Corrupt("inconsistent configuration"));
         }
         let mut partitions = Vec::with_capacity(part_count);
-        let mut total = 0usize;
         for _ in 0..part_count {
             let lower = dec.get_u64("partition lower")?;
             let upper = dec.get_u64("partition upper")?;
@@ -148,16 +264,19 @@ impl LshEnsemble {
             if forest.b_max() != b_max || forest.r_max() != r_max {
                 return Err(CodecError::Corrupt("forest dims disagree with config"));
             }
-            total += forest.len();
             partitions.push((lower, upper, forest));
         }
-        if total != len {
-            return Err(CodecError::Corrupt("partition sizes do not sum to len"));
-        }
+        // Version 1 predates tiered commits: no segment stack, no
+        // tombstones — exactly a compacted index.
+        let (segment_entries, dead) = if version >= 2 {
+            decode_segments(&mut dec, num_perm, part_count)?
+        } else {
+            (Vec::new(), Vec::new())
+        };
         if !dec.is_exhausted() {
             return Err(CodecError::Corrupt("trailing bytes after ensemble"));
         }
-        Ok(Self::from_raw_partitions(
+        let ensemble = Self::from_raw_partitions(
             EnsembleConfig {
                 num_perm,
                 b_max,
@@ -166,7 +285,16 @@ impl LshEnsemble {
             },
             partitions,
             len,
-        ))
+            segment_entries,
+            dead,
+        );
+        // Subsumes v1's per-partition sum check: live ids (base rows, plus
+        // segment entries, minus tombstones) must agree with the recorded
+        // length — catching duplicate ids and tampered lengths alike.
+        if ensemble.id_count() != len {
+            return Err(CodecError::Corrupt("partition sizes do not sum to len"));
+        }
+        Ok(ensemble)
     }
 
     /// Writes the serialised ensemble to a file.

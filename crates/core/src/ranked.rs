@@ -18,7 +18,7 @@
 
 use crate::api::{
     CommitReport, DomainIndex, MutableIndex, MutationError, ProbeCounts, Query, QueryError,
-    QueryMode, SearchHit, SearchOutcome, DEFAULT_REBALANCE_TRIGGER, ESTIMATE_SLACK,
+    QueryMode, SearchHit, SearchOutcome, SegmentStats, DEFAULT_REBALANCE_TRIGGER, ESTIMATE_SLACK,
 };
 use crate::ensemble::{EnsembleConfig, LshEnsemble, LshEnsembleBuilder, PartitionStats};
 use lshe_lsh::DomainId;
@@ -258,26 +258,77 @@ impl RankedIndex {
         self.ensemble.staged_len()
     }
 
-    /// Folds staged inserts into the sorted runs and — because this index
-    /// retains every sketch — rebuilds the equi-depth partitioning from
-    /// scratch when drift passed the configured trigger, restoring the
-    /// exact freshly-built layout (§6.2's remedy, automated).
+    /// Seals the staged delta into an immutable segment (O(staged delta))
+    /// and — because this index retains every sketch — rebuilds the
+    /// equi-depth partitioning from scratch when drift passed the
+    /// configured trigger, restoring the exact freshly-built layout
+    /// (§6.2's remedy, automated). The rebuild also folds outstanding
+    /// segments and erases tombstones, since it starts from the live
+    /// sketch set.
     pub fn commit(&mut self) -> CommitReport {
         let merged = self.ensemble.staged_len();
-        self.ensemble.commit();
+        let sealed = self.ensemble.commit();
         let rebalanced = self.maybe_rebalance();
-        CommitReport { merged, rebalanced }
+        let stats = self.ensemble.segment_stats();
+        CommitReport {
+            merged,
+            rebalanced,
+            sealed,
+            segments: stats.segments,
+            tombstones: stats.tombstones,
+        }
+    }
+
+    /// Forces the O(corpus) merge: seals any staged delta, then rebuilds
+    /// the partitioning from the retained sketches (the same path a
+    /// triggered rebalance takes), leaving zero outstanding segments and
+    /// tombstones.
+    pub fn compact(&mut self) -> CommitReport {
+        let merged = self.ensemble.staged_len();
+        let sealed = self.ensemble.commit();
+        if !self.rebuild_from_sketches() {
+            // Degenerate corpus (emptied index): fold in place instead.
+            self.ensemble.compact();
+        }
+        let stats = self.ensemble.segment_stats();
+        CommitReport {
+            merged,
+            rebalanced: true,
+            sealed,
+            segments: stats.segments,
+            tombstones: stats.tombstones,
+        }
+    }
+
+    /// Outstanding segments/tombstones on the inner ensemble.
+    #[must_use]
+    pub fn segment_stats(&self) -> SegmentStats {
+        self.ensemble.segment_stats()
     }
 
     /// Rebuilds the inner ensemble from the retained sketches when the
-    /// partition-population skew exceeds the trigger. Returns whether a
-    /// rebuild happened.
+    /// BASE partition-population skew exceeds the trigger. Segment and
+    /// staged tiers are excluded from the metric: they are transient by
+    /// design, and counting them would turn a routine stack of sealed
+    /// segments into fake drift — putting the O(corpus) rebuild back on
+    /// the commit path the tiering exists to protect.
     fn maybe_rebalance(&mut self) -> bool {
         if !skew_exceeds(
-            &self.ensemble.partition_stats(),
+            &self.ensemble.base_partition_stats(),
             self.ensemble.len(),
             self.rebalance_trigger,
         ) {
+            return false;
+        }
+        self.rebuild_from_sketches()
+    }
+
+    /// Rebuilds the inner ensemble from the retained sketches, restoring
+    /// the exact freshly-built layout. Returns `false` (doing nothing)
+    /// when the index is empty — `build_from_parts` needs at least one
+    /// domain.
+    fn rebuild_from_sketches(&mut self) -> bool {
+        if self.sketches.is_empty() {
             return false;
         }
         let config = *self.ensemble.config();
@@ -423,6 +474,14 @@ impl MutableIndex for RankedIndex {
 
     fn staged_len(&self) -> usize {
         RankedIndex::staged_len(self)
+    }
+
+    fn compact(&mut self) -> CommitReport {
+        RankedIndex::compact(self)
+    }
+
+    fn segment_stats(&self) -> SegmentStats {
+        RankedIndex::segment_stats(self)
     }
 }
 
@@ -667,31 +726,40 @@ mod tests {
     }
 
     #[test]
-    fn commit_rebalances_past_trigger() {
+    fn commit_seals_and_compaction_rebalances() {
         let (h, mut idx, _) = index(16);
-        // Flood one size class so equi-depth drifts hard.
+        // Flood one size class. Under tiered commits the flood seals into
+        // a segment: the BASE layout — and with it the drift metric — is
+        // untouched, so commit stays O(staged delta) however large the
+        // flood. Only compaction pays the rebuild.
         for i in 0..64u32 {
             let vals = MinHasher::synthetic_values(9_000 + u64::from(i), 10);
             idx.try_insert(1_000 + i, 10, &h.signature(vals.iter().copied()))
                 .expect("insert");
         }
-        let drifted = idx.ensemble().partition_stats();
-        let max_before = drifted.iter().map(|p| p.count).max().expect("parts");
         idx.set_rebalance_trigger(1.0);
+        let counts = |idx: &RankedIndex| -> Vec<usize> {
+            idx.ensemble()
+                .base_partition_stats()
+                .iter()
+                .map(|p| p.count)
+                .collect()
+        };
+        let base_before = counts(&idx);
         let report = idx.commit();
         assert_eq!(report.merged, 64);
-        assert!(
-            report.rebalanced,
-            "skew {max_before} should trip trigger 1.0"
-        );
-        let stats = idx.ensemble().partition_stats();
-        let max_after = stats.iter().map(|p| p.count).max().expect("parts");
-        assert!(
-            max_after < max_before,
-            "rebalance should flatten: {max_after} vs {max_before}"
-        );
+        assert!(report.sealed, "non-empty delta must seal");
+        assert!(!report.rebalanced, "sealed commit must not rebuild");
+        assert_eq!(report.segments, 1);
+        assert_eq!(counts(&idx), base_before, "seal touched the base");
         assert_eq!(idx.staged_len(), 0);
-        // Everything is still queryable after the rebuild.
+        // Compaction folds the segment and rebuilds equi-depth from the
+        // retained sketches: the flooded class spreads across the base.
+        let folded = idx.compact();
+        assert!(folded.rebalanced, "compaction must rebuild the base");
+        assert_eq!((folded.segments, folded.tombstones), (0, 0));
+        assert_eq!(counts(&idx).iter().sum::<usize>(), 80);
+        // Everything is still queryable after the fold.
         for i in [1_000u32, 1_031, 1_063] {
             let vals = MinHasher::synthetic_values(9_000 + u64::from(i - 1_000), 10);
             let sig = h.signature(vals.iter().copied());
@@ -699,7 +767,7 @@ mod tests {
                 idx.query_ranked(&sig, 10, 0.9, 0.1)
                     .iter()
                     .any(|hh| hh.id == i),
-                "domain {i} lost in rebalance"
+                "domain {i} lost in compaction"
             );
         }
     }

@@ -9,7 +9,7 @@
 
 use crate::api::{
     outcome_from_ids, CommitReport, DomainIndex, MutableIndex, MutationError, ProbeCounts, Query,
-    QueryError, QueryMode, SearchOutcome,
+    QueryError, QueryMode, SearchOutcome, SegmentStats,
 };
 use crate::ensemble::{EnsembleConfig, LshEnsemble, LshEnsembleBuilder};
 use lshe_lsh::DomainId;
@@ -240,18 +240,53 @@ impl ShardedEnsemble {
         self.shards[shard].try_remove(id)
     }
 
-    /// Folds staged inserts into every shard's sorted runs.
+    /// Seals each shard's staged delta into a per-shard segment.
     pub fn commit(&mut self) -> CommitReport {
         let merged = self.staged_len();
+        let mut sealed = false;
         for shard in &mut self.shards {
-            LshEnsemble::commit(shard);
+            sealed |= LshEnsemble::commit(shard);
         }
         // Shards retain no sketches: domains cannot migrate between shards
         // or partitions, so boundary growth stays conservative instead.
+        let stats = self.segment_stats();
         CommitReport {
             merged,
             rebalanced: false,
+            sealed,
+            segments: stats.segments,
+            tombstones: stats.tombstones,
         }
+    }
+
+    /// Seals and then folds every shard's segment stack back into its
+    /// base, erasing tombstones — the O(corpus) step, off the commit path.
+    pub fn compact(&mut self) -> CommitReport {
+        let merged = self.staged_len();
+        let mut sealed = false;
+        for shard in &mut self.shards {
+            sealed |= LshEnsemble::commit(shard);
+            shard.compact();
+        }
+        CommitReport {
+            merged,
+            rebalanced: false,
+            sealed,
+            segments: 0,
+            tombstones: 0,
+        }
+    }
+
+    /// Outstanding segments/tombstones summed over the shards.
+    #[must_use]
+    pub fn segment_stats(&self) -> SegmentStats {
+        let mut out = SegmentStats::default();
+        for shard in &self.shards {
+            let s = shard.segment_stats();
+            out.segments += s.segments;
+            out.tombstones += s.tombstones;
+        }
+        out
     }
 
     /// Instrumented fan-out query: sorted-unique ids plus probe counters
@@ -377,6 +412,14 @@ impl MutableIndex for ShardedEnsemble {
 
     fn staged_len(&self) -> usize {
         ShardedEnsemble::staged_len(self)
+    }
+
+    fn compact(&mut self) -> CommitReport {
+        ShardedEnsemble::compact(self)
+    }
+
+    fn segment_stats(&self) -> SegmentStats {
+        ShardedEnsemble::segment_stats(self)
     }
 }
 

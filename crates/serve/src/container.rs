@@ -34,8 +34,10 @@ use std::sync::Arc;
 
 /// Envelope tag for `.lshe` files.
 pub const MAGIC: [u8; 4] = *b"LSHX";
-/// Current container version.
-pub const VERSION: u8 = 1;
+/// Current container version. v2 appends the id allocator's high-water
+/// mark so a restart never re-issues a removed domain's id; v1 files load
+/// with the mark recomputed as `max(id) + 1`.
+pub const VERSION: u8 = 2;
 
 /// Provenance of one indexed domain.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -86,6 +88,10 @@ pub struct IndexContainer {
     records: Vec<DomainRecord>,
     index: StoredIndex,
     num_perm: usize,
+    /// Id allocator high-water mark: one past the largest id ever issued,
+    /// monotone across removals (a removed id is never re-issued, so a
+    /// stale reference can never silently resolve to a new domain).
+    next_id: u32,
 }
 
 impl IndexContainer {
@@ -131,11 +137,19 @@ impl IndexContainer {
                 plain_builder.expect("plain builder present").build(),
             )),
         };
+        let next_id = Self::high_water(&records);
         Self {
             records,
             index,
             num_perm: hasher.num_perm(),
+            next_id,
         }
+    }
+
+    /// One past the largest id in `records` (0 when empty) — the floor for
+    /// a freshly computed allocator mark.
+    fn high_water(records: &[DomainRecord]) -> u32 {
+        records.iter().map(|r| r.id).max().map_or(0, |id| id + 1)
     }
 
     /// Builds a container from a stream of domains, sketching and dropping
@@ -183,10 +197,12 @@ impl IndexContainer {
                 plain_builder.expect("plain builder present").build(),
             )),
         };
+        let next_id = Self::high_water(&records);
         Self {
             records,
             index,
             num_perm: hasher.num_perm(),
+            next_id,
         }
     }
 
@@ -385,12 +401,14 @@ impl IndexContainer {
                             .clone()
                     })
                     .collect();
+                let next_id = Self::high_water(&records).max(self.next_id);
                 IndexContainer {
                     records,
                     index: StoredIndex::Ranked(Arc::new(RankedIndex::from_ensemble(
                         ensemble, sketches,
                     ))),
                     num_perm: self.num_perm,
+                    next_id,
                 }
             })
             .collect())
@@ -407,15 +425,21 @@ impl IndexContainer {
         }
     }
 
-    /// The smallest id safely assignable to a new domain (one past the
-    /// largest id on record).
+    /// The smallest id safely assignable to a new domain: the persisted
+    /// allocator high-water mark. Monotone across removals — removing the
+    /// highest-id domain does **not** free its id for reuse, so references
+    /// held by clients (or staged in a delta log) can never silently
+    /// rebind to a different domain after a restart.
     #[must_use]
     pub fn next_id(&self) -> u32 {
-        self.records
-            .iter()
-            .map(|r| r.id)
-            .max()
-            .map_or(0, |id| id + 1)
+        self.next_id
+    }
+
+    /// Raises the allocator high-water mark (never lowers it). The engine
+    /// calls this before persisting so ids handed out to staged-then-
+    /// cancelled inserts stay burned across restarts.
+    pub fn reserve_next_id(&mut self, next_id: u32) {
+        self.next_id = self.next_id.max(next_id);
     }
 
     /// Applies a batch of staged mutations in order: inserts stage into
@@ -453,26 +477,53 @@ impl IndexContainer {
                         .binary_search_by_key(&record.id, |r| r.id)
                         .expect_err("index insert rejects duplicates");
                     self.records.insert(at, record.clone());
+                    self.next_id = self.next_id.max(record.id + 1);
                 }
                 DeltaOp::Remove { id } => {
                     self.index_mut().remove(*id)?;
                     self.records.retain(|r| r.id != *id);
+                }
+                DeltaOp::Commit { next_id } => {
+                    // Log-replay bookkeeping, not a mutation: the engine
+                    // splits batches at these markers, but a marker that
+                    // does reach a batch only raises the allocator mark.
+                    self.next_id = self.next_id.max(*next_id);
                 }
             }
         }
         Ok(ops.len())
     }
 
-    /// Folds staged inserts into the sorted runs (and rebalances
-    /// sketch-retaining indexes past their skew trigger). Must run before
-    /// [`to_bytes`](Self::to_bytes), whose byte form is always the
-    /// canonical committed state.
+    /// Seals the staged delta into an immutable segment — O(staged), never
+    /// O(corpus). Must run before [`to_bytes`](Self::to_bytes), whose byte
+    /// form is always the canonical committed state (base + segment stack).
     pub fn commit_mutations(&mut self) -> CommitReport {
         if matches!(self.index, StoredIndex::Mapped(_)) {
             // Nothing can be staged into a read-only container.
             return CommitReport::default();
         }
         self.index_mut().commit()
+    }
+
+    /// Folds every sealed segment (and drops every tombstone) into the
+    /// base partitioning — the O(corpus) merge that segmented commits keep
+    /// off the commit path. Seals any still-staged delta first.
+    pub fn compact_index(&mut self) -> CommitReport {
+        if matches!(self.index, StoredIndex::Mapped(_)) {
+            return CommitReport::default();
+        }
+        self.index_mut().compact()
+    }
+
+    /// Sealed-segment and tombstone counts of the stored index (mapped
+    /// containers report the stack replayed from the packed file).
+    #[must_use]
+    pub fn segment_stats(&self) -> lshe_core::SegmentStats {
+        match &self.index {
+            StoredIndex::Plain(e) => e.segment_stats(),
+            StoredIndex::Ranked(r) => r.segment_stats(),
+            StoredIndex::Mapped(m) => m.segment_stats(),
+        }
     }
 
     /// Number of staged (uncommitted) inserts in the stored index.
@@ -638,6 +689,8 @@ impl IndexContainer {
                 enc.put_u64_slice(sig.slots());
             }
         }
+        // v2 trailer: the allocator high-water mark survives restarts.
+        enc.put_u32(self.next_id);
         enc.finish()
     }
 
@@ -720,6 +773,15 @@ impl IndexContainer {
         } else {
             StoredIndex::Plain(Arc::new(ensemble))
         };
+        // v1 files predate the persisted allocator mark; recompute the
+        // conservative floor (which is exactly what v1 servers did).
+        let next_id = if version >= 2 {
+            dec.get_u32("next id")
+                .map_err(|e| ("allocator mark", e))?
+                .max(Self::high_water(&records))
+        } else {
+            Self::high_water(&records)
+        };
         if !dec.is_exhausted() {
             return Err(sk(CodecError::Corrupt("trailing bytes after container")));
         }
@@ -727,6 +789,7 @@ impl IndexContainer {
             records,
             index,
             num_perm,
+            next_id,
         })
     }
 
@@ -786,10 +849,12 @@ impl IndexContainer {
         let mapped = MmapIndex::open_verified(path).map_err(store_err)?;
         let records = Self::decode_packed_records(&mapped).map_err(store_err)?;
         let num_perm = mapped.config().num_perm;
+        let next_id = mapped.next_id_hint().max(Self::high_water(&records));
         Ok(Self {
             records,
             index: StoredIndex::Mapped(Arc::new(mapped)),
             num_perm,
+            next_id,
         })
     }
 
@@ -869,7 +934,7 @@ impl IndexContainer {
         }
         let io = |e: std::io::Error| format!("{}: {e}", path.display());
         let mut packer = Packer::create(path).map_err(io)?;
-        lshe_core::pack_ranked(ranked, &mut packer).map_err(io)?;
+        lshe_core::pack_ranked_with(ranked, &mut packer, self.next_id).map_err(io)?;
         // Provenance: one codec blob per record, sliced by an offsets
         // table of count + 1 entries (the last is the blob length).
         let mut offsets: Vec<u64> = Vec::with_capacity(self.records.len() + 1);
@@ -975,8 +1040,11 @@ impl std::error::Error for LoadError {
 
 /// Envelope tag for `.delta` sidecar files.
 pub const DELTA_MAGIC: [u8; 4] = *b"LSHD";
-/// Current delta-log format version.
-pub const DELTA_VERSION: u8 = 1;
+/// Current delta-log format version. v2 widens the header with the id
+/// allocator's high-water mark at log creation (4 bytes) and adds the
+/// [`DeltaOp::Commit`] marker; v1 logs (5-byte header, no markers) still
+/// read back as one all-staged tail.
+pub const DELTA_VERSION: u8 = 2;
 
 /// One staged mutation, as recorded in the append-only delta log.
 #[derive(Debug, Clone, PartialEq)]
@@ -992,6 +1060,15 @@ pub enum DeltaOp {
     Remove {
         /// The id to remove.
         id: u32,
+    },
+    /// Commit marker: every op before it (since the previous marker) was
+    /// sealed into one segment and acknowledged. Appending this single
+    /// entry *is* the commit's durability step — no base rewrite — and
+    /// replaying the log batch-by-batch at boot reproduces the exact
+    /// segment stack that was acked.
+    Commit {
+        /// The allocator high-water mark at commit time.
+        next_id: u32,
     },
 }
 
@@ -1056,6 +1133,10 @@ fn encode_op(op: &DeltaOp) -> Vec<u8> {
             enc.put_u8(2);
             enc.put_u32(*id);
         }
+        DeltaOp::Commit { next_id } => {
+            enc.put_u8(3);
+            enc.put_u32(*next_id);
+        }
     }
     enc.finish()
 }
@@ -1075,6 +1156,9 @@ fn decode_op(payload: &[u8]) -> Result<DeltaOp, CodecError> {
         2 => DeltaOp::Remove {
             id: dec.get_u32("delta id")?,
         },
+        3 => DeltaOp::Commit {
+            next_id: dec.get_u32("delta next id")?,
+        },
         _ => return Err(CodecError::Corrupt("unknown delta op tag")),
     };
     if !dec.is_exhausted() {
@@ -1086,10 +1170,13 @@ fn decode_op(payload: &[u8]) -> Result<DeltaOp, CodecError> {
 /// The append-only mutation log kept next to a served `.lshe` file
 /// (`<index>.delta`): every staged `/insert` and `/remove` is appended
 /// before it is acknowledged, and replayed on the next load, so a server
-/// restart loses no staged mutation.
+/// restart loses no staged mutation. [`DeltaOp::Commit`] markers split the
+/// log into committed batches (each batch = one sealed segment) followed
+/// by a still-staged tail; the log is retired only by compaction, which
+/// folds every batch into the base file.
 ///
 /// ```text
-/// "LSHD" version:u8
+/// "LSHD" version:u8 next_id:u32        (v1 headers omit next_id)
 /// per entry: len:u32  payload[len]  fnv1a(payload):u64
 /// ```
 ///
@@ -1130,14 +1217,15 @@ impl DeltaLog {
         self.path.exists()
     }
 
-    /// Appends one op, creating the file (with its header) on first use.
+    /// Appends one op, creating the file (with its header, which pins the
+    /// allocator high-water mark `next_id` at creation time) on first use.
     /// The entry is fsynced (`sync_data`) before returning — the op is on
     /// disk, not just in the page cache, by the time the caller
     /// acknowledges it.
     ///
     /// # Errors
     /// Propagates I/O errors; the op is not recorded on failure.
-    pub fn append(&self, op: &DeltaOp) -> std::io::Result<()> {
+    pub fn append(&self, op: &DeltaOp, next_id: u32) -> std::io::Result<()> {
         let payload = encode_op(op);
         let mut entry = Encoder::with_capacity(payload.len() + 16);
         entry.put_u32(payload.len() as u32);
@@ -1150,8 +1238,9 @@ impl DeltaLog {
             .append(true)
             .open(&self.path)?;
         if file.metadata()?.len() == 0 {
-            let mut header = Encoder::with_capacity(5);
+            let mut header = Encoder::with_capacity(9);
             header.envelope(DELTA_MAGIC, DELTA_VERSION);
+            header.put_u32(next_id);
             file.write_all(&header.finish())?;
         }
         file.write_all(&bytes)?;
@@ -1161,13 +1250,23 @@ impl DeltaLog {
     /// Reads every op in append order. A missing file is an empty log.
     ///
     /// # Errors
+    /// As [`read_with_mark`](Self::read_with_mark).
+    pub fn read(&self) -> Result<Vec<DeltaOp>, DeltaError> {
+        self.read_with_mark().map(|(_, ops)| ops)
+    }
+
+    /// Reads the header's allocator high-water mark (0 for v1 logs, which
+    /// predate it) plus every op in append order. A missing file is an
+    /// empty log with mark 0.
+    ///
+    /// # Errors
     /// [`DeltaError::Torn`] when the file ends mid-entry (torn write),
     /// [`DeltaError::Corrupt`] on a bad header, checksum, or payload, and
     /// [`DeltaError::Io`] on filesystem failures.
-    pub fn read(&self) -> Result<Vec<DeltaOp>, DeltaError> {
+    pub fn read_with_mark(&self) -> Result<(u32, Vec<DeltaOp>), DeltaError> {
         let bytes = match std::fs::read(&self.path) {
             Ok(bytes) => bytes,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((0, Vec::new())),
             Err(e) => return Err(e.into()),
         };
         let mut dec = Decoder::new(&bytes);
@@ -1179,9 +1278,15 @@ impl DeltaLog {
                 "unsupported delta version {version}"
             )));
         }
-        // Entries are parsed straight off validated slices (the envelope
-        // above is the fixed 5-byte magic + version header).
-        let mut pos = 5usize;
+        // Entries are parsed straight off validated slices past the fixed
+        // header: magic + version (5 bytes), plus the v2 allocator mark.
+        let mark = if version >= 2 {
+            dec.get_u32("next id")
+                .map_err(|e| DeltaError::Corrupt(e.to_string()))?
+        } else {
+            0
+        };
+        let mut pos = if version >= 2 { 9usize } else { 5usize };
         let mut ops = Vec::new();
         while pos < bytes.len() {
             if bytes.len() - pos < 4 {
@@ -1204,7 +1309,7 @@ impl DeltaLog {
             }
             ops.push(decode_op(payload).map_err(|e| DeltaError::Corrupt(e.to_string()))?);
         }
-        Ok(ops)
+        Ok((mark, ops))
     }
 
     /// Deletes the log (after its ops were committed into the base file).
@@ -1548,16 +1653,21 @@ mod tests {
     fn delta_log_roundtrips_in_order() {
         let log = scratch_log("roundtrip");
         assert!(!log.exists());
-        assert_eq!(log.read().expect("missing file is empty"), Vec::new());
+        assert_eq!(
+            log.read_with_mark().expect("missing file is empty"),
+            (0, Vec::new())
+        );
         let ops = vec![
             insert_op(7, 12, 256),
             DeltaOp::Remove { id: 3 },
-            insert_op(8, 40, 256),
+            DeltaOp::Commit { next_id: 9 },
+            insert_op(9, 40, 256),
         ];
         for op in &ops {
-            log.append(op).expect("append");
+            log.append(op, 7).expect("append");
         }
-        assert_eq!(log.read().expect("read"), ops);
+        // The header pins the mark at creation; later appends keep it.
+        assert_eq!(log.read_with_mark().expect("read"), (7, ops));
         log.clear().expect("clear");
         assert!(!log.exists());
         assert_eq!(log.read().expect("cleared is empty"), Vec::new());
@@ -1565,16 +1675,38 @@ mod tests {
     }
 
     #[test]
+    fn v1_delta_log_reads_back_without_a_mark() {
+        // A log written by a pre-segment server: 5-byte header, no
+        // allocator mark, no commit markers — reads as one staged tail.
+        let log = scratch_log("v1compat");
+        let ops = vec![insert_op(4, 10, 256), DeltaOp::Remove { id: 2 }];
+        let mut bytes = Vec::new();
+        let mut header = Encoder::with_capacity(5);
+        header.envelope(DELTA_MAGIC, 1);
+        bytes.extend_from_slice(&header.finish());
+        for op in &ops {
+            let payload = encode_op(op);
+            bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            bytes.extend_from_slice(&payload);
+            bytes.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        }
+        std::fs::write(log.path(), &bytes).expect("write");
+        assert_eq!(log.read_with_mark().expect("read v1"), (0, ops));
+        std::fs::remove_dir_all(log.path().parent().expect("dir")).ok();
+    }
+
+    #[test]
     fn torn_delta_log_is_a_typed_error_at_every_cut() {
         let log = scratch_log("torn");
-        log.append(&insert_op(1, 10, 256)).expect("append");
-        log.append(&DeltaOp::Remove { id: 1 }).expect("append");
+        log.append(&insert_op(1, 10, 256), 2).expect("append");
+        log.append(&DeltaOp::Remove { id: 1 }, 2).expect("append");
         let bytes = std::fs::read(log.path()).expect("read");
         // Cut anywhere strictly inside the second entry: one complete
-        // entry must be reported, never a panic.
+        // entry must be reported, never a panic. The v2 header is 9 bytes
+        // (magic + version + allocator mark).
         let first_entry_end = {
-            let payload_len = u32::from_le_bytes(bytes[5..9].try_into().expect("len")) as usize;
-            5 + 4 + payload_len + 8
+            let payload_len = u32::from_le_bytes(bytes[9..13].try_into().expect("len")) as usize;
+            9 + 4 + payload_len + 8
         };
         for cut in [first_entry_end + 1, first_entry_end + 4, bytes.len() - 1] {
             std::fs::write(log.path(), &bytes[..cut]).expect("truncate");
@@ -1585,7 +1717,7 @@ mod tests {
         }
         // A flipped payload byte is a checksum error, not a panic.
         let mut flipped = bytes.clone();
-        flipped[10] ^= 0xFF;
+        flipped[14] ^= 0xFF;
         std::fs::write(log.path(), &flipped).expect("write");
         assert!(matches!(log.read(), Err(DeltaError::Corrupt(_))));
         // Garbage header.
@@ -1703,11 +1835,16 @@ mod tests {
         std::fs::write(&cut, &bytes[..bytes.len() - 1]).expect("write");
         let err = IndexContainer::load(&cut).unwrap_err();
         match &err {
-            LoadError::Decode { section, .. } => assert_eq!(*section, "sketches"),
+            // The last bytes of a v2 container are the allocator-mark
+            // trailer, so a one-byte truncation fails there.
+            LoadError::Decode { section, .. } => assert_eq!(*section, "allocator mark"),
             other => panic!("expected Decode, got {other:?}"),
         }
         assert!(err.to_string().contains("cut.lshe"), "got {err}");
-        assert!(err.to_string().contains("sketches section"), "got {err}");
+        assert!(
+            err.to_string().contains("allocator mark section"),
+            "got {err}"
+        );
 
         // Garbage magic decodes as v1 and fails in the header.
         let junk = dir.join("junk.lshe");

@@ -208,6 +208,9 @@ pub struct Engine {
     reload_lock: std::sync::Mutex<()>,
     shards: usize,
     generation: AtomicU64,
+    /// Generation produced by the last [`compact`](Self::compact) in this
+    /// process (0 = no compaction since boot) — surfaced on `/stats`.
+    last_compaction: AtomicU64,
     /// Staged live mutations, guarded separately from the snapshot so
     /// staging never blocks queries.
     pending: Mutex<Pending>,
@@ -215,19 +218,20 @@ pub struct Engine {
 
 impl Engine {
     /// Loads an index file and builds generation 1. When a `<path>.delta`
-    /// sidecar exists (staged mutations from a previous run that never
-    /// committed), its ops are replayed into the staging area — a restart
-    /// loses nothing, and the ops become visible on the next commit
-    /// exactly as they would have before the restart.
+    /// sidecar exists, its committed batches (the runs of ops closed by a
+    /// [`DeltaOp::Commit`] marker) are replayed and re-sealed into the
+    /// exact segment stack that was acknowledged before the restart, and
+    /// the still-staged tail after the last marker is replayed into the
+    /// staging area — a restart loses nothing.
     ///
     /// # Errors
     /// [`EngineError`] on I/O failure, a corrupt file, an invalid shard
     /// configuration, or a corrupt/torn delta log (typed, never a panic).
     pub fn load(path: &Path, shards: usize) -> Result<Self, EngineError> {
-        let container = IndexContainer::load(path)?;
+        let mut container = IndexContainer::load(path)?;
         let log = DeltaLog::sidecar(path);
-        let ops = log
-            .read()
+        let (mark, ops) = log
+            .read_with_mark()
             .map_err(|e| EngineError::Index(format!("{}: {e}", log.path().display())))?;
         let had_ops = !ops.is_empty();
         if had_ops && container.kind() == IndexKind::Mapped {
@@ -242,12 +246,16 @@ impl Engine {
                 log.path().display(),
             )));
         }
-        let pending = Self::replay_pending(&container, ops)?;
-        if had_ops && pending.ops.is_empty() {
+        container.reserve_next_id(mark);
+        let (batches, tail) = Self::split_batches(ops);
+        let fresh = Self::replay_committed(&mut container, batches)?;
+        let pending = Self::replay_pending(&container, tail)?;
+        if had_ops && fresh == 0 && pending.ops.is_empty() {
             // Every logged op is already embodied in the base file — the
-            // crash window between a commit's atomic rename and its log
-            // clear. Retire the log now instead of re-skipping it on
-            // every boot.
+            // crash window between a compaction's atomic rename and its
+            // log clear. Retire the log now instead of re-skipping it on
+            // every boot. (A log that materialised segments stays: it is
+            // their only durable copy until the next compaction.)
             log.clear()?;
         }
         let snapshot = Snapshot::new(container, shards, 1)?;
@@ -257,8 +265,79 @@ impl Engine {
             reload_lock: std::sync::Mutex::new(()),
             shards,
             generation: AtomicU64::new(1),
+            last_compaction: AtomicU64::new(0),
             pending: Mutex::new(pending),
         })
+    }
+
+    /// Splits replayed log ops at [`DeltaOp::Commit`] markers: the closed
+    /// batches (each with its allocator mark) and the still-staged tail.
+    fn split_batches(ops: Vec<DeltaOp>) -> (Vec<(Vec<DeltaOp>, u32)>, Vec<DeltaOp>) {
+        let mut batches = Vec::new();
+        let mut run = Vec::new();
+        for op in ops {
+            if let DeltaOp::Commit { next_id } = op {
+                batches.push((std::mem::take(&mut run), next_id));
+            } else {
+                run.push(op);
+            }
+        }
+        (batches, run)
+    }
+
+    /// Re-applies committed batches onto a freshly loaded base, sealing
+    /// one segment per non-embodied batch — bit-identical to the segments
+    /// the original commits built, because each batch replays the same ops
+    /// in the same order through the same seal. Replay is idempotent: a
+    /// compaction persists the folded base *before* clearing the log, so a
+    /// crash in between leaves batches the base already embodies — those
+    /// skip whole (an insert whose exact record is present, a removal
+    /// whose id is absent) and seal nothing. Returns how many ops actually
+    /// applied.
+    fn replay_committed(
+        container: &mut IndexContainer,
+        batches: Vec<(Vec<DeltaOp>, u32)>,
+    ) -> Result<usize, EngineError> {
+        let mut fresh = 0usize;
+        for (ops, mark) in batches {
+            let mut batch: Vec<DeltaOp> = Vec::with_capacity(ops.len());
+            for op in ops {
+                match &op {
+                    DeltaOp::Insert { record, .. } => {
+                        if let Some(existing) = container.record(record.id) {
+                            if existing == record {
+                                continue; // already embodied by a compaction
+                            }
+                            return Err(EngineError::Index(format!(
+                                "delta log replays committed insert of id {} with \
+                                 different provenance",
+                                record.id
+                            )));
+                        }
+                        batch.push(op);
+                    }
+                    DeltaOp::Remove { id } => {
+                        let staged_here = batch.iter().any(
+                            |b| matches!(b, DeltaOp::Insert { record, .. } if record.id == *id),
+                        );
+                        if container.record(*id).is_none() && !staged_here {
+                            continue; // already embodied by a compaction
+                        }
+                        batch.push(op);
+                    }
+                    DeltaOp::Commit { .. } => unreachable!("split_batches consumed markers"),
+                }
+            }
+            if !batch.is_empty() {
+                container
+                    .apply(&batch)
+                    .map_err(|e| EngineError::Index(format!("delta log replay: {e}")))?;
+                container.commit_mutations();
+                fresh += batch.len();
+            }
+            container.reserve_next_id(mark);
+        }
+        Ok(fresh)
     }
 
     /// Wraps an in-memory container (tests, examples, benches). `/reload`
@@ -276,6 +355,7 @@ impl Engine {
             reload_lock: std::sync::Mutex::new(()),
             shards,
             generation: AtomicU64::new(1),
+            last_compaction: AtomicU64::new(0),
             pending: Mutex::new(Pending {
                 next_id,
                 ..Pending::default()
@@ -340,6 +420,13 @@ impl Engine {
                         // base): skip rather than wedge the boot.
                         continue;
                     }
+                }
+                DeltaOp::Commit { next_id } => {
+                    // Markers never reach the staged tail (split_batches
+                    // consumes them); tolerate one anyway by taking its
+                    // allocator mark and dropping it.
+                    pending.next_id = pending.next_id.max(*next_id);
+                    continue;
                 }
             }
             pending.ops.push(op);
@@ -451,7 +538,7 @@ impl Engine {
             },
             signature,
         };
-        self.log_op(&op)?;
+        self.log_op(&op, pending.next_id.max(id + 1))?;
         pending.next_id = pending.next_id.max(id + 1);
         pending.staged_inserts.insert(id);
         pending.ops.push(op);
@@ -493,7 +580,7 @@ impl Engine {
             return Err(EngineError::Mutation(format!("unknown domain id {id}")));
         }
         let op = DeltaOp::Remove { id };
-        self.log_op(&op)?;
+        self.log_op(&op, pending.next_id)?;
         if staged {
             pending.staged_inserts.remove(&id);
         } else {
@@ -527,7 +614,7 @@ impl Engine {
                         + record.column.capacity()
                         + std::mem::size_of::<crate::container::DomainRecord>()
                 }
-                DeltaOp::Remove { .. } => std::mem::size_of::<DeltaOp>(),
+                DeltaOp::Remove { .. } | DeltaOp::Commit { .. } => std::mem::size_of::<DeltaOp>(),
             })
             .sum()
     }
@@ -540,21 +627,24 @@ impl Engine {
     }
 
     /// Appends one op to the delta log when the engine is file-backed.
-    fn log_op(&self, op: &DeltaOp) -> Result<(), EngineError> {
+    /// `next_id` is the allocator mark after the op — pinned into the log
+    /// header if this append creates the file.
+    fn log_op(&self, op: &DeltaOp, next_id: u32) -> Result<(), EngineError> {
         let path = self.path.read().expect("engine lock poisoned").clone();
         if let Some(path) = path {
-            DeltaLog::sidecar(&path).append(op)?;
+            DeltaLog::sidecar(&path).append(op, next_id)?;
         }
         Ok(())
     }
 
     /// Commits every staged mutation as one new snapshot generation:
-    /// copy-on-write — the current container is cloned, the ops applied
-    /// and folded (rebalancing past the skew trigger), the result
-    /// persisted back to the index file (atomic tmp + rename) with the
-    /// delta log cleared, and the snapshot swapped. In-flight queries keep
-    /// their pre-commit snapshot; the query cache invalidates by
-    /// generation.
+    /// copy-on-write — the current container is cloned, the ops applied,
+    /// and the staged delta sealed into one immutable segment. The work is
+    /// O(staged delta) and the durability step is a single appended
+    /// [`DeltaOp::Commit`] marker — the base file is **not** rewritten;
+    /// it catches up at the next [`compact`](Self::compact). In-flight
+    /// queries keep their pre-commit snapshot; the query cache invalidates
+    /// by generation.
     ///
     /// With nothing staged this is a no-op returning the live snapshot.
     ///
@@ -562,9 +652,10 @@ impl Engine {
     /// [`EngineError::Mutation`] when an op no longer applies (e.g. the
     /// index was hot-reloaded to a file that already uses a staged id) —
     /// staged ops are kept so the operator can reload the original file
-    /// and retry; [`EngineError::Io`] when the committed state cannot be
-    /// persisted — the commit is then abandoned whole: no snapshot swap,
-    /// staged ops kept, delta log untouched, retry on the next `/commit`.
+    /// and retry; [`EngineError::Io`] when the marker cannot be appended —
+    /// the commit is then abandoned whole: no snapshot swap, staged ops
+    /// kept, retry on the next `/commit` (the marker append is the commit
+    /// point, so a re-issued commit is idempotent).
     pub fn commit_staged(&self) -> Result<(Arc<Snapshot>, CommitOutcome), EngineError> {
         let _guard = self.reload_lock.lock().expect("reload lock poisoned");
         let mut pending = self.pending.lock().expect("pending lock poisoned");
@@ -577,10 +668,59 @@ impl Engine {
             .apply(&pending.ops)
             .map_err(|e| EngineError::Mutation(e.to_string()))?;
         let report = container.commit_mutations();
+        container.reserve_next_id(pending.next_id);
         let applied = pending.ops.len();
 
-        // Persist the committed state, then retire the delta log: the base
-        // file now embodies every logged op.
+        // Durability: one marker closes the batch. Replaying the log at
+        // boot re-seals the identical segment, so nothing else need touch
+        // disk here — this is what keeps commit latency flat as the
+        // corpus grows.
+        self.log_op(
+            &DeltaOp::Commit {
+                next_id: pending.next_id,
+            },
+            pending.next_id,
+        )?;
+
+        let generation = self.generation.fetch_add(1, Ordering::SeqCst) + 1;
+        let snapshot = Arc::new(Snapshot::new(container, self.shards, generation)?);
+        *self.current.write().expect("engine lock poisoned") = Arc::clone(&snapshot);
+        *pending = Pending {
+            next_id: pending.next_id,
+            ..Pending::default()
+        };
+        Ok((snapshot, CommitOutcome { applied, report }))
+    }
+
+    /// Compacts the index: seals anything still staged, folds every
+    /// segment and tombstone into the base partitioning, persists the
+    /// folded base (atomic tmp + rename), and retires the delta log. This
+    /// is the only O(corpus) step in the mutation lifecycle, and it runs
+    /// here — off the commit path — either on demand (`POST /compact`,
+    /// `lshe compact`) or from the background merger once
+    /// [`needs_compaction`](Self::needs_compaction) trips.
+    ///
+    /// # Errors
+    /// [`EngineError::Mutation`] when a staged op no longer applies (ops
+    /// kept, nothing swapped); [`EngineError::Io`] when the folded base
+    /// cannot be persisted — the compaction is abandoned whole: no
+    /// snapshot swap, delta log untouched, segments still queryable.
+    pub fn compact(&self) -> Result<(Arc<Snapshot>, CommitOutcome), EngineError> {
+        let _guard = self.reload_lock.lock().expect("reload lock poisoned");
+        let mut pending = self.pending.lock().expect("pending lock poisoned");
+        let snap = self.snapshot();
+        Self::reject_mapped(&snap)?;
+        let mut container = snap.container().clone();
+        container
+            .apply(&pending.ops)
+            .map_err(|e| EngineError::Mutation(e.to_string()))?;
+        let applied = pending.ops.len();
+        let report = container.compact_index();
+        container.reserve_next_id(pending.next_id);
+
+        // Persist the folded base, then retire the delta log: the base
+        // file now embodies every logged batch. Crash between the rename
+        // and the clear is safe — the stale log replays as a no-op.
         let path = self.path.read().expect("engine lock poisoned").clone();
         if let Some(path) = &path {
             let tmp = path.with_extension("lshe.tmp");
@@ -596,7 +736,31 @@ impl Engine {
             next_id: pending.next_id,
             ..Pending::default()
         };
+        self.last_compaction.store(generation, Ordering::SeqCst);
         Ok((snapshot, CommitOutcome { applied, report }))
+    }
+
+    /// Sealed-segment and tombstone counts of the live snapshot.
+    #[must_use]
+    pub fn segment_stats(&self) -> lshe_core::SegmentStats {
+        self.snapshot().container().segment_stats()
+    }
+
+    /// True when the live snapshot's segment stack or tombstone backlog
+    /// crossed the compaction thresholds
+    /// ([`lshe_core::MAX_SEGMENTS`] / [`lshe_core::MAX_TOMBSTONE_RATIO`]).
+    #[must_use]
+    pub fn needs_compaction(&self) -> bool {
+        let snap = self.snapshot();
+        snap.container().kind() != IndexKind::Mapped
+            && lshe_core::needs_compaction(snap.container().segment_stats(), snap.container().len())
+    }
+
+    /// Generation created by the last [`compact`](Self::compact) in this
+    /// process; 0 when none has run since boot.
+    #[must_use]
+    pub fn last_compaction(&self) -> u64 {
+        self.last_compaction.load(Ordering::SeqCst)
     }
 
     /// Reloads the index from `path` (or the path of the previous load)
@@ -624,7 +788,21 @@ impl Engine {
                     )
                 })?,
         };
-        let container = IndexContainer::load(&target)?;
+        let mut container = IndexContainer::load(&target)?;
+        // The base file alone is the post-compaction state; committed
+        // batches still live in the delta log and must replay too, or a
+        // reload would silently roll back acknowledged commits. The tail
+        // after the last marker stays in the log — the in-memory staging
+        // area (which survives the reload below) is authoritative for it.
+        if container.kind() != IndexKind::Mapped {
+            let log = DeltaLog::sidecar(&target);
+            let (mark, ops) = log
+                .read_with_mark()
+                .map_err(|e| EngineError::Index(format!("{}: {e}", log.path().display())))?;
+            container.reserve_next_id(mark);
+            let (batches, _tail) = Self::split_batches(ops);
+            Self::replay_committed(&mut container, batches)?;
+        }
         let generation = self.generation.fetch_add(1, Ordering::SeqCst) + 1;
         let snapshot = Arc::new(Snapshot::new(container, self.shards, generation)?);
         *self.path.write().expect("engine lock poisoned") = Some(target);
@@ -852,16 +1030,45 @@ mod tests {
             }
         );
         assert!(engine.snapshot().search(&sig, q, 0.9).is_empty());
-        // …and commit exactly as they would have pre-restart.
+        // …and commit exactly as they would have pre-restart. The commit
+        // is marker-only: the base file on disk is untouched.
+        let base_before = std::fs::read(&path).expect("base bytes");
         let (snap, outcome) = engine.commit_staged().expect("commit");
         assert_eq!(outcome.applied, 2);
+        assert!(outcome.report.sealed);
+        assert_eq!(outcome.report.segments, 1);
+        assert_eq!(outcome.report.tombstones, 1);
         assert!(snap.search(&sig, q, 0.9).iter().any(|&(id, _)| id == 8));
         assert!(snap.container().record(2).is_none());
-        // The log is retired; the base file embodies the ops now.
-        assert!(!crate::container::DeltaLog::sidecar(&path).exists());
+        assert_eq!(
+            std::fs::read(&path).expect("base bytes"),
+            base_before,
+            "segmented commit must not rewrite the base file"
+        );
+        // The log persists (it carries the committed batch) and replays
+        // the identical segment stack on the next boot.
+        assert!(crate::container::DeltaLog::sidecar(&path).exists());
         let fresh = Engine::load(&path, 1).expect("load committed");
         assert_eq!(fresh.snapshot().container().len(), 8);
+        assert_eq!(fresh.staged_counts(), StagedCounts::default());
+        assert_eq!(
+            fresh.snapshot().container().segment_stats(),
+            snap.container().segment_stats()
+        );
         assert!(fresh
+            .snapshot()
+            .search(&sig, q, 0.9)
+            .iter()
+            .any(|&(id, _)| id == 8));
+        // Compaction folds the batch into the base and retires the log.
+        let (folded, report) = fresh.compact().expect("compact");
+        assert!(report.report.rebalanced);
+        assert_eq!(folded.container().segment_stats(), Default::default());
+        assert!(!crate::container::DeltaLog::sidecar(&path).exists());
+        assert_eq!(fresh.last_compaction(), folded.generation());
+        let after = Engine::load(&path, 1).expect("load compacted");
+        assert_eq!(after.snapshot().container().len(), 8);
+        assert!(after
             .snapshot()
             .search(&sig, q, 0.9)
             .iter()
@@ -871,9 +1078,10 @@ mod tests {
 
     #[test]
     fn already_committed_delta_log_replays_idempotently() {
-        // The crash window a commit leaves open: base file renamed (ops
-        // embodied), process dies before the log clear. The stale log
-        // must replay as a no-op and be retired — never wedge the boot.
+        // The crash window a compaction leaves open: folded base renamed
+        // (ops embodied), process dies before the log clear. The stale
+        // log must replay as a no-op and be retired — never wedge the
+        // boot, never double-apply.
         let dir = std::env::temp_dir().join(format!("lshe_engine_stale_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).expect("mkdir");
@@ -890,11 +1098,13 @@ mod tests {
             .stage_insert("survivor".into(), "col".into(), q, sig.clone())
             .expect("stage");
         engine.stage_remove(2).expect("stage");
-        // Capture the log as written, commit (which clears it), then put
-        // the stale copy back — simulating a crash before the clear.
+        engine.commit_staged().expect("commit");
+        // Capture the log as committed (batch + marker), compact (which
+        // clears it), then put the stale copy back — simulating a crash
+        // between the base rename and the log clear.
         let log = crate::container::DeltaLog::sidecar(&path);
         let stale = std::fs::read(log.path()).expect("log bytes");
-        engine.commit_staged().expect("commit");
+        engine.compact().expect("compact");
         assert!(!log.exists());
         std::fs::write(log.path(), &stale).expect("restore stale log");
         drop(engine);
@@ -904,6 +1114,11 @@ mod tests {
         assert!(!log.exists(), "fully-applied log must be retired at load");
         let snap = engine.snapshot();
         assert_eq!(snap.container().len(), 7); // 7 − 1 + 1
+        assert_eq!(
+            snap.container().segment_stats(),
+            Default::default(),
+            "embodied batches must not re-seal segments"
+        );
         assert!(snap.search(&sig, q, 0.9).iter().any(|&(id, _)| id == 7));
         assert!(snap.container().record(2).is_none());
         // The id allocator stays past the replayed insert's id.
@@ -911,6 +1126,118 @@ mod tests {
             .stage_insert("after".into(), "col".into(), q, sig)
             .expect("stage");
         assert_eq!(next, 8);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn restart_never_reuses_a_removed_id() {
+        // Removing the highest-id domain used to shrink `max(id) + 1`, so
+        // a restart re-issued the removed id and stale references rebound
+        // to a brand-new domain. The allocator mark now persists in the
+        // commit marker, the v2 container trailer, and the log header.
+        let dir = std::env::temp_dir().join(format!("lshe_engine_reuse_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("idx.lshe");
+        std::fs::write(
+            &path,
+            IndexContainer::build(&catalog(6), 2, true).to_bytes(),
+        )
+        .expect("write");
+
+        let engine = Engine::load(&path, 1).expect("load");
+        assert_eq!(engine.next_id(), 6);
+        engine.stage_remove(5).expect("stage remove of max id");
+        engine.commit_staged().expect("commit");
+        drop(engine);
+
+        // Restart straight off the log (marker carries the mark).
+        let engine = Engine::load(&path, 1).expect("restart");
+        assert_eq!(engine.next_id(), 6, "removed id 5 must stay burned");
+        // And off the compacted base (v2 trailer carries the mark).
+        engine.compact().expect("compact");
+        drop(engine);
+        let engine = Engine::load(&path, 1).expect("restart after compact");
+        assert_eq!(engine.next_id(), 6, "mark must survive compaction too");
+        let (sig, q) = sig_of(40_000..40_020, engine.snapshot().container().num_perm());
+        let (id, _) = engine
+            .stage_insert("fresh".into(), "col".into(), q, sig)
+            .expect("stage");
+        assert_eq!(id, 6);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crash_at_each_commit_stage_recovers_exactly_the_acked_state() {
+        // Walk the commit path's crash points by reconstructing the log
+        // the process would have left at each: (a) ops appended, no
+        // marker — staged only, nothing acked as committed; (b) marker
+        // appended — commit acked, replay must reproduce the segment;
+        // (c) a marker torn mid-append — typed error, never a silent
+        // half-commit.
+        let dir = std::env::temp_dir().join(format!("lshe_engine_crash_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("idx.lshe");
+        std::fs::write(
+            &path,
+            IndexContainer::build(&catalog(6), 2, true).to_bytes(),
+        )
+        .expect("write");
+
+        let engine = Engine::load(&path, 1).expect("load");
+        let (sig, q) = sig_of(45_000..45_030, engine.snapshot().container().num_perm());
+        engine
+            .stage_insert("acked".into(), "col".into(), q, sig.clone())
+            .expect("stage");
+        engine.stage_remove(1).expect("stage");
+        let log = crate::container::DeltaLog::sidecar(&path);
+        let staged_only = std::fs::read(log.path()).expect("log bytes");
+        engine.commit_staged().expect("commit");
+        let with_marker = std::fs::read(log.path()).expect("log bytes");
+        drop(engine);
+
+        // (a) Crash after the op appends, before the marker: the ops are
+        // staged (durable, not yet queryable) — exactly what was acked.
+        std::fs::write(log.path(), &staged_only).expect("restore");
+        let engine = Engine::load(&path, 1).expect("boot (a)");
+        assert_eq!(
+            engine.staged_counts(),
+            StagedCounts {
+                inserts: 1,
+                removes: 1
+            }
+        );
+        assert!(engine.snapshot().search(&sig, q, 0.9).is_empty());
+        assert_eq!(
+            engine.snapshot().container().segment_stats(),
+            Default::default()
+        );
+        drop(engine);
+
+        // (b) Crash right after the marker append: the commit was acked,
+        // so replay must surface it — sealed segment, tombstone, hits.
+        std::fs::write(log.path(), &with_marker).expect("restore");
+        let engine = Engine::load(&path, 1).expect("boot (b)");
+        assert_eq!(engine.staged_counts(), StagedCounts::default());
+        let stats = engine.snapshot().container().segment_stats();
+        assert_eq!((stats.segments, stats.tombstones), (1, 1));
+        assert!(engine
+            .snapshot()
+            .search(&sig, q, 0.9)
+            .iter()
+            .any(|&(id, _)| id == 6));
+        assert!(engine.snapshot().container().record(1).is_none());
+        drop(engine);
+
+        // (c) Marker torn mid-append: typed Torn error at boot.
+        for cut in 1..8 {
+            std::fs::write(log.path(), &with_marker[..with_marker.len() - cut])
+                .expect("tear marker");
+            let err = Engine::load(&path, 1).unwrap_err();
+            assert!(matches!(err, EngineError::Index(_)), "cut {cut}: {err}");
+            assert!(err.to_string().contains("torn"), "cut {cut}: {err}");
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -1013,7 +1340,7 @@ mod tests {
         // A stale non-empty delta sidecar next to a packed file is a
         // typed load failure, never silently dropped ops.
         let log = DeltaLog::sidecar(&packed);
-        log.append(&DeltaOp::Remove { id: 0 }).expect("append");
+        log.append(&DeltaOp::Remove { id: 0 }, 8).expect("append");
         let err = Engine::load(&packed, 1).unwrap_err();
         assert!(matches!(err, EngineError::Index(_)), "got {err}");
         assert!(err.to_string().contains("delta sidecar"), "got {err}");

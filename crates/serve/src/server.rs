@@ -11,7 +11,8 @@
 //! | POST   | `/batch`    | many queries, answered in one batched dispatch  |
 //! | POST   | `/insert`   | stage one new domain (delta-logged)             |
 //! | POST   | `/remove`   | stage the removal of a domain by id             |
-//! | POST   | `/commit`   | apply staged mutations as a new generation      |
+//! | POST   | `/commit`   | seal staged mutations into a segment (O(delta)) |
+//! | POST   | `/compact`  | fold sealed segments + tombstones into the base |
 //! | POST   | `/reload`   | hot-swap the index snapshot                     |
 //! | POST   | `/shutdown` | graceful stop (drain in-flight, then exit)      |
 //!
@@ -99,6 +100,7 @@ pub(crate) struct Counters {
     pub(crate) inserts: AtomicU64,
     pub(crate) removes: AtomicU64,
     pub(crate) commits: AtomicU64,
+    pub(crate) compactions: AtomicU64,
     pub(crate) errors: AtomicU64,
 }
 
@@ -159,6 +161,10 @@ pub(crate) struct Shared {
     pub(crate) max_connections: usize,
     /// Shard identity (from [`ServerConfig::shard_id`]), echoed on `/stats`.
     shard_id: Option<u64>,
+    /// Set while the background merger is folding segments into the base:
+    /// the CAS guard that keeps at most one compaction in flight no matter
+    /// how many commits cross the threshold while one runs.
+    merger_busy: Arc<AtomicBool>,
 }
 
 /// A running server; dropping the handle shuts it down gracefully.
@@ -231,6 +237,7 @@ pub fn start(engine: Arc<Engine>, config: &ServerConfig) -> io::Result<ServerHan
         request_timeout: Duration::from_millis(config.request_timeout_ms.max(1)),
         max_connections: config.max_connections.max(1),
         shard_id: config.shard_id,
+        merger_busy: Arc::new(AtomicBool::new(false)),
     });
     let waker = Arc::new(Waker::new()?);
     let reactor = {
@@ -333,6 +340,7 @@ pub(crate) fn route(shared: &Shared, request: &Request) -> Outcome {
         ("POST", "/insert") => handle_insert(shared, request),
         ("POST", "/remove") => handle_remove(shared, request),
         ("POST", "/commit") => handle_commit(shared),
+        ("POST", "/compact") => handle_compact(shared),
         ("POST", "/shutdown") => {
             // The flag is stored at route time, so requests pipelined
             // BEHIND /shutdown in the same burst already answer 503 +
@@ -346,7 +354,7 @@ pub(crate) fn route(shared: &Shared, request: &Request) -> Outcome {
         (
             _,
             "/health" | "/stats" | "/query" | "/topk" | "/batch" | "/reload" | "/insert"
-            | "/remove" | "/commit" | "/shutdown",
+            | "/remove" | "/commit" | "/compact" | "/shutdown",
         ) => Outcome::error(405, "Method Not Allowed", "wrong method for this path"),
         (_, path) => Outcome::error(404, "Not Found", format!("no such endpoint: {path}")),
     }
@@ -377,6 +385,7 @@ fn cache_json(stats: &CacheStats) -> Json {
 fn handle_stats(shared: &Shared) -> Outcome {
     let snap = shared.engine.snapshot();
     let staged = shared.engine.staged_counts();
+    let segments = snap.container().segment_stats();
     let c = &shared.counters;
     let q = &shared.query_totals;
     let s = &shared.server_stats;
@@ -394,6 +403,16 @@ fn handle_stats(shared: &Shared) -> Outcome {
         ("shard_id", shared.shard_id.map_or(Json::Null, Json::uint)),
         ("next_id", Json::uint(u64::from(shared.engine.next_id()))),
         ("generation", Json::uint(snap.generation())),
+        // Tiered-mutation drift: sealed segments and tombstones awaiting
+        // compaction, plus the generation the last in-process compaction
+        // created (0 = none since boot). How an operator (or the bench
+        // probe) tells "commits are sealing" from "the merger ran".
+        ("segments", Json::uint(segments.segments as u64)),
+        ("tombstones", Json::uint(segments.tombstones as u64)),
+        (
+            "last_compaction",
+            Json::uint(shared.engine.last_compaction()),
+        ),
         ("threads", Json::uint(shared.threads as u64)),
         (
             "uptime_ms",
@@ -417,6 +436,7 @@ fn handle_stats(shared: &Shared) -> Outcome {
                 ("insert", Json::uint(c.inserts.load(Ordering::Relaxed))),
                 ("remove", Json::uint(c.removes.load(Ordering::Relaxed))),
                 ("commit", Json::uint(c.commits.load(Ordering::Relaxed))),
+                ("compact", Json::uint(c.compactions.load(Ordering::Relaxed))),
                 ("errors", Json::uint(c.errors.load(Ordering::Relaxed))),
             ]),
         ),
@@ -1139,9 +1159,13 @@ fn handle_remove(shared: &Shared, request: &Request) -> Outcome {
     }
 }
 
-/// `POST /commit`: apply every staged mutation as one new snapshot
-/// generation (copy-on-write: in-flight queries keep their snapshot), and
-/// persist the result. Idempotent when nothing is staged.
+/// `POST /commit`: seal every staged mutation into one immutable segment
+/// as a new snapshot generation (copy-on-write: in-flight queries keep
+/// their snapshot). O(staged delta): the base index is untouched — its
+/// durability cost is one appended marker in the delta log, never a
+/// rewrite. Idempotent when nothing is staged. When the sealed stack (or
+/// tombstone backlog) crosses the compaction thresholds, the background
+/// merger is kicked off the request path.
 fn handle_commit(shared: &Shared) -> Outcome {
     match shared.engine.commit_staged() {
         Ok((snap, outcome)) => {
@@ -1150,6 +1174,7 @@ fn handle_commit(shared: &Shared) -> Outcome {
                 // generation is unreachable now: drop the dead weight.
                 shared.cache.clear();
                 shared.counters.commits.fetch_add(1, Ordering::Relaxed);
+                maybe_spawn_merger(shared);
             }
             Outcome::ok(Json::obj(vec![
                 (
@@ -1163,6 +1188,9 @@ fn handle_commit(shared: &Shared) -> Outcome {
                 ("applied", Json::uint(outcome.applied as u64)),
                 ("merged", Json::uint(outcome.report.merged as u64)),
                 ("rebalanced", Json::Bool(outcome.report.rebalanced)),
+                ("sealed", Json::Bool(outcome.report.sealed)),
+                ("segments", Json::uint(outcome.report.segments as u64)),
+                ("tombstones", Json::uint(outcome.report.tombstones as u64)),
                 ("generation", Json::uint(snap.generation())),
                 ("domains", Json::uint(snap.container().len() as u64)),
             ]))
@@ -1171,6 +1199,70 @@ fn handle_commit(shared: &Shared) -> Outcome {
             Outcome::error(500, "Internal Server Error", format!("persist: {e}"))
         }
         Err(e) => Outcome::error(400, "Bad Request", e.to_string()),
+    }
+}
+
+/// `POST /compact`: fold every sealed segment and tombstone into the base
+/// index and persist the result — the one remaining O(corpus) step in the
+/// mutation path, now explicit and off `/commit`. Anything still staged
+/// is applied first, so the compacted base embodies every acknowledged
+/// mutation. Idempotent when the index is already compacted.
+fn handle_compact(shared: &Shared) -> Outcome {
+    match shared.engine.compact() {
+        Ok((snap, outcome)) => {
+            // The swap makes the old generation unreachable even when
+            // nothing was staged (compaction always bumps): drop the
+            // dead cache weight.
+            shared.cache.clear();
+            shared.counters.compactions.fetch_add(1, Ordering::Relaxed);
+            Outcome::ok(Json::obj(vec![
+                ("status", Json::str("compacted")),
+                ("applied", Json::uint(outcome.applied as u64)),
+                ("merged", Json::uint(outcome.report.merged as u64)),
+                ("rebalanced", Json::Bool(outcome.report.rebalanced)),
+                ("segments", Json::uint(outcome.report.segments as u64)),
+                ("tombstones", Json::uint(outcome.report.tombstones as u64)),
+                ("generation", Json::uint(snap.generation())),
+                ("domains", Json::uint(snap.container().len() as u64)),
+            ]))
+        }
+        Err(EngineError::Io(e)) => {
+            Outcome::error(500, "Internal Server Error", format!("persist: {e}"))
+        }
+        Err(e) => Outcome::error(400, "Bad Request", e.to_string()),
+    }
+}
+
+/// Kicks the background merger when a commit leaves the segment stack (or
+/// tombstone backlog) past the compaction thresholds. The CAS on
+/// `merger_busy` guarantees at most one merger thread exists at a time;
+/// commits landing while it runs re-check after it clears the flag (the
+/// next threshold-crossing commit re-arms it). The merger never touches
+/// the cache: entries are generation-keyed, so pre-compaction answers are
+/// unreachable the instant the snapshot swaps.
+fn maybe_spawn_merger(shared: &Shared) {
+    if !shared.engine.needs_compaction() {
+        return;
+    }
+    if shared
+        .merger_busy
+        .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+        .is_err()
+    {
+        return;
+    }
+    let engine = Arc::clone(&shared.engine);
+    let busy = Arc::clone(&shared.merger_busy);
+    let spawned = std::thread::Builder::new()
+        .name("lshe-serve-merger".to_owned())
+        .spawn(move || {
+            // A failed compaction (e.g. a racing reload swapped in a
+            // mapped index) just leaves the stack for the next trigger.
+            let _ = engine.compact();
+            busy.store(false, Ordering::SeqCst);
+        });
+    if spawned.is_err() {
+        shared.merger_busy.store(false, Ordering::SeqCst);
     }
 }
 
@@ -1660,6 +1752,169 @@ mod tests {
                 .and_then(Json::as_str),
             Some("nothing staged")
         );
+        server.shutdown();
+    }
+
+    /// Satellite regression: the generation-keyed cache must never replay
+    /// a pre-commit answer after a commit OR a compaction swaps the
+    /// snapshot. insert → query → commit → query must observe the new
+    /// record, and the post-compaction replay must still answer fresh.
+    #[test]
+    fn cache_never_serves_pre_commit_hits_after_commit_or_compaction() {
+        let server = boot(test_engine(6, true));
+        let addr = server.addr();
+        let values: Vec<String> = (0..25).map(|i| format!("\"g{i}\"")).collect();
+        let query_body = format!("{{\"values\": [{}], \"threshold\": 0.9}}", values.join(","));
+
+        // Stage the domain, then query it: a miss with zero hits, cached
+        // on the pre-commit generation.
+        let (status, _) = post(
+            addr,
+            "/insert",
+            &format!("{{\"values\": [{}]}}", values.join(",")),
+        );
+        assert_eq!(status, 200);
+        let (_, body) = post(addr, "/query", &query_body);
+        let miss = Json::parse(&body).expect("json");
+        assert_eq!(miss.get("cached"), Some(&Json::Bool(false)));
+        assert_eq!(miss.get("count").and_then(Json::as_u64), Some(0));
+        let (_, body) = post(addr, "/query", &query_body);
+        let replay = Json::parse(&body).expect("json");
+        assert_eq!(replay.get("cached"), Some(&Json::Bool(true)));
+
+        // Commit seals the insert into a segment and bumps the
+        // generation: the cached zero-hit answer must be unreachable.
+        let (status, body) = post(addr, "/commit", "");
+        assert_eq!(status, 200, "{body}");
+        let committed = Json::parse(&body).expect("json");
+        assert_eq!(committed.get("sealed"), Some(&Json::Bool(true)));
+        assert_eq!(committed.get("segments").and_then(Json::as_u64), Some(1));
+        let (_, body) = post(addr, "/query", &query_body);
+        let fresh = Json::parse(&body).expect("json");
+        assert_eq!(
+            fresh.get("cached"),
+            Some(&Json::Bool(false)),
+            "stale pre-commit answer replayed: {fresh}"
+        );
+        let hits = fresh.get("hits").and_then(Json::as_array).expect("hits");
+        assert!(
+            hits.iter()
+                .any(|h| h.get("id").and_then(Json::as_u64) == Some(6)),
+            "committed insert invisible: {fresh}"
+        );
+
+        // Compaction folds the segment into the base and bumps again: the
+        // post-commit cache entry is dead weight too, and the answer must
+        // survive the fold.
+        let (status, body) = post(addr, "/compact", "");
+        assert_eq!(status, 200, "{body}");
+        let (_, body) = post(addr, "/query", &query_body);
+        let folded = Json::parse(&body).expect("json");
+        assert_eq!(folded.get("cached"), Some(&Json::Bool(false)), "{folded}");
+        assert_eq!(fresh.get("hits"), folded.get("hits"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn compact_endpoint_folds_segments_and_stats_track_drift() {
+        let server = boot(test_engine(6, true));
+        let addr = server.addr();
+        let seg_stats = |addr| {
+            let (_, body) = get(addr, "/stats");
+            let stats = Json::parse(&body).expect("json");
+            (
+                stats.get("segments").and_then(Json::as_u64).expect("segs"),
+                stats
+                    .get("tombstones")
+                    .and_then(Json::as_u64)
+                    .expect("tombs"),
+                stats
+                    .get("last_compaction")
+                    .and_then(Json::as_u64)
+                    .expect("last"),
+            )
+        };
+        assert_eq!(seg_stats(addr), (0, 0, 0));
+
+        // One insert + one remove, committed: one sealed segment, one
+        // tombstone, no compaction yet.
+        let values: Vec<String> = (0..22).map(|i| format!("\"s{i}\"")).collect();
+        let (status, _) = post(
+            addr,
+            "/insert",
+            &format!("{{\"values\": [{}]}}", values.join(",")),
+        );
+        assert_eq!(status, 200);
+        assert_eq!(post(addr, "/remove", r#"{"id": 1}"#).0, 200);
+        let (status, body) = post(addr, "/commit", "");
+        assert_eq!(status, 200, "{body}");
+        let committed = Json::parse(&body).expect("json");
+        assert_eq!(committed.get("tombstones").and_then(Json::as_u64), Some(1));
+        assert_eq!(seg_stats(addr), (1, 1, 0));
+
+        // Compaction erases the drift and records its generation.
+        let (status, body) = post(addr, "/compact", "");
+        assert_eq!(status, 200, "{body}");
+        let compacted = Json::parse(&body).expect("json");
+        assert_eq!(
+            compacted.get("status").and_then(Json::as_str),
+            Some("compacted")
+        );
+        assert_eq!(compacted.get("segments").and_then(Json::as_u64), Some(0));
+        assert_eq!(compacted.get("tombstones").and_then(Json::as_u64), Some(0));
+        assert_eq!(compacted.get("domains").and_then(Json::as_u64), Some(6));
+        let generation = compacted
+            .get("generation")
+            .and_then(Json::as_u64)
+            .expect("generation");
+        assert_eq!(seg_stats(addr), (0, 0, generation));
+        assert_eq!(get(addr, "/compact").0, 405);
+        server.shutdown();
+    }
+
+    /// The background merger: once commits stack up
+    /// [`lshe_core::MAX_SEGMENTS`] sealed segments, the next commit kicks
+    /// a compaction off the request path — no `/compact` call involved.
+    #[test]
+    fn background_merger_compacts_past_segment_threshold() {
+        let server = boot(test_engine(6, true));
+        let addr = server.addr();
+        for k in 0..lshe_core::MAX_SEGMENTS {
+            let values: Vec<String> = (0..20).map(|i| format!("\"b{k}x{i}\"")).collect();
+            let (status, _) = post(
+                addr,
+                "/insert",
+                &format!("{{\"values\": [{}]}}", values.join(",")),
+            );
+            assert_eq!(status, 200);
+            let (status, body) = post(addr, "/commit", "");
+            assert_eq!(status, 200, "{body}");
+        }
+        // The final commit crossed the threshold; the merger runs
+        // asynchronously, so poll /stats until the stack folds.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let (_, body) = get(addr, "/stats");
+            let stats = Json::parse(&body).expect("json");
+            let segments = stats.get("segments").and_then(Json::as_u64).expect("segs");
+            let last = stats
+                .get("last_compaction")
+                .and_then(Json::as_u64)
+                .expect("last");
+            if segments == 0 && last > 0 {
+                // Every committed domain survived the background fold.
+                assert_eq!(
+                    stats.get("domains").and_then(Json::as_u64),
+                    Some(6 + lshe_core::MAX_SEGMENTS as u64)
+                );
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "merger never folded the stack: {stats}"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
         server.shutdown();
     }
 

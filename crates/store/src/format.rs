@@ -71,6 +71,11 @@ pub enum SectionKind {
     /// Opaque per-domain record blobs (provenance strings), sliced by
     /// [`SectionKind::RecordOffsets`].
     Records = 10,
+    /// Opaque tiered-mutation state, codec-encoded by the packing layer:
+    /// sealed segment entry triples, the tombstone list, and the id
+    /// allocator's high-water mark. Absent on a fully compacted index;
+    /// pre-segment readers skip it (additive section).
+    Segments = 11,
 }
 
 impl SectionKind {
@@ -88,6 +93,7 @@ impl SectionKind {
             Self::SketchSlots => "sketch slots",
             Self::RecordOffsets => "record offsets",
             Self::Records => "records",
+            Self::Segments => "segments",
         }
     }
 
@@ -103,6 +109,7 @@ impl SectionKind {
             8 => Self::SketchSlots,
             9 => Self::RecordOffsets,
             10 => Self::Records,
+            11 => Self::Segments,
             _ => return None,
         })
     }

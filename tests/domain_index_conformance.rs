@@ -687,6 +687,140 @@ fn mutation_equals_rebuild_for_every_mutable_backend() {
     }
 }
 
+/// The four mutable backends with rebalancing disabled (trigger = ∞), so
+/// a commit is guaranteed to SEAL — segments and tombstones persist until
+/// an explicit `compact()` — exercising the tiered lifecycle end to end.
+fn segmented_backends(
+    entries: &[(DomainId, u64, Signature)],
+) -> Vec<(&'static str, Box<dyn MutableIndex>)> {
+    let mut ensemble = LshEnsemble::builder_with(config());
+    let mut ranked = RankedIndex::builder_with(config());
+    let mut sharded = ShardedEnsemble::builder(3, config());
+    let mut ranked_for_shards = RankedIndex::builder_with(config());
+    for (id, size, sig) in entries {
+        ensemble.add(*id, *size, sig.clone());
+        ranked.add(*id, *size, sig.clone());
+        sharded.add(*id, *size, sig.clone());
+        ranked_for_shards.add(*id, *size, sig.clone());
+    }
+    let mut ranked = ranked.build();
+    ranked.set_rebalance_trigger(f64::MAX);
+    let mut sharded_ranked = ShardedRanked::build(Arc::new(ranked_for_shards.build()), 3, config());
+    sharded_ranked.set_rebalance_trigger(f64::MAX);
+    vec![
+        ("ensemble", Box::new(ensemble.build())),
+        ("ranked", Box::new(ranked)),
+        ("sharded", Box::new(sharded.build())),
+        ("sharded_ranked", Box::new(sharded_ranked)),
+    ]
+}
+
+#[test]
+fn segmented_commit_then_compaction_conforms_on_every_mutable_backend() {
+    let w = world();
+    let plan = mutation_plan();
+    let finals = final_corpus(&w, &plan);
+    let final_entries: Vec<(DomainId, u64, Signature)> = finals
+        .iter()
+        .map(|(id, size, sig, _)| (*id, *size, sig.clone()))
+        .collect();
+
+    for ((name, mut mutated), (_, rebuilt)) in segmented_backends(&w.entries)
+        .into_iter()
+        .zip(mutable_backends(&final_entries))
+    {
+        for (id, size, sig, _) in &plan.added {
+            mutated
+                .insert(*id, *size, sig)
+                .unwrap_or_else(|e| panic!("{name}: insert {id}: {e}"));
+        }
+        for id in &plan.removed {
+            mutated
+                .remove(*id)
+                .unwrap_or_else(|e| panic!("{name}: remove {id}: {e}"));
+        }
+
+        // Commit seals — O(staged delta): the base partitioning is not
+        // rebuilt, the delta becomes an immutable segment, and the base
+        // removals become tombstones.
+        let report = mutated.commit();
+        assert!(report.sealed, "{name}: commit did not seal a segment");
+        assert!(!report.rebalanced, "{name}: sealed commit must not rebuild");
+        assert_eq!(report.merged, plan.added.len(), "{name}: merged count");
+        assert!(report.segments >= 1, "{name}: no outstanding segment");
+        assert_eq!(
+            report.tombstones,
+            plan.removed.len(),
+            "{name}: tombstone count"
+        );
+        assert_eq!(mutated.staged_len(), 0, "{name}: staged after seal");
+        assert_eq!(mutated.len(), finals.len(), "{name}: len after seal");
+
+        // Segmented phase: queries sweep base + segments. Tombstoned ids
+        // never resurface, every live domain still finds itself.
+        for (qid, qsize, qsig, _) in &finals {
+            for &t in &[0.5, 0.8] {
+                let q = Query::threshold(qsig, t).with_size(*qsize);
+                let m = mutated.search(&q).unwrap_or_else(|e| panic!("{name}: {e}"));
+                for gone in &plan.removed {
+                    assert!(
+                        !m.ids().contains(gone),
+                        "{name} q={qid} t={t}: tombstoned id {gone} returned"
+                    );
+                }
+                assert!(
+                    m.ids().contains(qid),
+                    "{name} q={qid} t={t}: self lost while segmented"
+                );
+                assert!(
+                    m.stats.partitions_probed <= m.stats.partitions_total,
+                    "{name} q={qid} t={t}: probe counters inconsistent"
+                );
+            }
+        }
+
+        // Compaction folds every segment and erases every tombstone — the
+        // one O(corpus) step, now off the commit path.
+        let folded = mutated.compact();
+        assert_eq!(folded.segments, 0, "{name}: segments after compaction");
+        assert_eq!(folded.tombstones, 0, "{name}: tombstones after compaction");
+        let stats = mutated.segment_stats();
+        assert_eq!(
+            (stats.segments, stats.tombstones),
+            (0, 0),
+            "{name}: stats after compaction"
+        );
+        assert_eq!(mutated.len(), finals.len(), "{name}: len after compaction");
+
+        // Post-compaction conformance: sketch-retaining backends rebuild
+        // from the live sketch set, so they must equal a fresh build on
+        // the final corpus exactly — identical hits (ids AND estimates)
+        // and identical partitioning. Sketch-free backends fold with
+        // conservative boundary growth (§6.2) and keep the invariants.
+        for (qid, qsize, qsig, _) in &finals {
+            for &t in &[0.5, 0.8] {
+                let q = Query::threshold(qsig, t).with_size(*qsize);
+                let m = mutated.search(&q).unwrap_or_else(|e| panic!("{name}: {e}"));
+                let r = rebuilt.search(&q).unwrap_or_else(|e| panic!("{name}: {e}"));
+                for gone in &plan.removed {
+                    assert!(
+                        !m.ids().contains(gone),
+                        "{name} q={qid} t={t}: removed id {gone} back after compaction"
+                    );
+                }
+                assert!(m.ids().contains(qid), "{name} q={qid} t={t}: self lost");
+                if rebalances(name) {
+                    assert_eq!(m.hits, r.hits, "{name} q={qid} t={t}: hits diverge");
+                    assert_eq!(
+                        m.stats.partitions_total, r.stats.partitions_total,
+                        "{name} q={qid} t={t}: partitions_total diverges"
+                    );
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn staged_mutations_are_immediately_queryable() {
     let w = world();

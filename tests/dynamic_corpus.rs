@@ -95,6 +95,20 @@ fn undersized_insert_extends_first_partition() {
     let tiny = MinHasher::synthetic_values(88, 1);
     let sig = hasher.signature(tiny.iter().copied());
     ens.insert(88_888, 1, &sig);
+    // While staged/sealed, the tiny domain is covered by its own tier…
+    assert_eq!(
+        ens.partition_stats()
+            .iter()
+            .map(|p| p.lower)
+            .min()
+            .expect("partitions"),
+        1
+    );
+    assert!(ens.query_with_size(&sig, 1, 1.0).contains(&88_888));
+    // …and compaction folds it into the base, extending the first
+    // partition's boundary downward (§6.2 conservative growth).
+    ens.commit();
+    ens.compact();
     assert_eq!(ens.partition_stats()[0].lower, 1);
     assert!(ens.query_with_size(&sig, 1, 1.0).contains(&88_888));
 }
@@ -116,6 +130,10 @@ fn rebuild_restores_balanced_partitions_after_drift() {
         all.push((30_000 + i, vals.len() as u64, sig));
     }
     ens.commit();
+    // Compaction folds the sealed segment into the base by size: every new
+    // domain routes to the boundary partition, skewing the counts — the
+    // drift that §6.2's rebuild remedies.
+    ens.compact();
     let drifted_spread = spread(&ens);
 
     let ids: Vec<u32> = all.iter().map(|e| e.0).collect();

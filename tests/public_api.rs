@@ -107,7 +107,7 @@ fn facade_exposes_the_mutation_surface() {
     let dir = std::env::temp_dir().join(format!("lshe_public_api_{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("mkdir");
     let log = DeltaLog::sidecar(&dir.join("api.lshe"));
-    log.append(&DeltaOp::Remove { id: 1 }).expect("append");
+    log.append(&DeltaOp::Remove { id: 1 }, 101).expect("append");
     assert_eq!(log.read().expect("read"), vec![DeltaOp::Remove { id: 1 }]);
     log.clear().expect("clear");
     std::fs::remove_dir_all(&dir).ok();

@@ -525,15 +525,21 @@ fn live_ingestion_under_concurrent_query_load() {
         .expect("domains");
     assert_eq!(domains, 16 + inserted.len() as u64);
 
-    // The committed state is durable: a fresh engine on the same file
-    // (no delta log left behind) sees everything.
+    // The committed state is durable: commits seal into the delta log
+    // (one marker per batch), so the log survives them and a fresh engine
+    // replays it to the same corpus. Only compaction retires it.
     server.shutdown();
+    let log = lshe_serve::container::DeltaLog::sidecar(&index_path);
     assert!(
-        !lshe_serve::container::DeltaLog::sidecar(&index_path).exists(),
-        "delta log must be retired after the final commit"
+        log.exists(),
+        "sealed history lives in the delta log until compaction"
     );
     let reloaded = Engine::load(&index_path, 1).expect("reload committed file");
     assert_eq!(reloaded.snapshot().container().len(), 16 + inserted.len());
+    reloaded.compact().expect("compact");
+    assert!(!log.exists(), "compaction must retire the delta log");
+    let compacted = Engine::load(&index_path, 1).expect("reload compacted file");
+    assert_eq!(compacted.snapshot().container().len(), 16 + inserted.len());
     std::fs::remove_dir_all(&dir).ok();
 }
 
