@@ -726,6 +726,14 @@ impl Coordinator {
         let mut generation = 0u64;
         let mut num_perm = Json::Null;
         let mut degraded: Vec<usize> = Vec::new();
+        // Cluster-wide maintenance rollup across the shards' own
+        // `maintenance` objects (each shard runs its own thread).
+        let mut maint_queued = 0u64;
+        let mut maint_running = 0u64;
+        let mut maint_merges = 0u64;
+        let mut maint_full = 0u64;
+        let mut maint_folded = 0u64;
+        let mut maint_last_us = 0u64;
         for (s, res) in outcomes.into_iter().enumerate() {
             let stats = match &res {
                 Ok(out) if out.status == 200 => Json::parse(&out.body).ok(),
@@ -739,6 +747,15 @@ impl Coordinator {
                     if let Some(np) = stats.get("num_perm") {
                         num_perm = np.clone();
                     }
+                }
+                if let Some(m) = stats.get("maintenance") {
+                    maint_queued += m.get("queued").and_then(Json::as_u64).unwrap_or(0);
+                    maint_running += u64::from(m.get("running").is_some_and(|r| *r != Json::Null));
+                    maint_merges += m.get("merges").and_then(Json::as_u64).unwrap_or(0);
+                    maint_full += m.get("full_merges").and_then(Json::as_u64).unwrap_or(0);
+                    maint_folded += m.get("entries_folded").and_then(Json::as_u64).unwrap_or(0);
+                    maint_last_us = maint_last_us
+                        .max(m.get("last_merge_us").and_then(Json::as_u64).unwrap_or(0));
                 }
             }
             if self.health[s].is_degraded() {
@@ -776,6 +793,20 @@ impl Coordinator {
             (
                 "degraded_shards",
                 Json::Arr(degraded.into_iter().map(|s| Json::uint(s as u64)).collect()),
+            ),
+            // Summed/maxed across reachable shards; each shard's full
+            // maintenance object (level layout, policy, thresholds) rides
+            // along verbatim under per_shard[].stats.maintenance.
+            (
+                "maintenance",
+                Json::obj(vec![
+                    ("queued", Json::uint(maint_queued)),
+                    ("running_shards", Json::uint(maint_running)),
+                    ("merges", Json::uint(maint_merges)),
+                    ("full_merges", Json::uint(maint_full)),
+                    ("entries_folded", Json::uint(maint_folded)),
+                    ("last_merge_us", Json::uint(maint_last_us)),
+                ]),
             ),
             ("per_shard", Json::Arr(per_shard)),
         ]))

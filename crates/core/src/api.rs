@@ -267,11 +267,11 @@ pub const MAX_SEGMENTS: usize = 8;
 pub const MAX_TOMBSTONE_RATIO: f64 = 0.25;
 
 /// True if [`SegmentStats`] has drifted far enough that a compaction is
-/// worth scheduling, per the shared policy constants.
+/// worth scheduling, per the default thresholds. Deployments with tuned
+/// thresholds use [`crate::CompactionThresholds::exceeded`] directly.
 #[must_use]
 pub fn needs_compaction(stats: SegmentStats, len: usize) -> bool {
-    stats.segments >= MAX_SEGMENTS
-        || stats.tombstones as f64 > MAX_TOMBSTONE_RATIO * len.max(1) as f64
+    crate::maintenance::CompactionThresholds::default().exceeded(stats, len)
 }
 
 /// The mutation surface over an index: dynamic data, §6.2.
@@ -335,6 +335,36 @@ pub trait MutableIndex: DomainIndex {
     /// backends without tiered state.
     fn segment_stats(&self) -> SegmentStats {
         SegmentStats::default()
+    }
+
+    /// The tier layout a [`crate::MergePolicy`] plans against:
+    /// per-segment entry counts plus tombstone backlog. The default
+    /// (backends without tiered state) reports segments of unknown (zero)
+    /// size from [`segment_stats`](Self::segment_stats).
+    fn segment_layout(&self) -> crate::SegmentLayout {
+        let stats = self.segment_stats();
+        crate::SegmentLayout {
+            segments: vec![0; stats.segments],
+            tombstones: stats.tombstones,
+            len: self.len(),
+        }
+    }
+
+    /// Executes one planned [`crate::MergeTask`] incrementally:
+    /// [`MergeTask::Merge`](crate::MergeTask::Merge) folds only the listed
+    /// segments into one new sealed segment (O(folded entries), base
+    /// untouched), [`MergeTask::Full`](crate::MergeTask::Full) behaves
+    /// like [`compact`](Self::compact). The default treats every task as
+    /// a full compaction — tiered backends override the partial path.
+    fn apply_merge(&mut self, task: &crate::MergeTask) -> crate::MergeOutcome {
+        let _ = task;
+        let folded = self.len();
+        let report = self.compact();
+        crate::MergeOutcome {
+            entries_folded: folded,
+            segments: report.segments,
+            tombstones: report.tombstones,
+        }
     }
 }
 
@@ -976,6 +1006,33 @@ impl MutableIndex for ShardedRanked {
 
     fn segment_stats(&self) -> SegmentStats {
         ShardedRanked::segment_stats(self)
+    }
+
+    fn segment_layout(&self) -> crate::SegmentLayout {
+        self.shards.segment_layout()
+    }
+
+    fn apply_merge(&mut self, task: &crate::MergeTask) -> crate::MergeOutcome {
+        let entries_folded = match task {
+            crate::MergeTask::Merge(idxs) => {
+                // Both tiers fold: the shards answer queries, the ranked
+                // sketch store keeps its own (positionally parallel)
+                // stack from shrinking without bound.
+                Arc::make_mut(&mut self.ranked).merge_segments(idxs);
+                self.shards.merge_segments(idxs)
+            }
+            crate::MergeTask::Full => {
+                let folded = self.ranked.len();
+                ShardedRanked::compact(self);
+                folded
+            }
+        };
+        let stats = self.segment_stats();
+        crate::MergeOutcome {
+            entries_folded,
+            segments: stats.segments,
+            tombstones: stats.tombstones,
+        }
     }
 }
 

@@ -893,11 +893,118 @@ impl LshEnsemble {
         true
     }
 
+    /// Per-segment physical entry counts plus tombstone backlog — the
+    /// tier layout a [`crate::MergePolicy`] plans against.
+    #[must_use]
+    pub fn segment_layout(&self) -> crate::SegmentLayout {
+        crate::SegmentLayout {
+            segments: self.segments.iter().map(|s| s.entries.len()).collect(),
+            tombstones: self.dead.len(),
+            len: self.len,
+        }
+    }
+
+    /// Folds the listed sealed segments (indices into the current stack)
+    /// into one new segment pushed at the top — the leveled-merge
+    /// primitive. Only live entries of the folded segments are rewritten,
+    /// so the cost is O(folded entries), never O(corpus): the base
+    /// partitions and every other segment are untouched. Tombstones whose
+    /// rows lived in a folded segment are purged along with the rows.
+    /// Returns the number of live entries folded.
+    ///
+    /// The merged segment lands at the *top* of the stack. That ordering
+    /// is load-bearing for persistence: the decoder resolves an id that
+    /// appears in several segments to the newest one, and a live entry
+    /// always outranks the stale copies a remove + re-insert left behind
+    /// in older segments.
+    ///
+    /// Out-of-range and duplicate indices are ignored; folding fewer than
+    /// one segment is a no-op.
+    pub fn merge_segments(&mut self, segment_indices: &[usize]) -> usize {
+        let mut merge: Vec<usize> = segment_indices
+            .iter()
+            .copied()
+            .filter(|&j| j < self.segments.len())
+            .collect();
+        merge.sort_unstable();
+        merge.dedup();
+        if merge.is_empty() {
+            return 0;
+        }
+        let old = std::mem::take(&mut self.segments);
+        let merged: Vec<bool> = (0..old.len()).map(|j| merge.contains(&j)).collect();
+        let kept_count = old.len() - merge.len();
+        let new_segment_index = kept_count as u32;
+
+        // Collect the live entries of the folded segments and compute the
+        // old → new index of every kept segment, matching every id-map
+        // update against the *old* slot value and applying them only at
+        // the end — an in-place update could alias a slot another
+        // segment's pass is still matching against.
+        let mut live: Vec<(DomainId, u64, Signature)> = Vec::new();
+        let mut remap: Vec<u32> = Vec::with_capacity(old.len());
+        let mut moves: Vec<(DomainId, Slot)> = Vec::new();
+        let mut next_new = 0u32;
+        for (j, seg) in old.iter().enumerate() {
+            let old_slot = Slot::Seg(j as u32);
+            if merged[j] {
+                remap.push(new_segment_index);
+                for (id, size, sig) in &seg.entries {
+                    // Retained entries are live only while the id map
+                    // still points here — removed or re-inserted ids
+                    // moved on and their stale rows are dropped now.
+                    if self.ids.get(id) == Some(&old_slot) {
+                        live.push((*id, *size, sig.clone()));
+                        moves.push((*id, Slot::Seg(new_segment_index)));
+                    }
+                }
+            } else {
+                remap.push(next_new);
+                if next_new as usize != j {
+                    for (id, _, _) in &seg.entries {
+                        if self.ids.get(id) == Some(&old_slot) {
+                            moves.push((*id, Slot::Seg(next_new)));
+                        }
+                    }
+                }
+                next_new += 1;
+            }
+        }
+        for (id, slot) in moves {
+            self.ids.insert(id, slot);
+        }
+        // Tombstones into folded segments are purged with their rows;
+        // tombstones into kept segments follow the renumbering.
+        self.dead.retain_mut(|(_, slot)| match slot {
+            DeadSlot::Seg(j) => {
+                if merged[*j as usize] {
+                    false
+                } else {
+                    *slot = DeadSlot::Seg(remap[*j as usize]);
+                    true
+                }
+            }
+            DeadSlot::Base(_) => true,
+        });
+        self.segments = old
+            .into_iter()
+            .enumerate()
+            .filter(|(j, _)| !merged[*j])
+            .map(|(_, seg)| seg)
+            .collect();
+        let folded = live.len();
+        if !live.is_empty() {
+            self.segments.push(build_segment(&self.config, live));
+        }
+        folded
+    }
+
     /// Folds every sealed segment back into the base and erases tombstoned
     /// rows — the only O(corpus) mutation step, intended to run off the
-    /// commit path (background merger, `lshe compact`). Live segment
-    /// entries are routed to the base partition covering their size with
-    /// conservative boundary growth, exactly as a pre-segment insert was.
+    /// commit path (background maintenance thread, `lshe compact`). Live
+    /// segment entries are routed to the base partition covering their
+    /// size with conservative boundary growth, exactly as a pre-segment
+    /// insert was.
     pub fn compact(&mut self) {
         if self.segments.is_empty() && self.dead.is_empty() {
             return;
@@ -1072,6 +1179,29 @@ impl MutableIndex for LshEnsemble {
 
     fn segment_stats(&self) -> crate::api::SegmentStats {
         LshEnsemble::segment_stats(self)
+    }
+
+    fn segment_layout(&self) -> crate::SegmentLayout {
+        LshEnsemble::segment_layout(self)
+    }
+
+    fn apply_merge(&mut self, task: &crate::MergeTask) -> crate::MergeOutcome {
+        let entries_folded = match task {
+            crate::MergeTask::Merge(idxs) => self.merge_segments(idxs),
+            crate::MergeTask::Full => {
+                let folded: usize = self.segments.iter().map(|s| s.entries.len()).sum::<usize>()
+                    + self.staged.entries.len();
+                LshEnsemble::commit(self);
+                LshEnsemble::compact(self);
+                folded
+            }
+        };
+        let stats = LshEnsemble::segment_stats(self);
+        crate::MergeOutcome {
+            entries_folded,
+            segments: stats.segments,
+            tombstones: stats.tombstones,
+        }
     }
 }
 

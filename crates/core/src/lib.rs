@@ -68,6 +68,7 @@ pub mod batch;
 pub mod convert;
 pub mod cost;
 pub mod ensemble;
+pub mod maintenance;
 pub mod mmap;
 pub mod partition;
 pub mod persist;
@@ -84,6 +85,10 @@ pub use baselines::{
     baseline_minhash_lsh, AsymIndex, AsymIndexBuilder, AsymPartitionedIndex, ContainmentSearch,
 };
 pub use ensemble::{EnsembleConfig, LshEnsemble, LshEnsembleBuilder, PartitionStats};
+pub use maintenance::{
+    CompactionThresholds, Leveled, MaintenancePlanner, MergeOutcome, MergePolicy, MergePolicyKind,
+    MergeTask, SegmentLayout, Tiered,
+};
 pub use mmap::{pack_ranked, pack_ranked_to, pack_ranked_with, MmapIndex, MmapIndexError};
 pub use partition::{Partition, PartitionStrategy, Partitioning};
 pub use ranked::{RankedHit, RankedIndex, RankedIndexBuilder};

@@ -306,6 +306,20 @@ impl RankedIndex {
         self.ensemble.segment_stats()
     }
 
+    /// The inner ensemble's tier layout, for merge planning.
+    #[must_use]
+    pub fn segment_layout(&self) -> crate::SegmentLayout {
+        self.ensemble.segment_layout()
+    }
+
+    /// Folds the listed sealed segments into one new segment on the inner
+    /// ensemble — O(folded entries). The retained sketches track live ids
+    /// and are unaffected (a partial merge neither adds nor removes
+    /// domains). Returns the number of live entries folded.
+    pub fn merge_segments(&mut self, segment_indices: &[usize]) -> usize {
+        self.ensemble.merge_segments(segment_indices)
+    }
+
     /// Rebuilds the inner ensemble from the retained sketches when the
     /// BASE partition-population skew exceeds the trigger. Segment and
     /// staged tiers are excluded from the metric: they are transient by
@@ -482,6 +496,29 @@ impl MutableIndex for RankedIndex {
 
     fn segment_stats(&self) -> SegmentStats {
         RankedIndex::segment_stats(self)
+    }
+
+    fn segment_layout(&self) -> crate::SegmentLayout {
+        RankedIndex::segment_layout(self)
+    }
+
+    fn apply_merge(&mut self, task: &crate::MergeTask) -> crate::MergeOutcome {
+        let entries_folded = match task {
+            crate::MergeTask::Merge(idxs) => self.merge_segments(idxs),
+            crate::MergeTask::Full => {
+                // The full fold rebuilds from the retained sketches, so
+                // every live entry is rewritten.
+                let folded = self.ensemble.len();
+                RankedIndex::compact(self);
+                folded
+            }
+        };
+        let stats = self.segment_stats();
+        crate::MergeOutcome {
+            entries_folded,
+            segments: stats.segments,
+            tombstones: stats.tombstones,
+        }
     }
 }
 

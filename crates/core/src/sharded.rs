@@ -289,6 +289,41 @@ impl ShardedEnsemble {
         out
     }
 
+    /// The tier layout for merge planning: per-shard stacks are aligned
+    /// by position (each commit seals at most one segment on every shard,
+    /// so position `i` across shards came from the same commit epoch) and
+    /// summed elementwise into one cluster-wide stack.
+    #[must_use]
+    pub fn segment_layout(&self) -> crate::SegmentLayout {
+        let mut segments: Vec<usize> = Vec::new();
+        let mut tombstones = 0;
+        for shard in &self.shards {
+            let layout = shard.segment_layout();
+            if segments.len() < layout.segments.len() {
+                segments.resize(layout.segments.len(), 0);
+            }
+            for (slot, entries) in segments.iter_mut().zip(&layout.segments) {
+                *slot += entries;
+            }
+            tombstones += layout.tombstones;
+        }
+        crate::SegmentLayout {
+            segments,
+            tombstones,
+            len: self.len(),
+        }
+    }
+
+    /// Folds the listed segment positions on every shard (positions past
+    /// a shard's own stack are skipped there). Returns total live entries
+    /// folded across the shards.
+    pub fn merge_segments(&mut self, segment_indices: &[usize]) -> usize {
+        self.shards
+            .iter_mut()
+            .map(|s| s.merge_segments(segment_indices))
+            .sum()
+    }
+
     /// Instrumented fan-out query: sorted-unique ids plus probe counters
     /// summed across shards (each shard's query is already parallel over
     /// one thread here, matching the paper's one-ensemble-per-node model).
@@ -420,6 +455,27 @@ impl MutableIndex for ShardedEnsemble {
 
     fn segment_stats(&self) -> SegmentStats {
         ShardedEnsemble::segment_stats(self)
+    }
+
+    fn segment_layout(&self) -> crate::SegmentLayout {
+        ShardedEnsemble::segment_layout(self)
+    }
+
+    fn apply_merge(&mut self, task: &crate::MergeTask) -> crate::MergeOutcome {
+        let entries_folded = match task {
+            crate::MergeTask::Merge(idxs) => self.merge_segments(idxs),
+            crate::MergeTask::Full => {
+                let folded = self.len();
+                ShardedEnsemble::compact(self);
+                folded
+            }
+        };
+        let stats = self.segment_stats();
+        crate::MergeOutcome {
+            entries_folded,
+            segments: stats.segments,
+            tombstones: stats.tombstones,
+        }
     }
 }
 

@@ -526,6 +526,34 @@ impl IndexContainer {
         }
     }
 
+    /// The stored index's tier layout (per-segment entry counts plus
+    /// tombstone backlog), for merge planning. Mapped containers are
+    /// read-only and report an empty layout — nothing is plannable.
+    #[must_use]
+    pub fn segment_layout(&self) -> lshe_core::SegmentLayout {
+        match &self.index {
+            StoredIndex::Plain(e) => e.segment_layout(),
+            StoredIndex::Ranked(r) => r.segment_layout(),
+            StoredIndex::Mapped(_) => lshe_core::SegmentLayout {
+                segments: Vec::new(),
+                tombstones: 0,
+                len: self.len(),
+            },
+        }
+    }
+
+    /// Executes one planned merge task on the stored index:
+    /// [`lshe_core::MergeTask::Merge`] folds only the listed segments
+    /// (O(folded entries)), [`lshe_core::MergeTask::Full`] folds
+    /// everything like [`compact_index`](Self::compact_index). A no-op on
+    /// read-only mapped containers.
+    pub fn apply_merge(&mut self, task: &lshe_core::MergeTask) -> lshe_core::MergeOutcome {
+        if matches!(self.index, StoredIndex::Mapped(_)) {
+            return lshe_core::MergeOutcome::default();
+        }
+        self.index_mut().apply_merge(task)
+    }
+
     /// Number of staged (uncommitted) inserts in the stored index.
     #[must_use]
     pub fn staged_len(&self) -> usize {
@@ -1310,6 +1338,44 @@ impl DeltaLog {
             ops.push(decode_op(payload).map_err(|e| DeltaError::Corrupt(e.to_string()))?);
         }
         Ok((mark, ops))
+    }
+
+    /// Atomically rewrites the log to hold exactly `ops` (tmp + rename):
+    /// the log-prefix retirement step of a background merge. After a
+    /// partial merge persists the base file, every *committed* batch is
+    /// embodied in it — only the still-staged tail must survive a crash,
+    /// so the committed prefix is dropped here. An empty `ops` removes
+    /// the file (the steady state of a fully-persisted index).
+    ///
+    /// # Errors
+    /// Propagates I/O errors; the previous log survives intact on failure
+    /// (a stale prefix merely replays as a no-op).
+    pub fn rewrite(&self, ops: &[DeltaOp], next_id: u32) -> std::io::Result<()> {
+        if ops.is_empty() {
+            return self.clear();
+        }
+        let mut bytes = {
+            let mut header = Encoder::with_capacity(9);
+            header.envelope(DELTA_MAGIC, DELTA_VERSION);
+            header.put_u32(next_id);
+            header.finish()
+        };
+        for op in ops {
+            let payload = encode_op(op);
+            bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            let check = fnv1a(&payload);
+            bytes.extend_from_slice(&payload);
+            bytes.extend_from_slice(&check.to_le_bytes());
+        }
+        let mut tmp = self.path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        {
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(&bytes)?;
+            file.sync_data()?;
+        }
+        std::fs::rename(&tmp, &self.path)
     }
 
     /// Deletes the log (after its ops were committed into the base file).

@@ -740,20 +740,103 @@ impl Engine {
         Ok((snapshot, CommitOutcome { applied, report }))
     }
 
+    /// Executes one *partial* merge as a new snapshot generation: clones
+    /// the live container (COW — readers keep their snapshot), folds
+    /// only the segments the task names, persists the folded base
+    /// (atomic tmp-then-rename), and retires the committed log prefix —
+    /// the base now embodies every committed batch, so only the
+    /// still-staged tail is rewritten back into the delta log. This is
+    /// the maintenance thread's workhorse: O(folded entries) index work,
+    /// concurrent with reads and staged mutations.
+    ///
+    /// [`MergeTask::Full`](lshe_core::MergeTask::Full) is routed to
+    /// [`compact`](Self::compact) (which additionally folds staged ops).
+    /// A task that changes nothing returns the live snapshot unswapped.
+    ///
+    /// # Errors
+    /// [`EngineError::Mutation`] on a mapped (read-only) index;
+    /// [`EngineError::Io`] when the folded base cannot be persisted — the
+    /// merge is abandoned whole: no snapshot swap, delta log untouched.
+    pub fn apply_merge(
+        &self,
+        task: &lshe_core::MergeTask,
+    ) -> Result<(Arc<Snapshot>, lshe_core::MergeOutcome), EngineError> {
+        if matches!(task, lshe_core::MergeTask::Full) {
+            let before = self.segment_layout();
+            let folded: usize = before.segments.iter().sum();
+            let (snap, _) = self.compact()?;
+            let stats = snap.container().segment_stats();
+            return Ok((
+                snap,
+                lshe_core::MergeOutcome {
+                    entries_folded: folded,
+                    segments: stats.segments,
+                    tombstones: stats.tombstones,
+                },
+            ));
+        }
+        let _guard = self.reload_lock.lock().expect("reload lock poisoned");
+        // The pending lock is held across the log rewrite AND the swap: a
+        // racing stage_insert appends to the same log under this lock, so
+        // holding it is what makes "persist base, drop committed prefix,
+        // keep staged tail" atomic against new appends.
+        let pending = self.pending.lock().expect("pending lock poisoned");
+        let snap = self.snapshot();
+        Self::reject_mapped(&snap)?;
+        let mut container = snap.container().clone();
+        let outcome = container.apply_merge(task);
+        if outcome.entries_folded == 0
+            && container.segment_stats() == snap.container().segment_stats()
+        {
+            return Ok((snap, outcome));
+        }
+        container.reserve_next_id(pending.next_id);
+
+        // Persist the merged base, then retire the committed log prefix.
+        // Crash between the rename and the rewrite is safe: committed
+        // batches are embodied in the base, so replaying the stale log is
+        // a no-op, exactly like the compact() crash window.
+        let path = self.path.read().expect("engine lock poisoned").clone();
+        if let Some(path) = &path {
+            let tmp = path.with_extension("lshe.tmp");
+            std::fs::write(&tmp, container.to_bytes())?;
+            std::fs::rename(&tmp, path)?;
+            DeltaLog::sidecar(path).rewrite(&pending.ops, pending.next_id)?;
+        }
+
+        let generation = self.generation.fetch_add(1, Ordering::SeqCst) + 1;
+        let snapshot = Arc::new(Snapshot::new(container, self.shards, generation)?);
+        *self.current.write().expect("engine lock poisoned") = Arc::clone(&snapshot);
+        Ok((snapshot, outcome))
+    }
+
     /// Sealed-segment and tombstone counts of the live snapshot.
     #[must_use]
     pub fn segment_stats(&self) -> lshe_core::SegmentStats {
         self.snapshot().container().segment_stats()
     }
 
+    /// The live snapshot's tier layout, for merge planning.
+    #[must_use]
+    pub fn segment_layout(&self) -> lshe_core::SegmentLayout {
+        self.snapshot().container().segment_layout()
+    }
+
     /// True when the live snapshot's segment stack or tombstone backlog
-    /// crossed the compaction thresholds
+    /// crossed the default compaction thresholds
     /// ([`lshe_core::MAX_SEGMENTS`] / [`lshe_core::MAX_TOMBSTONE_RATIO`]).
     #[must_use]
     pub fn needs_compaction(&self) -> bool {
+        self.needs_compaction_with(&lshe_core::CompactionThresholds::default())
+    }
+
+    /// [`needs_compaction`](Self::needs_compaction) against explicit
+    /// (deployment-tuned) thresholds.
+    #[must_use]
+    pub fn needs_compaction_with(&self, thresholds: &lshe_core::CompactionThresholds) -> bool {
         let snap = self.snapshot();
         snap.container().kind() != IndexKind::Mapped
-            && lshe_core::needs_compaction(snap.container().segment_stats(), snap.container().len())
+            && thresholds.exceeded(snap.container().segment_stats(), snap.container().len())
     }
 
     /// Generation created by the last [`compact`](Self::compact) in this

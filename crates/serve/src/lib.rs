@@ -16,6 +16,7 @@
 //! | [`pool`] | fixed thread pool (the reactor's compute lanes) with drain-on-drop graceful shutdown |
 //! | [`http`] | minimal HTTP/1.1 parsing — incremental/resumable over partial reads — and response writing |
 //! | [`json`] | strict-subset JSON reader/writer for the wire protocol, with render-into-buffer reuse |
+//! | [`maintenance`] | the background maintenance runtime: a parked thread executing leveled/tiered merge plans off the request path |
 //! | [`poller`] | readiness polling (epoll on Linux, `poll(2)` elsewhere) via std-linked libc symbols |
 //! | [`server`] | configuration, routing, endpoints |
 //! | `reactor` (internal) | the event loop: non-blocking listener + connections, pipelined in-order responses |
@@ -61,6 +62,7 @@ pub mod container;
 pub mod engine;
 pub mod http;
 pub mod json;
+pub mod maintenance;
 pub mod poller;
 pub mod pool;
 mod reactor;
@@ -69,4 +71,5 @@ pub mod server;
 pub use cache::{CacheStats, LruCache, QueryKey};
 pub use container::{DeltaError, DeltaLog, DeltaOp, DomainRecord, IndexContainer, IndexKind};
 pub use engine::{CommitOutcome, Engine, EngineError, Snapshot, StagedCounts};
+pub use maintenance::{FullMergeSummary, Maintainer, MaintenanceConfig, MaintenanceStats};
 pub use server::{start, ServerConfig, ServerHandle};

@@ -429,7 +429,14 @@ impl Reactor {
             (request.method.as_str(), request.path()),
             (
                 "POST",
-                "/query" | "/topk" | "/batch" | "/reload" | "/insert" | "/remove" | "/commit"
+                "/query"
+                    | "/topk"
+                    | "/batch"
+                    | "/reload"
+                    | "/insert"
+                    | "/remove"
+                    | "/commit"
+                    | "/compact"
             )
         );
         if heavy {

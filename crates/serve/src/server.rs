@@ -12,7 +12,7 @@
 //! | POST   | `/insert`   | stage one new domain (delta-logged)             |
 //! | POST   | `/remove`   | stage the removal of a domain by id             |
 //! | POST   | `/commit`   | seal staged mutations into a segment (O(delta)) |
-//! | POST   | `/compact`  | fold sealed segments + tombstones into the base |
+//! | POST   | `/compact`  | enqueue a full fold on the maintenance thread (`?async=1` to not wait) |
 //! | POST   | `/reload`   | hot-swap the index snapshot                     |
 //! | POST   | `/shutdown` | graceful stop (drain in-flight, then exit)      |
 //!
@@ -27,9 +27,12 @@ use crate::cache::{signature_digest, CacheStats, LruCache, QueryKey};
 use crate::engine::{Engine, EngineError, Snapshot};
 use crate::http::{write_head_with, Request};
 use crate::json::Json;
+use crate::maintenance::{Maintainer, MaintenanceConfig};
 use crate::poller::Waker;
 use crate::pool::effective_threads;
-use lshe_core::{Query, QueryStats, SearchHit, SearchOutcome};
+use lshe_core::{
+    CompactionThresholds, MergePolicyKind, Query, QueryStats, SearchHit, SearchOutcome,
+};
 use lshe_corpus::Domain;
 use lshe_minhash::Signature;
 use std::collections::HashMap;
@@ -73,10 +76,21 @@ pub struct ServerConfig {
     /// so a coordinator (or an operator) can verify each process serves
     /// the split it was assigned. `None` for standalone servers.
     pub shard_id: Option<u64>,
+    /// Which merge policy the background maintenance thread schedules:
+    /// `Leveled` folds only the overflowing level (O(log corpus) write
+    /// amplification), `Tiered` full-folds past the thresholds.
+    pub merge_policy: MergePolicyKind,
+    /// Sealed-segment count past which maintenance triggers
+    /// (`--compact-segments`).
+    pub compact_segments: usize,
+    /// Tombstone backlog, as a percentage of live entries, past which
+    /// maintenance schedules a full fold (`--compact-tombstone-pct`).
+    pub compact_tombstone_pct: f64,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
+        let thresholds = CompactionThresholds::default();
         Self {
             addr: "127.0.0.1:7878".to_owned(),
             threads: 0,
@@ -84,6 +98,23 @@ impl Default for ServerConfig {
             request_timeout_ms: 10_000,
             max_connections: 10_240,
             shard_id: None,
+            merge_policy: MergePolicyKind::default(),
+            compact_segments: thresholds.max_segments,
+            compact_tombstone_pct: thresholds.max_tombstone_ratio * 100.0,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The maintenance-runtime view of this configuration.
+    #[must_use]
+    pub fn maintenance(&self) -> MaintenanceConfig {
+        MaintenanceConfig {
+            policy: self.merge_policy,
+            thresholds: CompactionThresholds {
+                max_segments: self.compact_segments.max(1),
+                max_tombstone_ratio: (self.compact_tombstone_pct / 100.0).max(0.0),
+            },
         }
     }
 }
@@ -148,7 +179,7 @@ impl QueryStatTotals {
 /// State shared by the reactor, the compute pool, and every handler.
 pub(crate) struct Shared {
     pub(crate) engine: Arc<Engine>,
-    pub(crate) cache: LruCache<QueryKey, Arc<SearchOutcome>>,
+    pub(crate) cache: Arc<LruCache<QueryKey, Arc<SearchOutcome>>>,
     pub(crate) counters: Counters,
     query_totals: QueryStatTotals,
     pub(crate) server_stats: ServerStats,
@@ -161,10 +192,10 @@ pub(crate) struct Shared {
     pub(crate) max_connections: usize,
     /// Shard identity (from [`ServerConfig::shard_id`]), echoed on `/stats`.
     shard_id: Option<u64>,
-    /// Set while the background merger is folding segments into the base:
-    /// the CAS guard that keeps at most one compaction in flight no matter
-    /// how many commits cross the threshold while one runs.
-    merger_busy: Arc<AtomicBool>,
+    /// The background maintenance runtime: one parked thread that executes
+    /// merge plans (leveled or tiered) off the request path. Commits wake
+    /// it; `/compact` enqueues full-merge epochs on it.
+    pub(crate) maintainer: Arc<Maintainer>,
 }
 
 /// A running server; dropping the handle shuts it down gracefully.
@@ -174,6 +205,10 @@ pub struct ServerHandle {
     shutdown: Arc<AtomicBool>,
     waker: Arc<Waker>,
     reactor: Option<std::thread::JoinHandle<()>>,
+    /// Test hook: the server's maintenance runtime, so tests can stretch
+    /// merge windows deterministically.
+    #[cfg(test)]
+    pub(crate) maintainer: Arc<Maintainer>,
 }
 
 impl ServerHandle {
@@ -225,9 +260,17 @@ pub fn start(engine: Arc<Engine>, config: &ServerConfig) -> io::Result<ServerHan
     let addr = listener.local_addr()?;
     let threads = effective_threads(config.threads);
     let shutdown = Arc::new(AtomicBool::new(false));
+    let cache = Arc::new(LruCache::new(config.cache_capacity));
+    // The maintainer swaps snapshots from its own thread; its on-swap
+    // callback drops the now-unreachable cache generation, exactly as the
+    // request-path handlers do after their own swaps.
+    let maintainer = Maintainer::spawn(Arc::clone(&engine), config.maintenance(), {
+        let cache = Arc::clone(&cache);
+        Box::new(move || cache.clear())
+    });
     let shared = Arc::new(Shared {
         engine,
-        cache: LruCache::new(config.cache_capacity),
+        cache,
         counters: Counters::default(),
         query_totals: QueryStatTotals::default(),
         server_stats: ServerStats::default(),
@@ -237,7 +280,7 @@ pub fn start(engine: Arc<Engine>, config: &ServerConfig) -> io::Result<ServerHan
         request_timeout: Duration::from_millis(config.request_timeout_ms.max(1)),
         max_connections: config.max_connections.max(1),
         shard_id: config.shard_id,
-        merger_busy: Arc::new(AtomicBool::new(false)),
+        maintainer,
     });
     let waker = Arc::new(Waker::new()?);
     let reactor = {
@@ -245,12 +288,20 @@ pub fn start(engine: Arc<Engine>, config: &ServerConfig) -> io::Result<ServerHan
         let waker = Arc::clone(&waker);
         std::thread::Builder::new()
             .name("lshe-serve-reactor".to_owned())
-            .spawn(move || crate::reactor::run(listener, &shared, &waker))?
+            .spawn(move || {
+                crate::reactor::run(listener, &shared, &waker);
+                // The reactor has drained: no handler can enqueue more
+                // maintenance work, so stop the worker after its current
+                // task (clean shutdown even mid-merge).
+                shared.maintainer.shutdown();
+            })?
     };
     Ok(ServerHandle {
         addr,
         shutdown,
         waker,
+        #[cfg(test)]
+        maintainer: Arc::clone(&shared.maintainer),
         reactor: Some(reactor),
     })
 }
@@ -340,7 +391,7 @@ pub(crate) fn route(shared: &Shared, request: &Request) -> Outcome {
         ("POST", "/insert") => handle_insert(shared, request),
         ("POST", "/remove") => handle_remove(shared, request),
         ("POST", "/commit") => handle_commit(shared),
-        ("POST", "/compact") => handle_compact(shared),
+        ("POST", "/compact") => handle_compact(shared, request),
         ("POST", "/shutdown") => {
             // The flag is stored at route time, so requests pipelined
             // BEHIND /shutdown in the same burst already answer 503 +
@@ -413,6 +464,9 @@ fn handle_stats(shared: &Shared) -> Outcome {
             "last_compaction",
             Json::uint(shared.engine.last_compaction()),
         ),
+        // The background maintenance runtime: effective policy knobs, the
+        // live level layout, and what the worker has done / is doing.
+        ("maintenance", maintenance_json(shared)),
         ("threads", Json::uint(shared.threads as u64)),
         (
             "uptime_ms",
@@ -511,6 +565,43 @@ fn handle_stats(shared: &Shared) -> Outcome {
             ]),
         ),
     ]))
+}
+
+/// Renders `/stats.maintenance`: the effective policy + thresholds, the
+/// live segment layout bucketed into leveled geometry, and the worker's
+/// lifetime counters.
+fn maintenance_json(shared: &Shared) -> Json {
+    let m = shared.maintainer.stats();
+    Json::obj(vec![
+        ("policy", Json::str(m.policy)),
+        ("max_segments", Json::uint(m.thresholds.max_segments as u64)),
+        (
+            "max_tombstone_pct",
+            Json::num(m.thresholds.max_tombstone_ratio * 100.0),
+        ),
+        (
+            "levels",
+            Json::Arr(
+                m.levels
+                    .iter()
+                    .map(|&(segments, entries)| {
+                        Json::obj(vec![
+                            ("segments", Json::uint(segments as u64)),
+                            ("entries", Json::uint(entries as u64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("segment_bound", Json::uint(m.segment_bound as u64)),
+        ("queued", Json::uint(m.queued as u64)),
+        ("running", m.running.map_or(Json::Null, Json::str)),
+        ("merges", Json::uint(m.merges)),
+        ("full_merges", Json::uint(m.full_merges)),
+        ("entries_folded", Json::uint(m.entries_folded)),
+        ("last_merge_us", Json::uint(m.last_merge_micros)),
+        ("last_error", m.last_error.map_or(Json::Null, Json::str)),
+    ])
 }
 
 /// One parsed query after sketching: sketch, cardinality, threshold, and
@@ -1163,9 +1254,9 @@ fn handle_remove(shared: &Shared, request: &Request) -> Outcome {
 /// as a new snapshot generation (copy-on-write: in-flight queries keep
 /// their snapshot). O(staged delta): the base index is untouched — its
 /// durability cost is one appended marker in the delta log, never a
-/// rewrite. Idempotent when nothing is staged. When the sealed stack (or
-/// tombstone backlog) crosses the compaction thresholds, the background
-/// merger is kicked off the request path.
+/// rewrite. Idempotent when nothing is staged. The sealed stack is never
+/// folded here: the commit marker wakes the maintenance thread, which
+/// plans and executes merges off the request path.
 fn handle_commit(shared: &Shared) -> Outcome {
     match shared.engine.commit_staged() {
         Ok((snap, outcome)) => {
@@ -1174,7 +1265,7 @@ fn handle_commit(shared: &Shared) -> Outcome {
                 // generation is unreachable now: drop the dead weight.
                 shared.cache.clear();
                 shared.counters.commits.fetch_add(1, Ordering::Relaxed);
-                maybe_spawn_merger(shared);
+                shared.maintainer.notify_commit();
             }
             Outcome::ok(Json::obj(vec![
                 (
@@ -1202,67 +1293,45 @@ fn handle_commit(shared: &Shared) -> Outcome {
     }
 }
 
-/// `POST /compact`: fold every sealed segment and tombstone into the base
-/// index and persist the result — the one remaining O(corpus) step in the
-/// mutation path, now explicit and off `/commit`. Anything still staged
-/// is applied first, so the compacted base embodies every acknowledged
-/// mutation. Idempotent when the index is already compacted.
-fn handle_compact(shared: &Shared) -> Outcome {
-    match shared.engine.compact() {
-        Ok((snap, outcome)) => {
-            // The swap makes the old generation unreachable even when
-            // nothing was staged (compaction always bumps): drop the
-            // dead cache weight.
-            shared.cache.clear();
+/// `POST /compact`: enqueue a full merge — fold every sealed segment and
+/// tombstone into the base index and persist the result — on the
+/// maintenance thread, the one remaining O(corpus) step in the mutation
+/// path. Anything still staged is applied first, so the compacted base
+/// embodies every acknowledged mutation. By default the handler blocks
+/// its compute-pool lane until the fold completes (the reactor keeps
+/// serving queries throughout); `?async=1` returns immediately with the
+/// scheduled epoch, observable via `/stats.maintenance`. Concurrent
+/// requests coalesce: one fold satisfies every epoch enqueued before it
+/// started. Idempotent when the index is already compacted.
+fn handle_compact(shared: &Shared, request: &Request) -> Outcome {
+    let wants_async = request.target.split_once('?').is_some_and(|(_, query)| {
+        query
+            .split('&')
+            .any(|kv| kv == "async=1" || kv == "async=true")
+    });
+    let epoch = shared.maintainer.request_full();
+    if wants_async {
+        return Outcome::ok(Json::obj(vec![
+            ("status", Json::str("scheduled")),
+            ("epoch", Json::uint(epoch)),
+        ]));
+    }
+    match shared.maintainer.wait_full(epoch) {
+        Ok(summary) => {
+            // The maintainer already cleared the cache via its swap hook.
             shared.counters.compactions.fetch_add(1, Ordering::Relaxed);
             Outcome::ok(Json::obj(vec![
                 ("status", Json::str("compacted")),
-                ("applied", Json::uint(outcome.applied as u64)),
-                ("merged", Json::uint(outcome.report.merged as u64)),
-                ("rebalanced", Json::Bool(outcome.report.rebalanced)),
-                ("segments", Json::uint(outcome.report.segments as u64)),
-                ("tombstones", Json::uint(outcome.report.tombstones as u64)),
-                ("generation", Json::uint(snap.generation())),
-                ("domains", Json::uint(snap.container().len() as u64)),
+                ("applied", Json::uint(summary.applied as u64)),
+                ("merged", Json::uint(summary.merged as u64)),
+                ("rebalanced", Json::Bool(summary.rebalanced)),
+                ("segments", Json::uint(summary.segments as u64)),
+                ("tombstones", Json::uint(summary.tombstones as u64)),
+                ("generation", Json::uint(summary.generation)),
+                ("domains", Json::uint(summary.domains as u64)),
             ]))
         }
-        Err(EngineError::Io(e)) => {
-            Outcome::error(500, "Internal Server Error", format!("persist: {e}"))
-        }
-        Err(e) => Outcome::error(400, "Bad Request", e.to_string()),
-    }
-}
-
-/// Kicks the background merger when a commit leaves the segment stack (or
-/// tombstone backlog) past the compaction thresholds. The CAS on
-/// `merger_busy` guarantees at most one merger thread exists at a time;
-/// commits landing while it runs re-check after it clears the flag (the
-/// next threshold-crossing commit re-arms it). The merger never touches
-/// the cache: entries are generation-keyed, so pre-compaction answers are
-/// unreachable the instant the snapshot swaps.
-fn maybe_spawn_merger(shared: &Shared) {
-    if !shared.engine.needs_compaction() {
-        return;
-    }
-    if shared
-        .merger_busy
-        .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
-        .is_err()
-    {
-        return;
-    }
-    let engine = Arc::clone(&shared.engine);
-    let busy = Arc::clone(&shared.merger_busy);
-    let spawned = std::thread::Builder::new()
-        .name("lshe-serve-merger".to_owned())
-        .spawn(move || {
-            // A failed compaction (e.g. a racing reload swapped in a
-            // mapped index) just leaves the stack for the next trigger.
-            let _ = engine.compact();
-            busy.store(false, Ordering::SeqCst);
-        });
-    if spawned.is_err() {
-        shared.merger_busy.store(false, Ordering::SeqCst);
+        Err(msg) => Outcome::error(500, "Internal Server Error", msg),
     }
 }
 
@@ -1872,12 +1941,74 @@ mod tests {
         server.shutdown();
     }
 
-    /// The background merger: once commits stack up
-    /// [`lshe_core::MAX_SEGMENTS`] sealed segments, the next commit kicks
-    /// a compaction off the request path — no `/compact` call involved.
+    /// The background maintenance thread under the default leveled
+    /// policy: every commit wakes it, and it folds only overflowing
+    /// levels — no `/compact` call involved, no full rebuild, and the
+    /// sealed stack stays within the policy's segment bound.
     #[test]
-    fn background_merger_compacts_past_segment_threshold() {
+    fn background_maintenance_bounds_the_segment_stack() {
         let server = boot(test_engine(6, true));
+        let addr = server.addr();
+        let commits = 2 * lshe_core::MAX_SEGMENTS;
+        for k in 0..commits {
+            let values: Vec<String> = (0..20).map(|i| format!("\"b{k}x{i}\"")).collect();
+            let (status, _) = post(
+                addr,
+                "/insert",
+                &format!("{{\"values\": [{}]}}", values.join(",")),
+            );
+            assert_eq!(status, 200);
+            let (status, body) = post(addr, "/commit", "");
+            assert_eq!(status, 200, "{body}");
+        }
+        // Maintenance runs asynchronously; poll /stats until the plan is
+        // quiescent with the stack inside the bound and at least one
+        // partial fold recorded.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let (_, body) = get(addr, "/stats");
+            let stats = Json::parse(&body).expect("json");
+            let maint = stats.get("maintenance").expect("maintenance object");
+            let segments = stats.get("segments").and_then(Json::as_u64).expect("segs");
+            let bound = maint
+                .get("segment_bound")
+                .and_then(Json::as_u64)
+                .expect("bound");
+            let queued = maint.get("queued").and_then(Json::as_u64).expect("queued");
+            let merges = maint.get("merges").and_then(Json::as_u64).expect("merges");
+            assert_eq!(maint.get("policy").and_then(Json::as_str), Some("leveled"));
+            if queued == 0 && merges > 0 && segments <= bound {
+                // Every committed domain survived the background folds.
+                assert_eq!(
+                    stats.get("domains").and_then(Json::as_u64),
+                    Some(6 + commits as u64)
+                );
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "maintenance never drained the stack: {stats}"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        server.shutdown();
+    }
+
+    /// The tiered policy preserves the pre-maintenance behaviour: once
+    /// commits stack up `--compact-segments` sealed segments, the
+    /// maintenance thread full-folds the stack off the request path.
+    #[test]
+    fn tiered_maintenance_full_folds_past_segment_threshold() {
+        let server = boot_with(
+            test_engine(6, true),
+            ServerConfig {
+                addr: "127.0.0.1:0".to_owned(),
+                threads: 2,
+                cache_capacity: 16,
+                merge_policy: MergePolicyKind::Tiered,
+                ..ServerConfig::default()
+            },
+        );
         let addr = server.addr();
         for k in 0..lshe_core::MAX_SEGMENTS {
             let values: Vec<String> = (0..20).map(|i| format!("\"b{k}x{i}\"")).collect();
@@ -1890,8 +2021,8 @@ mod tests {
             let (status, body) = post(addr, "/commit", "");
             assert_eq!(status, 200, "{body}");
         }
-        // The final commit crossed the threshold; the merger runs
-        // asynchronously, so poll /stats until the stack folds.
+        // The final commit crossed the threshold; poll /stats until the
+        // background full fold lands.
         let deadline = Instant::now() + Duration::from_secs(10);
         loop {
             let (_, body) = get(addr, "/stats");
@@ -1911,7 +2042,94 @@ mod tests {
             }
             assert!(
                 Instant::now() < deadline,
-                "merger never folded the stack: {stats}"
+                "maintenance never folded the stack: {stats}"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        server.shutdown();
+    }
+
+    /// Satellite regression: `/compact` must never block the reactor. A
+    /// full fold — artificially stretched to hundreds of milliseconds —
+    /// runs on the maintenance thread while queries keep answering fast,
+    /// and `?async=1` acknowledges without waiting for the fold at all.
+    #[test]
+    fn queries_stay_fast_while_compaction_runs() {
+        let server = boot(test_engine(8, true));
+        let addr = server.addr();
+        // Seal one segment so the fold has work to do.
+        let (status, _) = post(
+            addr,
+            "/insert",
+            r#"{"values": ["q0","q1","q2","q3","q4","q5"]}"#,
+        );
+        assert_eq!(status, 200);
+        assert_eq!(post(addr, "/commit", "").0, 200);
+        server
+            .maintainer
+            .set_full_delay_for_tests(Duration::from_millis(500));
+        let (status, body) = post(addr, "/compact?async=1", "");
+        assert_eq!(status, 200, "{body}");
+        let scheduled = Json::parse(&body).expect("json");
+        assert_eq!(
+            scheduled.get("status").and_then(Json::as_str),
+            Some("scheduled")
+        );
+        // The fold is now pending for >= 500ms; prove the probe window
+        // overlaps it…
+        let (_, body) = get(addr, "/stats");
+        let stats = Json::parse(&body).expect("json");
+        let full_before = stats
+            .get("maintenance")
+            .expect("maintenance object")
+            .get("full_merges")
+            .and_then(Json::as_u64)
+            .expect("full_merges");
+        assert_eq!(full_before, 0, "fold finished before the probe began");
+        // …while queries answer well inside the latency budget. Distinct
+        // thresholds per probe keep the cache from absorbing the work.
+        let mut latencies = Vec::new();
+        let probe_until = Instant::now() + Duration::from_millis(350);
+        let mut i = 0u64;
+        while Instant::now() < probe_until {
+            let q = format!(
+                "{{\"values\": [\"v0\",\"v1\",\"v2\",\"v3\",\"v4\",\"v5\",\"v6\",\"v7\",\"v8\",\"v9\"], \"threshold\": 0.{:03}}}",
+                500 + (i % 100)
+            );
+            let started = Instant::now();
+            let (status, _) = post(addr, "/query", &q);
+            assert_eq!(status, 200);
+            latencies.push(started.elapsed());
+            i += 1;
+        }
+        assert!(!latencies.is_empty());
+        latencies.sort();
+        let p99 = latencies[(latencies.len() * 99 / 100).min(latencies.len() - 1)];
+        // The 10ms p99 budget is the release-mode contract; debug builds
+        // get slack for the unoptimised sketch math.
+        let budget = if cfg!(debug_assertions) {
+            Duration::from_millis(250)
+        } else {
+            Duration::from_millis(10)
+        };
+        assert!(
+            p99 < budget,
+            "p99 {p99:?} over {budget:?} across {} queries during compaction",
+            latencies.len()
+        );
+        // The scheduled fold still lands: poll until it completes.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let (_, body) = get(addr, "/stats");
+            let stats = Json::parse(&body).expect("json");
+            let m = stats.get("maintenance").expect("maintenance object");
+            if m.get("full_merges").and_then(Json::as_u64) == Some(1) {
+                assert_eq!(stats.get("segments").and_then(Json::as_u64), Some(0));
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "async compaction never landed: {stats}"
             );
             std::thread::sleep(Duration::from_millis(20));
         }

@@ -17,12 +17,14 @@
 //! * `staged_len()` tracks exactly the inserts since the last commit.
 
 use lshe_core::{
-    EnsembleConfig, LshEnsemble, MutableIndex, MutationError, PartitionStrategy, RankedIndex,
+    CompactionThresholds, EnsembleConfig, Leveled, LshEnsemble, MaintenancePlanner, MutableIndex,
+    MutationError, PartitionStrategy, Query, RankedIndex, ShardedEnsemble, ShardedRanked,
 };
 use lshe_lsh::DomainId;
 use lshe_minhash::{MinHasher, Signature};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 const NUM_PERM: usize = 64;
 
@@ -265,4 +267,201 @@ proptest! {
             prop_assert!(restored.contains(id));
         }
     }
+
+    /// Background maintenance racing the mutation script: after every
+    /// commit the leveled planner folds the sealed stack to quiescence
+    /// through `apply_merge` — exactly the loop the serve maintainer
+    /// runs — and at each quiescent point every mutable backend must
+    /// agree with a fresh build of the live corpus: same `len`, every
+    /// live id self-queries to exactly one hit in both (and `contains`
+    /// agrees), every removed id to none, and the sealed stack sits
+    /// within the policy's segment bound. (Full hit *sets* can
+    /// legitimately differ — partition geometry depends on physical
+    /// layout — so the contract is exact self-recall, not candidate-set
+    /// equality.)
+    #[test]
+    fn background_merges_preserve_query_results(
+        initial_sizes in prop::collection::vec(1u64..600, 5..12),
+        script in prop::collection::vec(0u32..1_000_000, 1..22),
+        fanout in 2usize..5,
+        level0_choice in 0usize..3,
+    ) {
+        let planner = MaintenancePlanner::new(Box::new(Leveled {
+            fanout,
+            level0_entries: [1, 4, 64][level0_choice],
+            thresholds: CompactionThresholds::default(),
+        }));
+        let entries: Vec<(DomainId, u64, Signature)> = initial_sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &size)| (i as DomainId, size, signature_for(i as DomainId, size)))
+            .collect();
+        let mut model: BTreeMap<DomainId, u64> =
+            entries.iter().map(|&(id, size, _)| (id, size)).collect();
+        // Signatures are memoised — recomputing them per probe dominates
+        // the runtime otherwise.
+        let mut sigs: BTreeMap<DomainId, Signature> = entries
+            .iter()
+            .map(|(id, _, sig)| (*id, sig.clone()))
+            .collect();
+        let mut backends = merge_backends(&entries);
+
+        let mut next_id = initial_sizes.len() as DomainId;
+        let mut dead: Vec<(DomainId, u64)> = Vec::new();
+        for word in script {
+            match word % 3 {
+                0 => {
+                    let id = next_id;
+                    next_id += 1;
+                    let size = 1 + u64::from(word / 3) % 500;
+                    let sig = signature_for(id, size);
+                    for (name, index) in &mut backends {
+                        index.insert(id, size, &sig).unwrap_or_else(|e| {
+                            panic!("{name}: fresh insert of {id} failed: {e:?}")
+                        });
+                    }
+                    model.insert(id, size);
+                    sigs.insert(id, sig);
+                }
+                1 => {
+                    if model.is_empty() {
+                        continue;
+                    }
+                    let live: Vec<DomainId> = model.keys().copied().collect();
+                    let id = live[(word as usize / 3) % live.len()];
+                    for (name, index) in &mut backends {
+                        index.remove(id).unwrap_or_else(|e| {
+                            panic!("{name}: live remove of {id} failed: {e:?}")
+                        });
+                    }
+                    let size = model.remove(&id).expect("modelled");
+                    dead.push((id, size));
+                }
+                _ => {
+                    for (_, index) in &mut backends {
+                        let _ = index.commit();
+                    }
+                    // Intermediate quiescent point: drain + the cheap
+                    // checks (bound, self-recall on the merged index).
+                    drain_and_check(&planner, &mut backends, &model, &dead, &sigs, false)?;
+                }
+            }
+        }
+        // Final quiescent point: commit whatever is staged, drain, and
+        // additionally compare against a fresh build of the live corpus.
+        for (_, index) in &mut backends {
+            let _ = index.commit();
+        }
+        drain_and_check(&planner, &mut backends, &model, &dead, &sigs, true)?;
+    }
+}
+
+/// One mutable backend of every kind over the initial corpus, in a fixed
+/// order so merged and fresh instances can be zipped.
+fn merge_backends(
+    entries: &[(DomainId, u64, Signature)],
+) -> Vec<(&'static str, Box<dyn MutableIndex>)> {
+    let mut ensemble = LshEnsemble::builder_with(config(3));
+    let mut ranked = RankedIndex::builder_with(config(3));
+    let mut sharded = ShardedEnsemble::builder(3, config(3));
+    let mut ranked_for_shards = RankedIndex::builder_with(config(3));
+    for (id, size, sig) in entries {
+        ensemble.add(*id, *size, sig.clone());
+        ranked.add(*id, *size, sig.clone());
+        sharded.add(*id, *size, sig.clone());
+        ranked_for_shards.add(*id, *size, sig.clone());
+    }
+    let sharded_ranked = ShardedRanked::build(Arc::new(ranked_for_shards.build()), 3, config(3));
+    vec![
+        ("ensemble", Box::new(ensemble.build())),
+        ("ranked", Box::new(ranked.build())),
+        ("sharded", Box::new(sharded.build())),
+        ("sharded_ranked", Box::new(sharded_ranked)),
+    ]
+}
+
+/// Drains the planner's merge plan on every backend (the maintainer's
+/// loop) and checks the quiescent-point invariants. With `full`, also
+/// builds every backend fresh from the live corpus and checks self-recall
+/// agreement (the expensive comparison, run once per case).
+fn drain_and_check(
+    planner: &MaintenancePlanner,
+    backends: &mut [(&'static str, Box<dyn MutableIndex>)],
+    model: &BTreeMap<DomainId, u64>,
+    dead: &[(DomainId, u64)],
+    sigs: &BTreeMap<DomainId, Signature>,
+    full: bool,
+) -> Result<(), TestCaseError> {
+    let sample = if full { 16 } else { 6 };
+    // Sharded backends need at least one domain per shard, so the fresh
+    // comparison only runs when the live corpus still covers them.
+    let fresh = if full && model.len() >= 3 {
+        let fresh_entries: Vec<(DomainId, u64, Signature)> = model
+            .iter()
+            .map(|(&id, &size)| (id, size, sigs[&id].clone()))
+            .collect();
+        merge_backends(&fresh_entries)
+    } else {
+        Vec::new()
+    };
+    for (i, (name, index)) in backends.iter_mut().enumerate() {
+        let name = *name;
+        let mut rounds = 0usize;
+        loop {
+            let tasks = planner.plan(&index.segment_layout());
+            if tasks.is_empty() {
+                break;
+            }
+            for task in &tasks {
+                index.apply_merge(task);
+            }
+            rounds += 1;
+            prop_assert!(rounds < 64, "{name}: merge plan never quiesced");
+        }
+        let layout = index.segment_layout();
+        // The bound is sized on physical entries: segments retain
+        // tombstoned rows until a fold erases them.
+        let bound = planner.segment_bound(layout.len + layout.tombstones);
+        prop_assert!(
+            layout.segments.len() <= bound,
+            "{name}: {} segments exceed the policy bound {bound} after drain",
+            layout.segments.len()
+        );
+        prop_assert!(
+            index.len() == model.len(),
+            "{name}: len {} diverges from model {}",
+            index.len(),
+            model.len()
+        );
+        for (&id, &size) in model.iter().take(sample) {
+            let sig = &sigs[&id];
+            let query = Query::threshold(sig, 1.0).with_size(size);
+            let mut probes: Vec<(&str, &dyn MutableIndex)> = vec![("merged", &**index)];
+            if let Some((_, fresh)) = fresh.get(i) {
+                probes.push(("fresh", &**fresh));
+            }
+            for (label, idx) in probes {
+                let outcome = idx.search(&query).unwrap_or_else(|e| {
+                    panic!("{name}/{label}: self-query for {id} failed: {e:?}")
+                });
+                let hits = outcome.hits.iter().filter(|h| h.id == id).count();
+                prop_assert!(
+                    hits == 1,
+                    "{name}/{label}: live id {id} found {hits} times after merge"
+                );
+            }
+        }
+        for &(id, size) in dead.iter().take(sample) {
+            let sig = &sigs[&id];
+            let query = Query::threshold(sig, 1.0).with_size(size);
+            let outcome = index
+                .search(&query)
+                .unwrap_or_else(|e| panic!("{name}: dead-id query for {id} failed: {e:?}"));
+            prop_assert!(
+                !outcome.hits.iter().any(|h| h.id == id),
+                "{name}: dead id {id} returned after merge"
+            );
+        }
+    }
+    Ok(())
 }

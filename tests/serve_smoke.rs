@@ -526,14 +526,13 @@ fn live_ingestion_under_concurrent_query_load() {
     assert_eq!(domains, 16 + inserted.len() as u64);
 
     // The committed state is durable: commits seal into the delta log
-    // (one marker per batch), so the log survives them and a fresh engine
-    // replays it to the same corpus. Only compaction retires it.
+    // (one marker per batch), and whenever a background maintenance
+    // merge runs it persists the folded base and retires the committed
+    // log prefix — so whether the log still exists here depends on how
+    // the merges raced the final commit. Either way, a fresh engine
+    // loads base + log to exactly the committed corpus.
     server.shutdown();
     let log = lshe_serve::container::DeltaLog::sidecar(&index_path);
-    assert!(
-        log.exists(),
-        "sealed history lives in the delta log until compaction"
-    );
     let reloaded = Engine::load(&index_path, 1).expect("reload committed file");
     assert_eq!(reloaded.snapshot().container().len(), 16 + inserted.len());
     reloaded.compact().expect("compact");
